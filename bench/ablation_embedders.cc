@@ -1,0 +1,137 @@
+// Ablation (beyond the paper's figures): embedding algorithm and inference
+// head on the 3-story campus building with 4 labels/floor.
+//
+//   Part 1 — embedding quality in isolation: E-LINE vs LINE vs a
+//   DeepWalk-style random-walk embedder, all feeding the same constrained
+//   Prox clustering. Scored by *virtual-label accuracy*: the fraction of
+//   (unlabeled) training records whose final cluster carries their true
+//   floor. This isolates the embedding from any out-of-sample machinery.
+//
+//   Part 2 — inference head end-to-end: the full GRAFICS pipeline with the
+//   nearest-centroid rule (paper Sec. V-B) vs the weighted k-NN head.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cluster/proximity_clusterer.h"
+#include "core/grafics.h"
+#include "core/metrics.h"
+#include "embed/random_walk.h"
+#include "embed/trainer.h"
+#include "graph/bipartite_graph.h"
+
+namespace {
+
+using namespace grafics;
+
+Matrix RecordEmbeddings(const graph::BipartiteGraph& graph,
+                        const embed::EmbeddingStore& store,
+                        std::size_t count) {
+  Matrix points(count, store.dim());
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto ego = store.Ego(graph.RecordNode(i));
+    std::copy(ego.begin(), ego.end(), points.Row(i).begin());
+  }
+  return points;
+}
+
+double VirtualLabelAccuracy(
+    const Matrix& points,
+    const std::vector<std::optional<rf::FloorId>>& sparse_labels,
+    const std::vector<rf::FloorId>& truth) {
+  const auto clustering = cluster::ClusterEmbeddings(points, sparse_labels);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const auto label =
+        clustering.cluster_label[clustering.cluster_of_point[i]];
+    if (label && *label == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: embedding algorithm and inference head ==\n");
+  auto config = synth::CampusBuildingConfig(/*seed=*/1212, /*rpf=*/150);
+  config.channel.floor_attenuation_db = 9.0;  // realistic difficulty
+  config.channel.shadowing_stddev_db = 5.0;
+  config.crowd.scan_cap_min = 8;
+  config.crowd.scan_cap_max = 22;
+  auto sim = config.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+
+  // --- Part 1: embedding quality via virtual-label accuracy ---------------
+  rf::Dataset train = dataset;
+  Rng rng(5);
+  const auto truth_opt = train.KeepLabelsPerFloor(4, rng);
+  std::vector<rf::FloorId> truth;
+  truth.reserve(truth_opt.size());
+  for (const auto& t : truth_opt) truth.push_back(*t);
+  std::vector<std::optional<rf::FloorId>> sparse_labels(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    sparse_labels[i] = train.record(i).floor();
+  }
+  const auto g = graph::BipartiteGraph::FromRecords(
+      train.records(), graph::OffsetWeight(120.0));
+
+  constexpr std::uint64_t kSeeds[] = {404, 405, 406};
+  std::printf("\n%-16s %28s\n", "embedder",
+              "virtual-label accuracy (mean/min over 3 seeds)");
+  const auto report = [&](const char* name, auto&& train_fn) {
+    double mean = 0.0;
+    double worst = 1.0;
+    for (const std::uint64_t seed : kSeeds) {
+      const auto store = train_fn(seed);
+      const double acc = VirtualLabelAccuracy(
+          RecordEmbeddings(g, store, train.size()), sparse_labels, truth);
+      mean += acc;
+      worst = std::min(worst, acc);
+    }
+    mean /= static_cast<double>(std::size(kSeeds));
+    std::printf("%-16s %17.3f / %.3f\n", name, mean, worst);
+  };
+  report("E-LINE", [&](std::uint64_t seed) {
+    embed::TrainerConfig trainer;
+    trainer.seed = seed;
+    return embed::TrainEmbeddings(g, trainer);
+  });
+  report("LINE(2nd)", [&](std::uint64_t seed) {
+    embed::TrainerConfig trainer;
+    trainer.objective = embed::Objective::kLineSecondOrder;
+    trainer.seed = seed;
+    return embed::TrainEmbeddings(g, trainer);
+  });
+  report("DeepWalk-style", [&](std::uint64_t seed) {
+    embed::RandomWalkConfig walks;
+    walks.seed = seed;
+    return embed::TrainRandomWalkEmbeddings(g, walks);
+  });
+
+  // --- Part 2: inference head, full pipeline ------------------------------
+  Rng split_rng(9);
+  auto [head_train, head_test] = dataset.TrainTestSplit(0.7, split_rng);
+  head_train.KeepLabelsPerFloor(4, split_rng);
+  std::vector<rf::FloorId> head_truth;
+  for (const auto& r : head_test.records()) head_truth.push_back(*r.floor());
+
+  std::printf("\n%-16s %10s %10s\n", "head", "micro-F", "macro-F");
+  for (const auto head : {core::InferenceHead::kCentroid,
+                          core::InferenceHead::kKnn}) {
+    core::GraficsConfig grafics_config;
+    grafics_config.head = head;
+    grafics_config.trainer.seed = 404;
+    core::Grafics system(grafics_config);
+    system.Train(head_train.records());
+    const auto metrics = core::ComputeMetrics(
+        head_truth, system.PredictBatch(head_test.records()));
+    std::printf("%-16s %10.3f %10.3f\n",
+                head == core::InferenceHead::kCentroid ? "centroid"
+                                                       : "weighted 5-NN",
+                metrics.micro.f_score, metrics.macro.f_score);
+  }
+  std::printf("\nexpected shape: E-LINE's worst seed stays high while "
+              "LINE's dips (the Fig. 13 stability gap); DeepWalk trails "
+              "both; the two heads are comparable\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Scaling: the paper's corpora are 204 buildings x ~1000 records/floor with
+// 10 repetitions per configuration. Reproducing that verbatim takes CPU-days;
+// each bench defaults to a reduced fleet (recorded in its output header and
+// in EXPERIMENTS.md) and honors the environment variable GRAFICS_BENCH_SCALE:
+//   GRAFICS_BENCH_SCALE=full   -> paper-scale fleets (slow)
+//   GRAFICS_BENCH_SCALE=small  -> default reduced fleets
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "rf/dataset.h"
+#include "synth/presets.h"
+
+namespace grafics::bench {
+
+struct BenchScale {
+  std::size_t microsoft_buildings = 2;
+  std::size_t hongkong_buildings = 2;  // of the 5 facilities
+  int records_per_floor = 130;
+  std::size_t repetitions = 1;
+};
+
+inline BenchScale GetScale() {
+  BenchScale scale;
+  const char* env = std::getenv("GRAFICS_BENCH_SCALE");
+  if (env != nullptr && std::string(env) == "full") {
+    scale.microsoft_buildings = 204;
+    scale.hongkong_buildings = 5;
+    scale.records_per_floor = 1000;
+    scale.repetitions = 10;
+  }
+  return scale;
+}
+
+/// Named dataset collection for one corpus.
+struct Corpus {
+  std::string name;
+  std::vector<rf::Dataset> buildings;
+};
+
+inline Corpus MicrosoftCorpus(const BenchScale& scale, std::uint64_t seed) {
+  Corpus corpus;
+  corpus.name = "Microsoft";
+  const auto fleet = synth::MicrosoftLikeFleet(scale.microsoft_buildings,
+                                               seed, scale.records_per_floor);
+  for (const auto& config : fleet) {
+    auto sim = config.MakeSimulator();
+    corpus.buildings.push_back(sim.GenerateDataset());
+  }
+  return corpus;
+}
+
+inline Corpus HongKongCorpus(const BenchScale& scale, std::uint64_t seed) {
+  Corpus corpus;
+  corpus.name = "HongKong";
+  const auto fleet = synth::HongKongFleet(seed, scale.records_per_floor);
+  for (std::size_t b = 0;
+       b < scale.hongkong_buildings && b < fleet.size(); ++b) {
+    auto sim = fleet[b].MakeSimulator();
+    corpus.buildings.push_back(sim.GenerateDataset());
+  }
+  return corpus;
+}
+
+/// Mean of per-building summaries for one (algorithm, config) cell.
+inline core::MetricsSummary RunOnCorpus(core::Algorithm algorithm,
+                                        const Corpus& corpus,
+                                        const core::ExperimentConfig& config,
+                                        std::uint64_t seed,
+                                        std::size_t repetitions) {
+  std::vector<core::ClassificationMetrics> runs;
+  for (std::size_t b = 0; b < corpus.buildings.size(); ++b) {
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+      runs.push_back(core::RunExperiment(algorithm, corpus.buildings[b],
+                                         config, seed + b * 131 + rep * 7919)
+                         .metrics);
+    }
+  }
+  return core::SummarizeMetrics(runs);
+}
+
+inline void PrintHeader(const char* figure, const char* description,
+                        const BenchScale& scale) {
+  std::printf("== %s: %s ==\n", figure, description);
+  std::printf(
+      "   corpus scale: %zu Microsoft-like + %zu Hong-Kong buildings, "
+      "%d records/floor, %zu repetition(s)\n",
+      scale.microsoft_buildings, scale.hongkong_buildings,
+      scale.records_per_floor, scale.repetitions);
+}
+
+}  // namespace grafics::bench

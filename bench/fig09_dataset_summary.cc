@@ -1,0 +1,43 @@
+// Fig. 9 — summary of building information: one row per building with
+// floor count, per-floor area, distinct MACs, and record count.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace grafics;
+  using namespace grafics::bench;
+  const BenchScale scale = GetScale();
+  PrintHeader("Fig. 9", "building fleet summary", scale);
+
+  std::vector<synth::BuildingConfig> fleet = synth::MicrosoftLikeFleet(
+      scale.microsoft_buildings, 1, scale.records_per_floor);
+  const auto hk = synth::HongKongFleet(2, scale.records_per_floor);
+  for (std::size_t b = 0; b < scale.hongkong_buildings && b < hk.size(); ++b) {
+    fleet.push_back(hk[b]);
+  }
+
+  std::printf("%-20s %8s %12s %8s %10s\n", "building", "floors", "area(m^2)",
+              "#MACs", "#records");
+  int min_floors = 1000;
+  int max_floors = 0;
+  std::size_t max_macs = 0;
+  std::size_t max_records = 0;
+  for (const synth::BuildingConfig& config : fleet) {
+    auto sim = config.MakeSimulator();
+    const rf::Dataset ds = sim.GenerateDataset();
+    min_floors = std::min(min_floors, config.spec.num_floors);
+    max_floors = std::max(max_floors, config.spec.num_floors);
+    max_macs = std::max(max_macs, ds.DistinctMacCount());
+    max_records = std::max(max_records, ds.size());
+    std::printf("%-20s %8d %12.0f %8zu %10zu\n", config.spec.name.c_str(),
+                config.spec.num_floors, config.spec.FloorArea(),
+                ds.DistinctMacCount(), ds.size());
+  }
+  std::printf(
+      "\nfleet ranges: floors %d..%d (paper: 2..12), max #MACs %zu "
+      "(paper: ~2500), max #records %zu (paper: 50749)\n",
+      min_floors, max_floors, max_macs, max_records);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 11 — micro-/macro-F of GRAFICS vs Scalable-DNN, SAE, MDS+Prox and
+// Autoencoder+Prox as the number of labeled samples per floor grows.
+// Paper shape: GRAFICS is near its ceiling with 4 labels/floor while the
+// supervised baselines need orders of magnitude more labels to catch up.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace grafics;
+  using namespace grafics::bench;
+  const BenchScale scale = GetScale();
+  PrintHeader("Fig. 11", "F-scores vs #labeled samples per floor", scale);
+
+  const core::Algorithm algorithms[] = {
+      core::Algorithm::kGrafics, core::Algorithm::kScalableDnn,
+      core::Algorithm::kSae, core::Algorithm::kMdsProx,
+      core::Algorithm::kAutoencoderProx};
+  const std::size_t label_counts[] = {1, 4, 10, 40, 100};
+
+  for (const Corpus& corpus :
+       {MicrosoftCorpus(scale, 11), HongKongCorpus(scale, 12)}) {
+    std::printf("\n--- %s corpus (%zu buildings) ---\n", corpus.name.c_str(),
+                corpus.buildings.size());
+    std::printf("%-18s", "#labels/floor");
+    for (const std::size_t labels : label_counts) {
+      std::printf("   %6zu      ", labels);
+    }
+    std::printf("\n");
+    for (const core::Algorithm algorithm : algorithms) {
+      std::printf("%-18s", core::AlgorithmName(algorithm).c_str());
+      for (const std::size_t labels : label_counts) {
+        core::ExperimentConfig config;
+        config.labels_per_floor = labels;
+        const core::MetricsSummary s = RunOnCorpus(
+            algorithm, corpus, config, 1000 + labels, scale.repetitions);
+        std::printf(" %5.3f/%5.3f ", s.micro_f_mean, s.macro_f_mean);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+    std::printf("(cells are micro-F/macro-F averaged over buildings)\n");
+  }
+  return 0;
+}

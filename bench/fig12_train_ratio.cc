@@ -1,0 +1,35 @@
+// Fig. 12 — F-scores vs the ratio of data used for training (10..90 %),
+// with the number of labeled samples fixed at four per floor.
+// Paper shape: performance improves monotonically with more (unlabeled)
+// training data — the graph gets denser, so embeddings get better.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace grafics;
+  using namespace grafics::bench;
+  const BenchScale scale = GetScale();
+  PrintHeader("Fig. 12", "F-scores vs training-data ratio (#labels = 4)",
+              scale);
+
+  for (const Corpus& corpus :
+       {MicrosoftCorpus(scale, 21), HongKongCorpus(scale, 22)}) {
+    std::printf("\n--- %s corpus ---\n", corpus.name.c_str());
+    std::printf("%10s %10s %10s\n", "ratio(%)", "micro-F", "macro-F");
+    for (const double ratio : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      core::ExperimentConfig config;
+      config.train_ratio = ratio;
+      config.labels_per_floor = 4;
+      const core::MetricsSummary s =
+          RunOnCorpus(core::Algorithm::kGrafics, corpus, config,
+                      2000 + static_cast<std::uint64_t>(ratio * 100),
+                      scale.repetitions);
+      std::printf("%10.0f %10.3f %10.3f\n", ratio * 100.0, s.micro_f_mean,
+                  s.macro_f_mean);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nexpected shape: both scores rise with the training ratio\n");
+  return 0;
+}

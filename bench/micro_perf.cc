@@ -1,0 +1,158 @@
+// Throughput micro-benchmarks (google-benchmark) for the performance-
+// critical GRAFICS components: graph construction, alias sampling, E-LINE
+// training, online embedding refinement, constrained clustering, and
+// nearest-centroid prediction.
+#include <benchmark/benchmark.h>
+
+#include "cluster/centroid_classifier.h"
+#include "cluster/proximity_clusterer.h"
+#include "common/alias_sampler.h"
+#include "core/grafics.h"
+#include "embed/trainer.h"
+#include "graph/bipartite_graph.h"
+#include "synth/presets.h"
+
+namespace {
+
+using namespace grafics;
+
+rf::Dataset& CachedDataset() {
+  static rf::Dataset dataset = [] {
+    auto config = synth::CampusBuildingConfig(/*seed=*/4242, /*rpf=*/150);
+    auto sim = config.MakeSimulator();
+    return sim.GenerateDataset();
+  }();
+  return dataset;
+}
+
+void BM_GraphConstruction(benchmark::State& state) {
+  const rf::Dataset& dataset = CachedDataset();
+  const auto weight = graph::OffsetWeight(120.0);
+  for (auto _ : state) {
+    auto g = graph::BipartiteGraph::FromRecords(dataset.records(), weight);
+    benchmark::DoNotOptimize(g.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dataset.size()));
+}
+BENCHMARK(BM_GraphConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_AliasSampler(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> weights(n);
+  Rng rng(1);
+  for (double& w : weights) w = rng.Uniform(0.1, 10.0);
+  const AliasSampler sampler(weights);
+  Rng draw_rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(draw_rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSampler)->Arg(1000)->Arg(100000);
+
+void BM_ELineTraining(benchmark::State& state) {
+  const rf::Dataset& dataset = CachedDataset();
+  const auto g = graph::BipartiteGraph::FromRecords(
+      dataset.records(), graph::OffsetWeight(120.0));
+  embed::TrainerConfig config;
+  config.samples_per_edge = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto store = embed::TrainEmbeddings(g, config);
+    benchmark::DoNotOptimize(store.num_nodes());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(config.samples_per_edge * g.NumEdges()));
+}
+BENCHMARK(BM_ELineTraining)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_OnlineInference(benchmark::State& state) {
+  rf::Dataset dataset = CachedDataset();
+  Rng rng(3);
+  dataset.KeepLabelsPerFloor(4, rng);
+  core::GraficsConfig config;
+  config.trainer.samples_per_edge = 40;
+  config.online_refine_iterations =
+      static_cast<std::size_t>(state.range(0));
+  core::Grafics system(config);
+  system.Train(dataset.records());
+  auto sim_config = synth::CampusBuildingConfig(/*seed=*/4242, /*rpf=*/1);
+  auto sim = sim_config.MakeSimulator();
+  for (auto _ : state) {
+    state.PauseTiming();
+    const rf::SignalRecord probe = sim.MeasureAt({20.0, 20.0, 1.2}, 0);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(system.Predict(probe));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnlineInference)->Arg(200)->Arg(600)->Unit(benchmark::kMillisecond);
+
+void BM_ConstrainedClustering(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  Matrix points(n, 8);
+  std::vector<std::optional<rf::FloorId>> labels(n, std::nullopt);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int floor = static_cast<int>(i % 3);
+    for (std::size_t c = 0; c < 8; ++c) {
+      points(i, c) = floor * 5.0 + rng.Normal(0.0, 0.5);
+    }
+    if (i < 12) labels[i] = floor;
+  }
+  for (auto _ : state) {
+    auto result = cluster::ClusterEmbeddings(points, labels);
+    benchmark::DoNotOptimize(result.num_clusters());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ConstrainedClustering)
+    ->Arg(200)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CentroidPrediction(benchmark::State& state) {
+  Rng rng(9);
+  const std::size_t centroids = 48;
+  Matrix means(centroids, 8);
+  std::vector<rf::FloorId> labels(centroids);
+  for (std::size_t i = 0; i < centroids; ++i) {
+    labels[i] = static_cast<rf::FloorId>(i % 12);
+    for (std::size_t c = 0; c < 8; ++c) means(i, c) = rng.Normal(0.0, 1.0);
+  }
+  const cluster::CentroidClassifier classifier(means, labels);
+  std::vector<double> probe(8);
+  for (double& v : probe) v = rng.Normal(0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.Predict(probe));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CentroidPrediction);
+
+void BM_HogwildTrainingThreads(benchmark::State& state) {
+  const rf::Dataset& dataset = CachedDataset();
+  const auto g = graph::BipartiteGraph::FromRecords(
+      dataset.records(), graph::OffsetWeight(120.0));
+  embed::TrainerConfig config;
+  config.samples_per_edge = 20;
+  config.num_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto store = embed::TrainEmbeddings(g, config);
+    benchmark::DoNotOptimize(store.num_nodes());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(config.samples_per_edge * g.NumEdges()));
+}
+BENCHMARK(BM_HogwildTrainingThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()  // worker threads run outside the harness's CPU clock
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

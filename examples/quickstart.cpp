@@ -1,0 +1,62 @@
+// Quickstart: the full GRAFICS workflow in ~60 lines.
+//
+//  1. obtain a crowdsourced RF dataset (here: synthesized for a small
+//     three-story building),
+//  2. keep floor labels on only four records per floor,
+//  3. train GRAFICS (bipartite graph -> E-LINE -> Prox clustering),
+//  4. identify the floor of new online measurements.
+//
+// Run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/grafics.h"
+#include "synth/presets.h"
+
+int main() {
+  using namespace grafics;
+
+  // --- 1. crowdsourced data ------------------------------------------------
+  // Each record is a variable-length list of (MAC, RSS) pairs. In a real
+  // deployment these come from user phones; here a calibrated simulator
+  // stands in for the building.
+  auto building = synth::CampusBuildingConfig(/*seed=*/7, /*rpf=*/150);
+  auto simulator = building.MakeSimulator();
+  rf::Dataset dataset = simulator.GenerateDataset();
+  std::printf("collected %zu records over %zu floors (%zu distinct MACs)\n",
+              dataset.size(), dataset.Floors().size(),
+              dataset.DistinctMacCount());
+
+  // --- 2. label scarcity ---------------------------------------------------
+  // Crowdsourcing rarely captures floor labels; keep only 4 per floor
+  // (e.g. from QR-code check-ins) and remember the rest as ground truth
+  // for scoring below.
+  Rng rng(42);
+  const auto ground_truth = dataset.KeepLabelsPerFloor(4, rng);
+  std::printf("labels kept: %zu of %zu records\n", dataset.LabeledCount(),
+              dataset.size());
+
+  // --- 3. offline training -------------------------------------------------
+  core::GraficsConfig config;      // paper defaults: dim 8, f(RSS)=RSS+120
+  core::Grafics grafics(config);
+  grafics.Train(dataset.records());
+  std::printf("trained: graph has %zu records, %zu MACs, %zu edges; "
+              "%zu clusters\n",
+              grafics.graph().NumRecords(), grafics.graph().NumMacs(),
+              grafics.graph().NumEdges(),
+              grafics.clustering().num_clusters());
+
+  // --- 4. online inference -------------------------------------------------
+  // A user walks in and scans WiFi on floor 2: predict where they are.
+  std::size_t correct = 0;
+  constexpr int kProbes = 30;
+  for (int i = 0; i < kProbes; ++i) {
+    const int true_floor = i % 3;
+    const rf::SignalRecord scan = simulator.MeasureAt(
+        {10.0 + i, 15.0, true_floor * 4.0 + 1.2}, true_floor);
+    const std::optional<rf::FloorId> predicted = grafics.Predict(scan);
+    if (predicted && *predicted == true_floor) ++correct;
+  }
+  std::printf("online inference: %zu/%d probes on the correct floor\n",
+              correct, kProbes);
+  return correct >= kProbes * 8 / 10 ? 0 : 1;
+}

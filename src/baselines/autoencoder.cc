@@ -1,0 +1,83 @@
+#include "baselines/autoencoder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace grafics::baselines {
+
+AutoencoderEmbedder::AutoencoderEmbedder(const Matrix& train,
+                                         const AutoencoderConfig& config)
+    : config_(config), input_dim_(train.cols()) {
+  Require(train.rows() > 0 && train.cols() > 0,
+          "AutoencoderEmbedder: empty training matrix");
+  Rng rng(config.seed);
+  const std::size_t c = config.conv_channels;
+  const std::size_t k = config.kernel_size;
+  const std::size_t len = input_dim_;
+
+  // Encoder: four 1-D conv layers (1->c->c->c->1 channels) + ReLU, then a
+  // Dense funnel to the bottleneck.
+  encoder_.Emplace<nn::Conv1D>(1, c, k, len, rng);
+  encoder_.Emplace<nn::ReLU>();
+  encoder_.Emplace<nn::Conv1D>(c, c, k, len, rng);
+  encoder_.Emplace<nn::ReLU>();
+  encoder_.Emplace<nn::Conv1D>(c, c, k, len, rng);
+  encoder_.Emplace<nn::ReLU>();
+  encoder_.Emplace<nn::Conv1D>(c, 1, k, len, rng);
+  encoder_.Emplace<nn::ReLU>();
+  encoder_.Emplace<nn::Dense>(len, config.dim, rng);
+
+  // Decoder mirror.
+  decoder_.Emplace<nn::Dense>(config.dim, len, rng);
+  decoder_.Emplace<nn::ReLU>();
+  decoder_.Emplace<nn::Conv1D>(1, c, k, len, rng);
+  decoder_.Emplace<nn::ReLU>();
+  decoder_.Emplace<nn::Conv1D>(c, 1, k, len, rng);
+  decoder_.Emplace<nn::Sigmoid>();
+
+  nn::Adam optimizer(config.learning_rate);
+  std::vector<nn::Parameter*> params = encoder_.Parameters();
+  for (nn::Parameter* p : decoder_.Parameters()) params.push_back(p);
+
+  std::vector<std::size_t> order(train.rows());
+  std::iota(order.begin(), order.end(), 0);
+  Rng shuffle_rng(config.seed ^ 0xA5A5ULL);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle_rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config.batch_size);
+      Matrix x(end - start, len);
+      for (std::size_t i = start; i < end; ++i) {
+        std::copy(train.Row(order[i]).begin(), train.Row(order[i]).end(),
+                  x.Row(i - start).begin());
+      }
+      const Matrix z = encoder_.Forward(x, /*training=*/true);
+      const Matrix reconstruction = decoder_.Forward(z, /*training=*/true);
+      nn::LossValue loss = nn::MseLoss(reconstruction, x);
+      const Matrix grad_z = decoder_.Backward(loss.gradient);
+      encoder_.Backward(grad_z);
+      optimizer.Step(params);
+      epoch_loss += loss.value;
+      ++batches;
+    }
+    final_loss_ = epoch_loss / static_cast<double>(batches);
+  }
+}
+
+Matrix AutoencoderEmbedder::Embed(const Matrix& rows) {
+  Require(rows.cols() == input_dim_, "AutoencoderEmbedder::Embed: dim mismatch");
+  return encoder_.Forward(rows, /*training=*/false);
+}
+
+}  // namespace grafics::baselines

@@ -1,0 +1,48 @@
+// Autoencoder + Prox baseline (paper Sec. VI-A).
+//
+// "The autoencoder consists of the four layers of 1-D convolution with the
+// ReLU activation function." We build a convolutional encoder over the
+// normalized matrix representation (one channel of length #MACs), funnel it
+// into a Dense bottleneck of the embedding dimension, and mirror it for the
+// decoder. Training minimizes reconstruction MSE; Embed() returns the
+// bottleneck activations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/matrix.h"
+#include "nn/model.h"
+
+namespace grafics::baselines {
+
+struct AutoencoderConfig {
+  std::size_t dim = 8;          // bottleneck width
+  std::size_t conv_channels = 4;
+  std::size_t kernel_size = 5;
+  std::size_t epochs = 20;
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-3;  // Adam
+  std::uint64_t seed = 29;
+};
+
+class AutoencoderEmbedder {
+ public:
+  /// Trains on normalized matrix-representation rows (values in [0,1]).
+  AutoencoderEmbedder(const Matrix& train, const AutoencoderConfig& config);
+
+  std::size_t dim() const { return config_.dim; }
+  double final_loss() const { return final_loss_; }
+
+  /// Bottleneck embedding of rows with the same column layout as `train`.
+  Matrix Embed(const Matrix& rows);
+
+ private:
+  AutoencoderConfig config_;
+  std::size_t input_dim_ = 0;
+  nn::Sequential encoder_;
+  nn::Sequential decoder_;
+  double final_loss_ = 0.0;
+};
+
+}  // namespace grafics::baselines

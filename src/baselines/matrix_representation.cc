@@ -1,0 +1,54 @@
+#include "baselines/matrix_representation.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace grafics::baselines {
+
+MatrixRepresentation::MatrixRepresentation(
+    const std::vector<rf::SignalRecord>& train) {
+  for (const rf::SignalRecord& record : train) {
+    for (const rf::Observation& o : record.observations()) {
+      column_of_mac_.try_emplace(o.mac, column_of_mac_.size());
+    }
+  }
+  Require(!column_of_mac_.empty(),
+          "MatrixRepresentation: no MACs in training records");
+}
+
+Matrix MatrixRepresentation::ToMatrix(
+    const std::vector<rf::SignalRecord>& records) const {
+  Matrix m(records.size(), num_columns(), kMissingDbm);
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    for (const rf::Observation& o : records[r].observations()) {
+      const auto it = column_of_mac_.find(o.mac);
+      if (it == column_of_mac_.end()) continue;  // unseen MAC: drop
+      m(r, it->second) = o.rssi_dbm;
+    }
+  }
+  return m;
+}
+
+std::vector<double> MatrixRepresentation::ToRow(
+    const rf::SignalRecord& record) const {
+  std::vector<double> row(num_columns(), kMissingDbm);
+  for (const rf::Observation& o : record.observations()) {
+    const auto it = column_of_mac_.find(o.mac);
+    if (it == column_of_mac_.end()) continue;
+    row[it->second] = o.rssi_dbm;
+  }
+  return row;
+}
+
+Matrix MatrixRepresentation::Normalize(const Matrix& raw) {
+  Matrix out = raw;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (double& v : out.Row(r)) {
+      v = std::clamp((v - kMissingDbm) / (-20.0 - kMissingDbm), 0.0, 1.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace grafics::baselines

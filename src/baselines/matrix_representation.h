@@ -1,0 +1,41 @@
+// Fixed-length matrix representation of RF records (the representation the
+// paper argues against, Sec. II / Fig. 14).
+//
+// Rows are records, columns are the distinct MACs of the TRAINING set, and
+// missing entries are imputed with -120 dBm — exactly the scheme the paper
+// evaluates. Test-time records are projected onto the training columns;
+// never-seen MACs are dropped.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/matrix.h"
+#include "rf/signal_record.h"
+
+namespace grafics::baselines {
+
+class MatrixRepresentation {
+ public:
+  static constexpr double kMissingDbm = -120.0;
+
+  /// Fixes the column vocabulary from the training records.
+  explicit MatrixRepresentation(const std::vector<rf::SignalRecord>& train);
+
+  std::size_t num_columns() const { return column_of_mac_.size(); }
+
+  /// (n, num_columns) matrix for any record list, imputed with -120 dBm.
+  Matrix ToMatrix(const std::vector<rf::SignalRecord>& records) const;
+
+  /// Single-record row (for online paths).
+  std::vector<double> ToRow(const rf::SignalRecord& record) const;
+
+  /// Min-max normalizes a matrix built by ToMatrix into [0, 1] per the
+  /// global dBm range [-120, -20]; neural baselines train on this scale.
+  static Matrix Normalize(const Matrix& raw);
+
+ private:
+  std::unordered_map<rf::MacAddress, std::size_t> column_of_mac_;
+};
+
+}  // namespace grafics::baselines

@@ -1,0 +1,99 @@
+#include "baselines/mds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/eigen.h"
+#include "common/error.h"
+
+namespace grafics::baselines {
+
+MdsEmbedder::MdsEmbedder(const Matrix& train, const MdsConfig& config)
+    : config_(config) {
+  Require(train.rows() >= 2, "MdsEmbedder: need at least two rows");
+  Require(config.dim >= 1, "MdsEmbedder: dim must be positive");
+
+  // --- pick landmarks -----------------------------------------------------
+  Rng rng(config.seed);
+  const std::size_t m = std::min(config.max_landmarks, train.rows());
+  const std::vector<std::size_t> picks =
+      rng.SampleWithoutReplacement(train.rows(), m);
+  landmarks_ = Matrix(m, train.cols());
+  for (std::size_t i = 0; i < m; ++i) {
+    std::copy(train.Row(picks[i]).begin(), train.Row(picks[i]).end(),
+              landmarks_.Row(i).begin());
+  }
+
+  // --- squared (1 - cosine) distances among landmarks ---------------------
+  Matrix sq_dist(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double d = CosineDistance(landmarks_.Row(i), landmarks_.Row(j));
+      sq_dist(i, j) = d * d;
+      sq_dist(j, i) = d * d;
+    }
+  }
+
+  // --- double centering: B = -1/2 J D² J ----------------------------------
+  sq_dist_row_mean_.assign(m, 0.0);
+  double grand_mean = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) sq_dist_row_mean_[i] += sq_dist(i, j);
+    sq_dist_row_mean_[i] /= static_cast<double>(m);
+    grand_mean += sq_dist_row_mean_[i];
+  }
+  grand_mean /= static_cast<double>(m);
+  Matrix b(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      b(i, j) = -0.5 * (sq_dist(i, j) - sq_dist_row_mean_[i] -
+                        sq_dist_row_mean_[j] + grand_mean);
+    }
+  }
+
+  // --- top eigenpairs -> projection V Λ^{-1/2} ----------------------------
+  const EigenDecomposition eig = JacobiEigenDecomposition(b);
+  projection_ = Matrix(m, config_.dim);
+  // Eigenvalues that are tiny relative to the leading one carry no signal;
+  // including them would multiply centering noise by 1/sqrt(lambda) and blow
+  // the embedding up, so their output coordinates stay zero.
+  const double lambda_floor =
+      std::max(1e-12, 1e-9 * std::max(eig.eigenvalues[0], 0.0));
+  for (std::size_t k = 0; k < config_.dim && k < m; ++k) {
+    const double lambda = eig.eigenvalues[k];
+    if (lambda <= lambda_floor) continue;
+    const double inv_sqrt = 1.0 / std::sqrt(lambda);
+    for (std::size_t i = 0; i < m; ++i) {
+      projection_(i, k) = eig.eigenvectors(i, k) * inv_sqrt;
+    }
+  }
+}
+
+std::vector<double> MdsEmbedder::SquaredDistancesToLandmarks(
+    std::span<const double> row) const {
+  std::vector<double> sq(landmarks_.rows());
+  for (std::size_t i = 0; i < landmarks_.rows(); ++i) {
+    const double d = CosineDistance(row, landmarks_.Row(i));
+    sq[i] = d * d;
+  }
+  return sq;
+}
+
+Matrix MdsEmbedder::Embed(const Matrix& rows) const {
+  Require(rows.cols() == landmarks_.cols(),
+          "MdsEmbedder::Embed: column mismatch");
+  Matrix out(rows.rows(), config_.dim);
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    const std::vector<double> sq = SquaredDistancesToLandmarks(rows.Row(r));
+    // Gower out-of-sample: x = 1/2 Λ^{-1/2} Vᵀ (row_means - d²).
+    std::vector<double> centered(sq.size());
+    for (std::size_t i = 0; i < sq.size(); ++i) {
+      centered[i] = 0.5 * (sq_dist_row_mean_[i] - sq[i]);
+    }
+    const std::vector<double> x = projection_.TransposedMatVec(centered);
+    std::copy(x.begin(), x.end(), out.Row(r).begin());
+  }
+  return out;
+}
+
+}  // namespace grafics::baselines

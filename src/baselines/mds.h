@@ -1,0 +1,44 @@
+// MDS + Prox baseline (paper Sec. VI-A).
+//
+// Classical (Torgerson) multidimensional scaling over the 1 − cosine
+// distance between matrix-representation rows, exactly as the paper
+// configures it. To stay tractable on crowdsourced-scale corpora we use the
+// standard Landmark-MDS reduction: classical MDS on up to `max_landmarks`
+// sampled rows (Jacobi eigendecomposition), then the Gower out-of-sample
+// formula embeds every remaining row — including unseen test records.
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace grafics::baselines {
+
+struct MdsConfig {
+  std::size_t dim = 8;
+  std::size_t max_landmarks = 400;
+  std::uint64_t seed = 17;
+};
+
+class MdsEmbedder {
+ public:
+  /// Fits landmark classical MDS on the rows of `train`.
+  MdsEmbedder(const Matrix& train, const MdsConfig& config);
+
+  std::size_t dim() const { return config_.dim; }
+
+  /// Embeds arbitrary rows with the same column layout as `train`.
+  Matrix Embed(const Matrix& rows) const;
+
+ private:
+  std::vector<double> SquaredDistancesToLandmarks(
+      std::span<const double> row) const;
+
+  MdsConfig config_;
+  Matrix landmarks_;                  // raw landmark rows
+  Matrix projection_;                 // (num_landmarks, dim): V Λ^{-1/2}
+  std::vector<double> sq_dist_row_mean_;  // row means of landmark D²
+};
+
+}  // namespace grafics::baselines

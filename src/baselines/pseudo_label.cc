@@ -1,0 +1,69 @@
+#include "baselines/pseudo_label.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace grafics::baselines {
+
+std::size_t FloorIndex::ClassOf(rf::FloorId floor) const {
+  const auto it = std::lower_bound(floors.begin(), floors.end(), floor);
+  Require(it != floors.end() && *it == floor,
+          "FloorIndex::ClassOf: unknown floor");
+  return static_cast<std::size_t>(it - floors.begin());
+}
+
+rf::FloorId FloorIndex::FloorOf(std::size_t cls) const {
+  Require(cls < floors.size(), "FloorIndex::FloorOf: class out of range");
+  return floors[cls];
+}
+
+FloorIndex FloorIndex::FromLabels(
+    const std::vector<std::optional<rf::FloorId>>& labels) {
+  FloorIndex index;
+  for (const auto& label : labels) {
+    if (label) index.floors.push_back(*label);
+  }
+  std::sort(index.floors.begin(), index.floors.end());
+  index.floors.erase(
+      std::unique(index.floors.begin(), index.floors.end()),
+      index.floors.end());
+  Require(!index.floors.empty(), "FloorIndex: no labeled samples");
+  return index;
+}
+
+std::vector<std::size_t> PseudoLabel(
+    const Matrix& embeddings,
+    const std::vector<std::optional<rf::FloorId>>& labels,
+    const FloorIndex& index) {
+  Require(embeddings.rows() == labels.size(),
+          "PseudoLabel: embeddings/labels size mismatch");
+  std::vector<std::size_t> labeled_rows;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i]) labeled_rows.push_back(i);
+  }
+  Require(!labeled_rows.empty(), "PseudoLabel: need >= 1 labeled row");
+
+  std::vector<std::size_t> classes(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i]) {
+      classes[i] = index.ClassOf(*labels[i]);
+      continue;
+    }
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_row = labeled_rows.front();
+    for (const std::size_t j : labeled_rows) {
+      const double d =
+          SquaredL2Distance(embeddings.Row(i), embeddings.Row(j));
+      if (d < best) {
+        best = d;
+        best_row = j;
+      }
+    }
+    classes[i] = index.ClassOf(*labels[best_row]);
+  }
+  return classes;
+}
+
+}  // namespace grafics::baselines

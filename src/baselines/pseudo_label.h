@@ -1,0 +1,34 @@
+// Pseudo-labeling for the supervised baselines (paper Sec. VI-A):
+// every unlabeled embedding receives the label of its closest labeled
+// embedding, so that Scalable-DNN and SAE can be trained on the full set.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/matrix.h"
+#include "rf/signal_record.h"
+
+namespace grafics::baselines {
+
+/// Maps floors to dense class indices (sorted ascending floors).
+struct FloorIndex {
+  std::vector<rf::FloorId> floors;  // class index -> floor
+
+  std::size_t NumClasses() const { return floors.size(); }
+  std::size_t ClassOf(rf::FloorId floor) const;
+  rf::FloorId FloorOf(std::size_t cls) const;
+
+  static FloorIndex FromLabels(
+      const std::vector<std::optional<rf::FloorId>>& labels);
+};
+
+/// Returns a dense class label per row: labeled rows keep their own label;
+/// unlabeled rows copy the label of the nearest (Euclidean) labeled row.
+/// Requires at least one labeled row.
+std::vector<std::size_t> PseudoLabel(
+    const Matrix& embeddings,
+    const std::vector<std::optional<rf::FloorId>>& labels,
+    const FloorIndex& index);
+
+}  // namespace grafics::baselines

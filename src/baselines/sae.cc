@@ -1,0 +1,150 @@
+#include "baselines/sae.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace grafics::baselines {
+
+namespace {
+
+/// Greedy pretraining of one dense autoencoder layer: learns
+/// encode (in -> out, tanh) against a transposed decoder, returns the
+/// trained Dense encoder layer and the encoded activations.
+std::pair<std::unique_ptr<nn::Dense>, Matrix> PretrainLayer(
+    const Matrix& activations, std::size_t out_dim, const SaeConfig& config,
+    Rng& rng) {
+  nn::Sequential auto_net;
+  auto encoder_layer =
+      std::make_unique<nn::Dense>(activations.cols(), out_dim, rng);
+  nn::Dense* encoder_ptr = encoder_layer.get();
+  auto_net.Add(std::move(encoder_layer));
+  auto_net.Emplace<nn::Tanh>();
+  auto_net.Emplace<nn::Dense>(out_dim, activations.cols(), rng);
+
+  nn::Adam optimizer(config.learning_rate);
+  nn::FitConfig fit;
+  fit.epochs = config.pretrain_epochs;
+  fit.batch_size = config.batch_size;
+  fit.shuffle_seed = rng();
+  nn::FitRegression(auto_net, optimizer, activations, activations, fit);
+
+  // Extract encoder: reuse the trained Dense + Tanh for the forward pass.
+  auto trained = std::make_unique<nn::Dense>(*encoder_ptr);
+  Matrix encoded = trained->Forward(activations, /*training=*/false);
+  nn::Tanh tanh;
+  encoded = tanh.Forward(encoded, /*training=*/false);
+  return {std::move(trained), std::move(encoded)};
+}
+
+}  // namespace
+
+void SaeClassifier::Pretrain(const Matrix& train) {
+  Matrix activations = train;
+  for (const std::size_t width : config_.hidden) {
+    auto [layer, encoded] = PretrainLayer(activations, width, config_, rng_);
+    encoder_.Add(std::move(layer));
+    encoder_.Emplace<nn::Tanh>();
+    activations = std::move(encoded);
+  }
+}
+
+void SaeClassifier::TrainHead(const Matrix& train,
+                              const std::vector<std::size_t>& classes) {
+  head_.Emplace<nn::Dense>(config_.hidden.back(), num_classes_, rng_);
+
+  nn::Adam optimizer(config_.learning_rate);
+  std::vector<nn::Parameter*> params = encoder_.Parameters();
+  for (nn::Parameter* p : head_.Parameters()) params.push_back(p);
+
+  std::vector<std::size_t> order(train.rows());
+  std::iota(order.begin(), order.end(), 0);
+  Rng shuffle_rng(config_.seed ^ 0xBEEFULL);
+  for (std::size_t epoch = 0; epoch < config_.finetune_epochs; ++epoch) {
+    shuffle_rng.Shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config_.batch_size);
+      Matrix x(end - start, train.cols());
+      std::vector<std::size_t> y(end - start);
+      for (std::size_t i = start; i < end; ++i) {
+        std::copy(train.Row(order[i]).begin(), train.Row(order[i]).end(),
+                  x.Row(i - start).begin());
+        y[i - start] = classes[order[i]];
+      }
+      const Matrix z = encoder_.Forward(x, /*training=*/true);
+      const Matrix logits = head_.Forward(z, /*training=*/true);
+      nn::LossValue loss = nn::SoftmaxCrossEntropyLoss(logits, y);
+      const Matrix grad_z = head_.Backward(loss.gradient);
+      encoder_.Backward(grad_z);
+      optimizer.Step(params);
+    }
+  }
+}
+
+SaeClassifier::SaeClassifier(const Matrix& train,
+                             const std::vector<std::size_t>& classes,
+                             std::size_t num_classes, const SaeConfig& config)
+    : config_(config),
+      input_dim_(train.cols()),
+      num_classes_(num_classes),
+      rng_(config.seed) {
+  Require(train.rows() == classes.size(), "SaeClassifier: label mismatch");
+  Require(num_classes >= 1, "SaeClassifier: need >= 1 class");
+  // Dense-class construction: floor i <-> class i.
+  floor_index_.floors.resize(num_classes);
+  std::iota(floor_index_.floors.begin(), floor_index_.floors.end(), 0);
+  Pretrain(train);
+  TrainHead(train, classes);
+}
+
+SaeClassifier::SaeClassifier(
+    const Matrix& train,
+    const std::vector<std::optional<rf::FloorId>>& labels,
+    const SaeConfig& config)
+    : config_(config),
+      input_dim_(train.cols()),
+      floor_index_(FloorIndex::FromLabels(labels)),
+      rng_(config.seed) {
+  Require(train.rows() == labels.size(), "SaeClassifier: label mismatch");
+  num_classes_ = floor_index_.NumClasses();
+  Pretrain(train);
+  const Matrix embeddings = Embed(train);
+  const std::vector<std::size_t> classes =
+      PseudoLabel(embeddings, labels, floor_index_);
+  TrainHead(train, classes);
+}
+
+Matrix SaeClassifier::Embed(const Matrix& rows) {
+  Require(rows.cols() == input_dim_, "SaeClassifier::Embed: dim mismatch");
+  return encoder_.Forward(rows, /*training=*/false);
+}
+
+std::vector<std::size_t> SaeClassifier::Predict(const Matrix& rows) {
+  const Matrix z = Embed(rows);
+  const Matrix logits = head_.Forward(z, /*training=*/false);
+  std::vector<std::size_t> out(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto row = logits.Row(r);
+    out[r] = static_cast<std::size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+std::vector<rf::FloorId> SaeClassifier::PredictFloors(const Matrix& rows) {
+  const std::vector<std::size_t> classes = Predict(rows);
+  std::vector<rf::FloorId> floors(classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    floors[i] = floor_index_.FloorOf(classes[i]);
+  }
+  return floors;
+}
+
+}  // namespace grafics::baselines

@@ -1,0 +1,68 @@
+// SAE baseline: stacked autoencoders + classifier
+// (Nowicki & Wietrzykowski [15], as configured by the paper's Sec. VI-A).
+//
+// A stack of dense autoencoders (256-128-64 by default) is pretrained
+// greedily layer by layer on reconstruction, then a softmax classifier head
+// is fine-tuned end-to-end. With sparse labels, the paper assigns every
+// unlabeled EMBEDDING the label of its nearest labeled embedding (pseudo-
+// labeling) before the supervised stage; the label-aware constructor
+// implements exactly that order: pretrain -> embed -> pseudo-label -> tune.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "baselines/pseudo_label.h"
+#include "common/matrix.h"
+#include "nn/model.h"
+
+namespace grafics::baselines {
+
+struct SaeConfig {
+  std::vector<std::size_t> hidden = {256, 128, 64};
+  std::size_t pretrain_epochs = 15;
+  std::size_t finetune_epochs = 30;
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-3;  // Adam
+  std::uint64_t seed = 31;
+};
+
+class SaeClassifier {
+ public:
+  /// Fully-supervised construction: `classes` holds a dense class index per
+  /// row of `train` (normalized matrix-representation rows).
+  SaeClassifier(const Matrix& train, const std::vector<std::size_t>& classes,
+                std::size_t num_classes, const SaeConfig& config);
+
+  /// Semi-supervised construction (the paper's setting): unlabeled rows get
+  /// the pseudo-label of the nearest labeled embedding after pretraining.
+  SaeClassifier(const Matrix& train,
+                const std::vector<std::optional<rf::FloorId>>& labels,
+                const SaeConfig& config);
+
+  /// Encoder output (the learned low-dimensional representation).
+  Matrix Embed(const Matrix& rows);
+
+  /// Predicted dense class per row (map through floor_index() for floors).
+  std::vector<std::size_t> Predict(const Matrix& rows);
+  /// Predicted floors per row.
+  std::vector<rf::FloorId> PredictFloors(const Matrix& rows);
+
+  std::size_t num_classes() const { return num_classes_; }
+  const FloorIndex& floor_index() const { return floor_index_; }
+
+ private:
+  void Pretrain(const Matrix& train);
+  void TrainHead(const Matrix& train, const std::vector<std::size_t>& classes);
+
+  SaeConfig config_;
+  std::size_t input_dim_ = 0;
+  std::size_t num_classes_ = 0;
+  FloorIndex floor_index_;
+  Rng rng_;
+  nn::Sequential encoder_;
+  nn::Sequential head_;
+};
+
+}  // namespace grafics::baselines

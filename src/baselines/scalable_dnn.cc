@@ -1,0 +1,132 @@
+#include "baselines/scalable_dnn.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace grafics::baselines {
+
+void ScalableDnn::Pretrain(const Matrix& train) {
+  Require(!config_.encoder_hidden.empty(), "ScalableDnn: empty encoder");
+  std::size_t in_dim = train.cols();
+  for (const std::size_t width : config_.encoder_hidden) {
+    encoder_.Emplace<nn::Dense>(in_dim, width, rng_);
+    encoder_.Emplace<nn::ReLU>();
+    in_dim = width;
+  }
+  nn::Sequential decoder;
+  std::vector<std::size_t> mirror(config_.encoder_hidden.begin(),
+                                  config_.encoder_hidden.end() - 1);
+  std::reverse(mirror.begin(), mirror.end());
+  mirror.push_back(train.cols());
+  std::size_t dec_in = config_.encoder_hidden.back();
+  for (std::size_t i = 0; i < mirror.size(); ++i) {
+    decoder.Emplace<nn::Dense>(dec_in, mirror[i], rng_);
+    if (i + 1 < mirror.size()) decoder.Emplace<nn::ReLU>();
+    dec_in = mirror[i];
+  }
+
+  nn::Adam optimizer(config_.learning_rate);
+  std::vector<nn::Parameter*> params = encoder_.Parameters();
+  for (nn::Parameter* p : decoder.Parameters()) params.push_back(p);
+  std::vector<std::size_t> order(train.rows());
+  std::iota(order.begin(), order.end(), 0);
+  Rng shuffle_rng(config_.seed ^ 0xFACEULL);
+  for (std::size_t epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+    shuffle_rng.Shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config_.batch_size);
+      Matrix x(end - start, train.cols());
+      for (std::size_t i = start; i < end; ++i) {
+        std::copy(train.Row(order[i]).begin(), train.Row(order[i]).end(),
+                  x.Row(i - start).begin());
+      }
+      const Matrix z = encoder_.Forward(x, /*training=*/true);
+      const Matrix reconstruction = decoder.Forward(z, /*training=*/true);
+      nn::LossValue loss = nn::MseLoss(reconstruction, x);
+      const Matrix grad_z = decoder.Backward(loss.gradient);
+      encoder_.Backward(grad_z);
+      optimizer.Step(params);
+    }
+  }
+}
+
+void ScalableDnn::TrainClassifier(const Matrix& train,
+                                  const std::vector<std::size_t>& classes) {
+  std::size_t cls_in = config_.encoder_hidden.back();
+  for (const std::size_t width : config_.classifier_hidden) {
+    classifier_.Emplace<nn::Dense>(cls_in, width, rng_);
+    classifier_.Emplace<nn::ReLU>();
+    classifier_.Emplace<nn::Dropout>(config_.dropout, rng_());
+    cls_in = width;
+  }
+  classifier_.Emplace<nn::Dense>(cls_in, num_classes_, rng_);
+
+  const Matrix encoded = encoder_.Forward(train, /*training=*/false);
+  nn::Adam optimizer(config_.learning_rate);
+  nn::FitConfig fit;
+  fit.epochs = config_.classifier_epochs;
+  fit.batch_size = config_.batch_size;
+  fit.shuffle_seed = config_.seed ^ 0xD00DULL;
+  nn::FitClassifier(classifier_, optimizer, encoded, classes, fit);
+}
+
+ScalableDnn::ScalableDnn(const Matrix& train,
+                         const std::vector<std::size_t>& classes,
+                         std::size_t num_classes,
+                         const ScalableDnnConfig& config)
+    : config_(config),
+      input_dim_(train.cols()),
+      num_classes_(num_classes),
+      rng_(config.seed) {
+  Require(train.rows() == classes.size(), "ScalableDnn: label mismatch");
+  floor_index_.floors.resize(num_classes);
+  std::iota(floor_index_.floors.begin(), floor_index_.floors.end(), 0);
+  Pretrain(train);
+  TrainClassifier(train, classes);
+}
+
+ScalableDnn::ScalableDnn(
+    const Matrix& train,
+    const std::vector<std::optional<rf::FloorId>>& labels,
+    const ScalableDnnConfig& config)
+    : config_(config),
+      input_dim_(train.cols()),
+      floor_index_(FloorIndex::FromLabels(labels)),
+      rng_(config.seed) {
+  Require(train.rows() == labels.size(), "ScalableDnn: label mismatch");
+  num_classes_ = floor_index_.NumClasses();
+  Pretrain(train);
+  const Matrix embeddings = Embed(train);
+  const std::vector<std::size_t> classes =
+      PseudoLabel(embeddings, labels, floor_index_);
+  TrainClassifier(train, classes);
+}
+
+Matrix ScalableDnn::Embed(const Matrix& rows) {
+  Require(rows.cols() == input_dim_, "ScalableDnn::Embed: dim mismatch");
+  return encoder_.Forward(rows, /*training=*/false);
+}
+
+std::vector<std::size_t> ScalableDnn::Predict(const Matrix& rows) {
+  const Matrix z = Embed(rows);
+  return nn::PredictClasses(classifier_, z);
+}
+
+std::vector<rf::FloorId> ScalableDnn::PredictFloors(const Matrix& rows) {
+  const std::vector<std::size_t> classes = Predict(rows);
+  std::vector<rf::FloorId> floors(classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    floors[i] = floor_index_.FloorOf(classes[i]);
+  }
+  return floors;
+}
+
+}  // namespace grafics::baselines

@@ -1,0 +1,65 @@
+// Scalable-DNN baseline (Kim, Lee & Huang [30], as used in Sec. VI-A).
+//
+// "Embeddings are first generated through an encoding network, and floor ids
+// are predicted as one-hot vectors through a feed-forward floor classifier."
+// We pretrain the encoding network as an autoencoder (reconstruction), then
+// train the feed-forward classifier on encodings with the encoder frozen.
+// The label-aware constructor pseudo-labels unlabeled embeddings with their
+// nearest labeled embedding, per the paper's evaluation protocol.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "baselines/pseudo_label.h"
+#include "common/matrix.h"
+#include "nn/model.h"
+
+namespace grafics::baselines {
+
+struct ScalableDnnConfig {
+  std::vector<std::size_t> encoder_hidden = {128, 64};
+  std::vector<std::size_t> classifier_hidden = {128, 128};
+  std::size_t pretrain_epochs = 15;
+  std::size_t classifier_epochs = 30;
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-3;  // Adam
+  double dropout = 0.2;
+  std::uint64_t seed = 37;
+};
+
+class ScalableDnn {
+ public:
+  /// Fully-supervised construction with dense class indices.
+  ScalableDnn(const Matrix& train, const std::vector<std::size_t>& classes,
+              std::size_t num_classes, const ScalableDnnConfig& config);
+
+  /// Semi-supervised construction: pretrain -> embed -> pseudo-label ->
+  /// classifier.
+  ScalableDnn(const Matrix& train,
+              const std::vector<std::optional<rf::FloorId>>& labels,
+              const ScalableDnnConfig& config);
+
+  Matrix Embed(const Matrix& rows);
+  std::vector<std::size_t> Predict(const Matrix& rows);
+  std::vector<rf::FloorId> PredictFloors(const Matrix& rows);
+
+  std::size_t num_classes() const { return num_classes_; }
+  const FloorIndex& floor_index() const { return floor_index_; }
+
+ private:
+  void Pretrain(const Matrix& train);
+  void TrainClassifier(const Matrix& train,
+                       const std::vector<std::size_t>& classes);
+
+  ScalableDnnConfig config_;
+  std::size_t input_dim_ = 0;
+  std::size_t num_classes_ = 0;
+  FloorIndex floor_index_;
+  Rng rng_;
+  nn::Sequential encoder_;
+  nn::Sequential classifier_;
+};
+
+}  // namespace grafics::baselines

@@ -1,0 +1,55 @@
+// Nearest-centroid floor classifier over clustered embeddings
+// (paper Sec. V-B): the predicted floor of a new embedding is the label of
+// the cluster whose centroid is closest in Euclidean distance.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cluster/proximity_clusterer.h"
+#include "common/matrix.h"
+#include "rf/signal_record.h"
+
+namespace grafics::cluster {
+
+class CentroidClassifier {
+ public:
+  /// Builds centroids from the training embeddings and their final cluster
+  /// assignment. Clusters without a floor label (possible only when no
+  /// labeled sample existed) are skipped; at least one labeled cluster is
+  /// required.
+  CentroidClassifier(const Matrix& points, const ClusteringResult& clustering);
+
+  /// Builds directly from explicit (centroid, label) pairs (for tests).
+  CentroidClassifier(Matrix centroids, std::vector<rf::FloorId> labels);
+
+  std::size_t num_centroids() const { return centroids_.rows(); }
+  std::span<const double> centroid(std::size_t i) const {
+    return centroids_.Row(i);
+  }
+  rf::FloorId label(std::size_t i) const { return labels_[i]; }
+
+  /// Predicted floor of `embedding` (label of nearest centroid).
+  rf::FloorId Predict(std::span<const double> embedding) const;
+
+  /// Index of nearest centroid plus its distance (for diagnostics).
+  std::pair<std::size_t, double> Nearest(
+      std::span<const double> embedding) const;
+
+  /// Binary (de)serialization.
+  void Save(std::ostream& out) const;
+  static CentroidClassifier Load(std::istream& in);
+
+  bool operator==(const CentroidClassifier&) const = default;
+
+ private:
+  CentroidClassifier() = default;  // for Load
+
+  Matrix centroids_;
+  std::vector<rf::FloorId> labels_;
+};
+
+}  // namespace grafics::cluster

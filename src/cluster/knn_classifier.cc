@@ -1,0 +1,83 @@
+#include "cluster/knn_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace grafics::cluster {
+
+KnnClassifier::KnnClassifier(Matrix references,
+                             std::vector<rf::FloorId> labels, KnnConfig config)
+    : references_(std::move(references)),
+      labels_(std::move(labels)),
+      config_(config) {
+  Require(references_.rows() == labels_.size(),
+          "KnnClassifier: reference/label count mismatch");
+  Require(!labels_.empty(), "KnnClassifier: need >= 1 reference");
+  Require(config_.k >= 1, "KnnClassifier: k must be >= 1");
+}
+
+KnnClassifier::KnnClassifier(const Matrix& points,
+                             const ClusteringResult& clustering,
+                             KnnConfig config)
+    : config_(config) {
+  Require(points.rows() == clustering.cluster_of_point.size(),
+          "KnnClassifier: points/clustering size mismatch");
+  Require(config_.k >= 1, "KnnClassifier: k must be >= 1");
+  // Keep only points whose cluster carries a floor label.
+  std::vector<std::size_t> keep;
+  for (std::size_t p = 0; p < points.rows(); ++p) {
+    if (clustering.cluster_label[clustering.cluster_of_point[p]]) {
+      keep.push_back(p);
+    }
+  }
+  Require(!keep.empty(), "KnnClassifier: no labeled clusters");
+  references_ = Matrix(keep.size(), points.cols());
+  labels_.resize(keep.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    std::copy(points.Row(keep[i]).begin(), points.Row(keep[i]).end(),
+              references_.Row(i).begin());
+    labels_[i] =
+        *clustering.cluster_label[clustering.cluster_of_point[keep[i]]];
+  }
+}
+
+std::vector<std::pair<std::size_t, double>> KnnClassifier::Neighbors(
+    std::span<const double> embedding) const {
+  Require(embedding.size() == references_.cols(),
+          "KnnClassifier: dimension mismatch");
+  std::vector<std::pair<std::size_t, double>> all(references_.rows());
+  for (std::size_t i = 0; i < references_.rows(); ++i) {
+    all[i] = {i,
+              std::sqrt(SquaredL2Distance(embedding, references_.Row(i)))};
+  }
+  const std::size_t k = std::min(config_.k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                    all.end(), [](const auto& a, const auto& b) {
+                      return a.second < b.second;
+                    });
+  all.resize(k);
+  return all;
+}
+
+rf::FloorId KnnClassifier::Predict(std::span<const double> embedding) const {
+  const auto neighbors = Neighbors(embedding);
+  std::unordered_map<rf::FloorId, double> votes;
+  for (const auto& [index, distance] : neighbors) {
+    votes[labels_[index]] +=
+        1.0 / std::pow(distance + config_.epsilon, config_.distance_power);
+  }
+  rf::FloorId best = labels_[neighbors.front().first];
+  double best_votes = -1.0;
+  for (const auto& [floor, weight] : votes) {
+    if (weight > best_votes) {
+      best_votes = weight;
+      best = floor;
+    }
+  }
+  return best;
+}
+
+}  // namespace grafics::cluster

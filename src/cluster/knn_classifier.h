@@ -1,0 +1,55 @@
+// Weighted k-nearest-neighbor floor classifier over labeled embeddings.
+//
+// An alternative inference head to the paper's nearest-centroid rule
+// (Sec. V-B), in the spirit of the weighted k-NN step of ViFi [29]. Votes
+// are weighted by inverse distance; ties break toward the nearer neighbor.
+// Used by the ablation bench to quantify how much the centroid rule itself
+// contributes versus the embedding quality.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "cluster/proximity_clusterer.h"
+#include "common/matrix.h"
+#include "rf/signal_record.h"
+
+namespace grafics::cluster {
+
+struct KnnConfig {
+  std::size_t k = 5;
+  /// Inverse-distance weighting exponent: weight = 1 / (d + eps)^p.
+  double distance_power = 1.0;
+  double epsilon = 1e-9;
+};
+
+class KnnClassifier {
+ public:
+  /// Builds from reference embeddings with per-row floor labels.
+  KnnClassifier(Matrix references, std::vector<rf::FloorId> labels,
+                KnnConfig config = {});
+
+  /// Builds from a clustering result: every point inherits its cluster's
+  /// floor label (the "virtual labels" of the paper's Sec. III-B), giving a
+  /// dense reference set instead of one centroid per cluster.
+  KnnClassifier(const Matrix& points, const ClusteringResult& clustering,
+                KnnConfig config = {});
+
+  std::size_t num_references() const { return references_.rows(); }
+  const KnnConfig& config() const { return config_; }
+
+  rf::FloorId Predict(std::span<const double> embedding) const;
+
+  /// The k nearest reference indices and distances (diagnostics).
+  std::vector<std::pair<std::size_t, double>> Neighbors(
+      std::span<const double> embedding) const;
+
+ private:
+  Matrix references_;
+  std::vector<rf::FloorId> labels_;
+  KnnConfig config_;
+};
+
+}  // namespace grafics::cluster

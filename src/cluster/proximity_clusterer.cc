@@ -1,0 +1,198 @@
+#include "cluster/proximity_clusterer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace grafics::cluster {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Flat upper-triangular-ish full distance matrix (we keep both halves for
+/// cache-friendly row scans).
+class DistanceTable {
+ public:
+  explicit DistanceTable(std::size_t n) : n_(n), d_(n * n, 0.0) {}
+  double Get(std::size_t i, std::size_t j) const { return d_[i * n_ + j]; }
+  void Set(std::size_t i, std::size_t j, double v) {
+    d_[i * n_ + j] = v;
+    d_[j * n_ + i] = v;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> d_;
+};
+
+struct Cluster {
+  bool active = false;
+  bool labeled = false;
+  rf::FloorId label = 0;
+  std::size_t size = 0;
+  std::size_t representative = 0;  // any point index inside the cluster
+};
+
+}  // namespace
+
+std::vector<std::size_t> ClusteringResult::AssignmentsAfter(
+    std::size_t merge_count) const {
+  Require(merge_count <= merge_history.size(),
+          "AssignmentsAfter: merge_count out of range");
+  const std::size_t n = cluster_of_point.size();
+  // Union-find replay of the first merge_count merges.
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t k = 0; k < merge_count; ++k) {
+    const auto [a, b] = merge_history[k];
+    parent[find(a)] = find(b);
+  }
+  std::vector<std::size_t> compact(n);
+  std::unordered_map<std::size_t, std::size_t> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = find(i);
+    const auto [it, inserted] = ids.try_emplace(root, ids.size());
+    compact[i] = it->second;
+  }
+  return compact;
+}
+
+ClusteringResult ClusterEmbeddings(
+    const Matrix& points, const std::vector<std::optional<rf::FloorId>>& labels,
+    const ClustererConfig& config) {
+  const std::size_t n = points.rows();
+  Require(labels.size() == n,
+          "ClusterEmbeddings: points/labels size mismatch");
+  Require(n >= 1, "ClusterEmbeddings: need at least one point");
+  Require(n <= config.max_points,
+          "ClusterEmbeddings: too many points for O(n^2) clustering; "
+          "raise ClustererConfig::max_points deliberately if intended");
+
+  // --- initialize singleton clusters and the distance table --------------
+  DistanceTable dist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      dist.Set(i, j, std::sqrt(SquaredL2Distance(points.Row(i),
+                                                 points.Row(j))));
+    }
+  }
+  std::vector<Cluster> clusters(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clusters[i] = {.active = true,
+                   .labeled = labels[i].has_value(),
+                   .label = labels[i].value_or(0),
+                   .size = 1,
+                   .representative = i};
+  }
+
+  const auto allowed = [&](std::size_t a, std::size_t b) {
+    return !(clusters[a].labeled && clusters[b].labeled);
+  };
+
+  // Nearest-allowed-neighbor cache per cluster, with lazy revalidation.
+  std::vector<std::size_t> nn_index(n, 0);
+  std::vector<double> nn_dist(n, kInf);
+  const auto recompute_nn = [&](std::size_t i) {
+    nn_dist[i] = kInf;
+    nn_index[i] = i;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || !clusters[j].active || !allowed(i, j)) continue;
+      const double d = dist.Get(i, j);
+      if (d < nn_dist[i]) {
+        nn_dist[i] = d;
+        nn_index[i] = j;
+      }
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) recompute_nn(i);
+
+  ClusteringResult result;
+  result.cluster_of_point.resize(n);
+  result.merge_history.reserve(n - 1);
+
+  std::size_t active_count = n;
+  for (;;) {
+    // --- find the globally closest allowed pair, revalidating stale
+    //     cache entries on the fly ---------------------------------------
+    std::size_t best = n;
+    double best_dist = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!clusters[i].active || nn_dist[i] == kInf) continue;
+      // Revalidate: partner may have been merged away or become labeled.
+      const std::size_t j = nn_index[i];
+      if (!clusters[j].active || !allowed(i, j)) {
+        recompute_nn(i);
+        if (nn_dist[i] == kInf) continue;
+      }
+      if (nn_dist[i] < best_dist) {
+        best_dist = nn_dist[i];
+        best = i;
+      }
+    }
+    if (best == n) break;  // no allowed merge remains
+    const std::size_t i = best;
+    const std::size_t j = nn_index[i];
+
+    // --- merge j into i ---------------------------------------------------
+    result.merge_history.emplace_back(clusters[i].representative,
+                                      clusters[j].representative);
+    const auto ni = static_cast<double>(clusters[i].size);
+    const auto nj = static_cast<double>(clusters[j].size);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!clusters[k].active || k == i || k == j) continue;
+      // Lance–Williams average-linkage update: exact for Eq. (11).
+      dist.Set(k, i,
+               (ni * dist.Get(k, i) + nj * dist.Get(k, j)) / (ni + nj));
+    }
+    clusters[i].size += clusters[j].size;
+    clusters[i].labeled = clusters[i].labeled || clusters[j].labeled;
+    if (clusters[j].labeled) clusters[i].label = clusters[j].label;
+    clusters[j].active = false;
+    --active_count;
+
+    // --- refresh nearest-neighbor caches ----------------------------------
+    recompute_nn(i);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!clusters[k].active || k == i) continue;
+      if (nn_index[k] == j || nn_index[k] == i) {
+        recompute_nn(k);
+      } else if (allowed(k, i) && dist.Get(k, i) < nn_dist[k]) {
+        nn_dist[k] = dist.Get(k, i);
+        nn_index[k] = i;
+      }
+    }
+    if (active_count == 1) break;
+  }
+
+  // --- finalize: assign compact ids via merge replay ----------------------
+  const std::vector<std::size_t> assignment =
+      result.AssignmentsAfter(result.merge_history.size());
+  std::size_t num_clusters = 0;
+  for (std::size_t id : assignment) num_clusters = std::max(num_clusters, id + 1);
+  result.cluster_of_point = assignment;
+  result.cluster_label.assign(num_clusters, std::nullopt);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (labels[p]) {
+      Require(!result.cluster_label[assignment[p]].has_value() ||
+                  *result.cluster_label[assignment[p]] == *labels[p],
+              "ClusterEmbeddings: invariant violated — two labeled samples "
+              "in one cluster");
+      result.cluster_label[assignment[p]] = labels[p];
+    }
+  }
+  return result;
+}
+
+}  // namespace grafics::cluster

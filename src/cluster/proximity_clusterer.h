@@ -1,0 +1,55 @@
+// Proximity-based hierarchical clustering (paper Sec. IV-C).
+//
+// Agglomerative average-linkage clustering over embeddings with one
+// constraint: a cluster may contain AT MOST ONE floor-labeled sample, so two
+// clusters that both hold a labeled sample never merge. Merging continues
+// until no allowed merge remains; with L labeled samples that leaves exactly
+// L clusters, each named by its single labeled member.
+//
+// The inter-cluster distance is the paper's Eq. (11): the mean pairwise
+// Euclidean distance, maintained exactly through the Lance–Williams
+// average-linkage recurrence.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.h"
+#include "rf/signal_record.h"
+
+namespace grafics::cluster {
+
+struct ClusteringResult {
+  /// Final cluster index (0..num_clusters-1) of every input point.
+  std::vector<std::size_t> cluster_of_point;
+  /// Floor label of each final cluster (nullopt only if the cluster never
+  /// absorbed a labeled point, which happens only when L == 0).
+  std::vector<std::optional<rf::FloorId>> cluster_label;
+  /// Point-index pairs in merge order; entry k merged the components
+  /// containing the two points at step k. Enables Fig.-8-style replay.
+  std::vector<std::pair<std::size_t, std::size_t>> merge_history;
+
+  std::size_t num_clusters() const { return cluster_label.size(); }
+
+  /// Component index of every point after applying only the first
+  /// `merge_count` merges (0 <= merge_count <= merge_history.size()).
+  /// Component ids are compacted to 0..k-1.
+  std::vector<std::size_t> AssignmentsAfter(std::size_t merge_count) const;
+
+  std::size_t num_points() const { return cluster_of_point.size(); }
+};
+
+struct ClustererConfig {
+  /// Safety valve: clustering is O(n^2) memory; refuse above this size.
+  std::size_t max_points = 20000;
+};
+
+/// Runs the constrained agglomeration. `points` holds one embedding per row;
+/// `labels[i]` is the floor label of row i or nullopt when unlabeled.
+ClusteringResult ClusterEmbeddings(
+    const Matrix& points, const std::vector<std::optional<rf::FloorId>>& labels,
+    const ClustererConfig& config = {});
+
+}  // namespace grafics::cluster

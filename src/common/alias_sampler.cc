@@ -1,0 +1,62 @@
+#include "common/alias_sampler.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace grafics {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  Require(!weights.empty(), "AliasSampler: weights must be non-empty");
+  double total = 0.0;
+  for (double w : weights) {
+    Require(w >= 0.0, "AliasSampler: weights must be non-negative");
+    total += w;
+  }
+  Require(total > 0.0, "AliasSampler: at least one weight must be positive");
+
+  const std::size_t n = weights.size();
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  // Scaled probabilities; split into under- and over-full buckets.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::size_t i : large) probability_[i] = 1.0;
+  for (std::size_t i : small) probability_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasSampler::Sample(Rng& rng) const {
+  Require(!empty(), "AliasSampler::Sample on empty sampler");
+  const std::size_t bucket = rng.NextIndex(probability_.size());
+  return rng.NextDouble() < probability_[bucket] ? bucket : alias_[bucket];
+}
+
+double AliasSampler::ProbabilityOf(std::size_t i) const {
+  Require(i < normalized_.size(), "AliasSampler::ProbabilityOf out of range");
+  return normalized_[i];
+}
+
+}  // namespace grafics

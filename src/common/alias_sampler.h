@@ -1,0 +1,37 @@
+// Walker alias method for O(1) sampling from a fixed discrete distribution.
+//
+// Used for two hot paths in E-LINE training: sampling edges proportionally to
+// their weight, and sampling negative nodes proportionally to degree^{3/4}.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace grafics {
+
+/// Immutable discrete distribution supporting O(1) draws after O(n) setup.
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+
+  /// Builds the alias table from non-negative weights (not all zero).
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to weight.
+  std::size_t Sample(Rng& rng) const;
+
+  std::size_t size() const { return probability_.size(); }
+  bool empty() const { return probability_.empty(); }
+
+  /// Normalized probability of index i (for tests).
+  double ProbabilityOf(std::size_t i) const;
+
+ private:
+  std::vector<double> probability_;   // acceptance threshold per bucket
+  std::vector<std::size_t> alias_;    // fallback index per bucket
+  std::vector<double> normalized_;    // exact normalized input weights
+};
+
+}  // namespace grafics

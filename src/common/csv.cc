@@ -1,0 +1,82 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace grafics {
+
+CsvRow ParseCsvLine(const std::string& line) {
+  CsvRow fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF line endings
+    } else {
+      current.push_back(c);
+    }
+  }
+  Require(!in_quotes, "ParseCsvLine: unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string FormatCsvLine(const CsvRow& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const std::string& f = fields[i];
+    const bool needs_quotes = f.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) {
+      out += f;
+      continue;
+    }
+    out.push_back('"');
+    for (char c : f) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+std::vector<CsvRow> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  Require(in.good(), "ReadCsvFile: cannot open " + path);
+  std::vector<CsvRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(ParseCsvLine(line));
+  }
+  return rows;
+}
+
+void WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  Require(out.good(), "WriteCsvFile: cannot open " + path);
+  for (const CsvRow& row : rows) out << FormatCsvLine(row) << '\n';
+  Require(out.good(), "WriteCsvFile: write failed for " + path);
+}
+
+}  // namespace grafics

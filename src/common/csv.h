@@ -1,0 +1,28 @@
+// Minimal CSV reading/writing for dataset (de)serialization and bench output.
+//
+// Handles the subset of RFC 4180 the library emits: comma separation,
+// double-quote quoting with embedded quotes doubled, and newline-terminated
+// rows. No embedded newlines inside fields.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace grafics {
+
+using CsvRow = std::vector<std::string>;
+
+/// Parses one CSV line into fields. Throws grafics::Error on unterminated
+/// quotes.
+CsvRow ParseCsvLine(const std::string& line);
+
+/// Serializes fields into one CSV line (without trailing newline).
+std::string FormatCsvLine(const CsvRow& fields);
+
+/// Reads a whole CSV file. Throws grafics::Error if the file cannot be read.
+std::vector<CsvRow> ReadCsvFile(const std::string& path);
+
+/// Writes rows to `path`, overwriting. Throws grafics::Error on I/O failure.
+void WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows);
+
+}  // namespace grafics

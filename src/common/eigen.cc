@@ -1,0 +1,85 @@
+#include "common/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace grafics {
+
+EigenDecomposition JacobiEigenDecomposition(const Matrix& a,
+                                            std::size_t max_sweeps,
+                                            double tolerance) {
+  Require(a.rows() == a.cols(), "JacobiEigenDecomposition: matrix not square");
+  const std::size_t n = a.rows();
+  Matrix m = a;
+  // Mirror the upper triangle so we work on an exactly-symmetric copy.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) m(j, i) = m(i, j);
+  }
+  Matrix v = Matrix::Identity(n);
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += m(i, j) * m(i, j);
+    }
+    if (std::sqrt(off) <= tolerance * std::max(1.0, m.FrobeniusNorm())) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition result;
+  result.eigenvalues.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.eigenvalues[i] = m(i, i);
+
+  // Sort eigenpairs by eigenvalue, descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return result.eigenvalues[x] > result.eigenvalues[y];
+  });
+  std::vector<double> sorted_values(n);
+  Matrix sorted_vectors(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted_values[i] = result.eigenvalues[order[i]];
+    for (std::size_t r = 0; r < n; ++r) sorted_vectors(r, i) = v(r, order[i]);
+  }
+  result.eigenvalues = std::move(sorted_values);
+  result.eigenvectors = std::move(sorted_vectors);
+  return result;
+}
+
+}  // namespace grafics

@@ -1,0 +1,27 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Classical MDS (the paper's MDS baseline) needs the top eigenpairs of the
+// double-centered squared-distance matrix. Jacobi is O(n^3) per sweep but
+// robust and dependency-free; the matrices involved (a few thousand rows at
+// most after sampling) stay well inside its comfort zone.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace grafics {
+
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;  // sorted descending
+  Matrix eigenvectors;              // column i <-> eigenvalues[i]
+};
+
+/// Full eigendecomposition of a symmetric matrix. Throws if `a` is not
+/// square. Symmetry is assumed (the strictly-lower triangle is ignored).
+EigenDecomposition JacobiEigenDecomposition(const Matrix& a,
+                                            std::size_t max_sweeps = 64,
+                                            double tolerance = 1e-12);
+
+}  // namespace grafics

@@ -1,0 +1,25 @@
+// Error type shared across the GRAFICS library.
+//
+// The library reports unrecoverable misuse (bad dimensions, malformed input
+// files, violated preconditions) by throwing `grafics::Error`, which carries a
+// human-readable message. Recoverable conditions are expressed in return
+// types (e.g. std::optional) instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace grafics {
+
+/// Exception thrown on precondition violations and malformed input.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws grafics::Error with `message` when `condition` is false.
+inline void Require(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace grafics

@@ -1,0 +1,42 @@
+// Binary stream serialization helpers.
+//
+// A tiny, explicit little-endian format used by the model save/load path:
+// fixed-width integers and IEEE doubles, length-prefixed containers, and a
+// magic/version header per top-level artifact. No reflection, no surprises.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/matrix.h"
+
+namespace grafics {
+
+void WriteU8(std::ostream& out, std::uint8_t value);
+void WriteU32(std::ostream& out, std::uint32_t value);
+void WriteU64(std::ostream& out, std::uint64_t value);
+void WriteI32(std::ostream& out, std::int32_t value);
+void WriteDouble(std::ostream& out, double value);
+void WriteString(std::ostream& out, const std::string& value);
+void WriteMatrix(std::ostream& out, const Matrix& value);
+
+std::uint8_t ReadU8(std::istream& in);
+std::uint32_t ReadU32(std::istream& in);
+std::uint64_t ReadU64(std::istream& in);
+std::int32_t ReadI32(std::istream& in);
+double ReadDouble(std::istream& in);
+std::string ReadString(std::istream& in);
+Matrix ReadMatrix(std::istream& in);
+
+/// Writes/checks a 4-byte magic plus u32 version.
+void WriteHeader(std::ostream& out, const char magic[4],
+                 std::uint32_t version);
+/// Throws grafics::Error on magic or version mismatch.
+void CheckHeader(std::istream& in, const char magic[4],
+                 std::uint32_t expected_version);
+
+}  // namespace grafics

@@ -1,0 +1,101 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/matrix.h"
+
+namespace grafics {
+
+Summary Summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count >= 2) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  Require(!values.empty(), "Quantile: empty input");
+  Require(q >= 0.0 && q <= 1.0, "Quantile: q out of [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values) {
+  std::vector<CdfPoint> cdf;
+  if (values.empty()) return cdf;
+  std::sort(values.begin(), values.end());
+  const auto n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Keep only the last occurrence of each distinct value.
+    if (i + 1 < values.size() && values[i + 1] == values[i]) continue;
+    cdf.push_back({values[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+double FractionAtOrBelow(std::span<const double> values, double threshold) {
+  if (values.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double v : values) {
+    if (v <= threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+double MeanSilhouette(const std::vector<std::vector<double>>& points,
+                      const std::vector<int>& labels) {
+  Require(points.size() == labels.size(),
+          "MeanSilhouette: points/labels size mismatch");
+  const std::size_t n = points.size();
+  if (n == 0) return 0.0;
+
+  std::unordered_map<int, std::size_t> cluster_size;
+  for (int label : labels) ++cluster_size[label];
+  if (cluster_size.size() < 2) return 0.0;
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cluster_size[labels[i]] <= 1) continue;  // singleton scores 0
+    // Mean distance to own cluster (a) and nearest other cluster (b).
+    std::unordered_map<int, double> dist_sum;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      dist_sum[labels[j]] +=
+          std::sqrt(SquaredL2Distance(points[i], points[j]));
+    }
+    const double a = dist_sum[labels[i]] /
+                     static_cast<double>(cluster_size[labels[i]] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [label, sum] : dist_sum) {
+      if (label == labels[i]) continue;
+      b = std::min(b, sum / static_cast<double>(cluster_size[label]));
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace grafics

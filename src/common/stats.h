@@ -1,0 +1,42 @@
+// Small descriptive-statistics helpers used by dataset analysis and the
+// benchmark harness (CDFs for Fig. 1, means/stddevs for every figure).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace grafics {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1); 0 when count < 2
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary Summarize(std::span<const double> values);
+
+/// Empirical quantile with linear interpolation; q in [0, 1].
+double Quantile(std::vector<double> values, double q);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative_probability = 0.0;
+};
+
+/// Empirical CDF of `values` evaluated at each distinct sorted value.
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values);
+
+/// Fraction of `values` that are <= threshold.
+double FractionAtOrBelow(std::span<const double> values, double threshold);
+
+/// Mean silhouette coefficient of a labeled embedding set: rows are points,
+/// labels give their cluster assignments. Range [-1, 1]; higher means
+/// tighter, better-separated clusters. Points in singleton clusters score 0.
+double MeanSilhouette(const std::vector<std::vector<double>>& points,
+                      const std::vector<int>& labels);
+
+}  // namespace grafics

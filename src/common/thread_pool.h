@@ -1,0 +1,47 @@
+// Fixed-size thread pool with a ParallelFor convenience wrapper.
+//
+// Used by the E-LINE trainer (hogwild-style asynchronous SGD shards) and by
+// embarrassingly parallel experiment sweeps in the bench harness.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace grafics {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1; 0 maps to hardware_concurrency).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future resolves when it finishes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(begin..end) split into one contiguous chunk per worker and
+  /// blocks until all chunks complete. fn receives (chunk_begin, chunk_end).
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable condition_;
+  bool stopping_ = false;
+};
+
+}  // namespace grafics

@@ -1,0 +1,225 @@
+#include "core/experiment.h"
+
+#include <chrono>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace grafics::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Ground-truth floors of the test half (all test records keep labels).
+std::vector<rf::FloorId> TestTruth(const rf::Dataset& test) {
+  std::vector<rf::FloorId> truth;
+  truth.reserve(test.size());
+  for (const rf::SignalRecord& r : test.records()) {
+    Require(r.is_labeled(), "TestTruth: test record lost its label");
+    truth.push_back(*r.floor());
+  }
+  return truth;
+}
+
+/// Embedding + Prox evaluation path shared by MDS/autoencoder/matrix
+/// baselines: cluster the train embeddings under the labeled-sample
+/// constraint, classify test embeddings by nearest centroid.
+ExperimentResult EvaluateEmbeddingWithProx(
+    const Matrix& train_embeddings,
+    const std::vector<std::optional<rf::FloorId>>& train_labels,
+    const Matrix& test_embeddings, const std::vector<rf::FloorId>& truth,
+    const ExperimentConfig& config, double train_seconds_so_far,
+    Clock::time_point infer_start_parent) {
+  (void)infer_start_parent;
+  ExperimentResult result;
+  const auto cluster_start = Clock::now();
+  const cluster::ClusteringResult clustering = cluster::ClusterEmbeddings(
+      train_embeddings, train_labels, config.grafics.clusterer);
+  const cluster::CentroidClassifier classifier(train_embeddings, clustering);
+  result.train_seconds = train_seconds_so_far + SecondsSince(cluster_start);
+
+  const auto infer_start = Clock::now();
+  std::vector<std::optional<rf::FloorId>> predicted(test_embeddings.rows());
+  for (std::size_t r = 0; r < test_embeddings.rows(); ++r) {
+    predicted[r] = classifier.Predict(test_embeddings.Row(r));
+  }
+  result.infer_seconds = SecondsSince(infer_start);
+  result.metrics = ComputeMetrics(truth, predicted);
+  return result;
+}
+
+ExperimentResult RunGraficsVariant(embed::Objective objective,
+                                   const rf::Dataset& train,
+                                   const rf::Dataset& test,
+                                   const std::vector<rf::FloorId>& truth,
+                                   const ExperimentConfig& config) {
+  GraficsConfig grafics_config = config.grafics;
+  grafics_config.trainer.objective = objective;
+  Grafics system(grafics_config);
+
+  ExperimentResult result;
+  const auto train_start = Clock::now();
+  system.Train(train.records());
+  result.train_seconds = SecondsSince(train_start);
+
+  const auto infer_start = Clock::now();
+  const std::vector<std::optional<rf::FloorId>> predicted =
+      system.PredictBatch(test.records());
+  result.infer_seconds = SecondsSince(infer_start);
+  result.metrics = ComputeMetrics(truth, predicted);
+  return result;
+}
+
+}  // namespace
+
+std::string AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kGrafics: return "GRAFICS";
+    case Algorithm::kGraficsLine: return "GRAFICS+LINE";
+    case Algorithm::kGraficsLineBoth: return "GRAFICS+LINE(1st+2nd)";
+    case Algorithm::kScalableDnn: return "Scalable-DNN";
+    case Algorithm::kSae: return "SAE";
+    case Algorithm::kMdsProx: return "MDS+Prox";
+    case Algorithm::kAutoencoderProx: return "Autoencoder+Prox";
+    case Algorithm::kMatrixProx: return "Matrix+Prox";
+  }
+  return "unknown";
+}
+
+ExperimentResult RunExperiment(Algorithm algorithm, const rf::Dataset& dataset,
+                               const ExperimentConfig& config,
+                               std::uint64_t seed) {
+  // --- split and strip labels (identical for every algorithm) -------------
+  Rng split_rng(seed);
+  auto [train, test] = dataset.TrainTestSplit(config.train_ratio, split_rng);
+  train.KeepLabelsPerFloor(config.labels_per_floor, split_rng);
+  const std::vector<rf::FloorId> truth = TestTruth(test);
+  std::vector<std::optional<rf::FloorId>> train_labels(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    train_labels[i] = train.record(i).floor();
+  }
+
+  // Per-repetition seeds for the stochastic trainers.
+  ExperimentConfig cfg = config;
+  cfg.grafics.trainer.seed = seed ^ 0x11111111ULL;
+  cfg.mds.seed = seed ^ 0x22222222ULL;
+  cfg.autoencoder.seed = seed ^ 0x33333333ULL;
+  cfg.sae.seed = seed ^ 0x44444444ULL;
+  cfg.scalable_dnn.seed = seed ^ 0x55555555ULL;
+
+  switch (algorithm) {
+    case Algorithm::kGrafics:
+      return RunGraficsVariant(embed::Objective::kELine, train, test, truth,
+                               cfg);
+    case Algorithm::kGraficsLine:
+      return RunGraficsVariant(embed::Objective::kLineSecondOrder, train,
+                               test, truth, cfg);
+    case Algorithm::kGraficsLineBoth:
+      return RunGraficsVariant(embed::Objective::kLineBothOrders, train, test,
+                               truth, cfg);
+    default:
+      break;
+  }
+
+  // --- matrix-representation based algorithms -----------------------------
+  const auto train_start = Clock::now();
+  const baselines::MatrixRepresentation repr(train.records());
+  const Matrix train_raw = repr.ToMatrix(train.records());
+  const Matrix test_raw = repr.ToMatrix(test.records());
+  const Matrix train_norm = baselines::MatrixRepresentation::Normalize(train_raw);
+  const Matrix test_norm = baselines::MatrixRepresentation::Normalize(test_raw);
+
+  switch (algorithm) {
+    case Algorithm::kScalableDnn: {
+      baselines::ScalableDnn model(train_norm, train_labels, cfg.scalable_dnn);
+      ExperimentResult result;
+      result.train_seconds = SecondsSince(train_start);
+      const auto infer_start = Clock::now();
+      const std::vector<rf::FloorId> predicted = model.PredictFloors(test_norm);
+      result.infer_seconds = SecondsSince(infer_start);
+      result.metrics = ComputeMetrics(truth, predicted);
+      return result;
+    }
+    case Algorithm::kSae: {
+      baselines::SaeClassifier model(train_norm, train_labels, cfg.sae);
+      ExperimentResult result;
+      result.train_seconds = SecondsSince(train_start);
+      const auto infer_start = Clock::now();
+      const std::vector<rf::FloorId> predicted = model.PredictFloors(test_norm);
+      result.infer_seconds = SecondsSince(infer_start);
+      result.metrics = ComputeMetrics(truth, predicted);
+      return result;
+    }
+    case Algorithm::kMdsProx: {
+      cfg.mds.dim = cfg.grafics.trainer.dim;  // same embedding budget
+      const baselines::MdsEmbedder mds(train_raw, cfg.mds);
+      const Matrix train_emb = mds.Embed(train_raw);
+      const Matrix test_emb = mds.Embed(test_raw);
+      return EvaluateEmbeddingWithProx(train_emb, train_labels, test_emb,
+                                       truth, cfg, SecondsSince(train_start),
+                                       Clock::now());
+    }
+    case Algorithm::kAutoencoderProx: {
+      cfg.autoencoder.dim = cfg.grafics.trainer.dim;
+      baselines::AutoencoderEmbedder autoencoder(train_norm, cfg.autoencoder);
+      const Matrix train_emb = autoencoder.Embed(train_norm);
+      const Matrix test_emb = autoencoder.Embed(test_norm);
+      return EvaluateEmbeddingWithProx(train_emb, train_labels, test_emb,
+                                       truth, cfg, SecondsSince(train_start),
+                                       Clock::now());
+    }
+    case Algorithm::kMatrixProx:
+      return EvaluateEmbeddingWithProx(train_norm, train_labels, test_norm,
+                                       truth, cfg, SecondsSince(train_start),
+                                       Clock::now());
+    default:
+      throw Error("RunExperiment: unhandled algorithm");
+  }
+}
+
+MetricsSummary SummarizeMetrics(
+    const std::vector<ClassificationMetrics>& runs) {
+  Require(!runs.empty(), "SummarizeMetrics: no runs");
+  std::vector<double> micro_f, macro_f;
+  MetricsSummary s;
+  s.repetitions = runs.size();
+  for (const ClassificationMetrics& m : runs) {
+    micro_f.push_back(m.micro.f_score);
+    macro_f.push_back(m.macro.f_score);
+    s.micro_p_mean += m.micro.precision;
+    s.micro_r_mean += m.micro.recall;
+    s.macro_p_mean += m.macro.precision;
+    s.macro_r_mean += m.macro.recall;
+  }
+  const auto n = static_cast<double>(runs.size());
+  s.micro_p_mean /= n;
+  s.micro_r_mean /= n;
+  s.macro_p_mean /= n;
+  s.macro_r_mean /= n;
+  const Summary micro = Summarize(micro_f);
+  const Summary macro = Summarize(macro_f);
+  s.micro_f_mean = micro.mean;
+  s.micro_f_stddev = micro.stddev;
+  s.macro_f_mean = macro.mean;
+  s.macro_f_stddev = macro.stddev;
+  return s;
+}
+
+MetricsSummary RunRepeated(Algorithm algorithm, const rf::Dataset& dataset,
+                           const ExperimentConfig& config, std::uint64_t seed,
+                           std::size_t repetitions) {
+  std::vector<ClassificationMetrics> runs;
+  runs.reserve(repetitions);
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    runs.push_back(
+        RunExperiment(algorithm, dataset, config, seed + rep * 7919).metrics);
+  }
+  return SummarizeMetrics(runs);
+}
+
+}  // namespace grafics::core

@@ -1,0 +1,81 @@
+// Experiment harness: runs one algorithm on one building's dataset under the
+// paper's evaluation protocol (Sec. VI-A) and reports micro/macro P-R-F.
+//
+// Protocol per repetition:
+//   1. split the building's records 70/30 (train_ratio configurable),
+//   2. keep `labels_per_floor` labels in the training half, strip the rest,
+//   3. train the algorithm on the (mostly unlabeled) training half,
+//   4. predict the floor of every test record and score against truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/autoencoder.h"
+#include "baselines/matrix_representation.h"
+#include "baselines/mds.h"
+#include "baselines/sae.h"
+#include "baselines/scalable_dnn.h"
+#include "core/grafics.h"
+#include "core/metrics.h"
+#include "rf/dataset.h"
+
+namespace grafics::core {
+
+enum class Algorithm {
+  kGrafics,           // bipartite graph + E-LINE + Prox (the paper's system)
+  kGraficsLine,       // ablation: LINE 2nd-order instead of E-LINE (Fig. 13)
+  kGraficsLineBoth,   // ablation: LINE 1st+2nd order
+  kScalableDnn,       // supervised baseline [30]
+  kSae,               // supervised baseline [15]
+  kMdsProx,           // MDS embeddings + Prox clustering
+  kAutoencoderProx,   // Conv1D autoencoder embeddings + Prox clustering
+  kMatrixProx,        // raw -120-imputed matrix rows + Prox (Fig. 14)
+};
+
+std::string AlgorithmName(Algorithm algorithm);
+
+struct ExperimentConfig {
+  double train_ratio = 0.7;
+  std::size_t labels_per_floor = 4;
+  GraficsConfig grafics;
+  baselines::MdsConfig mds;
+  baselines::AutoencoderConfig autoencoder;
+  baselines::SaeConfig sae;
+  baselines::ScalableDnnConfig scalable_dnn;
+};
+
+struct ExperimentResult {
+  ClassificationMetrics metrics;
+  double train_seconds = 0.0;
+  double infer_seconds = 0.0;
+};
+
+/// Runs one repetition of `algorithm` on `dataset` with split/label seeds
+/// derived from `seed`.
+ExperimentResult RunExperiment(Algorithm algorithm, const rf::Dataset& dataset,
+                               const ExperimentConfig& config,
+                               std::uint64_t seed);
+
+/// Aggregate of repeated metrics: mean and sample stddev of the key scores.
+struct MetricsSummary {
+  double micro_f_mean = 0.0;
+  double micro_f_stddev = 0.0;
+  double macro_f_mean = 0.0;
+  double macro_f_stddev = 0.0;
+  double micro_p_mean = 0.0;
+  double micro_r_mean = 0.0;
+  double macro_p_mean = 0.0;
+  double macro_r_mean = 0.0;
+  std::size_t repetitions = 0;
+};
+
+MetricsSummary SummarizeMetrics(const std::vector<ClassificationMetrics>& runs);
+
+/// Runs `repetitions` seeded repetitions and summarizes.
+MetricsSummary RunRepeated(Algorithm algorithm, const rf::Dataset& dataset,
+                           const ExperimentConfig& config, std::uint64_t seed,
+                           std::size_t repetitions);
+
+}  // namespace grafics::core

@@ -1,0 +1,237 @@
+#include "core/grafics.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/serialize.h"
+
+namespace grafics::core {
+
+Grafics::Grafics(GraficsConfig config)
+    : config_(std::move(config)), weight_fn_(config_.MakeWeightFn()) {}
+
+void Grafics::Train(const std::vector<rf::SignalRecord>& records) {
+  Require(!records.empty(), "Grafics::Train: no records");
+  const std::size_t labeled =
+      static_cast<std::size_t>(std::count_if(
+          records.begin(), records.end(),
+          [](const rf::SignalRecord& r) { return r.is_labeled(); }));
+  Require(labeled >= 1, "Grafics::Train: need at least one labeled record");
+
+  // (i) bipartite graph construction (Sec. IV-A).
+  graph_ = graph::BipartiteGraph::FromRecords(records, weight_fn_);
+  num_training_records_ = records.size();
+
+  // (ii) E-LINE node embeddings (Sec. IV-B).
+  store_ = embed::TrainEmbeddings(graph_, config_.trainer);
+
+  // (iii) proximity-based hierarchical clustering (Sec. IV-C).
+  Matrix points = TrainingEmbeddings();
+  std::vector<std::optional<rf::FloorId>> labels(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    labels[i] = records[i].floor();
+  }
+  clustering_ = cluster::ClusterEmbeddings(points, labels, config_.clusterer);
+  classifier_ =
+      std::make_unique<cluster::CentroidClassifier>(points, *clustering_);
+  knn_classifier_ = std::make_unique<cluster::KnnClassifier>(
+      points, *clustering_, config_.knn);
+  RebuildNegativeSampler();
+}
+
+void Grafics::RebuildNegativeSampler() {
+  negative_sampler_ =
+      embed::BuildNegativeSampler(graph_, &negative_node_of_index_);
+}
+
+Matrix Grafics::TrainingEmbeddings() const {
+  Require(store_.has_value(), "Grafics: not trained");
+  Matrix points(num_training_records_, config_.trainer.dim);
+  for (std::size_t i = 0; i < num_training_records_; ++i) {
+    const auto ego = store_->Ego(graph_.RecordNode(i));
+    std::copy(ego.begin(), ego.end(), points.Row(i).begin());
+  }
+  return points;
+}
+
+std::span<const double> Grafics::TrainingEmbedding(
+    std::size_t record_index) const {
+  Require(store_.has_value(), "Grafics: not trained");
+  return store_->Ego(graph_.RecordNode(record_index));
+}
+
+graph::NodeId Grafics::ExtendWith(const rf::SignalRecord& record) {
+  const std::size_t nodes_before = graph_.NumNodes();
+  const graph::NodeId new_node = graph_.AddRecord(record, weight_fn_);
+  const std::size_t new_count = graph_.NumNodes() - nodes_before;
+
+  // Grow the store and refine only the new rows (Sec. V-A). Negatives come
+  // from the cached frozen-base sampler, so no O(|V|) rebuild per record.
+  Rng grow_rng(config_.trainer.seed ^ (0x9E3779B9ULL + graph_.NumNodes()));
+  store_->Grow(new_count, grow_rng);
+  std::vector<graph::NodeId> new_nodes;
+  new_nodes.reserve(new_count);
+  for (std::size_t k = 0; k < new_count; ++k) {
+    new_nodes.push_back(static_cast<graph::NodeId>(nodes_before + k));
+  }
+  embed::RefineNewNodes(graph_, new_nodes, *store_, config_.trainer,
+                        config_.online_refine_iterations, negative_sampler_,
+                        negative_node_of_index_);
+  return new_node;
+}
+
+std::optional<rf::FloorId> Grafics::Predict(const rf::SignalRecord& record) {
+  Require(is_trained(), "Grafics::Predict: call Train first");
+  // Discard records that share no MAC with the graph: the paper treats them
+  // as collected outside the building (Sec. V-A footnote).
+  const bool any_known = std::any_of(
+      record.observations().begin(), record.observations().end(),
+      [&](const rf::Observation& o) {
+        return graph_.FindMacNode(o.mac).has_value();
+      });
+  if (!any_known || record.empty()) return std::nullopt;
+
+  const graph::NodeId new_node = ExtendWith(record);
+  const std::span<const double> embedding = store_->Ego(new_node);
+  switch (config_.head) {
+    case InferenceHead::kKnn:
+      return knn_classifier_->Predict(embedding);
+    case InferenceHead::kCentroid:
+      break;
+  }
+  // Nearest centroid in the ego-embedding space (Sec. V-B).
+  return classifier_->Predict(embedding);
+}
+
+std::size_t Grafics::Update(const std::vector<rf::SignalRecord>& records) {
+  Require(is_trained(), "Grafics::Update: call Train first");
+  std::size_t added = 0;
+  for (const rf::SignalRecord& record : records) {
+    if (record.empty()) continue;
+    ExtendWith(record);
+    ++added;
+  }
+  // New MAC nodes now exist with learned embeddings; refresh the sampler so
+  // future refinements can draw them as negatives too.
+  RebuildNegativeSampler();
+  return added;
+}
+
+std::vector<std::optional<rf::FloorId>> Grafics::PredictBatch(
+    const std::vector<rf::SignalRecord>& records) {
+  std::vector<std::optional<rf::FloorId>> predictions;
+  predictions.reserve(records.size());
+  for (const rf::SignalRecord& record : records) {
+    predictions.push_back(Predict(record));
+  }
+  return predictions;
+}
+
+namespace {
+constexpr char kModelMagic[4] = {'G', 'R', 'F', 'X'};
+constexpr std::uint32_t kModelVersion = 1;
+}  // namespace
+
+void Grafics::SaveModel(const std::string& path) const {
+  Require(is_trained(), "Grafics::SaveModel: model not trained");
+  Require(!config_.custom_weight,
+          "Grafics::SaveModel: custom weight functions are not serializable");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  Require(out.good(), "Grafics::SaveModel: cannot open " + path);
+
+  WriteHeader(out, kModelMagic, kModelVersion);
+  // Config (the fields that matter at inference time).
+  WriteDouble(out, config_.weight_offset);
+  WriteU64(out, config_.trainer.dim);
+  WriteU8(out, static_cast<std::uint8_t>(config_.trainer.objective));
+  WriteU64(out, config_.trainer.negative_samples);
+  WriteDouble(out, config_.trainer.initial_learning_rate);
+  WriteDouble(out, config_.trainer.final_learning_rate_fraction);
+  WriteU64(out, config_.trainer.seed);
+  WriteU64(out, config_.online_refine_iterations);
+  WriteU64(out, num_training_records_);
+
+  graph_.Save(out);
+  store_->Save(out);
+  classifier_->Save(out);
+
+  // Clustering diagnostics (cluster per training record, labels, merges).
+  WriteU64(out, clustering_->cluster_of_point.size());
+  for (const std::size_t c : clustering_->cluster_of_point) WriteU64(out, c);
+  WriteU64(out, clustering_->cluster_label.size());
+  for (const auto& label : clustering_->cluster_label) {
+    WriteU8(out, label.has_value() ? 1 : 0);
+    WriteI32(out, label.value_or(0));
+  }
+  WriteU64(out, clustering_->merge_history.size());
+  for (const auto& [a, b] : clustering_->merge_history) {
+    WriteU64(out, a);
+    WriteU64(out, b);
+  }
+  Require(out.good(), "Grafics::SaveModel: write failed");
+}
+
+Grafics Grafics::LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  Require(in.good(), "Grafics::LoadModel: cannot open " + path);
+  CheckHeader(in, kModelMagic, kModelVersion);
+
+  GraficsConfig config;
+  config.weight_offset = ReadDouble(in);
+  config.trainer.dim = ReadU64(in);
+  config.trainer.objective = static_cast<embed::Objective>(ReadU8(in));
+  config.trainer.negative_samples = ReadU64(in);
+  config.trainer.initial_learning_rate = ReadDouble(in);
+  config.trainer.final_learning_rate_fraction = ReadDouble(in);
+  config.trainer.seed = ReadU64(in);
+  config.online_refine_iterations = ReadU64(in);
+
+  Grafics system(config);
+  system.num_training_records_ = ReadU64(in);
+  system.graph_ = graph::BipartiteGraph::Load(in);
+  system.store_ = embed::EmbeddingStore::Load(in);
+  system.classifier_ = std::make_unique<cluster::CentroidClassifier>(
+      cluster::CentroidClassifier::Load(in));
+  Require(system.store_->num_nodes() == system.graph_.NumNodes(),
+          "Grafics::LoadModel: store/graph size mismatch");
+  Require(system.store_->dim() == config.trainer.dim,
+          "Grafics::LoadModel: embedding dimension mismatch");
+
+  cluster::ClusteringResult clustering;
+  const std::uint64_t points = ReadU64(in);
+  clustering.cluster_of_point.resize(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    clustering.cluster_of_point[i] = ReadU64(in);
+  }
+  const std::uint64_t clusters = ReadU64(in);
+  clustering.cluster_label.resize(clusters);
+  for (std::size_t i = 0; i < clusters; ++i) {
+    const bool has_value = ReadU8(in) != 0;
+    const rf::FloorId label = ReadI32(in);
+    if (has_value) clustering.cluster_label[i] = label;
+  }
+  const std::uint64_t merges = ReadU64(in);
+  clustering.merge_history.resize(merges);
+  for (std::size_t i = 0; i < merges; ++i) {
+    clustering.merge_history[i].first = ReadU64(in);
+    clustering.merge_history[i].second = ReadU64(in);
+  }
+  system.clustering_ = std::move(clustering);
+  system.knn_classifier_ = std::make_unique<cluster::KnnClassifier>(
+      system.TrainingEmbeddings(), *system.clustering_, config.knn);
+  system.RebuildNegativeSampler();
+  return system;
+}
+
+const cluster::ClusteringResult& Grafics::clustering() const {
+  Require(clustering_.has_value(), "Grafics: not trained");
+  return *clustering_;
+}
+
+const cluster::CentroidClassifier& Grafics::classifier() const {
+  Require(classifier_ != nullptr, "Grafics: not trained");
+  return *classifier_;
+}
+
+}  // namespace grafics::core

@@ -1,0 +1,114 @@
+// The GRAFICS system: the paper's end-to-end pipeline.
+//
+// Offline training (Sec. IV): bipartite graph -> E-LINE embeddings ->
+// proximity-based hierarchical clustering -> nearest-centroid classifier.
+// Online inference (Sec. V): extend the graph with the new record, refine
+// only its embeddings (base model frozen), classify against centroids.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/centroid_classifier.h"
+#include "cluster/knn_classifier.h"
+#include "cluster/proximity_clusterer.h"
+#include "common/alias_sampler.h"
+#include "embed/trainer.h"
+#include "graph/bipartite_graph.h"
+#include "graph/weight_function.h"
+#include "rf/dataset.h"
+
+namespace grafics::core {
+
+/// How a new embedding is mapped to a floor at inference time.
+enum class InferenceHead {
+  kCentroid,  // nearest cluster centroid — the paper's rule (Sec. V-B)
+  kKnn,       // weighted k-NN over virtually-labeled training embeddings
+};
+
+struct GraficsConfig {
+  /// Edge-weight offset alpha of Eq. (2); the paper uses 120.
+  double weight_offset = 120.0;
+  /// Replaces the offset weight entirely when set (Fig. 16 ablation).
+  graph::WeightFn custom_weight;
+  embed::TrainerConfig trainer;
+  cluster::ClustererConfig clusterer;
+  /// SGD steps per new node during online inference (Sec. V-A).
+  std::size_t online_refine_iterations = 600;
+  InferenceHead head = InferenceHead::kCentroid;
+  cluster::KnnConfig knn;  // used when head == kKnn
+
+  graph::WeightFn MakeWeightFn() const {
+    return custom_weight ? custom_weight : graph::OffsetWeight(weight_offset);
+  }
+};
+
+class Grafics {
+ public:
+  explicit Grafics(GraficsConfig config = {});
+
+  /// Offline training on crowdsourced records; the floor labels present on
+  /// records are the (few) labeled samples. Requires >= 1 labeled record.
+  void Train(const std::vector<rf::SignalRecord>& records);
+
+  bool is_trained() const { return classifier_ != nullptr; }
+
+  /// Online inference: adds the record to the graph, learns its embedding
+  /// with the base model frozen, and returns the floor of the nearest
+  /// cluster centroid. Returns nullopt when the record shares no MAC with
+  /// the graph (the paper discards such samples as outside the building).
+  std::optional<rf::FloorId> Predict(const rf::SignalRecord& record);
+
+  /// Batch convenience wrapper over Predict.
+  std::vector<std::optional<rf::FloorId>> PredictBatch(
+      const std::vector<rf::SignalRecord>& records);
+
+  /// Incorporates a batch of additional crowdsourced records WITHOUT a full
+  /// retrain: the graph is extended, only the new nodes' embeddings are
+  /// learned (base model frozen), and the clusters/centroids are untouched.
+  /// Floor labels on the records are ignored — relabeling requires Train.
+  /// Returns the number of records added. This implements the paper's
+  /// "easily extendable for new RF records" claim at batch granularity.
+  std::size_t Update(const std::vector<rf::SignalRecord>& records);
+
+  /// Ego embedding of training record i (diagnostics, Fig. 6/8 exports).
+  std::span<const double> TrainingEmbedding(std::size_t record_index) const;
+  /// Ego embeddings of all training records as rows.
+  Matrix TrainingEmbeddings() const;
+
+  const graph::BipartiteGraph& graph() const { return graph_; }
+  const cluster::ClusteringResult& clustering() const;
+  const cluster::CentroidClassifier& classifier() const;
+  const GraficsConfig& config() const { return config_; }
+
+  /// Persists the trained model (graph, embeddings, clustering, centroids,
+  /// config) to `path`. Requires a trained system and a serializable weight
+  /// function (custom_weight lambdas cannot be saved — throws if one is
+  /// set).
+  void SaveModel(const std::string& path) const;
+  /// Restores a model saved by SaveModel; ready for Predict immediately.
+  static Grafics LoadModel(const std::string& path);
+
+ private:
+  /// (Re)builds the frozen-base negative sampler used by online refinement.
+  void RebuildNegativeSampler();
+  /// Appends `record` to the graph + store and refines the new nodes.
+  /// Returns the new record node.
+  graph::NodeId ExtendWith(const rf::SignalRecord& record);
+
+  GraficsConfig config_;
+  graph::WeightFn weight_fn_;
+  graph::BipartiteGraph graph_;
+  std::size_t num_training_records_ = 0;
+  std::optional<embed::EmbeddingStore> store_;
+  std::optional<cluster::ClusteringResult> clustering_;
+  std::unique_ptr<cluster::CentroidClassifier> classifier_;
+  std::unique_ptr<cluster::KnnClassifier> knn_classifier_;
+  // Negative sampler over the frozen base model, shared by all predictions.
+  AliasSampler negative_sampler_;
+  std::vector<graph::NodeId> negative_node_of_index_;
+};
+
+}  // namespace grafics::core

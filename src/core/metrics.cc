@@ -1,0 +1,88 @@
+#include "core/metrics.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace grafics::core {
+
+namespace {
+PrfScores MakePrf(double precision, double recall) {
+  PrfScores s;
+  s.precision = precision;
+  s.recall = recall;
+  s.f_score = (precision + recall) > 0.0
+                  ? 2.0 * precision * recall / (precision + recall)
+                  : 0.0;
+  return s;
+}
+}  // namespace
+
+ClassificationMetrics ComputeMetrics(
+    const std::vector<rf::FloorId>& truth,
+    const std::vector<std::optional<rf::FloorId>>& predicted) {
+  Require(truth.size() == predicted.size(),
+          "ComputeMetrics: truth/predicted size mismatch");
+  Require(!truth.empty(), "ComputeMetrics: empty input");
+
+  ClassificationMetrics m;
+  m.num_samples = truth.size();
+  auto& counts = m.per_floor_counts;  // floor -> {TP, FP, FN}
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    counts.try_emplace(truth[i], std::array<std::size_t, 3>{0, 0, 0});
+    if (predicted[i].has_value()) {
+      counts.try_emplace(*predicted[i], std::array<std::size_t, 3>{0, 0, 0});
+    }
+    if (predicted[i] && *predicted[i] == truth[i]) {
+      ++counts[truth[i]][0];  // TP
+      ++correct;
+    } else {
+      ++counts[truth[i]][2];  // FN for the true floor
+      if (predicted[i]) ++counts[*predicted[i]][1];  // FP for the predicted
+    }
+  }
+  m.accuracy = static_cast<double>(correct) / static_cast<double>(truth.size());
+
+  std::size_t tp_sum = 0;
+  std::size_t fp_sum = 0;
+  std::size_t fn_sum = 0;
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  for (const auto& [floor, c] : counts) {
+    const auto [tp, fp, fn] = c;
+    tp_sum += tp;
+    fp_sum += fp;
+    fn_sum += fn;
+    precision_sum += (tp + fp) > 0
+                         ? static_cast<double>(tp) /
+                               static_cast<double>(tp + fp)
+                         : 0.0;
+    recall_sum +=
+        (tp + fn) > 0
+            ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+            : 0.0;
+  }
+  const auto n = static_cast<double>(counts.size());
+  const double micro_p =
+      (tp_sum + fp_sum) > 0
+          ? static_cast<double>(tp_sum) / static_cast<double>(tp_sum + fp_sum)
+          : 0.0;
+  const double micro_r =
+      (tp_sum + fn_sum) > 0
+          ? static_cast<double>(tp_sum) / static_cast<double>(tp_sum + fn_sum)
+          : 0.0;
+  m.micro = MakePrf(micro_p, micro_r);
+  m.macro = MakePrf(precision_sum / n, recall_sum / n);
+  return m;
+}
+
+ClassificationMetrics ComputeMetrics(
+    const std::vector<rf::FloorId>& truth,
+    const std::vector<rf::FloorId>& predicted) {
+  std::vector<std::optional<rf::FloorId>> opt(predicted.begin(),
+                                              predicted.end());
+  return ComputeMetrics(truth, opt);
+}
+
+}  // namespace grafics::core

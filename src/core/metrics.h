@@ -1,0 +1,41 @@
+// Micro- and macro-averaged precision / recall / F-score
+// (exactly the definitions of the paper's Sec. VI-A).
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "rf/signal_record.h"
+
+namespace grafics::core {
+
+struct PrfScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_score = 0.0;
+};
+
+struct ClassificationMetrics {
+  PrfScores micro;
+  PrfScores macro;
+  double accuracy = 0.0;
+  std::size_t num_samples = 0;
+  /// Per-floor (TP, FP, FN) counts for diagnostics.
+  std::map<rf::FloorId, std::array<std::size_t, 3>> per_floor_counts;
+};
+
+/// Scores predictions against ground truth. `predicted[i]` may be nullopt
+/// (e.g. a record with only unseen MACs was discarded); such samples count
+/// as false negatives of their true floor but never as false positives.
+/// The floor universe is the union of truth and prediction labels.
+ClassificationMetrics ComputeMetrics(
+    const std::vector<rf::FloorId>& truth,
+    const std::vector<std::optional<rf::FloorId>>& predicted);
+
+/// Convenience overload for all-present predictions.
+ClassificationMetrics ComputeMetrics(const std::vector<rf::FloorId>& truth,
+                                     const std::vector<rf::FloorId>& predicted);
+
+}  // namespace grafics::core

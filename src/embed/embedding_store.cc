@@ -1,0 +1,63 @@
+#include "embed/embedding_store.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/serialize.h"
+
+namespace grafics::embed {
+
+EmbeddingStore::EmbeddingStore(std::size_t num_nodes, std::size_t dim,
+                               Rng& rng)
+    : ego_(num_nodes, dim), context_(num_nodes, dim) {
+  Require(dim > 0, "EmbeddingStore: dim must be positive");
+  for (std::size_t row = 0; row < num_nodes; ++row) InitRow(row, rng);
+}
+
+void EmbeddingStore::InitRow(std::size_t row, Rng& rng) {
+  const double scale = 0.5 / static_cast<double>(dim());
+  for (std::size_t c = 0; c < dim(); ++c) {
+    ego_(row, c) = rng.Uniform(-scale, scale);
+    context_(row, c) = 0.0;
+  }
+}
+
+namespace {
+constexpr char kStoreMagic[4] = {'G', 'E', 'M', 'B'};
+constexpr std::uint32_t kStoreVersion = 1;
+}  // namespace
+
+void EmbeddingStore::Save(std::ostream& out) const {
+  WriteHeader(out, kStoreMagic, kStoreVersion);
+  WriteMatrix(out, ego_);
+  WriteMatrix(out, context_);
+}
+
+EmbeddingStore EmbeddingStore::Load(std::istream& in) {
+  CheckHeader(in, kStoreMagic, kStoreVersion);
+  EmbeddingStore store;
+  store.ego_ = ReadMatrix(in);
+  store.context_ = ReadMatrix(in);
+  Require(store.ego_.rows() == store.context_.rows() &&
+              store.ego_.cols() == store.context_.cols(),
+          "EmbeddingStore::Load: table shape mismatch");
+  return store;
+}
+
+void EmbeddingStore::Grow(std::size_t count, Rng& rng) {
+  const std::size_t old_rows = ego_.rows();
+  Matrix new_ego(old_rows + count, dim());
+  Matrix new_context(old_rows + count, dim());
+  for (std::size_t r = 0; r < old_rows; ++r) {
+    for (std::size_t c = 0; c < dim(); ++c) {
+      new_ego(r, c) = ego_(r, c);
+      new_context(r, c) = context_(r, c);
+    }
+  }
+  ego_ = std::move(new_ego);
+  context_ = std::move(new_context);
+  for (std::size_t r = old_rows; r < ego_.rows(); ++r) InitRow(r, rng);
+}
+
+}  // namespace grafics::embed

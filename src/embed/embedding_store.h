@@ -1,0 +1,60 @@
+// Storage for the two per-node embedding tables LINE/E-LINE learn.
+//
+// Every node i has an 'ego' embedding u_i (the representation used
+// downstream) and a 'context' embedding u'_i (encoding its neighborhood).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "graph/bipartite_graph.h"
+
+namespace grafics::embed {
+
+class EmbeddingStore {
+ public:
+  EmbeddingStore() = default;
+
+  /// Allocates tables for `num_nodes` nodes of dimension `dim`.
+  /// Ego embeddings are initialized uniform in [-0.5, 0.5]/dim (the LINE
+  /// reference initialization); context embeddings start at zero.
+  EmbeddingStore(std::size_t num_nodes, std::size_t dim, Rng& rng);
+
+  std::size_t num_nodes() const { return ego_.rows(); }
+  std::size_t dim() const { return ego_.cols(); }
+
+  std::span<double> Ego(graph::NodeId node) { return ego_.Row(node); }
+  std::span<const double> Ego(graph::NodeId node) const {
+    return ego_.Row(node);
+  }
+  std::span<double> Context(graph::NodeId node) { return context_.Row(node); }
+  std::span<const double> Context(graph::NodeId node) const {
+    return context_.Row(node);
+  }
+
+  /// Appends `count` freshly-initialized nodes (online inference grows the
+  /// graph). Existing rows are preserved.
+  void Grow(std::size_t count, Rng& rng);
+
+  const Matrix& ego_matrix() const { return ego_; }
+  const Matrix& context_matrix() const { return context_; }
+  Matrix& mutable_ego_matrix() { return ego_; }
+  Matrix& mutable_context_matrix() { return context_; }
+
+  /// Binary (de)serialization of both tables.
+  void Save(std::ostream& out) const;
+  static EmbeddingStore Load(std::istream& in);
+
+  bool operator==(const EmbeddingStore&) const = default;
+
+ private:
+  void InitRow(std::size_t row, Rng& rng);
+
+  Matrix ego_;
+  Matrix context_;
+};
+
+}  // namespace grafics::embed

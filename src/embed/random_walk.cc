@@ -1,0 +1,123 @@
+#include "embed/random_walk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/alias_sampler.h"
+#include "common/error.h"
+#include "common/matrix.h"
+#include "embed/trainer.h"
+
+namespace grafics::embed {
+
+namespace {
+
+/// Per-node alias tables for weighted neighbor transitions.
+std::vector<AliasSampler> BuildTransitionTables(
+    const graph::BipartiteGraph& graph) {
+  std::vector<AliasSampler> tables(graph.NumNodes());
+  for (graph::NodeId node = 0; node < graph.NumNodes(); ++node) {
+    const auto neighbors = graph.NeighborsOf(node);
+    if (neighbors.empty()) continue;
+    std::vector<double> weights;
+    weights.reserve(neighbors.size());
+    for (const auto& nb : neighbors) weights.push_back(nb.weight);
+    tables[node] = AliasSampler(weights);
+  }
+  return tables;
+}
+
+}  // namespace
+
+EmbeddingStore TrainRandomWalkEmbeddings(const graph::BipartiteGraph& graph,
+                                         const RandomWalkConfig& config) {
+  Require(graph.NumNodes() > 0, "TrainRandomWalkEmbeddings: empty graph");
+  Require(config.dim > 0 && config.walk_length >= 2 && config.window >= 1,
+          "TrainRandomWalkEmbeddings: bad config");
+
+  Rng rng(config.seed);
+  EmbeddingStore store(graph.NumNodes(), config.dim, rng);
+  Matrix& ego = store.mutable_ego_matrix();
+  Matrix& context = store.mutable_context_matrix();
+  (void)ego;
+
+  const std::vector<AliasSampler> transitions = BuildTransitionTables(graph);
+  std::vector<graph::NodeId> node_of_index;
+  const AliasSampler negative_sampler =
+      BuildNegativeSampler(graph, &node_of_index);
+
+  // Start nodes: every active node with at least one edge, repeated
+  // walks_per_node times in shuffled order per epoch (DeepWalk's schedule).
+  std::vector<graph::NodeId> starts;
+  for (graph::NodeId node = 0; node < graph.NumNodes(); ++node) {
+    if (graph.IsActive(node) && graph.Degree(node) > 0) {
+      starts.push_back(node);
+    }
+  }
+  Require(!starts.empty(), "TrainRandomWalkEmbeddings: no connected nodes");
+
+  const std::size_t total_walks = starts.size() * config.walks_per_node;
+  std::size_t walk_counter = 0;
+  std::vector<graph::NodeId> walk(config.walk_length);
+  std::vector<double> grad(config.dim, 0.0);
+
+  for (std::size_t epoch = 0; epoch < config.walks_per_node; ++epoch) {
+    rng.Shuffle(starts);
+    for (const graph::NodeId start : starts) {
+      // Linearly decayed learning rate over the whole schedule.
+      const double progress = static_cast<double>(walk_counter++) /
+                              static_cast<double>(total_walks);
+      const double lr =
+          std::max(config.initial_learning_rate *
+                       config.final_learning_rate_fraction,
+                   config.initial_learning_rate * (1.0 - progress));
+
+      // --- generate one truncated weighted random walk -------------------
+      walk.clear();
+      graph::NodeId current = start;
+      walk.push_back(current);
+      while (walk.size() < config.walk_length) {
+        const auto neighbors = graph.NeighborsOf(current);
+        if (neighbors.empty()) break;
+        current = neighbors[transitions[current].Sample(rng)].node;
+        walk.push_back(current);
+      }
+
+      // --- skip-gram with negative sampling over the walk ----------------
+      for (std::size_t center = 0; center < walk.size(); ++center) {
+        const std::size_t lo =
+            center >= config.window ? center - config.window : 0;
+        const std::size_t hi =
+            std::min(walk.size() - 1, center + config.window);
+        const std::span<double> center_ego = store.Ego(walk[center]);
+        for (std::size_t pos = lo; pos <= hi; ++pos) {
+          if (pos == center) continue;
+          const graph::NodeId target = walk[pos];
+          // Positive pair.
+          {
+            const std::span<double> out = store.Context(target);
+            const double g = (1.0 - Sigmoid(Dot(out, center_ego))) * lr;
+            Axpy(g, out, grad);
+            Axpy(g, center_ego, out);
+          }
+          // Negatives.
+          for (std::size_t k = 0; k < config.negative_samples; ++k) {
+            const graph::NodeId z =
+                node_of_index[negative_sampler.Sample(rng)];
+            if (z == target) continue;
+            const std::span<double> out = context.Row(z);
+            const double g = -Sigmoid(Dot(out, center_ego)) * lr;
+            Axpy(g, out, grad);
+            Axpy(g, center_ego, out);
+          }
+          Axpy(1.0, grad, center_ego);
+          std::fill(grad.begin(), grad.end(), 0.0);
+        }
+      }
+    }
+  }
+  return store;
+}
+
+}  // namespace grafics::embed

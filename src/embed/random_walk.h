@@ -1,0 +1,35 @@
+// DeepWalk-style random-walk embedding over the bipartite graph.
+//
+// An ablation embedder: truncated weighted random walks generate node
+// sequences, and a skip-gram objective with negative sampling learns ego
+// embeddings from window co-occurrences. Compared against E-LINE by the
+// ablation bench — the paper argues (Sec. IV-B) that explicit multi-hop
+// context modeling suits the record/MAC bipartite structure; DeepWalk is
+// the classic implicit-multi-hop alternative.
+#pragma once
+
+#include <cstdint>
+
+#include "embed/embedding_store.h"
+#include "graph/bipartite_graph.h"
+
+namespace grafics::embed {
+
+struct RandomWalkConfig {
+  std::size_t dim = 8;
+  std::size_t walks_per_node = 10;
+  std::size_t walk_length = 20;
+  std::size_t window = 4;           // skip-gram context window
+  std::size_t negative_samples = 5;
+  double initial_learning_rate = 0.01;
+  double final_learning_rate_fraction = 1e-4;
+  std::uint64_t seed = 1;
+};
+
+/// Trains embeddings for every node of `graph` via random walks +
+/// skip-gram. The returned store uses the ego table for node
+/// representations; the context table holds the skip-gram output vectors.
+EmbeddingStore TrainRandomWalkEmbeddings(const graph::BipartiteGraph& graph,
+                                         const RandomWalkConfig& config);
+
+}  // namespace grafics::embed

@@ -1,0 +1,257 @@
+#include "embed/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/error.h"
+#include "common/matrix.h"
+
+namespace grafics::embed {
+
+namespace {
+
+/// One negative-sampling SGD step for a (source, target) pair against a
+/// target table (ego or context). Updates the target-table rows in place,
+/// accumulates the source gradient into `grad_src`.
+void SampledStep(std::span<const double> src, std::span<double> grad_src,
+                 Matrix& target_table, graph::NodeId target,
+                 const AliasSampler& negative_sampler,
+                 std::span<const graph::NodeId> node_of_index,
+                 std::size_t negatives, double lr, bool update_targets,
+                 Rng& rng) {
+  // Positive sample: label 1.
+  {
+    const std::span<double> tgt = target_table.Row(target);
+    const double g = (1.0 - Sigmoid(Dot(tgt, src))) * lr;
+    Axpy(g, tgt, grad_src);
+    if (update_targets) Axpy(g, src, tgt);
+  }
+  // K negative samples: label 0.
+  for (std::size_t k = 0; k < negatives; ++k) {
+    const graph::NodeId z = node_of_index[negative_sampler.Sample(rng)];
+    if (z == target) continue;
+    const std::span<double> neg = target_table.Row(z);
+    const double g = -Sigmoid(Dot(neg, src)) * lr;
+    Axpy(g, neg, grad_src);
+    if (update_targets) Axpy(g, src, neg);
+  }
+}
+
+/// Applies `grad` to `dst` with per-coordinate dropout.
+void ApplyGradient(std::span<double> dst, std::span<double> grad,
+                   double dropout, Rng& rng) {
+  for (std::size_t c = 0; c < dst.size(); ++c) {
+    if (dropout > 0.0 && rng.NextDouble() < dropout) continue;
+    dst[c] += grad[c];
+  }
+  std::fill(grad.begin(), grad.end(), 0.0);
+}
+
+struct EdgeTables {
+  std::vector<graph::Edge> edges;
+  AliasSampler edge_sampler;
+  AliasSampler negative_sampler;
+  std::vector<graph::NodeId> node_of_index;
+};
+
+EdgeTables BuildTables(const graph::BipartiteGraph& graph) {
+  EdgeTables t;
+  t.edges = graph.Edges();
+  Require(!t.edges.empty(), "TrainEmbeddings: graph has no edges");
+  std::vector<double> weights;
+  weights.reserve(t.edges.size());
+  for (const graph::Edge& e : t.edges) weights.push_back(e.weight);
+  t.edge_sampler = AliasSampler(weights);
+  t.negative_sampler = BuildNegativeSampler(graph, &t.node_of_index);
+  return t;
+}
+
+/// The per-sample update dispatch shared by offline training and tests.
+/// (i, j) is a directed edge draw; mutates `store` rows for i, j and
+/// sampled negatives.
+void TrainStep(const EdgeTables& tables, const TrainerConfig& config,
+               EmbeddingStore& store, graph::NodeId i, graph::NodeId j,
+               double lr, std::span<double> grad, Matrix& ego,
+               Matrix& context, Rng& rng) {
+  switch (config.objective) {
+    case Objective::kLineFirstOrder:
+      SampledStep(store.Ego(i), grad, ego, j, tables.negative_sampler,
+                  tables.node_of_index, config.negative_samples, lr,
+                  /*update_targets=*/true, rng);
+      ApplyGradient(store.Ego(i), grad, config.dropout, rng);
+      break;
+    case Objective::kLineSecondOrder:
+      SampledStep(store.Ego(i), grad, context, j, tables.negative_sampler,
+                  tables.node_of_index, config.negative_samples, lr,
+                  /*update_targets=*/true, rng);
+      ApplyGradient(store.Ego(i), grad, config.dropout, rng);
+      break;
+    case Objective::kLineBothOrders:
+      SampledStep(store.Ego(i), grad, ego, j, tables.negative_sampler,
+                  tables.node_of_index, config.negative_samples, lr,
+                  /*update_targets=*/true, rng);
+      ApplyGradient(store.Ego(i), grad, config.dropout, rng);
+      SampledStep(store.Ego(i), grad, context, j, tables.negative_sampler,
+                  tables.node_of_index, config.negative_samples, lr,
+                  /*update_targets=*/true, rng);
+      ApplyGradient(store.Ego(i), grad, config.dropout, rng);
+      break;
+    case Objective::kELine:
+      // Second-order term: context of j given ego of i (Eq. 5).
+      SampledStep(store.Ego(i), grad, context, j, tables.negative_sampler,
+                  tables.node_of_index, config.negative_samples, lr,
+                  /*update_targets=*/true, rng);
+      ApplyGradient(store.Ego(i), grad, config.dropout, rng);
+      // Mirrored term: ego of j given context of i (Eq. 8). This is what
+      // propagates similarity beyond one-hop neighborhoods.
+      SampledStep(store.Context(i), grad, ego, j, tables.negative_sampler,
+                  tables.node_of_index, config.negative_samples, lr,
+                  /*update_targets=*/true, rng);
+      ApplyGradient(store.Context(i), grad, config.dropout, rng);
+      break;
+  }
+}
+
+}  // namespace
+
+AliasSampler BuildNegativeSampler(const graph::BipartiteGraph& graph,
+                                  std::vector<graph::NodeId>* node_of_index) {
+  Require(node_of_index != nullptr,
+          "BuildNegativeSampler: node_of_index must not be null");
+  node_of_index->clear();
+  std::vector<double> weights;
+  for (graph::NodeId node = 0; node < graph.NumNodes(); ++node) {
+    if (!graph.IsActive(node) || graph.Degree(node) == 0) continue;
+    node_of_index->push_back(node);
+    weights.push_back(
+        std::pow(static_cast<double>(graph.Degree(node)), 0.75));
+  }
+  Require(!weights.empty(), "BuildNegativeSampler: no active nodes");
+  return AliasSampler(weights);
+}
+
+EmbeddingStore TrainEmbeddings(const graph::BipartiteGraph& graph,
+                               const TrainerConfig& config) {
+  Require(config.dim > 0, "TrainEmbeddings: dim must be positive");
+  Require(config.num_threads >= 1, "TrainEmbeddings: need >= 1 thread");
+
+  EdgeTables tables = BuildTables(graph);
+  Rng init_rng(config.seed);
+  EmbeddingStore store(graph.NumNodes(), config.dim, init_rng);
+  Matrix& ego = store.mutable_ego_matrix();
+  Matrix& context = store.mutable_context_matrix();
+
+  const std::size_t total_samples =
+      config.samples_per_edge * graph.NumEdges();
+  const double lr0 = config.initial_learning_rate;
+  const double lr_min = lr0 * config.final_learning_rate_fraction;
+
+  auto worker = [&](std::size_t worker_index, std::size_t samples) {
+    Rng rng(config.seed ^ (0xABCD0000ULL + worker_index));
+    std::vector<double> grad(config.dim, 0.0);
+    for (std::size_t s = 0; s < samples; ++s) {
+      // Linear learning-rate decay over this worker's share; workers run in
+      // lockstep statistically so the global schedule is preserved.
+      const double progress =
+          static_cast<double>(s) / static_cast<double>(samples);
+      const double lr = std::max(lr_min, lr0 * (1.0 - progress));
+      const graph::Edge& e = tables.edges[tables.edge_sampler.Sample(rng)];
+      // Undirected edge: pick a direction uniformly.
+      graph::NodeId i = e.record;
+      graph::NodeId j = e.mac;
+      if (rng.Bernoulli(0.5)) std::swap(i, j);
+      TrainStep(tables, config, store, i, j, lr, grad, ego, context, rng);
+    }
+  };
+
+  if (config.num_threads == 1) {
+    worker(0, total_samples);
+  } else {
+    // Hogwild-style lock-free parallel SGD: sparse updates rarely collide.
+    std::vector<std::thread> threads;
+    threads.reserve(config.num_threads);
+    const std::size_t share = total_samples / config.num_threads;
+    for (std::size_t t = 0; t < config.num_threads; ++t) {
+      threads.emplace_back(worker, t, share);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  return store;
+}
+
+void RefineNewNodes(const graph::BipartiteGraph& graph,
+                    std::span<const graph::NodeId> new_nodes,
+                    EmbeddingStore& store, const TrainerConfig& config,
+                    std::size_t iterations) {
+  std::vector<graph::NodeId> node_of_index;
+  const AliasSampler negative_sampler =
+      BuildNegativeSampler(graph, &node_of_index);
+  RefineNewNodes(graph, new_nodes, store, config, iterations,
+                 negative_sampler, node_of_index);
+}
+
+void RefineNewNodes(const graph::BipartiteGraph& graph,
+                    std::span<const graph::NodeId> new_nodes,
+                    EmbeddingStore& store, const TrainerConfig& config,
+                    std::size_t iterations,
+                    const AliasSampler& negative_sampler,
+                    std::span<const graph::NodeId> node_of_index) {
+  Require(store.num_nodes() == graph.NumNodes(),
+          "RefineNewNodes: store/graph size mismatch (call Grow first)");
+  Matrix& ego = store.mutable_ego_matrix();
+  Matrix& context = store.mutable_context_matrix();
+  Rng rng(config.seed ^ 0x5EEDFACEULL);
+  std::vector<double> grad(config.dim, 0.0);
+
+  for (const graph::NodeId node : new_nodes) {
+    const std::span<const graph::Neighbor> neighbors =
+        graph.NeighborsOf(node);
+    if (neighbors.empty()) continue;  // isolated: keep random init
+
+    // Warm start: weighted average of neighbor embeddings places the node
+    // inside its local neighborhood before SGD refinement.
+    const std::span<double> node_ego = store.Ego(node);
+    const std::span<double> node_context = store.Context(node);
+    std::fill(node_ego.begin(), node_ego.end(), 0.0);
+    std::fill(node_context.begin(), node_context.end(), 0.0);
+    double weight_sum = 0.0;
+    for (const graph::Neighbor& nb : neighbors) {
+      Axpy(nb.weight, store.Ego(nb.node), node_ego);
+      Axpy(nb.weight, store.Context(nb.node), node_context);
+      weight_sum += nb.weight;
+    }
+    Scale(node_ego, 1.0 / weight_sum);
+    Scale(node_context, 1.0 / weight_sum);
+
+    // Alias table over this node's incident edges.
+    std::vector<double> weights;
+    weights.reserve(neighbors.size());
+    for (const graph::Neighbor& nb : neighbors) weights.push_back(nb.weight);
+    const AliasSampler local_edges(weights);
+
+    const double lr0 = config.initial_learning_rate;
+    for (std::size_t s = 0; s < iterations; ++s) {
+      const double lr = std::max(
+          lr0 * config.final_learning_rate_fraction,
+          lr0 * (1.0 - static_cast<double>(s) /
+                           static_cast<double>(iterations)));
+      const graph::Neighbor& nb = neighbors[local_edges.Sample(rng)];
+      // Only the new node's rows move: update_targets=false freezes the
+      // base model, matching Sec. V-A.
+      SampledStep(store.Ego(node), grad, context, nb.node, negative_sampler,
+                  node_of_index, config.negative_samples, lr,
+                  /*update_targets=*/false, rng);
+      ApplyGradient(store.Ego(node), grad, /*dropout=*/0.0, rng);
+      if (config.objective == Objective::kELine) {
+        SampledStep(store.Context(node), grad, ego, nb.node,
+                    negative_sampler, node_of_index,
+                    config.negative_samples, lr,
+                    /*update_targets=*/false, rng);
+        ApplyGradient(store.Context(node), grad, /*dropout=*/0.0, rng);
+      }
+    }
+  }
+}
+
+}  // namespace grafics::embed

@@ -1,0 +1,207 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/serialize.h"
+
+namespace grafics::graph {
+
+BipartiteGraph BipartiteGraph::FromRecords(
+    const std::vector<rf::SignalRecord>& records, const WeightFn& weight_fn) {
+  BipartiteGraph graph;
+  for (const rf::SignalRecord& record : records) {
+    graph.AddRecord(record, weight_fn);
+  }
+  return graph;
+}
+
+NodeId BipartiteGraph::NewNode(NodeType type) {
+  const auto id = static_cast<NodeId>(types_.size());
+  types_.push_back(type);
+  active_.push_back(true);
+  adjacency_.emplace_back();
+  weighted_degree_.push_back(0.0);
+  return id;
+}
+
+NodeId BipartiteGraph::AddRecord(const rf::SignalRecord& record,
+                                 const WeightFn& weight_fn) {
+  const NodeId record_node = NewNode(NodeType::kRecord);
+  record_nodes_.push_back(record_node);
+  for (const rf::Observation& o : record.observations()) {
+    const NodeId mac_node = GetOrAddMacNode(o.mac);
+    AddEdge(record_node, mac_node, weight_fn(o.rssi_dbm));
+  }
+  return record_node;
+}
+
+NodeId BipartiteGraph::GetOrAddMacNode(rf::MacAddress mac) {
+  if (const auto it = mac_to_node_.find(mac); it != mac_to_node_.end()) {
+    Require(active_[it->second],
+            "BipartiteGraph: MAC " + mac.ToString() + " was removed");
+    return it->second;
+  }
+  const NodeId id = NewNode(NodeType::kMac);
+  mac_to_node_.emplace(mac, id);
+  ++num_active_macs_;
+  return id;
+}
+
+std::optional<NodeId> BipartiteGraph::FindMacNode(rf::MacAddress mac) const {
+  const auto it = mac_to_node_.find(mac);
+  if (it == mac_to_node_.end() || !active_[it->second]) return std::nullopt;
+  return it->second;
+}
+
+void BipartiteGraph::AddEdge(NodeId record, NodeId mac, double weight) {
+  Require(weight > 0.0, "BipartiteGraph::AddEdge: weight must be positive");
+  adjacency_[record].push_back({mac, weight});
+  adjacency_[mac].push_back({record, weight});
+  weighted_degree_[record] += weight;
+  weighted_degree_[mac] += weight;
+  total_edge_weight_ += weight;
+  ++num_edges_;
+}
+
+bool BipartiteGraph::RemoveMacNode(rf::MacAddress mac) {
+  const auto it = mac_to_node_.find(mac);
+  if (it == mac_to_node_.end() || !active_[it->second]) return false;
+  const NodeId mac_node = it->second;
+  for (const Neighbor& nb : adjacency_[mac_node]) {
+    auto& rec_adj = adjacency_[nb.node];
+    std::erase_if(rec_adj, [mac_node](const Neighbor& r) {
+      return r.node == mac_node;
+    });
+    weighted_degree_[nb.node] -= nb.weight;
+    total_edge_weight_ -= nb.weight;
+    --num_edges_;
+  }
+  adjacency_[mac_node].clear();
+  weighted_degree_[mac_node] = 0.0;
+  active_[mac_node] = false;
+  --num_active_macs_;
+  return true;
+}
+
+NodeType BipartiteGraph::TypeOf(NodeId node) const {
+  Require(node < types_.size(), "BipartiteGraph::TypeOf: bad node id");
+  return types_[node];
+}
+
+bool BipartiteGraph::IsActive(NodeId node) const {
+  Require(node < active_.size(), "BipartiteGraph::IsActive: bad node id");
+  return active_[node];
+}
+
+NodeId BipartiteGraph::RecordNode(std::size_t record_index) const {
+  Require(record_index < record_nodes_.size(),
+          "BipartiteGraph::RecordNode: index out of range");
+  return record_nodes_[record_index];
+}
+
+std::size_t BipartiteGraph::RecordIndexOf(NodeId node) const {
+  Require(node < types_.size() && types_[node] == NodeType::kRecord,
+          "BipartiteGraph::RecordIndexOf: not a record node");
+  // Record nodes are appended in order, so binary search works.
+  const auto it =
+      std::lower_bound(record_nodes_.begin(), record_nodes_.end(), node);
+  Require(it != record_nodes_.end() && *it == node,
+          "BipartiteGraph::RecordIndexOf: unknown record node");
+  return static_cast<std::size_t>(it - record_nodes_.begin());
+}
+
+std::span<const Neighbor> BipartiteGraph::NeighborsOf(NodeId node) const {
+  Require(node < adjacency_.size(), "BipartiteGraph::NeighborsOf: bad id");
+  return adjacency_[node];
+}
+
+double BipartiteGraph::WeightedDegree(NodeId node) const {
+  Require(node < weighted_degree_.size(),
+          "BipartiteGraph::WeightedDegree: bad id");
+  return weighted_degree_[node];
+}
+
+namespace {
+constexpr char kGraphMagic[4] = {'G', 'B', 'P', 'G'};
+constexpr std::uint32_t kGraphVersion = 1;
+}  // namespace
+
+void BipartiteGraph::Save(std::ostream& out) const {
+  WriteHeader(out, kGraphMagic, kGraphVersion);
+  WriteU64(out, types_.size());
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    WriteU8(out, static_cast<std::uint8_t>(types_[i]));
+    WriteU8(out, active_[i] ? 1 : 0);
+  }
+  WriteU64(out, record_nodes_.size());
+  for (const NodeId node : record_nodes_) WriteU32(out, node);
+  WriteU64(out, mac_to_node_.size());
+  for (const auto& [mac, node] : mac_to_node_) {
+    WriteU64(out, mac.bits());
+    WriteU32(out, node);
+  }
+  // Record-side adjacency only; the MAC side is rebuilt on load.
+  for (const NodeId record : record_nodes_) {
+    WriteU64(out, adjacency_[record].size());
+    for (const Neighbor& nb : adjacency_[record]) {
+      WriteU32(out, nb.node);
+      WriteDouble(out, nb.weight);
+    }
+  }
+}
+
+BipartiteGraph BipartiteGraph::Load(std::istream& in) {
+  CheckHeader(in, kGraphMagic, kGraphVersion);
+  BipartiteGraph g;
+  const std::uint64_t num_nodes = ReadU64(in);
+  g.types_.resize(num_nodes);
+  g.active_.resize(num_nodes);
+  g.adjacency_.resize(num_nodes);
+  g.weighted_degree_.assign(num_nodes, 0.0);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    g.types_[i] = static_cast<NodeType>(ReadU8(in));
+    g.active_[i] = ReadU8(in) != 0;
+  }
+  const std::uint64_t num_records = ReadU64(in);
+  g.record_nodes_.resize(num_records);
+  for (std::size_t i = 0; i < num_records; ++i) {
+    g.record_nodes_[i] = ReadU32(in);
+    Require(g.record_nodes_[i] < num_nodes, "BipartiteGraph::Load: bad id");
+  }
+  const std::uint64_t num_macs = ReadU64(in);
+  g.num_active_macs_ = 0;
+  for (std::size_t i = 0; i < num_macs; ++i) {
+    const rf::MacAddress mac(ReadU64(in));
+    const NodeId node = ReadU32(in);
+    Require(node < num_nodes, "BipartiteGraph::Load: bad MAC node id");
+    g.mac_to_node_.emplace(mac, node);
+    if (g.active_[node]) ++g.num_active_macs_;
+  }
+  for (const NodeId record : g.record_nodes_) {
+    const std::uint64_t degree = ReadU64(in);
+    for (std::uint64_t e = 0; e < degree; ++e) {
+      const NodeId mac = ReadU32(in);
+      const double weight = ReadDouble(in);
+      Require(mac < num_nodes && g.types_[mac] == NodeType::kMac,
+              "BipartiteGraph::Load: bad edge endpoint");
+      g.AddEdge(record, mac, weight);
+    }
+  }
+  return g;
+}
+
+std::vector<Edge> BipartiteGraph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (const NodeId record : record_nodes_) {
+    for (const Neighbor& nb : adjacency_[record]) {
+      edges.push_back({record, nb.node, nb.weight});
+    }
+  }
+  return edges;
+}
+
+}  // namespace grafics::graph

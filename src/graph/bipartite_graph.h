@@ -1,0 +1,107 @@
+// Weighted bipartite graph G = (M, V, E) of MAC nodes and RF-record nodes.
+//
+// This is the paper's Sec. IV-A data model: each RF record becomes a node of
+// one type, each sensed MAC a node of the other, and an edge of weight
+// f(RSS_mv) connects record v to MAC m. The graph is incremental in both
+// directions — new records and MACs can be appended (online inference) and
+// MACs can be retired (AP removal) without rebuilding.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/weight_function.h"
+#include "rf/signal_record.h"
+
+namespace grafics::graph {
+
+using NodeId = std::uint32_t;
+
+enum class NodeType : std::uint8_t { kRecord, kMac };
+
+struct Neighbor {
+  NodeId node = 0;
+  double weight = 0.0;
+
+  bool operator==(const Neighbor&) const = default;
+};
+
+/// Undirected weighted edge; `record` is always the record-side endpoint.
+struct Edge {
+  NodeId record = 0;
+  NodeId mac = 0;
+  double weight = 0.0;
+};
+
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+
+  /// Builds a graph over all records of `dataset` with edge weights
+  /// weight_fn(RSS).
+  static BipartiteGraph FromRecords(
+      const std::vector<rf::SignalRecord>& records, const WeightFn& weight_fn);
+
+  /// Adds one record node with edges to its (possibly new) MAC nodes.
+  /// Returns the new record node id. Empty records are allowed but produce
+  /// an isolated node.
+  NodeId AddRecord(const rf::SignalRecord& record, const WeightFn& weight_fn);
+
+  /// Returns the MAC node id, creating the node if absent.
+  NodeId GetOrAddMacNode(rf::MacAddress mac);
+
+  /// Node id of the MAC if present.
+  std::optional<NodeId> FindMacNode(rf::MacAddress mac) const;
+
+  /// Retires a MAC node: removes all its edges (both directions) and marks
+  /// it inactive. Returns false if the MAC is unknown. Models AP removal.
+  bool RemoveMacNode(rf::MacAddress mac);
+
+  std::size_t NumNodes() const { return types_.size(); }
+  std::size_t NumRecords() const { return record_nodes_.size(); }
+  std::size_t NumMacs() const { return num_active_macs_; }
+  std::size_t NumEdges() const { return num_edges_; }
+
+  NodeType TypeOf(NodeId node) const;
+  bool IsActive(NodeId node) const;
+
+  /// Record node id for the i-th added record.
+  NodeId RecordNode(std::size_t record_index) const;
+  /// Inverse of RecordNode. Throws if `node` is not a record node.
+  std::size_t RecordIndexOf(NodeId node) const;
+
+  std::span<const Neighbor> NeighborsOf(NodeId node) const;
+  double WeightedDegree(NodeId node) const;
+  std::size_t Degree(NodeId node) const { return NeighborsOf(node).size(); }
+
+  /// All edges, record side first. O(E).
+  std::vector<Edge> Edges() const;
+  double TotalEdgeWeight() const { return total_edge_weight_; }
+
+  /// Binary (de)serialization; round-trips the full graph state including
+  /// retired MAC nodes so node ids stay stable.
+  void Save(std::ostream& out) const;
+  static BipartiteGraph Load(std::istream& in);
+
+  bool operator==(const BipartiteGraph&) const = default;
+
+ private:
+  NodeId NewNode(NodeType type);
+  void AddEdge(NodeId record, NodeId mac, double weight);
+
+  std::vector<NodeType> types_;
+  std::vector<bool> active_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::vector<double> weighted_degree_;
+  std::vector<NodeId> record_nodes_;
+  std::unordered_map<rf::MacAddress, NodeId> mac_to_node_;
+  std::size_t num_edges_ = 0;
+  std::size_t num_active_macs_ = 0;
+  double total_edge_weight_ = 0.0;
+};
+
+}  // namespace grafics::graph

@@ -1,0 +1,26 @@
+#include "graph/weight_function.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace grafics::graph {
+
+WeightFn OffsetWeight(double alpha) {
+  return [alpha](double rssi_dbm) {
+    const double w = rssi_dbm + alpha;
+    Require(w > 0.0,
+            "OffsetWeight: alpha must exceed |RSS| for every observation");
+    return w;
+  };
+}
+
+WeightFn PowerWeight() {
+  return [](double rssi_dbm) { return std::pow(10.0, rssi_dbm / 10.0); };
+}
+
+WeightFn BinaryWeight() {
+  return [](double) { return 1.0; };
+}
+
+}  // namespace grafics::graph

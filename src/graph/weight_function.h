@@ -1,0 +1,25 @@
+// Edge-weight functions mapping RSS (dBm) to a positive graph edge weight.
+//
+// The paper's Eq. (2) uses f(RSS) = RSS + α with α larger than any |RSS|
+// (α = 120 in Sec. VI-D), and compares against the power-domain conversion
+// g(RSS) = 10^{RSS/10} (Fig. 16), which compresses the differences between
+// RSS values and produces worse embeddings.
+#pragma once
+
+#include <functional>
+
+namespace grafics::graph {
+
+/// Maps an RSS value in dBm to a strictly positive edge weight.
+using WeightFn = std::function<double(double)>;
+
+/// f(RSS) = RSS + alpha. Throws at call time if the result is not positive.
+WeightFn OffsetWeight(double alpha = 120.0);
+
+/// g(RSS) = 10^{RSS/10} (dBm -> milliwatts).
+WeightFn PowerWeight();
+
+/// Binary weight: every observed edge weighs 1 (ablation).
+WeightFn BinaryWeight();
+
+}  // namespace grafics::graph

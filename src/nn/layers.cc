@@ -1,0 +1,210 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace grafics::nn {
+
+// ---------------------------------------------------------------- Dense ----
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : weight_(Matrix::RandomNormal(
+          in_features, out_features, rng,
+          // Xavier/Glorot initialization.
+          std::sqrt(2.0 / static_cast<double>(in_features + out_features)))),
+      bias_(Matrix(1, out_features)) {}
+
+Matrix Dense::Forward(const Matrix& input, bool training) {
+  Require(input.cols() == in_features(), "Dense::Forward: dim mismatch");
+  if (training) cached_input_ = input;
+  Matrix out = input.MatMul(weight_.value);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    Axpy(1.0, bias_.value.Row(0), out.Row(r));
+  }
+  return out;
+}
+
+Matrix Dense::Backward(const Matrix& grad_output) {
+  Require(cached_input_.rows() == grad_output.rows(),
+          "Dense::Backward: call Forward(training=true) first");
+  weight_.grad += cached_input_.Transposed().MatMul(grad_output);
+  for (std::size_t r = 0; r < grad_output.rows(); ++r) {
+    Axpy(1.0, grad_output.Row(r), bias_.grad.Row(0));
+  }
+  return grad_output.MatMul(weight_.value.Transposed());
+}
+
+// ----------------------------------------------------------- activations ---
+
+Matrix ReLU::Forward(const Matrix& input, bool training) {
+  if (training) cached_input_ = input;
+  Matrix out = input;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (double& v : out.Row(r)) v = std::max(0.0, v);
+  }
+  return out;
+}
+
+Matrix ReLU::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    for (std::size_t c = 0; c < grad.cols(); ++c) {
+      if (cached_input_(r, c) <= 0.0) grad(r, c) = 0.0;
+    }
+  }
+  return grad;
+}
+
+Matrix Sigmoid::Forward(const Matrix& input, bool training) {
+  Matrix out = input;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (double& v : out.Row(r)) v = grafics::Sigmoid(v);
+  }
+  if (training) cached_output_ = out;
+  return out;
+}
+
+Matrix Sigmoid::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    for (std::size_t c = 0; c < grad.cols(); ++c) {
+      const double y = cached_output_(r, c);
+      grad(r, c) *= y * (1.0 - y);
+    }
+  }
+  return grad;
+}
+
+Matrix Tanh::Forward(const Matrix& input, bool training) {
+  Matrix out = input;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (double& v : out.Row(r)) v = std::tanh(v);
+  }
+  if (training) cached_output_ = out;
+  return out;
+}
+
+Matrix Tanh::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    for (std::size_t c = 0; c < grad.cols(); ++c) {
+      const double y = cached_output_(r, c);
+      grad(r, c) *= 1.0 - y * y;
+    }
+  }
+  return grad;
+}
+
+// -------------------------------------------------------------- Dropout ----
+
+Dropout::Dropout(double probability, std::uint64_t seed)
+    : probability_(probability), rng_(seed) {
+  Require(probability >= 0.0 && probability < 1.0,
+          "Dropout: probability must be in [0,1)");
+}
+
+Matrix Dropout::Forward(const Matrix& input, bool training) {
+  if (!training || probability_ == 0.0) return input;
+  mask_ = Matrix(input.rows(), input.cols());
+  const double keep_scale = 1.0 / (1.0 - probability_);
+  Matrix out = input;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      const bool keep = !rng_.Bernoulli(probability_);
+      mask_(r, c) = keep ? keep_scale : 0.0;
+      out(r, c) *= mask_(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Dropout::Backward(const Matrix& grad_output) {
+  if (mask_.empty()) return grad_output;
+  Matrix grad = grad_output;
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    for (std::size_t c = 0; c < grad.cols(); ++c) grad(r, c) *= mask_(r, c);
+  }
+  return grad;
+}
+
+// --------------------------------------------------------------- Conv1D ----
+
+Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_size, std::size_t length, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      length_(length),
+      kernel_(Matrix::RandomNormal(
+          out_channels, in_channels * kernel_size, rng,
+          std::sqrt(2.0 / static_cast<double>(in_channels * kernel_size +
+                                              out_channels)))),
+      bias_(Matrix(1, out_channels)) {
+  Require(kernel_size % 2 == 1, "Conv1D: kernel size must be odd ('same')");
+}
+
+Matrix Conv1D::Forward(const Matrix& input, bool training) {
+  Require(input.cols() == in_channels_ * length_,
+          "Conv1D::Forward: dim mismatch");
+  if (training) cached_input_ = input;
+  const std::ptrdiff_t half =
+      static_cast<std::ptrdiff_t>(kernel_size_) / 2;
+  Matrix out(input.rows(), out_channels_ * length_);
+  for (std::size_t b = 0; b < input.rows(); ++b) {
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      for (std::size_t t = 0; t < length_; ++t) {
+        double acc = bias_.value(0, oc);
+        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+          for (std::size_t k = 0; k < kernel_size_; ++k) {
+            const std::ptrdiff_t src =
+                static_cast<std::ptrdiff_t>(t) + static_cast<std::ptrdiff_t>(k) - half;
+            if (src < 0 || src >= static_cast<std::ptrdiff_t>(length_)) {
+              continue;  // zero padding
+            }
+            acc += kernel_.value(oc, ic * kernel_size_ + k) *
+                   input(b, ic * length_ + static_cast<std::size_t>(src));
+          }
+        }
+        out(b, oc * length_ + t) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Conv1D::Backward(const Matrix& grad_output) {
+  Require(grad_output.cols() == out_channels_ * length_,
+          "Conv1D::Backward: dim mismatch");
+  const std::ptrdiff_t half =
+      static_cast<std::ptrdiff_t>(kernel_size_) / 2;
+  Matrix grad_input(cached_input_.rows(), in_channels_ * length_);
+  for (std::size_t b = 0; b < grad_output.rows(); ++b) {
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      for (std::size_t t = 0; t < length_; ++t) {
+        const double g = grad_output(b, oc * length_ + t);
+        if (g == 0.0) continue;
+        bias_.grad(0, oc) += g;
+        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+          for (std::size_t k = 0; k < kernel_size_; ++k) {
+            const std::ptrdiff_t src =
+                static_cast<std::ptrdiff_t>(t) + static_cast<std::ptrdiff_t>(k) - half;
+            if (src < 0 || src >= static_cast<std::ptrdiff_t>(length_)) {
+              continue;
+            }
+            const std::size_t in_index =
+                ic * length_ + static_cast<std::size_t>(src);
+            kernel_.grad(oc, ic * kernel_size_ + k) +=
+                g * cached_input_(b, in_index);
+            grad_input(b, in_index) +=
+                g * kernel_.value(oc, ic * kernel_size_ + k);
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace grafics::nn

@@ -1,0 +1,134 @@
+// Minimal feed-forward neural-network layers with manual backprop.
+//
+// This substrate exists only to implement the paper's comparison baselines
+// (autoencoder, stacked autoencoder / SAE, Scalable-DNN) without external
+// dependencies. Batches are dense row-major matrices: one sample per row.
+// Conv1D flattens (channels, length) as [c0 | c1 | ...] within a row.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace grafics::nn {
+
+/// A trainable parameter tensor paired with its gradient accumulator.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+
+  explicit Parameter(Matrix v)
+      : value(std::move(v)), grad(value.rows(), value.cols()) {}
+  void ZeroGrad() { grad.Fill(0.0); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass; layers cache what Backward needs.
+  virtual Matrix Forward(const Matrix& input, bool training) = 0;
+  /// Backward pass: consumes dL/d(output), returns dL/d(input), and
+  /// accumulates parameter gradients.
+  virtual Matrix Backward(const Matrix& grad_output) = 0;
+
+  /// Trainable parameters (empty for activations).
+  virtual std::vector<Parameter*> Parameters() { return {}; }
+  virtual std::string Name() const = 0;
+};
+
+/// Fully connected: y = x W + b. W is (in, out).
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
+  std::string Name() const override { return "Dense"; }
+
+  std::size_t in_features() const { return weight_.value.rows(); }
+  std::size_t out_features() const { return weight_.value.cols(); }
+
+ private:
+  Parameter weight_;
+  Parameter bias_;  // (1, out)
+  Matrix cached_input_;
+};
+
+class ReLU : public Layer {
+ public:
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "ReLU"; }
+
+ private:
+  Matrix cached_input_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "Sigmoid"; }
+
+ private:
+  Matrix cached_output_;
+};
+
+class Tanh : public Layer {
+ public:
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "Tanh"; }
+
+ private:
+  Matrix cached_output_;
+};
+
+/// Inverted dropout: scales survivors by 1/(1-p) at train time, identity at
+/// inference.
+class Dropout : public Layer {
+ public:
+  Dropout(double probability, std::uint64_t seed);
+
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "Dropout"; }
+
+ private:
+  double probability_;
+  Rng rng_;
+  Matrix mask_;
+};
+
+/// 1-D convolution with 'same' zero padding and stride 1.
+/// Input rows are (in_channels * length); output rows are
+/// (out_channels * length).
+class Conv1D : public Layer {
+ public:
+  Conv1D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel_size, std::size_t length, Rng& rng);
+
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> Parameters() override { return {&kernel_, &bias_}; }
+  std::string Name() const override { return "Conv1D"; }
+
+  std::size_t length() const { return length_; }
+  std::size_t out_channels() const { return out_channels_; }
+
+ private:
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_size_;
+  std::size_t length_;
+  Parameter kernel_;  // (out_channels, in_channels * kernel_size)
+  Parameter bias_;    // (1, out_channels)
+  Matrix cached_input_;
+};
+
+}  // namespace grafics::nn

@@ -1,0 +1,63 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace grafics::nn {
+
+LossValue MseLoss(const Matrix& prediction, const Matrix& target) {
+  Require(prediction.rows() == target.rows() &&
+              prediction.cols() == target.cols(),
+          "MseLoss: shape mismatch");
+  LossValue loss;
+  loss.gradient = Matrix(prediction.rows(), prediction.cols());
+  const double scale = 1.0 / (static_cast<double>(prediction.rows()) *
+                              static_cast<double>(prediction.cols()));
+  for (std::size_t r = 0; r < prediction.rows(); ++r) {
+    for (std::size_t c = 0; c < prediction.cols(); ++c) {
+      const double diff = prediction(r, c) - target(r, c);
+      loss.value += diff * diff * scale;
+      loss.gradient(r, c) = 2.0 * diff * scale;
+    }
+  }
+  return loss;
+}
+
+Matrix Softmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    const auto row = out.Row(r);
+    const double max_logit = *std::max_element(row.begin(), row.end());
+    double sum = 0.0;
+    for (double& v : row) {
+      v = std::exp(v - max_logit);
+      sum += v;
+    }
+    for (double& v : row) v /= sum;
+  }
+  return out;
+}
+
+LossValue SoftmaxCrossEntropyLoss(const Matrix& logits,
+                                  const std::vector<std::size_t>& labels) {
+  Require(logits.rows() == labels.size(),
+          "SoftmaxCrossEntropyLoss: batch/labels mismatch");
+  LossValue loss;
+  loss.gradient = Softmax(logits);
+  const double scale = 1.0 / static_cast<double>(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    Require(labels[r] < logits.cols(),
+            "SoftmaxCrossEntropyLoss: label out of range");
+    const double p = std::max(loss.gradient(r, labels[r]), 1e-15);
+    loss.value -= std::log(p) * scale;
+    loss.gradient(r, labels[r]) -= 1.0;
+  }
+  for (std::size_t r = 0; r < loss.gradient.rows(); ++r) {
+    Scale(loss.gradient.Row(r), scale);
+  }
+  return loss;
+}
+
+}  // namespace grafics::nn

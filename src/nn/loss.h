@@ -1,0 +1,26 @@
+// Loss functions for the neural baselines.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace grafics::nn {
+
+struct LossValue {
+  double value = 0.0;  // mean loss over the batch
+  Matrix gradient;     // dL/d(prediction), already divided by batch size
+};
+
+/// Mean squared error: L = mean over batch of ||pred - target||^2 / cols.
+LossValue MseLoss(const Matrix& prediction, const Matrix& target);
+
+/// Softmax cross-entropy against integer class labels.
+/// `logits` is (batch, classes); labels[i] in [0, classes).
+LossValue SoftmaxCrossEntropyLoss(const Matrix& logits,
+                                  const std::vector<std::size_t>& labels);
+
+/// Row-wise softmax (exposed for prediction).
+Matrix Softmax(const Matrix& logits);
+
+}  // namespace grafics::nn

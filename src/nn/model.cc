@@ -1,0 +1,121 @@
+#include "nn/model.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace grafics::nn {
+
+Matrix Sequential::Forward(const Matrix& input, bool training) {
+  Matrix x = input;
+  for (const auto& layer : layers_) x = layer->Forward(x, training);
+  return x;
+}
+
+Matrix Sequential::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::Parameters() {
+  std::vector<Parameter*> params;
+  for (const auto& layer : layers_) {
+    for (Parameter* p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+namespace {
+
+Matrix TakeRows(const Matrix& source, std::span<const std::size_t> rows) {
+  Matrix out(rows.size(), source.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::copy(source.Row(rows[i]).begin(), source.Row(rows[i]).end(),
+              out.Row(i).begin());
+  }
+  return out;
+}
+
+template <typename BatchLoss>
+double FitLoop(Sequential& model, Optimizer& optimizer, std::size_t num_rows,
+               const FitConfig& config, BatchLoss&& batch_loss) {
+  Require(num_rows > 0, "Fit: empty training set");
+  Require(config.batch_size > 0, "Fit: batch_size must be positive");
+  std::vector<std::size_t> order(num_rows);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(config.shuffle_seed);
+  const std::vector<Parameter*> params = model.Parameters();
+
+  double epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < num_rows;
+         start += config.batch_size) {
+      const std::size_t end = std::min(num_rows, start + config.batch_size);
+      const std::span<const std::size_t> batch(order.data() + start,
+                                               end - start);
+      epoch_loss += batch_loss(batch);
+      optimizer.Step(params);
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(batches);
+    if (config.on_epoch) config.on_epoch(epoch, epoch_loss);
+  }
+  return epoch_loss;
+}
+
+}  // namespace
+
+double FitRegression(Sequential& model, Optimizer& optimizer,
+                     const Matrix& inputs, const Matrix& targets,
+                     const FitConfig& config) {
+  Require(inputs.rows() == targets.rows(), "FitRegression: row mismatch");
+  return FitLoop(model, optimizer, inputs.rows(), config,
+                 [&](std::span<const std::size_t> batch) {
+                   const Matrix x = TakeRows(inputs, batch);
+                   const Matrix y = TakeRows(targets, batch);
+                   const Matrix pred = model.Forward(x, /*training=*/true);
+                   LossValue loss = MseLoss(pred, y);
+                   model.Backward(loss.gradient);
+                   return loss.value;
+                 });
+}
+
+double FitClassifier(Sequential& model, Optimizer& optimizer,
+                     const Matrix& inputs,
+                     const std::vector<std::size_t>& labels,
+                     const FitConfig& config) {
+  Require(inputs.rows() == labels.size(), "FitClassifier: row mismatch");
+  return FitLoop(model, optimizer, inputs.rows(), config,
+                 [&](std::span<const std::size_t> batch) {
+                   const Matrix x = TakeRows(inputs, batch);
+                   std::vector<std::size_t> y(batch.size());
+                   for (std::size_t i = 0; i < batch.size(); ++i) {
+                     y[i] = labels[batch[i]];
+                   }
+                   const Matrix logits = model.Forward(x, /*training=*/true);
+                   LossValue loss = SoftmaxCrossEntropyLoss(logits, y);
+                   model.Backward(loss.gradient);
+                   return loss.value;
+                 });
+}
+
+std::vector<std::size_t> PredictClasses(Sequential& model,
+                                        const Matrix& inputs) {
+  const Matrix logits = model.Forward(inputs, /*training=*/false);
+  std::vector<std::size_t> classes(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto row = logits.Row(r);
+    classes[r] = static_cast<std::size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return classes;
+}
+
+}  // namespace grafics::nn

@@ -1,0 +1,67 @@
+// Sequential container of layers with a mini-batch training loop.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace grafics::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  Sequential& Add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  template <typename L, typename... Args>
+  Sequential& Emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<L>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  Matrix Forward(const Matrix& input, bool training = false);
+  /// Backpropagates dL/d(output); returns dL/d(input).
+  Matrix Backward(const Matrix& grad_output);
+
+  std::vector<Parameter*> Parameters();
+  std::size_t NumLayers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+struct FitConfig {
+  std::size_t epochs = 50;
+  std::size_t batch_size = 32;
+  std::uint64_t shuffle_seed = 7;
+  /// Optional per-epoch callback (epoch index, mean loss).
+  std::function<void(std::size_t, double)> on_epoch;
+};
+
+/// Mini-batch training against MSE: targets are a matrix (e.g. autoencoder
+/// reconstruction). Returns the mean loss of the final epoch.
+double FitRegression(Sequential& model, Optimizer& optimizer,
+                     const Matrix& inputs, const Matrix& targets,
+                     const FitConfig& config);
+
+/// Mini-batch training against softmax cross-entropy on integer labels.
+/// Returns the mean loss of the final epoch.
+double FitClassifier(Sequential& model, Optimizer& optimizer,
+                     const Matrix& inputs,
+                     const std::vector<std::size_t>& labels,
+                     const FitConfig& config);
+
+/// Argmax class per row of `logits`.
+std::vector<std::size_t> PredictClasses(Sequential& model,
+                                        const Matrix& inputs);
+
+}  // namespace grafics::nn

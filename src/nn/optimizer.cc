@@ -1,0 +1,54 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace grafics::nn {
+
+void Sgd::Step(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    if (momentum_ == 0.0) {
+      for (std::size_t r = 0; r < p->value.rows(); ++r) {
+        Axpy(-learning_rate_, p->grad.Row(r), p->value.Row(r));
+      }
+    } else {
+      auto [it, inserted] = velocity_.try_emplace(
+          p, Matrix(p->value.rows(), p->value.cols()));
+      Matrix& vel = it->second;
+      for (std::size_t r = 0; r < p->value.rows(); ++r) {
+        for (std::size_t c = 0; c < p->value.cols(); ++c) {
+          vel(r, c) = momentum_ * vel(r, c) - learning_rate_ * p->grad(r, c);
+          p->value(r, c) += vel(r, c);
+        }
+      }
+    }
+    p->ZeroGrad();
+  }
+}
+
+void Adam::Step(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    auto [it, inserted] = state_.try_emplace(p);
+    State& s = it->second;
+    if (inserted) {
+      s.m = Matrix(p->value.rows(), p->value.cols());
+      s.v = Matrix(p->value.rows(), p->value.cols());
+    }
+    ++s.t;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(s.t));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(s.t));
+    for (std::size_t r = 0; r < p->value.rows(); ++r) {
+      for (std::size_t c = 0; c < p->value.cols(); ++c) {
+        const double g = p->grad(r, c);
+        s.m(r, c) = beta1_ * s.m(r, c) + (1.0 - beta1_) * g;
+        s.v(r, c) = beta2_ * s.v(r, c) + (1.0 - beta2_) * g * g;
+        const double m_hat = s.m(r, c) / bc1;
+        const double v_hat = s.v(r, c) / bc2;
+        p->value(r, c) -=
+            learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+      }
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace grafics::nn

@@ -1,0 +1,57 @@
+// Optimizers for the neural baselines.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace grafics::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies accumulated gradients to `params` and zeroes them.
+  virtual void Step(const std::vector<Parameter*>& params) = 0;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.0)
+      : learning_rate_(learning_rate), momentum_(momentum) {}
+
+  void Step(const std::vector<Parameter*>& params) override;
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  std::unordered_map<Parameter*, Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8)
+      : learning_rate_(learning_rate),
+        beta1_(beta1),
+        beta2_(beta2),
+        epsilon_(epsilon) {}
+
+  void Step(const std::vector<Parameter*>& params) override;
+
+ private:
+  struct State {
+    Matrix m;
+    Matrix v;
+    std::size_t t = 0;
+  };
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  std::unordered_map<Parameter*, State> state_;
+};
+
+}  // namespace grafics::nn

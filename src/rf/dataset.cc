@@ -1,0 +1,138 @@
+#include "rf/dataset.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace grafics::rf {
+
+const SignalRecord& Dataset::record(std::size_t i) const {
+  Require(i < records_.size(), "Dataset::record: index out of range");
+  return records_[i];
+}
+
+std::vector<MacAddress> Dataset::DistinctMacs() const {
+  std::unordered_set<MacAddress> seen;
+  std::vector<MacAddress> macs;
+  for (const SignalRecord& r : records_) {
+    for (const Observation& o : r.observations()) {
+      if (seen.insert(o.mac).second) macs.push_back(o.mac);
+    }
+  }
+  return macs;
+}
+
+std::vector<FloorId> Dataset::Floors() const {
+  std::unordered_set<FloorId> seen;
+  std::vector<FloorId> floors;
+  for (const SignalRecord& r : records_) {
+    if (r.floor() && seen.insert(*r.floor()).second) {
+      floors.push_back(*r.floor());
+    }
+  }
+  std::sort(floors.begin(), floors.end());
+  return floors;
+}
+
+std::map<FloorId, std::size_t> Dataset::RecordsPerFloor() const {
+  std::map<FloorId, std::size_t> counts;
+  for (const SignalRecord& r : records_) {
+    if (r.floor()) ++counts[*r.floor()];
+  }
+  return counts;
+}
+
+std::size_t Dataset::LabeledCount() const {
+  std::size_t count = 0;
+  for (const SignalRecord& r : records_) {
+    if (r.is_labeled()) ++count;
+  }
+  return count;
+}
+
+std::vector<std::optional<FloorId>> Dataset::KeepLabelsPerFloor(
+    std::size_t labels_per_floor, Rng& rng) {
+  std::vector<std::optional<FloorId>> ground_truth(records_.size());
+  std::unordered_map<FloorId, std::vector<std::size_t>> by_floor;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    ground_truth[i] = records_[i].floor();
+    if (records_[i].floor()) by_floor[*records_[i].floor()].push_back(i);
+  }
+  for (auto& [floor, indices] : by_floor) {
+    rng.Shuffle(indices);
+    for (std::size_t k = labels_per_floor; k < indices.size(); ++k) {
+      records_[indices[k]].set_floor(std::nullopt);
+    }
+  }
+  return ground_truth;
+}
+
+std::pair<Dataset, Dataset> Dataset::TrainTestSplit(double train_ratio,
+                                                    Rng& rng) const {
+  Require(train_ratio > 0.0 && train_ratio < 1.0,
+          "Dataset::TrainTestSplit: ratio must be in (0,1)");
+  std::vector<std::size_t> order(records_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const auto train_count = static_cast<std::size_t>(
+      train_ratio * static_cast<double>(records_.size()));
+  Dataset train(building_name_ + "/train");
+  Dataset test(building_name_ + "/test");
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    (k < train_count ? train : test).Add(records_[order[k]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+void Dataset::RetainMacFraction(double fraction, Rng& rng) {
+  Require(fraction > 0.0 && fraction <= 1.0,
+          "Dataset::RetainMacFraction: fraction must be in (0,1]");
+  std::vector<MacAddress> macs = DistinctMacs();
+  const auto keep_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction *
+                                  static_cast<double>(macs.size())));
+  const std::vector<std::size_t> keep_indices =
+      rng.SampleWithoutReplacement(macs.size(), keep_count);
+  std::unordered_set<MacAddress> keep;
+  keep.reserve(keep_count);
+  for (std::size_t idx : keep_indices) keep.insert(macs[idx]);
+  for (SignalRecord& r : records_) {
+    r.RemoveObservationsIf(
+        [&](const Observation& o) { return !keep.contains(o.mac); });
+  }
+  std::erase_if(records_, [](const SignalRecord& r) { return r.empty(); });
+}
+
+void Dataset::SaveCsv(const std::string& path) const {
+  std::vector<CsvRow> rows;
+  rows.reserve(records_.size());
+  for (const SignalRecord& r : records_) {
+    CsvRow row;
+    row.push_back(r.floor() ? std::to_string(*r.floor()) : "");
+    for (const Observation& o : r.observations()) {
+      row.push_back(o.mac.ToString());
+      row.push_back(std::to_string(o.rssi_dbm));
+    }
+    rows.push_back(std::move(row));
+  }
+  WriteCsvFile(path, rows);
+}
+
+Dataset Dataset::LoadCsv(const std::string& path, std::string building_name) {
+  Dataset ds(std::move(building_name));
+  for (const CsvRow& row : ReadCsvFile(path)) {
+    Require(!row.empty() && row.size() % 2 == 1,
+            "Dataset::LoadCsv: malformed row in " + path);
+    SignalRecord record;
+    if (!row[0].empty()) record.set_floor(std::stoi(row[0]));
+    for (std::size_t i = 1; i + 1 < row.size(); i += 2) {
+      record.Add(MacAddress::Parse(row[i]), std::stod(row[i + 1]));
+    }
+    ds.Add(std::move(record));
+  }
+  return ds;
+}
+
+}  // namespace grafics::rf

@@ -1,0 +1,77 @@
+// A crowdsourced RF dataset for one building, plus the label/split
+// manipulations every experiment in the paper performs on it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "rf/signal_record.h"
+
+namespace grafics::rf {
+
+/// Ordered collection of signal records from a single building.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::string building_name)
+      : building_name_(std::move(building_name)) {}
+
+  const std::string& building_name() const { return building_name_; }
+  void set_building_name(std::string name) { building_name_ = std::move(name); }
+
+  const std::vector<SignalRecord>& records() const { return records_; }
+  std::vector<SignalRecord>& mutable_records() { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  const SignalRecord& record(std::size_t i) const;
+
+  void Add(SignalRecord record) { records_.push_back(std::move(record)); }
+
+  /// Distinct MACs across all records.
+  std::vector<MacAddress> DistinctMacs() const;
+  std::size_t DistinctMacCount() const { return DistinctMacs().size(); }
+
+  /// Distinct floor labels present (sorted ascending).
+  std::vector<FloorId> Floors() const;
+
+  /// Number of records per floor label (unlabeled records are skipped).
+  std::map<FloorId, std::size_t> RecordsPerFloor() const;
+
+  /// Count of labeled records.
+  std::size_t LabeledCount() const;
+
+  /// Randomly keeps the floor label on at most `labels_per_floor` records per
+  /// floor and strips it from the rest. The ground-truth labels are returned
+  /// (index-aligned with records) so evaluation can still score predictions.
+  /// Records whose ground truth is unknown get std::nullopt.
+  std::vector<std::optional<FloorId>> KeepLabelsPerFloor(
+      std::size_t labels_per_floor, Rng& rng);
+
+  /// Shuffles records and splits into (train, test) by `train_ratio`.
+  /// Both halves keep their labels; callers typically follow with
+  /// KeepLabelsPerFloor on the training half.
+  std::pair<Dataset, Dataset> TrainTestSplit(double train_ratio,
+                                             Rng& rng) const;
+
+  /// Keeps only a random `fraction` of distinct MACs; observations of dropped
+  /// MACs are removed from every record, and records left empty are dropped.
+  /// Models the sparse-AP robustness study (paper Fig. 17).
+  void RetainMacFraction(double fraction, Rng& rng);
+
+  /// CSV round-trip. Row format:
+  ///   floor(,empty if unlabeled),mac1,rss1,mac2,rss2,...
+  void SaveCsv(const std::string& path) const;
+  static Dataset LoadCsv(const std::string& path, std::string building_name);
+
+ private:
+  std::string building_name_;
+  std::vector<SignalRecord> records_;
+};
+
+}  // namespace grafics::rf

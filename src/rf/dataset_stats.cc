@@ -1,0 +1,54 @@
+#include "rf/dataset_stats.h"
+
+#include <utility>
+
+namespace grafics::rf {
+
+std::vector<double> MacsPerRecord(const Dataset& dataset) {
+  std::vector<double> counts;
+  counts.reserve(dataset.size());
+  for (const SignalRecord& r : dataset.records()) {
+    counts.push_back(static_cast<double>(r.size()));
+  }
+  return counts;
+}
+
+std::vector<double> PairwiseOverlapRatios(const Dataset& dataset,
+                                          std::size_t max_pairs, Rng& rng) {
+  const std::size_t n = dataset.size();
+  std::vector<double> ratios;
+  if (n < 2) return ratios;
+  const std::size_t total_pairs = n * (n - 1) / 2;
+  if (total_pairs <= max_pairs) {
+    ratios.reserve(total_pairs);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        ratios.push_back(dataset.record(i).OverlapRatio(dataset.record(j)));
+      }
+    }
+    return ratios;
+  }
+  ratios.reserve(max_pairs);
+  for (std::size_t k = 0; k < max_pairs; ++k) {
+    std::size_t i = rng.NextIndex(n);
+    std::size_t j = rng.NextIndex(n - 1);
+    if (j >= i) ++j;  // uniform unordered pair (i != j)
+    ratios.push_back(dataset.record(i).OverlapRatio(dataset.record(j)));
+  }
+  return ratios;
+}
+
+RecordStats ComputeRecordStats(const Dataset& dataset, std::size_t max_pairs,
+                               Rng& rng) {
+  RecordStats stats;
+  const std::vector<double> macs = MacsPerRecord(dataset);
+  stats.macs_per_record = Summarize(macs);
+  stats.fraction_records_below_40_macs = FractionAtOrBelow(macs, 40.0);
+  const std::vector<double> overlaps =
+      PairwiseOverlapRatios(dataset, max_pairs, rng);
+  stats.fraction_pairs_overlap_below_half =
+      FractionAtOrBelow(overlaps, 0.5);
+  return stats;
+}
+
+}  // namespace grafics::rf

@@ -1,0 +1,32 @@
+// Dataset-level statistics reproducing the paper's Fig. 1 analysis:
+// the CDF of MACs per record and the CDF of pairwise MAC overlap ratios.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "rf/dataset.h"
+
+namespace grafics::rf {
+
+/// Number of MACs in every record, as doubles (ready for EmpiricalCdf).
+std::vector<double> MacsPerRecord(const Dataset& dataset);
+
+/// Overlap ratios (|A∩B|/|A∪B|) for up to `max_pairs` uniformly sampled
+/// unordered record pairs. With max_pairs >= n(n-1)/2 all pairs are used.
+std::vector<double> PairwiseOverlapRatios(const Dataset& dataset,
+                                          std::size_t max_pairs, Rng& rng);
+
+/// Headline Fig. 1 shape numbers for assertions and the bench report.
+struct RecordStats {
+  Summary macs_per_record;
+  double fraction_records_below_40_macs = 0.0;  // paper: "most" records
+  double fraction_pairs_overlap_below_half = 0.0;  // paper: 78 %
+};
+
+RecordStats ComputeRecordStats(const Dataset& dataset, std::size_t max_pairs,
+                               Rng& rng);
+
+}  // namespace grafics::rf

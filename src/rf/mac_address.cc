@@ -1,0 +1,50 @@
+#include "rf/mac_address.h"
+
+#include <cctype>
+
+#include "common/error.h"
+
+namespace grafics::rf {
+
+MacAddress::MacAddress(std::uint64_t bits) : bits_(bits) {
+  Require((bits >> 48) == 0, "MacAddress: value exceeds 48 bits");
+}
+
+namespace {
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+MacAddress MacAddress::Parse(const std::string& text) {
+  Require(text.size() == 17, "MacAddress::Parse: expected aa:bb:cc:dd:ee:ff");
+  std::uint64_t bits = 0;
+  for (int octet = 0; octet < 6; ++octet) {
+    const std::size_t pos = static_cast<std::size_t>(octet) * 3;
+    const int hi = HexValue(text[pos]);
+    const int lo = HexValue(text[pos + 1]);
+    Require(hi >= 0 && lo >= 0, "MacAddress::Parse: invalid hex digit");
+    if (octet < 5) {
+      Require(text[pos + 2] == ':', "MacAddress::Parse: expected ':'");
+    }
+    bits = (bits << 8) | static_cast<std::uint64_t>(hi * 16 + lo);
+  }
+  return MacAddress(bits);
+}
+
+std::string MacAddress::ToString() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(17, ':');
+  for (int octet = 0; octet < 6; ++octet) {
+    const auto byte =
+        static_cast<unsigned>((bits_ >> (8 * (5 - octet))) & 0xff);
+    out[static_cast<std::size_t>(octet) * 3] = kHex[byte >> 4];
+    out[static_cast<std::size_t>(octet) * 3 + 1] = kHex[byte & 0xf];
+  }
+  return out;
+}
+
+}  // namespace grafics::rf

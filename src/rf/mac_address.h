@@ -1,0 +1,47 @@
+// Strongly-typed 48-bit MAC address.
+//
+// Crowdsourced RF records identify access points by the MAC address of each
+// sensed BSSID. We store the 48 bits in a uint64 value type with parsing and
+// formatting of the conventional "aa:bb:cc:dd:ee:ff" form.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace grafics::rf {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  /// Constructs from a raw 48-bit value; bits above 48 must be zero.
+  explicit MacAddress(std::uint64_t bits);
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive). Throws grafics::Error on
+  /// malformed input.
+  static MacAddress Parse(const std::string& text);
+
+  /// Formats as lower-case "aa:bb:cc:dd:ee:ff".
+  std::string ToString() const;
+
+  std::uint64_t bits() const { return bits_; }
+
+  auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace grafics::rf
+
+template <>
+struct std::hash<grafics::rf::MacAddress> {
+  std::size_t operator()(const grafics::rf::MacAddress& mac) const noexcept {
+    // Finalizer of SplitMix64: excellent avalanche for sequential MACs.
+    std::uint64_t z = mac.bits() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

@@ -1,0 +1,50 @@
+#include "rf/signal_record.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace grafics::rf {
+
+SignalRecord::SignalRecord(std::vector<Observation> observations,
+                           std::optional<FloorId> floor)
+    : observations_(std::move(observations)), floor_(floor) {
+  std::unordered_set<MacAddress> seen;
+  for (const Observation& o : observations_) {
+    Require(seen.insert(o.mac).second,
+            "SignalRecord: duplicate MAC " + o.mac.ToString());
+  }
+}
+
+void SignalRecord::Add(MacAddress mac, double rssi_dbm) {
+  Require(!Contains(mac), "SignalRecord::Add: duplicate MAC " + mac.ToString());
+  observations_.push_back({mac, rssi_dbm});
+}
+
+std::optional<double> SignalRecord::RssiFor(MacAddress mac) const {
+  for (const Observation& o : observations_) {
+    if (o.mac == mac) return o.rssi_dbm;
+  }
+  return std::nullopt;
+}
+
+bool SignalRecord::Contains(MacAddress mac) const {
+  return RssiFor(mac).has_value();
+}
+
+double SignalRecord::OverlapRatio(const SignalRecord& other) const {
+  if (observations_.empty() && other.observations_.empty()) return 0.0;
+  std::unordered_set<MacAddress> mine;
+  mine.reserve(observations_.size());
+  for (const Observation& o : observations_) mine.insert(o.mac);
+  std::size_t intersection = 0;
+  std::unordered_set<MacAddress> all = mine;
+  for (const Observation& o : other.observations_) {
+    if (mine.contains(o.mac)) ++intersection;
+    all.insert(o.mac);
+  }
+  return static_cast<double>(intersection) / static_cast<double>(all.size());
+}
+
+}  // namespace grafics::rf

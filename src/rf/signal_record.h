@@ -1,0 +1,70 @@
+// A single crowdsourced RF measurement record.
+//
+// Each record is a variable-length list of (MAC, RSS dBm) observations plus
+// an optional floor label — most crowdsourced records are unlabeled, which is
+// the central premise of the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rf/mac_address.h"
+
+namespace grafics::rf {
+
+/// Floor index. Ground floor is 0; basements are negative.
+using FloorId = int;
+
+struct Observation {
+  MacAddress mac;
+  double rssi_dbm = 0.0;
+
+  bool operator==(const Observation&) const = default;
+};
+
+class SignalRecord {
+ public:
+  SignalRecord() = default;
+  explicit SignalRecord(std::vector<Observation> observations,
+                        std::optional<FloorId> floor = std::nullopt);
+
+  const std::vector<Observation>& observations() const {
+    return observations_;
+  }
+  std::size_t size() const { return observations_.size(); }
+  bool empty() const { return observations_.empty(); }
+
+  std::optional<FloorId> floor() const { return floor_; }
+  bool is_labeled() const { return floor_.has_value(); }
+  void set_floor(std::optional<FloorId> floor) { floor_ = floor; }
+
+  /// Adds one observation. Throws if `mac` already appears in the record.
+  void Add(MacAddress mac, double rssi_dbm);
+
+  /// RSS for `mac` if observed.
+  std::optional<double> RssiFor(MacAddress mac) const;
+  bool Contains(MacAddress mac) const;
+
+  /// Jaccard overlap of the MAC sets of two records: |A∩B| / |A∪B|
+  /// (the "overlap ratio" of the paper's Fig. 1b). Zero when both empty.
+  double OverlapRatio(const SignalRecord& other) const;
+
+  /// Removes observations whose MAC fails the predicate; returns #removed.
+  template <typename Predicate>
+  std::size_t RemoveObservationsIf(Predicate&& drop) {
+    const std::size_t before = observations_.size();
+    std::erase_if(observations_,
+                  [&](const Observation& o) { return drop(o); });
+    return before - observations_.size();
+  }
+
+  bool operator==(const SignalRecord&) const = default;
+
+ private:
+  std::vector<Observation> observations_;
+  std::optional<FloorId> floor_;
+};
+
+}  // namespace grafics::rf

@@ -1,0 +1,41 @@
+// Geometry and configuration of a synthetic multi-floor building.
+//
+// Substitute for the paper's Microsoft-Kaggle and Hong Kong corpora: we keep
+// only what determines the statistical shape of the RF records — floor plan
+// size, floor count, AP density, and crowdsourcing volume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace grafics::synth {
+
+/// 3-D point inside a building (meters). z encodes height above ground.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+/// One deployed access point (a single BSSID).
+struct AccessPoint {
+  std::uint64_t mac_bits = 0;
+  Point position;
+  int floor = 0;
+  double tx_power_dbm = 0.0;  // received power at 1 m reference distance
+};
+
+struct BuildingSpec {
+  std::string name = "building";
+  int num_floors = 3;
+  double floor_width_m = 80.0;
+  double floor_depth_m = 60.0;
+  double floor_height_m = 4.0;
+  int aps_per_floor = 60;
+  int records_per_floor = 1000;
+
+  /// Area of one floor (m^2), as plotted in the paper's Fig. 9.
+  double FloorArea() const { return floor_width_m * floor_depth_m; }
+};
+
+}  // namespace grafics::synth

@@ -1,0 +1,198 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace grafics::synth {
+
+namespace {
+// Distinct 48-bit MAC space per building so multi-building fleets never
+// collide: the building hash seeds the upper bits.
+std::uint64_t MacBase(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  return (SplitMix64(s) & 0xffff00000000ULL);
+}
+}  // namespace
+
+BuildingSimulator::BuildingSimulator(BuildingSpec spec, PathLossParams channel,
+                                     CrowdsourceParams crowd,
+                                     std::uint64_t seed)
+    : spec_(std::move(spec)),
+      channel_(channel),
+      crowd_(crowd),
+      rng_(seed),
+      next_mac_bits_(MacBase(seed)) {
+  Require(spec_.num_floors >= 1, "BuildingSimulator: need >= 1 floor");
+  Require(spec_.aps_per_floor >= 1, "BuildingSimulator: need >= 1 AP/floor");
+  aps_.reserve(static_cast<std::size_t>(spec_.num_floors) *
+               static_cast<std::size_t>(spec_.aps_per_floor));
+  for (int floor = 0; floor < spec_.num_floors; ++floor) {
+    for (int k = 0; k < spec_.aps_per_floor; ++k) {
+      AccessPoint ap;
+      ap.mac_bits = next_mac_bits_++;
+      ap.floor = floor;
+      ap.position = {rng_.Uniform(0.0, spec_.floor_width_m),
+                     rng_.Uniform(0.0, spec_.floor_depth_m),
+                     static_cast<double>(floor) * spec_.floor_height_m + 2.5};
+      ap.tx_power_dbm = rng_.Uniform(-38.0, -30.0);  // AP model diversity
+      aps_.push_back(ap);
+    }
+    for (int h = 0; h < crowd_.hotspots_per_floor; ++h) {
+      hotspots_.push_back({rng_.Uniform(0.0, spec_.floor_width_m),
+                           rng_.Uniform(0.0, spec_.floor_depth_m),
+                           static_cast<double>(floor) * spec_.floor_height_m +
+                               1.2});
+    }
+  }
+}
+
+Point BuildingSimulator::RandomPositionOnFloor(int floor) {
+  const double z = static_cast<double>(floor) * spec_.floor_height_m + 1.2;
+  if (crowd_.hotspots_per_floor > 0 && rng_.Bernoulli(crowd_.hotspot_fraction)) {
+    const std::size_t base =
+        static_cast<std::size_t>(floor) *
+        static_cast<std::size_t>(crowd_.hotspots_per_floor);
+    const Point& hotspot =
+        hotspots_[base + rng_.NextIndex(
+                             static_cast<std::uint64_t>(
+                                 crowd_.hotspots_per_floor))];
+    return {std::clamp(hotspot.x + rng_.Normal(0.0, 4.0), 0.0,
+                       spec_.floor_width_m),
+            std::clamp(hotspot.y + rng_.Normal(0.0, 4.0), 0.0,
+                       spec_.floor_depth_m),
+            z};
+  }
+  return {rng_.Uniform(0.0, spec_.floor_width_m),
+          rng_.Uniform(0.0, spec_.floor_depth_m), z};
+}
+
+rf::SignalRecord BuildingSimulator::MeasureAtInternal(const Point& position,
+                                                      int floor) {
+  // Per-record device characteristics.
+  const double device_bias = rng_.Normal(0.0, crowd_.device_bias_stddev_db);
+  const auto scan_cap = static_cast<std::size_t>(
+      rng_.UniformInt(crowd_.scan_cap_min, crowd_.scan_cap_max));
+
+  std::vector<rf::Observation> detected;
+  for (const AccessPoint& ap : aps_) {
+    double rssi = channel_.SampleRssi(ap, position, floor, rng_) +
+                  device_bias +
+                  rng_.Normal(0.0, crowd_.observation_noise_db);
+    if (!channel_.Detectable(rssi)) continue;
+    if (rng_.Bernoulli(crowd_.miss_probability)) continue;
+    rssi = std::clamp(rssi, -100.0, -20.0);  // radio reporting range
+    detected.push_back({rf::MacAddress(ap.mac_bits), rssi});
+  }
+  // Limited scan capability: keep the scan_cap strongest.
+  if (detected.size() > scan_cap) {
+    std::partial_sort(detected.begin(),
+                      detected.begin() + static_cast<std::ptrdiff_t>(scan_cap),
+                      detected.end(),
+                      [](const rf::Observation& a, const rf::Observation& b) {
+                        return a.rssi_dbm > b.rssi_dbm;
+                      });
+    detected.resize(scan_cap);
+  }
+  return rf::SignalRecord(std::move(detected), floor);
+}
+
+rf::SignalRecord BuildingSimulator::MeasureAt(const Point& position,
+                                              int floor) {
+  return MeasureAtInternal(position, floor);
+}
+
+std::vector<rf::SignalRecord> BuildingSimulator::GenerateTrajectory(
+    int floor, std::size_t num_scans, double step_m) {
+  Require(floor >= 0 && floor < spec_.num_floors,
+          "GenerateTrajectory: floor out of range");
+  Require(step_m > 0.0, "GenerateTrajectory: step must be positive");
+  std::vector<rf::SignalRecord> trajectory;
+  trajectory.reserve(num_scans);
+  Point position = RandomPositionOnFloor(floor);
+  double heading = rng_.Uniform(0.0, 6.283185307179586);
+  while (trajectory.size() < num_scans) {
+    rf::SignalRecord scan = MeasureAtInternal(position, floor);
+    if (!scan.empty()) trajectory.push_back(std::move(scan));
+    // Correlated random walk: small heading perturbations, wall bounces.
+    heading += rng_.Normal(0.0, 0.5);
+    position.x += step_m * std::cos(heading);
+    position.y += step_m * std::sin(heading);
+    if (position.x < 0.0 || position.x > spec_.floor_width_m ||
+        position.y < 0.0 || position.y > spec_.floor_depth_m) {
+      heading += 3.14159265358979;  // turn around at walls
+      position.x = std::clamp(position.x, 0.0, spec_.floor_width_m);
+      position.y = std::clamp(position.y, 0.0, spec_.floor_depth_m);
+    }
+  }
+  return trajectory;
+}
+
+std::vector<rf::SignalRecord> BuildingSimulator::GenerateMultiFloorTrajectory(
+    int start_floor, int end_floor, std::size_t scans_per_floor,
+    double step_m) {
+  Require(start_floor >= 0 && start_floor < spec_.num_floors &&
+              end_floor >= 0 && end_floor < spec_.num_floors,
+          "GenerateMultiFloorTrajectory: floor out of range");
+  std::vector<rf::SignalRecord> trajectory;
+  const int direction = end_floor >= start_floor ? 1 : -1;
+  for (int floor = start_floor; floor != end_floor + direction;
+       floor += direction) {
+    auto leg = GenerateTrajectory(floor, scans_per_floor, step_m);
+    for (auto& scan : leg) trajectory.push_back(std::move(scan));
+  }
+  return trajectory;
+}
+
+std::vector<rf::SignalRecord> BuildingSimulator::GenerateRecordsOnFloor(
+    int floor, std::size_t count) {
+  Require(floor >= 0 && floor < spec_.num_floors,
+          "GenerateRecordsOnFloor: floor out of range");
+  std::vector<rf::SignalRecord> records;
+  records.reserve(count);
+  while (records.size() < count) {
+    rf::SignalRecord record =
+        MeasureAtInternal(RandomPositionOnFloor(floor), floor);
+    // Empty scans happen in reality but carry no information; redraw.
+    if (!record.empty()) records.push_back(std::move(record));
+  }
+  return records;
+}
+
+rf::Dataset BuildingSimulator::GenerateDataset() {
+  rf::Dataset dataset(spec_.name);
+  for (int floor = 0; floor < spec_.num_floors; ++floor) {
+    for (rf::SignalRecord& record : GenerateRecordsOnFloor(
+             floor, static_cast<std::size_t>(spec_.records_per_floor))) {
+      dataset.Add(std::move(record));
+    }
+  }
+  return dataset;
+}
+
+std::size_t BuildingSimulator::RemoveRandomAps(std::size_t count) {
+  const std::size_t removed = std::min(count, aps_.size());
+  for (std::size_t k = 0; k < removed; ++k) {
+    const std::size_t i = rng_.NextIndex(aps_.size());
+    aps_[i] = aps_.back();
+    aps_.pop_back();
+  }
+  return removed;
+}
+
+void BuildingSimulator::InstallAps(std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k) {
+    AccessPoint ap;
+    ap.mac_bits = next_mac_bits_++;
+    ap.floor = static_cast<int>(
+        rng_.NextIndex(static_cast<std::uint64_t>(spec_.num_floors)));
+    ap.position = {rng_.Uniform(0.0, spec_.floor_width_m),
+                   rng_.Uniform(0.0, spec_.floor_depth_m),
+                   static_cast<double>(ap.floor) * spec_.floor_height_m + 2.5};
+    ap.tx_power_dbm = rng_.Uniform(-38.0, -30.0);
+    aps_.push_back(ap);
+  }
+}
+
+}  // namespace grafics::synth

@@ -1,0 +1,95 @@
+// Crowdsourced-measurement generator for a synthetic building.
+//
+// Models every heterogeneity source the paper's Sec. III-A lists:
+//  * limited AP coverage        -> path-loss detection threshold
+//  * device heterogeneity       -> per-record RSS bias + per-device scan cap
+//  * measurement noise          -> shadowing + per-observation jitter
+//  * limited scanning capability-> top-K strongest truncation
+//  * environmental change       -> AP churn (RemoveAps / InstallAps)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "rf/dataset.h"
+#include "synth/building.h"
+#include "synth/path_loss.h"
+
+namespace grafics::synth {
+
+struct CrowdsourceParams {
+  /// Per-record device bias stddev (dB): cheap vs calibrated radios.
+  double device_bias_stddev_db = 4.0;
+  /// Extra per-observation jitter beyond shadowing (dB).
+  double observation_noise_db = 1.5;
+  /// Scan-capability cap: a device reports at most K strongest MACs,
+  /// K ~ U{scan_cap_min .. scan_cap_max}.
+  int scan_cap_min = 15;
+  int scan_cap_max = 45;
+  /// Probability an otherwise-detectable observation is missed entirely
+  /// (collisions, scan timing).
+  double miss_probability = 0.15;
+  /// Fraction of records drawn near "hotspots" (shop entrances, check-ins)
+  /// instead of uniformly; crowdsourced data is spatially bursty.
+  double hotspot_fraction = 0.4;
+  int hotspots_per_floor = 5;
+};
+
+/// A synthetic building: geometry + deployed APs + channel.
+class BuildingSimulator {
+ public:
+  /// Deploys APs uniformly at random on every floor. Deterministic in seed.
+  BuildingSimulator(BuildingSpec spec, PathLossParams channel,
+                    CrowdsourceParams crowd, std::uint64_t seed);
+
+  const BuildingSpec& spec() const { return spec_; }
+  const std::vector<AccessPoint>& access_points() const { return aps_; }
+  std::size_t ApCount() const { return aps_.size(); }
+
+  /// Generates `spec.records_per_floor` labeled records on every floor.
+  /// All records carry their ground-truth floor label; experiments strip
+  /// labels afterwards via Dataset::KeepLabelsPerFloor.
+  rf::Dataset GenerateDataset();
+
+  /// Generates `count` records on one floor (for targeted tests/benches).
+  std::vector<rf::SignalRecord> GenerateRecordsOnFloor(int floor,
+                                                       std::size_t count);
+
+  /// One record at an explicit position (for online-inference scenarios).
+  rf::SignalRecord MeasureAt(const Point& position, int floor);
+
+  /// A trajectory of scans from one user walking on `floor`: a bounded
+  /// random walk with `step_m` meters between consecutive scans. Unlike the
+  /// sporadic crowdsourced records, consecutive trajectory records are
+  /// spatially correlated (the setting RNN baselines [13] assume).
+  std::vector<rf::SignalRecord> GenerateTrajectory(int floor,
+                                                   std::size_t num_scans,
+                                                   double step_m = 2.0);
+
+  /// A trajectory that rides the elevator/stairs: walks `scans_per_floor`
+  /// scans on each floor from `start_floor` to `end_floor` inclusive.
+  /// Exercises floor-transition detection scenarios.
+  std::vector<rf::SignalRecord> GenerateMultiFloorTrajectory(
+      int start_floor, int end_floor, std::size_t scans_per_floor,
+      double step_m = 2.0);
+
+  /// Environmental churn: removes `count` random APs. Returns #removed.
+  std::size_t RemoveRandomAps(std::size_t count);
+  /// Installs `count` new APs on random floors (fresh MACs).
+  void InstallAps(std::size_t count);
+
+ private:
+  Point RandomPositionOnFloor(int floor);
+  rf::SignalRecord MeasureAtInternal(const Point& position, int floor);
+
+  BuildingSpec spec_;
+  PathLossModel channel_;
+  CrowdsourceParams crowd_;
+  Rng rng_;
+  std::vector<AccessPoint> aps_;
+  std::vector<Point> hotspots_;       // hotspots_per_floor per floor
+  std::uint64_t next_mac_bits_ = 0;   // monotonically increasing MAC space
+};
+
+}  // namespace grafics::synth

@@ -1,0 +1,28 @@
+#include "synth/path_loss.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace grafics::synth {
+
+double PathLossModel::MeanRssi(const AccessPoint& ap, const Point& receiver,
+                               int receiver_floor) const {
+  const double dx = ap.position.x - receiver.x;
+  const double dy = ap.position.y - receiver.y;
+  const double dz = ap.position.z - receiver.z;
+  // Clamp below 1 m: inside the reference distance the model is not valid
+  // and the received power saturates at the 1 m reference power.
+  const double d = std::max(1.0, std::sqrt(dx * dx + dy * dy + dz * dz));
+  const int floors_crossed = std::abs(ap.floor - receiver_floor);
+  return ap.tx_power_dbm -
+         10.0 * params_.path_loss_exponent * std::log10(d) -
+         params_.floor_attenuation_db * static_cast<double>(floors_crossed);
+}
+
+double PathLossModel::SampleRssi(const AccessPoint& ap, const Point& receiver,
+                                 int receiver_floor, Rng& rng) const {
+  return MeanRssi(ap, receiver, receiver_floor) +
+         rng.Normal(0.0, params_.shadowing_stddev_db);
+}
+
+}  // namespace grafics::synth

@@ -1,0 +1,48 @@
+// Log-distance path-loss channel with per-floor attenuation.
+//
+// The standard multi-wall multi-floor indoor propagation model (the same
+// family ViFi [29] fits from data):
+//
+//   RSS(d, k) = P1m − 10·n·log10(d / 1 m) − k·FAF + X_sigma
+//
+// where d is 3-D distance, n the path-loss exponent, k the number of floor
+// slabs crossed, FAF the floor attenuation factor, and X_sigma log-normal
+// shadowing. This is what lets the synthetic corpus reproduce the paper's
+// record sparsity and overlap statistics.
+#pragma once
+
+#include "common/rng.h"
+#include "synth/building.h"
+
+namespace grafics::synth {
+
+struct PathLossParams {
+  double path_loss_exponent = 2.8;
+  double floor_attenuation_db = 15.0;
+  double shadowing_stddev_db = 3.0;
+  double detection_threshold_dbm = -92.0;
+};
+
+class PathLossModel {
+ public:
+  explicit PathLossModel(PathLossParams params) : params_(params) {}
+
+  const PathLossParams& params() const { return params_; }
+
+  /// Mean received power (dBm) from `ap` at `receiver`, no shadowing.
+  double MeanRssi(const AccessPoint& ap, const Point& receiver,
+                  int receiver_floor) const;
+
+  /// One stochastic measurement (mean + shadowing draw).
+  double SampleRssi(const AccessPoint& ap, const Point& receiver,
+                    int receiver_floor, Rng& rng) const;
+
+  bool Detectable(double rssi_dbm) const {
+    return rssi_dbm >= params_.detection_threshold_dbm;
+  }
+
+ private:
+  PathLossParams params_;
+};
+
+}  // namespace grafics::synth

@@ -1,0 +1,114 @@
+#include "synth/presets.h"
+
+#include <cmath>
+#include <string>
+
+namespace grafics::synth {
+
+std::vector<BuildingConfig> MicrosoftLikeFleet(std::size_t count,
+                                               std::uint64_t seed,
+                                               int records_per_floor) {
+  Rng rng(seed);
+  std::vector<BuildingConfig> fleet;
+  fleet.reserve(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    BuildingConfig config;
+    config.spec.name = "ms-" + std::to_string(b);
+    config.spec.num_floors = static_cast<int>(rng.UniformInt(2, 12));
+    // Per-floor footprint: Fig. 9 spans roughly 1.2k–8k m^2 per floor.
+    const double aspect = rng.Uniform(0.8, 1.6);
+    const double area = rng.Uniform(1200.0, 8000.0);
+    config.spec.floor_width_m = std::sqrt(area * aspect);
+    config.spec.floor_depth_m = std::sqrt(area / aspect);
+    // AP density ~ one AP per 60–120 m^2 keeps distinct-MAC counts within
+    // Fig. 9's 100–2500 band across the fleet.
+    config.spec.aps_per_floor = std::max(
+        8, static_cast<int>(area / rng.Uniform(60.0, 120.0)));
+    config.spec.records_per_floor = records_per_floor;
+    config.channel.path_loss_exponent = rng.Uniform(2.5, 3.1);
+    // Effective floor attenuation is lower than slab-only values: stair
+    // wells, atria and elevator shafts leak signal between floors, which is
+    // what makes real crowdsourced floor identification hard.
+    config.channel.floor_attenuation_db = rng.Uniform(8.0, 13.0);
+    config.channel.shadowing_stddev_db = rng.Uniform(3.5, 5.5);
+    config.crowd.device_bias_stddev_db = rng.Uniform(4.0, 7.0);
+    config.crowd.scan_cap_min = 8;
+    config.crowd.scan_cap_max = static_cast<int>(rng.UniformInt(20, 35));
+    config.crowd.miss_probability = rng.Uniform(0.25, 0.35);
+    config.seed = seed ^ (0x1000 + b);
+    fleet.push_back(config);
+  }
+  return fleet;
+}
+
+std::vector<BuildingConfig> HongKongFleet(std::uint64_t seed,
+                                          int records_per_floor) {
+  struct Shape {
+    const char* name;
+    int floors;
+    double width;
+    double depth;
+    int aps_per_floor;
+  };
+  // Two office towers, a hospital, two malls (paper Sec. VI-A).
+  static constexpr Shape kShapes[] = {
+      {"hk-office-tower-1", 10, 45.0, 40.0, 55},
+      {"hk-office-tower-2", 12, 40.0, 40.0, 50},
+      {"hk-hospital", 8, 90.0, 70.0, 90},
+      {"hk-mall-1", 6, 110.0, 85.0, 130},
+      {"hk-mall-2", 5, 120.0, 90.0, 140},
+  };
+  std::vector<BuildingConfig> fleet;
+  fleet.reserve(std::size(kShapes));
+  std::uint64_t i = 0;
+  for (const Shape& shape : kShapes) {
+    BuildingConfig config;
+    config.spec.name = shape.name;
+    config.spec.num_floors = shape.floors;
+    config.spec.floor_width_m = shape.width;
+    config.spec.floor_depth_m = shape.depth;
+    config.spec.aps_per_floor = shape.aps_per_floor;
+    config.spec.records_per_floor = records_per_floor;
+    // Dense HK construction but heavily glazed cores and atria: strong
+    // inter-floor leakage, strong shadowing, bursty low-end devices.
+    config.channel.floor_attenuation_db = 9.5;
+    config.channel.shadowing_stddev_db = 5.0;
+    config.crowd.device_bias_stddev_db = 6.0;
+    config.crowd.scan_cap_min = 8;
+    config.crowd.scan_cap_max = 25;
+    config.crowd.miss_probability = 0.3;
+    config.seed = seed ^ (0x2000 + i++);
+    fleet.push_back(config);
+  }
+  return fleet;
+}
+
+BuildingConfig MallFloorConfig(std::uint64_t seed) {
+  BuildingConfig config;
+  config.spec.name = "mall-floor";
+  config.spec.num_floors = 1;
+  config.spec.floor_width_m = 150.0;
+  config.spec.floor_depth_m = 100.0;
+  // 805 distinct MACs on one mall floor (paper Fig. 1).
+  config.spec.aps_per_floor = 805;
+  config.spec.records_per_floor = 8274;
+  config.crowd.scan_cap_min = 10;
+  config.crowd.scan_cap_max = 45;
+  config.seed = seed;
+  return config;
+}
+
+BuildingConfig CampusBuildingConfig(std::uint64_t seed,
+                                    int records_per_floor) {
+  BuildingConfig config;
+  config.spec.name = "campus-3f";
+  config.spec.num_floors = 3;
+  config.spec.floor_width_m = 70.0;
+  config.spec.floor_depth_m = 50.0;
+  config.spec.aps_per_floor = 45;
+  config.spec.records_per_floor = records_per_floor;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace grafics::synth

@@ -1,0 +1,51 @@
+// Fleet presets mirroring the two corpora the paper evaluates on.
+//
+// The Microsoft Kaggle corpus covers 204 Hangzhou buildings from 2 to 12
+// floors (paper Fig. 9); the Hong Kong corpus covers five large facilities
+// (two office towers, a hospital, two malls). The presets draw building
+// specs from the ranges Fig. 9 plots, with ~1000 records per floor as the
+// paper states. Fleet size is a parameter so tests/benches can trade corpus
+// size for runtime; the default bench configuration records how many were
+// used in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/generator.h"
+
+namespace grafics::synth {
+
+/// Fully-specified synthetic building: spec + channel + crowdsourcing knobs.
+struct BuildingConfig {
+  BuildingSpec spec;
+  PathLossParams channel;
+  CrowdsourceParams crowd;
+  std::uint64_t seed = 0;
+
+  BuildingSimulator MakeSimulator() const {
+    return BuildingSimulator(spec, channel, crowd, seed);
+  }
+};
+
+/// `count` buildings shaped like the Microsoft-Kaggle corpus:
+/// floors ~ U{2..12}, per-floor area 1200–8000 m^2, AP density matched to
+/// Fig. 9's MAC counts, records_per_floor ~= 1000.
+std::vector<BuildingConfig> MicrosoftLikeFleet(std::size_t count,
+                                               std::uint64_t seed,
+                                               int records_per_floor = 1000);
+
+/// The five Hong-Kong facilities: two office towers, one hospital, two
+/// shopping malls — larger, denser, taller than the Kaggle median.
+std::vector<BuildingConfig> HongKongFleet(std::uint64_t seed,
+                                          int records_per_floor = 1000);
+
+/// The single dense mall floor of the paper's Fig. 1 (8 274 records,
+/// 805 distinct MACs on one floor).
+BuildingConfig MallFloorConfig(std::uint64_t seed);
+
+/// The three-story campus building used by Figs. 6–8.
+BuildingConfig CampusBuildingConfig(std::uint64_t seed,
+                                    int records_per_floor = 200);
+
+}  // namespace grafics::synth

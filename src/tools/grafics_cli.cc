@@ -1,0 +1,166 @@
+// grafics — command-line interface to the GRAFICS floor-identification
+// system, operating on the CSV dataset format of rf::Dataset
+// (one record per row: floor-or-empty, then alternating mac,rss pairs).
+//
+//   grafics train   <dataset.csv> <model.bin> [--labels-per-floor N]
+//   grafics predict <model.bin> <scans.csv>
+//   grafics eval    <dataset.csv> [--labels-per-floor N] [--train-ratio R]
+//   grafics synth   <out.csv> [--preset campus|mall|hk-tower] [--seed S]
+//   grafics stats   <dataset.csv>
+//
+// Exit status: 0 on success, 1 on usage error, 2 on runtime failure.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/grafics.h"
+#include "rf/dataset_stats.h"
+#include "synth/presets.h"
+
+namespace {
+
+using namespace grafics;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  grafics train   <dataset.csv> <model.bin> "
+               "[--labels-per-floor N]\n"
+               "  grafics predict <model.bin> <scans.csv>\n"
+               "  grafics eval    <dataset.csv> [--labels-per-floor N] "
+               "[--train-ratio R] [--seed S]\n"
+               "  grafics synth   <out.csv> [--preset campus|mall|hk-tower] "
+               "[--seed S]\n"
+               "  grafics stats   <dataset.csv>\n");
+  return 1;
+}
+
+/// Returns the value after `flag`, or `fallback` when absent.
+std::string FlagValue(const std::vector<std::string>& args,
+                      const std::string& flag, const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) return args[i + 1];
+  }
+  return fallback;
+}
+
+int CmdTrain(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  rf::Dataset dataset = rf::Dataset::LoadCsv(args[0], "cli");
+  const auto labels_per_floor =
+      static_cast<std::size_t>(std::stoul(FlagValue(args, "--labels-per-floor",
+                                                    "0")));
+  if (labels_per_floor > 0) {
+    Rng rng(1);
+    dataset.KeepLabelsPerFloor(labels_per_floor, rng);
+  }
+  std::printf("training on %zu records (%zu labeled, %zu MACs)...\n",
+              dataset.size(), dataset.LabeledCount(),
+              dataset.DistinctMacCount());
+  core::Grafics system;
+  system.Train(dataset.records());
+  system.SaveModel(args[1]);
+  std::printf("model written to %s (%zu clusters)\n", args[1].c_str(),
+              system.clustering().num_clusters());
+  return 0;
+}
+
+int CmdPredict(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  core::Grafics system = core::Grafics::LoadModel(args[0]);
+  const rf::Dataset scans = rf::Dataset::LoadCsv(args[1], "scans");
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    const auto predicted = system.Predict(scans.record(i));
+    if (predicted) {
+      std::printf("%zu,%d\n", i, *predicted);
+    } else {
+      std::printf("%zu,discarded\n", i);
+    }
+  }
+  return 0;
+}
+
+int CmdEval(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const rf::Dataset dataset = rf::Dataset::LoadCsv(args[0], "cli");
+  core::ExperimentConfig config;
+  config.labels_per_floor = static_cast<std::size_t>(
+      std::stoul(FlagValue(args, "--labels-per-floor", "4")));
+  config.train_ratio = std::stod(FlagValue(args, "--train-ratio", "0.7"));
+  const auto seed =
+      static_cast<std::uint64_t>(std::stoull(FlagValue(args, "--seed", "42")));
+  const auto result =
+      core::RunExperiment(core::Algorithm::kGrafics, dataset, config, seed);
+  std::printf("micro: P=%.3f R=%.3f F=%.3f\n", result.metrics.micro.precision,
+              result.metrics.micro.recall, result.metrics.micro.f_score);
+  std::printf("macro: P=%.3f R=%.3f F=%.3f\n", result.metrics.macro.precision,
+              result.metrics.macro.recall, result.metrics.macro.f_score);
+  std::printf("train %.2fs, inference %.2fs for %zu test records\n",
+              result.train_seconds, result.infer_seconds,
+              result.metrics.num_samples);
+  return 0;
+}
+
+int CmdSynth(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const std::string preset = FlagValue(args, "--preset", "campus");
+  const auto seed =
+      static_cast<std::uint64_t>(std::stoull(FlagValue(args, "--seed", "7")));
+  synth::BuildingConfig config;
+  if (preset == "campus") {
+    config = synth::CampusBuildingConfig(seed);
+  } else if (preset == "mall") {
+    config = synth::HongKongFleet(seed)[4];
+  } else if (preset == "hk-tower") {
+    config = synth::HongKongFleet(seed)[0];
+  } else {
+    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    return 1;
+  }
+  auto sim = config.MakeSimulator();
+  const rf::Dataset dataset = sim.GenerateDataset();
+  dataset.SaveCsv(args[0]);
+  std::printf("wrote %zu records (%s, %zu MACs) to %s\n", dataset.size(),
+              config.spec.name.c_str(), dataset.DistinctMacCount(),
+              args[0].c_str());
+  return 0;
+}
+
+int CmdStats(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const rf::Dataset dataset = rf::Dataset::LoadCsv(args[0], "cli");
+  Rng rng(1);
+  const auto stats = rf::ComputeRecordStats(dataset, 100000, rng);
+  std::printf("records: %zu  labeled: %zu  distinct MACs: %zu  floors: %zu\n",
+              dataset.size(), dataset.LabeledCount(),
+              dataset.DistinctMacCount(), dataset.Floors().size());
+  std::printf("MACs/record: mean=%.1f min=%.0f max=%.0f\n",
+              stats.macs_per_record.mean, stats.macs_per_record.min,
+              stats.macs_per_record.max);
+  std::printf("records with <= 40 MACs: %.1f%%\n",
+              stats.fraction_records_below_40_macs * 100.0);
+  std::printf("pairs with overlap < 0.5: %.1f%%\n",
+              stats.fraction_pairs_overlap_below_half * 100.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "train") return CmdTrain(args);
+    if (command == "predict") return CmdPredict(args);
+    if (command == "eval") return CmdEval(args);
+    if (command == "synth") return CmdSynth(args);
+    if (command == "stats") return CmdStats(args);
+    return Usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

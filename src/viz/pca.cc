@@ -1,0 +1,36 @@
+#include "viz/pca.h"
+
+#include "common/eigen.h"
+#include "common/error.h"
+
+namespace grafics::viz {
+
+Matrix PcaProject(const Matrix& points, std::size_t dim) {
+  Require(dim >= 1 && dim <= points.cols(),
+          "PcaProject: dim must be in [1, cols]");
+  Require(points.rows() >= 2, "PcaProject: need at least two points");
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+
+  // Center.
+  std::vector<double> mean(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) Axpy(1.0, points.Row(r), mean);
+  Scale(mean, 1.0 / static_cast<double>(n));
+  Matrix centered = points;
+  for (std::size_t r = 0; r < n; ++r) Axpy(-1.0, mean, centered.Row(r));
+
+  // Covariance (d x d) and top eigenvectors.
+  Matrix cov = centered.Transposed().MatMul(centered);
+  cov *= 1.0 / static_cast<double>(n - 1);
+  const EigenDecomposition eig = JacobiEigenDecomposition(cov);
+
+  Matrix projection(d, dim);
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      projection(r, c) = eig.eigenvectors(r, c);
+    }
+  }
+  return centered.MatMul(projection);
+}
+
+}  // namespace grafics::viz

@@ -1,0 +1,17 @@
+// Principal component analysis via the Jacobi eigensolver.
+//
+// Used to project embeddings to 2-D/3-D for the Fig. 6 / Fig. 8 style
+// visual exports, and as the t-SNE initialization.
+#pragma once
+
+#include <cstddef>
+
+#include "common/matrix.h"
+
+namespace grafics::viz {
+
+/// Projects the rows of `points` onto their top `dim` principal components.
+/// Returns an (n, dim) matrix. Requires dim <= points.cols().
+Matrix PcaProject(const Matrix& points, std::size_t dim);
+
+}  // namespace grafics::viz

@@ -1,0 +1,148 @@
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace grafics::viz {
+
+namespace {
+
+/// Binary-searches the Gaussian bandwidth of row i so the conditional
+/// distribution P(j|i) has the requested perplexity.
+void CalibrateRow(const Matrix& sq_dist, std::size_t i, double perplexity,
+                  Matrix& p_conditional) {
+  const std::size_t n = sq_dist.rows();
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0;  // 1 / (2 sigma^2)
+  double beta_min = 0.0;
+  double beta_max = std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum = 0.0;
+    double weighted = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double p = std::exp(-beta * sq_dist(i, j));
+      p_conditional(i, j) = p;
+      sum += p;
+      weighted += beta * sq_dist(i, j) * p;
+    }
+    if (sum <= 0.0) sum = 1e-12;
+    const double entropy = std::log(sum) + weighted / sum;
+    const double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) break;
+    if (diff > 0.0) {
+      beta_min = beta;
+      beta = std::isinf(beta_max) ? beta * 2.0 : (beta + beta_max) / 2.0;
+    } else {
+      beta_max = beta;
+      beta = (beta + beta_min) / 2.0;
+    }
+  }
+  double sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != i) sum += p_conditional(i, j);
+  }
+  if (sum <= 0.0) sum = 1e-12;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != i) p_conditional(i, j) /= sum;
+  }
+}
+
+}  // namespace
+
+Matrix TsneEmbed(const Matrix& points, const TsneConfig& config) {
+  const std::size_t n = points.rows();
+  Require(n >= 4, "TsneEmbed: need at least 4 points");
+  Require(config.perplexity * 3.0 < static_cast<double>(n),
+          "TsneEmbed: perplexity too large for n");
+
+  // Pairwise squared distances in the input space.
+  Matrix sq_dist(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = SquaredL2Distance(points.Row(i), points.Row(j));
+      sq_dist(i, j) = d;
+      sq_dist(j, i) = d;
+    }
+  }
+
+  // Symmetrized affinities P.
+  Matrix p_conditional(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CalibrateRow(sq_dist, i, config.perplexity, p_conditional);
+  }
+  Matrix p(n, n);
+  const double inv_2n = 1.0 / (2.0 * static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      p(i, j) = std::max((p_conditional(i, j) + p_conditional(j, i)) * inv_2n,
+                         1e-12);
+    }
+  }
+
+  // Initialize output with small Gaussian noise.
+  Rng rng(config.seed);
+  Matrix y = Matrix::RandomNormal(n, config.output_dim, rng, 1e-4);
+  Matrix velocity(n, config.output_dim);
+  Matrix gains(n, config.output_dim, 1.0);
+
+  Matrix q_num(n, n);  // unnormalized Student-t affinities
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? config.early_exaggeration : 1.0;
+    const double momentum = iter < config.momentum_switch_iter
+                                ? config.initial_momentum
+                                : config.final_momentum;
+
+    double q_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      q_num(i, i) = 0.0;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double q =
+            1.0 / (1.0 + SquaredL2Distance(y.Row(i), y.Row(j)));
+        q_num(i, j) = q;
+        q_num(j, i) = q;
+        q_sum += 2.0 * q;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> grad(config.output_dim, 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double q = std::max(q_num(i, j) / q_sum, 1e-12);
+        const double coeff =
+            4.0 * (exaggeration * p(i, j) - q) * q_num(i, j);
+        for (std::size_t c = 0; c < config.output_dim; ++c) {
+          grad[c] += coeff * (y(i, c) - y(j, c));
+        }
+      }
+      for (std::size_t c = 0; c < config.output_dim; ++c) {
+        // Adaptive gains as in the reference implementation.
+        const bool same_sign = (grad[c] > 0.0) == (velocity(i, c) > 0.0);
+        gains(i, c) = std::max(
+            0.01, same_sign ? gains(i, c) * 0.8 : gains(i, c) + 0.2);
+        velocity(i, c) = momentum * velocity(i, c) -
+                         config.learning_rate * gains(i, c) * grad[c];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Axpy(1.0, velocity.Row(i), y.Row(i));
+    }
+    // Re-center to keep the embedding bounded.
+    std::vector<double> mean(config.output_dim, 0.0);
+    for (std::size_t i = 0; i < n; ++i) Axpy(1.0, y.Row(i), mean);
+    Scale(mean, 1.0 / static_cast<double>(n));
+    for (std::size_t i = 0; i < n; ++i) Axpy(-1.0, mean, y.Row(i));
+  }
+  return y;
+}
+
+}  // namespace grafics::viz

@@ -1,0 +1,31 @@
+// Exact t-SNE (van der Maaten & Hinton, JMLR 2008).
+//
+// The paper visualizes embedding quality with t-SNE (Figs. 6 and 8). This is
+// the exact O(n^2) variant with perplexity-calibrated Gaussian affinities,
+// early exaggeration, and momentum gradient descent — sufficient for the
+// few-thousand-point exports the figures use.
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.h"
+
+namespace grafics::viz {
+
+struct TsneConfig {
+  std::size_t output_dim = 2;
+  double perplexity = 30.0;
+  std::size_t iterations = 500;
+  double learning_rate = 200.0;
+  double early_exaggeration = 12.0;
+  std::size_t exaggeration_iters = 100;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  std::size_t momentum_switch_iter = 250;
+  std::uint64_t seed = 42;
+};
+
+/// Embeds the rows of `points` into `config.output_dim` dimensions.
+Matrix TsneEmbed(const Matrix& points, const TsneConfig& config = {});
+
+}  // namespace grafics::viz

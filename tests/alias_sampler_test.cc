@@ -1,0 +1,96 @@
+#include "common/alias_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace grafics {
+namespace {
+
+TEST(AliasSamplerTest, EmptyWeightsThrow) {
+  EXPECT_THROW(AliasSampler(std::vector<double>{}), Error);
+}
+
+TEST(AliasSamplerTest, NegativeWeightThrows) {
+  EXPECT_THROW(AliasSampler(std::vector<double>{1.0, -0.5}), Error);
+}
+
+TEST(AliasSamplerTest, AllZeroThrows) {
+  EXPECT_THROW(AliasSampler(std::vector<double>{0.0, 0.0}), Error);
+}
+
+TEST(AliasSamplerTest, SingleBucketAlwaysSampled) {
+  AliasSampler sampler(std::vector<double>{3.7});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  AliasSampler sampler(std::vector<double>{1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(sampler.Sample(rng), 1u);
+}
+
+TEST(AliasSamplerTest, NormalizedProbabilities) {
+  AliasSampler sampler(std::vector<double>{1.0, 3.0});
+  EXPECT_DOUBLE_EQ(sampler.ProbabilityOf(0), 0.25);
+  EXPECT_DOUBLE_EQ(sampler.ProbabilityOf(1), 0.75);
+  EXPECT_THROW(sampler.ProbabilityOf(2), Error);
+}
+
+TEST(AliasSamplerTest, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler(weights);
+  Rng rng(3);
+  std::vector<int> counts(weights.size(), 0);
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.Sample(rng)];
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kN, weights[k] / 10.0, 0.005)
+        << "bucket " << k;
+  }
+}
+
+TEST(AliasSamplerTest, HighlySkewedDistribution) {
+  AliasSampler sampler(std::vector<double>{1e-6, 1.0});
+  Rng rng(5);
+  int rare = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (sampler.Sample(rng) == 0) ++rare;
+  }
+  EXPECT_LT(rare, 10);
+}
+
+TEST(AliasSamplerTest, UniformWeightsUniformSamples) {
+  AliasSampler sampler(std::vector<double>(8, 2.5));
+  Rng rng(7);
+  std::vector<int> counts(8, 0);
+  constexpr int kN = 160000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.125, 0.01);
+  }
+}
+
+TEST(AliasSamplerTest, LargeDistribution) {
+  std::vector<double> weights(10000);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<double>(i % 17) + 0.5;
+  }
+  AliasSampler sampler(weights);
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(sampler.Sample(rng), weights.size());
+}
+
+TEST(AliasSamplerTest, DefaultConstructedIsEmpty) {
+  AliasSampler sampler;
+  EXPECT_TRUE(sampler.empty());
+  Rng rng(1);
+  EXPECT_THROW(sampler.Sample(rng), Error);
+}
+
+}  // namespace
+}  // namespace grafics

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/autoencoder.h"
+#include "baselines/matrix_representation.h"
+#include "baselines/mds.h"
+#include "baselines/pseudo_label.h"
+#include "baselines/sae.h"
+#include "baselines/scalable_dnn.h"
+#include "common/error.h"
+
+namespace grafics::baselines {
+namespace {
+
+rf::SignalRecord MakeRecord(std::initializer_list<std::pair<int, double>> obs,
+                            std::optional<rf::FloorId> floor = std::nullopt) {
+  rf::SignalRecord r;
+  for (const auto& [mac, rssi] : obs) {
+    r.Add(rf::MacAddress(static_cast<std::uint64_t>(mac)), rssi);
+  }
+  r.set_floor(floor);
+  return r;
+}
+
+// ------------------------------------------------ MatrixRepresentation ----
+
+TEST(MatrixRepresentationTest, ColumnsFromTrainingOnly) {
+  const std::vector<rf::SignalRecord> train = {
+      MakeRecord({{1, -60.0}, {2, -70.0}}), MakeRecord({{3, -80.0}})};
+  const MatrixRepresentation repr(train);
+  EXPECT_EQ(repr.num_columns(), 3u);
+}
+
+TEST(MatrixRepresentationTest, MissingEntriesImputedMinus120) {
+  const std::vector<rf::SignalRecord> train = {
+      MakeRecord({{1, -60.0}}), MakeRecord({{2, -70.0}})};
+  const MatrixRepresentation repr(train);
+  const Matrix m = repr.ToMatrix(train);
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 2u);
+  // Each row has one observed and one imputed value.
+  for (std::size_t r = 0; r < 2; ++r) {
+    int imputed = 0;
+    for (double v : m.Row(r)) {
+      if (v == MatrixRepresentation::kMissingDbm) ++imputed;
+    }
+    EXPECT_EQ(imputed, 1);
+  }
+}
+
+TEST(MatrixRepresentationTest, UnseenTestMacsDropped) {
+  const std::vector<rf::SignalRecord> train = {MakeRecord({{1, -60.0}})};
+  const MatrixRepresentation repr(train);
+  const std::vector<rf::SignalRecord> test = {
+      MakeRecord({{1, -55.0}, {99, -40.0}})};
+  const Matrix m = repr.ToMatrix(test);
+  ASSERT_EQ(m.cols(), 1u);
+  EXPECT_DOUBLE_EQ(m(0, 0), -55.0);
+}
+
+TEST(MatrixRepresentationTest, ToRowMatchesToMatrix) {
+  const std::vector<rf::SignalRecord> train = {
+      MakeRecord({{1, -60.0}, {2, -70.0}}), MakeRecord({{2, -75.0}})};
+  const MatrixRepresentation repr(train);
+  const Matrix m = repr.ToMatrix(train);
+  const std::vector<double> row = repr.ToRow(train[0]);
+  for (std::size_t c = 0; c < repr.num_columns(); ++c) {
+    EXPECT_DOUBLE_EQ(row[c], m(0, c));
+  }
+}
+
+TEST(MatrixRepresentationTest, NormalizeMapsToUnitInterval) {
+  Matrix raw(1, 3);
+  raw(0, 0) = -120.0;
+  raw(0, 1) = -20.0;
+  raw(0, 2) = -70.0;
+  const Matrix norm = MatrixRepresentation::Normalize(raw);
+  EXPECT_DOUBLE_EQ(norm(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(norm(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(norm(0, 2), 0.5);
+}
+
+TEST(MatrixRepresentationTest, EmptyTrainingThrows) {
+  EXPECT_THROW(MatrixRepresentation({}), Error);
+}
+
+// ---------------------------------------------------------- FloorIndex ----
+
+TEST(FloorIndexTest, FromLabelsSortedDeduplicated) {
+  const std::vector<std::optional<rf::FloorId>> labels = {
+      5, std::nullopt, 1, 5, std::nullopt, 3};
+  const FloorIndex index = FloorIndex::FromLabels(labels);
+  ASSERT_EQ(index.NumClasses(), 3u);
+  EXPECT_EQ(index.FloorOf(0), 1);
+  EXPECT_EQ(index.FloorOf(2), 5);
+  EXPECT_EQ(index.ClassOf(3), 1u);
+  EXPECT_THROW(index.ClassOf(4), Error);
+  EXPECT_THROW(index.FloorOf(3), Error);
+}
+
+TEST(FloorIndexTest, NoLabelsThrows) {
+  const std::vector<std::optional<rf::FloorId>> labels = {std::nullopt};
+  EXPECT_THROW(FloorIndex::FromLabels(labels), Error);
+}
+
+// --------------------------------------------------------- PseudoLabel ----
+
+TEST(PseudoLabelTest, LabeledRowsKeepOwnLabel) {
+  Matrix points(3, 1);
+  points(0, 0) = 0.0;
+  points(1, 0) = 10.0;
+  points(2, 0) = 1.0;
+  const std::vector<std::optional<rf::FloorId>> labels = {2, 8, std::nullopt};
+  const FloorIndex index = FloorIndex::FromLabels(labels);
+  const auto classes = PseudoLabel(points, labels, index);
+  EXPECT_EQ(classes[0], index.ClassOf(2));
+  EXPECT_EQ(classes[1], index.ClassOf(8));
+  // Row 2 is nearest to row 0 (floor 2).
+  EXPECT_EQ(classes[2], index.ClassOf(2));
+}
+
+TEST(PseudoLabelTest, AllUnlabeledThrows) {
+  Matrix points(2, 1);
+  const std::vector<std::optional<rf::FloorId>> labels(2, std::nullopt);
+  FloorIndex index;
+  index.floors = {0};
+  EXPECT_THROW(PseudoLabel(points, labels, index), Error);
+}
+
+// ------------------------------------------------------------------ MDS ---
+
+/// Four points forming two far-apart pairs in the raw space.
+Matrix TwoPairMatrix() {
+  Matrix m(4, 4, -120.0);
+  m(0, 0) = -40.0;
+  m(0, 1) = -45.0;
+  m(1, 0) = -42.0;
+  m(1, 1) = -47.0;
+  m(2, 2) = -40.0;
+  m(2, 3) = -45.0;
+  m(3, 2) = -42.0;
+  m(3, 3) = -47.0;
+  return m;
+}
+
+TEST(MdsTest, PreservesNeighborhoodStructure) {
+  MdsConfig config;
+  config.dim = 2;
+  const Matrix raw = TwoPairMatrix();
+  const MdsEmbedder mds(raw, config);
+  const Matrix emb = mds.Embed(raw);
+  const double intra =
+      SquaredL2Distance(emb.Row(0), emb.Row(1)) +
+      SquaredL2Distance(emb.Row(2), emb.Row(3));
+  const double inter =
+      SquaredL2Distance(emb.Row(0), emb.Row(2)) +
+      SquaredL2Distance(emb.Row(1), emb.Row(3));
+  EXPECT_LT(intra, inter);
+}
+
+TEST(MdsTest, OutOfSampleLandsNearItsPair) {
+  MdsConfig config;
+  config.dim = 2;
+  const Matrix raw = TwoPairMatrix();
+  const MdsEmbedder mds(raw, config);
+  // A new row resembling pair 1 (columns 0-1 strong).
+  Matrix fresh(1, 4, -120.0);
+  fresh(0, 0) = -41.0;
+  fresh(0, 1) = -46.0;
+  const Matrix emb = mds.Embed(raw);
+  const Matrix new_emb = mds.Embed(fresh);
+  const double to_pair1 = SquaredL2Distance(new_emb.Row(0), emb.Row(0));
+  const double to_pair2 = SquaredL2Distance(new_emb.Row(0), emb.Row(2));
+  EXPECT_LT(to_pair1, to_pair2);
+}
+
+TEST(MdsTest, LandmarkSubsampling) {
+  Rng rng(3);
+  Matrix big(200, 10);
+  for (std::size_t r = 0; r < big.rows(); ++r) {
+    for (double& v : big.Row(r)) v = rng.Uniform(-100.0, -40.0);
+  }
+  MdsConfig config;
+  config.dim = 4;
+  config.max_landmarks = 50;
+  const MdsEmbedder mds(big, config);
+  const Matrix emb = mds.Embed(big);
+  EXPECT_EQ(emb.rows(), 200u);
+  EXPECT_EQ(emb.cols(), 4u);
+}
+
+TEST(MdsTest, ColumnMismatchThrows) {
+  const MdsEmbedder mds(TwoPairMatrix(), MdsConfig{.dim = 2});
+  EXPECT_THROW(mds.Embed(Matrix(1, 3)), Error);
+}
+
+TEST(MdsTest, TooFewRowsThrows) {
+  EXPECT_THROW(MdsEmbedder(Matrix(1, 4), MdsConfig{}), Error);
+}
+
+// ---------------------------------------------------------- Autoencoder ---
+
+TEST(AutoencoderTest, TrainsAndEmbedsWithConfiguredDim) {
+  Rng rng(5);
+  Matrix train(40, 12);
+  for (std::size_t r = 0; r < train.rows(); ++r) {
+    for (double& v : train.Row(r)) v = rng.Uniform(0.0, 1.0);
+  }
+  AutoencoderConfig config;
+  config.dim = 4;
+  config.epochs = 3;
+  AutoencoderEmbedder ae(train, config);
+  const Matrix emb = ae.Embed(train);
+  EXPECT_EQ(emb.rows(), 40u);
+  EXPECT_EQ(emb.cols(), 4u);
+  EXPECT_GT(ae.final_loss(), 0.0);
+}
+
+TEST(AutoencoderTest, ReconstructionLossDecreases) {
+  Rng rng(7);
+  Matrix train(60, 10);
+  for (std::size_t r = 0; r < train.rows(); ++r) {
+    // Structured data: two prototype rows + noise.
+    const double base = (r % 2 == 0) ? 0.2 : 0.8;
+    for (double& v : train.Row(r)) v = base + rng.Normal(0.0, 0.05);
+  }
+  AutoencoderConfig short_config;
+  short_config.epochs = 1;
+  AutoencoderConfig long_config;
+  long_config.epochs = 15;
+  AutoencoderEmbedder short_ae(train, short_config);
+  AutoencoderEmbedder long_ae(train, long_config);
+  EXPECT_LT(long_ae.final_loss(), short_ae.final_loss());
+}
+
+TEST(AutoencoderTest, EmbedDimensionMismatchThrows) {
+  Matrix train(10, 6, 0.5);
+  AutoencoderConfig config;
+  config.epochs = 1;
+  AutoencoderEmbedder ae(train, config);
+  EXPECT_THROW(ae.Embed(Matrix(2, 5)), Error);
+}
+
+// ------------------------------------------------------- SAE / ScalableDnn
+
+/// Linearly separable two-class toy data in [0,1]^4.
+struct ToyData {
+  Matrix x;
+  std::vector<std::size_t> classes;
+  std::vector<std::optional<rf::FloorId>> sparse_labels;
+};
+
+ToyData MakeToy(std::size_t per_class, std::size_t labeled_per_class) {
+  ToyData data;
+  data.x = Matrix(2 * per_class, 4);
+  Rng rng(11);
+  for (std::size_t i = 0; i < 2 * per_class; ++i) {
+    const std::size_t cls = i < per_class ? 0 : 1;
+    data.classes.push_back(cls);
+    for (std::size_t c = 0; c < 4; ++c) {
+      data.x(i, c) = (cls == 0 ? 0.2 : 0.8) + rng.Normal(0.0, 0.05);
+    }
+    data.sparse_labels.push_back(
+        (i % per_class) < labeled_per_class
+            ? std::optional<rf::FloorId>(static_cast<rf::FloorId>(cls))
+            : std::nullopt);
+  }
+  return data;
+}
+
+SaeConfig FastSae() {
+  SaeConfig config;
+  config.hidden = {16, 8};
+  config.pretrain_epochs = 5;
+  config.finetune_epochs = 60;
+  config.learning_rate = 1e-2;
+  return config;
+}
+
+ScalableDnnConfig FastDnn() {
+  ScalableDnnConfig config;
+  config.encoder_hidden = {16, 8};
+  config.classifier_hidden = {16};
+  config.pretrain_epochs = 5;
+  config.classifier_epochs = 60;
+  config.learning_rate = 1e-2;
+  return config;
+}
+
+TEST(SaeTest, SupervisedSeparableProblem) {
+  const ToyData data = MakeToy(30, 30);
+  SaeClassifier sae(data.x, data.classes, 2, FastSae());
+  const auto predicted = sae.Predict(data.x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == data.classes[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / predicted.size(), 0.95);
+}
+
+TEST(SaeTest, SemiSupervisedWithPseudoLabels) {
+  const ToyData data = MakeToy(30, 2);  // only 2 labels per class
+  SaeClassifier sae(data.x, data.sparse_labels, FastSae());
+  EXPECT_EQ(sae.num_classes(), 2u);
+  const auto floors = sae.PredictFloors(data.x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < floors.size(); ++i) {
+    if (floors[i] == static_cast<rf::FloorId>(data.classes[i])) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / floors.size(), 0.9);
+}
+
+TEST(SaeTest, EmbedShape) {
+  const ToyData data = MakeToy(10, 10);
+  SaeClassifier sae(data.x, data.classes, 2, FastSae());
+  const Matrix emb = sae.Embed(data.x);
+  EXPECT_EQ(emb.rows(), data.x.rows());
+  EXPECT_EQ(emb.cols(), 8u);  // last hidden width
+}
+
+TEST(ScalableDnnTest, SupervisedSeparableProblem) {
+  const ToyData data = MakeToy(30, 30);
+  ScalableDnn dnn(data.x, data.classes, 2, FastDnn());
+  const auto predicted = dnn.Predict(data.x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == data.classes[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / predicted.size(), 0.95);
+}
+
+TEST(ScalableDnnTest, SemiSupervisedWithPseudoLabels) {
+  const ToyData data = MakeToy(30, 2);
+  ScalableDnn dnn(data.x, data.sparse_labels, FastDnn());
+  const auto floors = dnn.PredictFloors(data.x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < floors.size(); ++i) {
+    if (floors[i] == static_cast<rf::FloorId>(data.classes[i])) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / floors.size(), 0.9);
+}
+
+TEST(ScalableDnnTest, LabelMismatchThrows) {
+  const ToyData data = MakeToy(5, 5);
+  std::vector<std::size_t> short_labels = {0};
+  EXPECT_THROW(ScalableDnn(data.x, short_labels, 2, FastDnn()), Error);
+}
+
+}  // namespace
+}  // namespace grafics::baselines

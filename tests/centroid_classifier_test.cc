@@ -1,0 +1,96 @@
+#include "cluster/centroid_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace grafics::cluster {
+namespace {
+
+TEST(CentroidClassifierTest, ExplicitCentroidsPredictNearest) {
+  Matrix centroids(2, 2);
+  centroids(0, 0) = 0.0;
+  centroids(0, 1) = 0.0;
+  centroids(1, 0) = 10.0;
+  centroids(1, 1) = 0.0;
+  const CentroidClassifier classifier(centroids, {3, 7});
+  EXPECT_EQ(classifier.Predict(std::vector<double>{1.0, 1.0}), 3);
+  EXPECT_EQ(classifier.Predict(std::vector<double>{9.0, -1.0}), 7);
+}
+
+TEST(CentroidClassifierTest, NearestReportsDistance) {
+  Matrix centroids(1, 2);
+  centroids(0, 0) = 3.0;
+  centroids(0, 1) = 4.0;
+  const CentroidClassifier classifier(centroids, {1});
+  const auto [index, dist] =
+      classifier.Nearest(std::vector<double>{0.0, 0.0});
+  EXPECT_EQ(index, 0u);
+  EXPECT_DOUBLE_EQ(dist, 5.0);
+}
+
+TEST(CentroidClassifierTest, DimensionMismatchThrows) {
+  const CentroidClassifier classifier(Matrix(1, 2), {1});
+  EXPECT_THROW(classifier.Predict(std::vector<double>{1.0}), Error);
+}
+
+TEST(CentroidClassifierTest, MismatchedLabelsThrow) {
+  EXPECT_THROW(CentroidClassifier(Matrix(2, 2), {1}), Error);
+}
+
+TEST(CentroidClassifierTest, EmptyThrows) {
+  EXPECT_THROW(CentroidClassifier(Matrix(0, 2), std::vector<rf::FloorId>{}),
+               Error);
+}
+
+TEST(CentroidClassifierTest, FromClusteringComputesMeans) {
+  // Points: cluster 0 = {(0,0), (2,0)} labeled floor 4;
+  //         cluster 1 = {(10,10)} labeled floor 9.
+  Matrix points(3, 2);
+  points(1, 0) = 2.0;
+  points(2, 0) = 10.0;
+  points(2, 1) = 10.0;
+  ClusteringResult clustering;
+  clustering.cluster_of_point = {0, 0, 1};
+  clustering.cluster_label = {4, 9};
+  const CentroidClassifier classifier(points, clustering);
+  ASSERT_EQ(classifier.num_centroids(), 2u);
+  EXPECT_DOUBLE_EQ(classifier.centroid(0)[0], 1.0);  // mean of 0 and 2
+  EXPECT_DOUBLE_EQ(classifier.centroid(0)[1], 0.0);
+  EXPECT_EQ(classifier.label(0), 4);
+  EXPECT_EQ(classifier.Predict(std::vector<double>{0.5, 0.5}), 4);
+  EXPECT_EQ(classifier.Predict(std::vector<double>{8.0, 8.0}), 9);
+}
+
+TEST(CentroidClassifierTest, SkipsUnlabeledClusters) {
+  Matrix points(3, 1);
+  points(0, 0) = 0.0;
+  points(1, 0) = 5.0;
+  points(2, 0) = 10.0;
+  ClusteringResult clustering;
+  clustering.cluster_of_point = {0, 1, 2};
+  clustering.cluster_label = {std::nullopt, 6, std::nullopt};
+  const CentroidClassifier classifier(points, clustering);
+  EXPECT_EQ(classifier.num_centroids(), 1u);
+  // Even a point right on the unlabeled centroid maps to the labeled one.
+  EXPECT_EQ(classifier.Predict(std::vector<double>{0.0}), 6);
+}
+
+TEST(CentroidClassifierTest, AllUnlabeledThrows) {
+  Matrix points(2, 1);
+  ClusteringResult clustering;
+  clustering.cluster_of_point = {0, 0};
+  clustering.cluster_label = {std::nullopt};
+  EXPECT_THROW(CentroidClassifier(points, clustering), Error);
+}
+
+TEST(CentroidClassifierTest, SizeMismatchWithClusteringThrows) {
+  Matrix points(2, 1);
+  ClusteringResult clustering;
+  clustering.cluster_of_point = {0};
+  clustering.cluster_label = {1};
+  EXPECT_THROW(CentroidClassifier(points, clustering), Error);
+}
+
+}  // namespace
+}  // namespace grafics::cluster

@@ -1,0 +1,71 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.h"
+
+namespace grafics {
+namespace {
+
+TEST(CsvTest, ParseSimpleLine) {
+  const CsvRow row = ParseCsvLine("a,b,c");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "a");
+  EXPECT_EQ(row[2], "c");
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  const CsvRow row = ParseCsvLine(",x,");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "");
+  EXPECT_EQ(row[1], "x");
+  EXPECT_EQ(row[2], "");
+}
+
+TEST(CsvTest, ParseQuotedFieldWithComma) {
+  const CsvRow row = ParseCsvLine(R"("a,b",c)");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "a,b");
+}
+
+TEST(CsvTest, ParseEscapedQuote) {
+  const CsvRow row = ParseCsvLine(R"("he said ""hi""")");
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], R"(he said "hi")");
+}
+
+TEST(CsvTest, ParseToleratesCrlf) {
+  const CsvRow row = ParseCsvLine("a,b\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1], "b");
+}
+
+TEST(CsvTest, UnterminatedQuoteThrows) {
+  EXPECT_THROW(ParseCsvLine(R"("oops)"), Error);
+}
+
+TEST(CsvTest, FormatRoundTrip) {
+  const CsvRow row = {"plain", "with,comma", R"(with"quote)", ""};
+  const CsvRow parsed = ParseCsvLine(FormatCsvLine(row));
+  EXPECT_EQ(parsed, row);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "grafics_csv_test.csv")
+          .string();
+  const std::vector<CsvRow> rows = {{"1", "a,b"}, {"2", "plain"}};
+  WriteCsvFile(path, rows);
+  EXPECT_EQ(ReadCsvFile(path), rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileThrows) {
+  EXPECT_THROW(ReadCsvFile("/nonexistent/definitely/missing.csv"), Error);
+}
+
+}  // namespace
+}  // namespace grafics

@@ -1,0 +1,191 @@
+#include "rf/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.h"
+#include "rf/dataset_stats.h"
+
+namespace grafics::rf {
+namespace {
+
+SignalRecord MakeRecord(std::initializer_list<std::pair<int, double>> obs,
+                        std::optional<FloorId> floor = std::nullopt) {
+  SignalRecord r;
+  for (const auto& [mac, rssi] : obs) {
+    r.Add(MacAddress(static_cast<std::uint64_t>(mac)), rssi);
+  }
+  r.set_floor(floor);
+  return r;
+}
+
+Dataset MakeDataset() {
+  Dataset ds("test-building");
+  ds.Add(MakeRecord({{1, -50.0}, {2, -60.0}}, 0));
+  ds.Add(MakeRecord({{2, -55.0}, {3, -65.0}}, 0));
+  ds.Add(MakeRecord({{3, -50.0}, {4, -60.0}}, 1));
+  ds.Add(MakeRecord({{4, -52.0}, {5, -62.0}}, 1));
+  ds.Add(MakeRecord({{5, -58.0}}, std::nullopt));
+  return ds;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const Dataset ds = MakeDataset();
+  EXPECT_EQ(ds.building_name(), "test-building");
+  EXPECT_EQ(ds.size(), 5u);
+  EXPECT_EQ(ds.DistinctMacCount(), 5u);
+  EXPECT_EQ(ds.LabeledCount(), 4u);
+  EXPECT_THROW(ds.record(5), Error);
+}
+
+TEST(DatasetTest, FloorsSorted) {
+  Dataset ds;
+  ds.Add(MakeRecord({{1, -50.0}}, 5));
+  ds.Add(MakeRecord({{1, -50.0}}, -1));
+  ds.Add(MakeRecord({{1, -50.0}}, 2));
+  ds.Add(MakeRecord({{1, -50.0}}, 5));
+  const std::vector<FloorId> floors = ds.Floors();
+  EXPECT_EQ(floors, (std::vector<FloorId>{-1, 2, 5}));
+}
+
+TEST(DatasetTest, RecordsPerFloorCounts) {
+  const Dataset ds = MakeDataset();
+  const auto counts = ds.RecordsPerFloor();
+  EXPECT_EQ(counts.at(0), 2u);
+  EXPECT_EQ(counts.at(1), 2u);
+  EXPECT_EQ(counts.size(), 2u);  // unlabeled not counted
+}
+
+TEST(DatasetTest, KeepLabelsPerFloorStripsExcess) {
+  Dataset ds;
+  for (int i = 0; i < 20; ++i) ds.Add(MakeRecord({{1, -50.0}}, 0));
+  for (int i = 0; i < 20; ++i) ds.Add(MakeRecord({{1, -50.0}}, 1));
+  Rng rng(1);
+  const auto truth = ds.KeepLabelsPerFloor(3, rng);
+  EXPECT_EQ(ds.LabeledCount(), 6u);
+  // Ground truth preserved for every record.
+  ASSERT_EQ(truth.size(), 40u);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(*truth[i], 0);
+  for (std::size_t i = 20; i < 40; ++i) EXPECT_EQ(*truth[i], 1);
+}
+
+TEST(DatasetTest, KeepLabelsPerFloorMoreThanAvailableKeepsAll) {
+  Dataset ds;
+  for (int i = 0; i < 5; ++i) ds.Add(MakeRecord({{1, -50.0}}, 0));
+  Rng rng(1);
+  ds.KeepLabelsPerFloor(100, rng);
+  EXPECT_EQ(ds.LabeledCount(), 5u);
+}
+
+TEST(DatasetTest, TrainTestSplitSizesAndContent) {
+  Dataset ds;
+  for (int i = 0; i < 100; ++i) {
+    ds.Add(MakeRecord({{i, -50.0}}, i % 3));
+  }
+  Rng rng(7);
+  const auto [train, test] = ds.TrainTestSplit(0.7, rng);
+  EXPECT_EQ(train.size(), 70u);
+  EXPECT_EQ(test.size(), 30u);
+  EXPECT_EQ(train.DistinctMacCount() + test.DistinctMacCount(), 100u);
+}
+
+TEST(DatasetTest, TrainTestSplitInvalidRatioThrows) {
+  const Dataset ds = MakeDataset();
+  Rng rng(1);
+  EXPECT_THROW(ds.TrainTestSplit(0.0, rng), Error);
+  EXPECT_THROW(ds.TrainTestSplit(1.0, rng), Error);
+}
+
+TEST(DatasetTest, TrainTestSplitDeterministicInSeed) {
+  const Dataset ds = MakeDataset();
+  Rng rng1(9);
+  Rng rng2(9);
+  const auto [train1, test1] = ds.TrainTestSplit(0.6, rng1);
+  const auto [train2, test2] = ds.TrainTestSplit(0.6, rng2);
+  EXPECT_EQ(train1.records(), train2.records());
+  EXPECT_EQ(test1.records(), test2.records());
+}
+
+TEST(DatasetTest, RetainMacFractionDropsMacsAndEmptyRecords) {
+  Dataset ds;
+  // Record with a single MAC each: dropping the MAC drops the record.
+  for (int i = 0; i < 10; ++i) ds.Add(MakeRecord({{i, -50.0}}, 0));
+  Rng rng(3);
+  ds.RetainMacFraction(0.3, rng);
+  EXPECT_EQ(ds.DistinctMacCount(), 3u);
+  EXPECT_EQ(ds.size(), 3u);
+}
+
+TEST(DatasetTest, RetainMacFractionFullKeepsEverything) {
+  Dataset ds = MakeDataset();
+  Rng rng(3);
+  ds.RetainMacFraction(1.0, rng);
+  EXPECT_EQ(ds.size(), 5u);
+  EXPECT_EQ(ds.DistinctMacCount(), 5u);
+}
+
+TEST(DatasetTest, RetainMacFractionValidation) {
+  Dataset ds = MakeDataset();
+  Rng rng(3);
+  EXPECT_THROW(ds.RetainMacFraction(0.0, rng), Error);
+  EXPECT_THROW(ds.RetainMacFraction(1.5, rng), Error);
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  const Dataset ds = MakeDataset();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "grafics_dataset_test.csv")
+          .string();
+  ds.SaveCsv(path);
+  const Dataset loaded = Dataset::LoadCsv(path, "test-building");
+  ASSERT_EQ(loaded.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(loaded.record(i).floor(), ds.record(i).floor());
+    EXPECT_EQ(loaded.record(i).size(), ds.record(i).size());
+    for (const Observation& o : ds.record(i).observations()) {
+      EXPECT_NEAR(*loaded.record(i).RssiFor(o.mac), o.rssi_dbm, 1e-6);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetStatsTest, MacsPerRecord) {
+  const Dataset ds = MakeDataset();
+  const std::vector<double> counts = MacsPerRecord(ds);
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_DOUBLE_EQ(counts[0], 2.0);
+  EXPECT_DOUBLE_EQ(counts[4], 1.0);
+}
+
+TEST(DatasetStatsTest, PairwiseOverlapAllPairs) {
+  Dataset ds;
+  ds.Add(MakeRecord({{1, -50.0}, {2, -50.0}}));
+  ds.Add(MakeRecord({{2, -50.0}, {3, -50.0}}));
+  ds.Add(MakeRecord({{9, -50.0}}));
+  Rng rng(1);
+  const auto ratios = PairwiseOverlapRatios(ds, 1000, rng);
+  ASSERT_EQ(ratios.size(), 3u);  // 3 choose 2
+  // Pairs: (0,1) overlap 1/3, (0,2) 0, (1,2) 0.
+  double sum = 0.0;
+  for (double r : ratios) sum += r;
+  EXPECT_NEAR(sum, 1.0 / 3.0, 1e-12);
+}
+
+TEST(DatasetStatsTest, PairwiseOverlapSampledCount) {
+  Dataset ds;
+  for (int i = 0; i < 50; ++i) ds.Add(MakeRecord({{i, -50.0}}));
+  Rng rng(1);
+  const auto ratios = PairwiseOverlapRatios(ds, 100, rng);
+  EXPECT_EQ(ratios.size(), 100u);  // sampled, not all 1225 pairs
+}
+
+TEST(DatasetStatsTest, TooFewRecordsGiveEmptyOverlaps) {
+  Dataset ds;
+  ds.Add(MakeRecord({{1, -50.0}}));
+  Rng rng(1);
+  EXPECT_TRUE(PairwiseOverlapRatios(ds, 10, rng).empty());
+}
+
+}  // namespace
+}  // namespace grafics::rf

@@ -1,0 +1,117 @@
+#include "common/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace grafics {
+namespace {
+
+TEST(EigenTest, NonSquareThrows) {
+  EXPECT_THROW(JacobiEigenDecomposition(Matrix(2, 3)), Error);
+}
+
+TEST(EigenTest, DiagonalMatrixEigenvaluesSortedDescending) {
+  Matrix m(3, 3);
+  m(0, 0) = 1.0;
+  m(1, 1) = 5.0;
+  m(2, 2) = 3.0;
+  const EigenDecomposition eig = JacobiEigenDecomposition(m);
+  ASSERT_EQ(eig.eigenvalues.size(), 3u);
+  EXPECT_NEAR(eig.eigenvalues[0], 5.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(EigenTest, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix m(2, 2);
+  m(0, 0) = 2.0;
+  m(0, 1) = 1.0;
+  m(1, 0) = 1.0;
+  m(1, 1) = 2.0;
+  const EigenDecomposition eig = JacobiEigenDecomposition(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eig.eigenvectors(0, 0)), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(std::abs(eig.eigenvectors(1, 0)), std::sqrt(0.5), 1e-8);
+}
+
+TEST(EigenTest, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(5);
+  const std::size_t n = 12;
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m(i, j) = rng.Uniform(-1.0, 1.0);
+      m(j, i) = m(i, j);
+    }
+  }
+  const EigenDecomposition eig = JacobiEigenDecomposition(m);
+  // Reconstruct A = V diag(lambda) V^T.
+  Matrix lambda(n, n);
+  for (std::size_t i = 0; i < n; ++i) lambda(i, i) = eig.eigenvalues[i];
+  const Matrix reconstructed =
+      eig.eigenvectors.MatMul(lambda).MatMul(eig.eigenvectors.Transposed());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(reconstructed(i, j), m(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(EigenTest, EigenvectorsOrthonormal) {
+  Rng rng(7);
+  const std::size_t n = 8;
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m(i, j) = rng.Normal();
+      m(j, i) = m(i, j);
+    }
+  }
+  const EigenDecomposition eig = JacobiEigenDecomposition(m);
+  const Matrix gram =
+      eig.eigenvectors.Transposed().MatMul(eig.eigenvectors);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(gram(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(EigenTest, TraceEqualsEigenvalueSum) {
+  Rng rng(11);
+  const std::size_t n = 10;
+  Matrix m(n, n);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m(i, j) = rng.Uniform(-2.0, 2.0);
+      m(j, i) = m(i, j);
+    }
+    trace += m(i, i);
+  }
+  const EigenDecomposition eig = JacobiEigenDecomposition(m);
+  double sum = 0.0;
+  for (double v : eig.eigenvalues) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-9);
+}
+
+TEST(EigenTest, PositiveSemiDefiniteGramMatrix) {
+  Rng rng(13);
+  Matrix x = Matrix::RandomNormal(6, 4, rng, 1.0);
+  const Matrix gram = x.MatMul(x.Transposed());  // rank <= 4, PSD
+  const EigenDecomposition eig = JacobiEigenDecomposition(gram);
+  for (double v : eig.eigenvalues) EXPECT_GT(v, -1e-9);
+  // Rank deficiency: last two eigenvalues ~ 0.
+  EXPECT_NEAR(eig.eigenvalues[4], 0.0, 1e-9);
+  EXPECT_NEAR(eig.eigenvalues[5], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace grafics

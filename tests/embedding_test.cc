@@ -1,0 +1,299 @@
+#include "embed/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/matrix.h"
+#include "embed/embedding_store.h"
+#include "graph/weight_function.h"
+
+namespace grafics::embed {
+namespace {
+
+rf::SignalRecord MakeRecord(std::initializer_list<std::pair<int, double>> obs) {
+  rf::SignalRecord r;
+  for (const auto& [mac, rssi] : obs) {
+    r.Add(rf::MacAddress(static_cast<std::uint64_t>(mac)), rssi);
+  }
+  return r;
+}
+
+/// Two dense communities of records bridged only weakly: records 0-3 share
+/// MACs 100-103; records 4-7 share MACs 200-203.
+graph::BipartiteGraph TwoCommunityGraph() {
+  std::vector<rf::SignalRecord> records;
+  for (int r = 0; r < 4; ++r) {
+    rf::SignalRecord rec;
+    for (int m = 0; m < 4; ++m) {
+      rec.Add(rf::MacAddress(static_cast<std::uint64_t>(100 + m)), -55.0);
+    }
+    records.push_back(std::move(rec));
+  }
+  for (int r = 0; r < 4; ++r) {
+    rf::SignalRecord rec;
+    for (int m = 0; m < 4; ++m) {
+      rec.Add(rf::MacAddress(static_cast<std::uint64_t>(200 + m)), -55.0);
+    }
+    records.push_back(std::move(rec));
+  }
+  return graph::BipartiteGraph::FromRecords(records,
+                                            graph::OffsetWeight(120.0));
+}
+
+double MeanIntraCommunityDistance(const graph::BipartiteGraph& g,
+                                  const EmbeddingStore& store) {
+  double sum = 0.0;
+  int count = 0;
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      sum += std::sqrt(SquaredL2Distance(store.Ego(g.RecordNode(a)),
+                                         store.Ego(g.RecordNode(b))));
+      sum += std::sqrt(SquaredL2Distance(store.Ego(g.RecordNode(4 + a)),
+                                         store.Ego(g.RecordNode(4 + b))));
+      count += 2;
+    }
+  }
+  return sum / count;
+}
+
+double MeanInterCommunityDistance(const graph::BipartiteGraph& g,
+                                  const EmbeddingStore& store) {
+  double sum = 0.0;
+  int count = 0;
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 4; b < 8; ++b) {
+      sum += std::sqrt(SquaredL2Distance(store.Ego(g.RecordNode(a)),
+                                         store.Ego(g.RecordNode(b))));
+      ++count;
+    }
+  }
+  return sum / count;
+}
+
+TEST(EmbeddingStoreTest, InitializationShapes) {
+  Rng rng(1);
+  EmbeddingStore store(10, 8, rng);
+  EXPECT_EQ(store.num_nodes(), 10u);
+  EXPECT_EQ(store.dim(), 8u);
+  // Ego initialized small-uniform, context zero (LINE reference init).
+  for (graph::NodeId n = 0; n < 10; ++n) {
+    for (double v : store.Ego(n)) {
+      EXPECT_LE(std::abs(v), 0.5 / 8.0 + 1e-12);
+    }
+    for (double v : store.Context(n)) EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(EmbeddingStoreTest, GrowPreservesExistingRows) {
+  Rng rng(2);
+  EmbeddingStore store(3, 4, rng);
+  store.Ego(1)[2] = 0.77;
+  store.Grow(2, rng);
+  EXPECT_EQ(store.num_nodes(), 5u);
+  EXPECT_DOUBLE_EQ(store.Ego(1)[2], 0.77);
+}
+
+TEST(EmbeddingStoreTest, ZeroDimThrows) {
+  Rng rng(3);
+  EXPECT_THROW(EmbeddingStore(3, 0, rng), Error);
+}
+
+TEST(NegativeSamplerTest, DistributionFollowsDegreeThreeQuarters) {
+  // MAC 1 has degree 3, MACs 2 and 3 degree 1; records have degree 1, 2, 2.
+  std::vector<rf::SignalRecord> records;
+  records.push_back(MakeRecord({{1, -50.0}}));
+  records.push_back(MakeRecord({{1, -50.0}, {2, -60.0}}));
+  records.push_back(MakeRecord({{1, -50.0}, {3, -60.0}}));
+  const auto g =
+      graph::BipartiteGraph::FromRecords(records, graph::OffsetWeight(120.0));
+  std::vector<graph::NodeId> nodes;
+  const AliasSampler sampler = BuildNegativeSampler(g, &nodes);
+  ASSERT_EQ(nodes.size(), g.NumNodes());
+
+  const graph::NodeId mac1 = *g.FindMacNode(rf::MacAddress(1));
+  double mac1_prob = 0.0;
+  double total_check = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    total_check += sampler.ProbabilityOf(i);
+    if (nodes[i] == mac1) mac1_prob = sampler.ProbabilityOf(i);
+  }
+  EXPECT_NEAR(total_check, 1.0, 1e-12);
+  // Degrees: MAC1=3, MAC2=MAC3=1, records r0=1, r1=r2=2.
+  const double expected =
+      std::pow(3.0, 0.75) /
+      (std::pow(3.0, 0.75) + 3.0 + 2.0 * std::pow(2.0, 0.75));
+  EXPECT_NEAR(mac1_prob, expected, 1e-12);
+}
+
+TEST(TrainerTest, EmptyGraphThrows) {
+  graph::BipartiteGraph g;
+  EXPECT_THROW(TrainEmbeddings(g, TrainerConfig{}), Error);
+}
+
+TEST(TrainerTest, DeterministicSingleThread) {
+  const auto g = TwoCommunityGraph();
+  TrainerConfig config;
+  config.samples_per_edge = 20;
+  config.seed = 77;
+  const EmbeddingStore a = TrainEmbeddings(g, config);
+  const EmbeddingStore b = TrainEmbeddings(g, config);
+  EXPECT_EQ(a.ego_matrix(), b.ego_matrix());
+  EXPECT_EQ(a.context_matrix(), b.context_matrix());
+}
+
+TEST(TrainerTest, DifferentSeedsProduceDifferentEmbeddings) {
+  const auto g = TwoCommunityGraph();
+  TrainerConfig config;
+  config.samples_per_edge = 20;
+  config.seed = 1;
+  const EmbeddingStore a = TrainEmbeddings(g, config);
+  config.seed = 2;
+  const EmbeddingStore b = TrainEmbeddings(g, config);
+  EXPECT_NE(a.ego_matrix(), b.ego_matrix());
+}
+
+struct ObjectiveCase {
+  Objective objective;
+  const char* name;
+};
+
+class TrainerObjectiveTest : public ::testing::TestWithParam<ObjectiveCase> {};
+
+TEST_P(TrainerObjectiveTest, SeparatesCommunities) {
+  const auto g = TwoCommunityGraph();
+  TrainerConfig config;
+  config.objective = GetParam().objective;
+  config.samples_per_edge = 400;
+  config.dropout = 0.0;
+  config.seed = 5;
+  const EmbeddingStore store = TrainEmbeddings(g, config);
+  const double intra = MeanIntraCommunityDistance(g, store);
+  const double inter = MeanInterCommunityDistance(g, store);
+  EXPECT_LT(intra * 1.5, inter)
+      << GetParam().name << ": intra=" << intra << " inter=" << inter;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllObjectives, TrainerObjectiveTest,
+    ::testing::Values(ObjectiveCase{Objective::kLineFirstOrder, "first"},
+                      ObjectiveCase{Objective::kLineSecondOrder, "second"},
+                      ObjectiveCase{Objective::kLineBothOrders, "both"},
+                      ObjectiveCase{Objective::kELine, "eline"}),
+    [](const ::testing::TestParamInfo<ObjectiveCase>& info) {
+      return info.param.name;
+    });
+
+TEST(TrainerTest, ELineBridgesMultiHopNeighbors) {
+  // Paper Fig. 5 scenario: records i and k never share a MAC but both share
+  // MACs with a chain of intermediate records. E-LINE should still place i
+  // and k closer than unrelated nodes.
+  std::vector<rf::SignalRecord> records;
+  // Chain: r0 -(A)- r1 -(B)- r2 -(C)- r3, plus an unrelated pair r4-r5.
+  records.push_back(MakeRecord({{10, -50.0}, {11, -55.0}}));          // r0: A
+  records.push_back(MakeRecord({{11, -50.0}, {12, -55.0}}));          // r1: A,B
+  records.push_back(MakeRecord({{12, -50.0}, {13, -55.0}}));          // r2: B,C
+  records.push_back(MakeRecord({{13, -50.0}, {14, -55.0}}));          // r3: C
+  records.push_back(MakeRecord({{50, -50.0}, {51, -55.0}}));          // r4
+  records.push_back(MakeRecord({{51, -50.0}, {52, -55.0}}));          // r5
+  const auto g =
+      graph::BipartiteGraph::FromRecords(records, graph::OffsetWeight(120.0));
+
+  TrainerConfig config;
+  config.objective = Objective::kELine;
+  config.samples_per_edge = 600;
+  config.dropout = 0.0;
+  config.seed = 9;
+  const EmbeddingStore store = TrainEmbeddings(g, config);
+
+  const auto dist = [&](std::size_t a, std::size_t b) {
+    return std::sqrt(SquaredL2Distance(store.Ego(g.RecordNode(a)),
+                                       store.Ego(g.RecordNode(b))));
+  };
+  // r0 and r3 are 6 hops apart but within the same chain; r0 and r4 are in
+  // disconnected components.
+  EXPECT_LT(dist(0, 3), dist(0, 4));
+  EXPECT_LT(dist(0, 3), dist(0, 5));
+}
+
+TEST(TrainerTest, MultiThreadedTrainingSeparatesCommunities) {
+  const auto g = TwoCommunityGraph();
+  TrainerConfig config;
+  config.samples_per_edge = 400;
+  config.num_threads = 4;
+  config.dropout = 0.0;
+  config.seed = 13;
+  const EmbeddingStore store = TrainEmbeddings(g, config);
+  EXPECT_LT(MeanIntraCommunityDistance(g, store) * 1.5,
+            MeanInterCommunityDistance(g, store));
+}
+
+TEST(RefineTest, StoreSizeMismatchThrows) {
+  const auto g = TwoCommunityGraph();
+  TrainerConfig config;
+  config.samples_per_edge = 10;
+  EmbeddingStore store = TrainEmbeddings(g, config);
+  graph::BipartiteGraph grown = g;
+  grown.AddRecord(MakeRecord({{100, -60.0}}), graph::OffsetWeight(120.0));
+  const std::vector<graph::NodeId> new_nodes = {
+      static_cast<graph::NodeId>(g.NumNodes())};
+  EXPECT_THROW(RefineNewNodes(grown, new_nodes, store, config, 10), Error);
+}
+
+TEST(RefineTest, NewNodeLandsInItsCommunity) {
+  auto g = TwoCommunityGraph();
+  TrainerConfig config;
+  config.samples_per_edge = 400;
+  config.dropout = 0.0;
+  config.seed = 21;
+  EmbeddingStore store = TrainEmbeddings(g, config);
+  const Matrix frozen_ego = store.ego_matrix();
+
+  // New record observing community-1 MACs only.
+  const std::size_t nodes_before = g.NumNodes();
+  const graph::NodeId new_node = g.AddRecord(
+      MakeRecord({{100, -50.0}, {101, -55.0}, {102, -60.0}}),
+      graph::OffsetWeight(120.0));
+  Rng rng(5);
+  store.Grow(g.NumNodes() - nodes_before, rng);
+  const std::vector<graph::NodeId> new_nodes = {new_node};
+  RefineNewNodes(g, new_nodes, store, config, 300);
+
+  // Base embeddings frozen.
+  for (graph::NodeId n = 0; n < nodes_before; ++n) {
+    for (std::size_t c = 0; c < store.dim(); ++c) {
+      EXPECT_DOUBLE_EQ(store.Ego(n)[c], frozen_ego(n, c));
+    }
+  }
+  // Closer to community 1 than community 2.
+  double d1 = 0.0;
+  double d2 = 0.0;
+  for (std::size_t r = 0; r < 4; ++r) {
+    d1 += std::sqrt(SquaredL2Distance(store.Ego(new_node),
+                                      store.Ego(g.RecordNode(r))));
+    d2 += std::sqrt(SquaredL2Distance(store.Ego(new_node),
+                                      store.Ego(g.RecordNode(4 + r))));
+  }
+  EXPECT_LT(d1, d2);
+}
+
+TEST(RefineTest, IsolatedNodeKeepsRandomInit) {
+  auto g = TwoCommunityGraph();
+  TrainerConfig config;
+  config.samples_per_edge = 20;
+  EmbeddingStore store = TrainEmbeddings(g, config);
+  const std::size_t nodes_before = g.NumNodes();
+  const graph::NodeId isolated =
+      g.AddRecord(rf::SignalRecord(), graph::OffsetWeight(120.0));
+  Rng rng(5);
+  store.Grow(1, rng);
+  const Matrix before = store.ego_matrix();
+  const std::vector<graph::NodeId> new_nodes = {isolated};
+  RefineNewNodes(g, new_nodes, store, config, 100);
+  EXPECT_EQ(store.ego_matrix(), before);  // nothing to refine
+  EXPECT_EQ(nodes_before + 1, g.NumNodes());
+}
+
+}  // namespace
+}  // namespace grafics::embed

@@ -1,0 +1,202 @@
+// Failure-injection and edge-case tests: degenerate datasets, adversarial
+// online inputs, and pathological configurations the pipeline must survive
+// (either by handling them or by failing fast with a clear error).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.h"
+#include "core/grafics.h"
+#include "synth/presets.h"
+
+namespace grafics::core {
+namespace {
+
+rf::SignalRecord MakeRecord(std::initializer_list<std::pair<int, double>> obs,
+                            std::optional<rf::FloorId> floor = std::nullopt) {
+  rf::SignalRecord r;
+  for (const auto& [mac, rssi] : obs) {
+    r.Add(rf::MacAddress(static_cast<std::uint64_t>(mac)), rssi);
+  }
+  r.set_floor(floor);
+  return r;
+}
+
+GraficsConfig TinyConfig() {
+  GraficsConfig config;
+  // Tiny graphs have so few edges that edge-sampling SGD needs many passes
+  // per edge to converge; this stays fast because |E| is minuscule.
+  config.trainer.samples_per_edge = 500;
+  config.online_refine_iterations = 400;
+  return config;
+}
+
+TEST(FailureInjectionTest, SingleFloorBuildingAlwaysPredictsThatFloor) {
+  // Degenerate but legal: a one-story building.
+  std::vector<rf::SignalRecord> records;
+  Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    rf::SignalRecord r;
+    for (int m = 0; m < 5; ++m) {
+      r.Add(rf::MacAddress(static_cast<std::uint64_t>(1 + (i + m) % 12)),
+            rng.Uniform(-80.0, -40.0));
+    }
+    r.set_floor(i < 2 ? std::optional<rf::FloorId>(0) : std::nullopt);
+    records.push_back(std::move(r));
+  }
+  Grafics system(TinyConfig());
+  system.Train(records);
+  const auto prediction = system.Predict(records[10]);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(*prediction, 0);
+}
+
+TEST(FailureInjectionTest, TwoRecordsMinimalTraining) {
+  Grafics system(TinyConfig());
+  system.Train({MakeRecord({{1, -50.0}, {2, -60.0}}, 0),
+                MakeRecord({{2, -55.0}, {3, -65.0}}, 1)});
+  const auto prediction = system.Predict(MakeRecord({{1, -52.0}}));
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(*prediction, 0);
+}
+
+TEST(FailureInjectionTest, FloorWithoutAnyLabelGetsAbsorbed) {
+  // Records from floor 2 exist but no labeled sample for it: the system
+  // must still train and classify them as *some* labeled floor rather than
+  // crash. (This is the paper's behaviour: clusters are named only by
+  // labeled samples.)
+  auto config = synth::CampusBuildingConfig(3, 40);
+  auto sim = config.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  for (auto& record : dataset.mutable_records()) {
+    if (record.floor() == 2) record.set_floor(std::nullopt);
+  }
+  Rng rng(5);
+  dataset.KeepLabelsPerFloor(2, rng);
+  Grafics system(TinyConfig());
+  system.Train(dataset.records());
+  for (const auto& label : system.clustering().cluster_label) {
+    ASSERT_TRUE(label.has_value());
+    EXPECT_NE(*label, 2);
+  }
+}
+
+TEST(FailureInjectionTest, OnlineRecordMixingKnownAndUnknownMacs) {
+  Grafics system(TinyConfig());
+  system.Train({MakeRecord({{1, -50.0}, {2, -60.0}}, 0),
+                MakeRecord({{3, -55.0}, {4, -65.0}}, 1),
+                MakeRecord({{1, -52.0}, {2, -61.0}}),
+                MakeRecord({{3, -53.0}, {4, -64.0}})});
+  // Half the MACs are new: the record is still classified via the known
+  // half, and the new MACs become graph nodes.
+  const std::size_t macs_before = system.graph().NumMacs();
+  const auto prediction =
+      system.Predict(MakeRecord({{1, -50.0}, {99, -40.0}, {98, -45.0}}));
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(*prediction, 0);
+  EXPECT_EQ(system.graph().NumMacs(), macs_before + 2);
+}
+
+TEST(FailureInjectionTest, ExtremeRssValuesSurvive) {
+  // RSS at the edges of the radio reporting range must not break the
+  // weight function (alpha = 120 keeps -119.9 positive).
+  Grafics system(TinyConfig());
+  system.Train({MakeRecord({{1, -119.9}, {2, -20.0}}, 0),
+                MakeRecord({{2, -119.5}, {3, -21.0}}, 1)});
+  EXPECT_TRUE(system.Predict(MakeRecord({{1, -119.0}})).has_value());
+}
+
+TEST(FailureInjectionTest, OutOfRangeRssFailsFast) {
+  Grafics system(TinyConfig());
+  EXPECT_THROW(system.Train({MakeRecord({{1, -130.0}}, 0)}), Error);
+}
+
+TEST(FailureInjectionTest, DuplicateIdenticalRecordsAreFine) {
+  std::vector<rf::SignalRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    records.push_back(MakeRecord({{1, -50.0}, {2, -60.0}},
+                                 i == 0 ? std::optional<rf::FloorId>(0)
+                                        : std::nullopt));
+  }
+  for (int i = 0; i < 20; ++i) {
+    records.push_back(MakeRecord({{5, -50.0}, {6, -60.0}},
+                                 i == 0 ? std::optional<rf::FloorId>(1)
+                                        : std::nullopt));
+  }
+  Grafics system(TinyConfig());
+  system.Train(records);
+  EXPECT_EQ(*system.Predict(MakeRecord({{5, -51.0}})), 1);
+}
+
+TEST(FailureInjectionTest, ManyFloorsFewRecordsEach) {
+  // 10 floors x 6 records stresses the constraint bookkeeping.
+  std::vector<rf::SignalRecord> records;
+  Rng rng(9);
+  for (int floor = 0; floor < 10; ++floor) {
+    for (int i = 0; i < 6; ++i) {
+      rf::SignalRecord r;
+      for (int m = 0; m < 4; ++m) {
+        r.Add(rf::MacAddress(static_cast<std::uint64_t>(floor * 10 + m + 1)),
+              rng.Uniform(-70.0, -40.0));
+      }
+      r.set_floor(i == 0 ? std::optional<rf::FloorId>(floor) : std::nullopt);
+      records.push_back(std::move(r));
+    }
+  }
+  Grafics system(TinyConfig());
+  system.Train(records);
+  EXPECT_EQ(system.clustering().num_clusters(), 10u);
+  // Disjoint per-floor MAC sets: prediction should be exact.
+  EXPECT_EQ(*system.Predict(MakeRecord({{71, -50.0}, {72, -55.0}})), 7);
+}
+
+TEST(FailureInjectionTest, RetrainReplacesModel) {
+  Grafics system(TinyConfig());
+  system.Train({MakeRecord({{1, -50.0}}, 0), MakeRecord({{2, -50.0}}, 1)});
+  EXPECT_EQ(*system.Predict(MakeRecord({{1, -55.0}})), 0);
+  // Retrain with flipped labels: the model must reflect the new labels.
+  system.Train({MakeRecord({{1, -50.0}}, 5), MakeRecord({{2, -50.0}}, 6)});
+  EXPECT_EQ(*system.Predict(MakeRecord({{1, -55.0}})), 5);
+  EXPECT_EQ(system.graph().NumRecords(), 3u);  // fresh graph + 1 prediction
+}
+
+TEST(FailureInjectionTest, HarnessRejectsDatasetTooSmallToSplit) {
+  rf::Dataset tiny("tiny");
+  tiny.Add(MakeRecord({{1, -50.0}}, 0));
+  ExperimentConfig config;
+  EXPECT_THROW(RunExperiment(Algorithm::kGrafics, tiny, config, 1),
+               Error);
+}
+
+TEST(FailureInjectionTest, ZeroRefinementIterationsStillPredicts) {
+  // With 0 SGD refinement steps the warm start alone places the node.
+  GraficsConfig config = TinyConfig();
+  config.online_refine_iterations = 0;
+  Grafics system(config);
+  system.Train({MakeRecord({{1, -50.0}, {2, -60.0}}, 0),
+                MakeRecord({{3, -55.0}, {4, -65.0}}, 1),
+                MakeRecord({{1, -52.0}, {2, -62.0}}),
+                MakeRecord({{3, -53.0}, {4, -63.0}})});
+  EXPECT_TRUE(system.Predict(MakeRecord({{1, -50.0}})).has_value());
+}
+
+TEST(FailureInjectionTest, PredictionsAreStableAcrossRepeats) {
+  // Predicting the same record twice adds two graph nodes but must give
+  // the same answer (the base model is frozen).
+  auto config = synth::CampusBuildingConfig(21, 40);
+  auto sim = config.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  Rng rng(3);
+  dataset.KeepLabelsPerFloor(3, rng);
+  Grafics system(TinyConfig());
+  system.Train(dataset.records());
+  const rf::SignalRecord probe = sim.MeasureAt({20.0, 20.0, 1.2}, 0);
+  const auto first = system.Predict(probe);
+  const auto second = system.Predict(probe);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, *second);
+}
+
+}  // namespace
+}  // namespace grafics::core

@@ -1,0 +1,232 @@
+#include "synth/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/error.h"
+#include "rf/dataset_stats.h"
+#include "synth/path_loss.h"
+#include "synth/presets.h"
+
+namespace grafics::synth {
+namespace {
+
+BuildingSimulator MakeSmallSim(std::uint64_t seed = 1) {
+  BuildingSpec spec;
+  spec.num_floors = 3;
+  spec.aps_per_floor = 20;
+  spec.records_per_floor = 50;
+  return BuildingSimulator(spec, PathLossParams{}, CrowdsourceParams{}, seed);
+}
+
+TEST(PathLossTest, MonotoneInDistance) {
+  const PathLossModel model(PathLossParams{});
+  AccessPoint ap;
+  ap.tx_power_dbm = -35.0;
+  ap.position = {0.0, 0.0, 2.5};
+  ap.floor = 0;
+  const double near = model.MeanRssi(ap, {2.0, 0.0, 1.2}, 0);
+  const double far = model.MeanRssi(ap, {40.0, 0.0, 1.2}, 0);
+  EXPECT_GT(near, far);
+}
+
+TEST(PathLossTest, SaturatesInsideReferenceDistance) {
+  const PathLossModel model(PathLossParams{});
+  AccessPoint ap;
+  ap.tx_power_dbm = -35.0;
+  ap.position = {0.0, 0.0, 1.2};
+  ap.floor = 0;
+  EXPECT_DOUBLE_EQ(model.MeanRssi(ap, {0.0, 0.0, 1.2}, 0), -35.0);
+  EXPECT_DOUBLE_EQ(model.MeanRssi(ap, {0.5, 0.0, 1.2}, 0), -35.0);
+}
+
+TEST(PathLossTest, FloorAttenuationAppliesPerFloorCrossed) {
+  PathLossParams params;
+  params.floor_attenuation_db = 10.0;
+  params.shadowing_stddev_db = 0.0;
+  const PathLossModel model(params);
+  AccessPoint ap;
+  ap.tx_power_dbm = -35.0;
+  ap.position = {0.0, 0.0, 2.5};
+  ap.floor = 0;
+  const double same = model.MeanRssi(ap, {10.0, 0.0, 1.2}, 0);
+  const double one_up = model.MeanRssi(ap, {10.0, 0.0, 5.2}, 1);
+  const double two_up = model.MeanRssi(ap, {10.0, 0.0, 9.2}, 2);
+  // Each crossed floor costs ~10 dB beyond the extra 3-D distance.
+  EXPECT_LT(one_up, same - 9.0);
+  EXPECT_LT(two_up, one_up - 9.0);
+}
+
+TEST(PathLossTest, DetectionThreshold) {
+  PathLossParams params;
+  params.detection_threshold_dbm = -90.0;
+  const PathLossModel model(params);
+  EXPECT_TRUE(model.Detectable(-89.9));
+  EXPECT_TRUE(model.Detectable(-90.0));
+  EXPECT_FALSE(model.Detectable(-90.1));
+}
+
+TEST(PathLossTest, ShadowingIsZeroMeanNoise) {
+  PathLossParams params;
+  params.shadowing_stddev_db = 3.0;
+  const PathLossModel model(params);
+  AccessPoint ap;
+  ap.tx_power_dbm = -35.0;
+  ap.position = {5.0, 5.0, 2.5};
+  ap.floor = 0;
+  const Point rx{10.0, 10.0, 1.2};
+  const double mean = model.MeanRssi(ap, rx, 0);
+  Rng rng(3);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += model.SampleRssi(ap, rx, 0, rng);
+  EXPECT_NEAR(sum / kN, mean, 0.1);
+}
+
+TEST(BuildingSimulatorTest, DeploysExpectedApCount) {
+  const BuildingSimulator sim = MakeSmallSim();
+  EXPECT_EQ(sim.ApCount(), 60u);
+}
+
+TEST(BuildingSimulatorTest, ApsHaveDistinctMacs) {
+  const BuildingSimulator sim = MakeSmallSim();
+  std::unordered_set<std::uint64_t> macs;
+  for (const AccessPoint& ap : sim.access_points()) macs.insert(ap.mac_bits);
+  EXPECT_EQ(macs.size(), sim.ApCount());
+}
+
+TEST(BuildingSimulatorTest, ApsWithinFloorBounds) {
+  const BuildingSimulator sim = MakeSmallSim();
+  const BuildingSpec& spec = sim.spec();
+  for (const AccessPoint& ap : sim.access_points()) {
+    EXPECT_GE(ap.position.x, 0.0);
+    EXPECT_LE(ap.position.x, spec.floor_width_m);
+    EXPECT_GE(ap.position.y, 0.0);
+    EXPECT_LE(ap.position.y, spec.floor_depth_m);
+    EXPECT_GE(ap.floor, 0);
+    EXPECT_LT(ap.floor, spec.num_floors);
+  }
+}
+
+TEST(BuildingSimulatorTest, GenerateDatasetShape) {
+  BuildingSimulator sim = MakeSmallSim();
+  const rf::Dataset ds = sim.GenerateDataset();
+  EXPECT_EQ(ds.size(), 150u);
+  const auto per_floor = ds.RecordsPerFloor();
+  ASSERT_EQ(per_floor.size(), 3u);
+  for (const auto& [floor, count] : per_floor) EXPECT_EQ(count, 50u);
+  // Every record labeled at generation time.
+  EXPECT_EQ(ds.LabeledCount(), ds.size());
+}
+
+TEST(BuildingSimulatorTest, RecordsRespectScanCap) {
+  BuildingSpec spec;
+  spec.num_floors = 1;
+  spec.aps_per_floor = 100;
+  spec.records_per_floor = 30;
+  CrowdsourceParams crowd;
+  crowd.scan_cap_min = 5;
+  crowd.scan_cap_max = 12;
+  BuildingSimulator sim(spec, PathLossParams{}, crowd, 7);
+  for (const rf::SignalRecord& r : sim.GenerateRecordsOnFloor(0, 30)) {
+    EXPECT_LE(r.size(), 12u);
+    EXPECT_GE(r.size(), 1u);
+  }
+}
+
+TEST(BuildingSimulatorTest, DeterministicInSeed) {
+  BuildingSimulator sim1 = MakeSmallSim(99);
+  BuildingSimulator sim2 = MakeSmallSim(99);
+  const rf::Dataset ds1 = sim1.GenerateDataset();
+  const rf::Dataset ds2 = sim2.GenerateDataset();
+  EXPECT_EQ(ds1.records(), ds2.records());
+}
+
+TEST(BuildingSimulatorTest, DifferentSeedsDiffer) {
+  BuildingSimulator sim1 = MakeSmallSim(1);
+  BuildingSimulator sim2 = MakeSmallSim(2);
+  EXPECT_NE(sim1.GenerateDataset().records(),
+            sim2.GenerateDataset().records());
+}
+
+TEST(BuildingSimulatorTest, MeasureAtIsLabeledWithFloor) {
+  BuildingSimulator sim = MakeSmallSim();
+  const rf::SignalRecord r = sim.MeasureAt({10.0, 10.0, 5.2}, 1);
+  EXPECT_EQ(*r.floor(), 1);
+}
+
+TEST(BuildingSimulatorTest, InvalidFloorThrows) {
+  BuildingSimulator sim = MakeSmallSim();
+  EXPECT_THROW(sim.GenerateRecordsOnFloor(3, 5), Error);
+  EXPECT_THROW(sim.GenerateRecordsOnFloor(-1, 5), Error);
+}
+
+TEST(BuildingSimulatorTest, RemoveRandomApsShrinks) {
+  BuildingSimulator sim = MakeSmallSim();
+  EXPECT_EQ(sim.RemoveRandomAps(10), 10u);
+  EXPECT_EQ(sim.ApCount(), 50u);
+  // Removing more than exist removes all.
+  EXPECT_EQ(sim.RemoveRandomAps(1000), 50u);
+  EXPECT_EQ(sim.ApCount(), 0u);
+}
+
+TEST(BuildingSimulatorTest, InstallApsAddsFreshMacs) {
+  BuildingSimulator sim = MakeSmallSim();
+  std::unordered_set<std::uint64_t> before;
+  for (const AccessPoint& ap : sim.access_points()) before.insert(ap.mac_bits);
+  sim.InstallAps(5);
+  EXPECT_EQ(sim.ApCount(), 65u);
+  std::size_t fresh = 0;
+  for (const AccessPoint& ap : sim.access_points()) {
+    if (!before.contains(ap.mac_bits)) ++fresh;
+  }
+  EXPECT_EQ(fresh, 5u);
+}
+
+TEST(PresetsTest, MicrosoftFleetWithinFigure9Ranges) {
+  const auto fleet = MicrosoftLikeFleet(20, 11);
+  ASSERT_EQ(fleet.size(), 20u);
+  for (const BuildingConfig& cfg : fleet) {
+    EXPECT_GE(cfg.spec.num_floors, 2);
+    EXPECT_LE(cfg.spec.num_floors, 12);
+    EXPECT_GE(cfg.spec.FloorArea(), 1000.0);
+    EXPECT_LE(cfg.spec.FloorArea(), 9000.0);
+    EXPECT_GE(cfg.spec.aps_per_floor, 8);
+  }
+}
+
+TEST(PresetsTest, MicrosoftFleetDeterministic) {
+  const auto a = MicrosoftLikeFleet(5, 42);
+  const auto b = MicrosoftLikeFleet(5, 42);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a[i].spec.num_floors, b[i].spec.num_floors);
+    EXPECT_DOUBLE_EQ(a[i].spec.floor_width_m, b[i].spec.floor_width_m);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+TEST(PresetsTest, HongKongFleetHasFiveFacilities) {
+  const auto fleet = HongKongFleet(7);
+  ASSERT_EQ(fleet.size(), 5u);
+  // Two towers, a hospital, two malls.
+  EXPECT_EQ(fleet[0].spec.name, "hk-office-tower-1");
+  EXPECT_EQ(fleet[2].spec.name, "hk-hospital");
+  EXPECT_EQ(fleet[4].spec.name, "hk-mall-2");
+  for (const BuildingConfig& cfg : fleet) EXPECT_GE(cfg.spec.num_floors, 5);
+}
+
+TEST(PresetsTest, MallFloorMatchesFigure1Scale) {
+  const BuildingConfig cfg = MallFloorConfig(3);
+  EXPECT_EQ(cfg.spec.num_floors, 1);
+  EXPECT_EQ(cfg.spec.aps_per_floor, 805);
+  EXPECT_EQ(cfg.spec.records_per_floor, 8274);
+}
+
+TEST(PresetsTest, CampusBuildingIsThreeStories) {
+  const BuildingConfig cfg = CampusBuildingConfig(3);
+  EXPECT_EQ(cfg.spec.num_floors, 3);
+}
+
+}  // namespace
+}  // namespace grafics::synth

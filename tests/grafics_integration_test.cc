@@ -1,0 +1,211 @@
+// End-to-end integration tests of the GRAFICS pipeline on synthetic
+// buildings, plus the experiment harness.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/grafics.h"
+#include "synth/presets.h"
+
+namespace grafics::core {
+namespace {
+
+/// Small, fast campus building shared by the integration tests.
+rf::Dataset CampusDataset(std::uint64_t seed = 11, int records_per_floor = 80) {
+  auto config = synth::CampusBuildingConfig(seed, records_per_floor);
+  auto sim = config.MakeSimulator();
+  return sim.GenerateDataset();
+}
+
+GraficsConfig FastConfig() {
+  GraficsConfig config;
+  config.trainer.samples_per_edge = 60;
+  config.online_refine_iterations = 300;
+  return config;
+}
+
+TEST(GraficsIntegrationTest, TrainRequiresRecordsAndLabels) {
+  Grafics system(FastConfig());
+  EXPECT_THROW(system.Train({}), Error);
+  // Records without any label are rejected.
+  rf::SignalRecord unlabeled;
+  unlabeled.Add(rf::MacAddress(1), -60.0);
+  EXPECT_THROW(system.Train({unlabeled}), Error);
+  EXPECT_FALSE(system.is_trained());
+}
+
+TEST(GraficsIntegrationTest, PredictBeforeTrainThrows) {
+  Grafics system(FastConfig());
+  rf::SignalRecord record;
+  record.Add(rf::MacAddress(1), -60.0);
+  EXPECT_THROW(system.Predict(record), Error);
+}
+
+TEST(GraficsIntegrationTest, HighAccuracyOnCampusWithFourLabels) {
+  rf::Dataset dataset = CampusDataset();
+  Rng rng(3);
+  auto [train, test] = dataset.TrainTestSplit(0.7, rng);
+  train.KeepLabelsPerFloor(4, rng);
+
+  Grafics system(FastConfig());
+  system.Train(train.records());
+  EXPECT_TRUE(system.is_trained());
+
+  std::vector<rf::FloorId> truth;
+  for (const auto& r : test.records()) truth.push_back(*r.floor());
+  const auto predicted = system.PredictBatch(test.records());
+  const ClassificationMetrics metrics = ComputeMetrics(truth, predicted);
+  EXPECT_GT(metrics.micro.f_score, 0.9);
+  EXPECT_GT(metrics.macro.f_score, 0.9);
+}
+
+TEST(GraficsIntegrationTest, ClusterCountEqualsLabeledCount) {
+  rf::Dataset dataset = CampusDataset();
+  Rng rng(5);
+  dataset.KeepLabelsPerFloor(4, rng);
+  Grafics system(FastConfig());
+  system.Train(dataset.records());
+  EXPECT_EQ(system.clustering().num_clusters(), 12u);  // 3 floors x 4 labels
+  EXPECT_EQ(system.classifier().num_centroids(), 12u);
+}
+
+TEST(GraficsIntegrationTest, RecordWithOnlyUnseenMacsDiscarded) {
+  rf::Dataset dataset = CampusDataset(13, 40);
+  Rng rng(7);
+  dataset.KeepLabelsPerFloor(4, rng);
+  Grafics system(FastConfig());
+  system.Train(dataset.records());
+
+  rf::SignalRecord alien;
+  alien.Add(rf::MacAddress(0xABCDEF), -50.0);  // never seen in training
+  EXPECT_FALSE(system.Predict(alien).has_value());
+  // Empty record likewise.
+  EXPECT_FALSE(system.Predict(rf::SignalRecord()).has_value());
+}
+
+TEST(GraficsIntegrationTest, PredictExtendsGraphIncrementally) {
+  rf::Dataset dataset = CampusDataset(17, 40);
+  Rng rng(9);
+  dataset.KeepLabelsPerFloor(4, rng);
+  Grafics system(FastConfig());
+  system.Train(dataset.records());
+  const std::size_t records_before = system.graph().NumRecords();
+
+  // Predict a record resembling training data (reuse a training record).
+  const auto prediction = system.Predict(dataset.record(0));
+  EXPECT_TRUE(prediction.has_value());
+  EXPECT_EQ(system.graph().NumRecords(), records_before + 1);
+}
+
+TEST(GraficsIntegrationTest, ResubmittedTrainingRecordsPredictTheirFloor) {
+  rf::Dataset dataset = CampusDataset(19, 60);
+  Rng rng(11);
+  const auto truth = dataset.KeepLabelsPerFloor(4, rng);
+  Grafics system(FastConfig());
+  system.Train(dataset.records());
+  std::size_t correct = 0;
+  constexpr std::size_t kProbes = 30;
+  for (std::size_t i = 0; i < kProbes; ++i) {
+    const auto predicted = system.Predict(dataset.record(i));
+    if (predicted && *predicted == *truth[i]) ++correct;
+  }
+  EXPECT_GE(correct, kProbes * 8 / 10);
+}
+
+TEST(GraficsIntegrationTest, CustomWeightFunctionIsUsed) {
+  GraficsConfig config = FastConfig();
+  config.custom_weight = graph::BinaryWeight();
+  Grafics system(config);
+  rf::SignalRecord r1;
+  r1.Add(rf::MacAddress(1), -60.0);
+  r1.set_floor(0);
+  rf::SignalRecord r2;
+  r2.Add(rf::MacAddress(1), -90.0);
+  system.Train({r1, r2});
+  for (const auto& edge : system.graph().Edges()) {
+    EXPECT_DOUBLE_EQ(edge.weight, 1.0);
+  }
+}
+
+TEST(GraficsIntegrationTest, TrainingEmbeddingAccessors) {
+  rf::Dataset dataset = CampusDataset(23, 30);
+  Rng rng(13);
+  dataset.KeepLabelsPerFloor(2, rng);
+  GraficsConfig config = FastConfig();
+  config.trainer.dim = 6;
+  Grafics system(config);
+  system.Train(dataset.records());
+  const Matrix embeddings = system.TrainingEmbeddings();
+  EXPECT_EQ(embeddings.rows(), dataset.size());
+  EXPECT_EQ(embeddings.cols(), 6u);
+  const auto row = system.TrainingEmbedding(0);
+  for (std::size_t c = 0; c < 6; ++c) {
+    EXPECT_DOUBLE_EQ(row[c], embeddings(0, c));
+  }
+}
+
+// ------------------------------------------------------------ harness ----
+
+TEST(ExperimentHarnessTest, AlgorithmNamesDistinct) {
+  const Algorithm all[] = {
+      Algorithm::kGrafics,     Algorithm::kGraficsLine,
+      Algorithm::kGraficsLineBoth, Algorithm::kScalableDnn,
+      Algorithm::kSae,         Algorithm::kMdsProx,
+      Algorithm::kAutoencoderProx, Algorithm::kMatrixProx};
+  std::set<std::string> names;
+  for (Algorithm a : all) names.insert(AlgorithmName(a));
+  EXPECT_EQ(names.size(), std::size(all));
+}
+
+TEST(ExperimentHarnessTest, GraficsExperimentProducesStrongScores) {
+  const rf::Dataset dataset = CampusDataset(29, 60);
+  ExperimentConfig config;
+  config.labels_per_floor = 4;
+  config.grafics = FastConfig();
+  const ExperimentResult result =
+      RunExperiment(Algorithm::kGrafics, dataset, config, 7);
+  EXPECT_GT(result.metrics.micro.f_score, 0.85);
+  EXPECT_GT(result.train_seconds, 0.0);
+  EXPECT_GT(result.infer_seconds, 0.0);
+}
+
+TEST(ExperimentHarnessTest, MatrixProxRunsEndToEnd) {
+  const rf::Dataset dataset = CampusDataset(31, 40);
+  ExperimentConfig config;
+  config.labels_per_floor = 4;
+  const ExperimentResult result =
+      RunExperiment(Algorithm::kMatrixProx, dataset, config, 7);
+  EXPECT_GT(result.metrics.micro.f_score, 0.3);
+  EXPECT_EQ(result.metrics.num_samples, dataset.size() * 3 / 10);
+}
+
+TEST(ExperimentHarnessTest, SummarizeMetricsMeanAndStddev) {
+  ClassificationMetrics a;
+  a.micro.f_score = 0.8;
+  a.macro.f_score = 0.6;
+  ClassificationMetrics b;
+  b.micro.f_score = 1.0;
+  b.macro.f_score = 0.8;
+  const MetricsSummary s = SummarizeMetrics({a, b});
+  EXPECT_DOUBLE_EQ(s.micro_f_mean, 0.9);
+  EXPECT_DOUBLE_EQ(s.macro_f_mean, 0.7);
+  EXPECT_NEAR(s.micro_f_stddev, 0.1414, 1e-3);
+  EXPECT_EQ(s.repetitions, 2u);
+}
+
+TEST(ExperimentHarnessTest, SummarizeEmptyThrows) {
+  EXPECT_THROW(SummarizeMetrics({}), Error);
+}
+
+TEST(ExperimentHarnessTest, RunRepeatedAggregates) {
+  const rf::Dataset dataset = CampusDataset(37, 40);
+  ExperimentConfig config;
+  config.labels_per_floor = 4;
+  config.grafics = FastConfig();
+  const MetricsSummary s =
+      RunRepeated(Algorithm::kGrafics, dataset, config, 3, 2);
+  EXPECT_EQ(s.repetitions, 2u);
+  EXPECT_GT(s.micro_f_mean, 0.7);
+}
+
+}  // namespace
+}  // namespace grafics::core

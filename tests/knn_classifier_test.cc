@@ -1,0 +1,105 @@
+#include "cluster/knn_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace grafics::cluster {
+namespace {
+
+Matrix TwoBlobReferences() {
+  // 5 points near x=0 (floor 1), 5 near x=10 (floor 2).
+  Matrix refs(10, 1);
+  for (int i = 0; i < 5; ++i) refs(i, 0) = 0.1 * i;
+  for (int i = 5; i < 10; ++i) refs(i, 0) = 10.0 + 0.1 * i;
+  return refs;
+}
+
+std::vector<rf::FloorId> TwoBlobLabels() {
+  return {1, 1, 1, 1, 1, 2, 2, 2, 2, 2};
+}
+
+TEST(KnnClassifierTest, PredictsMajorityBlob) {
+  const KnnClassifier knn(TwoBlobReferences(), TwoBlobLabels());
+  EXPECT_EQ(knn.Predict(std::vector<double>{0.2}), 1);
+  EXPECT_EQ(knn.Predict(std::vector<double>{10.2}), 2);
+}
+
+TEST(KnnClassifierTest, KOneIsNearestNeighbor) {
+  KnnConfig config;
+  config.k = 1;
+  const KnnClassifier knn(TwoBlobReferences(), TwoBlobLabels(), config);
+  // Point closer to the floor-2 blob even though near the midpoint.
+  EXPECT_EQ(knn.Predict(std::vector<double>{5.5}), 2);
+  EXPECT_EQ(knn.Predict(std::vector<double>{4.5}), 1);
+}
+
+TEST(KnnClassifierTest, DistanceWeightingBreaksVoteCounts) {
+  // Two references of floor 9 far away, one of floor 3 very close, k=3:
+  // inverse-distance weighting must pick floor 3 despite 2-vs-1 votes.
+  Matrix refs(3, 1);
+  refs(0, 0) = 0.001;
+  refs(1, 0) = 50.0;
+  refs(2, 0) = 51.0;
+  KnnConfig config;
+  config.k = 3;
+  const KnnClassifier knn(refs, {3, 9, 9}, config);
+  EXPECT_EQ(knn.Predict(std::vector<double>{0.0}), 3);
+}
+
+TEST(KnnClassifierTest, KLargerThanReferencesUsesAll) {
+  KnnConfig config;
+  config.k = 100;
+  const KnnClassifier knn(TwoBlobReferences(), TwoBlobLabels(), config);
+  EXPECT_EQ(knn.Predict(std::vector<double>{-1.0}), 1);
+}
+
+TEST(KnnClassifierTest, NeighborsSortedByDistance) {
+  const KnnClassifier knn(TwoBlobReferences(), TwoBlobLabels());
+  const auto neighbors = knn.Neighbors(std::vector<double>{0.0});
+  ASSERT_EQ(neighbors.size(), 5u);
+  for (std::size_t i = 1; i < neighbors.size(); ++i) {
+    EXPECT_GE(neighbors[i].second, neighbors[i - 1].second);
+  }
+  EXPECT_EQ(neighbors[0].first, 0u);
+}
+
+TEST(KnnClassifierTest, Validation) {
+  EXPECT_THROW(KnnClassifier(Matrix(2, 1), std::vector<rf::FloorId>{1}),
+               Error);
+  EXPECT_THROW(KnnClassifier(Matrix(0, 1), std::vector<rf::FloorId>{}),
+               Error);
+  KnnConfig bad;
+  bad.k = 0;
+  EXPECT_THROW(KnnClassifier(TwoBlobReferences(), TwoBlobLabels(), bad),
+               Error);
+  const KnnClassifier knn(TwoBlobReferences(), TwoBlobLabels());
+  EXPECT_THROW(knn.Predict(std::vector<double>{1.0, 2.0}), Error);
+}
+
+TEST(KnnClassifierTest, FromClusteringUsesVirtualLabels) {
+  // 4 points, clusters {0,1} -> floor 7, {2,3} -> unlabeled.
+  Matrix points(4, 1);
+  points(0, 0) = 0.0;
+  points(1, 0) = 1.0;
+  points(2, 0) = 100.0;
+  points(3, 0) = 101.0;
+  ClusteringResult clustering;
+  clustering.cluster_of_point = {0, 0, 1, 1};
+  clustering.cluster_label = {7, std::nullopt};
+  const KnnClassifier knn(points, clustering);
+  EXPECT_EQ(knn.num_references(), 2u);  // unlabeled cluster excluded
+  EXPECT_EQ(knn.Predict(std::vector<double>{200.0}), 7);
+}
+
+TEST(KnnClassifierTest, FromClusteringAllUnlabeledThrows) {
+  Matrix points(2, 1);
+  ClusteringResult clustering;
+  clustering.cluster_of_point = {0, 0};
+  clustering.cluster_label = {std::nullopt};
+  EXPECT_THROW(KnnClassifier(points, clustering), Error);
+}
+
+}  // namespace
+}  // namespace grafics::cluster

@@ -1,0 +1,72 @@
+#include "rf/mac_address.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace grafics::rf {
+namespace {
+
+TEST(MacAddressTest, DefaultIsZero) {
+  EXPECT_EQ(MacAddress().bits(), 0u);
+  EXPECT_EQ(MacAddress().ToString(), "00:00:00:00:00:00");
+}
+
+TEST(MacAddressTest, ParseAndFormatRoundTrip) {
+  const std::string text = "a4:5e:60:f1:02:9b";
+  EXPECT_EQ(MacAddress::Parse(text).ToString(), text);
+}
+
+TEST(MacAddressTest, ParseUpperCase) {
+  EXPECT_EQ(MacAddress::Parse("AB:CD:EF:01:23:45").ToString(),
+            "ab:cd:ef:01:23:45");
+}
+
+TEST(MacAddressTest, ParseKnownBits) {
+  EXPECT_EQ(MacAddress::Parse("00:00:00:00:00:ff").bits(), 0xffu);
+  EXPECT_EQ(MacAddress::Parse("01:00:00:00:00:00").bits(), 0x010000000000u);
+}
+
+TEST(MacAddressTest, ParseRejectsMalformed) {
+  EXPECT_THROW(MacAddress::Parse(""), Error);
+  EXPECT_THROW(MacAddress::Parse("aa:bb:cc:dd:ee"), Error);
+  EXPECT_THROW(MacAddress::Parse("aa:bb:cc:dd:ee:f"), Error);
+  EXPECT_THROW(MacAddress::Parse("aa:bb:cc:dd:ee:gg"), Error);
+  EXPECT_THROW(MacAddress::Parse("aa-bb-cc-dd-ee-ff"), Error);
+  EXPECT_THROW(MacAddress::Parse("aa:bb:cc:dd:ee:ff:00"), Error);
+}
+
+TEST(MacAddressTest, ConstructorRejectsOver48Bits) {
+  EXPECT_THROW(MacAddress(1ULL << 48), Error);
+  EXPECT_NO_THROW(MacAddress((1ULL << 48) - 1));
+}
+
+TEST(MacAddressTest, Ordering) {
+  const MacAddress a(1);
+  const MacAddress b(2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, MacAddress(1));
+  EXPECT_NE(a, b);
+}
+
+TEST(MacAddressTest, HashDistinguishesSequentialMacs) {
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    hashes.insert(std::hash<MacAddress>{}(MacAddress(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(MacAddressTest, UsableInUnorderedSet) {
+  std::unordered_set<MacAddress> set;
+  set.insert(MacAddress(5));
+  set.insert(MacAddress(5));
+  set.insert(MacAddress(6));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(MacAddress(5)));
+}
+
+}  // namespace
+}  // namespace grafics::rf

@@ -1,0 +1,189 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace grafics {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+  m.Fill(-2.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), -2.0);
+}
+
+TEST(MatrixTest, IdentityDiagonal) {
+  const Matrix eye = Matrix::Identity(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_NO_THROW(m.At(1, 1));
+  EXPECT_THROW(m.At(2, 0), Error);
+  EXPECT_THROW(m.At(0, 2), Error);
+}
+
+TEST(MatrixTest, RowSpanWritesThrough) {
+  Matrix m(2, 3);
+  auto row = m.Row(1);
+  row[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+}
+
+TEST(MatrixTest, TransposedRoundTrip) {
+  Matrix m(2, 3);
+  int v = 0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  }
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.Transposed(), m);
+  EXPECT_DOUBLE_EQ(t(2, 1), m(1, 2));
+}
+
+TEST(MatrixTest, ArithmeticOperators) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 2.0);
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 3.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 1.0);
+  const Matrix scaled = a * 4.0;
+  EXPECT_DOUBLE_EQ(scaled(0, 1), 4.0);
+}
+
+TEST(MatrixTest, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(a += b, Error);
+  EXPECT_THROW(a -= b, Error);
+}
+
+TEST(MatrixTest, MatMulKnownProduct) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  const Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(MatrixTest, MatMulDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.MatMul(b), Error);
+}
+
+TEST(MatrixTest, MatVecAndTransposedMatVec) {
+  Matrix a(2, 3);
+  double av[] = {1, 2, 3, 4, 5, 6};
+  std::copy(av, av + 6, a.data());
+  const std::vector<double> x = {1.0, 0.0, -1.0};
+  const std::vector<double> y = a.MatVec(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+
+  const std::vector<double> z = {1.0, 1.0};
+  const std::vector<double> w = a.TransposedMatVec(z);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 5.0);
+  EXPECT_DOUBLE_EQ(w[1], 7.0);
+  EXPECT_DOUBLE_EQ(w[2], 9.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0;
+  m(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, RandomWithinBounds) {
+  Rng rng(1);
+  const Matrix m = Matrix::Random(10, 10, rng, -0.25, 0.25);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (double v : m.Row(r)) {
+      EXPECT_GE(v, -0.25);
+      EXPECT_LT(v, 0.25);
+    }
+  }
+}
+
+TEST(VectorMathTest, DotAndNorm) {
+  const std::vector<double> a = {1.0, 2.0, 2.0};
+  const std::vector<double> b = {2.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(L2Norm(a), 3.0);
+}
+
+TEST(VectorMathTest, DotMismatchThrows) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(Dot(a, b), Error);
+}
+
+TEST(VectorMathTest, SquaredL2Distance) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {4.0, 6.0};
+  EXPECT_DOUBLE_EQ(SquaredL2Distance(a, b), 25.0);
+}
+
+TEST(VectorMathTest, CosineDistanceProperties) {
+  const std::vector<double> a = {1.0, 0.0};
+  const std::vector<double> b = {0.0, 2.0};
+  const std::vector<double> c = {3.0, 0.0};
+  const std::vector<double> minus_a = {-5.0, 0.0};
+  EXPECT_NEAR(CosineDistance(a, b), 1.0, 1e-12);   // orthogonal
+  EXPECT_NEAR(CosineDistance(a, c), 0.0, 1e-12);   // parallel
+  EXPECT_NEAR(CosineDistance(a, minus_a), 2.0, 1e-12);  // opposite
+}
+
+TEST(VectorMathTest, CosineDistanceZeroVectorConvention) {
+  const std::vector<double> zero = {0.0, 0.0};
+  const std::vector<double> a = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(CosineDistance(zero, a), 1.0);
+}
+
+TEST(VectorMathTest, AxpyAndScale) {
+  const std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  Axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  Scale(y, 0.5);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+}
+
+TEST(VectorMathTest, SigmoidStableAndSymmetric) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(2.0) + Sigmoid(-2.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace grafics

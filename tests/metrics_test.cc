@@ -1,0 +1,103 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace grafics::core {
+namespace {
+
+TEST(MetricsTest, PerfectPrediction) {
+  const std::vector<rf::FloorId> truth = {0, 1, 2, 0, 1, 2};
+  const ClassificationMetrics m = ComputeMetrics(truth, truth);
+  EXPECT_DOUBLE_EQ(m.micro.f_score, 1.0);
+  EXPECT_DOUBLE_EQ(m.macro.f_score, 1.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_EQ(m.num_samples, 6u);
+}
+
+TEST(MetricsTest, AllWrong) {
+  const std::vector<rf::FloorId> truth = {0, 0, 0};
+  const std::vector<rf::FloorId> predicted = {1, 1, 1};
+  const ClassificationMetrics m = ComputeMetrics(truth, predicted);
+  EXPECT_DOUBLE_EQ(m.micro.f_score, 0.0);
+  EXPECT_DOUBLE_EQ(m.macro.f_score, 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.0);
+}
+
+TEST(MetricsTest, MicroEqualsAccuracyWhenAllPredicted) {
+  // With every sample predicted, micro-P == micro-R == accuracy.
+  const std::vector<rf::FloorId> truth = {0, 0, 1, 1, 2, 2};
+  const std::vector<rf::FloorId> predicted = {0, 1, 1, 1, 2, 0};
+  const ClassificationMetrics m = ComputeMetrics(truth, predicted);
+  EXPECT_DOUBLE_EQ(m.micro.precision, m.accuracy);
+  EXPECT_DOUBLE_EQ(m.micro.recall, m.accuracy);
+  EXPECT_DOUBLE_EQ(m.micro.f_score, m.accuracy);
+  EXPECT_NEAR(m.accuracy, 4.0 / 6.0, 1e-12);
+}
+
+TEST(MetricsTest, KnownMacroComputation) {
+  // Floor 0: TP=1 FP=1 FN=0 -> P=0.5 R=1.
+  // Floor 1: TP=1 FP=0 FN=1 -> P=1 R=0.5.
+  const std::vector<rf::FloorId> truth = {0, 1, 1};
+  const std::vector<rf::FloorId> predicted = {0, 0, 1};
+  const ClassificationMetrics m = ComputeMetrics(truth, predicted);
+  EXPECT_DOUBLE_EQ(m.macro.precision, 0.75);
+  EXPECT_DOUBLE_EQ(m.macro.recall, 0.75);
+  EXPECT_DOUBLE_EQ(m.macro.f_score, 0.75);
+}
+
+TEST(MetricsTest, MacroPunishesMinorityClassErrors) {
+  // 9 correct on floor 0, 1 wrong on floor 1: micro high, macro low.
+  std::vector<rf::FloorId> truth(10, 0);
+  truth[9] = 1;
+  std::vector<rf::FloorId> predicted(10, 0);
+  const ClassificationMetrics m = ComputeMetrics(truth, predicted);
+  EXPECT_GE(m.micro.f_score, 0.9);
+  EXPECT_LT(m.macro.f_score, 0.75);
+}
+
+TEST(MetricsTest, DiscardedPredictionsCountAsFalseNegatives) {
+  const std::vector<rf::FloorId> truth = {0, 0, 1};
+  const std::vector<std::optional<rf::FloorId>> predicted = {0, std::nullopt,
+                                                             1};
+  const ClassificationMetrics m = ComputeMetrics(truth, predicted);
+  // Recall for floor 0 is 1/2; precision is 1/1.
+  EXPECT_DOUBLE_EQ(m.per_floor_counts.at(0)[0], 1u);  // TP
+  EXPECT_DOUBLE_EQ(m.per_floor_counts.at(0)[1], 0u);  // FP
+  EXPECT_DOUBLE_EQ(m.per_floor_counts.at(0)[2], 1u);  // FN
+  EXPECT_LT(m.micro.recall, m.micro.precision);
+}
+
+TEST(MetricsTest, PredictionOfUnseenFloorCountsAsFalsePositive) {
+  const std::vector<rf::FloorId> truth = {0, 0};
+  const std::vector<rf::FloorId> predicted = {0, 5};
+  const ClassificationMetrics m = ComputeMetrics(truth, predicted);
+  EXPECT_EQ(m.per_floor_counts.at(5)[1], 1u);  // FP on phantom floor 5
+  // Macro averages over the union {0, 5}.
+  EXPECT_EQ(m.per_floor_counts.size(), 2u);
+}
+
+TEST(MetricsTest, SizeMismatchThrows) {
+  EXPECT_THROW(
+      ComputeMetrics(std::vector<rf::FloorId>{0},
+                     std::vector<rf::FloorId>{0, 1}),
+      Error);
+}
+
+TEST(MetricsTest, EmptyThrows) {
+  EXPECT_THROW(
+      ComputeMetrics(std::vector<rf::FloorId>{}, std::vector<rf::FloorId>{}),
+      Error);
+}
+
+TEST(MetricsTest, NegativeFloorIdsSupported) {
+  const std::vector<rf::FloorId> truth = {-1, -1, 0};
+  const std::vector<rf::FloorId> predicted = {-1, 0, 0};
+  const ClassificationMetrics m = ComputeMetrics(truth, predicted);
+  EXPECT_NEAR(m.accuracy, 2.0 / 3.0, 1e-12);
+  EXPECT_TRUE(m.per_floor_counts.contains(-1));
+}
+
+}  // namespace
+}  // namespace grafics::core

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace grafics::nn {
+namespace {
+
+/// Central-difference gradient check of a scalar loss with respect to every
+/// entry of `param`, against the analytic gradient accumulated in
+/// `param->grad` by one forward+backward pass through `eval`.
+template <typename EvalFn>
+void CheckParameterGradient(Parameter& param, EvalFn&& eval,
+                            double tolerance = 1e-5) {
+  param.ZeroGrad();
+  eval(/*accumulate=*/true);
+  const Matrix analytic = param.grad;
+  const double epsilon = 1e-6;
+  for (std::size_t r = 0; r < param.value.rows(); ++r) {
+    for (std::size_t c = 0; c < param.value.cols(); ++c) {
+      const double saved = param.value(r, c);
+      param.value(r, c) = saved + epsilon;
+      const double up = eval(false);
+      param.value(r, c) = saved - epsilon;
+      const double down = eval(false);
+      param.value(r, c) = saved;
+      const double numeric = (up - down) / (2.0 * epsilon);
+      EXPECT_NEAR(analytic(r, c), numeric, tolerance)
+          << "param entry (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(DenseTest, ForwardComputesAffine) {
+  Rng rng(1);
+  Dense dense(2, 2, rng);
+  // Overwrite weights for a deterministic check.
+  Parameter* w = dense.Parameters()[0];
+  Parameter* b = dense.Parameters()[1];
+  w->value(0, 0) = 1.0;
+  w->value(0, 1) = 2.0;
+  w->value(1, 0) = 3.0;
+  w->value(1, 1) = 4.0;
+  b->value(0, 0) = 0.5;
+  b->value(0, 1) = -0.5;
+  Matrix x(1, 2);
+  x(0, 0) = 1.0;
+  x(0, 1) = 1.0;
+  const Matrix y = dense.Forward(x, false);
+  EXPECT_DOUBLE_EQ(y(0, 0), 4.5);
+  EXPECT_DOUBLE_EQ(y(0, 1), 5.5);
+}
+
+TEST(DenseTest, GradientCheckAgainstMse) {
+  Rng rng(2);
+  Dense dense(3, 2, rng);
+  Matrix x = Matrix::RandomNormal(4, 3, rng, 1.0);
+  Matrix target = Matrix::RandomNormal(4, 2, rng, 1.0);
+  Parameter* w = dense.Parameters()[0];
+  CheckParameterGradient(*w, [&](bool accumulate) {
+    const Matrix pred = dense.Forward(x, accumulate);
+    const LossValue loss = MseLoss(pred, target);
+    if (accumulate) dense.Backward(loss.gradient);
+    return loss.value;
+  });
+}
+
+TEST(DenseTest, InputGradientCheck) {
+  Rng rng(3);
+  Dense dense(3, 2, rng);
+  Matrix x = Matrix::RandomNormal(2, 3, rng, 1.0);
+  Matrix target = Matrix::RandomNormal(2, 2, rng, 1.0);
+  // Analytic input gradient.
+  const Matrix pred = dense.Forward(x, true);
+  const LossValue loss = MseLoss(pred, target);
+  const Matrix grad_x = dense.Backward(loss.gradient);
+  // Numeric input gradient.
+  const double epsilon = 1e-6;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      Matrix xp = x;
+      xp(r, c) += epsilon;
+      Matrix xm = x;
+      xm(r, c) -= epsilon;
+      const double up = MseLoss(dense.Forward(xp, false), target).value;
+      const double down = MseLoss(dense.Forward(xm, false), target).value;
+      EXPECT_NEAR(grad_x(r, c), (up - down) / (2.0 * epsilon), 1e-5);
+    }
+  }
+}
+
+TEST(ActivationTest, ReluForwardBackward) {
+  ReLU relu;
+  Matrix x(1, 3);
+  x(0, 0) = -1.0;
+  x(0, 1) = 0.0;
+  x(0, 2) = 2.0;
+  const Matrix y = relu.Forward(x, true);
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 2), 2.0);
+  Matrix g(1, 3, 1.0);
+  const Matrix gx = relu.Backward(g);
+  EXPECT_DOUBLE_EQ(gx(0, 0), 0.0);  // blocked where input <= 0
+  EXPECT_DOUBLE_EQ(gx(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(gx(0, 2), 1.0);
+}
+
+TEST(ActivationTest, SigmoidRangeAndDerivative) {
+  Sigmoid sigmoid;
+  Matrix x(1, 2);
+  x(0, 0) = 0.0;
+  x(0, 1) = 100.0;
+  const Matrix y = sigmoid.Forward(x, true);
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.5);
+  EXPECT_NEAR(y(0, 1), 1.0, 1e-12);
+  Matrix g(1, 2, 1.0);
+  const Matrix gx = sigmoid.Backward(g);
+  EXPECT_DOUBLE_EQ(gx(0, 0), 0.25);          // sigma'(0) = 0.25
+  EXPECT_NEAR(gx(0, 1), 0.0, 1e-12);         // saturated
+}
+
+TEST(ActivationTest, TanhDerivative) {
+  Tanh tanh_layer;
+  Matrix x(1, 1);
+  x(0, 0) = 0.5;
+  tanh_layer.Forward(x, true);
+  Matrix g(1, 1, 1.0);
+  const Matrix gx = tanh_layer.Backward(g);
+  const double y = std::tanh(0.5);
+  EXPECT_NEAR(gx(0, 0), 1.0 - y * y, 1e-12);
+}
+
+TEST(DropoutTest, InferenceIsIdentity) {
+  Dropout dropout(0.5, 1);
+  Rng rng(5);
+  const Matrix x = Matrix::RandomNormal(3, 4, rng, 1.0);
+  EXPECT_EQ(dropout.Forward(x, false), x);
+}
+
+TEST(DropoutTest, TrainingZeroesAboutPFraction) {
+  Dropout dropout(0.3, 7);
+  Matrix x(100, 100, 1.0);
+  const Matrix y = dropout.Forward(x, true);
+  std::size_t zeros = 0;
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    for (double v : y.Row(r)) {
+      if (v == 0.0) ++zeros;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+}
+
+TEST(DropoutTest, SurvivorsScaledByKeepInverse) {
+  Dropout dropout(0.2, 9);
+  Matrix x(10, 10, 2.0);
+  const Matrix y = dropout.Forward(x, true);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    for (double v : y.Row(r)) {
+      EXPECT_TRUE(v == 0.0 || std::abs(v - 2.5) < 1e-12);
+    }
+  }
+}
+
+TEST(DropoutTest, InvalidProbabilityThrows) {
+  EXPECT_THROW(Dropout(1.0, 1), Error);
+  EXPECT_THROW(Dropout(-0.1, 1), Error);
+}
+
+TEST(Conv1DTest, IdentityKernelPassesThrough) {
+  Rng rng(11);
+  Conv1D conv(1, 1, 3, 5, rng);
+  Parameter* kernel = conv.Parameters()[0];
+  Parameter* bias = conv.Parameters()[1];
+  kernel->value.Fill(0.0);
+  kernel->value(0, 1) = 1.0;  // center tap
+  bias->value.Fill(0.0);
+  Matrix x(1, 5);
+  for (int i = 0; i < 5; ++i) x(0, i) = i + 1.0;
+  EXPECT_EQ(conv.Forward(x, false), x);
+}
+
+TEST(Conv1DTest, ZeroPaddingAtEdges) {
+  Rng rng(13);
+  Conv1D conv(1, 1, 3, 4, rng);
+  Parameter* kernel = conv.Parameters()[0];
+  Parameter* bias = conv.Parameters()[1];
+  kernel->value.Fill(1.0);  // moving sum of window 3
+  bias->value.Fill(0.0);
+  Matrix x(1, 4, 1.0);
+  const Matrix y = conv.Forward(x, false);
+  EXPECT_DOUBLE_EQ(y(0, 0), 2.0);  // edge: only 2 taps inside
+  EXPECT_DOUBLE_EQ(y(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(y(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(y(0, 3), 2.0);
+}
+
+TEST(Conv1DTest, EvenKernelThrows) {
+  Rng rng(17);
+  EXPECT_THROW(Conv1D(1, 1, 4, 8, rng), Error);
+}
+
+TEST(Conv1DTest, KernelGradientCheck) {
+  Rng rng(19);
+  Conv1D conv(2, 3, 3, 4, rng);
+  Matrix x = Matrix::RandomNormal(2, 8, rng, 1.0);      // 2 channels x len 4
+  Matrix target = Matrix::RandomNormal(2, 12, rng, 1.0);  // 3 channels x len 4
+  Parameter* kernel = conv.Parameters()[0];
+  CheckParameterGradient(*kernel, [&](bool accumulate) {
+    const Matrix pred = conv.Forward(x, accumulate);
+    const LossValue loss = MseLoss(pred, target);
+    if (accumulate) conv.Backward(loss.gradient);
+    return loss.value;
+  });
+}
+
+TEST(LossTest, MseKnownValue) {
+  Matrix pred(1, 2);
+  pred(0, 0) = 1.0;
+  pred(0, 1) = 2.0;
+  Matrix target(1, 2);
+  target(0, 0) = 0.0;
+  target(0, 1) = 4.0;
+  const LossValue loss = MseLoss(pred, target);
+  EXPECT_DOUBLE_EQ(loss.value, (1.0 + 4.0) / 2.0);
+}
+
+TEST(LossTest, SoftmaxRowsSumToOne) {
+  Rng rng(23);
+  const Matrix logits = Matrix::RandomNormal(5, 4, rng, 3.0);
+  const Matrix p = Softmax(logits);
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    double sum = 0.0;
+    for (double v : p.Row(r)) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(LossTest, SoftmaxNumericallyStableForHugeLogits) {
+  Matrix logits(1, 2);
+  logits(0, 0) = 10000.0;
+  logits(0, 1) = 9999.0;
+  const Matrix p = Softmax(logits);
+  EXPECT_FALSE(std::isnan(p(0, 0)));
+  EXPECT_GT(p(0, 0), p(0, 1));
+}
+
+TEST(LossTest, CrossEntropyPerfectPredictionNearZero) {
+  Matrix logits(1, 3);
+  logits(0, 1) = 100.0;
+  const LossValue loss = SoftmaxCrossEntropyLoss(logits, {1});
+  EXPECT_NEAR(loss.value, 0.0, 1e-9);
+}
+
+TEST(LossTest, CrossEntropyLabelOutOfRangeThrows) {
+  EXPECT_THROW(SoftmaxCrossEntropyLoss(Matrix(1, 3), {3}), Error);
+}
+
+TEST(LossTest, CrossEntropyGradientSumsToZeroPerRow) {
+  Rng rng(29);
+  const Matrix logits = Matrix::RandomNormal(4, 5, rng, 1.0);
+  const LossValue loss = SoftmaxCrossEntropyLoss(logits, {0, 1, 2, 3});
+  for (std::size_t r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (double v : loss.gradient.Row(r)) sum += v;
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+  }
+}
+
+TEST(OptimizerTest, SgdStepsDownhill) {
+  Parameter p(Matrix(1, 1, 5.0));
+  p.grad(0, 0) = 2.0;
+  Sgd sgd(0.1);
+  sgd.Step({&p});
+  EXPECT_DOUBLE_EQ(p.value(0, 0), 4.8);
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 0.0);  // zeroed after step
+}
+
+TEST(OptimizerTest, SgdMomentumAccumulates) {
+  Parameter p(Matrix(1, 1, 0.0));
+  Sgd sgd(0.1, 0.9);
+  p.grad(0, 0) = 1.0;
+  sgd.Step({&p});
+  const double after_one = p.value(0, 0);
+  p.grad(0, 0) = 1.0;
+  sgd.Step({&p});
+  // Second step moves further than the first (velocity builds up).
+  EXPECT_LT(p.value(0, 0) - after_one, after_one);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  // Minimize (x - 3)^2 via gradient 2(x-3).
+  Parameter p(Matrix(1, 1, 0.0));
+  Adam adam(0.1);
+  for (int i = 0; i < 500; ++i) {
+    p.grad(0, 0) = 2.0 * (p.value(0, 0) - 3.0);
+    adam.Step({&p});
+  }
+  EXPECT_NEAR(p.value(0, 0), 3.0, 1e-3);
+}
+
+TEST(SequentialTest, LearnsXor) {
+  Rng rng(31);
+  Sequential model;
+  model.Emplace<Dense>(2, 8, rng);
+  model.Emplace<Tanh>();
+  model.Emplace<Dense>(8, 2, rng);
+  Matrix x(4, 2);
+  x(1, 1) = 1.0;
+  x(2, 0) = 1.0;
+  x(3, 0) = 1.0;
+  x(3, 1) = 1.0;
+  const std::vector<std::size_t> labels = {0, 1, 1, 0};
+  Adam adam(0.05);
+  FitConfig fit;
+  fit.epochs = 300;
+  fit.batch_size = 4;
+  FitClassifier(model, adam, x, labels, fit);
+  EXPECT_EQ(PredictClasses(model, x), labels);
+}
+
+TEST(SequentialTest, RegressionLossDecreases) {
+  Rng rng(37);
+  Sequential model;
+  model.Emplace<Dense>(4, 8, rng);
+  model.Emplace<ReLU>();
+  model.Emplace<Dense>(8, 4, rng);
+  const Matrix x = Matrix::RandomNormal(32, 4, rng, 1.0);
+  Adam adam(1e-2);
+  std::vector<double> losses;
+  FitConfig fit;
+  fit.epochs = 30;
+  fit.on_epoch = [&](std::size_t, double loss) { losses.push_back(loss); };
+  FitRegression(model, adam, x, x, fit);
+  ASSERT_EQ(losses.size(), 30u);
+  EXPECT_LT(losses.back(), losses.front() * 0.5);
+}
+
+TEST(SequentialTest, FitValidation) {
+  Rng rng(41);
+  Sequential model;
+  model.Emplace<Dense>(2, 2, rng);
+  Adam adam(1e-3);
+  FitConfig fit;
+  EXPECT_THROW(FitRegression(model, adam, Matrix(0, 2), Matrix(0, 2), fit),
+               Error);
+  EXPECT_THROW(
+      FitClassifier(model, adam, Matrix(2, 2), {0, 1, 0}, fit),
+      Error);
+}
+
+}  // namespace
+}  // namespace grafics::nn

@@ -1,0 +1,107 @@
+// Tests for batch model updates (Grafics::Update) and the k-NN inference
+// head.
+#include <gtest/gtest.h>
+
+#include "core/grafics.h"
+#include "core/metrics.h"
+#include "synth/presets.h"
+
+namespace grafics::core {
+namespace {
+
+GraficsConfig FastConfig() {
+  GraficsConfig config;
+  config.trainer.samples_per_edge = 60;
+  config.online_refine_iterations = 300;
+  return config;
+}
+
+TEST(OnlineUpdateTest, UpdateBeforeTrainThrows) {
+  Grafics system(FastConfig());
+  EXPECT_THROW(system.Update({}), Error);
+}
+
+TEST(OnlineUpdateTest, UpdateAddsRecordsAndSkipsEmpty) {
+  auto config = synth::CampusBuildingConfig(31, 50);
+  auto sim = config.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  Rng rng(3);
+  dataset.KeepLabelsPerFloor(4, rng);
+  Grafics system(FastConfig());
+  system.Train(dataset.records());
+  const std::size_t before = system.graph().NumRecords();
+
+  std::vector<rf::SignalRecord> batch;
+  batch.push_back(sim.MeasureAt({10.0, 10.0, 1.2}, 0));
+  batch.push_back(rf::SignalRecord());  // empty: skipped
+  batch.push_back(sim.MeasureAt({20.0, 20.0, 5.2}, 1));
+  EXPECT_EQ(system.Update(batch), 2u);
+  EXPECT_EQ(system.graph().NumRecords(), before + 2);
+}
+
+TEST(OnlineUpdateTest, UpdateDoesNotChangeClusters) {
+  auto config = synth::CampusBuildingConfig(37, 50);
+  auto sim = config.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  Rng rng(5);
+  dataset.KeepLabelsPerFloor(4, rng);
+  Grafics system(FastConfig());
+  system.Train(dataset.records());
+  const std::size_t clusters_before = system.clustering().num_clusters();
+  system.Update({sim.MeasureAt({5.0, 5.0, 1.2}, 0)});
+  EXPECT_EQ(system.clustering().num_clusters(), clusters_before);
+}
+
+TEST(OnlineUpdateTest, PredictionStillWorksAfterManyUpdates) {
+  auto config = synth::CampusBuildingConfig(41, 50);
+  auto sim = config.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  Rng rng(7);
+  dataset.KeepLabelsPerFloor(4, rng);
+  Grafics system(FastConfig());
+  system.Train(dataset.records());
+
+  std::vector<rf::SignalRecord> batch;
+  for (int i = 0; i < 30; ++i) {
+    batch.push_back(sim.MeasureAt({10.0 + i, 15.0, 1.2}, 0));
+  }
+  EXPECT_EQ(system.Update(batch), 30u);
+
+  std::size_t correct = 0;
+  for (int i = 0; i < 15; ++i) {
+    const int floor = i % 3;
+    const auto predicted = system.Predict(
+        sim.MeasureAt({25.0 + i, 25.0, floor * 4.0 + 1.2}, floor));
+    if (predicted && *predicted == floor) ++correct;
+  }
+  EXPECT_GE(correct, 12u);
+}
+
+TEST(OnlineUpdateTest, KnnHeadMatchesCentroidHeadOnEasyData) {
+  auto config = synth::CampusBuildingConfig(43, 60);
+  auto sim = config.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  Rng rng(9);
+  auto [train, test] = dataset.TrainTestSplit(0.7, rng);
+  train.KeepLabelsPerFloor(4, rng);
+
+  GraficsConfig centroid_config = FastConfig();
+  GraficsConfig knn_config = FastConfig();
+  knn_config.head = InferenceHead::kKnn;
+  Grafics centroid_system(centroid_config);
+  Grafics knn_system(knn_config);
+  centroid_system.Train(train.records());
+  knn_system.Train(train.records());
+
+  std::vector<rf::FloorId> truth;
+  for (const auto& r : test.records()) truth.push_back(*r.floor());
+  const auto centroid_metrics =
+      ComputeMetrics(truth, centroid_system.PredictBatch(test.records()));
+  const auto knn_metrics =
+      ComputeMetrics(truth, knn_system.PredictBatch(test.records()));
+  EXPECT_GT(centroid_metrics.micro.f_score, 0.85);
+  EXPECT_GT(knn_metrics.micro.f_score, 0.80);
+}
+
+}  // namespace
+}  // namespace grafics::core

@@ -1,0 +1,333 @@
+// Property-based sweeps (parameterized gtest) over randomized inputs:
+// invariants that must hold for every seed/configuration, not just the
+// hand-picked examples in the per-module unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cluster/proximity_clusterer.h"
+#include "common/alias_sampler.h"
+#include "common/stats.h"
+#include "core/metrics.h"
+#include "embed/trainer.h"
+#include "graph/bipartite_graph.h"
+#include "graph/weight_function.h"
+#include "rf/dataset.h"
+#include "rf/dataset_stats.h"
+#include "synth/generator.h"
+#include "synth/presets.h"
+
+namespace grafics {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random record/dataset helpers
+// ---------------------------------------------------------------------------
+
+rf::SignalRecord RandomRecord(Rng& rng, std::size_t mac_universe,
+                              std::size_t max_obs) {
+  rf::SignalRecord record;
+  const std::size_t count = 1 + rng.NextIndex(max_obs);
+  const auto macs = rng.SampleWithoutReplacement(
+      mac_universe, std::min(count, mac_universe));
+  for (const std::size_t m : macs) {
+    record.Add(rf::MacAddress(m + 1), rng.Uniform(-95.0, -30.0));
+  }
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// Overlap-ratio properties
+// ---------------------------------------------------------------------------
+
+class OverlapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OverlapPropertyTest, SymmetricBoundedAndReflexive) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const rf::SignalRecord a = RandomRecord(rng, 50, 20);
+    const rf::SignalRecord b = RandomRecord(rng, 50, 20);
+    const double ab = a.OverlapRatio(b);
+    EXPECT_DOUBLE_EQ(ab, b.OverlapRatio(a));
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(a.OverlapRatio(a), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlapPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Bipartite-graph invariants
+// ---------------------------------------------------------------------------
+
+class GraphInvariantTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphInvariantTest, DegreeAndWeightAccounting) {
+  Rng rng(GetParam());
+  std::vector<rf::SignalRecord> records;
+  const std::size_t n = 20 + rng.NextIndex(30);
+  for (std::size_t i = 0; i < n; ++i) {
+    records.push_back(RandomRecord(rng, 40, 15));
+  }
+  const auto g =
+      graph::BipartiteGraph::FromRecords(records, graph::OffsetWeight(120.0));
+
+  // Sum of observation counts == #edges.
+  std::size_t total_obs = 0;
+  for (const auto& r : records) total_obs += r.size();
+  EXPECT_EQ(g.NumEdges(), total_obs);
+
+  // Record-side degree sum == MAC-side degree sum == #edges, and the same
+  // for weighted degrees vs total edge weight.
+  std::size_t record_degree = 0;
+  std::size_t mac_degree = 0;
+  double record_weight = 0.0;
+  double mac_weight = 0.0;
+  for (graph::NodeId node = 0; node < g.NumNodes(); ++node) {
+    if (g.TypeOf(node) == graph::NodeType::kRecord) {
+      record_degree += g.Degree(node);
+      record_weight += g.WeightedDegree(node);
+    } else {
+      mac_degree += g.Degree(node);
+      mac_weight += g.WeightedDegree(node);
+    }
+  }
+  EXPECT_EQ(record_degree, g.NumEdges());
+  EXPECT_EQ(mac_degree, g.NumEdges());
+  EXPECT_NEAR(record_weight, g.TotalEdgeWeight(), 1e-9);
+  EXPECT_NEAR(mac_weight, g.TotalEdgeWeight(), 1e-9);
+
+  // Edges() agrees with the counters.
+  EXPECT_EQ(g.Edges().size(), g.NumEdges());
+}
+
+TEST_P(GraphInvariantTest, RemovalKeepsAccountingConsistent) {
+  Rng rng(GetParam() ^ 0xDEAD);
+  std::vector<rf::SignalRecord> records;
+  for (std::size_t i = 0; i < 25; ++i) {
+    records.push_back(RandomRecord(rng, 30, 10));
+  }
+  auto g =
+      graph::BipartiteGraph::FromRecords(records, graph::OffsetWeight(120.0));
+  // Remove a random third of the MACs.
+  for (std::uint64_t m = 1; m <= 30; ++m) {
+    if (rng.Bernoulli(0.33)) g.RemoveMacNode(rf::MacAddress(m));
+  }
+  double weight_sum = 0.0;
+  std::size_t edge_sum = 0;
+  for (graph::NodeId node = 0; node < g.NumNodes(); ++node) {
+    if (g.TypeOf(node) != graph::NodeType::kRecord) continue;
+    edge_sum += g.Degree(node);
+    weight_sum += g.WeightedDegree(node);
+    for (const auto& nb : g.NeighborsOf(node)) {
+      EXPECT_TRUE(g.IsActive(nb.node)) << "edge to removed MAC survived";
+    }
+  }
+  EXPECT_EQ(edge_sum, g.NumEdges());
+  EXPECT_NEAR(weight_sum, g.TotalEdgeWeight(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphInvariantTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------------
+// Clustering invariants across configurations
+// ---------------------------------------------------------------------------
+
+struct ClusterSweepCase {
+  std::size_t points;
+  std::size_t floors;
+  std::size_t labels_per_floor;
+  std::uint64_t seed;
+};
+
+class ClusterInvariantTest
+    : public ::testing::TestWithParam<ClusterSweepCase> {};
+
+TEST_P(ClusterInvariantTest, ConstraintAndCountHold) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  Matrix points(param.points, 4);
+  std::vector<std::optional<rf::FloorId>> labels(param.points, std::nullopt);
+  std::vector<std::size_t> per_floor(param.floors, 0);
+  for (std::size_t i = 0; i < param.points; ++i) {
+    const auto floor = rng.NextIndex(param.floors);
+    for (std::size_t c = 0; c < 4; ++c) {
+      points(i, c) = static_cast<double>(floor) * 3.0 + rng.Normal(0.0, 1.0);
+    }
+    if (per_floor[floor] < param.labels_per_floor) {
+      labels[i] = static_cast<rf::FloorId>(floor);
+      ++per_floor[floor];
+    }
+  }
+  std::size_t labeled_total = 0;
+  for (const auto& l : labels) labeled_total += l.has_value();
+
+  const auto result = cluster::ClusterEmbeddings(points, labels);
+  EXPECT_EQ(result.num_clusters(), labeled_total);
+  EXPECT_EQ(result.merge_history.size(), param.points - labeled_total);
+  std::vector<int> labeled_in(result.num_clusters(), 0);
+  for (std::size_t p = 0; p < labels.size(); ++p) {
+    EXPECT_LT(result.cluster_of_point[p], result.num_clusters());
+    if (labels[p]) ++labeled_in[result.cluster_of_point[p]];
+  }
+  for (int c : labeled_in) EXPECT_EQ(c, 1);  // exactly one label per cluster
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClusterInvariantTest,
+    ::testing::Values(ClusterSweepCase{30, 2, 1, 1},
+                      ClusterSweepCase{60, 3, 2, 2},
+                      ClusterSweepCase{90, 4, 4, 3},
+                      ClusterSweepCase{120, 5, 3, 4},
+                      ClusterSweepCase{50, 2, 10, 5}));
+
+// ---------------------------------------------------------------------------
+// Metrics properties
+// ---------------------------------------------------------------------------
+
+class MetricsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricsPropertyTest, MicroEqualsAccuracyAndBounds) {
+  Rng rng(GetParam());
+  const std::size_t n = 50 + rng.NextIndex(100);
+  std::vector<rf::FloorId> truth(n);
+  std::vector<rf::FloorId> predicted(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    truth[i] = static_cast<rf::FloorId>(rng.NextIndex(6));
+    predicted[i] = static_cast<rf::FloorId>(rng.NextIndex(6));
+  }
+  const auto m = core::ComputeMetrics(truth, predicted);
+  EXPECT_NEAR(m.micro.f_score, m.accuracy, 1e-12);
+  for (const double v : {m.micro.precision, m.micro.recall, m.micro.f_score,
+                         m.macro.precision, m.macro.recall, m.macro.f_score}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // F is between min and max of P and R for both averages.
+  EXPECT_LE(m.macro.f_score,
+            std::max(m.macro.precision, m.macro.recall) + 1e-12);
+  EXPECT_GE(m.macro.f_score,
+            std::min(m.macro.precision, m.macro.recall) - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Values(7, 8, 9, 10, 11, 12));
+
+// ---------------------------------------------------------------------------
+// Embedding-trainer sweeps: finite outputs across objectives and dims
+// ---------------------------------------------------------------------------
+
+struct TrainerSweepCase {
+  embed::Objective objective;
+  std::size_t dim;
+  std::size_t negatives;
+};
+
+class TrainerSweepTest : public ::testing::TestWithParam<TrainerSweepCase> {};
+
+TEST_P(TrainerSweepTest, EmbeddingsStayFinite) {
+  Rng rng(3);
+  std::vector<rf::SignalRecord> records;
+  for (std::size_t i = 0; i < 30; ++i) {
+    records.push_back(RandomRecord(rng, 25, 12));
+  }
+  const auto g =
+      graph::BipartiteGraph::FromRecords(records, graph::OffsetWeight(120.0));
+  embed::TrainerConfig config;
+  config.objective = GetParam().objective;
+  config.dim = GetParam().dim;
+  config.negative_samples = GetParam().negatives;
+  config.samples_per_edge = 30;
+  const auto store = embed::TrainEmbeddings(g, config);
+  for (graph::NodeId node = 0; node < g.NumNodes(); ++node) {
+    for (const double v : store.Ego(node)) EXPECT_TRUE(std::isfinite(v));
+    for (const double v : store.Context(node)) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TrainerSweepTest,
+    ::testing::Values(
+        TrainerSweepCase{embed::Objective::kELine, 2, 1},
+        TrainerSweepCase{embed::Objective::kELine, 8, 5},
+        TrainerSweepCase{embed::Objective::kELine, 64, 10},
+        TrainerSweepCase{embed::Objective::kLineSecondOrder, 8, 5},
+        TrainerSweepCase{embed::Objective::kLineFirstOrder, 8, 5},
+        TrainerSweepCase{embed::Objective::kLineBothOrders, 16, 3}));
+
+// ---------------------------------------------------------------------------
+// Alias-sampler distribution across random weight vectors
+// ---------------------------------------------------------------------------
+
+class AliasPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AliasPropertyTest, EmpiricalMatchesNormalizedWeights) {
+  Rng rng(GetParam());
+  const std::size_t n = 3 + rng.NextIndex(30);
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (double& w : weights) {
+    w = rng.Uniform(0.01, 5.0);
+    total += w;
+  }
+  const AliasSampler sampler(weights);
+  std::vector<std::size_t> counts(n, 0);
+  constexpr std::size_t kDraws = 200000;
+  Rng draw(GetParam() ^ 0xF00D);
+  for (std::size_t i = 0; i < kDraws; ++i) ++counts[sampler.Sample(draw)];
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = weights[k] / total;
+    const double observed =
+        static_cast<double>(counts[k]) / static_cast<double>(kDraws);
+    EXPECT_NEAR(observed, expected, 0.01 + expected * 0.1) << "bucket " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AliasPropertyTest,
+                         ::testing::Values(101, 202, 303));
+
+// ---------------------------------------------------------------------------
+// CDF properties
+// ---------------------------------------------------------------------------
+
+class CdfPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdfPropertyTest, MonotoneAndEndsAtOne) {
+  Rng rng(GetParam());
+  std::vector<double> values(200);
+  for (double& v : values) v = rng.Normal(0.0, 10.0);
+  const auto cdf = EmpiricalCdf(values);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].cumulative_probability,
+              cdf[i - 1].cumulative_probability);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative_probability, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfPropertyTest,
+                         ::testing::Values(51, 52, 53));
+
+// ---------------------------------------------------------------------------
+// Synthetic-generator statistics match the Fig.-1 regime
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorPropertyTest, MallFloorReproducesFig1Shape) {
+  auto config = synth::MallFloorConfig(/*seed=*/9);
+  config.spec.records_per_floor = 800;  // subsample for test speed
+  auto sim = config.MakeSimulator();
+  const rf::Dataset ds = sim.GenerateDataset();
+  Rng rng(1);
+  const auto stats = rf::ComputeRecordStats(ds, 20000, rng);
+  // Paper Fig. 1: most records < 40 MACs; most pairs overlap < 0.5.
+  EXPECT_GT(stats.fraction_records_below_40_macs, 0.6);
+  EXPECT_GT(stats.fraction_pairs_overlap_below_half, 0.7);
+}
+
+}  // namespace
+}  // namespace grafics

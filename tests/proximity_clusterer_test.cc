@@ -1,0 +1,188 @@
+#include "cluster/proximity_clusterer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace grafics::cluster {
+namespace {
+
+/// Three tight 2-D blobs around (0,0), (10,0), (0,10).
+struct BlobData {
+  Matrix points;
+  std::vector<std::optional<rf::FloorId>> labels;      // sparse labels
+  std::vector<rf::FloorId> truth;                      // full ground truth
+};
+
+BlobData MakeBlobs(std::size_t per_blob, std::size_t labels_per_blob,
+                   std::uint64_t seed) {
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  BlobData data;
+  data.points = Matrix(3 * per_blob, 2);
+  data.labels.assign(3 * per_blob, std::nullopt);
+  data.truth.resize(3 * per_blob);
+  Rng rng(seed);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::size_t row = b * per_blob + i;
+      data.points(row, 0) = centers[b][0] + rng.Normal(0.0, 0.5);
+      data.points(row, 1) = centers[b][1] + rng.Normal(0.0, 0.5);
+      data.truth[row] = static_cast<rf::FloorId>(b);
+      if (i < labels_per_blob) data.labels[row] = static_cast<rf::FloorId>(b);
+    }
+  }
+  return data;
+}
+
+TEST(ProximityClustererTest, SizeMismatchThrows) {
+  EXPECT_THROW(ClusterEmbeddings(Matrix(2, 2), {std::nullopt}), Error);
+}
+
+TEST(ProximityClustererTest, TooManyPointsThrows) {
+  ClustererConfig config;
+  config.max_points = 3;
+  Matrix points(4, 1);
+  const std::vector<std::optional<rf::FloorId>> labels(4, std::nullopt);
+  EXPECT_THROW(ClusterEmbeddings(points, labels, config), Error);
+}
+
+TEST(ProximityClustererTest, SinglePoint) {
+  Matrix points(1, 2);
+  const std::vector<std::optional<rf::FloorId>> labels = {5};
+  const ClusteringResult result = ClusterEmbeddings(points, labels);
+  EXPECT_EQ(result.num_clusters(), 1u);
+  EXPECT_EQ(*result.cluster_label[result.cluster_of_point[0]], 5);
+}
+
+TEST(ProximityClustererTest, FinalClusterCountEqualsLabeledCount) {
+  const BlobData data = MakeBlobs(20, 2, 1);  // 6 labeled points total
+  const ClusteringResult result = ClusterEmbeddings(data.points, data.labels);
+  EXPECT_EQ(result.num_clusters(), 6u);
+}
+
+TEST(ProximityClustererTest, InvariantAtMostOneLabeledPerCluster) {
+  const BlobData data = MakeBlobs(15, 3, 2);
+  const ClusteringResult result = ClusterEmbeddings(data.points, data.labels);
+  std::vector<int> labeled_in_cluster(result.num_clusters(), 0);
+  for (std::size_t p = 0; p < data.labels.size(); ++p) {
+    if (data.labels[p]) ++labeled_in_cluster[result.cluster_of_point[p]];
+  }
+  for (int count : labeled_in_cluster) EXPECT_LE(count, 1);
+}
+
+TEST(ProximityClustererTest, WellSeparatedBlobsClusterByBlobs) {
+  const BlobData data = MakeBlobs(25, 1, 3);  // one label per blob
+  const ClusteringResult result = ClusterEmbeddings(data.points, data.labels);
+  ASSERT_EQ(result.num_clusters(), 3u);
+  // Every point's cluster label equals its blob.
+  for (std::size_t p = 0; p < data.truth.size(); ++p) {
+    const auto label = result.cluster_label[result.cluster_of_point[p]];
+    ASSERT_TRUE(label.has_value());
+    EXPECT_EQ(*label, data.truth[p]) << "point " << p;
+  }
+}
+
+TEST(ProximityClustererTest, MultipleClustersPerFloorAllowed) {
+  // Two labeled samples on the same floor in separate blobs.
+  Matrix points(8, 1);
+  std::vector<std::optional<rf::FloorId>> labels(8, std::nullopt);
+  for (int i = 0; i < 4; ++i) points(i, 0) = static_cast<double>(i) * 0.1;
+  for (int i = 4; i < 8; ++i) {
+    points(i, 0) = 100.0 + static_cast<double>(i) * 0.1;
+  }
+  labels[0] = 7;
+  labels[5] = 7;
+  const ClusteringResult result = ClusterEmbeddings(points, labels);
+  EXPECT_EQ(result.num_clusters(), 2u);
+  EXPECT_EQ(*result.cluster_label[0], 7);
+  EXPECT_EQ(*result.cluster_label[1], 7);
+}
+
+TEST(ProximityClustererTest, NoLabelsMergesToOneCluster) {
+  const BlobData data = MakeBlobs(10, 0, 4);
+  const ClusteringResult result = ClusterEmbeddings(data.points, data.labels);
+  EXPECT_EQ(result.num_clusters(), 1u);
+  EXPECT_FALSE(result.cluster_label[0].has_value());
+}
+
+TEST(ProximityClustererTest, MergeHistoryLengthIsPointsMinusClusters) {
+  const BlobData data = MakeBlobs(12, 2, 5);
+  const ClusteringResult result = ClusterEmbeddings(data.points, data.labels);
+  EXPECT_EQ(result.merge_history.size(),
+            data.points.rows() - result.num_clusters());
+}
+
+TEST(ProximityClustererTest, AssignmentsAfterZeroIsSingletons) {
+  const BlobData data = MakeBlobs(5, 1, 6);
+  const ClusteringResult result = ClusterEmbeddings(data.points, data.labels);
+  const auto initial = result.AssignmentsAfter(0);
+  std::set<std::size_t> distinct(initial.begin(), initial.end());
+  EXPECT_EQ(distinct.size(), data.points.rows());
+}
+
+TEST(ProximityClustererTest, AssignmentsAfterKMergesHasNMinusKComponents) {
+  const BlobData data = MakeBlobs(10, 2, 7);
+  const std::size_t n = data.points.rows();
+  const ClusteringResult result = ClusterEmbeddings(data.points, data.labels);
+  for (std::size_t k = 0; k <= result.merge_history.size(); ++k) {
+    const auto assignment = result.AssignmentsAfter(k);
+    const std::set<std::size_t> distinct(assignment.begin(), assignment.end());
+    EXPECT_EQ(distinct.size(), n - k) << "after " << k << " merges";
+  }
+  EXPECT_THROW(result.AssignmentsAfter(result.merge_history.size() + 1),
+               Error);
+}
+
+TEST(ProximityClustererTest, FinalAssignmentsMatchClusterOfPoint) {
+  const BlobData data = MakeBlobs(8, 1, 8);
+  const ClusteringResult result = ClusterEmbeddings(data.points, data.labels);
+  EXPECT_EQ(result.AssignmentsAfter(result.merge_history.size()),
+            result.cluster_of_point);
+}
+
+TEST(ProximityClustererTest, ClosePairsMergeBeforeFarPairs) {
+  // Points on a line: 0, 1, 50, 51. First two merges must be {0,1}, {50,51}.
+  Matrix points(4, 1);
+  points(0, 0) = 0.0;
+  points(1, 0) = 1.0;
+  points(2, 0) = 50.0;
+  points(3, 0) = 51.0;
+  const std::vector<std::optional<rf::FloorId>> labels(4, std::nullopt);
+  const ClusteringResult result = ClusterEmbeddings(points, labels);
+  ASSERT_GE(result.merge_history.size(), 2u);
+  const auto first = result.merge_history[0];
+  const auto second = result.merge_history[1];
+  const std::set<std::size_t> m1 = {first.first, first.second};
+  const std::set<std::size_t> m2 = {second.first, second.second};
+  EXPECT_TRUE((m1 == std::set<std::size_t>{0, 1} &&
+               m2 == std::set<std::size_t>{2, 3}) ||
+              (m1 == std::set<std::size_t>{2, 3} &&
+               m2 == std::set<std::size_t>{0, 1}));
+}
+
+TEST(ProximityClustererTest, LabeledClustersRepelEvenWhenClosest) {
+  // Two labeled points close together plus a far unlabeled one: the two
+  // labeled points must NOT merge despite being the closest pair.
+  Matrix points(3, 1);
+  points(0, 0) = 0.0;
+  points(1, 0) = 0.1;
+  points(2, 0) = 100.0;
+  const std::vector<std::optional<rf::FloorId>> labels = {1, 2, std::nullopt};
+  const ClusteringResult result = ClusterEmbeddings(points, labels);
+  EXPECT_EQ(result.num_clusters(), 2u);
+  EXPECT_NE(result.cluster_of_point[0], result.cluster_of_point[1]);
+}
+
+TEST(ProximityClustererTest, DeterministicResult) {
+  const BlobData data = MakeBlobs(15, 2, 9);
+  const ClusteringResult a = ClusterEmbeddings(data.points, data.labels);
+  const ClusteringResult b = ClusterEmbeddings(data.points, data.labels);
+  EXPECT_EQ(a.cluster_of_point, b.cluster_of_point);
+  EXPECT_EQ(a.merge_history, b.merge_history);
+}
+
+}  // namespace
+}  // namespace grafics::cluster

@@ -1,0 +1,116 @@
+#include "embed/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/matrix.h"
+#include "graph/weight_function.h"
+
+namespace grafics::embed {
+namespace {
+
+rf::SignalRecord MakeRecord(std::initializer_list<std::pair<int, double>> obs) {
+  rf::SignalRecord r;
+  for (const auto& [mac, rssi] : obs) {
+    r.Add(rf::MacAddress(static_cast<std::uint64_t>(mac)), rssi);
+  }
+  return r;
+}
+
+graph::BipartiteGraph TwoCommunityGraph() {
+  std::vector<rf::SignalRecord> records;
+  for (int r = 0; r < 4; ++r) {
+    rf::SignalRecord rec;
+    for (int m = 0; m < 4; ++m) {
+      rec.Add(rf::MacAddress(static_cast<std::uint64_t>(100 + m)), -55.0);
+    }
+    records.push_back(std::move(rec));
+  }
+  for (int r = 0; r < 4; ++r) {
+    rf::SignalRecord rec;
+    for (int m = 0; m < 4; ++m) {
+      rec.Add(rf::MacAddress(static_cast<std::uint64_t>(200 + m)), -55.0);
+    }
+    records.push_back(std::move(rec));
+  }
+  return graph::BipartiteGraph::FromRecords(records,
+                                            graph::OffsetWeight(120.0));
+}
+
+TEST(RandomWalkTest, EmptyGraphThrows) {
+  graph::BipartiteGraph g;
+  EXPECT_THROW(TrainRandomWalkEmbeddings(g, RandomWalkConfig{}), Error);
+}
+
+TEST(RandomWalkTest, BadConfigThrows) {
+  const auto g = TwoCommunityGraph();
+  RandomWalkConfig config;
+  config.dim = 0;
+  EXPECT_THROW(TrainRandomWalkEmbeddings(g, config), Error);
+  config.dim = 8;
+  config.walk_length = 1;
+  EXPECT_THROW(TrainRandomWalkEmbeddings(g, config), Error);
+}
+
+TEST(RandomWalkTest, DeterministicInSeed) {
+  const auto g = TwoCommunityGraph();
+  RandomWalkConfig config;
+  config.walks_per_node = 3;
+  config.seed = 7;
+  const auto a = TrainRandomWalkEmbeddings(g, config);
+  const auto b = TrainRandomWalkEmbeddings(g, config);
+  EXPECT_EQ(a.ego_matrix(), b.ego_matrix());
+}
+
+TEST(RandomWalkTest, EmbeddingsFinite) {
+  const auto g = TwoCommunityGraph();
+  RandomWalkConfig config;
+  config.walks_per_node = 5;
+  const auto store = TrainRandomWalkEmbeddings(g, config);
+  for (graph::NodeId node = 0; node < g.NumNodes(); ++node) {
+    for (const double v : store.Ego(node)) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(RandomWalkTest, SeparatesCommunities) {
+  const auto g = TwoCommunityGraph();
+  RandomWalkConfig config;
+  config.walks_per_node = 30;
+  config.seed = 11;
+  const auto store = TrainRandomWalkEmbeddings(g, config);
+  double intra = 0.0;
+  double inter = 0.0;
+  int n_intra = 0;
+  int n_inter = 0;
+  for (std::size_t a = 0; a < 8; ++a) {
+    for (std::size_t b = a + 1; b < 8; ++b) {
+      const double d = std::sqrt(SquaredL2Distance(
+          store.Ego(g.RecordNode(a)), store.Ego(g.RecordNode(b))));
+      if ((a < 4) == (b < 4)) {
+        intra += d;
+        ++n_intra;
+      } else {
+        inter += d;
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_LT(intra / n_intra * 1.5, inter / n_inter);
+}
+
+TEST(RandomWalkTest, IsolatedNodesKeepInitAndDoNotCrash) {
+  std::vector<rf::SignalRecord> records;
+  records.push_back(MakeRecord({{1, -50.0}, {2, -55.0}}));
+  records.push_back(rf::SignalRecord());  // isolated record node
+  const auto g = graph::BipartiteGraph::FromRecords(
+      records, graph::OffsetWeight(120.0));
+  RandomWalkConfig config;
+  config.walks_per_node = 2;
+  const auto store = TrainRandomWalkEmbeddings(g, config);
+  EXPECT_EQ(store.num_nodes(), g.NumNodes());
+}
+
+}  // namespace
+}  // namespace grafics::embed

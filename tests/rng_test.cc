@@ -1,0 +1,165 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace grafics {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(99);
+  const auto first = a();
+  a.Reseed(99);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, NextIndexCoversRangeUniformly) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.NextIndex(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, NextIndexOneAlwaysZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextIndex(1), 0u);
+}
+
+TEST(RngTest, NextIndexZeroThrows) {
+  Rng rng(19);
+  EXPECT_THROW(rng.NextIndex(0), Error);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(23);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntEmptyRangeThrows) {
+  Rng rng(23);
+  EXPECT_THROW(rng.UniformInt(3, 2), Error);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(29);
+  constexpr int kN = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const std::size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(43);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementTooManyThrows) {
+  Rng rng(47);
+  EXPECT_THROW(rng.SampleWithoutReplacement(5, 6), Error);
+}
+
+TEST(RngTest, SplitMix64Advances) {
+  std::uint64_t s = 0;
+  const auto a = SplitMix64(s);
+  const auto b = SplitMix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace grafics

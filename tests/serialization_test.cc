@@ -1,0 +1,172 @@
+// Round-trip tests for the binary model-persistence path.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "cluster/centroid_classifier.h"
+#include "common/serialize.h"
+#include "core/grafics.h"
+#include "embed/embedding_store.h"
+#include "graph/bipartite_graph.h"
+#include "synth/presets.h"
+
+namespace grafics {
+namespace {
+
+TEST(SerializeTest, PrimitivesRoundTrip) {
+  std::stringstream stream;
+  WriteU8(stream, 200);
+  WriteU32(stream, 123456789u);
+  WriteU64(stream, 0xDEADBEEFCAFEULL);
+  WriteI32(stream, -42);
+  WriteDouble(stream, -3.14159);
+  WriteString(stream, "hello, world");
+  EXPECT_EQ(ReadU8(stream), 200);
+  EXPECT_EQ(ReadU32(stream), 123456789u);
+  EXPECT_EQ(ReadU64(stream), 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(ReadI32(stream), -42);
+  EXPECT_DOUBLE_EQ(ReadDouble(stream), -3.14159);
+  EXPECT_EQ(ReadString(stream), "hello, world");
+}
+
+TEST(SerializeTest, MatrixRoundTrip) {
+  Rng rng(1);
+  const Matrix m = Matrix::RandomNormal(7, 5, rng, 2.0);
+  std::stringstream stream;
+  WriteMatrix(stream, m);
+  EXPECT_EQ(ReadMatrix(stream), m);
+}
+
+TEST(SerializeTest, TruncatedStreamThrows) {
+  std::stringstream stream;
+  WriteU64(stream, 99);
+  ReadU32(stream);
+  EXPECT_THROW(ReadU64(stream), Error);
+}
+
+TEST(SerializeTest, HeaderMismatchThrows) {
+  std::stringstream stream;
+  WriteHeader(stream, "ABCD", 1);
+  EXPECT_THROW(CheckHeader(stream, "ABCE", 1), Error);
+  std::stringstream stream2;
+  WriteHeader(stream2, "ABCD", 2);
+  EXPECT_THROW(CheckHeader(stream2, "ABCD", 1), Error);
+}
+
+TEST(SerializeTest, GraphRoundTrip) {
+  rf::SignalRecord r1;
+  r1.Add(rf::MacAddress(1), -66.0);
+  r1.Add(rf::MacAddress(2), -60.0);
+  rf::SignalRecord r2;
+  r2.Add(rf::MacAddress(2), -70.0);
+  r2.Add(rf::MacAddress(3), -70.0);
+  auto g = graph::BipartiteGraph::FromRecords({r1, r2},
+                                              graph::OffsetWeight(120.0));
+  std::stringstream stream;
+  g.Save(stream);
+  const auto loaded = graph::BipartiteGraph::Load(stream);
+  EXPECT_EQ(loaded.NumNodes(), g.NumNodes());
+  EXPECT_EQ(loaded.NumEdges(), g.NumEdges());
+  EXPECT_EQ(loaded.NumMacs(), g.NumMacs());
+  EXPECT_DOUBLE_EQ(loaded.TotalEdgeWeight(), g.TotalEdgeWeight());
+  EXPECT_EQ(loaded.RecordNode(1), g.RecordNode(1));
+  EXPECT_EQ(*loaded.FindMacNode(rf::MacAddress(2)),
+            *g.FindMacNode(rf::MacAddress(2)));
+}
+
+TEST(SerializeTest, GraphWithRemovedMacRoundTrips) {
+  rf::SignalRecord r1;
+  r1.Add(rf::MacAddress(1), -66.0);
+  r1.Add(rf::MacAddress(2), -60.0);
+  auto g = graph::BipartiteGraph::FromRecords({r1},
+                                              graph::OffsetWeight(120.0));
+  ASSERT_TRUE(g.RemoveMacNode(rf::MacAddress(2)));
+  std::stringstream stream;
+  g.Save(stream);
+  const auto loaded = graph::BipartiteGraph::Load(stream);
+  EXPECT_EQ(loaded.NumMacs(), 1u);
+  EXPECT_FALSE(loaded.FindMacNode(rf::MacAddress(2)).has_value());
+  EXPECT_EQ(loaded.NumEdges(), 1u);
+  // Retired ids preserved so the embedding store stays aligned.
+  EXPECT_EQ(loaded.NumNodes(), g.NumNodes());
+}
+
+TEST(SerializeTest, EmbeddingStoreRoundTrip) {
+  Rng rng(2);
+  embed::EmbeddingStore store(6, 4, rng);
+  store.Ego(3)[1] = 0.33;
+  store.Context(5)[0] = -0.2;
+  std::stringstream stream;
+  store.Save(stream);
+  EXPECT_EQ(embed::EmbeddingStore::Load(stream), store);
+}
+
+TEST(SerializeTest, CentroidClassifierRoundTrip) {
+  Matrix centroids(2, 3);
+  centroids(0, 0) = 1.0;
+  centroids(1, 2) = -2.0;
+  const cluster::CentroidClassifier classifier(centroids, {4, -1});
+  std::stringstream stream;
+  classifier.Save(stream);
+  EXPECT_EQ(cluster::CentroidClassifier::Load(stream), classifier);
+}
+
+TEST(SerializeTest, GraficsModelRoundTripPredictsIdentically) {
+  auto config = synth::CampusBuildingConfig(99, 60);
+  auto sim = config.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  Rng rng(7);
+  dataset.KeepLabelsPerFloor(4, rng);
+
+  core::GraficsConfig grafics_config;
+  grafics_config.trainer.samples_per_edge = 60;
+  core::Grafics original(grafics_config);
+  original.Train(dataset.records());
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "grafics_model_test.bin")
+          .string();
+  original.SaveModel(path);
+  core::Grafics restored = core::Grafics::LoadModel(path);
+  std::filesystem::remove(path);
+
+  EXPECT_TRUE(restored.is_trained());
+  EXPECT_EQ(restored.graph().NumNodes(), original.graph().NumNodes());
+  EXPECT_EQ(restored.clustering().num_clusters(),
+            original.clustering().num_clusters());
+
+  // Both systems predict identical floors for fresh probes.
+  for (int i = 0; i < 10; ++i) {
+    const int floor = i % 3;
+    const rf::SignalRecord probe =
+        sim.MeasureAt({15.0 + i, 20.0, floor * 4.0 + 1.2}, floor);
+    EXPECT_EQ(original.Predict(probe), restored.Predict(probe)) << i;
+  }
+}
+
+TEST(SerializeTest, SaveUntrainedThrows) {
+  core::Grafics system;
+  EXPECT_THROW(system.SaveModel("/tmp/should_not_exist.bin"), Error);
+}
+
+TEST(SerializeTest, SaveCustomWeightThrows) {
+  core::GraficsConfig config;
+  config.custom_weight = graph::BinaryWeight();
+  config.trainer.samples_per_edge = 20;
+  core::Grafics system(config);
+  rf::SignalRecord r1;
+  r1.Add(rf::MacAddress(1), -50.0);
+  r1.set_floor(0);
+  rf::SignalRecord r2;
+  r2.Add(rf::MacAddress(1), -60.0);
+  system.Train({r1, r2});
+  EXPECT_THROW(system.SaveModel("/tmp/should_not_exist.bin"), Error);
+}
+
+TEST(SerializeTest, LoadMissingFileThrows) {
+  EXPECT_THROW(core::Grafics::LoadModel("/nonexistent/model.bin"), Error);
+}
+
+}  // namespace
+}  // namespace grafics

@@ -1,0 +1,100 @@
+#include "rf/signal_record.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace grafics::rf {
+namespace {
+
+SignalRecord MakeRecord(std::initializer_list<std::pair<int, double>> obs,
+                        std::optional<FloorId> floor = std::nullopt) {
+  SignalRecord r;
+  for (const auto& [mac, rssi] : obs) {
+    r.Add(MacAddress(static_cast<std::uint64_t>(mac)), rssi);
+  }
+  r.set_floor(floor);
+  return r;
+}
+
+TEST(SignalRecordTest, EmptyByDefault) {
+  SignalRecord r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_FALSE(r.is_labeled());
+}
+
+TEST(SignalRecordTest, AddAndQuery) {
+  const SignalRecord r = MakeRecord({{1, -60.0}, {2, -70.0}});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(MacAddress(1)));
+  EXPECT_FALSE(r.Contains(MacAddress(3)));
+  EXPECT_DOUBLE_EQ(*r.RssiFor(MacAddress(2)), -70.0);
+  EXPECT_FALSE(r.RssiFor(MacAddress(9)).has_value());
+}
+
+TEST(SignalRecordTest, DuplicateMacThrows) {
+  SignalRecord r;
+  r.Add(MacAddress(1), -60.0);
+  EXPECT_THROW(r.Add(MacAddress(1), -65.0), Error);
+}
+
+TEST(SignalRecordTest, ConstructorRejectsDuplicates) {
+  std::vector<Observation> obs = {{MacAddress(1), -60.0},
+                                  {MacAddress(1), -61.0}};
+  EXPECT_THROW(SignalRecord record(std::move(obs)), Error);
+}
+
+TEST(SignalRecordTest, FloorLabel) {
+  SignalRecord r = MakeRecord({{1, -50.0}}, 3);
+  EXPECT_TRUE(r.is_labeled());
+  EXPECT_EQ(*r.floor(), 3);
+  r.set_floor(std::nullopt);
+  EXPECT_FALSE(r.is_labeled());
+}
+
+TEST(SignalRecordTest, NegativeFloorsAllowed) {
+  const SignalRecord r = MakeRecord({{1, -50.0}}, -2);
+  EXPECT_EQ(*r.floor(), -2);
+}
+
+TEST(SignalRecordTest, OverlapRatioDisjoint) {
+  const SignalRecord a = MakeRecord({{1, -60.0}, {2, -60.0}});
+  const SignalRecord b = MakeRecord({{3, -60.0}, {4, -60.0}});
+  EXPECT_DOUBLE_EQ(a.OverlapRatio(b), 0.0);
+}
+
+TEST(SignalRecordTest, OverlapRatioIdentical) {
+  const SignalRecord a = MakeRecord({{1, -60.0}, {2, -61.0}});
+  const SignalRecord b = MakeRecord({{2, -75.0}, {1, -55.0}});  // RSS ignored
+  EXPECT_DOUBLE_EQ(a.OverlapRatio(b), 1.0);
+}
+
+TEST(SignalRecordTest, OverlapRatioPartial) {
+  const SignalRecord a = MakeRecord({{1, -60.0}, {2, -60.0}, {3, -60.0}});
+  const SignalRecord b = MakeRecord({{3, -60.0}, {4, -60.0}});
+  // intersection {3}, union {1,2,3,4}.
+  EXPECT_DOUBLE_EQ(a.OverlapRatio(b), 0.25);
+  EXPECT_DOUBLE_EQ(b.OverlapRatio(a), 0.25);  // symmetric
+}
+
+TEST(SignalRecordTest, OverlapRatioBothEmpty) {
+  EXPECT_DOUBLE_EQ(SignalRecord().OverlapRatio(SignalRecord()), 0.0);
+}
+
+TEST(SignalRecordTest, OverlapRatioOneEmpty) {
+  const SignalRecord a = MakeRecord({{1, -60.0}});
+  EXPECT_DOUBLE_EQ(a.OverlapRatio(SignalRecord()), 0.0);
+}
+
+TEST(SignalRecordTest, RemoveObservationsIf) {
+  SignalRecord r = MakeRecord({{1, -60.0}, {2, -80.0}, {3, -90.0}});
+  const std::size_t removed = r.RemoveObservationsIf(
+      [](const Observation& o) { return o.rssi_dbm < -75.0; });
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(MacAddress(1)));
+}
+
+}  // namespace
+}  // namespace grafics::rf

@@ -1,0 +1,109 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace grafics {
+namespace {
+
+TEST(StatsTest, SummarizeEmpty) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, SummarizeSingle) {
+  const std::vector<double> v = {4.0};
+  const Summary s = Summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(StatsTest, SummarizeKnownValues) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = Summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(StatsTest, QuantileEndpointsAndMedian) {
+  std::vector<double> v = {3.0, 1.0, 2.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+}
+
+TEST(StatsTest, QuantileValidation) {
+  EXPECT_THROW(Quantile({}, 0.5), Error);
+  EXPECT_THROW(Quantile({1.0}, 1.5), Error);
+}
+
+TEST(StatsTest, EmpiricalCdfMonotoneAndComplete) {
+  const auto cdf = EmpiricalCdf({3.0, 1.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);  // distinct values 1, 2, 3
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].cumulative_probability, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[1].cumulative_probability, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].cumulative_probability, 1.0);
+}
+
+TEST(StatsTest, EmpiricalCdfEmpty) {
+  EXPECT_TRUE(EmpiricalCdf({}).empty());
+}
+
+TEST(StatsTest, FractionAtOrBelow) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(FractionAtOrBelow(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(FractionAtOrBelow(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(FractionAtOrBelow(v, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(FractionAtOrBelow({}, 1.0), 0.0);
+}
+
+TEST(StatsTest, SilhouetteWellSeparatedNearOne) {
+  std::vector<std::vector<double>> points;
+  std::vector<int> labels;
+  for (int i = 0; i < 10; ++i) {
+    points.push_back({0.0 + 0.01 * i, 0.0});
+    labels.push_back(0);
+    points.push_back({100.0 + 0.01 * i, 0.0});
+    labels.push_back(1);
+  }
+  EXPECT_GT(MeanSilhouette(points, labels), 0.95);
+}
+
+TEST(StatsTest, SilhouetteMixedClustersNearZeroOrNegative) {
+  // Interleaved labels on the same line: bad clustering.
+  std::vector<std::vector<double>> points;
+  std::vector<int> labels;
+  for (int i = 0; i < 20; ++i) {
+    points.push_back({static_cast<double>(i), 0.0});
+    labels.push_back(i % 2);
+  }
+  EXPECT_LT(MeanSilhouette(points, labels), 0.1);
+}
+
+TEST(StatsTest, SilhouetteSingleClusterZero) {
+  const std::vector<std::vector<double>> points = {{0.0}, {1.0}, {2.0}};
+  const std::vector<int> labels = {1, 1, 1};
+  EXPECT_DOUBLE_EQ(MeanSilhouette(points, labels), 0.0);
+}
+
+TEST(StatsTest, SilhouetteSizeMismatchThrows) {
+  EXPECT_THROW(MeanSilhouette({{0.0}}, {1, 2}), Error);
+}
+
+}  // namespace
+}  // namespace grafics

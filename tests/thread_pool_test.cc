@@ -1,0 +1,74 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace grafics {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMapsToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> touched(kN);
+  pool.ParallelFor(0, kN, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++touched[i];
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(touched[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRangeFewerChunksThanThreads) {
+  ThreadPool pool(16);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(0, 3, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ThreadPoolTest, TaskExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManyWavesOfWork) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int wave = 0; wave < 10; ++wave) {
+    pool.ParallelFor(0, 1000, [&](std::size_t lo, std::size_t hi) {
+      long local = 0;
+      for (std::size_t i = lo; i < hi; ++i) local += static_cast<long>(i);
+      total += local;
+    });
+  }
+  EXPECT_EQ(total.load(), 10L * 999L * 1000L / 2L);
+}
+
+}  // namespace
+}  // namespace grafics

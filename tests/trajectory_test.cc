@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/grafics.h"
+#include "synth/generator.h"
+#include "synth/presets.h"
+
+namespace grafics::synth {
+namespace {
+
+BuildingSimulator MakeSim(std::uint64_t seed = 1) {
+  BuildingSpec spec;
+  spec.num_floors = 4;
+  spec.aps_per_floor = 25;
+  spec.records_per_floor = 40;
+  return BuildingSimulator(spec, PathLossParams{}, CrowdsourceParams{}, seed);
+}
+
+TEST(TrajectoryTest, ProducesRequestedScanCount) {
+  BuildingSimulator sim = MakeSim();
+  const auto trajectory = sim.GenerateTrajectory(1, 25);
+  EXPECT_EQ(trajectory.size(), 25u);
+  for (const auto& scan : trajectory) {
+    EXPECT_EQ(*scan.floor(), 1);
+    EXPECT_FALSE(scan.empty());
+  }
+}
+
+TEST(TrajectoryTest, ConsecutiveScansMoreSimilarThanRandomPairs) {
+  BuildingSimulator sim = MakeSim(5);
+  const auto trajectory = sim.GenerateTrajectory(0, 40, 2.0);
+  double consecutive = 0.0;
+  for (std::size_t i = 0; i + 1 < trajectory.size(); ++i) {
+    consecutive += trajectory[i].OverlapRatio(trajectory[i + 1]);
+  }
+  consecutive /= static_cast<double>(trajectory.size() - 1);
+  double distant = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i + 20 < trajectory.size(); ++i) {
+    distant += trajectory[i].OverlapRatio(trajectory[i + 20]);
+    ++count;
+  }
+  distant /= static_cast<double>(count);
+  EXPECT_GT(consecutive, distant);
+}
+
+TEST(TrajectoryTest, Validation) {
+  BuildingSimulator sim = MakeSim();
+  EXPECT_THROW(sim.GenerateTrajectory(4, 10), Error);
+  EXPECT_THROW(sim.GenerateTrajectory(-1, 10), Error);
+  EXPECT_THROW(sim.GenerateTrajectory(0, 10, 0.0), Error);
+}
+
+TEST(TrajectoryTest, MultiFloorCoversAllFloorsInOrder) {
+  BuildingSimulator sim = MakeSim(7);
+  const auto trajectory = sim.GenerateMultiFloorTrajectory(0, 3, 5);
+  ASSERT_EQ(trajectory.size(), 20u);
+  for (std::size_t i = 0; i < trajectory.size(); ++i) {
+    EXPECT_EQ(*trajectory[i].floor(), static_cast<int>(i / 5));
+  }
+}
+
+TEST(TrajectoryTest, MultiFloorDownwards) {
+  BuildingSimulator sim = MakeSim(9);
+  const auto trajectory = sim.GenerateMultiFloorTrajectory(2, 0, 3);
+  ASSERT_EQ(trajectory.size(), 9u);
+  EXPECT_EQ(*trajectory.front().floor(), 2);
+  EXPECT_EQ(*trajectory.back().floor(), 0);
+}
+
+TEST(TrajectoryTest, GraficsTracksMultiFloorTrajectory) {
+  // End-to-end: train on sporadic crowdsourced data, then follow a user
+  // riding from the ground floor to the top, scan by scan.
+  auto config = CampusBuildingConfig(77, 60);
+  auto sim = config.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  Rng rng(3);
+  dataset.KeepLabelsPerFloor(4, rng);
+  core::GraficsConfig grafics_config;
+  grafics_config.trainer.samples_per_edge = 60;
+  grafics_config.online_refine_iterations = 300;
+  core::Grafics system(grafics_config);
+  system.Train(dataset.records());
+
+  const auto trajectory = sim.GenerateMultiFloorTrajectory(0, 2, 8);
+  std::size_t correct = 0;
+  for (const auto& scan : trajectory) {
+    const auto predicted = system.Predict(scan);
+    if (predicted && *predicted == *scan.floor()) ++correct;
+  }
+  EXPECT_GE(correct, trajectory.size() * 3 / 4);
+}
+
+}  // namespace
+}  // namespace grafics::synth

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "viz/pca.h"
+#include "viz/tsne.h"
+
+namespace grafics::viz {
+namespace {
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along the diagonal with tiny orthogonal noise: PC1 variance must
+  // dominate.
+  Rng rng(1);
+  Matrix points(50, 2);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double t = rng.Uniform(-10.0, 10.0);
+    points(i, 0) = t + rng.Normal(0.0, 0.01);
+    points(i, 1) = t + rng.Normal(0.0, 0.01);
+  }
+  const Matrix projected = PcaProject(points, 2);
+  double var1 = 0.0;
+  double var2 = 0.0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    var1 += projected(i, 0) * projected(i, 0);
+    var2 += projected(i, 1) * projected(i, 1);
+  }
+  EXPECT_GT(var1, 100.0 * var2);
+}
+
+TEST(PcaTest, ProjectionIsCentered) {
+  Rng rng(2);
+  Matrix points = Matrix::RandomNormal(30, 5, rng, 2.0);
+  for (std::size_t i = 0; i < 30; ++i) points(i, 0) += 100.0;  // big offset
+  const Matrix projected = PcaProject(points, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < 30; ++i) mean += projected(i, c);
+    EXPECT_NEAR(mean / 30.0, 0.0, 1e-9);
+  }
+}
+
+TEST(PcaTest, PreservesPairwiseDistancesAtFullDim) {
+  Rng rng(3);
+  const Matrix points = Matrix::RandomNormal(20, 4, rng, 1.0);
+  const Matrix projected = PcaProject(points, 4);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      EXPECT_NEAR(SquaredL2Distance(points.Row(i), points.Row(j)),
+                  SquaredL2Distance(projected.Row(i), projected.Row(j)),
+                  1e-8);
+    }
+  }
+}
+
+TEST(PcaTest, Validation) {
+  EXPECT_THROW(PcaProject(Matrix(5, 3), 4), Error);
+  EXPECT_THROW(PcaProject(Matrix(5, 3), 0), Error);
+  EXPECT_THROW(PcaProject(Matrix(1, 3), 2), Error);
+}
+
+TEST(TsneTest, OutputShape) {
+  Rng rng(4);
+  const Matrix points = Matrix::RandomNormal(30, 5, rng, 1.0);
+  TsneConfig config;
+  config.perplexity = 5.0;
+  config.iterations = 50;
+  const Matrix y = TsneEmbed(points, config);
+  EXPECT_EQ(y.rows(), 30u);
+  EXPECT_EQ(y.cols(), 2u);
+}
+
+TEST(TsneTest, SeparatesTwoBlobs) {
+  Rng rng(5);
+  Matrix points(40, 4);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const double center = i < 20 ? 0.0 : 20.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      points(i, c) = center + rng.Normal(0.0, 0.5);
+    }
+  }
+  TsneConfig config;
+  config.perplexity = 8.0;
+  config.iterations = 300;
+  const Matrix y = TsneEmbed(points, config);
+  // Mean intra-blob distance far below inter-blob distance.
+  double intra = 0.0;
+  double inter = 0.0;
+  int n_intra = 0;
+  int n_inter = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = i + 1; j < 40; ++j) {
+      const double d = std::sqrt(SquaredL2Distance(y.Row(i), y.Row(j)));
+      if ((i < 20) == (j < 20)) {
+        intra += d;
+        ++n_intra;
+      } else {
+        inter += d;
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_LT(intra / n_intra * 2.0, inter / n_inter);
+}
+
+TEST(TsneTest, DeterministicInSeed) {
+  Rng rng(6);
+  const Matrix points = Matrix::RandomNormal(20, 3, rng, 1.0);
+  TsneConfig config;
+  config.perplexity = 4.0;
+  config.iterations = 30;
+  EXPECT_EQ(TsneEmbed(points, config), TsneEmbed(points, config));
+}
+
+TEST(TsneTest, Validation) {
+  EXPECT_THROW(TsneEmbed(Matrix(3, 2)), Error);  // too few points
+  Rng rng(7);
+  const Matrix points = Matrix::RandomNormal(10, 2, rng, 1.0);
+  TsneConfig config;
+  config.perplexity = 30.0;  // too large for 10 points
+  EXPECT_THROW(TsneEmbed(points, config), Error);
+}
+
+}  // namespace
+}  // namespace grafics::viz

@@ -1,0 +1,54 @@
+#include "graph/weight_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace grafics::graph {
+namespace {
+
+TEST(WeightFunctionTest, OffsetWeightShifts) {
+  const WeightFn f = OffsetWeight(120.0);
+  EXPECT_DOUBLE_EQ(f(-60.0), 60.0);
+  EXPECT_DOUBLE_EQ(f(-119.0), 1.0);
+}
+
+TEST(WeightFunctionTest, OffsetWeightRejectsNonPositive) {
+  const WeightFn f = OffsetWeight(120.0);
+  EXPECT_THROW(f(-120.0), Error);
+  EXPECT_THROW(f(-130.0), Error);
+}
+
+TEST(WeightFunctionTest, OffsetWeightCustomAlpha) {
+  const WeightFn f = OffsetWeight(150.0);
+  EXPECT_DOUBLE_EQ(f(-100.0), 50.0);
+}
+
+TEST(WeightFunctionTest, PowerWeightConvertsDbmToMilliwatts) {
+  const WeightFn g = PowerWeight();
+  EXPECT_DOUBLE_EQ(g(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(g(-10.0), 0.1);
+  EXPECT_NEAR(g(-60.0), 1e-6, 1e-12);
+}
+
+TEST(WeightFunctionTest, PowerWeightCompressesDifferences) {
+  // The paper's Fig. 16 rationale: in the power domain, a 10 dB difference
+  // between weak signals is absolutely tiny, so edge weights look alike.
+  const WeightFn f = OffsetWeight(120.0);
+  const WeightFn g = PowerWeight();
+  const double f_ratio = f(-60.0) / f(-70.0);
+  const double g_gap = g(-60.0) - g(-70.0);
+  EXPECT_GT(f_ratio, 1.1);       // offset keeps the difference visible
+  EXPECT_LT(g_gap, 1e-6);        // power collapses it
+}
+
+TEST(WeightFunctionTest, BinaryWeightAlwaysOne) {
+  const WeightFn b = BinaryWeight();
+  EXPECT_DOUBLE_EQ(b(-30.0), 1.0);
+  EXPECT_DOUBLE_EQ(b(-95.0), 1.0);
+}
+
+}  // namespace
+}  // namespace grafics::graph
