@@ -1,0 +1,85 @@
+// Serving throughput of the snapshot-isolated inference engine.
+//
+// Trains GRAFICS on the paper's dense single-floor mall preset (Fig. 1:
+// 8 274 records, 805 MACs at full scale) and measures PredictBatch
+// queries/sec at 1/2/4/8 worker threads. Because every query runs against
+// an immutable model snapshot with a context-local scratch overlay, the
+// parallel results are bit-identical to the serial ones — the harness
+// verifies that on every run before reporting speedups.
+//
+// Run:  ./build/bench/serve_throughput            (reduced mall, quick)
+//       GRAFICS_BENCH_SCALE=full ./build/bench/serve_throughput
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/grafics.h"
+#include "rf/dataset.h"
+#include "synth/presets.h"
+
+namespace {
+
+using namespace grafics;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  const char* env = std::getenv("GRAFICS_BENCH_SCALE");
+  const bool full = env != nullptr && std::string(env) == "full";
+
+  auto building = synth::MallFloorConfig(/*seed=*/71);
+  if (!full) building.spec.records_per_floor = 1500;
+  auto sim = building.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  Rng rng(17);
+  auto [train, test] = dataset.TrainTestSplit(0.7, rng);
+  train.KeepLabelsPerFloor(8, rng);
+  const std::size_t num_queries =
+      full ? test.size() : std::min<std::size_t>(test.size(), 300);
+  const std::vector<rf::SignalRecord> queries(
+      test.records().begin(), test.records().begin() + num_queries);
+
+  std::printf("== serve_throughput: snapshot-isolated PredictBatch ==\n");
+  std::printf("   mall preset: %zu train records, %zu MACs, %zu queries%s\n",
+              train.size(), train.DistinctMacCount(), queries.size(),
+              full ? " (full scale)" : " (reduced; GRAFICS_BENCH_SCALE=full)");
+
+  core::GraficsConfig config;
+  config.trainer.samples_per_edge = full ? 150 : 60;
+  core::Grafics system(config);
+  const auto train_start = Clock::now();
+  system.Train(train.records());
+  std::printf("   trained in %.2fs (%zu graph nodes)\n\n",
+              SecondsSince(train_start), system.graph().NumNodes());
+
+  std::printf("%8s %12s %12s %10s\n", "threads", "seconds", "queries/s",
+              "speedup");
+  const std::vector<std::optional<rf::FloorId>> reference =
+      system.PredictBatch(queries, {.num_threads = 1});
+  double serial_seconds = 0.0;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    const auto start = Clock::now();
+    const auto predictions =
+        system.PredictBatch(queries, {.num_threads = threads});
+    const double seconds = SecondsSince(start);
+    if (predictions != reference) {
+      std::fprintf(stderr,
+                   "FAIL: %zu-thread predictions differ from serial\n",
+                   threads);
+      return 1;
+    }
+    if (threads == 1) serial_seconds = seconds;
+    std::printf("%8zu %12.3f %12.1f %9.2fx\n", threads, seconds,
+                static_cast<double>(queries.size()) / seconds,
+                serial_seconds / seconds);
+  }
+  std::printf("\nall thread counts returned bit-identical predictions\n");
+  return 0;
+}

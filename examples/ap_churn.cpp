@@ -10,10 +10,12 @@
 //             side and accuracy is re-measured on scans from the degraded
 //             environment,
 //   phase 3 — replacement APs are installed (fresh MACs, never seen during
-//             training); their observations extend the graph online.
+//             training); a crowdsourced adoption batch folds them into the
+//             graph online via PredictBatch(keep=true).
 //
 // Run:  ./build/examples/ap_churn
 #include <cstdio>
+#include <vector>
 
 #include "core/grafics.h"
 #include "synth/presets.h"
@@ -75,10 +77,21 @@ int main() {
   simulator.InstallAps(removed);
   std::printf("phase 3  installed %zu replacement APs (fresh MACs)\n",
               removed);
-  // New MACs enter the graph automatically during online inference: each
-  // Predict() extends the bipartite graph with unseen MAC nodes and learns
-  // their embeddings with the base model frozen (paper Sec. V-A).
+  // Predictions are snapshot-isolated and never mutate the model, so fresh
+  // MACs are adopted explicitly: serve a crowdsourced adoption batch with
+  // keep=true, which folds the accepted records back into the graph and
+  // learns the new MAC embeddings with the base model frozen (Sec. V-A).
   const std::size_t macs_before = grafics.graph().NumMacs();
+  std::vector<rf::SignalRecord> adoption;
+  for (int floor = 0; floor < 3; ++floor) {
+    for (int i = 0; i < 10; ++i) {
+      adoption.push_back(simulator.MeasureAt(
+          {probe_rng.Uniform(5.0, 65.0), probe_rng.Uniform(5.0, 45.0),
+           floor * 4.0 + 1.2},
+          floor));
+    }
+  }
+  grafics.PredictBatch(adoption, {.keep = true});
   const double recovered = MeasureAccuracy(grafics, simulator, 3, 15,
                                            probe_rng);
   std::printf("         accuracy with new APs online:  %.3f\n", recovered);

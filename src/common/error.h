@@ -22,4 +22,10 @@ inline void Require(bool condition, const std::string& message) {
   if (!condition) throw Error(message);
 }
 
+/// Literal-message overload: defers std::string construction to the throw
+/// path, keeping Require free of heap allocations on hot paths.
+inline void Require(bool condition, const char* message) {
+  if (!condition) throw Error(message);
+}
+
 }  // namespace grafics

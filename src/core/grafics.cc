@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <fstream>
+#include <thread>
+#include <utility>
 
 #include "common/error.h"
 #include "common/serialize.h"
+#include "common/thread_pool.h"
+#include "core/inference_context.h"
 
 namespace grafics::core {
 
@@ -81,27 +85,15 @@ graph::NodeId Grafics::ExtendWith(const rf::SignalRecord& record) {
   return new_node;
 }
 
-std::optional<rf::FloorId> Grafics::Predict(const rf::SignalRecord& record) {
+std::optional<rf::FloorId> Grafics::Predict(
+    const rf::SignalRecord& record) const {
   Require(is_trained(), "Grafics::Predict: call Train first");
-  // Discard records that share no MAC with the graph: the paper treats them
-  // as collected outside the building (Sec. V-A footnote).
-  const bool any_known = std::any_of(
-      record.observations().begin(), record.observations().end(),
-      [&](const rf::Observation& o) {
-        return graph_.FindMacNode(o.mac).has_value();
-      });
-  if (!any_known || record.empty()) return std::nullopt;
+  InferenceContext context(*this);
+  return context.Predict(record);
+}
 
-  const graph::NodeId new_node = ExtendWith(record);
-  const std::span<const double> embedding = store_->Ego(new_node);
-  switch (config_.head) {
-    case InferenceHead::kKnn:
-      return knn_classifier_->Predict(embedding);
-    case InferenceHead::kCentroid:
-      break;
-  }
-  // Nearest centroid in the ego-embedding space (Sec. V-B).
-  return classifier_->Predict(embedding);
+InferenceContext Grafics::MakeContext() const {
+  return InferenceContext(*this);
 }
 
 std::size_t Grafics::Update(const std::vector<rf::SignalRecord>& records) {
@@ -119,11 +111,54 @@ std::size_t Grafics::Update(const std::vector<rf::SignalRecord>& records) {
 }
 
 std::vector<std::optional<rf::FloorId>> Grafics::PredictBatch(
-    const std::vector<rf::SignalRecord>& records) {
-  std::vector<std::optional<rf::FloorId>> predictions;
-  predictions.reserve(records.size());
-  for (const rf::SignalRecord& record : records) {
-    predictions.push_back(Predict(record));
+    const std::vector<rf::SignalRecord>& records,
+    const BatchPredictOptions& options) const {
+  Require(!options.keep,
+          "Grafics::PredictBatch: keep=true requires a mutable Grafics");
+  Require(is_trained(), "Grafics::PredictBatch: call Train first");
+  std::vector<std::optional<rf::FloorId>> predictions(records.size());
+  const std::size_t num_threads =
+      options.num_threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : options.num_threads;
+  if (num_threads == 1 || records.size() <= 1) {
+    InferenceContext context(*this);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      predictions[i] = context.Predict(records[i]);
+    }
+    return predictions;
+  }
+  // One snapshot-isolated context per worker: workers share only read-only
+  // model state, so chunks run without locks and the result is bit-identical
+  // to the serial path.
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(0, records.size(),
+                   [&](std::size_t begin, std::size_t end) {
+                     InferenceContext context(*this);
+                     for (std::size_t i = begin; i < end; ++i) {
+                       predictions[i] = context.Predict(records[i]);
+                     }
+                   });
+  return predictions;
+}
+
+std::vector<std::optional<rf::FloorId>> Grafics::PredictBatch(
+    const std::vector<rf::SignalRecord>& records,
+    const BatchPredictOptions& options) {
+  BatchPredictOptions snapshot_options = options;
+  snapshot_options.keep = false;
+  std::vector<std::optional<rf::FloorId>> predictions =
+      std::as_const(*this).PredictBatch(records, snapshot_options);
+  if (options.keep) {
+    // Fold the accepted records back into the model with Update semantics:
+    // graph extended, new embeddings refined against the frozen base,
+    // clusters and centroids untouched.
+    std::vector<rf::SignalRecord> accepted;
+    accepted.reserve(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (predictions[i].has_value()) accepted.push_back(records[i]);
+    }
+    Update(accepted);
   }
   return predictions;
 }
@@ -222,6 +257,11 @@ Grafics Grafics::LoadModel(const std::string& path) {
       system.TrainingEmbeddings(), *system.clustering_, config.knn);
   system.RebuildNegativeSampler();
   return system;
+}
+
+const embed::EmbeddingStore& Grafics::embedding_store() const {
+  Require(store_.has_value(), "Grafics: not trained");
+  return *store_;
 }
 
 const cluster::ClusteringResult& Grafics::clustering() const {

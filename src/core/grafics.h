@@ -22,6 +22,8 @@
 
 namespace grafics::core {
 
+class InferenceContext;
+
 /// How a new embedding is mapped to a floor at inference time.
 enum class InferenceHead {
   kCentroid,  // nearest cluster centroid — the paper's rule (Sec. V-B)
@@ -45,6 +47,19 @@ struct GraficsConfig {
   }
 };
 
+/// Options for Grafics::PredictBatch.
+struct BatchPredictOptions {
+  /// Worker threads to fan queries over (one InferenceContext per worker).
+  /// 0 maps to hardware_concurrency. Results are bit-identical for every
+  /// thread count because queries are snapshot-isolated.
+  std::size_t num_threads = 1;
+  /// Folds the accepted records (those that produced a prediction) back
+  /// into the trained model after the batch, with Update semantics: graph
+  /// extended, new embeddings refined against the frozen base, clusters and
+  /// centroids untouched. Requires a non-const Grafics.
+  bool keep = false;
+};
+
 class Grafics {
  public:
   explicit Grafics(GraficsConfig config = {});
@@ -55,15 +70,33 @@ class Grafics {
 
   bool is_trained() const { return classifier_ != nullptr; }
 
-  /// Online inference: adds the record to the graph, learns its embedding
-  /// with the base model frozen, and returns the floor of the nearest
-  /// cluster centroid. Returns nullopt when the record shares no MAC with
-  /// the graph (the paper discards such samples as outside the building).
-  std::optional<rf::FloorId> Predict(const rf::SignalRecord& record);
+  /// Online inference: extends a snapshot-isolated overlay of the graph
+  /// with the record, learns its embedding with the base model frozen, and
+  /// returns the floor of the nearest cluster centroid. Returns nullopt
+  /// when the record shares no MAC with the graph (the paper discards such
+  /// samples as outside the building). Side-effect-free: the trained model
+  /// is left untouched. Callers serving many queries should reuse an
+  /// InferenceContext (MakeContext) to amortize scratch allocations.
+  std::optional<rf::FloorId> Predict(const rf::SignalRecord& record) const;
 
-  /// Batch convenience wrapper over Predict.
+  /// Batch inference over snapshot-isolated contexts, optionally fanned out
+  /// over a thread pool (options.num_threads, one context per worker).
+  /// Predictions are bit-identical for every thread count. The const
+  /// overload leaves the model untouched and rejects options.keep.
   std::vector<std::optional<rf::FloorId>> PredictBatch(
-      const std::vector<rf::SignalRecord>& records);
+      const std::vector<rf::SignalRecord>& records,
+      const BatchPredictOptions& options = {}) const;
+
+  /// As above; additionally folds accepted records back into the model when
+  /// options.keep is set (preserving Update semantics).
+  std::vector<std::optional<rf::FloorId>> PredictBatch(
+      const std::vector<rf::SignalRecord>& records,
+      const BatchPredictOptions& options = {});
+
+  /// Creates a reusable snapshot-isolated serving session over this model.
+  /// The model must outlive the context and not be mutated (Train/Update)
+  /// while the context is in use.
+  InferenceContext MakeContext() const;
 
   /// Incorporates a batch of additional crowdsourced records WITHOUT a full
   /// retrain: the graph is extended, only the new nodes' embeddings are
@@ -79,6 +112,8 @@ class Grafics {
   Matrix TrainingEmbeddings() const;
 
   const graph::BipartiteGraph& graph() const { return graph_; }
+  /// Trained embedding tables (one ego/context row pair per graph node).
+  const embed::EmbeddingStore& embedding_store() const;
   const cluster::ClusteringResult& clustering() const;
   const cluster::CentroidClassifier& classifier() const;
   const GraficsConfig& config() const { return config_; }
@@ -92,6 +127,10 @@ class Grafics {
   static Grafics LoadModel(const std::string& path);
 
  private:
+  // InferenceContext is the serving-path view over the trained members; it
+  // only ever reads them.
+  friend class InferenceContext;
+
   /// (Re)builds the frozen-base negative sampler used by online refinement.
   void RebuildNegativeSampler();
   /// Appends `record` to the graph + store and refines the new nodes.

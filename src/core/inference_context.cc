@@ -1,0 +1,77 @@
+#include "core/inference_context.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "core/grafics.h"
+#include "embed/trainer.h"
+
+namespace grafics::core {
+
+namespace {
+const Grafics& CheckTrained(const Grafics& model) {
+  Require(model.is_trained(), "InferenceContext: model not trained");
+  return model;
+}
+}  // namespace
+
+InferenceContext::InferenceContext(const Grafics& model)
+    : model_(&CheckTrained(model)),
+      graph_(model.graph_),
+      embeddings_(*model.store_) {}
+
+std::optional<rf::FloorId> InferenceContext::Predict(
+    const rf::SignalRecord& record) {
+  const Grafics& model = *model_;
+  graph_.Reset();
+  embeddings_.Reset();
+  query_node_.reset();
+
+  // Discard records that share no MAC with the trained graph: the paper
+  // treats them as collected outside the building (Sec. V-A footnote).
+  const bool any_known = std::any_of(
+      record.observations().begin(), record.observations().end(),
+      [&](const rf::Observation& o) {
+        return graph_.base().FindMacNode(o.mac).has_value();
+      });
+  if (!any_known || record.empty()) return std::nullopt;
+
+  // Extend the overlay with the query (plus any unseen MACs) and refine
+  // only the scratch embeddings against the frozen base model (Sec. V-A).
+  const graph::NodeId new_node = graph_.AddRecord(record, model.weight_fn_);
+  // Seeded from the base node count so the scratch initialization — and
+  // therefore the prediction — depends only on (model, query), never on how
+  // many queries this or any other context served before.
+  Rng grow_rng(model.config_.trainer.seed ^
+               (0x9E3779B9ULL + graph_.BaseNodes()));
+  embeddings_.Grow(graph_.NumScratchNodes(), grow_rng);
+  scratch_nodes_.resize(graph_.NumScratchNodes());
+  std::iota(scratch_nodes_.begin(), scratch_nodes_.end(),
+            static_cast<graph::NodeId>(graph_.BaseNodes()));
+  embed::RefineNewNodes(graph_, scratch_nodes_, embeddings_,
+                        model.config_.trainer,
+                        model.config_.online_refine_iterations,
+                        model.negative_sampler_,
+                        model.negative_node_of_index_);
+  query_node_ = new_node;
+
+  const std::span<const double> embedding =
+      std::as_const(embeddings_).Ego(new_node);
+  switch (model.config_.head) {
+    case InferenceHead::kKnn:
+      return model.knn_classifier_->Predict(embedding);
+    case InferenceHead::kCentroid:
+      break;
+  }
+  // Nearest centroid in the ego-embedding space (Sec. V-B).
+  return model.classifier_->Predict(embedding);
+}
+
+std::span<const double> InferenceContext::QueryEmbedding() const {
+  Require(query_node_.has_value(),
+          "InferenceContext::QueryEmbedding: no accepted query");
+  return std::as_const(embeddings_).Ego(*query_node_);
+}
+
+}  // namespace grafics::core

@@ -1,0 +1,59 @@
+// Snapshot-isolated serving session over a trained Grafics model.
+//
+// Online inference (paper Sec. V) extends the bipartite graph with the query
+// record, refines only the new embeddings against the frozen base model, and
+// classifies against the trained centroids. An InferenceContext performs all
+// three steps against an immutable view of the trained model: the graph and
+// embedding extensions live in context-local overlays that are reset —
+// allocations kept — between queries. Consequences:
+//
+//  * Predict is side-effect-free: the trained graph, embedding store,
+//    negative sampler, and centroids are never touched, so the model does
+//    not grow per query and predictions are order-independent;
+//  * many contexts can serve concurrently against one model (they share
+//    only read-only state) — Grafics::PredictBatch fans out one context per
+//    worker thread;
+//  * a single context is cheap to reuse across sequential queries (no
+//    per-query allocation beyond the first).
+//
+// The model must stay alive and un-mutated (no Train/Update) while the
+// context is in use; contexts are invalidated by either.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "embed/embedding_overlay.h"
+#include "graph/graph_overlay.h"
+#include "rf/signal_record.h"
+
+namespace grafics::core {
+
+class Grafics;
+
+class InferenceContext {
+ public:
+  /// Snapshots `model` (by reference — see lifetime note above). Requires a
+  /// trained model.
+  explicit InferenceContext(const Grafics& model);
+
+  /// Identifies the floor of `record` without mutating the model. Returns
+  /// nullopt when the record is empty or shares no MAC with the trained
+  /// graph (the paper discards such samples as outside the building).
+  std::optional<rf::FloorId> Predict(const rf::SignalRecord& record);
+
+  /// Ego embedding of the last accepted query (diagnostics). Valid until
+  /// the next Predict call on this context.
+  std::span<const double> QueryEmbedding() const;
+
+  const graph::GraphOverlay& graph_overlay() const { return graph_; }
+
+ private:
+  const Grafics* model_;
+  graph::GraphOverlay graph_;
+  embed::EmbeddingOverlay embeddings_;
+  std::vector<graph::NodeId> scratch_nodes_;
+  std::optional<graph::NodeId> query_node_;
+};
+
+}  // namespace grafics::core

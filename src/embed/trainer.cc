@@ -191,16 +191,52 @@ void RefineNewNodes(const graph::BipartiteGraph& graph,
                  negative_sampler, node_of_index);
 }
 
-void RefineNewNodes(const graph::BipartiteGraph& graph,
-                    std::span<const graph::NodeId> new_nodes,
-                    EmbeddingStore& store, const TrainerConfig& config,
-                    std::size_t iterations,
-                    const AliasSampler& negative_sampler,
-                    std::span<const graph::NodeId> node_of_index) {
+namespace {
+
+/// One frozen-base negative-sampling SGD step: like SampledStep with
+/// update_targets=false, but target rows are fetched through `target_row`
+/// so the same code serves the shared EmbeddingStore (batch Update) and the
+/// per-context EmbeddingOverlay (snapshot-isolated serving). The arithmetic
+/// and RNG sequence match SampledStep exactly.
+template <typename TargetRowFn>
+void FrozenSampledStep(std::span<const double> src, std::span<double> grad,
+                       TargetRowFn&& target_row, graph::NodeId target,
+                       const AliasSampler& negative_sampler,
+                       std::span<const graph::NodeId> node_of_index,
+                       std::size_t negatives, double lr, Rng& rng) {
+  // Positive sample: label 1.
+  {
+    const std::span<const double> tgt = target_row(target);
+    const double g = (1.0 - Sigmoid(Dot(tgt, src))) * lr;
+    Axpy(g, tgt, grad);
+  }
+  // K negative samples: label 0.
+  for (std::size_t k = 0; k < negatives; ++k) {
+    const graph::NodeId z = node_of_index[negative_sampler.Sample(rng)];
+    if (z == target) continue;
+    const std::span<const double> neg = target_row(z);
+    const double g = -Sigmoid(Dot(neg, src)) * lr;
+    Axpy(g, neg, grad);
+  }
+}
+
+/// Shared implementation of both RefineNewNodes overloads. `Graph` is
+/// BipartiteGraph or GraphOverlay; `Store` is EmbeddingStore or
+/// EmbeddingOverlay. Only `new_nodes` rows of `store` are written.
+template <typename Graph, typename Store>
+void RefineNewNodesImpl(const Graph& graph,
+                        std::span<const graph::NodeId> new_nodes,
+                        Store& store, const TrainerConfig& config,
+                        std::size_t iterations,
+                        const AliasSampler& negative_sampler,
+                        std::span<const graph::NodeId> node_of_index) {
   Require(store.num_nodes() == graph.NumNodes(),
           "RefineNewNodes: store/graph size mismatch (call Grow first)");
-  Matrix& ego = store.mutable_ego_matrix();
-  Matrix& context = store.mutable_context_matrix();
+  const Store& reads = store;  // const reads may touch any (frozen) row
+  const auto ego_row = [&reads](graph::NodeId n) { return reads.Ego(n); };
+  const auto context_row = [&reads](graph::NodeId n) {
+    return reads.Context(n);
+  };
   Rng rng(config.seed ^ 0x5EEDFACEULL);
   std::vector<double> grad(config.dim, 0.0);
 
@@ -217,8 +253,8 @@ void RefineNewNodes(const graph::BipartiteGraph& graph,
     std::fill(node_context.begin(), node_context.end(), 0.0);
     double weight_sum = 0.0;
     for (const graph::Neighbor& nb : neighbors) {
-      Axpy(nb.weight, store.Ego(nb.node), node_ego);
-      Axpy(nb.weight, store.Context(nb.node), node_context);
+      Axpy(nb.weight, reads.Ego(nb.node), node_ego);
+      Axpy(nb.weight, reads.Context(nb.node), node_context);
       weight_sum += nb.weight;
     }
     Scale(node_ego, 1.0 / weight_sum);
@@ -237,21 +273,42 @@ void RefineNewNodes(const graph::BipartiteGraph& graph,
           lr0 * (1.0 - static_cast<double>(s) /
                            static_cast<double>(iterations)));
       const graph::Neighbor& nb = neighbors[local_edges.Sample(rng)];
-      // Only the new node's rows move: update_targets=false freezes the
-      // base model, matching Sec. V-A.
-      SampledStep(store.Ego(node), grad, context, nb.node, negative_sampler,
-                  node_of_index, config.negative_samples, lr,
-                  /*update_targets=*/false, rng);
+      // Only the new node's rows move: the frozen step never writes target
+      // rows, matching Sec. V-A's frozen base model.
+      FrozenSampledStep(reads.Ego(node), grad, context_row, nb.node,
+                        negative_sampler, node_of_index,
+                        config.negative_samples, lr, rng);
       ApplyGradient(store.Ego(node), grad, /*dropout=*/0.0, rng);
       if (config.objective == Objective::kELine) {
-        SampledStep(store.Context(node), grad, ego, nb.node,
-                    negative_sampler, node_of_index,
-                    config.negative_samples, lr,
-                    /*update_targets=*/false, rng);
+        FrozenSampledStep(reads.Context(node), grad, ego_row, nb.node,
+                          negative_sampler, node_of_index,
+                          config.negative_samples, lr, rng);
         ApplyGradient(store.Context(node), grad, /*dropout=*/0.0, rng);
       }
     }
   }
+}
+
+}  // namespace
+
+void RefineNewNodes(const graph::BipartiteGraph& graph,
+                    std::span<const graph::NodeId> new_nodes,
+                    EmbeddingStore& store, const TrainerConfig& config,
+                    std::size_t iterations,
+                    const AliasSampler& negative_sampler,
+                    std::span<const graph::NodeId> node_of_index) {
+  RefineNewNodesImpl(graph, new_nodes, store, config, iterations,
+                     negative_sampler, node_of_index);
+}
+
+void RefineNewNodes(const graph::GraphOverlay& graph,
+                    std::span<const graph::NodeId> new_nodes,
+                    EmbeddingOverlay& store, const TrainerConfig& config,
+                    std::size_t iterations,
+                    const AliasSampler& negative_sampler,
+                    std::span<const graph::NodeId> node_of_index) {
+  RefineNewNodesImpl(graph, new_nodes, store, config, iterations,
+                     negative_sampler, node_of_index);
 }
 
 }  // namespace grafics::embed

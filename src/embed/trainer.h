@@ -18,8 +18,10 @@
 #include <vector>
 
 #include "common/alias_sampler.h"
+#include "embed/embedding_overlay.h"
 #include "embed/embedding_store.h"
 #include "graph/bipartite_graph.h"
+#include "graph/graph_overlay.h"
 
 namespace grafics::embed {
 
@@ -72,6 +74,19 @@ void RefineNewNodes(const graph::BipartiteGraph& graph,
 void RefineNewNodes(const graph::BipartiteGraph& graph,
                     std::span<const graph::NodeId> new_nodes,
                     EmbeddingStore& store, const TrainerConfig& config,
+                    std::size_t iterations,
+                    const AliasSampler& negative_sampler,
+                    std::span<const graph::NodeId> node_of_index);
+
+/// Snapshot-isolated variant: refines scratch nodes of a GraphOverlay into
+/// an EmbeddingOverlay, leaving the underlying trained graph and store
+/// untouched. This is the serving path — one (overlay, overlay) pair per
+/// InferenceContext, so concurrent contexts never share mutable state. The
+/// negative sampler must be built over the frozen base graph (scratch nodes
+/// are never drawn as negatives).
+void RefineNewNodes(const graph::GraphOverlay& graph,
+                    std::span<const graph::NodeId> new_nodes,
+                    EmbeddingOverlay& store, const TrainerConfig& config,
                     std::size_t iterations,
                     const AliasSampler& negative_sampler,
                     std::span<const graph::NodeId> node_of_index);

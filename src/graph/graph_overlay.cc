@@ -1,0 +1,75 @@
+#include "graph/graph_overlay.h"
+
+#include "common/error.h"
+
+namespace grafics::graph {
+
+GraphOverlay::GraphOverlay(const BipartiteGraph& base)
+    : base_(&base), base_nodes_(base.NumNodes()) {}
+
+NodeId GraphOverlay::NewScratchNode(NodeType type) {
+  const auto id = static_cast<NodeId>(base_nodes_ + scratch_types_.size());
+  scratch_types_.push_back(type);
+  if (scratch_adjacency_.size() < scratch_types_.size()) {
+    scratch_adjacency_.emplace_back();
+  }
+  return id;
+}
+
+NodeId GraphOverlay::AddRecord(const rf::SignalRecord& record,
+                               const WeightFn& weight_fn) {
+  const NodeId record_node = NewScratchNode(NodeType::kRecord);
+  for (const rf::Observation& o : record.observations()) {
+    NodeId mac_node;
+    if (const auto base_mac = base_->FindMacNode(o.mac)) {
+      mac_node = *base_mac;
+    } else if (const auto it = scratch_macs_.find(o.mac);
+               it != scratch_macs_.end()) {
+      mac_node = it->second;
+    } else {
+      mac_node = NewScratchNode(NodeType::kMac);
+      scratch_macs_.emplace(o.mac, mac_node);
+    }
+    const double weight = weight_fn(o.rssi_dbm);
+    Require(weight > 0.0, "GraphOverlay::AddRecord: weight must be positive");
+    scratch_adjacency_[record_node - base_nodes_].push_back(
+        {mac_node, weight});
+    if (IsScratch(mac_node)) {
+      scratch_adjacency_[mac_node - base_nodes_].push_back(
+          {record_node, weight});
+    }
+  }
+  return record_node;
+}
+
+std::optional<NodeId> GraphOverlay::FindMacNode(rf::MacAddress mac) const {
+  if (const auto base_mac = base_->FindMacNode(mac)) return base_mac;
+  if (const auto it = scratch_macs_.find(mac); it != scratch_macs_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+NodeType GraphOverlay::TypeOf(NodeId node) const {
+  if (!IsScratch(node)) return base_->TypeOf(node);
+  Require(node - base_nodes_ < scratch_types_.size(),
+          "GraphOverlay::TypeOf: bad node id");
+  return scratch_types_[node - base_nodes_];
+}
+
+std::span<const Neighbor> GraphOverlay::NeighborsOf(NodeId node) const {
+  if (!IsScratch(node)) return base_->NeighborsOf(node);
+  Require(node - base_nodes_ < scratch_types_.size(),
+          "GraphOverlay::NeighborsOf: bad node id");
+  return scratch_adjacency_[node - base_nodes_];
+}
+
+void GraphOverlay::Reset() {
+  for (std::size_t i = 0; i < scratch_types_.size(); ++i) {
+    scratch_adjacency_[i].clear();
+  }
+  scratch_types_.clear();
+  scratch_macs_.clear();
+}
+
+}  // namespace grafics::graph

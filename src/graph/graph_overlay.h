@@ -1,0 +1,71 @@
+// Copy-on-write extension of a frozen BipartiteGraph.
+//
+// Online inference (paper Sec. V-A) extends the bipartite graph with the
+// query record and its unseen MACs before refining their embeddings. Doing
+// that directly on the trained graph mutates shared state, so serving N
+// queries would grow the model N times and make predictions order-dependent.
+// GraphOverlay instead layers a small scratch extension on top of an
+// immutable base graph: scratch nodes get ids >= base.NumNodes(), scratch
+// adjacency lists live in the overlay, and the base graph is never touched.
+// Resetting the overlay between queries reuses its allocations, so a serving
+// context adds no per-query heap churn beyond the scratch edges themselves.
+//
+// The base graph must outlive the overlay and must not grow while the
+// overlay is alive (scratch ids are assigned from the base node count
+// captured at construction).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/weight_function.h"
+#include "rf/signal_record.h"
+
+namespace grafics::graph {
+
+class GraphOverlay {
+ public:
+  explicit GraphOverlay(const BipartiteGraph& base);
+
+  const BipartiteGraph& base() const { return *base_; }
+  std::size_t BaseNodes() const { return base_nodes_; }
+  std::size_t NumScratchNodes() const { return scratch_types_.size(); }
+  std::size_t NumNodes() const { return base_nodes_ + scratch_types_.size(); }
+
+  bool IsScratch(NodeId node) const { return node >= base_nodes_; }
+
+  /// Adds one scratch record node with edges to its MAC nodes, creating
+  /// scratch MAC nodes for MACs absent from the base graph. Mirrors
+  /// BipartiteGraph::AddRecord's node-id ordering (record first, then new
+  /// MACs in observation order).
+  NodeId AddRecord(const rf::SignalRecord& record, const WeightFn& weight_fn);
+
+  /// Base MAC node if present, else scratch MAC node if this overlay
+  /// created one.
+  std::optional<NodeId> FindMacNode(rf::MacAddress mac) const;
+
+  NodeType TypeOf(NodeId node) const;
+
+  /// Neighbors of a scratch node come from the overlay; neighbors of a base
+  /// node are the base adjacency (scratch edges incident to base nodes are
+  /// intentionally invisible from the base side — refinement only walks the
+  /// neighborhoods of scratch nodes).
+  std::span<const Neighbor> NeighborsOf(NodeId node) const;
+
+  /// Drops all scratch nodes and edges, keeping allocations for reuse.
+  void Reset();
+
+ private:
+  NodeId NewScratchNode(NodeType type);
+
+  const BipartiteGraph* base_;
+  std::size_t base_nodes_;
+  std::vector<NodeType> scratch_types_;
+  std::vector<std::vector<Neighbor>> scratch_adjacency_;
+  std::unordered_map<rf::MacAddress, NodeId> scratch_macs_;
+};
+
+}  // namespace grafics::graph

@@ -3,7 +3,7 @@
 // (one record per row: floor-or-empty, then alternating mac,rss pairs).
 //
 //   grafics train   <dataset.csv> <model.bin> [--labels-per-floor N]
-//   grafics predict <model.bin> <scans.csv>
+//   grafics predict <model.bin> <scans.csv> [--threads N]
 //   grafics eval    <dataset.csv> [--labels-per-floor N] [--train-ratio R]
 //   grafics synth   <out.csv> [--preset campus|mall|hk-tower] [--seed S]
 //   grafics stats   <dataset.csv>
@@ -28,7 +28,7 @@ int Usage() {
                "usage:\n"
                "  grafics train   <dataset.csv> <model.bin> "
                "[--labels-per-floor N]\n"
-               "  grafics predict <model.bin> <scans.csv>\n"
+               "  grafics predict <model.bin> <scans.csv> [--threads N]\n"
                "  grafics eval    <dataset.csv> [--labels-per-floor N] "
                "[--train-ratio R] [--seed S]\n"
                "  grafics synth   <out.csv> [--preset campus|mall|hk-tower] "
@@ -69,12 +69,17 @@ int CmdTrain(const std::vector<std::string>& args) {
 
 int CmdPredict(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
-  core::Grafics system = core::Grafics::LoadModel(args[0]);
+  const core::Grafics system = core::Grafics::LoadModel(args[0]);
   const rf::Dataset scans = rf::Dataset::LoadCsv(args[1], "scans");
-  for (std::size_t i = 0; i < scans.size(); ++i) {
-    const auto predicted = system.Predict(scans.record(i));
-    if (predicted) {
-      std::printf("%zu,%d\n", i, *predicted);
+  // Snapshot-isolated batch serving: 0 maps to hardware concurrency; the
+  // output is bit-identical for every thread count.
+  core::BatchPredictOptions options;
+  options.num_threads = static_cast<std::size_t>(
+      std::stoul(FlagValue(args, "--threads", "1")));
+  const auto predictions = system.PredictBatch(scans.records(), options);
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i]) {
+      std::printf("%zu,%d\n", i, *predictions[i]);
     } else {
       std::printf("%zu,discarded\n", i);
     }

@@ -88,12 +88,16 @@ TEST(FailureInjectionTest, OnlineRecordMixingKnownAndUnknownMacs) {
                 MakeRecord({{1, -52.0}, {2, -61.0}}),
                 MakeRecord({{3, -53.0}, {4, -64.0}})});
   // Half the MACs are new: the record is still classified via the known
-  // half, and the new MACs become graph nodes.
+  // half. Predict is snapshot-isolated, so the unseen MACs only become
+  // graph nodes once the record is folded in with Update.
   const std::size_t macs_before = system.graph().NumMacs();
-  const auto prediction =
-      system.Predict(MakeRecord({{1, -50.0}, {99, -40.0}, {98, -45.0}}));
+  const rf::SignalRecord mixed =
+      MakeRecord({{1, -50.0}, {99, -40.0}, {98, -45.0}});
+  const auto prediction = system.Predict(mixed);
   ASSERT_TRUE(prediction.has_value());
   EXPECT_EQ(*prediction, 0);
+  EXPECT_EQ(system.graph().NumMacs(), macs_before);
+  EXPECT_EQ(system.Update({mixed}), 1u);
   EXPECT_EQ(system.graph().NumMacs(), macs_before + 2);
 }
 
@@ -157,7 +161,8 @@ TEST(FailureInjectionTest, RetrainReplacesModel) {
   // Retrain with flipped labels: the model must reflect the new labels.
   system.Train({MakeRecord({{1, -50.0}}, 5), MakeRecord({{2, -50.0}}, 6)});
   EXPECT_EQ(*system.Predict(MakeRecord({{1, -55.0}})), 5);
-  EXPECT_EQ(system.graph().NumRecords(), 3u);  // fresh graph + 1 prediction
+  // Fresh graph only: predictions are snapshot-isolated and never grow it.
+  EXPECT_EQ(system.graph().NumRecords(), 2u);
 }
 
 TEST(FailureInjectionTest, HarnessRejectsDatasetTooSmallToSplit) {
