@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.h"
@@ -94,5 +95,42 @@ inline void PrintHeader(const char* figure, const char* description,
       scale.microsoft_buildings, scale.hongkong_buildings,
       scale.records_per_floor, scale.repetitions);
 }
+
+/// Machine-readable sidecar for perf-tracking benches: collects named scalar
+/// metrics and writes them as BENCH_<name>.json (into $GRAFICS_BENCH_OUT, or
+/// the working directory) so CI can archive the perf trajectory per commit.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& metric, double value) {
+    metrics_.emplace_back(metric, value);
+  }
+
+  void WriteJson() const {
+    const char* out_dir = std::getenv("GRAFICS_BENCH_OUT");
+    const std::string path = (out_dir != nullptr ? std::string(out_dir) + "/"
+                                                 : std::string()) +
+                             "BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"metrics\": {",
+                 name_.c_str());
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(out, "%s\n    \"%s\": %.6g", i == 0 ? "" : ",",
+                   metrics_[i].first.c_str(), metrics_[i].second);
+    }
+    std::fprintf(out, "\n  }\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace grafics::bench

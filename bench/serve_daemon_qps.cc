@@ -1,0 +1,177 @@
+// End-to-end QPS of the network serving daemon.
+//
+// Trains GRAFICS on the campus preset, starts an in-process serve::Server on
+// an ephemeral loopback port, and hammers it with concurrent blocking
+// clients. Before reporting anything the harness verifies every networked
+// prediction bit-matches the in-process PredictBatch reference — the wire
+// path must not change a single answer. Reports QPS per connection count
+// plus micro-batch coalescing stats, and writes BENCH_serve_daemon_qps.json
+// for the CI perf-trajectory artifact.
+//
+// Run:  ./build/bench/serve_daemon_qps
+//       ./build/bench/serve_daemon_qps --records-per-floor 200 --queries 80 \
+//           --connections 1,4 --max-batch 32 --max-delay-ms 2
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/cli_flags.h"
+#include "core/grafics.h"
+#include "rf/dataset.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "synth/presets.h"
+
+namespace {
+
+using namespace grafics;
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  int records_per_floor = 400;
+  std::size_t queries = 200;
+  std::size_t max_batch = 32;
+  unsigned max_delay_ms = 2;
+  std::vector<std::size_t> connections = {1, 2, 4};
+};
+
+Args ParseArgs(int argc, char** argv) {
+  const std::vector<std::string> raw(argv + 1, argv + argc);
+  Args args;
+  args.records_per_floor = static_cast<int>(ParseUnsigned(
+      FlagValue(raw, "--records-per-floor", "400"), 100000,
+      "--records-per-floor"));
+  args.queries = ParseUnsigned(FlagValue(raw, "--queries", "200"), 1000000,
+                               "--queries");
+  args.max_batch = ParseUnsigned(FlagValue(raw, "--max-batch", "32"), 1 << 20,
+                                 "--max-batch");
+  args.max_delay_ms = static_cast<unsigned>(ParseUnsigned(
+      FlagValue(raw, "--max-delay-ms", "2"), 60000, "--max-delay-ms"));
+  const std::string list = FlagValue(raw, "--connections", "1,2,4");
+  args.connections.clear();
+  for (std::size_t begin = 0; begin < list.size();) {
+    const std::size_t comma = list.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    args.connections.push_back(static_cast<std::size_t>(ParseUnsigned(
+        list.substr(begin, end - begin), 1024, "--connections")));
+    begin = end + 1;
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+
+  auto building = synth::CampusBuildingConfig(/*seed=*/29,
+                                              args.records_per_floor);
+  auto sim = building.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  Rng rng(5);
+  auto [train, test] = dataset.TrainTestSplit(0.7, rng);
+  train.KeepLabelsPerFloor(6, rng);
+  const std::size_t num_queries =
+      std::min<std::size_t>(test.size(), args.queries);
+  const std::vector<rf::SignalRecord> queries(
+      test.records().begin(), test.records().begin() + num_queries);
+
+  std::printf("== serve_daemon_qps: TCP daemon with micro-batching ==\n");
+  std::printf("   campus preset: %zu train records, %zu queries, "
+              "max-batch %zu, max-delay %ums\n",
+              train.size(), queries.size(), args.max_batch,
+              args.max_delay_ms);
+
+  core::GraficsConfig model_config;
+  model_config.trainer.samples_per_edge = 60;
+  core::Grafics system(model_config);
+  const auto train_start = Clock::now();
+  system.Train(train.records());
+  const double train_seconds =
+      std::chrono::duration<double>(Clock::now() - train_start).count();
+  const std::vector<std::optional<rf::FloorId>> reference =
+      system.PredictBatch(queries, {.num_threads = 1});
+  std::printf("   trained in %.2fs\n\n", train_seconds);
+
+  serve::ServerConfig server_config;
+  server_config.port = 0;  // ephemeral
+  server_config.batcher.max_batch_size = args.max_batch;
+  server_config.batcher.max_delay =
+      std::chrono::milliseconds(args.max_delay_ms);
+  server_config.batcher.predict_threads = 0;  // all cores per flush
+  serve::Server server(
+      std::make_shared<const core::Grafics>(std::move(system)),
+      server_config);
+  server.Start();
+
+  bench::BenchReport report("serve_daemon_qps");
+  report.Add("train_seconds", train_seconds);
+  report.Add("queries", static_cast<double>(queries.size()));
+
+  std::printf("%12s %12s %12s %10s %12s\n", "connections", "seconds",
+              "queries/s", "batches", "mean batch");
+  bool all_match = true;
+  serve::BatcherStats before = server.batcher_stats();
+  for (const std::size_t connections : args.connections) {
+    std::vector<std::vector<std::optional<rf::FloorId>>> results(
+        connections, std::vector<std::optional<rf::FloorId>>(queries.size()));
+    // char, not bool: each connection thread writes its own slot.
+    std::vector<char> failed(connections, 0);
+    const auto start = Clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(connections);
+    for (std::size_t c = 0; c < connections; ++c) {
+      workers.emplace_back([&, c] {
+        try {
+          serve::Client client("127.0.0.1", server.port());
+          // Strided split: connection c serves queries c, c+C, c+2C, ...
+          for (std::size_t i = c; i < queries.size(); i += connections) {
+            results[c][i] = client.Predict(queries[i]);
+          }
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "connection %zu failed: %s\n", c, e.what());
+          failed[c] = 1;
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    for (std::size_t c = 0; c < connections; ++c) {
+      if (failed[c] != 0) all_match = false;
+      for (std::size_t i = c; i < queries.size(); i += connections) {
+        if (results[c][i] != reference[i]) all_match = false;
+      }
+    }
+    const serve::BatcherStats after = server.batcher_stats();
+    const std::uint64_t batches = after.batches - before.batches;
+    const std::uint64_t requests = after.requests - before.requests;
+    before = after;
+    const double qps = static_cast<double>(queries.size()) / seconds;
+    const double mean_batch =
+        batches == 0 ? 0.0
+                     : static_cast<double>(requests) /
+                           static_cast<double>(batches);
+    std::printf("%12zu %12.3f %12.1f %10llu %12.2f\n", connections, seconds,
+                qps, static_cast<unsigned long long>(batches), mean_batch);
+    report.Add("qps_c" + std::to_string(connections), qps);
+    report.Add("mean_batch_c" + std::to_string(connections), mean_batch);
+  }
+  server.Stop();
+
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAIL: networked predictions differ from in-process "
+                 "PredictBatch\n");
+    return 1;
+  }
+  std::printf("\nall networked predictions bit-matched the in-process "
+              "reference\n");
+  report.WriteJson();
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/grafics.h"
 #include "rf/dataset.h"
 #include "synth/presets.h"
@@ -56,8 +57,12 @@ int main() {
   core::Grafics system(config);
   const auto train_start = Clock::now();
   system.Train(train.records());
-  std::printf("   trained in %.2fs (%zu graph nodes)\n\n",
-              SecondsSince(train_start), system.graph().NumNodes());
+  const double train_seconds = SecondsSince(train_start);
+  std::printf("   trained in %.2fs (%zu graph nodes)\n\n", train_seconds,
+              system.graph().NumNodes());
+  bench::BenchReport report("serve_throughput");
+  report.Add("train_seconds", train_seconds);
+  report.Add("queries", static_cast<double>(queries.size()));
 
   std::printf("%8s %12s %12s %10s\n", "threads", "seconds", "queries/s",
               "speedup");
@@ -76,10 +81,12 @@ int main() {
       return 1;
     }
     if (threads == 1) serial_seconds = seconds;
-    std::printf("%8zu %12.3f %12.1f %9.2fx\n", threads, seconds,
-                static_cast<double>(queries.size()) / seconds,
+    const double qps = static_cast<double>(queries.size()) / seconds;
+    std::printf("%8zu %12.3f %12.1f %9.2fx\n", threads, seconds, qps,
                 serial_seconds / seconds);
+    report.Add("qps_t" + std::to_string(threads), qps);
   }
   std::printf("\nall thread counts returned bit-identical predictions\n");
+  report.WriteJson();
   return 0;
 }

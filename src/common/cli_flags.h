@@ -1,0 +1,38 @@
+// Tiny argv helpers shared by the command-line front ends (src/tools) and
+// the bench load generators, so flag parsing exists exactly once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace grafics {
+
+/// Returns the value after `flag`, or `fallback` when absent.
+inline std::string FlagValue(const std::vector<std::string>& args,
+                             const std::string& flag,
+                             const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) return args[i + 1];
+  }
+  return fallback;
+}
+
+/// Parses a decimal unsigned integer, rejecting sign markers, trailing
+/// junk ("80abc"), and values above `max_value` — std::stoul would accept
+/// the first two and silently truncate on narrowing casts.
+inline std::uint64_t ParseUnsigned(const std::string& text,
+                                   std::uint64_t max_value,
+                                   const std::string& what) {
+  Require(!text.empty() && text.size() <= 19 &&
+              text.find_first_not_of("0123456789") == std::string::npos,
+          what + ": expected an unsigned number, got '" + text + "'");
+  const std::uint64_t value = std::stoull(text);
+  Require(value <= max_value, what + ": " + text + " is above the maximum " +
+                                  std::to_string(max_value));
+  return value;
+}
+
+}  // namespace grafics

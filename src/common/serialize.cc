@@ -51,6 +51,18 @@ std::string ReadString(std::istream& in) {
   return value;
 }
 
+void WriteOptionalI32(std::ostream& out, std::optional<std::int32_t> value) {
+  WriteU8(out, value.has_value() ? 1 : 0);
+  WriteI32(out, value.value_or(0));
+}
+
+std::optional<std::int32_t> ReadOptionalI32(std::istream& in) {
+  const bool has_value = ReadU8(in) != 0;
+  const std::int32_t value = ReadI32(in);
+  if (!has_value) return std::nullopt;
+  return value;
+}
+
 void WriteMatrix(std::ostream& out, const Matrix& value) {
   WriteU64(out, value.rows());
   WriteU64(out, value.cols());

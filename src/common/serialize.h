@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -23,6 +24,10 @@ void WriteI32(std::ostream& out, std::int32_t value);
 void WriteDouble(std::ostream& out, double value);
 void WriteString(std::ostream& out, const std::string& value);
 void WriteMatrix(std::ostream& out, const Matrix& value);
+/// Optional int32 as a u8 presence flag followed by a fixed i32 payload
+/// (zero when absent), so the encoding is constant-width. Used by the model
+/// artifact (cluster labels) and the serve wire protocol (floor labels).
+void WriteOptionalI32(std::ostream& out, std::optional<std::int32_t> value);
 
 std::uint8_t ReadU8(std::istream& in);
 std::uint32_t ReadU32(std::istream& in);
@@ -31,6 +36,7 @@ std::int32_t ReadI32(std::istream& in);
 double ReadDouble(std::istream& in);
 std::string ReadString(std::istream& in);
 Matrix ReadMatrix(std::istream& in);
+std::optional<std::int32_t> ReadOptionalI32(std::istream& in);
 
 /// Writes/checks a 4-byte magic plus u32 version.
 void WriteHeader(std::ostream& out, const char magic[4],

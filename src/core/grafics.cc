@@ -118,7 +118,8 @@ std::vector<std::optional<rf::FloorId>> Grafics::PredictBatch(
   Require(is_trained(), "Grafics::PredictBatch: call Train first");
   std::vector<std::optional<rf::FloorId>> predictions(records.size());
   const std::size_t num_threads =
-      options.num_threads == 0
+      options.pool != nullptr ? options.pool->num_threads()
+      : options.num_threads == 0
           ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
           : options.num_threads;
   if (num_threads == 1 || records.size() <= 1) {
@@ -131,14 +132,21 @@ std::vector<std::optional<rf::FloorId>> Grafics::PredictBatch(
   // One snapshot-isolated context per worker: workers share only read-only
   // model state, so chunks run without locks and the result is bit-identical
   // to the serial path.
-  ThreadPool pool(num_threads);
-  pool.ParallelFor(0, records.size(),
-                   [&](std::size_t begin, std::size_t end) {
-                     InferenceContext context(*this);
-                     for (std::size_t i = begin; i < end; ++i) {
-                       predictions[i] = context.Predict(records[i]);
-                     }
-                   });
+  const auto run_chunks = [&](ThreadPool& pool) {
+    pool.ParallelFor(0, records.size(),
+                     [&](std::size_t begin, std::size_t end) {
+                       InferenceContext context(*this);
+                       for (std::size_t i = begin; i < end; ++i) {
+                         predictions[i] = context.Predict(records[i]);
+                       }
+                     });
+  };
+  if (options.pool != nullptr) {
+    run_chunks(*options.pool);
+  } else {
+    ThreadPool pool(num_threads);
+    run_chunks(pool);
+  }
   return predictions;
 }
 
@@ -196,8 +204,7 @@ void Grafics::SaveModel(const std::string& path) const {
   for (const std::size_t c : clustering_->cluster_of_point) WriteU64(out, c);
   WriteU64(out, clustering_->cluster_label.size());
   for (const auto& label : clustering_->cluster_label) {
-    WriteU8(out, label.has_value() ? 1 : 0);
-    WriteI32(out, label.value_or(0));
+    WriteOptionalI32(out, label);
   }
   WriteU64(out, clustering_->merge_history.size());
   for (const auto& [a, b] : clustering_->merge_history) {
@@ -242,9 +249,7 @@ Grafics Grafics::LoadModel(const std::string& path) {
   const std::uint64_t clusters = ReadU64(in);
   clustering.cluster_label.resize(clusters);
   for (std::size_t i = 0; i < clusters; ++i) {
-    const bool has_value = ReadU8(in) != 0;
-    const rf::FloorId label = ReadI32(in);
-    if (has_value) clustering.cluster_label[i] = label;
+    clustering.cluster_label[i] = ReadOptionalI32(in);
   }
   const std::uint64_t merges = ReadU64(in);
   clustering.merge_history.resize(merges);

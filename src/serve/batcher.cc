@@ -1,0 +1,107 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "common/error.h"
+
+namespace grafics::serve {
+
+MicroBatcher::MicroBatcher(BatcherConfig config, SnapshotFn snapshot)
+    : config_(config), snapshot_(std::move(snapshot)) {
+  Require(config_.max_batch_size >= 1, "MicroBatcher: max_batch_size >= 1");
+  Require(snapshot_ != nullptr, "MicroBatcher: snapshot callback required");
+  if (config_.predict_threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.predict_threads);
+  }
+  flusher_ = std::thread([this] { FlushLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() { Stop(); }
+
+std::future<std::optional<rf::FloorId>> MicroBatcher::Submit(
+    rf::SignalRecord record) {
+  std::promise<std::optional<rf::FloorId>> promise;
+  std::future<std::optional<rf::FloorId>> future = promise.get_future();
+  {
+    const std::scoped_lock lock(mutex_);
+    Require(!stopping_, "MicroBatcher::Submit after Stop");
+    pending_.push_back({std::move(record), std::move(promise),
+                        std::chrono::steady_clock::now()});
+    ++stats_.requests;
+  }
+  wake_.notify_one();
+  return future;
+}
+
+void MicroBatcher::Stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stopping_ && !flusher_.joinable()) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+BatcherStats MicroBatcher::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+void MicroBatcher::FlushLoop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (pending_.empty()) {
+      if (stopping_) return;
+      wake_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      continue;
+    }
+    // Wait for the batch to fill, but no longer than the oldest request's
+    // latency budget. Stop() flushes whatever is pending immediately.
+    const auto deadline = pending_.front().enqueued + config_.max_delay;
+    if (pending_.size() < config_.max_batch_size && !stopping_) {
+      wake_.wait_until(lock, deadline, [this] {
+        return stopping_ || pending_.size() >= config_.max_batch_size;
+      });
+      // Whether full, stopping, or past the deadline: flush what we have.
+    }
+    const std::size_t take =
+        std::min(pending_.size(), config_.max_batch_size);
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    std::move(pending_.begin(), pending_.begin() + static_cast<long>(take),
+              std::back_inserter(batch));
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<long>(take));
+    ++stats_.batches;
+    stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, take);
+    lock.unlock();
+    Dispatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void MicroBatcher::Dispatch(std::vector<Pending> batch) {
+  std::vector<rf::SignalRecord> records;
+  records.reserve(batch.size());
+  for (Pending& p : batch) records.push_back(std::move(p.record));
+  try {
+    const Snapshot model = snapshot_();
+    Require(model != nullptr && model->is_trained(),
+            "MicroBatcher: snapshot returned no trained model");
+    core::BatchPredictOptions options;
+    options.pool = pool_.get();  // null → serial dispatch on this thread
+    const std::vector<std::optional<rf::FloorId>> predictions =
+        model->PredictBatch(records, options);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(predictions[i]);
+    }
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (Pending& p : batch) p.promise.set_exception(error);
+  }
+}
+
+}  // namespace grafics::serve

@@ -1,0 +1,99 @@
+// Dynamic micro-batching for the serving daemon.
+//
+// Connection handlers enqueue single records; a dedicated flusher thread
+// coalesces everything pending into one batch and dispatches it through
+// Grafics::PredictBatch, so server throughput under load rides the PR 1
+// snapshot-isolated parallel path instead of thread-per-request inference.
+// A batch flushes as soon as it reaches max_batch_size, or when the oldest
+// pending request has waited max_delay — the usual latency/throughput knob
+// of dynamic batching systems.
+//
+// The model is resolved per flush through a snapshot callback returning a
+// shared_ptr<const Grafics>, which is what makes hot-reload safe: a swap
+// between flushes is picked up by the next batch, while an in-flight batch
+// keeps the old snapshot alive until its futures resolve.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/grafics.h"
+#include "rf/signal_record.h"
+
+namespace grafics::serve {
+
+struct BatcherConfig {
+  /// Flush as soon as this many requests are pending.
+  std::size_t max_batch_size = 64;
+  /// Flush once the oldest pending request has waited this long.
+  std::chrono::microseconds max_delay{2000};
+  /// Worker threads for the PredictBatch fan-out of each flush (0 maps to
+  /// hardware_concurrency, 1 keeps dispatch on the flusher thread).
+  std::size_t predict_threads = 1;
+};
+
+struct BatcherStats {
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch = 0;
+};
+
+class MicroBatcher {
+ public:
+  using Snapshot = std::shared_ptr<const core::Grafics>;
+  using SnapshotFn = std::function<Snapshot()>;
+
+  /// `snapshot` is called once per flush from the flusher thread and must
+  /// return a trained model; it is how the owner injects hot-reload.
+  MicroBatcher(BatcherConfig config, SnapshotFn snapshot);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues one record; the future resolves with the prediction (nullopt
+  /// for discarded records) once the containing batch is dispatched. Throws
+  /// grafics::Error after Stop().
+  std::future<std::optional<rf::FloorId>> Submit(rf::SignalRecord record);
+
+  /// Drains everything pending (their futures still resolve), then rejects
+  /// further Submits. Idempotent; also run by the destructor.
+  void Stop();
+
+  BatcherStats stats() const;
+
+ private:
+  struct Pending {
+    rf::SignalRecord record;
+    std::promise<std::optional<rf::FloorId>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void FlushLoop();
+  /// Runs one batch through PredictBatch; called without the lock held.
+  void Dispatch(std::vector<Pending> batch);
+
+  const BatcherConfig config_;
+  const SnapshotFn snapshot_;
+  std::unique_ptr<ThreadPool> pool_;  // null when predict_threads == 1
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<Pending> pending_;
+  bool stopping_ = false;
+  BatcherStats stats_;
+
+  std::thread flusher_;  // last member: joined before the rest is destroyed
+};
+
+}  // namespace grafics::serve

@@ -1,0 +1,101 @@
+#include "serve/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+
+namespace grafics::serve {
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* addresses = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &addresses);
+  Require(rc == 0, "Client: cannot resolve " + host + ": " +
+                       std::string(::gai_strerror(rc)));
+  std::string reason = "no addresses";
+  for (const addrinfo* ai = addresses; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      fd_ = fd;
+      break;
+    }
+    reason = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(addresses);
+  Require(fd_ >= 0, "Client: cannot connect to " + host + ":" +
+                        std::to_string(port) + ": " + reason);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Message Client::RoundTrip(const Message& request) {
+  Require(connected(), "Client: not connected");
+  SendFrame(fd_, request);
+  std::optional<Message> reply = ReceiveFrame(fd_);
+  Require(reply.has_value(), "Client: daemon closed the connection");
+  return std::move(*reply);
+}
+
+std::optional<rf::FloorId> Client::Predict(const rf::SignalRecord& record) {
+  const Message reply = RoundTrip(PredictRequest{record});
+  const auto* response = std::get_if<PredictResponse>(&reply);
+  Require(response != nullptr, "Client: unexpected reply to predict");
+  switch (response->status) {
+    case PredictStatus::kOk:
+      return response->floor;
+    case PredictStatus::kDiscarded:
+      return std::nullopt;
+    case PredictStatus::kError:
+      throw Error("Client: daemon error: " + response->error);
+  }
+  throw Error("Client: bad predict status");
+}
+
+std::uint64_t Client::Ping() {
+  const Message reply = RoundTrip(serve::Ping{});
+  const auto* pong = std::get_if<Pong>(&reply);
+  Require(pong != nullptr, "Client: unexpected reply to ping");
+  return pong->model_generation;
+}
+
+std::uint64_t Client::Reload() {
+  const Message reply = RoundTrip(ReloadRequest{});
+  const auto* response = std::get_if<ReloadResponse>(&reply);
+  Require(response != nullptr, "Client: unexpected reply to reload");
+  Require(response->ok, "Client: reload failed: " + response->message);
+  return response->model_generation;
+}
+
+}  // namespace grafics::serve

@@ -1,0 +1,52 @@
+// Blocking client for the GRAFICS serving daemon.
+//
+// One TCP connection, one request/response in flight at a time; concurrency
+// comes from opening more clients (the daemon coalesces across connections).
+// Used by the tests, the serve_daemon_qps load generator, and the
+// `grafics remote-predict` / `remote-reload` CLI commands.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "rf/signal_record.h"
+#include "serve/protocol.h"
+
+namespace grafics::serve {
+
+class Client {
+ public:
+  /// Connects immediately; throws grafics::Error when the daemon is
+  /// unreachable.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Remote Grafics::Predict: nullopt when the daemon discarded the record
+  /// (no MAC overlap). Throws grafics::Error on transport problems or when
+  /// the daemon reports an error.
+  std::optional<rf::FloorId> Predict(const rf::SignalRecord& record);
+
+  /// Health check; returns the daemon's current model generation.
+  std::uint64_t Ping();
+
+  /// Asks the daemon to hot-reload its model from disk; returns the new
+  /// model generation. Throws grafics::Error when the daemon refuses (no
+  /// model path) or the reload failed.
+  std::uint64_t Reload();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Message RoundTrip(const Message& request);
+
+  int fd_ = -1;
+};
+
+}  // namespace grafics::serve

@@ -1,0 +1,215 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "common/serialize.h"
+
+namespace grafics::serve {
+
+namespace {
+
+enum class MessageType : std::uint8_t {
+  kPredictRequest = 1,
+  kPredictResponse = 2,
+  kPing = 3,
+  kPong = 4,
+  kReloadRequest = 5,
+  kReloadResponse = 6,
+};
+
+MessageType TypeOf(const Message& message) {
+  struct Visitor {
+    MessageType operator()(const PredictRequest&) const {
+      return MessageType::kPredictRequest;
+    }
+    MessageType operator()(const PredictResponse&) const {
+      return MessageType::kPredictResponse;
+    }
+    MessageType operator()(const Ping&) const { return MessageType::kPing; }
+    MessageType operator()(const Pong&) const { return MessageType::kPong; }
+    MessageType operator()(const ReloadRequest&) const {
+      return MessageType::kReloadRequest;
+    }
+    MessageType operator()(const ReloadResponse&) const {
+      return MessageType::kReloadResponse;
+    }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+void WriteBody(std::ostream& out, const Message& message) {
+  struct Visitor {
+    std::ostream& out;
+    void operator()(const PredictRequest& m) const {
+      WriteSignalRecord(out, m.record);
+    }
+    void operator()(const PredictResponse& m) const {
+      WriteU8(out, static_cast<std::uint8_t>(m.status));
+      WriteI32(out, m.floor);
+      WriteString(out, m.error);
+    }
+    void operator()(const Ping&) const {}
+    void operator()(const Pong& m) const { WriteU64(out, m.model_generation); }
+    void operator()(const ReloadRequest&) const {}
+    void operator()(const ReloadResponse& m) const {
+      WriteU8(out, m.ok ? 1 : 0);
+      WriteU64(out, m.model_generation);
+      WriteString(out, m.message);
+    }
+  };
+  std::visit(Visitor{out}, message);
+}
+
+Message ReadBody(std::istream& in, MessageType type) {
+  switch (type) {
+    case MessageType::kPredictRequest:
+      return PredictRequest{ReadSignalRecord(in)};
+    case MessageType::kPredictResponse: {
+      PredictResponse m;
+      const std::uint8_t status = ReadU8(in);
+      Require(status <= static_cast<std::uint8_t>(PredictStatus::kError),
+              "protocol: bad predict status");
+      m.status = static_cast<PredictStatus>(status);
+      m.floor = ReadI32(in);
+      m.error = ReadString(in);
+      return m;
+    }
+    case MessageType::kPing:
+      return Ping{};
+    case MessageType::kPong:
+      return Pong{ReadU64(in)};
+    case MessageType::kReloadRequest:
+      return ReloadRequest{};
+    case MessageType::kReloadResponse: {
+      ReloadResponse m;
+      m.ok = ReadU8(in) != 0;
+      m.model_generation = ReadU64(in);
+      m.message = ReadString(in);
+      return m;
+    }
+  }
+  throw Error("protocol: unknown message type " +
+              std::to_string(static_cast<unsigned>(type)));
+}
+
+/// recv() until exactly `size` bytes arrive. Returns false when the peer
+/// closed before the first byte; throws on mid-buffer EOF or socket errors.
+bool ReceiveExactly(int fd, char* data, std::size_t size) {
+  std::size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(fd, data + received, size - received, 0);
+    if (n == 0) {
+      if (received == 0) return false;
+      throw Error("protocol: truncated frame (peer closed mid-frame)");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("protocol: read failed: ") +
+                  std::strerror(errno));
+    }
+    received += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void SendAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("protocol: write failed: ") +
+                  std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void WriteSignalRecord(std::ostream& out, const rf::SignalRecord& record) {
+  WriteU64(out, record.size());
+  for (const rf::Observation& o : record.observations()) {
+    WriteU64(out, o.mac.bits());
+    WriteDouble(out, o.rssi_dbm);
+  }
+  WriteOptionalI32(out, record.floor());
+}
+
+rf::SignalRecord ReadSignalRecord(std::istream& in) {
+  const std::uint64_t count = ReadU64(in);
+  Require(count <= kMaxObservations,
+          "protocol: unreasonable observation count");
+  std::vector<rf::Observation> observations;
+  observations.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    // MacAddress validates the 48-bit range and the SignalRecord constructor
+    // rejects duplicate MACs, so malformed bodies throw instead of building
+    // an inconsistent record.
+    const rf::MacAddress mac(ReadU64(in));
+    observations.push_back({mac, ReadDouble(in)});
+  }
+  const std::optional<std::int32_t> floor = ReadOptionalI32(in);
+  return rf::SignalRecord(std::move(observations), floor);
+}
+
+std::string EncodePayload(const Message& message) {
+  std::ostringstream out;
+  WriteHeader(out, kFrameMagic, kProtocolVersion);
+  WriteU8(out, static_cast<std::uint8_t>(TypeOf(message)));
+  WriteBody(out, message);
+  return std::move(out).str();
+}
+
+Message DecodePayload(const std::string& payload) {
+  std::istringstream in(payload);
+  CheckHeader(in, kFrameMagic, kProtocolVersion);
+  const auto type = static_cast<MessageType>(ReadU8(in));
+  Message message = ReadBody(in, type);
+  Require(in.peek() == std::istream::traits_type::eof(),
+          "protocol: trailing bytes after message");
+  return message;
+}
+
+std::string EncodeFrame(const Message& message) {
+  const std::string payload = EncodePayload(message);
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string frame(sizeof(length) + payload.size(), '\0');
+  std::memcpy(frame.data(), &length, sizeof(length));
+  std::memcpy(frame.data() + sizeof(length), payload.data(), payload.size());
+  return frame;
+}
+
+void SendFrame(int fd, const Message& message) {
+  const std::string frame = EncodeFrame(message);
+  SendAll(fd, frame.data(), frame.size());
+}
+
+std::optional<std::string> ReceiveFramePayload(int fd,
+                                               std::size_t max_bytes) {
+  std::uint32_t length = 0;  // little-endian on the wire == host order
+  if (!ReceiveExactly(fd, reinterpret_cast<char*>(&length), sizeof(length))) {
+    return std::nullopt;
+  }
+  Require(length <= max_bytes, "protocol: oversized frame");
+  std::string payload(length, '\0');
+  if (!ReceiveExactly(fd, payload.data(), payload.size())) {
+    throw Error("protocol: truncated frame (peer closed mid-frame)");
+  }
+  return payload;
+}
+
+std::optional<Message> ReceiveFrame(int fd, std::size_t max_bytes) {
+  const std::optional<std::string> payload =
+      ReceiveFramePayload(fd, max_bytes);
+  if (!payload.has_value()) return std::nullopt;
+  return DecodePayload(*payload);
+}
+
+}  // namespace grafics::serve

@@ -1,0 +1,114 @@
+// Wire protocol of the GRAFICS serving daemon.
+//
+// Every message travels as one length-prefixed frame on a TCP stream:
+//
+//   u32 payload_length            (little-endian, excludes the prefix itself)
+//   payload:
+//     "GSRV" magic + u32 version  (common/serialize.h WriteHeader)
+//     u8 message type
+//     type-specific body          (common/serialize.h primitives)
+//
+// Malformed input — bad magic, unsupported version, unknown type, truncated
+// or oversized frames, trailing bytes — is rejected by throwing
+// grafics::Error, never by crashing; servers drop the connection, clients
+// surface the error. docs/protocol.md specifies the format field by field.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "rf/signal_record.h"
+
+namespace grafics::serve {
+
+inline constexpr char kFrameMagic[4] = {'G', 'S', 'R', 'V'};
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Upper bound on a frame payload; declared lengths beyond this are rejected
+/// before any allocation happens.
+inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
+/// Upper bound on observations per record (a dense scan sees ~1e3 APs).
+inline constexpr std::size_t kMaxObservations = 1 << 16;
+/// Default daemon port when none is given on the command line.
+inline constexpr std::uint16_t kDefaultPort = 4817;
+
+/// Floor query: one crowdsourced scan to classify.
+struct PredictRequest {
+  rf::SignalRecord record;
+
+  bool operator==(const PredictRequest&) const = default;
+};
+
+enum class PredictStatus : std::uint8_t {
+  kOk = 0,         // floor carries the prediction
+  kDiscarded = 1,  // no MAC overlap with the model (outside the building)
+  kError = 2,      // error carries the server-side message
+};
+
+struct PredictResponse {
+  PredictStatus status = PredictStatus::kError;
+  rf::FloorId floor = 0;
+  std::string error;
+
+  bool operator==(const PredictResponse&) const = default;
+};
+
+/// Health check; the reply carries the model generation so clients can
+/// observe hot reloads.
+struct Ping {
+  bool operator==(const Ping&) const = default;
+};
+
+struct Pong {
+  std::uint64_t model_generation = 0;
+
+  bool operator==(const Pong&) const = default;
+};
+
+/// Admin-triggered model hot-reload from the daemon's model path (the
+/// network sibling of SIGHUP). In-flight batches finish on the old snapshot.
+struct ReloadRequest {
+  bool operator==(const ReloadRequest&) const = default;
+};
+
+struct ReloadResponse {
+  bool ok = false;
+  std::uint64_t model_generation = 0;
+  std::string message;
+
+  bool operator==(const ReloadResponse&) const = default;
+};
+
+using Message = std::variant<PredictRequest, PredictResponse, Ping, Pong,
+                             ReloadRequest, ReloadResponse>;
+
+/// Wire encoding of one record: u64 observation count, then (u64 MAC bits,
+/// f64 RSS dBm) per observation, then the optional floor label. Reading
+/// validates MAC range, observation count, and MAC uniqueness.
+void WriteSignalRecord(std::ostream& out, const rf::SignalRecord& record);
+rf::SignalRecord ReadSignalRecord(std::istream& in);
+
+/// Frame payload (header + type + body), without the u32 length prefix.
+std::string EncodePayload(const Message& message);
+/// Inverse of EncodePayload. Throws grafics::Error on malformed input,
+/// including trailing bytes after a well-formed message.
+Message DecodePayload(const std::string& payload);
+/// Full frame: u32 length prefix followed by the payload.
+std::string EncodeFrame(const Message& message);
+
+/// Writes one frame to a connected socket. Throws grafics::Error when the
+/// peer is gone (writes never raise SIGPIPE).
+void SendFrame(int fd, const Message& message);
+/// Reads one frame payload from a connected socket. Returns nullopt when the
+/// peer closed cleanly before the first byte of a frame; throws
+/// grafics::Error on truncated frames or declared lengths above max_bytes.
+std::optional<std::string> ReceiveFramePayload(
+    int fd, std::size_t max_bytes = kMaxFrameBytes);
+/// ReceiveFramePayload + DecodePayload.
+std::optional<Message> ReceiveFrame(int fd,
+                                    std::size_t max_bytes = kMaxFrameBytes);
+
+}  // namespace grafics::serve

@@ -1,0 +1,234 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+
+namespace grafics::serve {
+
+namespace {
+
+void SetNoDelay(int fd) {
+  // Micro-batching already trades latency deliberately; don't let Nagle add
+  // an uncontrolled 40ms on top of the configured max_delay.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Server::Server(std::shared_ptr<const core::Grafics> model,
+               ServerConfig config, std::string model_path)
+    : config_(std::move(config)), model_path_(std::move(model_path)) {
+  Require(model != nullptr && model->is_trained(),
+          "Server: requires a trained model");
+  model_ = std::move(model);
+  batcher_ = std::make_unique<MicroBatcher>(
+      config_.batcher, [this] { return model_snapshot(); });
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Start() {
+  Require(!started_, "Server::Start: already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  Require(listen_fd_ >= 0, "Server: cannot create socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(config_.port);
+  Require(::inet_pton(AF_INET, config_.host.c_str(), &address.sin_addr) == 1,
+          "Server: bad host address " + config_.host);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("Server: cannot listen on " + config_.host + ":" +
+                std::to_string(config_.port) + ": " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_size);
+  port_ = ntohs(bound.sin_port);
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void Server::Stop() {
+  if (!started_ || stopping_.exchange(true)) return;
+  // Wake the accept loop, then disconnect clients. Handler threads blocked
+  // on batcher futures finish normally — the batcher is still running — and
+  // only then is it drained.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // Splice the list out under the lock but join outside it: handlers call
+  // ReapFinished (which takes connections_mutex_) on their way out, so
+  // joining them while holding the mutex would deadlock. Splicing keeps the
+  // nodes alive for handlers still touching their own Connection.
+  std::list<Connection> remaining;
+  {
+    const std::scoped_lock lock(connections_mutex_);
+    for (Connection& connection : connections_) {
+      ::shutdown(connection.fd, SHUT_RDWR);
+    }
+    remaining.splice(remaining.begin(), connections_);
+  }
+  for (Connection& connection : remaining) {
+    if (connection.thread.joinable()) connection.thread.join();
+    ::close(connection.fd);
+  }
+  batcher_->Stop();
+}
+
+std::shared_ptr<const core::Grafics> Server::model_snapshot() const {
+  const std::scoped_lock lock(model_mutex_);
+  return model_;
+}
+
+std::uint64_t Server::model_generation() const {
+  const std::scoped_lock lock(model_mutex_);
+  return generation_;
+}
+
+void Server::SetModel(std::shared_ptr<const core::Grafics> model) {
+  Require(model != nullptr && model->is_trained(),
+          "Server::SetModel: requires a trained model");
+  const std::scoped_lock lock(model_mutex_);
+  model_ = std::move(model);
+  ++generation_;
+}
+
+void Server::ReloadFromDisk() {
+  Require(!model_path_.empty(),
+          "Server::ReloadFromDisk: no model path configured");
+  // Load outside the model lock: clients keep being served from the old
+  // snapshot for the whole (expensive) load.
+  auto fresh = std::make_shared<const core::Grafics>(
+      core::Grafics::LoadModel(model_path_));
+  SetModel(std::move(fresh));
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_) return;  // listen socket shut down by Stop
+      // A daemon must outlive transient accept failures: aborted backlog
+      // entries and fd exhaustion are recoverable, so reap (frees fds of
+      // finished connections), back off briefly, and keep accepting.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EMFILE ||
+          errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+        ReapFinished();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      return;  // unrecoverable (EBADF, EINVAL, ...)
+    }
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    SetNoDelay(fd);
+    ++connections_accepted_;
+    ReapFinished();
+    const std::scoped_lock lock(connections_mutex_);
+    connections_.emplace_back();
+    Connection& connection = connections_.back();
+    connection.fd = fd;
+    connection.thread =
+        std::thread([this, &connection] { ServeConnection(connection); });
+  }
+}
+
+void Server::ReapFinished() {
+  const std::scoped_lock lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done.load()) {
+      if (it->thread.joinable()) it->thread.join();
+      ::close(it->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::ServeConnection(Connection& connection) {
+  const int fd = connection.fd;
+  try {
+    for (;;) {
+      const std::optional<std::string> payload =
+          ReceiveFramePayload(fd, config_.max_frame_bytes);
+      if (!payload.has_value()) break;  // peer closed cleanly
+      Message request = DecodePayload(*payload);
+      if (auto* predict = std::get_if<PredictRequest>(&request)) {
+        std::future<std::optional<rf::FloorId>> future =
+            batcher_->Submit(std::move(predict->record));
+        PredictResponse response;
+        try {
+          const std::optional<rf::FloorId> floor = future.get();
+          response.status = floor.has_value() ? PredictStatus::kOk
+                                              : PredictStatus::kDiscarded;
+          response.floor = floor.value_or(0);
+        } catch (const std::exception& e) {
+          response.status = PredictStatus::kError;
+          response.error = e.what();
+        }
+        SendFrame(fd, response);
+      } else if (std::holds_alternative<Ping>(request)) {
+        SendFrame(fd, Pong{model_generation()});
+      } else if (std::holds_alternative<ReloadRequest>(request)) {
+        ReloadResponse response;
+        try {
+          ReloadFromDisk();
+          response.ok = true;
+          response.message = "model reloaded";
+        } catch (const std::exception& e) {
+          response.ok = false;
+          response.message = e.what();
+        }
+        response.model_generation = model_generation();
+        SendFrame(fd, response);
+      } else {
+        throw Error("Server: unexpected message type from client");
+      }
+    }
+  } catch (const std::exception& e) {
+    // Malformed frame or dead peer: best-effort error reply, then hang up.
+    // The daemon itself stays up — protocol errors are per-connection.
+    try {
+      PredictResponse response;
+      response.status = PredictStatus::kError;
+      response.error = e.what();
+      SendFrame(fd, response);
+    } catch (...) {
+    }
+  }
+  // Release the TCP side now; the fd itself is closed after join (by
+  // ReapFinished or Stop) so the descriptor number cannot be recycled while
+  // Stop still holds a reference to it.
+  ::shutdown(fd, SHUT_RDWR);
+  // Reap earlier finishers before announcing our own exit (never
+  // self-joining), so an idle daemon holds at most one finished handler
+  // instead of a whole burst's worth of fds and threads.
+  ReapFinished();
+  connection.done.store(true);
+}
+
+}  // namespace grafics::serve

@@ -1,0 +1,106 @@
+// TCP front-end of the GRAFICS serving engine.
+//
+// One accept-loop thread hands each connection to a lightweight handler
+// thread that only parses frames and blocks on batcher futures — all
+// inference happens in the MicroBatcher's PredictBatch dispatch, so adding
+// connections adds no inference threads. The served model is an atomically
+// swappable std::shared_ptr<const Grafics> snapshot: SetModel (and
+// ReloadFromDisk, reachable via SIGHUP in the daemon or a kReloadRequest
+// frame) installs a new model for future batches while in-flight batches
+// finish on the snapshot they started with.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/grafics.h"
+#include "serve/batcher.h"
+#include "serve/protocol.h"
+
+namespace grafics::serve {
+
+struct ServerConfig {
+  /// Address to bind; loopback by default — expose deliberately.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral port (read it back from
+  /// port() after Start, e.g. for tests and CI).
+  std::uint16_t port = 0;
+  BatcherConfig batcher;
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+};
+
+class Server {
+ public:
+  /// Serves `model` (trained). `model_path`, when non-empty, enables
+  /// ReloadFromDisk / kReloadRequest hot-reload from that artifact.
+  explicit Server(std::shared_ptr<const core::Grafics> model,
+                  ServerConfig config = {}, std::string model_path = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept loop. Throws grafics::Error when
+  /// the address is unusable.
+  void Start();
+  /// Stops accepting, disconnects clients, drains the batcher. Idempotent.
+  void Stop();
+
+  /// Bound port (resolves port 0 after Start).
+  std::uint16_t port() const { return port_; }
+
+  /// Current model snapshot; holders keep it alive across hot reloads.
+  std::shared_ptr<const core::Grafics> model_snapshot() const;
+  /// Monotonic counter starting at 1, bumped by every SetModel.
+  std::uint64_t model_generation() const;
+  /// Atomically installs a new snapshot for future batches.
+  void SetModel(std::shared_ptr<const core::Grafics> model);
+  /// Loads model_path and installs it; the old model keeps serving if the
+  /// load throws. Requires a model_path.
+  void ReloadFromDisk();
+
+  BatcherStats batcher_stats() const { return batcher_->stats(); }
+  std::uint64_t connections_accepted() const {
+    return connections_accepted_.load();
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection& connection);
+  /// Joins, closes, and erases finished connection handlers. Called on
+  /// every accept and by each handler as it finishes (handlers never join
+  /// themselves), so at most one finished handler lingers while idle.
+  void ReapFinished();
+
+  const ServerConfig config_;
+  const std::string model_path_;
+
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const core::Grafics> model_;
+  std::uint64_t generation_ = 1;
+
+  std::unique_ptr<MicroBatcher> batcher_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::atomic<std::uint64_t> connections_accepted_{0};
+
+  std::mutex connections_mutex_;
+  std::list<Connection> connections_;
+  std::thread accept_thread_;
+};
+
+}  // namespace grafics::serve

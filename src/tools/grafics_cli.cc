@@ -4,19 +4,31 @@
 //
 //   grafics train   <dataset.csv> <model.bin> [--labels-per-floor N]
 //   grafics predict <model.bin> <scans.csv> [--threads N]
+//   grafics remote-predict <host:port> <scans.csv>
+//   grafics remote-reload  <host:port>
 //   grafics eval    <dataset.csv> [--labels-per-floor N] [--train-ratio R]
 //   grafics synth   <out.csv> [--preset campus|mall|hk-tower] [--seed S]
 //   grafics stats   <dataset.csv>
 //
+// remote-predict queries a running grafics_served daemon and prints the
+// exact same `index,floor` lines as the in-process predict command, so the
+// two outputs diff clean on the same model (the CI daemon smoke test relies
+// on that).
+//
 // Exit status: 0 on success, 1 on usage error, 2 on runtime failure.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/cli_flags.h"
+#include "common/error.h"
 #include "core/experiment.h"
 #include "core/grafics.h"
 #include "rf/dataset_stats.h"
+#include "serve/client.h"
 #include "synth/presets.h"
 
 namespace {
@@ -29,21 +41,14 @@ int Usage() {
                "  grafics train   <dataset.csv> <model.bin> "
                "[--labels-per-floor N]\n"
                "  grafics predict <model.bin> <scans.csv> [--threads N]\n"
+               "  grafics remote-predict <host:port> <scans.csv>\n"
+               "  grafics remote-reload  <host:port>\n"
                "  grafics eval    <dataset.csv> [--labels-per-floor N] "
                "[--train-ratio R] [--seed S]\n"
                "  grafics synth   <out.csv> [--preset campus|mall|hk-tower] "
                "[--seed S]\n"
                "  grafics stats   <dataset.csv>\n");
   return 1;
-}
-
-/// Returns the value after `flag`, or `fallback` when absent.
-std::string FlagValue(const std::vector<std::string>& args,
-                      const std::string& flag, const std::string& fallback) {
-  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
-    if (args[i] == flag) return args[i + 1];
-  }
-  return fallback;
 }
 
 int CmdTrain(const std::vector<std::string>& args) {
@@ -84,6 +89,48 @@ int CmdPredict(const std::vector<std::string>& args) {
       std::printf("%zu,discarded\n", i);
     }
   }
+  return 0;
+}
+
+/// Splits "host:port" on the last colon. Throws grafics::Error when either
+/// half is missing or the port is not a number in [1, 65535].
+std::pair<std::string, std::uint16_t> ParseHostPort(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  Require(colon != std::string::npos && colon > 0 && colon + 1 < text.size(),
+          "expected host:port, got '" + text + "'");
+  const std::uint64_t port =
+      ParseUnsigned(text.substr(colon + 1), 65535, "port in '" + text + "'");
+  Require(port >= 1, "port out of range in '" + text + "'");
+  return {text.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+int CmdRemotePredict(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  const auto [host, port] = ParseHostPort(args[0]);
+  serve::Client client(host, port);
+  const rf::Dataset scans = rf::Dataset::LoadCsv(args[1], "scans");
+  // Same output contract as CmdPredict: predictions over the wire are
+  // bit-identical to in-process Predict on the same model artifact.
+  std::size_t index = 0;
+  for (const rf::SignalRecord& record : scans.records()) {
+    const auto prediction = client.Predict(record);
+    if (prediction) {
+      std::printf("%zu,%d\n", index, *prediction);
+    } else {
+      std::printf("%zu,discarded\n", index);
+    }
+    ++index;
+  }
+  return 0;
+}
+
+int CmdRemoteReload(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const auto [host, port] = ParseHostPort(args[0]);
+  serve::Client client(host, port);
+  const std::uint64_t generation = client.Reload();
+  std::printf("daemon reloaded its model (generation %llu)\n",
+              static_cast<unsigned long long>(generation));
   return 0;
 }
 
@@ -160,6 +207,8 @@ int main(int argc, char** argv) {
   try {
     if (command == "train") return CmdTrain(args);
     if (command == "predict") return CmdPredict(args);
+    if (command == "remote-predict") return CmdRemotePredict(args);
+    if (command == "remote-reload") return CmdRemoteReload(args);
     if (command == "eval") return CmdEval(args);
     if (command == "synth") return CmdSynth(args);
     if (command == "stats") return CmdStats(args);

@@ -1,0 +1,153 @@
+// grafics_served — the GRAFICS network serving daemon.
+//
+// Loads a SaveModel artifact and answers floor queries over the TCP protocol
+// of serve/protocol.h, coalescing concurrent requests into dynamic
+// micro-batches served through the snapshot-isolated PredictBatch path.
+//
+//   grafics_served <model.bin> [--host A] [--port P] [--max-batch N]
+//                  [--max-delay-ms M] [--threads T] [--port-file F]
+//
+//   --host A          bind address            (default 127.0.0.1)
+//   --port P          TCP port; 0 = ephemeral (default 4817)
+//   --max-batch N     flush a batch at N pending requests (default 64)
+//   --max-delay-ms M  flush after the oldest request waited M ms (default 2)
+//   --threads T       PredictBatch workers per flush; 0 = all cores
+//   --port-file F     write the bound port to F once listening (for
+//                     scripts/CI that start on an ephemeral port)
+//
+// SIGHUP hot-reloads the model artifact from disk: new batches move to the
+// fresh snapshot atomically while in-flight batches finish on the old one.
+// Clients can trigger the same reload remotely (`grafics remote-reload`).
+// SIGINT/SIGTERM drain and exit.
+//
+// Exit status: 0 on clean shutdown, 1 on usage error, 2 on runtime failure.
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli_flags.h"
+#include "common/error.h"
+#include "core/grafics.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace grafics;
+
+volatile std::sig_atomic_t g_reload_requested = 0;
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void OnSignal(int signal_number) {
+  if (signal_number == SIGHUP) {
+    g_reload_requested = 1;
+  } else {
+    g_stop_requested = 1;
+  }
+}
+
+void InstallSignalHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGHUP, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: grafics_served <model.bin> [--host A] [--port P] "
+               "[--max-batch N]\n"
+               "                      [--max-delay-ms M] [--threads T] "
+               "[--port-file F]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') return Usage();
+  const std::string model_path = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    serve::ServerConfig config;
+    config.host = FlagValue(args, "--host", "127.0.0.1");
+    config.port = static_cast<std::uint16_t>(ParseUnsigned(
+        FlagValue(args, "--port", std::to_string(serve::kDefaultPort)), 65535,
+        "--port"));
+    config.batcher.max_batch_size = static_cast<std::size_t>(ParseUnsigned(
+        FlagValue(args, "--max-batch", "64"), 1 << 20, "--max-batch"));
+    config.batcher.max_delay = std::chrono::milliseconds(ParseUnsigned(
+        FlagValue(args, "--max-delay-ms", "2"), 60000, "--max-delay-ms"));
+    config.batcher.predict_threads = static_cast<std::size_t>(ParseUnsigned(
+        FlagValue(args, "--threads", "1"), 4096, "--threads"));
+    const std::string port_file = FlagValue(args, "--port-file", "");
+
+    // Before the (slow) model load: an early SIGHUP must queue a reload,
+    // not kill the process with the default action.
+    InstallSignalHandlers();
+    std::printf("grafics_served: loading %s...\n", model_path.c_str());
+    std::fflush(stdout);
+    auto model = std::make_shared<const core::Grafics>(
+        core::Grafics::LoadModel(model_path));
+    serve::Server server(std::move(model), config, model_path);
+    server.Start();
+    std::printf("grafics_served: serving %s on %s:%u (pid %d)\n",
+                model_path.c_str(), config.host.c_str(),
+                static_cast<unsigned>(server.port()),
+                static_cast<int>(::getpid()));
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      std::FILE* f = std::fopen(port_file.c_str(), "w");
+      Require(f != nullptr, "cannot write port file " + port_file);
+      std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+      std::fclose(f);
+    }
+
+    std::uint64_t reloads = 0;
+    while (g_stop_requested == 0) {
+      if (g_reload_requested != 0) {
+        g_reload_requested = 0;
+        try {
+          server.ReloadFromDisk();
+          ++reloads;
+          std::printf("grafics_served: reloaded %s (generation %llu)\n",
+                      model_path.c_str(),
+                      static_cast<unsigned long long>(
+                          server.model_generation()));
+        } catch (const std::exception& e) {
+          // Keep serving the old snapshot; a broken artifact on disk must
+          // not take the daemon down.
+          std::fprintf(stderr, "grafics_served: reload failed: %s\n",
+                       e.what());
+        }
+        std::fflush(stdout);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    server.Stop();
+    const serve::BatcherStats stats = server.batcher_stats();
+    std::printf(
+        "grafics_served: shut down after %llu connection(s), %llu "
+        "request(s) in %llu batch(es) (largest %llu), %llu reload(s)\n",
+        static_cast<unsigned long long>(server.connections_accepted()),
+        static_cast<unsigned long long>(stats.requests),
+        static_cast<unsigned long long>(stats.batches),
+        static_cast<unsigned long long>(stats.max_batch),
+        static_cast<unsigned long long>(reloads));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "grafics_served: error: %s\n", e.what());
+    return 2;
+  }
+}

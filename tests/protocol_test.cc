@@ -1,0 +1,206 @@
+// Tests for the serving wire protocol: round-trips for every message type,
+// and rejection (grafics::Error, never a crash) of truncated, garbage,
+// oversized, and trailing-byte frames — including over a real socket pair.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "common/serialize.h"
+#include "serve/protocol.h"
+
+namespace grafics::serve {
+namespace {
+
+rf::SignalRecord MakeRecord(std::optional<rf::FloorId> floor = std::nullopt) {
+  rf::SignalRecord record;
+  record.Add(rf::MacAddress(0xAABBCCDDEEFF), -48.5);
+  record.Add(rf::MacAddress(0x112233445566), -73.25);
+  record.set_floor(floor);
+  return record;
+}
+
+TEST(SignalRecordWireTest, RoundTripsLabeledUnlabeledAndEmpty) {
+  for (const rf::SignalRecord& record :
+       {MakeRecord(), MakeRecord(4), MakeRecord(-2), rf::SignalRecord()}) {
+    std::stringstream stream;
+    WriteSignalRecord(stream, record);
+    EXPECT_EQ(ReadSignalRecord(stream), record);
+  }
+}
+
+TEST(SignalRecordWireTest, RejectsOutOfRangeMacBits) {
+  std::stringstream stream;
+  WriteU64(stream, 1);                     // one observation
+  WriteU64(stream, 0x1FFFFFFFFFFFFFULL);   // 53 bits: not a MAC
+  WriteDouble(stream, -50.0);
+  WriteOptionalI32(stream, std::nullopt);
+  EXPECT_THROW(ReadSignalRecord(stream), Error);
+}
+
+TEST(SignalRecordWireTest, RejectsDuplicateMacs) {
+  std::stringstream stream;
+  WriteU64(stream, 2);
+  for (int i = 0; i < 2; ++i) {
+    WriteU64(stream, 0xAABBCCDDEEFF);
+    WriteDouble(stream, -50.0);
+  }
+  WriteOptionalI32(stream, std::nullopt);
+  EXPECT_THROW(ReadSignalRecord(stream), Error);
+}
+
+TEST(SignalRecordWireTest, RejectsUnreasonableObservationCount) {
+  std::stringstream stream;
+  WriteU64(stream, kMaxObservations + 1);
+  EXPECT_THROW(ReadSignalRecord(stream), Error);
+}
+
+std::vector<Message> AllMessageTypes() {
+  PredictResponse ok;
+  ok.status = PredictStatus::kOk;
+  ok.floor = -3;
+  PredictResponse error;
+  error.status = PredictStatus::kError;
+  error.error = "model not trained";
+  ReloadResponse reloaded;
+  reloaded.ok = true;
+  reloaded.model_generation = 3;
+  reloaded.message = "model reloaded";
+  std::vector<Message> messages;
+  messages.push_back(PredictRequest{MakeRecord(7)});
+  messages.push_back(ok);
+  messages.push_back(error);
+  messages.push_back(Ping{});
+  messages.push_back(Pong{42});
+  messages.push_back(ReloadRequest{});
+  messages.push_back(reloaded);
+  return messages;
+}
+
+TEST(ProtocolTest, EveryMessageTypeRoundTrips) {
+  for (const Message& message : AllMessageTypes()) {
+    EXPECT_EQ(DecodePayload(EncodePayload(message)), message);
+  }
+}
+
+TEST(ProtocolTest, FrameIsLengthPrefixedPayload) {
+  const Message message = Ping{};
+  const std::string payload = EncodePayload(message);
+  const std::string frame = EncodeFrame(message);
+  ASSERT_EQ(frame.size(), payload.size() + 4);
+  std::uint32_t length = 0;
+  std::memcpy(&length, frame.data(), sizeof(length));
+  EXPECT_EQ(length, payload.size());
+  EXPECT_EQ(frame.substr(4), payload);
+}
+
+TEST(ProtocolTest, EveryTruncationIsRejectedNotCrashing) {
+  const std::string payload = EncodePayload(PredictRequest{MakeRecord(2)});
+  for (std::size_t keep = 0; keep < payload.size(); ++keep) {
+    EXPECT_THROW(DecodePayload(payload.substr(0, keep)), Error)
+        << "prefix of " << keep << " bytes";
+  }
+}
+
+TEST(ProtocolTest, RejectsGarbageMagic) {
+  std::string payload = EncodePayload(Ping{});
+  payload[0] = 'X';
+  EXPECT_THROW(DecodePayload(payload), Error);
+}
+
+TEST(ProtocolTest, RejectsWrongVersion) {
+  std::ostringstream out;
+  WriteHeader(out, kFrameMagic, kProtocolVersion + 1);
+  WriteU8(out, 3);  // Ping
+  EXPECT_THROW(DecodePayload(std::move(out).str()), Error);
+}
+
+TEST(ProtocolTest, RejectsUnknownMessageType) {
+  std::ostringstream out;
+  WriteHeader(out, kFrameMagic, kProtocolVersion);
+  WriteU8(out, 250);
+  EXPECT_THROW(DecodePayload(std::move(out).str()), Error);
+}
+
+TEST(ProtocolTest, RejectsTrailingBytes) {
+  std::string payload = EncodePayload(Ping{});
+  payload.push_back('\0');
+  EXPECT_THROW(DecodePayload(payload), Error);
+}
+
+/// Loopback socket pair for exercising the fd framing helpers.
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() {
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  }
+  ~SocketPair() {
+    for (const int fd : fds) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+  void CloseWriter() {
+    ::close(fds[0]);
+    fds[0] = -1;
+  }
+};
+
+TEST(FramingTest, SendReceiveRoundTripsOverSocket) {
+  SocketPair pair;
+  for (const Message& message : AllMessageTypes()) {
+    SendFrame(pair.fds[0], message);
+    const std::optional<Message> received = ReceiveFrame(pair.fds[1]);
+    ASSERT_TRUE(received.has_value());
+    EXPECT_EQ(*received, message);
+  }
+}
+
+TEST(FramingTest, CleanCloseIsEndOfStreamNotError) {
+  SocketPair pair;
+  SendFrame(pair.fds[0], Ping{});
+  pair.CloseWriter();
+  EXPECT_TRUE(ReceiveFrame(pair.fds[1]).has_value());
+  EXPECT_FALSE(ReceiveFramePayload(pair.fds[1]).has_value());
+}
+
+TEST(FramingTest, TruncatedFrameThrows) {
+  {
+    SocketPair pair;  // peer dies inside the length prefix
+    const char partial[2] = {0x10, 0x00};
+    ASSERT_EQ(::send(pair.fds[0], partial, sizeof(partial), 0),
+              static_cast<ssize_t>(sizeof(partial)));
+    pair.CloseWriter();
+    EXPECT_THROW(ReceiveFramePayload(pair.fds[1]), Error);
+  }
+  {
+    SocketPair pair;  // peer dies inside the payload
+    const std::string frame = EncodeFrame(PredictRequest{MakeRecord()});
+    ASSERT_EQ(::send(pair.fds[0], frame.data(), frame.size() - 3, 0),
+              static_cast<ssize_t>(frame.size() - 3));
+    pair.CloseWriter();
+    EXPECT_THROW(ReceiveFramePayload(pair.fds[1]), Error);
+  }
+}
+
+TEST(FramingTest, OversizedDeclaredLengthRejectedBeforeAllocation) {
+  SocketPair pair;
+  const std::uint32_t huge = 0x7FFFFFFF;
+  ASSERT_EQ(::send(pair.fds[0], &huge, sizeof(huge), 0),
+            static_cast<ssize_t>(sizeof(huge)));
+  EXPECT_THROW(ReceiveFramePayload(pair.fds[1]), Error);
+}
+
+TEST(FramingTest, RespectsCustomFrameLimit) {
+  SocketPair pair;
+  SendFrame(pair.fds[0], PredictRequest{MakeRecord()});
+  EXPECT_THROW(ReceiveFramePayload(pair.fds[1], /*max_bytes=*/4), Error);
+}
+
+}  // namespace
+}  // namespace grafics::serve

@@ -1,0 +1,347 @@
+// Tests for the serving daemon internals: micro-batch coalescing, the TCP
+// server/client loop against the in-process reference, and model hot-reload
+// — including a reload racing an in-flight batch, which is what the CI
+// ThreadSanitizer job is there to check.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/grafics.h"
+#include "serve/batcher.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "synth/presets.h"
+
+namespace grafics::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::GraficsConfig FastConfig(std::uint64_t trainer_seed) {
+  core::GraficsConfig config;
+  config.trainer.samples_per_edge = 60;
+  config.trainer.seed = trainer_seed;
+  config.online_refine_iterations = 300;
+  return config;
+}
+
+/// Small trained model over the campus building plus held-out queries and
+/// the in-process reference predictions every networked path must match.
+struct Fixture {
+  std::shared_ptr<const core::Grafics> model;
+  std::vector<rf::SignalRecord> queries;
+  std::vector<std::optional<rf::FloorId>> reference;
+
+  explicit Fixture(std::uint64_t trainer_seed) {
+    auto config = synth::CampusBuildingConfig(/*seed=*/53, 60);
+    auto sim = config.MakeSimulator();
+    rf::Dataset dataset = sim.GenerateDataset();
+    Rng rng(54);
+    auto [train, test] = dataset.TrainTestSplit(0.7, rng);
+    train.KeepLabelsPerFloor(4, rng);
+    core::Grafics system(FastConfig(trainer_seed));
+    system.Train(train.records());
+    queries.assign(test.records().begin(), test.records().end());
+    reference = system.PredictBatch(queries, {.num_threads = 1});
+    model = std::make_shared<const core::Grafics>(std::move(system));
+  }
+};
+
+/// Two models trained on the SAME building with different trainer seeds:
+/// both answer the same queries, so swapping between them mid-flight always
+/// yields one of two valid reference answers.
+const Fixture& ModelA() {
+  static const Fixture fixture(1);
+  return fixture;
+}
+
+const Fixture& ModelB() {
+  static const Fixture fixture(2);
+  return fixture;
+}
+
+MicroBatcher::SnapshotFn SnapshotOf(const Fixture& fixture) {
+  return [&fixture] { return fixture.model; };
+}
+
+std::optional<rf::FloorId> GetWithin(
+    std::future<std::optional<rf::FloorId>>& future,
+    std::chrono::seconds timeout = 30s) {
+  if (future.wait_for(timeout) != std::future_status::ready) {
+    ADD_FAILURE() << "batcher future not ready within " << timeout.count()
+                  << "s";
+    return std::nullopt;
+  }
+  return future.get();
+}
+
+TEST(MicroBatcherTest, FlushesWhenBatchFills) {
+  const Fixture& f = ModelA();
+  BatcherConfig config;
+  config.max_batch_size = 4;
+  config.max_delay = 60s;  // flushing must come from the size trigger
+  MicroBatcher batcher(config, SnapshotOf(f));
+  std::vector<std::future<std::optional<rf::FloorId>>> futures;
+  for (std::size_t i = 0; i < 4; ++i) {
+    futures.push_back(batcher.Submit(f.queries[i]));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(GetWithin(futures[i]), f.reference[i]) << i;
+  }
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.max_batch, 4u);
+}
+
+TEST(MicroBatcherTest, FlushesOnDelayWhenBatchStaysSmall) {
+  const Fixture& f = ModelA();
+  BatcherConfig config;
+  config.max_batch_size = 100;
+  config.max_delay = 20ms;
+  MicroBatcher batcher(config, SnapshotOf(f));
+  std::vector<std::future<std::optional<rf::FloorId>>> futures;
+  for (std::size_t i = 0; i < 3; ++i) {
+    futures.push_back(batcher.Submit(f.queries[i]));
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(GetWithin(futures[i]), f.reference[i]) << i;
+  }
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(MicroBatcherTest, StopDrainsPendingRequests) {
+  const Fixture& f = ModelA();
+  BatcherConfig config;
+  config.max_batch_size = 100;
+  config.max_delay = 60s;  // only Stop() can trigger the flush
+  MicroBatcher batcher(config, SnapshotOf(f));
+  auto first = batcher.Submit(f.queries[0]);
+  auto second = batcher.Submit(f.queries[1]);
+  batcher.Stop();
+  EXPECT_EQ(GetWithin(first), f.reference[0]);
+  EXPECT_EQ(GetWithin(second), f.reference[1]);
+  EXPECT_THROW(batcher.Submit(f.queries[2]), Error);
+}
+
+TEST(MicroBatcherTest, ParallelDispatchMatchesReference) {
+  const Fixture& f = ModelA();
+  BatcherConfig config;
+  config.max_batch_size = 8;
+  config.max_delay = 5ms;
+  config.predict_threads = 3;  // PredictBatch fan-out inside each flush
+  MicroBatcher batcher(config, SnapshotOf(f));
+  const std::size_t n = std::min<std::size_t>(f.queries.size(), 24);
+  std::vector<std::future<std::optional<rf::FloorId>>> futures;
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(batcher.Submit(f.queries[i]));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(GetWithin(futures[i]), f.reference[i]) << i;
+  }
+}
+
+TEST(MicroBatcherTest, SurfacesSnapshotFailureThroughFutures) {
+  BatcherConfig config;
+  config.max_delay = 1ms;
+  MicroBatcher batcher(config, [] { return MicroBatcher::Snapshot(); });
+  auto future = batcher.Submit(ModelA().queries[0]);
+  ASSERT_EQ(future.wait_for(30s), std::future_status::ready);
+  EXPECT_THROW(future.get(), Error);
+}
+
+ServerConfig QuickServerConfig() {
+  ServerConfig config;
+  config.port = 0;  // ephemeral: tests must not collide on a fixed port
+  config.batcher.max_batch_size = 8;
+  config.batcher.max_delay = 2ms;
+  return config;
+}
+
+TEST(ServerTest, ServesPredictionsIdenticalToInProcess) {
+  const Fixture& f = ModelA();
+  Server server(f.model, QuickServerConfig());
+  server.Start();
+  Client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.Ping(), 1u);
+  const std::size_t n = std::min<std::size_t>(f.queries.size(), 12);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(client.Predict(f.queries[i]), f.reference[i]) << i;
+  }
+  server.Stop();
+  EXPECT_EQ(server.batcher_stats().requests, n);
+}
+
+TEST(ServerTest, CoalescesConcurrentConnections) {
+  const Fixture& f = ModelA();
+  ServerConfig config = QuickServerConfig();
+  config.batcher.max_delay = 20ms;  // wide window so clients coalesce
+  Server server(f.model, config);
+  server.Start();
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 6;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client("127.0.0.1", server.port());
+      for (std::size_t k = 0; k < kPerClient; ++k) {
+        const std::size_t i = (c * kPerClient + k) % f.queries.size();
+        if (client.Predict(f.queries[i]) != f.reference[i]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  server.Stop();
+  EXPECT_EQ(mismatches.load(), 0u);
+  const BatcherStats stats = server.batcher_stats();
+  EXPECT_EQ(stats.requests, kClients * kPerClient);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(ServerTest, HotReloadSwapsSnapshotBetweenRequests) {
+  const Fixture& a = ModelA();
+  const Fixture& b = ModelB();
+  Server server(a.model, QuickServerConfig());
+  server.Start();
+  Client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.Ping(), 1u);
+  EXPECT_EQ(client.Predict(a.queries[0]), a.reference[0]);
+
+  server.SetModel(b.model);
+  EXPECT_EQ(client.Ping(), 2u);
+  const std::size_t n = std::min<std::size_t>(b.queries.size(), 6);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(client.Predict(b.queries[i]), b.reference[i]) << i;
+  }
+  server.Stop();
+}
+
+TEST(ServerTest, HotReloadWhileBatchInFlightServesOldOrNewSnapshot) {
+  const Fixture& a = ModelA();
+  const Fixture& b = ModelB();
+  Server server(a.model, QuickServerConfig());
+  server.Start();
+  const std::size_t n = std::min<std::size_t>(a.queries.size(), 20);
+  std::atomic<std::size_t> invalid{0};
+  std::thread querier([&] {
+    Client client("127.0.0.1", server.port());
+    for (std::size_t i = 0; i < n; ++i) {
+      // Every answer must equal one of the two snapshots' references: a
+      // batch caught mid-reload finishes on the snapshot it started with.
+      const auto prediction = client.Predict(a.queries[i]);
+      if (prediction != a.reference[i] && prediction != b.reference[i]) {
+        ++invalid;
+      }
+    }
+  });
+  for (int swap = 0; swap < 6; ++swap) {
+    server.SetModel(swap % 2 == 0 ? b.model : a.model);
+    std::this_thread::sleep_for(2ms);
+  }
+  querier.join();
+  server.Stop();
+  EXPECT_EQ(invalid.load(), 0u);
+  EXPECT_EQ(server.model_generation(), 7u);
+}
+
+TEST(ServerTest, ReloadRequestReloadsFromDisk) {
+  const Fixture& a = ModelA();
+  const Fixture& b = ModelB();
+  const std::string path = testing::TempDir() + "serve_test_model.bin";
+  a.model->SaveModel(path);
+  auto initial = std::make_shared<const core::Grafics>(
+      core::Grafics::LoadModel(path));
+  Server server(std::move(initial), QuickServerConfig(), path);
+  server.Start();
+  Client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.Predict(a.queries[0]), a.reference[0]);
+
+  // Swap the artifact on disk, then reload over the wire: the daemon must
+  // pick up model B without dropping the connection.
+  b.model->SaveModel(path);
+  EXPECT_EQ(client.Reload(), 2u);
+  const std::size_t n = std::min<std::size_t>(b.queries.size(), 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(client.Predict(b.queries[i]), b.reference[i]) << i;
+  }
+  server.Stop();
+}
+
+TEST(ServerTest, ReloadRequestWithoutModelPathFailsSoftly) {
+  const Fixture& f = ModelA();
+  Server server(f.model, QuickServerConfig());  // no model path
+  server.Start();
+  Client client("127.0.0.1", server.port());
+  EXPECT_THROW(client.Reload(), Error);
+  // The refusal must not poison the connection or the daemon.
+  EXPECT_EQ(client.Ping(), 1u);
+  EXPECT_EQ(client.Predict(f.queries[0]), f.reference[0]);
+  server.Stop();
+}
+
+int ConnectRaw(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr), 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)),
+      0);
+  return fd;
+}
+
+TEST(ServerTest, GarbageFrameGetsErrorReplyAndServerSurvives) {
+  const Fixture& f = ModelA();
+  Server server(f.model, QuickServerConfig());
+  server.Start();
+
+  const int fd = ConnectRaw(server.port());
+  const std::string garbage = "BAD!magic-and-no-version";
+  const auto length = static_cast<std::uint32_t>(garbage.size());
+  ASSERT_EQ(::send(fd, &length, sizeof(length), 0),
+            static_cast<ssize_t>(sizeof(length)));
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+  // The server answers with a kError predict response, then hangs up.
+  const std::optional<Message> reply = ReceiveFrame(fd);
+  ASSERT_TRUE(reply.has_value());
+  const auto* response = std::get_if<PredictResponse>(&*reply);
+  ASSERT_NE(response, nullptr);
+  EXPECT_EQ(response->status, PredictStatus::kError);
+  EXPECT_FALSE(ReceiveFramePayload(fd).has_value());
+  ::close(fd);
+
+  // Protocol errors are per-connection: a fresh client still gets served.
+  Client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.Predict(f.queries[0]), f.reference[0]);
+  server.Stop();
+}
+
+TEST(ServerTest, StopIsIdempotentAndRestartForbidden) {
+  const Fixture& f = ModelA();
+  Server server(f.model, QuickServerConfig());
+  server.Start();
+  EXPECT_THROW(server.Start(), Error);
+  server.Stop();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace grafics::serve
