@@ -1,16 +1,21 @@
 // End-to-end QPS of the network serving daemon.
 //
-// Trains GRAFICS on the campus preset, starts an in-process serve::Server on
-// an ephemeral loopback port, and hammers it with concurrent blocking
-// clients. Before reporting anything the harness verifies every networked
-// prediction bit-matches the in-process PredictBatch reference — the wire
-// path must not change a single answer. Reports QPS per connection count
-// plus micro-batch coalescing stats, and writes BENCH_serve_daemon_qps.json
+// Trains one GRAFICS model per --model name (campus-preset buildings with
+// per-model seeds), loads them all into one serve::ModelRegistry behind an
+// in-process serve::Server on an ephemeral loopback port, and hammers each
+// named model with concurrent blocking clients. Before reporting anything
+// the harness verifies every networked prediction bit-matches that model's
+// in-process PredictBatch reference — the wire path must not change a
+// single answer, and routing must never cross models. Reports QPS per
+// (model, connection count) plus micro-batch coalescing stats and one
+// batched-frame (protocol v2 PredictBatch) round-trip measurement per
+// model, and writes a BENCH_serve_daemon_qps_<model>.json sidecar per model
 // for the CI perf-trajectory artifact.
 //
 // Run:  ./build/bench/serve_daemon_qps
 //       ./build/bench/serve_daemon_qps --records-per-floor 200 --queries 80 \
-//           --connections 1,4 --max-batch 32 --max-delay-ms 2
+//           --connections 1,4 --max-batch 32 --max-delay-ms 2 \
+//           --model campus --model annex
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +29,7 @@
 #include "core/grafics.h"
 #include "rf/dataset.h"
 #include "serve/client.h"
+#include "serve/model_registry.h"
 #include "serve/server.h"
 #include "synth/presets.h"
 
@@ -38,6 +44,7 @@ struct Args {
   std::size_t max_batch = 32;
   unsigned max_delay_ms = 2;
   std::vector<std::size_t> connections = {1, 2, 4};
+  std::vector<std::string> models = {"campus"};
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -61,16 +68,32 @@ Args ParseArgs(int argc, char** argv) {
         list.substr(begin, end - begin), 1024, "--connections")));
     begin = end + 1;
   }
+  const std::vector<std::string> models = FlagValues(raw, "--model");
+  if (!models.empty()) args.models = models;
+  for (std::size_t i = 0; i < args.models.size(); ++i) {
+    for (std::size_t j = i + 1; j < args.models.size(); ++j) {
+      Require(args.models[i] != args.models[j],
+              "--model names must be unique, got '" + args.models[i] +
+                  "' twice");
+    }
+  }
   return args;
 }
 
-}  // namespace
+/// One named model: its own campus-preset building (per-model seed), its
+/// queries, and the in-process reference every networked answer must match.
+struct BenchModel {
+  std::string name;
+  std::vector<rf::SignalRecord> queries;
+  std::vector<std::optional<rf::FloorId>> reference;
+  double train_seconds = 0;
+};
 
-int main(int argc, char** argv) {
-  const Args args = ParseArgs(argc, argv);
-
-  auto building = synth::CampusBuildingConfig(/*seed=*/29,
-                                              args.records_per_floor);
+BenchModel TrainModel(const std::string& name, std::uint64_t seed,
+                      const Args& args, serve::ModelRegistry& registry) {
+  BenchModel bench;
+  bench.name = name;
+  auto building = synth::CampusBuildingConfig(seed, args.records_per_floor);
   auto sim = building.MakeSimulator();
   rf::Dataset dataset = sim.GenerateDataset();
   Rng rng(5);
@@ -78,91 +101,160 @@ int main(int argc, char** argv) {
   train.KeepLabelsPerFloor(6, rng);
   const std::size_t num_queries =
       std::min<std::size_t>(test.size(), args.queries);
-  const std::vector<rf::SignalRecord> queries(
-      test.records().begin(), test.records().begin() + num_queries);
-
-  std::printf("== serve_daemon_qps: TCP daemon with micro-batching ==\n");
-  std::printf("   campus preset: %zu train records, %zu queries, "
-              "max-batch %zu, max-delay %ums\n",
-              train.size(), queries.size(), args.max_batch,
-              args.max_delay_ms);
+  bench.queries.assign(test.records().begin(),
+                       test.records().begin() + num_queries);
 
   core::GraficsConfig model_config;
   model_config.trainer.samples_per_edge = 60;
   core::Grafics system(model_config);
   const auto train_start = Clock::now();
   system.Train(train.records());
-  const double train_seconds =
+  bench.train_seconds =
       std::chrono::duration<double>(Clock::now() - train_start).count();
-  const std::vector<std::optional<rf::FloorId>> reference =
-      system.PredictBatch(queries, {.num_threads = 1});
-  std::printf("   trained in %.2fs\n\n", train_seconds);
+  bench.reference = system.PredictBatch(bench.queries, {.num_threads = 1});
+  registry.Load(name,
+                std::make_shared<const core::Grafics>(std::move(system)));
+  std::printf("   model %-12s %zu train records, %zu queries, trained in "
+              "%.2fs\n",
+              name.c_str(), train.size(), bench.queries.size(),
+              bench.train_seconds);
+  return bench;
+}
+
+/// One model's cumulative (requests, batches) from the registry stats.
+std::pair<std::uint64_t, std::uint64_t> ModelCounters(
+    const serve::ModelRegistry& registry, const std::string& name) {
+  for (const serve::ModelStats& stats : registry.Stats()) {
+    if (stats.name == name) return {stats.requests, stats.batches};
+  }
+  return {0, 0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  try {
+    args = ParseArgs(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_daemon_qps: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("== serve_daemon_qps: TCP daemon, %zu named model(s), "
+              "micro-batching ==\n",
+              args.models.size());
+  std::printf("   campus preset per model, max-batch %zu, max-delay %ums\n",
+              args.max_batch, args.max_delay_ms);
+
+  serve::BatcherConfig batcher;
+  batcher.max_batch_size = args.max_batch;
+  batcher.max_delay = std::chrono::milliseconds(args.max_delay_ms);
+  batcher.predict_threads = 0;  // one shared pool, all cores
+  auto registry = std::make_shared<serve::ModelRegistry>(batcher);
+
+  std::vector<BenchModel> models;
+  models.reserve(args.models.size());
+  for (std::size_t m = 0; m < args.models.size(); ++m) {
+    models.push_back(
+        TrainModel(args.models[m], /*seed=*/29 + m * 101, args, *registry));
+  }
+  std::printf("\n");
 
   serve::ServerConfig server_config;
   server_config.port = 0;  // ephemeral
-  server_config.batcher.max_batch_size = args.max_batch;
-  server_config.batcher.max_delay =
-      std::chrono::milliseconds(args.max_delay_ms);
-  server_config.batcher.predict_threads = 0;  // all cores per flush
-  serve::Server server(
-      std::make_shared<const core::Grafics>(std::move(system)),
-      server_config);
+  serve::Server server(registry, server_config);
   server.Start();
 
-  bench::BenchReport report("serve_daemon_qps");
-  report.Add("train_seconds", train_seconds);
-  report.Add("queries", static_cast<double>(queries.size()));
-
-  std::printf("%12s %12s %12s %10s %12s\n", "connections", "seconds",
-              "queries/s", "batches", "mean batch");
   bool all_match = true;
-  serve::BatcherStats before = server.batcher_stats();
-  for (const std::size_t connections : args.connections) {
-    std::vector<std::vector<std::optional<rf::FloorId>>> results(
-        connections, std::vector<std::optional<rf::FloorId>>(queries.size()));
-    // char, not bool: each connection thread writes its own slot.
-    std::vector<char> failed(connections, 0);
-    const auto start = Clock::now();
-    std::vector<std::thread> workers;
-    workers.reserve(connections);
-    for (std::size_t c = 0; c < connections; ++c) {
-      workers.emplace_back([&, c] {
-        try {
-          serve::Client client("127.0.0.1", server.port());
-          // Strided split: connection c serves queries c, c+C, c+2C, ...
-          for (std::size_t i = c; i < queries.size(); i += connections) {
-            results[c][i] = client.Predict(queries[i]);
+  // Written only after the correctness gate below: no perf sidecars from a
+  // run whose answers were wrong.
+  std::vector<bench::BenchReport> reports;
+  reports.reserve(models.size());
+  std::printf("%12s %12s %12s %12s %10s %12s\n", "model", "connections",
+              "seconds", "queries/s", "batches", "mean batch");
+  for (const BenchModel& model : models) {
+    bench::BenchReport report("serve_daemon_qps_" + model.name);
+    report.Add("train_seconds", model.train_seconds);
+    report.Add("queries", static_cast<double>(model.queries.size()));
+
+    auto [seen_requests, seen_batches] = ModelCounters(*registry, model.name);
+    for (const std::size_t connections : args.connections) {
+      std::vector<std::vector<std::optional<rf::FloorId>>> results(
+          connections,
+          std::vector<std::optional<rf::FloorId>>(model.queries.size()));
+      // char, not bool: each connection thread writes its own slot.
+      std::vector<char> failed(connections, 0);
+      const auto start = Clock::now();
+      std::vector<std::thread> workers;
+      workers.reserve(connections);
+      for (std::size_t c = 0; c < connections; ++c) {
+        workers.emplace_back([&, c] {
+          try {
+            serve::Client client("127.0.0.1", server.port());
+            // Strided split: connection c serves queries c, c+C, c+2C, ...
+            for (std::size_t i = c; i < model.queries.size();
+                 i += connections) {
+              results[c][i] = client.Predict(model.queries[i], model.name);
+            }
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "connection %zu failed: %s\n", c, e.what());
+            failed[c] = 1;
           }
-        } catch (const std::exception& e) {
-          std::fprintf(stderr, "connection %zu failed: %s\n", c, e.what());
-          failed[c] = 1;
-        }
-      });
-    }
-    for (std::thread& worker : workers) worker.join();
-    const double seconds =
-        std::chrono::duration<double>(Clock::now() - start).count();
-    for (std::size_t c = 0; c < connections; ++c) {
-      if (failed[c] != 0) all_match = false;
-      for (std::size_t i = c; i < queries.size(); i += connections) {
-        if (results[c][i] != reference[i]) all_match = false;
+        });
       }
+      for (std::thread& worker : workers) worker.join();
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      for (std::size_t c = 0; c < connections; ++c) {
+        if (failed[c] != 0) all_match = false;
+        for (std::size_t i = c; i < model.queries.size(); i += connections) {
+          if (results[c][i] != model.reference[i]) all_match = false;
+        }
+      }
+      const auto [total_requests, total_batches] =
+          ModelCounters(*registry, model.name);
+      const std::uint64_t requests = total_requests - seen_requests;
+      const std::uint64_t batches = total_batches - seen_batches;
+      seen_requests = total_requests;
+      seen_batches = total_batches;
+      const double qps =
+          static_cast<double>(model.queries.size()) / seconds;
+      const double mean_batch =
+          batches == 0 ? 0.0
+                       : static_cast<double>(requests) /
+                             static_cast<double>(batches);
+      std::printf("%12s %12zu %12.3f %12.1f %10llu %12.2f\n",
+                  model.name.c_str(), connections, seconds, qps,
+                  static_cast<unsigned long long>(batches), mean_batch);
+      report.Add("qps_c" + std::to_string(connections), qps);
+      report.Add("mean_batch_c" + std::to_string(connections), mean_batch);
     }
-    const serve::BatcherStats after = server.batcher_stats();
-    const std::uint64_t batches = after.batches - before.batches;
-    const std::uint64_t requests = after.requests - before.requests;
-    before = after;
-    const double qps = static_cast<double>(queries.size()) / seconds;
-    const double mean_batch =
-        batches == 0 ? 0.0
-                     : static_cast<double>(requests) /
-                           static_cast<double>(batches);
-    std::printf("%12zu %12.3f %12.1f %10llu %12.2f\n", connections, seconds,
-                qps, static_cast<unsigned long long>(batches), mean_batch);
-    report.Add("qps_c" + std::to_string(connections), qps);
-    report.Add("mean_batch_c" + std::to_string(connections), mean_batch);
+
+    // Protocol v2 batched predict: the whole query set in kMaxBatchRecords
+    // frames over one connection — one RTT per frame instead of per scan.
+    try {
+      serve::Client client("127.0.0.1", server.port());
+      const auto start = Clock::now();
+      const auto batched = client.PredictBatch(model.queries, model.name);
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      for (std::size_t i = 0; i < batched.size(); ++i) {
+        if (batched[i] != model.reference[i]) all_match = false;
+      }
+      const double qps =
+          static_cast<double>(model.queries.size()) / seconds;
+      std::printf("%12s %12s %12.3f %12.1f %10s %12s\n", model.name.c_str(),
+                  "batched", seconds, qps, "-", "-");
+      report.Add("qps_batched", qps);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "batched predict failed: %s\n", e.what());
+      all_match = false;
+    }
+    reports.push_back(std::move(report));
   }
   server.Stop();
+  registry->Stop();
 
   if (!all_match) {
     std::fprintf(stderr,
@@ -170,8 +262,8 @@ int main(int argc, char** argv) {
                  "PredictBatch\n");
     return 1;
   }
-  std::printf("\nall networked predictions bit-matched the in-process "
-              "reference\n");
-  report.WriteJson();
+  std::printf("\nall networked predictions bit-matched their model's "
+              "in-process reference\n");
+  for (const bench::BenchReport& report : reports) report.WriteJson();
   return 0;
 }

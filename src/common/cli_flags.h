@@ -20,6 +20,21 @@ inline std::string FlagValue(const std::vector<std::string>& args,
   return fallback;
 }
 
+/// Returns every value of a repeatable `flag`, in order (e.g.
+/// `--model mall=mall.bin --model campus=campus.bin`). A trailing flag with
+/// no value is an error — silently dropping it would, say, start a daemon
+/// minus one building.
+inline std::vector<std::string> FlagValues(
+    const std::vector<std::string>& args, const std::string& flag) {
+  std::vector<std::string> values;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    Require(i + 1 < args.size(), flag + ": missing value");
+    values.push_back(args[i + 1]);
+  }
+  return values;
+}
+
 /// Parses a decimal unsigned integer, rejecting sign markers, trailing
 /// junk ("80abc"), and values above `max_value` — std::stoul would accept
 /// the first two and silently truncate on narrowing casts.

@@ -92,13 +92,17 @@ void WriteHeader(std::ostream& out, const char magic[4],
 
 void CheckHeader(std::istream& in, const char magic[4],
                  std::uint32_t expected_version) {
+  const std::uint32_t version = ReadHeader(in, magic);
+  Require(version == expected_version,
+          "serialize: unsupported format version " + std::to_string(version));
+}
+
+std::uint32_t ReadHeader(std::istream& in, const char magic[4]) {
   char actual[4] = {};
   in.read(actual, 4);
   Require(in.good() && std::memcmp(actual, magic, 4) == 0,
           "serialize: bad magic (wrong file type?)");
-  const std::uint32_t version = ReadU32(in);
-  Require(version == expected_version,
-          "serialize: unsupported format version " + std::to_string(version));
+  return ReadU32(in);
 }
 
 }  // namespace grafics

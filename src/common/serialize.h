@@ -44,5 +44,9 @@ void WriteHeader(std::ostream& out, const char magic[4],
 /// Throws grafics::Error on magic or version mismatch.
 void CheckHeader(std::istream& in, const char magic[4],
                  std::uint32_t expected_version);
+/// Reads a magic + version header, throwing only on magic mismatch and
+/// returning the version — for formats that decode a range of versions
+/// (e.g. the serve wire protocol) instead of exactly one.
+std::uint32_t ReadHeader(std::istream& in, const char magic[4]);
 
 }  // namespace grafics

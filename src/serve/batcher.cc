@@ -8,12 +8,16 @@
 
 namespace grafics::serve {
 
-MicroBatcher::MicroBatcher(BatcherConfig config, SnapshotFn snapshot)
+MicroBatcher::MicroBatcher(BatcherConfig config, SnapshotFn snapshot,
+                           ThreadPool* shared_pool)
     : config_(config), snapshot_(std::move(snapshot)) {
   Require(config_.max_batch_size >= 1, "MicroBatcher: max_batch_size >= 1");
   Require(snapshot_ != nullptr, "MicroBatcher: snapshot callback required");
-  if (config_.predict_threads != 1) {
-    pool_ = std::make_unique<ThreadPool>(config_.predict_threads);
+  if (shared_pool != nullptr) {
+    pool_ = shared_pool;
+  } else if (config_.predict_threads != 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(config_.predict_threads);
+    pool_ = owned_pool_.get();
   }
   flusher_ = std::thread([this] { FlushLoop(); });
 }
@@ -36,9 +40,12 @@ std::future<std::optional<rf::FloorId>> MicroBatcher::Submit(
 }
 
 void MicroBatcher::Stop() {
+  // Serialized: concurrent Stops (e.g. the registry's Unload racing its
+  // Stop/destructor) must not both reach flusher_.join(), and the loser
+  // must still block until the drain is complete.
+  const std::scoped_lock stop_lock(stop_mutex_);
   {
     const std::scoped_lock lock(mutex_);
-    if (stopping_ && !flusher_.joinable()) return;
     stopping_ = true;
   }
   wake_.notify_all();
@@ -47,7 +54,9 @@ void MicroBatcher::Stop() {
 
 BatcherStats MicroBatcher::stats() const {
   const std::scoped_lock lock(mutex_);
-  return stats_;
+  BatcherStats stats = stats_;
+  stats.queue_depth = pending_.size();
+  return stats;
 }
 
 void MicroBatcher::FlushLoop() {
@@ -92,7 +101,7 @@ void MicroBatcher::Dispatch(std::vector<Pending> batch) {
     Require(model != nullptr && model->is_trained(),
             "MicroBatcher: snapshot returned no trained model");
     core::BatchPredictOptions options;
-    options.pool = pool_.get();  // null → serial dispatch on this thread
+    options.pool = pool_;  // null → serial dispatch on this thread
     const std::vector<std::optional<rf::FloorId>> predictions =
         model->PredictBatch(records, options);
     for (std::size_t i = 0; i < batch.size(); ++i) {

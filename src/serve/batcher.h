@@ -38,7 +38,8 @@ struct BatcherConfig {
   /// Flush once the oldest pending request has waited this long.
   std::chrono::microseconds max_delay{2000};
   /// Worker threads for the PredictBatch fan-out of each flush (0 maps to
-  /// hardware_concurrency, 1 keeps dispatch on the flusher thread).
+  /// hardware_concurrency, 1 keeps dispatch on the flusher thread). Ignored
+  /// when the owner passes a shared ThreadPool to the constructor.
   std::size_t predict_threads = 1;
 };
 
@@ -46,6 +47,9 @@ struct BatcherStats {
   std::uint64_t requests = 0;
   std::uint64_t batches = 0;
   std::uint64_t max_batch = 0;
+  /// Requests enqueued but not yet dispatched at the time stats() was
+  /// called; the registry surfaces it as the per-model queue depth.
+  std::uint64_t queue_depth = 0;
 };
 
 class MicroBatcher {
@@ -55,7 +59,12 @@ class MicroBatcher {
 
   /// `snapshot` is called once per flush from the flusher thread and must
   /// return a trained model; it is how the owner injects hot-reload.
-  MicroBatcher(BatcherConfig config, SnapshotFn snapshot);
+  /// `shared_pool`, when non-null, runs the PredictBatch fan-out of every
+  /// flush instead of an owned pool — the ModelRegistry hands one pool to
+  /// all its per-model batchers so inference parallelism is bounded per
+  /// process, not per model. The pool must outlive the batcher.
+  MicroBatcher(BatcherConfig config, SnapshotFn snapshot,
+               ThreadPool* shared_pool = nullptr);
   ~MicroBatcher();
 
   MicroBatcher(const MicroBatcher&) = delete;
@@ -85,7 +94,10 @@ class MicroBatcher {
 
   const BatcherConfig config_;
   const SnapshotFn snapshot_;
-  std::unique_ptr<ThreadPool> pool_;  // null when predict_threads == 1
+  std::unique_ptr<ThreadPool> owned_pool_;  // null when shared or serial
+  ThreadPool* pool_ = nullptr;  // shared or owned; null → serial dispatch
+
+  std::mutex stop_mutex_;  // serializes Stop (join-once, drain-complete)
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -13,7 +14,9 @@
 
 namespace grafics::serve {
 
-Client::Client(const std::string& host, std::uint16_t port) {
+Client::Client(const std::string& host, std::uint16_t port,
+               ClientConfig config)
+    : config_(config) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -42,11 +45,15 @@ Client::Client(const std::string& host, std::uint16_t port) {
 
 Client::~Client() { Close(); }
 
-Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Client::Client(Client&& other) noexcept
+    : config_(other.config_), fd_(other.fd_) {
+  other.fd_ = -1;
+}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
+    config_ = other.config_;
     fd_ = other.fd_;
     other.fd_ = -1;
   }
@@ -63,39 +70,108 @@ void Client::Close() {
 Message Client::RoundTrip(const Message& request) {
   Require(connected(), "Client: not connected");
   SendFrame(fd_, request);
-  std::optional<Message> reply = ReceiveFrame(fd_);
+  std::optional<Message> reply = ReceiveFrame(fd_, config_.max_frame_bytes);
   Require(reply.has_value(), "Client: daemon closed the connection");
   return std::move(*reply);
 }
 
-std::optional<rf::FloorId> Client::Predict(const rf::SignalRecord& record) {
-  const Message reply = RoundTrip(PredictRequest{record});
-  const auto* response = std::get_if<PredictResponse>(&reply);
-  Require(response != nullptr, "Client: unexpected reply to predict");
-  switch (response->status) {
-    case PredictStatus::kOk:
-      return response->floor;
-    case PredictStatus::kDiscarded:
-      return std::nullopt;
-    case PredictStatus::kError:
-      throw Error("Client: daemon error: " + response->error);
-  }
-  throw Error("Client: bad predict status");
+namespace {
+
+/// Headroom for the frame header, type byte, model name, and record count.
+constexpr std::size_t kFrameOverheadBudget = 256;
+
+}  // namespace
+
+std::optional<rf::FloorId> Client::Predict(const rf::SignalRecord& record,
+                                           const std::string& model) {
+  return PredictBatch({record}, model).front();
 }
 
-std::uint64_t Client::Ping() {
-  const Message reply = RoundTrip(serve::Ping{});
+std::vector<std::optional<rf::FloorId>> Client::PredictBatch(
+    const std::vector<rf::SignalRecord>& records, const std::string& model,
+    std::size_t max_records_per_frame) {
+  Require(!records.empty(), "Client: empty predict batch");
+  const std::size_t max_records =
+      std::clamp<std::size_t>(max_records_per_frame, 1, kMaxBatchRecords);
+  const std::size_t byte_budget = kMaxFrameBytes - kFrameOverheadBudget;
+  std::vector<std::optional<rf::FloorId>> predictions;
+  predictions.reserve(records.size());
+  // One frame (one round trip) per chunk. A chunk closes at max_records or
+  // when the next record would overflow the daemon's frame cap — dense
+  // scans (protocol.h budgets ~1e3 APs each) split by size, not count. A
+  // single record beyond the cap still ships alone: the daemon rejects it
+  // either way, and hiding it here would silently drop the query.
+  std::size_t begin = 0;
+  while (begin < records.size()) {
+    std::size_t end = begin;
+    std::size_t bytes = 0;
+    while (end < records.size() && end - begin < max_records) {
+      const std::size_t next = SignalRecordWireBytes(records[end]);
+      if (end > begin && bytes + next > byte_budget) break;
+      bytes += next;
+      ++end;
+    }
+    PredictRequest request;
+    request.model = model;
+    request.records.assign(records.begin() + static_cast<long>(begin),
+                           records.begin() + static_cast<long>(end));
+    const Message reply = RoundTrip(request);
+    const auto* response = std::get_if<PredictResponse>(&reply);
+    Require(response != nullptr, "Client: unexpected reply to predict");
+    // A lone error result for a multi-record chunk is the daemon's
+    // best-effort frame-level failure report — surface its message instead
+    // of a confusing count mismatch.
+    if (response->results.size() == 1 &&
+        response->results.front().status == PredictStatus::kError) {
+      throw Error("Client: daemon error: " +
+                  response->results.front().error);
+    }
+    Require(response->results.size() == end - begin,
+            "Client: daemon answered a different number of records");
+    for (const PredictResult& result : response->results) {
+      switch (result.status) {
+        case PredictStatus::kOk:
+          predictions.emplace_back(result.floor);
+          break;
+        case PredictStatus::kDiscarded:
+          predictions.emplace_back(std::nullopt);
+          break;
+        case PredictStatus::kError:
+          throw Error("Client: daemon error: " + result.error);
+      }
+    }
+    begin = end;
+  }
+  return predictions;
+}
+
+Pong Client::Ping(const std::string& model) {
+  const Message reply = RoundTrip(serve::Ping{model});
   const auto* pong = std::get_if<Pong>(&reply);
   Require(pong != nullptr, "Client: unexpected reply to ping");
-  return pong->model_generation;
+  return *pong;
 }
 
-std::uint64_t Client::Reload() {
-  const Message reply = RoundTrip(ReloadRequest{});
+std::uint64_t Client::Reload(const std::string& model) {
+  const Message reply = RoundTrip(ReloadRequest{model});
   const auto* response = std::get_if<ReloadResponse>(&reply);
   Require(response != nullptr, "Client: unexpected reply to reload");
   Require(response->ok, "Client: reload failed: " + response->message);
   return response->model_generation;
+}
+
+ListModelsResponse Client::ListModels() {
+  const Message reply = RoundTrip(ListModelsRequest{});
+  const auto* response = std::get_if<ListModelsResponse>(&reply);
+  Require(response != nullptr, "Client: unexpected reply to list-models");
+  return *response;
+}
+
+StatsResponse Client::Stats(const std::string& model) {
+  const Message reply = RoundTrip(StatsRequest{model});
+  const auto* response = std::get_if<StatsResponse>(&reply);
+  Require(response != nullptr, "Client: unexpected reply to stats");
+  return *response;
 }
 
 }  // namespace grafics::serve

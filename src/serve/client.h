@@ -1,25 +1,36 @@
-// Blocking client for the GRAFICS serving daemon.
+// Blocking client for the GRAFICS serving daemon (protocol v2).
 //
 // One TCP connection, one request/response in flight at a time; concurrency
 // comes from opening more clients (the daemon coalesces across connections).
-// Used by the tests, the serve_daemon_qps load generator, and the
-// `grafics remote-predict` / `remote-reload` CLI commands.
+// Every call takes an optional model name — empty routes to the daemon's
+// default model, which is also what a v1 daemon serves. Used by the tests,
+// the serve_daemon_qps load generator, and the `grafics remote-*` CLI
+// commands.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "rf/signal_record.h"
 #include "serve/protocol.h"
 
 namespace grafics::serve {
 
+struct ClientConfig {
+  /// Receive-side bound on one reply frame. Batched v2 responses grow with
+  /// the batch, so clients sending large batches (or expecting big admin
+  /// replies) raise this instead of being capped by their own limit.
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+};
+
 class Client {
  public:
   /// Connects immediately; throws grafics::Error when the daemon is
   /// unreachable.
-  Client(const std::string& host, std::uint16_t port);
+  Client(const std::string& host, std::uint16_t port,
+         ClientConfig config = {});
   ~Client();
 
   Client(const Client&) = delete;
@@ -27,18 +38,46 @@ class Client {
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
 
-  /// Remote Grafics::Predict: nullopt when the daemon discarded the record
-  /// (no MAC overlap). Throws grafics::Error on transport problems or when
-  /// the daemon reports an error.
-  std::optional<rf::FloorId> Predict(const rf::SignalRecord& record);
+  /// Remote Grafics::Predict against the named model (empty = default):
+  /// nullopt when the daemon discarded the record (no MAC overlap). Throws
+  /// grafics::Error on transport problems or when the daemon reports an
+  /// error (e.g. an unknown model name).
+  std::optional<rf::FloorId> Predict(const rf::SignalRecord& record,
+                                     const std::string& model = {});
 
-  /// Health check; returns the daemon's current model generation.
-  std::uint64_t Ping();
+  /// Batched remote predict, answered per-record in request order. Records
+  /// are split into one frame (one round trip) per chunk; a chunk closes at
+  /// `max_records_per_frame` records (clamped to [1, kMaxBatchRecords]) or
+  /// as soon as the next record would push the encoded frame over the
+  /// daemon's kMaxFrameBytes cap, whichever comes first — so dense scans
+  /// split by size, not just by count. Throws grafics::Error when any
+  /// record comes back with an error status.
+  std::vector<std::optional<rf::FloorId>> PredictBatch(
+      const std::vector<rf::SignalRecord>& records,
+      const std::string& model = {},
+      std::size_t max_records_per_frame = kMaxBatchRecords);
 
-  /// Asks the daemon to hot-reload its model from disk; returns the new
-  /// model generation. Throws grafics::Error when the daemon refuses (no
-  /// model path) or the reload failed.
-  std::uint64_t Reload();
+  /// Health check for the named model (empty = default). The returned Pong
+  /// carries the protocol version the server negotiated for this
+  /// connection's replies (2 for this always-v2 client; the field exists so
+  /// the negotiated dialect is explicit on the wire for any client) and the
+  /// model's generation, so callers observe hot reloads. ok == false (with
+  /// error set) for unknown model names. Note this client only speaks v2 —
+  /// a v1-only daemon rejects its frames outright rather than answering
+  /// with a v1 Pong.
+  Pong Ping(const std::string& model = {});
+
+  /// Asks the daemon to hot-reload the named model (empty = default) from
+  /// disk; returns the new model generation. Throws grafics::Error when the
+  /// daemon refuses (no model path, unknown name) or the reload failed.
+  std::uint64_t Reload(const std::string& model = {});
+
+  /// v2 admin: the registry's contents and its default model name.
+  ListModelsResponse ListModels();
+
+  /// v2 admin: per-model serving stats; `model` filters to one name
+  /// (empty = all models).
+  StatsResponse Stats(const std::string& model = {});
 
   void Close();
   bool connected() const { return fd_ >= 0; }
@@ -46,6 +85,7 @@ class Client {
  private:
   Message RoundTrip(const Message& request);
 
+  ClientConfig config_;
   int fd_ = -1;
 };
 

@@ -1,0 +1,251 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace grafics::serve {
+
+namespace {
+
+void ValidateName(const std::string& name) {
+  Require(!name.empty(), "ModelRegistry: model name must not be empty");
+  Require(name.size() <= kMaxModelNameBytes,
+          "ModelRegistry: model name too long: " + name);
+  for (const char c : name) {
+    // Unsigned compare: bytes >= 0x80 (UTF-8 continuations etc.) are fine;
+    // only ASCII whitespace/control (including DEL) and the daemon's
+    // NAME=PATH separator are rejected.
+    const auto byte = static_cast<unsigned char>(c);
+    Require(byte > ' ' && byte != 0x7F && byte != '=',
+            "ModelRegistry: model name has whitespace, control bytes, or "
+            "'=': " + name);
+  }
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(BatcherConfig batcher)
+    : batcher_config_(batcher) {
+  if (batcher_config_.predict_threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(batcher_config_.predict_threads);
+  }
+}
+
+ModelRegistry::~ModelRegistry() { Stop(); }
+
+void ModelRegistry::Load(const std::string& name,
+                         std::shared_ptr<const core::Grafics> model,
+                         std::string model_path) {
+  ValidateName(name);
+  Require(model != nullptr && model->is_trained(),
+          "ModelRegistry::Load: requires a trained model for '" + name + "'");
+  const std::scoped_lock lock(mutex_);
+  Require(!stopped_, "ModelRegistry::Load after Stop");
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    // Hot swap: keep the batcher (and its queue) running across the switch;
+    // in-flight batches finish on the snapshot they started with.
+    Entry& entry = *it->second;
+    const std::scoped_lock entry_lock(entry.mutex);
+    entry.model = std::move(model);
+    ++entry.generation;
+    if (!model_path.empty()) entry.path = std::move(model_path);
+    return;
+  }
+  // The wire caps ListModels/Stats replies at kMaxModels; enforcing it here
+  // keeps the admin surface encodable for every registry this API can build.
+  Require(entries_.size() < kMaxModels,
+          "ModelRegistry::Load: registry full (kMaxModels)");
+  auto entry = std::make_shared<Entry>();
+  entry->model = std::move(model);
+  entry->path = std::move(model_path);
+  // Raw pointer is safe: the batcher is the entry's last member, so its
+  // destructor joins the flusher thread before the rest of the entry dies.
+  Entry* raw = entry.get();
+  entry->batcher = std::make_unique<MicroBatcher>(
+      batcher_config_,
+      [raw] {
+        const std::scoped_lock snapshot_lock(raw->mutex);
+        return raw->model;
+      },
+      pool_.get());
+  entries_.emplace(name, std::move(entry));
+  if (default_name_.empty()) default_name_ = name;
+}
+
+void ModelRegistry::LoadFromDisk(const std::string& name,
+                                 const std::string& model_path) {
+  // Before the (expensive) artifact load: a bad name must fail fast, not
+  // after seconds of deserialization.
+  ValidateName(name);
+  Require(!model_path.empty(),
+          "ModelRegistry::LoadFromDisk: empty path for '" + name + "'");
+  auto model = std::make_shared<const core::Grafics>(
+      core::Grafics::LoadModel(model_path));
+  Load(name, std::move(model), model_path);
+}
+
+void ModelRegistry::Unload(const std::string& name) {
+  std::shared_ptr<Entry> victim;
+  {
+    const std::scoped_lock lock(mutex_);
+    // Empty resolves to the default like everywhere else — which then hits
+    // the protection below with the accurate diagnostic.
+    const std::string& resolved = name.empty() ? default_name_ : name;
+    const auto it = entries_.find(resolved);
+    Require(it != entries_.end(),
+            "ModelRegistry::Unload: unknown model '" + resolved + "'");
+    Require(resolved != default_name_,
+            "ModelRegistry::Unload: cannot unload the default model '" +
+                resolved + "'");
+    victim = std::move(it->second);
+    entries_.erase(it);
+  }
+  // Outside the registry lock: draining blocks on in-flight inference, and
+  // the flusher's snapshot callback only takes the entry's own mutex.
+  victim->batcher->Stop();
+}
+
+std::uint64_t ModelRegistry::ReloadFromDisk(const std::string& name) {
+  {
+    const std::scoped_lock lock(mutex_);
+    Require(!stopped_, "ModelRegistry::ReloadFromDisk after Stop");
+  }
+  const std::shared_ptr<Entry> entry = Find(name);
+  std::string path;
+  {
+    const std::scoped_lock entry_lock(entry->mutex);
+    path = entry->path;
+  }
+  Require(!path.empty(),
+          "ModelRegistry::ReloadFromDisk: no model path configured for '" +
+              (name.empty() ? default_model() : name) + "'");
+  // Load outside every lock: clients keep being served from the old
+  // snapshot for the whole (expensive) load, on this model and all others.
+  auto fresh = std::make_shared<const core::Grafics>(
+      core::Grafics::LoadModel(path));
+  const std::scoped_lock entry_lock(entry->mutex);
+  entry->model = std::move(fresh);
+  return ++entry->generation;
+}
+
+std::future<std::optional<rf::FloorId>> ModelRegistry::Submit(
+    const std::string& name, rf::SignalRecord record) {
+  return Find(name)->batcher->Submit(std::move(record));
+}
+
+std::vector<std::future<std::optional<rf::FloorId>>>
+ModelRegistry::SubmitBatch(const std::string& name,
+                           std::vector<rf::SignalRecord> records) {
+  const std::shared_ptr<Entry> entry = Find(name);
+  std::vector<std::future<std::optional<rf::FloorId>>> futures;
+  futures.reserve(records.size());
+  for (rf::SignalRecord& record : records) {
+    futures.push_back(entry->batcher->Submit(std::move(record)));
+  }
+  return futures;
+}
+
+std::vector<ModelInfo> ModelRegistry::List() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<ModelInfo> models;
+  models.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    const std::scoped_lock entry_lock(entry->mutex);
+    models.push_back({name, entry->generation, !entry->path.empty()});
+  }
+  return models;
+}
+
+std::vector<ModelStats> ModelRegistry::Stats(
+    const std::string& name_filter) const {
+  // Snapshot the entries under the registry lock, then gather the per-model
+  // counters unlocked (like Stop does): an admin stats sweep must not stall
+  // name resolution for predict traffic while it visits every batcher.
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> entries;
+  {
+    const std::scoped_lock lock(mutex_);
+    entries.reserve(name_filter.empty() ? entries_.size() : 1);
+    for (const auto& [name, entry] : entries_) {
+      if (!name_filter.empty() && name != name_filter) continue;
+      entries.emplace_back(name, entry);
+    }
+  }
+  std::vector<ModelStats> models;
+  models.reserve(entries.size());
+  for (const auto& [name, entry] : entries) {
+    ModelStats stats;
+    stats.name = name;
+    {
+      const std::scoped_lock entry_lock(entry->mutex);
+      stats.generation = entry->generation;
+    }
+    const BatcherStats batcher = entry->batcher->stats();
+    stats.requests = batcher.requests;
+    stats.batches = batcher.batches;
+    stats.max_batch = batcher.max_batch;
+    stats.queue_depth = batcher.queue_depth;
+    models.push_back(std::move(stats));
+  }
+  return models;
+}
+
+std::size_t ModelRegistry::size() const {
+  const std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+bool ModelRegistry::Has(const std::string& name) const {
+  const std::scoped_lock lock(mutex_);
+  return entries_.count(name) != 0;
+}
+
+std::shared_ptr<const core::Grafics> ModelRegistry::Snapshot(
+    const std::string& name) const {
+  const std::shared_ptr<Entry> entry = Find(name);
+  const std::scoped_lock entry_lock(entry->mutex);
+  return entry->model;
+}
+
+std::uint64_t ModelRegistry::generation(const std::string& name) const {
+  const std::shared_ptr<Entry> entry = Find(name);
+  const std::scoped_lock entry_lock(entry->mutex);
+  return entry->generation;
+}
+
+std::string ModelRegistry::default_model() const {
+  const std::scoped_lock lock(mutex_);
+  return default_name_;
+}
+
+void ModelRegistry::SetDefaultModel(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  Require(entries_.count(name) != 0,
+          "ModelRegistry::SetDefaultModel: unknown model '" + name + "'");
+  default_name_ = name;
+}
+
+void ModelRegistry::Stop() {
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    const std::scoped_lock lock(mutex_);
+    stopped_ = true;
+    entries.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) entries.push_back(entry);
+  }
+  for (const std::shared_ptr<Entry>& entry : entries) {
+    entry->batcher->Stop();
+  }
+}
+
+std::shared_ptr<ModelRegistry::Entry> ModelRegistry::Find(
+    const std::string& name) const {
+  const std::scoped_lock lock(mutex_);
+  const std::string& resolved = name.empty() ? default_name_ : name;
+  const auto it = entries_.find(resolved);
+  Require(it != entries_.end(), "unknown model '" + resolved + "'");
+  return it->second;
+}
+
+}  // namespace grafics::serve

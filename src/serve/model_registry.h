@@ -1,0 +1,120 @@
+// Named model registry: the serving side of "one daemon, many buildings".
+//
+// Maps model names to hot-swappable std::shared_ptr<const Grafics> snapshots
+// with a per-model generation counter, a per-model MicroBatcher (so one
+// building's traffic coalesces into its own micro-batches and a reload never
+// stalls another building's queue), and per-model serving stats. All
+// batchers share one ThreadPool, so inference parallelism is bounded per
+// process regardless of how many buildings are loaded.
+//
+// The registry owns the models; serve::Server is a thin transport that
+// decodes frames and routes them here by name (empty name = the default
+// model, which is how v1 clients keep working). Load/ReloadFromDisk swap a
+// model's snapshot atomically: in-flight batches finish on the snapshot they
+// started with, later batches pick up the new one. Unload drains the model's
+// queue (futures still resolve) and removes it.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/grafics.h"
+#include "rf/signal_record.h"
+#include "serve/batcher.h"
+#include "serve/protocol.h"
+
+namespace grafics::serve {
+
+class ModelRegistry {
+ public:
+  /// `batcher` configures every per-model MicroBatcher; its predict_threads
+  /// sizes the one shared ThreadPool (0 = hardware_concurrency, 1 = serial
+  /// dispatch on each model's flusher thread).
+  explicit ModelRegistry(BatcherConfig batcher = {});
+  ~ModelRegistry();
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Installs `model` (trained) under `name`, creating the model on first
+  /// load and hot-swapping the snapshot (generation + 1) on later loads.
+  /// `model_path`, when non-empty, enables ReloadFromDisk for this name.
+  /// The first loaded model becomes the default. Names are non-empty, at
+  /// most kMaxModelNameBytes, and free of whitespace and '='.
+  void Load(const std::string& name,
+            std::shared_ptr<const core::Grafics> model,
+            std::string model_path = {});
+  /// Grafics::LoadModel(model_path) + Load(name, ..., model_path).
+  void LoadFromDisk(const std::string& name, const std::string& model_path);
+  /// Drains the model's pending requests (their futures still resolve), then
+  /// removes it. The default model cannot be unloaded.
+  void Unload(const std::string& name);
+  /// Re-loads `name` (empty = default) from its recorded artifact path and
+  /// swaps it in, returning the new generation. The old snapshot keeps
+  /// serving if the load throws; other models are untouched either way.
+  std::uint64_t ReloadFromDisk(const std::string& name);
+
+  /// Enqueues one record on the named model's batcher (empty = default).
+  /// Throws grafics::Error for unknown names and after Stop(); the caller
+  /// turns that into a per-record error status, not a dropped connection.
+  std::future<std::optional<rf::FloorId>> Submit(const std::string& name,
+                                                 rf::SignalRecord record);
+  /// Submit for a whole request batch: resolves the name through the
+  /// registry lock once, then enqueues every record on that model's
+  /// batcher — the hot path for v2 batched predicts.
+  std::vector<std::future<std::optional<rf::FloorId>>> SubmitBatch(
+      const std::string& name, std::vector<rf::SignalRecord> records);
+
+  /// Name/generation/reloadable for every model, sorted by name.
+  std::vector<ModelInfo> List() const;
+  /// Per-model serving counters, sorted by name. A non-empty `name_filter`
+  /// touches only that model's entry (empty result for unknown names).
+  std::vector<ModelStats> Stats(const std::string& name_filter = {}) const;
+  std::size_t size() const;
+  bool Has(const std::string& name) const;
+  /// Current snapshot of `name` (empty = default); holders keep it alive
+  /// across hot swaps.
+  std::shared_ptr<const core::Grafics> Snapshot(
+      const std::string& name = {}) const;
+  /// Monotonic per-model counter starting at 1, bumped by every swap.
+  std::uint64_t generation(const std::string& name = {}) const;
+
+  std::string default_model() const;
+  void SetDefaultModel(const std::string& name);
+
+  /// Drains every model's batcher and rejects further Submits/Loads.
+  /// Idempotent; also run by the destructor. Stats stay readable.
+  void Stop();
+
+ private:
+  struct Entry {
+    mutable std::mutex mutex;  // guards model + generation + path
+    std::shared_ptr<const core::Grafics> model;
+    std::uint64_t generation = 1;
+    std::string path;
+    // Last member: its destructor joins the flusher thread before the rest
+    // of the entry goes away, so the snapshot callback's raw Entry* is safe.
+    std::unique_ptr<MicroBatcher> batcher;
+  };
+
+  /// Resolves empty → default and looks the entry up. Callers hold the
+  /// returned shared_ptr, so a concurrent Unload cannot free it mid-use.
+  std::shared_ptr<Entry> Find(const std::string& name) const;
+
+  const BatcherConfig batcher_config_;
+  std::unique_ptr<ThreadPool> pool_;  // null when predict_threads == 1
+
+  mutable std::mutex mutex_;  // guards entries_ + default_name_ + stopped_
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  std::string default_name_;
+  bool stopped_ = false;
+};
+
+}  // namespace grafics::serve

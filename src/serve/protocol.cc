@@ -21,6 +21,12 @@ enum class MessageType : std::uint8_t {
   kPong = 4,
   kReloadRequest = 5,
   kReloadResponse = 6,
+  // v2-only admin messages; a v1 frame carrying these type codes is
+  // malformed, exactly as it was for the v1 decoder.
+  kListModelsRequest = 7,
+  kListModelsResponse = 8,
+  kStatsRequest = 9,
+  kStatsResponse = 10,
 };
 
 MessageType TypeOf(const Message& message) {
@@ -39,58 +45,283 @@ MessageType TypeOf(const Message& message) {
     MessageType operator()(const ReloadResponse&) const {
       return MessageType::kReloadResponse;
     }
+    MessageType operator()(const ListModelsRequest&) const {
+      return MessageType::kListModelsRequest;
+    }
+    MessageType operator()(const ListModelsResponse&) const {
+      return MessageType::kListModelsResponse;
+    }
+    MessageType operator()(const StatsRequest&) const {
+      return MessageType::kStatsRequest;
+    }
+    MessageType operator()(const StatsResponse&) const {
+      return MessageType::kStatsResponse;
+    }
   };
   return std::visit(Visitor{}, message);
 }
 
-void WriteBody(std::ostream& out, const Message& message) {
+void WriteModelName(std::ostream& out, const std::string& name) {
+  Require(name.size() <= kMaxModelNameBytes, "protocol: model name too long");
+  WriteString(out, name);
+}
+
+/// Bounded by hand instead of serialize.h's ReadString so a hostile length
+/// field is an Error before any allocation, per the framing contract.
+std::string ReadBoundedString(std::istream& in, std::size_t max_bytes,
+                              const char* what) {
+  const std::uint64_t size = ReadU64(in);
+  Require(size <= max_bytes, std::string("protocol: bad length for ") + what);
+  std::string value(size, '\0');
+  in.read(value.data(), static_cast<std::streamsize>(size));
+  Require(in.good() || size == 0,
+          std::string("protocol: truncated ") + what);
+  return value;
+}
+
+std::string ReadModelName(std::istream& in) {
+  return ReadBoundedString(in, kMaxModelNameBytes, "model name");
+}
+
+/// Free-form message fields (errors, reload messages): bounded by the frame
+/// cap, which every enclosing payload already respects.
+std::string ReadMessageString(std::istream& in) {
+  return ReadBoundedString(in, kMaxFrameBytes, "string field");
+}
+
+/// Shared by the encode visitor and the decode switch: the admin messages
+/// (ListModels/Stats) exist only from protocol v2 on.
+void RequireAdminV2(std::uint32_t version) {
+  Require(version >= 2, "protocol: admin messages require protocol v2");
+}
+
+void RequireV1Expressible(const std::string& model, std::size_t records,
+                          const char* what) {
+  Require(model.empty(),
+          std::string("protocol: v1 cannot carry a model name in ") + what);
+  Require(records == 1,
+          std::string("protocol: v1 carries exactly one record per ") + what);
+}
+
+void WriteBody(std::ostream& out, const Message& message,
+               std::uint32_t version) {
   struct Visitor {
     std::ostream& out;
+    std::uint32_t version;
     void operator()(const PredictRequest& m) const {
-      WriteSignalRecord(out, m.record);
+      if (version == 1) {
+        RequireV1Expressible(m.model, m.records.size(), "PredictRequest");
+        WriteSignalRecord(out, m.records.front());
+        return;
+      }
+      WriteModelName(out, m.model);
+      Require(!m.records.empty(), "protocol: empty predict batch");
+      Require(m.records.size() <= kMaxBatchRecords,
+              "protocol: oversized predict batch");
+      WriteU32(out, static_cast<std::uint32_t>(m.records.size()));
+      for (const rf::SignalRecord& record : m.records) {
+        WriteSignalRecord(out, record);
+      }
     }
     void operator()(const PredictResponse& m) const {
-      WriteU8(out, static_cast<std::uint8_t>(m.status));
-      WriteI32(out, m.floor);
+      Require(!m.results.empty(), "protocol: empty predict response");
+      if (version == 1) {
+        Require(m.results.size() == 1,
+                "protocol: v1 carries exactly one result per PredictResponse");
+      } else {
+        Require(m.results.size() <= kMaxBatchRecords,
+                "protocol: oversized predict response");
+        WriteU32(out, static_cast<std::uint32_t>(m.results.size()));
+      }
+      for (const PredictResult& result : m.results) {
+        WriteU8(out, static_cast<std::uint8_t>(result.status));
+        WriteI32(out, result.floor);
+        WriteString(out, result.error);
+      }
+    }
+    void operator()(const Ping& m) const {
+      if (version == 1) {
+        Require(m.model.empty(),
+                "protocol: v1 cannot carry a model name in Ping");
+        return;
+      }
+      WriteModelName(out, m.model);
+    }
+    void operator()(const Pong& m) const {
+      if (version == 1) {
+        // The version field is implicit in the frame header; ok/error do not
+        // exist in v1, where a ping can only succeed.
+        Require(m.ok, "protocol: v1 cannot carry a ping failure");
+        Require(m.error.empty(), "protocol: v1 cannot carry a ping error");
+        WriteU64(out, m.model_generation);
+        return;
+      }
+      WriteU32(out, m.protocol_version);
+      WriteU8(out, m.ok ? 1 : 0);
+      WriteU64(out, m.model_generation);
       WriteString(out, m.error);
     }
-    void operator()(const Ping&) const {}
-    void operator()(const Pong& m) const { WriteU64(out, m.model_generation); }
-    void operator()(const ReloadRequest&) const {}
+    void operator()(const ReloadRequest& m) const {
+      if (version == 1) {
+        Require(m.model.empty(),
+                "protocol: v1 cannot carry a model name in ReloadRequest");
+        return;
+      }
+      WriteModelName(out, m.model);
+    }
     void operator()(const ReloadResponse& m) const {
       WriteU8(out, m.ok ? 1 : 0);
       WriteU64(out, m.model_generation);
       WriteString(out, m.message);
     }
+    void operator()(const ListModelsRequest&) const {
+      RequireAdminV2(version);
+    }
+    void operator()(const ListModelsResponse& m) const {
+      RequireAdminV2(version);
+      WriteModelName(out, m.default_model);
+      Require(m.models.size() <= kMaxModels, "protocol: too many models");
+      WriteU32(out, static_cast<std::uint32_t>(m.models.size()));
+      for (const ModelInfo& info : m.models) {
+        WriteModelName(out, info.name);
+        WriteU64(out, info.generation);
+        WriteU8(out, info.reloadable ? 1 : 0);
+      }
+    }
+    void operator()(const StatsRequest& m) const {
+      RequireAdminV2(version);
+      WriteModelName(out, m.model);
+    }
+    void operator()(const StatsResponse& m) const {
+      RequireAdminV2(version);
+      WriteU64(out, m.connections_accepted);
+      Require(m.models.size() <= kMaxModels, "protocol: too many models");
+      WriteU32(out, static_cast<std::uint32_t>(m.models.size()));
+      for (const ModelStats& stats : m.models) {
+        WriteModelName(out, stats.name);
+        WriteU64(out, stats.generation);
+        WriteU64(out, stats.requests);
+        WriteU64(out, stats.batches);
+        WriteU64(out, stats.max_batch);
+        WriteU64(out, stats.queue_depth);
+      }
+    }
   };
-  std::visit(Visitor{out}, message);
+  std::visit(Visitor{out, version}, message);
 }
 
-Message ReadBody(std::istream& in, MessageType type) {
+Message ReadBody(std::istream& in, MessageType type, std::uint32_t version) {
   switch (type) {
-    case MessageType::kPredictRequest:
-      return PredictRequest{ReadSignalRecord(in)};
-    case MessageType::kPredictResponse: {
-      PredictResponse m;
-      const std::uint8_t status = ReadU8(in);
-      Require(status <= static_cast<std::uint8_t>(PredictStatus::kError),
-              "protocol: bad predict status");
-      m.status = static_cast<PredictStatus>(status);
-      m.floor = ReadI32(in);
-      m.error = ReadString(in);
+    case MessageType::kPredictRequest: {
+      PredictRequest m;
+      if (version == 1) {
+        m.records.push_back(ReadSignalRecord(in));
+        return m;
+      }
+      m.model = ReadModelName(in);
+      const std::uint32_t count = ReadU32(in);
+      Require(count >= 1, "protocol: empty predict batch");
+      Require(count <= kMaxBatchRecords, "protocol: oversized predict batch");
+      m.records.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        m.records.push_back(ReadSignalRecord(in));
+      }
       return m;
     }
-    case MessageType::kPing:
-      return Ping{};
-    case MessageType::kPong:
-      return Pong{ReadU64(in)};
-    case MessageType::kReloadRequest:
-      return ReloadRequest{};
+    case MessageType::kPredictResponse: {
+      PredictResponse m;
+      std::uint32_t count = 1;
+      if (version >= 2) {
+        count = ReadU32(in);
+        Require(count >= 1, "protocol: empty predict response");
+        Require(count <= kMaxBatchRecords,
+                "protocol: oversized predict response");
+      }
+      m.results.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        PredictResult result;
+        const std::uint8_t status = ReadU8(in);
+        Require(status <= static_cast<std::uint8_t>(PredictStatus::kError),
+                "protocol: bad predict status");
+        result.status = static_cast<PredictStatus>(status);
+        result.floor = ReadI32(in);
+        result.error = ReadMessageString(in);
+        m.results.push_back(std::move(result));
+      }
+      return m;
+    }
+    case MessageType::kPing: {
+      Ping m;
+      if (version >= 2) m.model = ReadModelName(in);
+      return m;
+    }
+    case MessageType::kPong: {
+      Pong m;
+      if (version == 1) {
+        m.protocol_version = 1;
+        m.model_generation = ReadU64(in);
+        return m;
+      }
+      m.protocol_version = ReadU32(in);
+      m.ok = ReadU8(in) != 0;
+      m.model_generation = ReadU64(in);
+      m.error = ReadMessageString(in);
+      return m;
+    }
+    case MessageType::kReloadRequest: {
+      ReloadRequest m;
+      if (version >= 2) m.model = ReadModelName(in);
+      return m;
+    }
     case MessageType::kReloadResponse: {
       ReloadResponse m;
       m.ok = ReadU8(in) != 0;
       m.model_generation = ReadU64(in);
-      m.message = ReadString(in);
+      m.message = ReadMessageString(in);
+      return m;
+    }
+    case MessageType::kListModelsRequest:
+      RequireAdminV2(version);
+      return ListModelsRequest{};
+    case MessageType::kListModelsResponse: {
+      RequireAdminV2(version);
+      ListModelsResponse m;
+      m.default_model = ReadModelName(in);
+      const std::uint32_t count = ReadU32(in);
+      Require(count <= kMaxModels, "protocol: too many models");
+      m.models.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ModelInfo info;
+        info.name = ReadModelName(in);
+        info.generation = ReadU64(in);
+        info.reloadable = ReadU8(in) != 0;
+        m.models.push_back(std::move(info));
+      }
+      return m;
+    }
+    case MessageType::kStatsRequest: {
+      RequireAdminV2(version);
+      StatsRequest m;
+      m.model = ReadModelName(in);
+      return m;
+    }
+    case MessageType::kStatsResponse: {
+      RequireAdminV2(version);
+      StatsResponse m;
+      m.connections_accepted = ReadU64(in);
+      const std::uint32_t count = ReadU32(in);
+      Require(count <= kMaxModels, "protocol: too many models");
+      m.models.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ModelStats stats;
+        stats.name = ReadModelName(in);
+        stats.generation = ReadU64(in);
+        stats.requests = ReadU64(in);
+        stats.batches = ReadU64(in);
+        stats.max_batch = ReadU64(in);
+        stats.queue_depth = ReadU64(in);
+        m.models.push_back(std::move(stats));
+      }
       return m;
     }
   }
@@ -142,6 +373,12 @@ void WriteSignalRecord(std::ostream& out, const rf::SignalRecord& record) {
   WriteOptionalI32(out, record.floor());
 }
 
+std::size_t SignalRecordWireBytes(const rf::SignalRecord& record) {
+  // u64 count, (u64 MAC, f64 RSS) per observation, u8+i32 constant-width
+  // optional floor — mirror WriteSignalRecord above, field for field.
+  return 8 + record.size() * 16 + 5;
+}
+
 rf::SignalRecord ReadSignalRecord(std::istream& in) {
   const std::uint64_t count = ReadU64(in);
   Require(count <= kMaxObservations,
@@ -159,26 +396,34 @@ rf::SignalRecord ReadSignalRecord(std::istream& in) {
   return rf::SignalRecord(std::move(observations), floor);
 }
 
-std::string EncodePayload(const Message& message) {
+std::string EncodePayload(const Message& message, std::uint32_t version) {
+  Require(version >= kMinProtocolVersion && version <= kProtocolVersion,
+          "protocol: cannot encode version " + std::to_string(version));
   std::ostringstream out;
-  WriteHeader(out, kFrameMagic, kProtocolVersion);
+  WriteHeader(out, kFrameMagic, version);
   WriteU8(out, static_cast<std::uint8_t>(TypeOf(message)));
-  WriteBody(out, message);
+  WriteBody(out, message, version);
   return std::move(out).str();
 }
 
-Message DecodePayload(const std::string& payload) {
+Message DecodePayload(const std::string& payload,
+                      std::uint32_t* negotiated_version) {
   std::istringstream in(payload);
-  CheckHeader(in, kFrameMagic, kProtocolVersion);
+  const std::uint32_t version = ReadHeader(in, kFrameMagic);
+  Require(version >= kMinProtocolVersion && version <= kProtocolVersion,
+          "protocol: unsupported version " + std::to_string(version));
+  // Report the version as soon as the header validates, so a server can
+  // answer even a malformed body in the client's dialect.
+  if (negotiated_version != nullptr) *negotiated_version = version;
   const auto type = static_cast<MessageType>(ReadU8(in));
-  Message message = ReadBody(in, type);
+  Message message = ReadBody(in, type, version);
   Require(in.peek() == std::istream::traits_type::eof(),
           "protocol: trailing bytes after message");
   return message;
 }
 
-std::string EncodeFrame(const Message& message) {
-  const std::string payload = EncodePayload(message);
+std::string EncodeFrame(const Message& message, std::uint32_t version) {
+  const std::string payload = EncodePayload(message, version);
   const auto length = static_cast<std::uint32_t>(payload.size());
   std::string frame(sizeof(length) + payload.size(), '\0');
   std::memcpy(frame.data(), &length, sizeof(length));
@@ -186,8 +431,8 @@ std::string EncodeFrame(const Message& message) {
   return frame;
 }
 
-void SendFrame(int fd, const Message& message) {
-  const std::string frame = EncodeFrame(message);
+void SendFrame(int fd, const Message& message, std::uint32_t version) {
+  const std::string frame = EncodeFrame(message, version);
   SendAll(fd, frame.data(), frame.size());
 }
 

@@ -1,4 +1,4 @@
-// Wire protocol of the GRAFICS serving daemon.
+// Wire protocol of the GRAFICS serving daemon (version 2).
 //
 // Every message travels as one length-prefixed frame on a TCP stream:
 //
@@ -8,10 +8,19 @@
 //     u8 message type
 //     type-specific body          (common/serialize.h primitives)
 //
+// Version 2 adds multi-building serving on one daemon: requests carry an
+// optional model name (empty = the daemon's default model), PredictRequest
+// carries a whole vector of records answered with per-record statuses in one
+// round trip, and admin messages enumerate models and their serving stats.
+// Version 1 frames remain decodable — a v1 request is a one-record batch
+// routed to the default model — and every reply to a v1 frame is encoded as
+// v1, so deployed clients keep working against a v2 daemon.
+//
 // Malformed input — bad magic, unsupported version, unknown type, truncated
-// or oversized frames, trailing bytes — is rejected by throwing
-// grafics::Error, never by crashing; servers drop the connection, clients
-// surface the error. docs/protocol.md specifies the format field by field.
+// or oversized frames, out-of-range names or batch sizes, trailing bytes —
+// is rejected by throwing grafics::Error, never by crashing; servers drop
+// the connection, clients surface the error. docs/protocol.md specifies the
+// format field by field, including the v1 → v2 migration notes.
 #pragma once
 
 #include <cstdint>
@@ -20,24 +29,39 @@
 #include <ostream>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "rf/signal_record.h"
 
 namespace grafics::serve {
 
 inline constexpr char kFrameMagic[4] = {'G', 'S', 'R', 'V'};
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Highest protocol version this build speaks (and the encoding default).
+inline constexpr std::uint32_t kProtocolVersion = 2;
+/// Oldest protocol version still decoded; v1 requests route to the default
+/// model and get v1-encoded replies.
+inline constexpr std::uint32_t kMinProtocolVersion = 1;
 /// Upper bound on a frame payload; declared lengths beyond this are rejected
 /// before any allocation happens.
 inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
 /// Upper bound on observations per record (a dense scan sees ~1e3 APs).
 inline constexpr std::size_t kMaxObservations = 1 << 16;
+/// Upper bound on a model name on the wire and in the registry.
+inline constexpr std::size_t kMaxModelNameBytes = 128;
+/// Upper bound on records per PredictRequest (and results per response);
+/// clients split bigger workloads across frames.
+inline constexpr std::size_t kMaxBatchRecords = 1024;
+/// Upper bound on models per ListModels/Stats response.
+inline constexpr std::size_t kMaxModels = 4096;
 /// Default daemon port when none is given on the command line.
 inline constexpr std::uint16_t kDefaultPort = 4817;
 
-/// Floor query: one crowdsourced scan to classify.
+/// Floor query: a batch of crowdsourced scans to classify against one named
+/// model (empty = the daemon's default). v1 frames carry exactly one record
+/// and no name.
 struct PredictRequest {
-  rf::SignalRecord record;
+  std::string model;
+  std::vector<rf::SignalRecord> records;
 
   bool operator==(const PredictRequest&) const = default;
 };
@@ -48,29 +72,50 @@ enum class PredictStatus : std::uint8_t {
   kError = 2,      // error carries the server-side message
 };
 
-struct PredictResponse {
+/// One record's answer; errors (unknown model, untrained snapshot) are
+/// per-record statuses, never dropped connections.
+struct PredictResult {
   PredictStatus status = PredictStatus::kError;
   rf::FloorId floor = 0;
   std::string error;
 
+  bool operator==(const PredictResult&) const = default;
+};
+
+/// One result per requested record, in request order.
+struct PredictResponse {
+  std::vector<PredictResult> results;
+
   bool operator==(const PredictResponse&) const = default;
 };
 
-/// Health check; the reply carries the model generation so clients can
-/// observe hot reloads.
+/// Health check for one named model (empty = default); the reply carries the
+/// negotiated protocol version and the model generation so clients can tell
+/// a v1 daemon from a v2 one and observe hot reloads.
 struct Ping {
+  std::string model;
+
   bool operator==(const Ping&) const = default;
 };
 
 struct Pong {
+  /// Protocol version the server negotiated for this connection's replies.
+  /// Decoded v1 pongs report 1 (the field is implicit in the frame header).
+  std::uint32_t protocol_version = kProtocolVersion;
+  /// False when the pinged model name is unknown; error says so.
+  bool ok = true;
   std::uint64_t model_generation = 0;
+  std::string error;
 
   bool operator==(const Pong&) const = default;
 };
 
-/// Admin-triggered model hot-reload from the daemon's model path (the
-/// network sibling of SIGHUP). In-flight batches finish on the old snapshot.
+/// Admin-triggered hot-reload of one named model (empty = default) from its
+/// on-disk artifact (the network sibling of SIGHUP). In-flight batches
+/// finish on the old snapshot; other models are untouched.
 struct ReloadRequest {
+  std::string model;
+
   bool operator==(const ReloadRequest&) const = default;
 };
 
@@ -82,26 +127,89 @@ struct ReloadResponse {
   bool operator==(const ReloadResponse&) const = default;
 };
 
-using Message = std::variant<PredictRequest, PredictResponse, Ping, Pong,
-                             ReloadRequest, ReloadResponse>;
+/// v2-only admin: enumerate the registry.
+struct ModelInfo {
+  std::string name;
+  std::uint64_t generation = 0;
+  /// True when the model has an on-disk artifact for ReloadRequest/SIGHUP.
+  bool reloadable = false;
+
+  bool operator==(const ModelInfo&) const = default;
+};
+
+struct ListModelsRequest {
+  bool operator==(const ListModelsRequest&) const = default;
+};
+
+struct ListModelsResponse {
+  std::string default_model;
+  std::vector<ModelInfo> models;
+
+  bool operator==(const ListModelsResponse&) const = default;
+};
+
+/// v2-only admin: per-model serving counters (empty model = all models).
+struct ModelStats {
+  std::string name;
+  std::uint64_t generation = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch = 0;
+  /// Records enqueued but not yet dispatched at the time of the request.
+  std::uint64_t queue_depth = 0;
+
+  bool operator==(const ModelStats&) const = default;
+};
+
+struct StatsRequest {
+  std::string model;
+
+  bool operator==(const StatsRequest&) const = default;
+};
+
+struct StatsResponse {
+  std::uint64_t connections_accepted = 0;
+  std::vector<ModelStats> models;
+
+  bool operator==(const StatsResponse&) const = default;
+};
+
+using Message =
+    std::variant<PredictRequest, PredictResponse, Ping, Pong, ReloadRequest,
+                 ReloadResponse, ListModelsRequest, ListModelsResponse,
+                 StatsRequest, StatsResponse>;
 
 /// Wire encoding of one record: u64 observation count, then (u64 MAC bits,
 /// f64 RSS dBm) per observation, then the optional floor label. Reading
 /// validates MAC range, observation count, and MAC uniqueness.
 void WriteSignalRecord(std::ostream& out, const rf::SignalRecord& record);
 rf::SignalRecord ReadSignalRecord(std::istream& in);
+/// Exact encoded size of WriteSignalRecord's output, kept next to the
+/// encoder so they cannot drift apart; clients use it to split batches
+/// under kMaxFrameBytes.
+std::size_t SignalRecordWireBytes(const rf::SignalRecord& record);
 
-/// Frame payload (header + type + body), without the u32 length prefix.
-std::string EncodePayload(const Message& message);
-/// Inverse of EncodePayload. Throws grafics::Error on malformed input,
-/// including trailing bytes after a well-formed message.
-Message DecodePayload(const std::string& payload);
+/// Frame payload (header + type + body), without the u32 length prefix,
+/// encoded at `version`. Encoding at v1 throws grafics::Error for content
+/// v1 cannot express: a non-empty model name, a batch of != 1 record, or a
+/// v2-only message type.
+std::string EncodePayload(const Message& message,
+                          std::uint32_t version = kProtocolVersion);
+/// Inverse of EncodePayload for any supported version. Throws grafics::Error
+/// on malformed input, including trailing bytes after a well-formed message.
+/// When `negotiated_version` is non-null it receives the frame's version as
+/// soon as the header validates (so error handlers can reply in kind); v1
+/// bodies decode to the v2 structs (one-record batch, empty model name).
+Message DecodePayload(const std::string& payload,
+                      std::uint32_t* negotiated_version = nullptr);
 /// Full frame: u32 length prefix followed by the payload.
-std::string EncodeFrame(const Message& message);
+std::string EncodeFrame(const Message& message,
+                        std::uint32_t version = kProtocolVersion);
 
 /// Writes one frame to a connected socket. Throws grafics::Error when the
 /// peer is gone (writes never raise SIGPIPE).
-void SendFrame(int fd, const Message& message);
+void SendFrame(int fd, const Message& message,
+               std::uint32_t version = kProtocolVersion);
 /// Reads one frame payload from a connected socket. Returns nullopt when the
 /// peer closed cleanly before the first byte of a frame; throws
 /// grafics::Error on truncated frames or declared lengths above max_bytes.

@@ -9,8 +9,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <thread>
+#include <future>
+#include <optional>
 #include <utility>
+#include <variant>
+#include <vector>
 
 #include "common/error.h"
 
@@ -27,14 +30,10 @@ void SetNoDelay(int fd) {
 
 }  // namespace
 
-Server::Server(std::shared_ptr<const core::Grafics> model,
-               ServerConfig config, std::string model_path)
-    : config_(std::move(config)), model_path_(std::move(model_path)) {
-  Require(model != nullptr && model->is_trained(),
-          "Server: requires a trained model");
-  model_ = std::move(model);
-  batcher_ = std::make_unique<MicroBatcher>(
-      config_.batcher, [this] { return model_snapshot(); });
+Server::Server(std::shared_ptr<ModelRegistry> registry, ServerConfig config)
+    : config_(std::move(config)), registry_(std::move(registry)) {
+  Require(registry_ != nullptr && registry_->size() > 0,
+          "Server: requires a registry with at least one model");
 }
 
 Server::~Server() { Stop(); }
@@ -71,8 +70,8 @@ void Server::Start() {
 void Server::Stop() {
   if (!started_ || stopping_.exchange(true)) return;
   // Wake the accept loop, then disconnect clients. Handler threads blocked
-  // on batcher futures finish normally — the batcher is still running — and
-  // only then is it drained.
+  // on registry futures finish normally — the registry keeps running; it is
+  // stopped by its owner, not the transport.
   ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
@@ -93,35 +92,6 @@ void Server::Stop() {
     if (connection.thread.joinable()) connection.thread.join();
     ::close(connection.fd);
   }
-  batcher_->Stop();
-}
-
-std::shared_ptr<const core::Grafics> Server::model_snapshot() const {
-  const std::scoped_lock lock(model_mutex_);
-  return model_;
-}
-
-std::uint64_t Server::model_generation() const {
-  const std::scoped_lock lock(model_mutex_);
-  return generation_;
-}
-
-void Server::SetModel(std::shared_ptr<const core::Grafics> model) {
-  Require(model != nullptr && model->is_trained(),
-          "Server::SetModel: requires a trained model");
-  const std::scoped_lock lock(model_mutex_);
-  model_ = std::move(model);
-  ++generation_;
-}
-
-void Server::ReloadFromDisk() {
-  Require(!model_path_.empty(),
-          "Server::ReloadFromDisk: no model path configured");
-  // Load outside the model lock: clients keep being served from the old
-  // snapshot for the whole (expensive) load.
-  auto fresh = std::make_shared<const core::Grafics>(
-      core::Grafics::LoadModel(model_path_));
-  SetModel(std::move(fresh));
 }
 
 void Server::AcceptLoop() {
@@ -169,42 +139,106 @@ void Server::ReapFinished() {
   }
 }
 
+PredictResponse Server::HandlePredict(PredictRequest request) {
+  PredictResponse response;
+  response.results.resize(request.records.size());
+  std::vector<std::future<std::optional<rf::FloorId>>> futures;
+  try {
+    // Submit the whole client batch before waiting on anything, so it lands
+    // in as few micro-batch flushes as the batcher config allows — the one
+    // round trip per batch the v2 protocol is for.
+    futures = registry_->SubmitBatch(request.model,
+                                     std::move(request.records));
+  } catch (const std::exception& e) {
+    // Unknown model name (or a stopped registry): a structured per-record
+    // error status, never a dropped connection.
+    for (PredictResult& result : response.results) {
+      result.status = PredictStatus::kError;
+      result.error = e.what();
+    }
+    return response;
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    PredictResult& result = response.results[i];
+    try {
+      const std::optional<rf::FloorId> floor = futures[i].get();
+      result.status =
+          floor.has_value() ? PredictStatus::kOk : PredictStatus::kDiscarded;
+      result.floor = floor.value_or(0);
+    } catch (const std::exception& e) {
+      result.status = PredictStatus::kError;
+      result.error = e.what();
+    }
+  }
+  return response;
+}
+
+Pong Server::HandlePing(const Ping& ping, std::uint32_t version) {
+  Pong pong;
+  pong.protocol_version = version;
+  try {
+    pong.model_generation = registry_->generation(ping.model);
+  } catch (const std::exception& e) {
+    pong.ok = false;
+    pong.error = e.what();
+  }
+  return pong;
+}
+
+ReloadResponse Server::HandleReload(const ReloadRequest& request) {
+  ReloadResponse response;
+  try {
+    response.model_generation = registry_->ReloadFromDisk(request.model);
+    response.ok = true;
+    response.message = "model reloaded";
+  } catch (const std::exception& e) {
+    response.ok = false;
+    response.message = e.what();
+    // Best effort: report the surviving generation for known models.
+    try {
+      response.model_generation = registry_->generation(request.model);
+    } catch (...) {
+    }
+  }
+  return response;
+}
+
+ListModelsResponse Server::HandleListModels() const {
+  ListModelsResponse response;
+  response.default_model = registry_->default_model();
+  response.models = registry_->List();
+  return response;
+}
+
+StatsResponse Server::HandleStats(const StatsRequest& request) const {
+  StatsResponse response;
+  response.connections_accepted = connections_accepted_.load();
+  response.models = registry_->Stats(request.model);
+  return response;
+}
+
 void Server::ServeConnection(Connection& connection) {
   const int fd = connection.fd;
+  // The dialect of the last well-formed frame header, used to encode both
+  // replies and the best-effort error frame below: a peer that has only
+  // ever sent v1 gets its error as v1.
+  std::uint32_t version = kMinProtocolVersion;
   try {
     for (;;) {
       const std::optional<std::string> payload =
           ReceiveFramePayload(fd, config_.max_frame_bytes);
       if (!payload.has_value()) break;  // peer closed cleanly
-      Message request = DecodePayload(*payload);
+      Message request = DecodePayload(*payload, &version);
       if (auto* predict = std::get_if<PredictRequest>(&request)) {
-        std::future<std::optional<rf::FloorId>> future =
-            batcher_->Submit(std::move(predict->record));
-        PredictResponse response;
-        try {
-          const std::optional<rf::FloorId> floor = future.get();
-          response.status = floor.has_value() ? PredictStatus::kOk
-                                              : PredictStatus::kDiscarded;
-          response.floor = floor.value_or(0);
-        } catch (const std::exception& e) {
-          response.status = PredictStatus::kError;
-          response.error = e.what();
-        }
-        SendFrame(fd, response);
-      } else if (std::holds_alternative<Ping>(request)) {
-        SendFrame(fd, Pong{model_generation()});
-      } else if (std::holds_alternative<ReloadRequest>(request)) {
-        ReloadResponse response;
-        try {
-          ReloadFromDisk();
-          response.ok = true;
-          response.message = "model reloaded";
-        } catch (const std::exception& e) {
-          response.ok = false;
-          response.message = e.what();
-        }
-        response.model_generation = model_generation();
-        SendFrame(fd, response);
+        SendFrame(fd, HandlePredict(std::move(*predict)), version);
+      } else if (const auto* ping = std::get_if<Ping>(&request)) {
+        SendFrame(fd, HandlePing(*ping, version), version);
+      } else if (const auto* reload = std::get_if<ReloadRequest>(&request)) {
+        SendFrame(fd, HandleReload(*reload), version);
+      } else if (std::holds_alternative<ListModelsRequest>(request)) {
+        SendFrame(fd, HandleListModels(), version);
+      } else if (const auto* stats = std::get_if<StatsRequest>(&request)) {
+        SendFrame(fd, HandleStats(*stats), version);
       } else {
         throw Error("Server: unexpected message type from client");
       }
@@ -214,9 +248,10 @@ void Server::ServeConnection(Connection& connection) {
     // The daemon itself stays up — protocol errors are per-connection.
     try {
       PredictResponse response;
-      response.status = PredictStatus::kError;
-      response.error = e.what();
-      SendFrame(fd, response);
+      response.results.resize(1);
+      response.results.front().status = PredictStatus::kError;
+      response.results.front().error = e.what();
+      SendFrame(fd, response, version);
     } catch (...) {
     }
   }

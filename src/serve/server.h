@@ -1,13 +1,16 @@
-// TCP front-end of the GRAFICS serving engine.
+// TCP front-end of the GRAFICS serving engine: a thin transport that parses
+// frames and routes them to a ModelRegistry by model name.
 //
 // One accept-loop thread hands each connection to a lightweight handler
-// thread that only parses frames and blocks on batcher futures — all
-// inference happens in the MicroBatcher's PredictBatch dispatch, so adding
-// connections adds no inference threads. The served model is an atomically
-// swappable std::shared_ptr<const Grafics> snapshot: SetModel (and
-// ReloadFromDisk, reachable via SIGHUP in the daemon or a kReloadRequest
-// frame) installs a new model for future batches while in-flight batches
-// finish on the snapshot they started with.
+// thread that only decodes frames and blocks on batcher futures — all
+// inference happens in the registry's per-model MicroBatchers, so adding
+// connections adds no inference threads, and model ownership (snapshots,
+// generations, hot reload) lives entirely in the registry.
+//
+// Version negotiation is per frame: the server decodes protocol v1 and v2
+// requests and answers each in the dialect it arrived in, so v1 clients
+// keep talking to the registry's default model while v2 clients name
+// models, batch records, and query admin state on the same port.
 #pragma once
 
 #include <atomic>
@@ -18,8 +21,7 @@
 #include <string>
 #include <thread>
 
-#include "core/grafics.h"
-#include "serve/batcher.h"
+#include "serve/model_registry.h"
 #include "serve/protocol.h"
 
 namespace grafics::serve {
@@ -30,16 +32,16 @@ struct ServerConfig {
   /// TCP port; 0 asks the kernel for an ephemeral port (read it back from
   /// port() after Start, e.g. for tests and CI).
   std::uint16_t port = 0;
-  BatcherConfig batcher;
   std::size_t max_frame_bytes = kMaxFrameBytes;
 };
 
 class Server {
  public:
-  /// Serves `model` (trained). `model_path`, when non-empty, enables
-  /// ReloadFromDisk / kReloadRequest hot-reload from that artifact.
-  explicit Server(std::shared_ptr<const core::Grafics> model,
-                  ServerConfig config = {}, std::string model_path = {});
+  /// Serves every model in `registry`, which must already hold at least one
+  /// (the default) and stays owned by the caller: load/unload/reload models
+  /// on it at any time while the server runs.
+  explicit Server(std::shared_ptr<ModelRegistry> registry,
+                  ServerConfig config = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -48,23 +50,16 @@ class Server {
   /// Binds, listens, and spawns the accept loop. Throws grafics::Error when
   /// the address is unusable.
   void Start();
-  /// Stops accepting, disconnects clients, drains the batcher. Idempotent.
+  /// Stops accepting and disconnects clients. The registry (and its
+  /// batchers) is the caller's to stop. Idempotent.
   void Stop();
 
   /// Bound port (resolves port 0 after Start).
   std::uint16_t port() const { return port_; }
 
-  /// Current model snapshot; holders keep it alive across hot reloads.
-  std::shared_ptr<const core::Grafics> model_snapshot() const;
-  /// Monotonic counter starting at 1, bumped by every SetModel.
-  std::uint64_t model_generation() const;
-  /// Atomically installs a new snapshot for future batches.
-  void SetModel(std::shared_ptr<const core::Grafics> model);
-  /// Loads model_path and installs it; the old model keeps serving if the
-  /// load throws. Requires a model_path.
-  void ReloadFromDisk();
+  ModelRegistry& registry() { return *registry_; }
+  const ModelRegistry& registry() const { return *registry_; }
 
-  BatcherStats batcher_stats() const { return batcher_->stats(); }
   std::uint64_t connections_accepted() const {
     return connections_accepted_.load();
   }
@@ -83,14 +78,14 @@ class Server {
   /// themselves), so at most one finished handler lingers while idle.
   void ReapFinished();
 
+  PredictResponse HandlePredict(PredictRequest request);
+  Pong HandlePing(const Ping& ping, std::uint32_t version);
+  ReloadResponse HandleReload(const ReloadRequest& request);
+  ListModelsResponse HandleListModels() const;
+  StatsResponse HandleStats(const StatsRequest& request) const;
+
   const ServerConfig config_;
-  const std::string model_path_;
-
-  mutable std::mutex model_mutex_;
-  std::shared_ptr<const core::Grafics> model_;
-  std::uint64_t generation_ = 1;
-
-  std::unique_ptr<MicroBatcher> batcher_;
+  const std::shared_ptr<ModelRegistry> registry_;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

@@ -4,16 +4,22 @@
 //
 //   grafics train   <dataset.csv> <model.bin> [--labels-per-floor N]
 //   grafics predict <model.bin> <scans.csv> [--threads N]
-//   grafics remote-predict <host:port> <scans.csv>
-//   grafics remote-reload  <host:port>
+//   grafics remote-predict <host:port> <scans.csv> [--model NAME] [--batch N]
+//   grafics remote-ping    <host:port> [--model NAME]
+//   grafics remote-reload  <host:port> [--model NAME]
+//   grafics remote-models  <host:port>
+//   grafics remote-stats   <host:port> [--model NAME]
 //   grafics eval    <dataset.csv> [--labels-per-floor N] [--train-ratio R]
 //   grafics synth   <out.csv> [--preset campus|mall|hk-tower] [--seed S]
 //   grafics stats   <dataset.csv>
 //
-// remote-predict queries a running grafics_served daemon and prints the
-// exact same `index,floor` lines as the in-process predict command, so the
-// two outputs diff clean on the same model (the CI daemon smoke test relies
-// on that).
+// remote-predict queries a running grafics_served daemon — batching records
+// into one protocol-v2 frame per --batch records — and prints the exact
+// same `index,floor` lines as the in-process predict command, so the two
+// outputs diff clean on the same model (the CI daemon smoke test relies on
+// that, per named model). remote-ping reports the negotiated protocol
+// version; remote-models and remote-stats are the v2 admin surface of the
+// daemon's multi-building model registry.
 //
 // Exit status: 0 on success, 1 on usage error, 2 on runtime failure.
 #include <cstdint>
@@ -41,8 +47,12 @@ int Usage() {
                "  grafics train   <dataset.csv> <model.bin> "
                "[--labels-per-floor N]\n"
                "  grafics predict <model.bin> <scans.csv> [--threads N]\n"
-               "  grafics remote-predict <host:port> <scans.csv>\n"
-               "  grafics remote-reload  <host:port>\n"
+               "  grafics remote-predict <host:port> <scans.csv> "
+               "[--model NAME] [--batch N]\n"
+               "  grafics remote-ping    <host:port> [--model NAME]\n"
+               "  grafics remote-reload  <host:port> [--model NAME]\n"
+               "  grafics remote-models  <host:port>\n"
+               "  grafics remote-stats   <host:port> [--model NAME]\n"
                "  grafics eval    <dataset.csv> [--labels-per-floor N] "
                "[--train-ratio R] [--seed S]\n"
                "  grafics synth   <out.csv> [--preset campus|mall|hk-tower] "
@@ -107,30 +117,89 @@ std::pair<std::string, std::uint16_t> ParseHostPort(const std::string& text) {
 int CmdRemotePredict(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
   const auto [host, port] = ParseHostPort(args[0]);
+  const std::string model = FlagValue(args, "--model", "");
+  const std::size_t batch = static_cast<std::size_t>(ParseUnsigned(
+      FlagValue(args, "--batch", "256"), serve::kMaxBatchRecords, "--batch"));
+  Require(batch >= 1, "--batch must be at least 1");
   serve::Client client(host, port);
   const rf::Dataset scans = rf::Dataset::LoadCsv(args[1], "scans");
+  if (scans.records().empty()) return 0;
   // Same output contract as CmdPredict: predictions over the wire are
-  // bit-identical to in-process Predict on the same model artifact.
-  std::size_t index = 0;
-  for (const rf::SignalRecord& record : scans.records()) {
-    const auto prediction = client.Predict(record);
-    if (prediction) {
-      std::printf("%zu,%d\n", index, *prediction);
+  // bit-identical to in-process Predict on the same model artifact — here
+  // one round trip per --batch records instead of one per scan.
+  const auto predictions = client.PredictBatch(scans.records(), model, batch);
+  for (std::size_t index = 0; index < predictions.size(); ++index) {
+    if (predictions[index]) {
+      std::printf("%zu,%d\n", index, *predictions[index]);
     } else {
       std::printf("%zu,discarded\n", index);
     }
-    ++index;
   }
+  return 0;
+}
+
+int CmdRemotePing(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const auto [host, port] = ParseHostPort(args[0]);
+  serve::Client client(host, port);
+  const serve::Pong pong = client.Ping(FlagValue(args, "--model", ""));
+  if (!pong.ok) {
+    std::fprintf(stderr, "ping failed: %s\n", pong.error.c_str());
+    return 2;
+  }
+  std::printf("protocol v%u, model generation %llu\n", pong.protocol_version,
+              static_cast<unsigned long long>(pong.model_generation));
   return 0;
 }
 
 int CmdRemoteReload(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   const auto [host, port] = ParseHostPort(args[0]);
+  const std::string model = FlagValue(args, "--model", "");
   serve::Client client(host, port);
-  const std::uint64_t generation = client.Reload();
-  std::printf("daemon reloaded its model (generation %llu)\n",
+  const std::uint64_t generation = client.Reload(model);
+  std::printf("daemon reloaded model %s (generation %llu)\n",
+              model.empty() ? "<default>" : model.c_str(),
               static_cast<unsigned long long>(generation));
+  return 0;
+}
+
+int CmdRemoteModels(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const auto [host, port] = ParseHostPort(args[0]);
+  serve::Client client(host, port);
+  const serve::ListModelsResponse models = client.ListModels();
+  for (const serve::ModelInfo& info : models.models) {
+    std::printf("%s,generation=%llu,reloadable=%d%s\n", info.name.c_str(),
+                static_cast<unsigned long long>(info.generation),
+                info.reloadable ? 1 : 0,
+                info.name == models.default_model ? ",default" : "");
+  }
+  return 0;
+}
+
+int CmdRemoteStats(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const auto [host, port] = ParseHostPort(args[0]);
+  const std::string model = FlagValue(args, "--model", "");
+  serve::Client client(host, port);
+  const serve::StatsResponse stats = client.Stats(model);
+  if (!model.empty() && stats.models.empty()) {
+    std::fprintf(stderr, "no such model '%s'\n", model.c_str());
+    return 2;
+  }
+  std::printf("connections_accepted=%llu\n",
+              static_cast<unsigned long long>(stats.connections_accepted));
+  for (const serve::ModelStats& m : stats.models) {
+    std::printf(
+        "%s,generation=%llu,requests=%llu,batches=%llu,max_batch=%llu,"
+        "queue_depth=%llu\n",
+        m.name.c_str(), static_cast<unsigned long long>(m.generation),
+        static_cast<unsigned long long>(m.requests),
+        static_cast<unsigned long long>(m.batches),
+        static_cast<unsigned long long>(m.max_batch),
+        static_cast<unsigned long long>(m.queue_depth));
+  }
   return 0;
 }
 
@@ -208,7 +277,10 @@ int main(int argc, char** argv) {
     if (command == "train") return CmdTrain(args);
     if (command == "predict") return CmdPredict(args);
     if (command == "remote-predict") return CmdRemotePredict(args);
+    if (command == "remote-ping") return CmdRemotePing(args);
     if (command == "remote-reload") return CmdRemoteReload(args);
+    if (command == "remote-models") return CmdRemoteModels(args);
+    if (command == "remote-stats") return CmdRemoteStats(args);
     if (command == "eval") return CmdEval(args);
     if (command == "synth") return CmdSynth(args);
     if (command == "stats") return CmdStats(args);

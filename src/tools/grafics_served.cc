@@ -1,23 +1,33 @@
 // grafics_served — the GRAFICS network serving daemon.
 //
-// Loads a SaveModel artifact and answers floor queries over the TCP protocol
-// of serve/protocol.h, coalescing concurrent requests into dynamic
-// micro-batches served through the snapshot-isolated PredictBatch path.
+// Loads one or many SaveModel artifacts into a named model registry and
+// answers floor queries over the TCP protocol of serve/protocol.h,
+// coalescing concurrent requests into per-model dynamic micro-batches
+// served through the snapshot-isolated PredictBatch path. One daemon, many
+// buildings: clients route by model name, and unnamed (or protocol-v1)
+// requests go to the default model.
 //
-//   grafics_served <model.bin> [--host A] [--port P] [--max-batch N]
-//                  [--max-delay-ms M] [--threads T] [--port-file F]
+//   grafics_served [<model.bin>] [--model NAME=PATH]... [--default NAME]
+//                  [--host A] [--port P] [--max-batch N] [--max-delay-ms M]
+//                  [--threads T] [--port-file F]
 //
+//   <model.bin>       artifact loaded as model "default" (optional when at
+//                     least one --model is given)
+//   --model NAME=PATH load PATH as model NAME; repeatable
+//   --default NAME    which model unnamed requests hit (default: the first
+//                     loaded model)
 //   --host A          bind address            (default 127.0.0.1)
 //   --port P          TCP port; 0 = ephemeral (default 4817)
 //   --max-batch N     flush a batch at N pending requests (default 64)
 //   --max-delay-ms M  flush after the oldest request waited M ms (default 2)
-//   --threads T       PredictBatch workers per flush; 0 = all cores
+//   --threads T       PredictBatch workers shared by all models; 0 = cores
 //   --port-file F     write the bound port to F once listening (for
 //                     scripts/CI that start on an ephemeral port)
 //
-// SIGHUP hot-reloads the model artifact from disk: new batches move to the
-// fresh snapshot atomically while in-flight batches finish on the old one.
-// Clients can trigger the same reload remotely (`grafics remote-reload`).
+// SIGHUP hot-reloads every model from its artifact path, one by one: new
+// batches move to each fresh snapshot atomically while in-flight batches
+// finish on the old one, and other models keep serving throughout. Clients
+// can reload one model remotely (`grafics remote-reload --model NAME`).
 // SIGINT/SIGTERM drain and exit.
 //
 // Exit status: 0 on clean shutdown, 1 on usage error, 2 on runtime failure.
@@ -30,11 +40,13 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/cli_flags.h"
 #include "common/error.h"
 #include "core/grafics.h"
+#include "serve/model_registry.h"
 #include "serve/server.h"
 
 namespace {
@@ -64,47 +76,104 @@ void InstallSignalHandlers() {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: grafics_served <model.bin> [--host A] [--port P] "
-               "[--max-batch N]\n"
-               "                      [--max-delay-ms M] [--threads T] "
-               "[--port-file F]\n");
+  std::fprintf(
+      stderr,
+      "usage: grafics_served [<model.bin>] [--model NAME=PATH]... "
+      "[--default NAME]\n"
+      "                      [--host A] [--port P] [--max-batch N]\n"
+      "                      [--max-delay-ms M] [--threads T] "
+      "[--port-file F]\n");
   return 1;
+}
+
+/// Splits "NAME=PATH" on the first '='; both halves must be non-empty.
+std::pair<std::string, std::string> ParseModelFlag(const std::string& text) {
+  const std::size_t equals = text.find('=');
+  Require(equals != std::string::npos && equals > 0 && equals + 1 < text.size(),
+          "--model expects NAME=PATH, got '" + text + "'");
+  return {text.substr(0, equals), text.substr(equals + 1)};
+}
+
+/// SIGHUP: reload every reloadable model from its artifact path. A broken
+/// artifact on disk must not take the daemon (or the other models) down.
+std::uint64_t ReloadAll(serve::ModelRegistry& registry) {
+  std::uint64_t reloaded = 0;
+  for (const serve::ModelInfo& info : registry.List()) {
+    if (!info.reloadable) continue;
+    try {
+      const std::uint64_t generation = registry.ReloadFromDisk(info.name);
+      ++reloaded;
+      std::printf("grafics_served: reloaded model %s (generation %llu)\n",
+                  info.name.c_str(),
+                  static_cast<unsigned long long>(generation));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "grafics_served: reload of %s failed: %s\n",
+                   info.name.c_str(), e.what());
+    }
+  }
+  std::fflush(stdout);
+  return reloaded;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argv[1][0] == '-') return Usage();
-  const std::string model_path = argv[1];
-  const std::vector<std::string> args(argv + 2, argv + argc);
+  std::string positional_model;
+  int first_flag = 1;
+  if (argc >= 2 && argv[1][0] != '-') {
+    positional_model = argv[1];
+    first_flag = 2;
+  }
+  const std::vector<std::string> args(argv + first_flag, argv + argc);
   try {
     serve::ServerConfig config;
     config.host = FlagValue(args, "--host", "127.0.0.1");
     config.port = static_cast<std::uint16_t>(ParseUnsigned(
         FlagValue(args, "--port", std::to_string(serve::kDefaultPort)), 65535,
         "--port"));
-    config.batcher.max_batch_size = static_cast<std::size_t>(ParseUnsigned(
+    serve::BatcherConfig batcher;
+    batcher.max_batch_size = static_cast<std::size_t>(ParseUnsigned(
         FlagValue(args, "--max-batch", "64"), 1 << 20, "--max-batch"));
-    config.batcher.max_delay = std::chrono::milliseconds(ParseUnsigned(
+    batcher.max_delay = std::chrono::milliseconds(ParseUnsigned(
         FlagValue(args, "--max-delay-ms", "2"), 60000, "--max-delay-ms"));
-    config.batcher.predict_threads = static_cast<std::size_t>(ParseUnsigned(
+    batcher.predict_threads = static_cast<std::size_t>(ParseUnsigned(
         FlagValue(args, "--threads", "1"), 4096, "--threads"));
     const std::string port_file = FlagValue(args, "--port-file", "");
+    const std::vector<std::string> model_flags = FlagValues(args, "--model");
+    if (positional_model.empty() && model_flags.empty()) return Usage();
 
-    // Before the (slow) model load: an early SIGHUP must queue a reload,
+    // Before the (slow) model loads: an early SIGHUP must queue a reload,
     // not kill the process with the default action.
     InstallSignalHandlers();
-    std::printf("grafics_served: loading %s...\n", model_path.c_str());
-    std::fflush(stdout);
-    auto model = std::make_shared<const core::Grafics>(
-        core::Grafics::LoadModel(model_path));
-    serve::Server server(std::move(model), config, model_path);
+    auto registry = std::make_shared<serve::ModelRegistry>(batcher);
+    if (!positional_model.empty()) {
+      std::printf("grafics_served: loading default = %s...\n",
+                  positional_model.c_str());
+      std::fflush(stdout);
+      registry->LoadFromDisk("default", positional_model);
+    }
+    for (const std::string& flag : model_flags) {
+      const auto [name, path] = ParseModelFlag(flag);
+      // A duplicate name (repeated --model, or colliding with the
+      // positional artifact's "default") would silently hot-swap the
+      // earlier artifact — almost certainly an operator typo.
+      Require(!registry->Has(name), "duplicate model name '" + name + "'");
+      std::printf("grafics_served: loading %s = %s...\n", name.c_str(),
+                  path.c_str());
+      std::fflush(stdout);
+      registry->LoadFromDisk(name, path);
+    }
+    const std::string default_name = FlagValue(args, "--default", "");
+    if (!default_name.empty()) registry->SetDefaultModel(default_name);
+
+    serve::Server server(registry, config);
     server.Start();
-    std::printf("grafics_served: serving %s on %s:%u (pid %d)\n",
-                model_path.c_str(), config.host.c_str(),
-                static_cast<unsigned>(server.port()),
-                static_cast<int>(::getpid()));
+    std::printf(
+        "grafics_served: serving %zu model(s) (default %s) on %s:%u "
+        "(pid %d)\n",
+        registry->size(), registry->default_model().c_str(),
+        config.host.c_str(), static_cast<unsigned>(server.port()),
+        static_cast<int>(::getpid()));
     std::fflush(stdout);
     if (!port_file.empty()) {
       std::FILE* f = std::fopen(port_file.c_str(), "w");
@@ -117,34 +186,26 @@ int main(int argc, char** argv) {
     while (g_stop_requested == 0) {
       if (g_reload_requested != 0) {
         g_reload_requested = 0;
-        try {
-          server.ReloadFromDisk();
-          ++reloads;
-          std::printf("grafics_served: reloaded %s (generation %llu)\n",
-                      model_path.c_str(),
-                      static_cast<unsigned long long>(
-                          server.model_generation()));
-        } catch (const std::exception& e) {
-          // Keep serving the old snapshot; a broken artifact on disk must
-          // not take the daemon down.
-          std::fprintf(stderr, "grafics_served: reload failed: %s\n",
-                       e.what());
-        }
-        std::fflush(stdout);
+        reloads += ReloadAll(*registry);
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
 
     server.Stop();
-    const serve::BatcherStats stats = server.batcher_stats();
-    std::printf(
-        "grafics_served: shut down after %llu connection(s), %llu "
-        "request(s) in %llu batch(es) (largest %llu), %llu reload(s)\n",
-        static_cast<unsigned long long>(server.connections_accepted()),
-        static_cast<unsigned long long>(stats.requests),
-        static_cast<unsigned long long>(stats.batches),
-        static_cast<unsigned long long>(stats.max_batch),
-        static_cast<unsigned long long>(reloads));
+    registry->Stop();
+    std::printf("grafics_served: shut down after %llu connection(s), "
+                "%llu reload(s)\n",
+                static_cast<unsigned long long>(server.connections_accepted()),
+                static_cast<unsigned long long>(reloads));
+    for (const serve::ModelStats& stats : registry->Stats()) {
+      std::printf("  model %-24s gen %llu: %llu request(s) in %llu "
+                  "batch(es), largest %llu\n",
+                  stats.name.c_str(),
+                  static_cast<unsigned long long>(stats.generation),
+                  static_cast<unsigned long long>(stats.requests),
+                  static_cast<unsigned long long>(stats.batches),
+                  static_cast<unsigned long long>(stats.max_batch));
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "grafics_served: error: %s\n", e.what());

@@ -1,0 +1,236 @@
+// Tests for the named model registry: load/unload/list lifecycle, default
+// resolution, per-model generations and stats, routing submits to the right
+// per-model batcher, and hot-reload from disk that leaves other models'
+// queues untouched.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/grafics.h"
+#include "serve/model_registry.h"
+#include "synth/presets.h"
+
+namespace grafics::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::GraficsConfig FastConfig(std::uint64_t trainer_seed) {
+  core::GraficsConfig config;
+  config.trainer.samples_per_edge = 60;
+  config.trainer.seed = trainer_seed;
+  config.online_refine_iterations = 300;
+  return config;
+}
+
+struct Fixture {
+  std::shared_ptr<const core::Grafics> model;
+  std::vector<rf::SignalRecord> queries;
+  std::vector<std::optional<rf::FloorId>> reference;
+
+  explicit Fixture(std::uint64_t trainer_seed) {
+    auto config = synth::CampusBuildingConfig(/*seed=*/53, 60);
+    auto sim = config.MakeSimulator();
+    rf::Dataset dataset = sim.GenerateDataset();
+    Rng rng(54);
+    auto [train, test] = dataset.TrainTestSplit(0.7, rng);
+    train.KeepLabelsPerFloor(4, rng);
+    core::Grafics system(FastConfig(trainer_seed));
+    system.Train(train.records());
+    queries.assign(test.records().begin(), test.records().end());
+    reference = system.PredictBatch(queries, {.num_threads = 1});
+    model = std::make_shared<const core::Grafics>(std::move(system));
+  }
+};
+
+const Fixture& ModelA() {
+  static const Fixture fixture(1);
+  return fixture;
+}
+
+const Fixture& ModelB() {
+  static const Fixture fixture(2);
+  return fixture;
+}
+
+BatcherConfig QuickBatcherConfig() {
+  BatcherConfig config;
+  config.max_batch_size = 8;
+  config.max_delay = 2ms;
+  return config;
+}
+
+std::optional<rf::FloorId> GetWithin(
+    std::future<std::optional<rf::FloorId>>&& future) {
+  if (future.wait_for(30s) != std::future_status::ready) {
+    ADD_FAILURE() << "registry future not ready within 30s";
+    return std::nullopt;
+  }
+  return future.get();
+}
+
+TEST(ModelRegistryTest, LoadListAndDefaultLifecycle) {
+  ModelRegistry registry(QuickBatcherConfig());
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.default_model(), "");
+  registry.Load("alpha", ModelA().model);
+  registry.Load("beta", ModelB().model);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.default_model(), "alpha");  // first loaded wins
+  EXPECT_TRUE(registry.Has("alpha"));
+  EXPECT_FALSE(registry.Has("gamma"));
+
+  const std::vector<ModelInfo> models = registry.List();
+  ASSERT_EQ(models.size(), 2u);
+  EXPECT_EQ(models[0].name, "alpha");
+  EXPECT_EQ(models[0].generation, 1u);
+  EXPECT_FALSE(models[0].reloadable);
+  EXPECT_EQ(models[1].name, "beta");
+
+  registry.SetDefaultModel("beta");
+  EXPECT_EQ(registry.default_model(), "beta");
+  EXPECT_THROW(registry.SetDefaultModel("gamma"), Error);
+}
+
+TEST(ModelRegistryTest, ValidatesNamesAndModels) {
+  ModelRegistry registry(QuickBatcherConfig());
+  EXPECT_THROW(registry.Load("", ModelA().model), Error);
+  EXPECT_THROW(registry.Load("has space", ModelA().model), Error);
+  EXPECT_THROW(registry.Load("has=equals", ModelA().model), Error);
+  EXPECT_THROW(registry.Load(std::string(kMaxModelNameBytes + 1, 'm'),
+                             ModelA().model),
+               Error);
+  EXPECT_THROW(registry.Load("alpha", nullptr), Error);
+  EXPECT_THROW(
+      registry.Load("alpha", std::make_shared<const core::Grafics>()),
+      Error);
+  EXPECT_EQ(registry.size(), 0u);
+  // Non-ASCII bytes are legal (only whitespace/control/'=' are not).
+  registry.Load("m\xC3\xBCnchen", ModelA().model);
+  EXPECT_TRUE(registry.Has("m\xC3\xBCnchen"));
+}
+
+TEST(ModelRegistryTest, SubmitRoutesByNameAndResolvesDefault) {
+  const Fixture& a = ModelA();
+  const Fixture& b = ModelB();
+  ModelRegistry registry(QuickBatcherConfig());
+  registry.Load("alpha", a.model);
+  registry.Load("beta", b.model);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(GetWithin(registry.Submit("alpha", a.queries[i])),
+              a.reference[i])
+        << i;
+    EXPECT_EQ(GetWithin(registry.Submit("beta", b.queries[i])),
+              b.reference[i])
+        << i;
+    EXPECT_EQ(GetWithin(registry.Submit("", a.queries[i])), a.reference[i])
+        << i;
+  }
+  EXPECT_THROW(registry.Submit("gamma", a.queries[0]), Error);
+
+  // SubmitBatch: one name resolution, per-record futures in order.
+  auto futures = registry.SubmitBatch(
+      "beta", {b.queries.begin(), b.queries.begin() + 4});
+  ASSERT_EQ(futures.size(), 4u);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(GetWithin(std::move(futures[i])), b.reference[i]) << i;
+  }
+  EXPECT_THROW(registry.SubmitBatch("gamma", {a.queries[0]}), Error);
+
+  const std::vector<ModelStats> stats = registry.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "alpha");
+  EXPECT_EQ(stats[0].requests, 12u);  // named + default submits
+  EXPECT_GE(stats[0].batches, 1u);
+  EXPECT_EQ(stats[1].name, "beta");
+  EXPECT_EQ(stats[1].requests, 10u);  // singles + the batch of 4
+}
+
+TEST(ModelRegistryTest, ReloadingLoadBumpsGenerationAndSwapsSnapshot) {
+  const Fixture& a = ModelA();
+  const Fixture& b = ModelB();
+  ModelRegistry registry(QuickBatcherConfig());
+  registry.Load("alpha", a.model);
+  EXPECT_EQ(registry.generation("alpha"), 1u);
+  EXPECT_EQ(registry.Snapshot("alpha"), a.model);
+
+  registry.Load("alpha", b.model);
+  EXPECT_EQ(registry.generation("alpha"), 2u);
+  EXPECT_EQ(registry.Snapshot(), b.model);  // empty name = default
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(GetWithin(registry.Submit("alpha", b.queries[0])),
+            b.reference[0]);
+}
+
+TEST(ModelRegistryTest, UnloadDrainsAndRemovesButProtectsDefault) {
+  const Fixture& a = ModelA();
+  const Fixture& b = ModelB();
+  ModelRegistry registry(QuickBatcherConfig());
+  registry.Load("alpha", a.model);
+  registry.Load("beta", b.model);
+
+  auto pending = registry.Submit("beta", b.queries[0]);
+  registry.Unload("beta");
+  // The unload drained the queue: the future still resolved correctly.
+  EXPECT_EQ(GetWithin(std::move(pending)), b.reference[0]);
+  EXPECT_FALSE(registry.Has("beta"));
+  EXPECT_THROW(registry.Submit("beta", b.queries[0]), Error);
+  EXPECT_THROW(registry.Unload("beta"), Error);
+  EXPECT_THROW(registry.Unload("alpha"), Error);  // the default is protected
+  EXPECT_EQ(GetWithin(registry.Submit("alpha", a.queries[0])),
+            a.reference[0]);
+}
+
+TEST(ModelRegistryTest, ReloadFromDiskSwapsOnlyTheNamedModel) {
+  const Fixture& a = ModelA();
+  const Fixture& b = ModelB();
+  const std::string path =
+      testing::TempDir() + "model_registry_test_model.bin";
+  a.model->SaveModel(path);
+  ModelRegistry registry(QuickBatcherConfig());
+  registry.LoadFromDisk("alpha", path);
+  registry.Load("beta", b.model);
+  EXPECT_TRUE(registry.List()[0].reloadable);
+  EXPECT_FALSE(registry.List()[1].reloadable);
+  EXPECT_EQ(GetWithin(registry.Submit("alpha", a.queries[0])),
+            a.reference[0]);
+
+  // Swap the artifact on disk, then reload by name: alpha serves model B's
+  // answers, beta's snapshot and generation stay untouched.
+  b.model->SaveModel(path);
+  EXPECT_EQ(registry.ReloadFromDisk("alpha"), 2u);
+  EXPECT_EQ(registry.generation("alpha"), 2u);
+  EXPECT_EQ(registry.generation("beta"), 1u);
+  EXPECT_EQ(registry.Snapshot("beta"), b.model);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(GetWithin(registry.Submit("alpha", b.queries[i])),
+              b.reference[i])
+        << i;
+  }
+  EXPECT_THROW(registry.ReloadFromDisk("beta"), Error);  // no path recorded
+  EXPECT_THROW(registry.ReloadFromDisk("gamma"), Error);
+}
+
+TEST(ModelRegistryTest, StopDrainsEveryModelAndRejectsFurtherWork) {
+  const Fixture& a = ModelA();
+  ModelRegistry registry(QuickBatcherConfig());
+  registry.Load("alpha", a.model);
+  auto pending = registry.Submit("alpha", a.queries[0]);
+  registry.Stop();
+  EXPECT_EQ(GetWithin(std::move(pending)), a.reference[0]);
+  EXPECT_THROW(registry.Submit("alpha", a.queries[0]), Error);
+  EXPECT_THROW(registry.Load("beta", ModelB().model), Error);
+  EXPECT_THROW(registry.ReloadFromDisk("alpha"), Error);
+  // Stats stay readable for the shutdown report.
+  ASSERT_EQ(registry.Stats().size(), 1u);
+  EXPECT_EQ(registry.Stats()[0].requests, 1u);
+}
+
+}  // namespace
+}  // namespace grafics::serve

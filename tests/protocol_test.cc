@@ -1,6 +1,8 @@
-// Tests for the serving wire protocol: round-trips for every message type,
-// and rejection (grafics::Error, never a crash) of truncated, garbage,
-// oversized, and trailing-byte frames — including over a real socket pair.
+// Tests for the serving wire protocol: round-trips for every v2 message
+// type, v1 <-> v2 compatibility (v1 frames decode to one-record default-
+// model requests; replies encode back to v1), and rejection (grafics::Error,
+// never a crash) of truncated, garbage, oversized, bad-name, zero-batch,
+// and trailing-byte frames — including over a real socket pair.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
@@ -62,30 +64,55 @@ TEST(SignalRecordWireTest, RejectsUnreasonableObservationCount) {
 }
 
 std::vector<Message> AllMessageTypes() {
-  PredictResponse ok;
-  ok.status = PredictStatus::kOk;
-  ok.floor = -3;
-  PredictResponse error;
-  error.status = PredictStatus::kError;
-  error.error = "model not trained";
+  PredictRequest named_batch;
+  named_batch.model = "mall";
+  named_batch.records = {MakeRecord(7), MakeRecord(), rf::SignalRecord()};
+  PredictResponse mixed;
+  mixed.results.push_back({PredictStatus::kOk, -3, ""});
+  mixed.results.push_back({PredictStatus::kDiscarded, 0, ""});
+  mixed.results.push_back({PredictStatus::kError, 0, "model not trained"});
+  Pong pong;
+  pong.protocol_version = 2;
+  pong.ok = true;
+  pong.model_generation = 42;
+  Pong failed_pong;
+  failed_pong.protocol_version = 2;
+  failed_pong.ok = false;
+  failed_pong.error = "unknown model 'x'";
   ReloadResponse reloaded;
   reloaded.ok = true;
   reloaded.model_generation = 3;
   reloaded.message = "model reloaded";
+  ListModelsResponse listing;
+  listing.default_model = "campus";
+  listing.models = {{"campus", 2, true}, {"mall", 1, false}};
+  StatsResponse stats;
+  stats.connections_accepted = 17;
+  stats.models = {{"campus", 2, 100, 9, 32, 3}, {"mall", 1, 5, 5, 1, 0}};
   std::vector<Message> messages;
-  messages.push_back(PredictRequest{MakeRecord(7)});
-  messages.push_back(ok);
-  messages.push_back(error);
+  messages.push_back(named_batch);
+  messages.push_back(PredictRequest{"", {MakeRecord(7)}});
+  messages.push_back(mixed);
   messages.push_back(Ping{});
-  messages.push_back(Pong{42});
+  messages.push_back(Ping{"mall"});
+  messages.push_back(pong);
+  messages.push_back(failed_pong);
   messages.push_back(ReloadRequest{});
+  messages.push_back(ReloadRequest{"mall"});
   messages.push_back(reloaded);
+  messages.push_back(ListModelsRequest{});
+  messages.push_back(listing);
+  messages.push_back(StatsRequest{});
+  messages.push_back(StatsRequest{"campus"});
+  messages.push_back(stats);
   return messages;
 }
 
 TEST(ProtocolTest, EveryMessageTypeRoundTrips) {
   for (const Message& message : AllMessageTypes()) {
-    EXPECT_EQ(DecodePayload(EncodePayload(message)), message);
+    std::uint32_t version = 0;
+    EXPECT_EQ(DecodePayload(EncodePayload(message), &version), message);
+    EXPECT_EQ(version, kProtocolVersion);
   }
 }
 
@@ -100,8 +127,143 @@ TEST(ProtocolTest, FrameIsLengthPrefixedPayload) {
   EXPECT_EQ(frame.substr(4), payload);
 }
 
+// --- v1 <-> v2 compatibility ----------------------------------------------
+
+/// Messages a v1 peer can express: unnamed, single-record, no admin types.
+std::vector<Message> V1Messages() {
+  PredictResponse ok;
+  ok.results.push_back({PredictStatus::kOk, -3, ""});
+  Pong pong;
+  pong.protocol_version = 1;  // what decoding a v1 pong must report
+  pong.model_generation = 42;
+  ReloadResponse reloaded;
+  reloaded.ok = true;
+  reloaded.model_generation = 3;
+  reloaded.message = "model reloaded";
+  std::vector<Message> messages;
+  messages.push_back(PredictRequest{"", {MakeRecord(7)}});
+  messages.push_back(ok);
+  messages.push_back(Ping{});
+  messages.push_back(pong);
+  messages.push_back(ReloadRequest{});
+  messages.push_back(reloaded);
+  return messages;
+}
+
+TEST(ProtocolV1CompatTest, V1FramesRoundTripThroughTheV2Decoder) {
+  for (const Message& message : V1Messages()) {
+    std::uint32_t version = 0;
+    EXPECT_EQ(DecodePayload(EncodePayload(message, 1), &version), message);
+    EXPECT_EQ(version, 1u);
+  }
+}
+
+TEST(ProtocolV1CompatTest, V1EncodingMatchesTheOriginalWireBytes) {
+  // A v1 PredictRequest body is the bare record — reconstruct the original
+  // encoder by hand and compare byte-for-byte, so "keeps decoding v1" means
+  // the actual PR 2 wire format and not merely our own idea of it.
+  const rf::SignalRecord record = MakeRecord(7);
+  std::ostringstream expected;
+  WriteHeader(expected, kFrameMagic, 1);
+  WriteU8(expected, 1);  // kPredictRequest
+  WriteSignalRecord(expected, record);
+  EXPECT_EQ(EncodePayload(PredictRequest{"", {record}}, 1),
+            std::move(expected).str());
+
+  std::ostringstream pong;
+  WriteHeader(pong, kFrameMagic, 1);
+  WriteU8(pong, 4);  // kPong
+  WriteU64(pong, 42);
+  EXPECT_EQ(EncodePayload(Pong{1, true, 42, ""}, 1), std::move(pong).str());
+}
+
+TEST(ProtocolV1CompatTest, DecodedV1PongReportsProtocolVersionOne) {
+  const Message decoded = DecodePayload(EncodePayload(Pong{1, true, 7, ""}, 1));
+  const auto* pong = std::get_if<Pong>(&decoded);
+  ASSERT_NE(pong, nullptr);
+  EXPECT_EQ(pong->protocol_version, 1u);
+  EXPECT_EQ(pong->model_generation, 7u);
+}
+
+TEST(ProtocolV1CompatTest, V1CannotExpressNamesBatchesOrAdmin) {
+  EXPECT_THROW(EncodePayload(PredictRequest{"mall", {MakeRecord()}}, 1),
+               Error);
+  EXPECT_THROW(
+      EncodePayload(PredictRequest{"", {MakeRecord(), MakeRecord(1)}}, 1),
+      Error);
+  EXPECT_THROW(EncodePayload(Ping{"mall"}, 1), Error);
+  EXPECT_THROW(EncodePayload(ReloadRequest{"mall"}, 1), Error);
+  EXPECT_THROW(EncodePayload(ListModelsRequest{}, 1), Error);
+  EXPECT_THROW(EncodePayload(StatsRequest{}, 1), Error);
+  PredictResponse two;
+  two.results.resize(2);
+  EXPECT_THROW(EncodePayload(two, 1), Error);
+}
+
+TEST(ProtocolV1CompatTest, V1FrameWithAdminTypeCodeIsRejected) {
+  for (const std::uint8_t type : {7, 8, 9, 10}) {
+    std::ostringstream out;
+    WriteHeader(out, kFrameMagic, 1);
+    WriteU8(out, type);
+    EXPECT_THROW(DecodePayload(std::move(out).str()), Error)
+        << "type " << static_cast<unsigned>(type);
+  }
+}
+
+// --- malformed v2 frames --------------------------------------------------
+
+TEST(ProtocolTest, RejectsBadModelNameLength) {
+  std::ostringstream out;
+  WriteHeader(out, kFrameMagic, kProtocolVersion);
+  WriteU8(out, 1);  // kPredictRequest
+  WriteString(out, std::string(kMaxModelNameBytes + 1, 'm'));
+  WriteU32(out, 1);
+  WriteSignalRecord(out, MakeRecord());
+  EXPECT_THROW(DecodePayload(std::move(out).str()), Error);
+}
+
+TEST(ProtocolTest, RejectsHostileModelNameLengthBeforeAllocating) {
+  std::ostringstream out;
+  WriteHeader(out, kFrameMagic, kProtocolVersion);
+  WriteU8(out, 3);                     // kPing
+  WriteU64(out, 0xFFFFFFFFFFFFFFFF);  // declared name length
+  EXPECT_THROW(DecodePayload(std::move(out).str()), Error);
+}
+
+TEST(ProtocolTest, RejectsHostileStringFieldLengthBeforeAllocating) {
+  // A free-form string field (here ReloadResponse.message) declaring ~4 GiB
+  // must be an Error before any allocation, like model names are.
+  std::ostringstream out;
+  WriteHeader(out, kFrameMagic, kProtocolVersion);
+  WriteU8(out, 6);  // kReloadResponse
+  WriteU8(out, 1);
+  WriteU64(out, 3);
+  WriteU64(out, 0xFFFFFFFFULL);  // declared message length
+  EXPECT_THROW(DecodePayload(std::move(out).str()), Error);
+}
+
+TEST(ProtocolTest, RejectsZeroRecordBatch) {
+  std::ostringstream out;
+  WriteHeader(out, kFrameMagic, kProtocolVersion);
+  WriteU8(out, 1);  // kPredictRequest
+  WriteString(out, "");
+  WriteU32(out, 0);
+  EXPECT_THROW(DecodePayload(std::move(out).str()), Error);
+  EXPECT_THROW(EncodePayload(PredictRequest{}), Error);
+}
+
+TEST(ProtocolTest, RejectsOversizedBatch) {
+  std::ostringstream out;
+  WriteHeader(out, kFrameMagic, kProtocolVersion);
+  WriteU8(out, 1);  // kPredictRequest
+  WriteString(out, "");
+  WriteU32(out, static_cast<std::uint32_t>(kMaxBatchRecords + 1));
+  EXPECT_THROW(DecodePayload(std::move(out).str()), Error);
+}
+
 TEST(ProtocolTest, EveryTruncationIsRejectedNotCrashing) {
-  const std::string payload = EncodePayload(PredictRequest{MakeRecord(2)});
+  const std::string payload =
+      EncodePayload(PredictRequest{"mall", {MakeRecord(2), MakeRecord()}});
   for (std::size_t keep = 0; keep < payload.size(); ++keep) {
     EXPECT_THROW(DecodePayload(payload.substr(0, keep)), Error)
         << "prefix of " << keep << " bytes";
@@ -119,6 +281,8 @@ TEST(ProtocolTest, RejectsWrongVersion) {
   WriteHeader(out, kFrameMagic, kProtocolVersion + 1);
   WriteU8(out, 3);  // Ping
   EXPECT_THROW(DecodePayload(std::move(out).str()), Error);
+  EXPECT_THROW(EncodePayload(Ping{}, kProtocolVersion + 1), Error);
+  EXPECT_THROW(EncodePayload(Ping{}, 0), Error);
 }
 
 TEST(ProtocolTest, RejectsUnknownMessageType) {
@@ -161,6 +325,16 @@ TEST(FramingTest, SendReceiveRoundTripsOverSocket) {
   }
 }
 
+TEST(FramingTest, V1FramesRoundTripOverSocket) {
+  SocketPair pair;
+  for (const Message& message : V1Messages()) {
+    SendFrame(pair.fds[0], message, 1);
+    const std::optional<Message> received = ReceiveFrame(pair.fds[1]);
+    ASSERT_TRUE(received.has_value());
+    EXPECT_EQ(*received, message);
+  }
+}
+
 TEST(FramingTest, CleanCloseIsEndOfStreamNotError) {
   SocketPair pair;
   SendFrame(pair.fds[0], Ping{});
@@ -180,7 +354,7 @@ TEST(FramingTest, TruncatedFrameThrows) {
   }
   {
     SocketPair pair;  // peer dies inside the payload
-    const std::string frame = EncodeFrame(PredictRequest{MakeRecord()});
+    const std::string frame = EncodeFrame(PredictRequest{"", {MakeRecord()}});
     ASSERT_EQ(::send(pair.fds[0], frame.data(), frame.size() - 3, 0),
               static_cast<ssize_t>(frame.size() - 3));
     pair.CloseWriter();
@@ -198,7 +372,7 @@ TEST(FramingTest, OversizedDeclaredLengthRejectedBeforeAllocation) {
 
 TEST(FramingTest, RespectsCustomFrameLimit) {
   SocketPair pair;
-  SendFrame(pair.fds[0], PredictRequest{MakeRecord()});
+  SendFrame(pair.fds[0], PredictRequest{"", {MakeRecord()}});
   EXPECT_THROW(ReceiveFramePayload(pair.fds[1], /*max_bytes=*/4), Error);
 }
 

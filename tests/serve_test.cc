@@ -1,7 +1,8 @@
-// Tests for the serving daemon internals: micro-batch coalescing, the TCP
-// server/client loop against the in-process reference, and model hot-reload
-// — including a reload racing an in-flight batch, which is what the CI
-// ThreadSanitizer job is there to check.
+// Tests for the serving daemon: the TCP server/client loop against the
+// in-process reference, named-model routing through the ModelRegistry,
+// protocol-v1 compatibility over a real socket, per-model hot-reload
+// isolation (a reload racing another model's in-flight batches is what the
+// CI ThreadSanitizer job is there to check), and micro-batch coalescing.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -20,6 +21,7 @@
 #include "core/grafics.h"
 #include "serve/batcher.h"
 #include "serve/client.h"
+#include "serve/model_registry.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "synth/presets.h"
@@ -60,8 +62,8 @@ struct Fixture {
 };
 
 /// Two models trained on the SAME building with different trainer seeds:
-/// both answer the same queries, so swapping between them mid-flight always
-/// yields one of two valid reference answers.
+/// both answer the same queries (generally differently), so routing errors
+/// and mid-flight swaps are observable in the answers.
 const Fixture& ModelA() {
   static const Fixture fixture(1);
   return fixture;
@@ -104,6 +106,7 @@ TEST(MicroBatcherTest, FlushesWhenBatchFills) {
   EXPECT_EQ(stats.requests, 4u);
   EXPECT_EQ(stats.batches, 1u);
   EXPECT_EQ(stats.max_batch, 4u);
+  EXPECT_EQ(stats.queue_depth, 0u);
 }
 
 TEST(MicroBatcherTest, FlushesOnDelayWhenBatchStaysSmall) {
@@ -132,6 +135,7 @@ TEST(MicroBatcherTest, StopDrainsPendingRequests) {
   MicroBatcher batcher(config, SnapshotOf(f));
   auto first = batcher.Submit(f.queries[0]);
   auto second = batcher.Submit(f.queries[1]);
+  EXPECT_EQ(batcher.stats().queue_depth, 2u);
   batcher.Stop();
   EXPECT_EQ(GetWithin(first), f.reference[0]);
   EXPECT_EQ(GetWithin(second), f.reference[1]);
@@ -155,6 +159,23 @@ TEST(MicroBatcherTest, ParallelDispatchMatchesReference) {
   }
 }
 
+TEST(MicroBatcherTest, SharedPoolDispatchMatchesReference) {
+  const Fixture& f = ModelA();
+  ThreadPool pool(3);
+  BatcherConfig config;
+  config.max_batch_size = 8;
+  config.max_delay = 5ms;
+  MicroBatcher batcher(config, SnapshotOf(f), &pool);
+  const std::size_t n = std::min<std::size_t>(f.queries.size(), 16);
+  std::vector<std::future<std::optional<rf::FloorId>>> futures;
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(batcher.Submit(f.queries[i]));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(GetWithin(futures[i]), f.reference[i]) << i;
+  }
+}
+
 TEST(MicroBatcherTest, SurfacesSnapshotFailureThroughFutures) {
   BatcherConfig config;
   config.max_delay = 1ms;
@@ -164,33 +185,146 @@ TEST(MicroBatcherTest, SurfacesSnapshotFailureThroughFutures) {
   EXPECT_THROW(future.get(), Error);
 }
 
-ServerConfig QuickServerConfig() {
-  ServerConfig config;
-  config.port = 0;  // ephemeral: tests must not collide on a fixed port
-  config.batcher.max_batch_size = 8;
-  config.batcher.max_delay = 2ms;
+BatcherConfig QuickBatcherConfig() {
+  BatcherConfig config;
+  config.max_batch_size = 8;
+  config.max_delay = 2ms;
   return config;
+}
+
+/// Registry with ModelA as default "alpha"; port 0 keeps tests off fixed
+/// ports.
+std::shared_ptr<ModelRegistry> AlphaRegistry() {
+  auto registry = std::make_shared<ModelRegistry>(QuickBatcherConfig());
+  registry->Load("alpha", ModelA().model);
+  return registry;
 }
 
 TEST(ServerTest, ServesPredictionsIdenticalToInProcess) {
   const Fixture& f = ModelA();
-  Server server(f.model, QuickServerConfig());
+  Server server(AlphaRegistry());
   server.Start();
   Client client("127.0.0.1", server.port());
-  EXPECT_EQ(client.Ping(), 1u);
+  const Pong pong = client.Ping();
+  EXPECT_TRUE(pong.ok);
+  EXPECT_EQ(pong.protocol_version, kProtocolVersion);
+  EXPECT_EQ(pong.model_generation, 1u);
   const std::size_t n = std::min<std::size_t>(f.queries.size(), 12);
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_EQ(client.Predict(f.queries[i]), f.reference[i]) << i;
   }
   server.Stop();
-  EXPECT_EQ(server.batcher_stats().requests, n);
+  ASSERT_EQ(server.registry().Stats().size(), 1u);
+  EXPECT_EQ(server.registry().Stats()[0].requests, n);
+}
+
+TEST(ServerTest, BatchedPredictMatchesPerRecordAndReference) {
+  const Fixture& f = ModelA();
+  Server server(AlphaRegistry());
+  server.Start();
+  Client client("127.0.0.1", server.port());
+  const std::size_t n = std::min<std::size_t>(f.queries.size(), 20);
+  const std::vector<rf::SignalRecord> queries(f.queries.begin(),
+                                              f.queries.begin() + n);
+  const auto batched = client.PredictBatch(queries, "alpha");
+  ASSERT_EQ(batched.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(batched[i], f.reference[i]) << i;
+  }
+  server.Stop();
+}
+
+TEST(ServerTest, RoutesNamedModelsIndependently) {
+  const Fixture& a = ModelA();
+  const Fixture& b = ModelB();
+  auto registry = std::make_shared<ModelRegistry>(QuickBatcherConfig());
+  registry->Load("alpha", a.model);
+  registry->Load("beta", b.model);
+  Server server(registry);
+  server.Start();
+  Client client("127.0.0.1", server.port());
+  const std::size_t n = std::min<std::size_t>(a.queries.size(), 10);
+  // Interleave the two models on one connection: every answer must come
+  // from the named model, bit-identical to that model's in-process
+  // reference.
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(client.Predict(a.queries[i], "alpha"), a.reference[i]) << i;
+    EXPECT_EQ(client.Predict(b.queries[i], "beta"), b.reference[i]) << i;
+    // Unnamed goes to the default (first-loaded) model: alpha.
+    EXPECT_EQ(client.Predict(a.queries[i]), a.reference[i]) << i;
+  }
+  const std::vector<rf::SignalRecord> queries(a.queries.begin(),
+                                              a.queries.begin() + n);
+  const auto alpha = client.PredictBatch(queries, "alpha");
+  const auto beta = client.PredictBatch(queries, "beta");
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(alpha[i], a.reference[i]) << i;
+    EXPECT_EQ(beta[i], b.reference[i]) << i;
+  }
+  server.Stop();
+}
+
+TEST(ServerTest, UnknownModelYieldsStructuredErrorNotDroppedConnection) {
+  const Fixture& f = ModelA();
+  Server server(AlphaRegistry());
+  server.Start();
+  Client client("127.0.0.1", server.port());
+  EXPECT_THROW(client.Predict(f.queries[0], "no-such-building"), Error);
+  // The error was a per-record status: the connection (and daemon) live on.
+  EXPECT_EQ(client.Predict(f.queries[0], "alpha"), f.reference[0]);
+  const Pong pong = client.Ping("no-such-building");
+  EXPECT_FALSE(pong.ok);
+  EXPECT_NE(pong.error.find("no-such-building"), std::string::npos);
+  EXPECT_THROW(client.Reload("no-such-building"), Error);
+  EXPECT_EQ(client.Predict(f.queries[0]), f.reference[0]);
+  server.Stop();
+}
+
+TEST(ServerTest, ListModelsAndStatsDescribeTheRegistry) {
+  const Fixture& a = ModelA();
+  const Fixture& b = ModelB();
+  auto registry = std::make_shared<ModelRegistry>(QuickBatcherConfig());
+  registry->Load("alpha", a.model);
+  registry->Load("beta", b.model);
+  Server server(registry);
+  server.Start();
+  Client client("127.0.0.1", server.port());
+
+  const ListModelsResponse models = client.ListModels();
+  EXPECT_EQ(models.default_model, "alpha");
+  ASSERT_EQ(models.models.size(), 2u);
+  EXPECT_EQ(models.models[0].name, "alpha");
+  EXPECT_EQ(models.models[0].generation, 1u);
+  EXPECT_FALSE(models.models[0].reloadable);
+  EXPECT_EQ(models.models[1].name, "beta");
+
+  const std::size_t n = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    client.Predict(a.queries[i], "alpha");
+  }
+  const StatsResponse all = client.Stats();
+  EXPECT_GE(all.connections_accepted, 1u);
+  ASSERT_EQ(all.models.size(), 2u);
+  EXPECT_EQ(all.models[0].name, "alpha");
+  EXPECT_EQ(all.models[0].requests, n);
+  EXPECT_GE(all.models[0].batches, 1u);
+  EXPECT_EQ(all.models[1].name, "beta");
+  EXPECT_EQ(all.models[1].requests, 0u);
+
+  const StatsResponse only_beta = client.Stats("beta");
+  ASSERT_EQ(only_beta.models.size(), 1u);
+  EXPECT_EQ(only_beta.models[0].name, "beta");
+  EXPECT_TRUE(client.Stats("no-such-building").models.empty());
+  server.Stop();
 }
 
 TEST(ServerTest, CoalescesConcurrentConnections) {
   const Fixture& f = ModelA();
-  ServerConfig config = QuickServerConfig();
-  config.batcher.max_delay = 20ms;  // wide window so clients coalesce
-  Server server(f.model, config);
+  auto registry_config = QuickBatcherConfig();
+  registry_config.max_delay = 20ms;  // wide window so clients coalesce
+  auto registry = std::make_shared<ModelRegistry>(registry_config);
+  registry->Load("alpha", f.model);
+  Server server(registry);
   server.Start();
   constexpr std::size_t kClients = 4;
   constexpr std::size_t kPerClient = 6;
@@ -208,7 +342,8 @@ TEST(ServerTest, CoalescesConcurrentConnections) {
   for (std::thread& thread : threads) thread.join();
   server.Stop();
   EXPECT_EQ(mismatches.load(), 0u);
-  const BatcherStats stats = server.batcher_stats();
+  ASSERT_EQ(registry->Stats().size(), 1u);
+  const ModelStats stats = registry->Stats()[0];
   EXPECT_EQ(stats.requests, kClients * kPerClient);
   EXPECT_GE(stats.batches, 1u);
 }
@@ -216,14 +351,15 @@ TEST(ServerTest, CoalescesConcurrentConnections) {
 TEST(ServerTest, HotReloadSwapsSnapshotBetweenRequests) {
   const Fixture& a = ModelA();
   const Fixture& b = ModelB();
-  Server server(a.model, QuickServerConfig());
+  auto registry = AlphaRegistry();
+  Server server(registry);
   server.Start();
   Client client("127.0.0.1", server.port());
-  EXPECT_EQ(client.Ping(), 1u);
+  EXPECT_EQ(client.Ping().model_generation, 1u);
   EXPECT_EQ(client.Predict(a.queries[0]), a.reference[0]);
 
-  server.SetModel(b.model);
-  EXPECT_EQ(client.Ping(), 2u);
+  registry->Load("alpha", b.model);
+  EXPECT_EQ(client.Ping().model_generation, 2u);
   const std::size_t n = std::min<std::size_t>(b.queries.size(), 6);
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_EQ(client.Predict(b.queries[i]), b.reference[i]) << i;
@@ -234,7 +370,8 @@ TEST(ServerTest, HotReloadSwapsSnapshotBetweenRequests) {
 TEST(ServerTest, HotReloadWhileBatchInFlightServesOldOrNewSnapshot) {
   const Fixture& a = ModelA();
   const Fixture& b = ModelB();
-  Server server(a.model, QuickServerConfig());
+  auto registry = AlphaRegistry();
+  Server server(registry);
   server.Start();
   const std::size_t n = std::min<std::size_t>(a.queries.size(), 20);
   std::atomic<std::size_t> invalid{0};
@@ -250,47 +387,108 @@ TEST(ServerTest, HotReloadWhileBatchInFlightServesOldOrNewSnapshot) {
     }
   });
   for (int swap = 0; swap < 6; ++swap) {
-    server.SetModel(swap % 2 == 0 ? b.model : a.model);
+    registry->Load("alpha", swap % 2 == 0 ? b.model : a.model);
     std::this_thread::sleep_for(2ms);
   }
   querier.join();
   server.Stop();
   EXPECT_EQ(invalid.load(), 0u);
-  EXPECT_EQ(server.model_generation(), 7u);
+  EXPECT_EQ(registry->generation("alpha"), 7u);
 }
 
-TEST(ServerTest, ReloadRequestReloadsFromDisk) {
+TEST(ServerTest, PerModelReloadDoesNotDisturbOtherModels) {
   const Fixture& a = ModelA();
   const Fixture& b = ModelB();
-  const std::string path = testing::TempDir() + "serve_test_model.bin";
-  a.model->SaveModel(path);
-  auto initial = std::make_shared<const core::Grafics>(
-      core::Grafics::LoadModel(path));
-  Server server(std::move(initial), QuickServerConfig(), path);
-  server.Start();
-  Client client("127.0.0.1", server.port());
-  EXPECT_EQ(client.Predict(a.queries[0]), a.reference[0]);
-
-  // Swap the artifact on disk, then reload over the wire: the daemon must
-  // pick up model B without dropping the connection.
+  const std::string path = testing::TempDir() + "serve_test_beta_model.bin";
   b.model->SaveModel(path);
-  EXPECT_EQ(client.Reload(), 2u);
-  const std::size_t n = std::min<std::size_t>(b.queries.size(), 4);
-  for (std::size_t i = 0; i < n; ++i) {
-    EXPECT_EQ(client.Predict(b.queries[i]), b.reference[i]) << i;
+  auto registry = std::make_shared<ModelRegistry>(QuickBatcherConfig());
+  registry->Load("alpha", a.model);
+  registry->LoadFromDisk("beta", path);
+  Server server(registry);
+  server.Start();
+
+  // Hammer alpha while beta hot-reloads from disk over the wire: alpha's
+  // in-flight batches and answers must be byte-stable throughout.
+  const std::size_t n = std::min<std::size_t>(a.queries.size(), 20);
+  std::atomic<std::size_t> mismatches{0};
+  std::thread querier([&] {
+    Client client("127.0.0.1", server.port());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (client.Predict(a.queries[i], "alpha") != a.reference[i]) {
+        ++mismatches;
+      }
+    }
+  });
+  Client admin("127.0.0.1", server.port());
+  std::uint64_t generation = 1;
+  for (int reload = 0; reload < 3; ++reload) {
+    generation = admin.Reload("beta");
   }
+  querier.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(generation, 4u);
+  EXPECT_EQ(registry->generation("alpha"), 1u);
+  // Beta still answers its own reference after the reload churn.
+  EXPECT_EQ(admin.Predict(b.queries[0], "beta"), b.reference[0]);
   server.Stop();
 }
 
 TEST(ServerTest, ReloadRequestWithoutModelPathFailsSoftly) {
   const Fixture& f = ModelA();
-  Server server(f.model, QuickServerConfig());  // no model path
+  Server server(AlphaRegistry());  // no model path
   server.Start();
   Client client("127.0.0.1", server.port());
   EXPECT_THROW(client.Reload(), Error);
   // The refusal must not poison the connection or the daemon.
-  EXPECT_EQ(client.Ping(), 1u);
+  EXPECT_TRUE(client.Ping().ok);
   EXPECT_EQ(client.Predict(f.queries[0]), f.reference[0]);
+  server.Stop();
+}
+
+TEST(ClientTest, ReceiveLimitIsConfigurableAndEnforced) {
+  const Fixture& f = ModelA();
+  Server server(AlphaRegistry());
+  server.Start();
+  // A tiny receive cap makes the client reject its own (large, batched)
+  // reply; the default cap accepts it. This is the client-side knob for
+  // big v2 batch responses.
+  ClientConfig tiny;
+  tiny.max_frame_bytes = 16;
+  Client capped("127.0.0.1", server.port(), tiny);
+  const std::vector<rf::SignalRecord> queries(f.queries.begin(),
+                                              f.queries.begin() + 8);
+  EXPECT_THROW(capped.PredictBatch(queries, "alpha"), Error);
+  Client roomy("127.0.0.1", server.port());
+  const auto batched = roomy.PredictBatch(queries, "alpha");
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i], f.reference[i]) << i;
+  }
+  server.Stop();
+}
+
+TEST(ClientTest, SplitsDenseBatchesBySizeNotJustCount) {
+  Server server(AlphaRegistry());
+  server.Start();
+  // 120 dense scans of 600 observations each encode to ~1.15 MiB — over
+  // the daemon's 1 MiB frame cap, yet far under the 1024-record count cap.
+  // The client must split by encoded size; count-only chunking would ship
+  // one oversized frame and get the connection dropped. The synthetic MACs
+  // share nothing with the model, so every record legitimately discards.
+  std::vector<rf::SignalRecord> dense;
+  dense.reserve(120);
+  for (std::uint64_t r = 0; r < 120; ++r) {
+    rf::SignalRecord record;
+    for (std::uint64_t o = 0; o < 600; ++o) {
+      record.Add(rf::MacAddress(0x010000000000ULL + r * 1000 + o), -60.0);
+    }
+    dense.push_back(std::move(record));
+  }
+  Client client("127.0.0.1", server.port());
+  const auto predictions = client.PredictBatch(dense, "alpha");
+  ASSERT_EQ(predictions.size(), dense.size());
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    EXPECT_EQ(predictions[i], std::nullopt) << i;
+  }
   server.Stop();
 }
 
@@ -307,9 +505,55 @@ int ConnectRaw(std::uint16_t port) {
   return fd;
 }
 
+TEST(ServerTest, V1FramesAreServedByTheDefaultModelInV1Dialect) {
+  const Fixture& a = ModelA();
+  const Fixture& b = ModelB();
+  auto registry = std::make_shared<ModelRegistry>(QuickBatcherConfig());
+  registry->Load("alpha", a.model);
+  registry->Load("beta", b.model);
+  Server server(registry);
+  server.Start();
+
+  // A deployed v1 client: single-record frames, no model names, expects v1
+  // replies. It must keep getting the default model's exact answers from
+  // the v2 daemon.
+  const int fd = ConnectRaw(server.port());
+  for (std::size_t i = 0; i < 4; ++i) {
+    SendFrame(fd, PredictRequest{"", {a.queries[i]}}, /*version=*/1);
+    const std::optional<std::string> payload = ReceiveFramePayload(fd);
+    ASSERT_TRUE(payload.has_value());
+    std::uint32_t version = 0;
+    const Message reply = DecodePayload(*payload, &version);
+    EXPECT_EQ(version, 1u) << "v1 requests get v1-encoded replies";
+    const auto* response = std::get_if<PredictResponse>(&reply);
+    ASSERT_NE(response, nullptr);
+    ASSERT_EQ(response->results.size(), 1u);
+    const PredictResult& result = response->results.front();
+    if (a.reference[i].has_value()) {
+      EXPECT_EQ(result.status, PredictStatus::kOk);
+      EXPECT_EQ(result.floor, *a.reference[i]);
+    } else {
+      EXPECT_EQ(result.status, PredictStatus::kDiscarded);
+    }
+  }
+  // v1 Ping: the Pong comes back v1-encoded (generation only).
+  SendFrame(fd, Ping{}, /*version=*/1);
+  const std::optional<std::string> payload = ReceiveFramePayload(fd);
+  ASSERT_TRUE(payload.has_value());
+  std::uint32_t version = 0;
+  const Message reply = DecodePayload(*payload, &version);
+  EXPECT_EQ(version, 1u);
+  const auto* pong = std::get_if<Pong>(&reply);
+  ASSERT_NE(pong, nullptr);
+  EXPECT_EQ(pong->protocol_version, 1u);
+  EXPECT_EQ(pong->model_generation, 1u);
+  ::close(fd);
+  server.Stop();
+}
+
 TEST(ServerTest, GarbageFrameGetsErrorReplyAndServerSurvives) {
   const Fixture& f = ModelA();
-  Server server(f.model, QuickServerConfig());
+  Server server(AlphaRegistry());
   server.Start();
 
   const int fd = ConnectRaw(server.port());
@@ -324,7 +568,8 @@ TEST(ServerTest, GarbageFrameGetsErrorReplyAndServerSurvives) {
   ASSERT_TRUE(reply.has_value());
   const auto* response = std::get_if<PredictResponse>(&*reply);
   ASSERT_NE(response, nullptr);
-  EXPECT_EQ(response->status, PredictStatus::kError);
+  ASSERT_EQ(response->results.size(), 1u);
+  EXPECT_EQ(response->results.front().status, PredictStatus::kError);
   EXPECT_FALSE(ReceiveFramePayload(fd).has_value());
   ::close(fd);
 
@@ -335,8 +580,7 @@ TEST(ServerTest, GarbageFrameGetsErrorReplyAndServerSurvives) {
 }
 
 TEST(ServerTest, StopIsIdempotentAndRestartForbidden) {
-  const Fixture& f = ModelA();
-  Server server(f.model, QuickServerConfig());
+  Server server(AlphaRegistry());
   server.Start();
   EXPECT_THROW(server.Start(), Error);
   server.Stop();
