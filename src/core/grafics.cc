@@ -150,6 +150,30 @@ std::vector<std::optional<rf::FloorId>> Grafics::PredictBatch(
   return predictions;
 }
 
+Grafics Grafics::Clone() const {
+  // Every member except the classifiers has value semantics; the two
+  // unique_ptr-held classifiers are themselves copyable value types, so a
+  // memberwise copy is a complete deep copy — nothing in the clone aliases
+  // mutable state of the source.
+  Grafics copy(config_);
+  copy.weight_fn_ = weight_fn_;
+  copy.graph_ = graph_;
+  copy.num_training_records_ = num_training_records_;
+  copy.store_ = store_;
+  copy.clustering_ = clustering_;
+  if (classifier_ != nullptr) {
+    copy.classifier_ =
+        std::make_unique<cluster::CentroidClassifier>(*classifier_);
+  }
+  if (knn_classifier_ != nullptr) {
+    copy.knn_classifier_ =
+        std::make_unique<cluster::KnnClassifier>(*knn_classifier_);
+  }
+  copy.negative_sampler_ = negative_sampler_;
+  copy.negative_node_of_index_ = negative_node_of_index_;
+  return copy;
+}
+
 std::vector<std::optional<rf::FloorId>> Grafics::PredictBatch(
     const std::vector<rf::SignalRecord>& records,
     const BatchPredictOptions& options) {

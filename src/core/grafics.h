@@ -115,6 +115,15 @@ class Grafics {
   /// "easily extendable for new RF records" claim at batch granularity.
   std::size_t Update(const std::vector<rf::SignalRecord>& records);
 
+  /// Deep copy of the whole system — graph, embeddings, clustering,
+  /// classifiers, and the cached negative sampler — sharing no mutable state
+  /// with the original, so Update on the clone never disturbs readers of the
+  /// source. Predictions from the clone are bit-identical to the original's.
+  /// This is the copy-on-write primitive of the online ingestion pipeline:
+  /// fold new records into a private clone of the served snapshot, then
+  /// publish the clone atomically. Works on trained and untrained systems.
+  Grafics Clone() const;
+
   /// Ego embedding of training record i (diagnostics, Fig. 6/8 exports).
   std::span<const double> TrainingEmbedding(std::size_t record_index) const;
   /// Ego embeddings of all training records as rows.

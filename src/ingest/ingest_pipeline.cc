@@ -1,0 +1,374 @@
+#include "ingest/ingest_pipeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/error.h"
+#include "core/grafics.h"
+#include "serve/protocol.h"
+
+namespace grafics::ingest {
+
+namespace {
+
+/// Pause before retrying a failed fold-in, so a persistent fault (e.g. the
+/// model was unloaded) does not spin the worker; Stop() interrupts it.
+constexpr std::chrono::milliseconds kFoldRetryBackoff{250};
+
+/// Validation shared by Submit and (implicitly) replay: the reasons a single
+/// record can never be folded. Returns an empty string for foldable records.
+std::string RejectReason(const rf::SignalRecord& record) {
+  if (record.empty()) return "empty record";
+  if (record.size() > serve::kMaxObservations) {
+    return "too many observations";
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string JournalFileName(const std::string& model_name) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string file;
+  file.reserve(model_name.size() + sizeof(".journal"));
+  for (const char c : model_name) {
+    const auto byte = static_cast<unsigned char>(c);
+    const bool safe = (byte >= 'A' && byte <= 'Z') ||
+                      (byte >= 'a' && byte <= 'z') ||
+                      (byte >= '0' && byte <= '9') || byte == '.' ||
+                      byte == '_' || byte == '-';
+    if (safe) {
+      file.push_back(c);
+    } else {
+      file.push_back('%');
+      file.push_back(kHex[byte >> 4]);
+      file.push_back(kHex[byte & 0xF]);
+    }
+  }
+  return file + ".journal";
+}
+
+IngestPipeline::IngestPipeline(std::shared_ptr<serve::ModelRegistry> registry,
+                               IngestConfig config)
+    : config_(config), registry_(std::move(registry)) {
+  Require(registry_ != nullptr, "IngestPipeline: registry required");
+  Require(config_.fold_batch_size >= 1,
+          "IngestPipeline: fold_batch_size >= 1");
+  Require(config_.max_pending >= 1, "IngestPipeline: max_pending >= 1");
+  registry_->SetIngestDepthProbe(
+      [this](const std::string& name) { return PendingDepth(name); });
+}
+
+IngestPipeline::~IngestPipeline() {
+  Stop();
+  registry_->SetIngestDepthProbe(nullptr);
+}
+
+void IngestPipeline::Attach(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  Require(!stopped_, "IngestPipeline::Attach after Stop");
+  Require(entries_.count(name) == 0,
+          "IngestPipeline::Attach: '" + name + "' already attached");
+  // Throws for names the registry does not hold — ingestion only ever folds
+  // into served models.
+  std::shared_ptr<const core::Grafics> snapshot = registry_->Snapshot(name);
+
+  auto entry = std::make_shared<Entry>();
+  entry->name = name;
+  entry->stats.name = name;
+  if (!config_.journal_dir.empty()) {
+    entry->journal = std::make_unique<RecordJournal>(
+        config_.journal_dir + "/" + JournalFileName(name), name);
+    JournalReplay replay = entry->journal->TakeReplay();
+    if (replay.dropped_bytes > 0) {
+      std::fprintf(stderr,
+                   "IngestPipeline: dropped %llu torn tail byte(s) from %s\n",
+                   static_cast<unsigned long long>(replay.dropped_bytes),
+                   entry->journal->path().c_str());
+    }
+    entry->stats.replayed = replay.TotalRecords();
+    if (!replay.folded_batches.empty()) {
+      // Re-apply the committed folds with their original batch boundaries
+      // (one Update call per recorded publish), then publish once: the
+      // served snapshot is bit-equal to the pre-restart one without
+      // replaying N intermediate generations through the registry.
+      core::Grafics updated = snapshot->Clone();
+      std::uint64_t folded = 0;
+      for (const std::vector<rf::SignalRecord>& batch :
+           replay.folded_batches) {
+        updated.Update(batch);
+        folded += batch.size();
+      }
+      registry_->Load(name,
+                      std::make_shared<const core::Grafics>(std::move(updated)),
+                      {}, serve::PublishSource::kIngest);
+      entry->stats.folded = folded;
+      entry->stats.publishes = 1;
+      entry->stats.last_publish_generation = registry_->generation(name);
+    }
+    // Records accepted but never folded re-enter the queue; the background
+    // worker folds them like any fresh submission (and only then writes
+    // their fold-commit frame).
+    const auto now = std::chrono::steady_clock::now();
+    for (rf::SignalRecord& record : replay.unfolded) {
+      entry->pending.push_back({std::move(record), now});
+    }
+    entry->stats.journal_bytes = entry->journal->bytes();
+  }
+  Entry* raw = entry.get();
+  entry->worker = std::thread([this, raw] { WorkerLoop(*raw); });
+  entries_.emplace(name, std::move(entry));
+}
+
+std::vector<SubmitResult> IngestPipeline::Submit(
+    const std::string& name, std::vector<rf::SignalRecord> records) {
+  std::vector<SubmitResult> results(records.size());
+  const std::string resolved =
+      name.empty() ? registry_->default_model() : name;
+  const std::shared_ptr<Entry> entry = Find(resolved);
+  if (entry == nullptr) {
+    for (SubmitResult& result : results) {
+      result.error = "ingest: model '" + resolved +
+                     "' is not attached for ingestion";
+    }
+    return results;
+  }
+
+  const std::scoped_lock lock(entry->mutex);
+  if (entry->stopping) {
+    for (SubmitResult& result : results) {
+      result.error = "ingest: pipeline stopped";
+    }
+    return results;
+  }
+  // Pass 1: decide each record's fate under the buffer bound, so the
+  // journal write below covers exactly the accepted set.
+  std::vector<rf::SignalRecord> accepted;
+  std::size_t capacity =
+      config_.max_pending -
+      std::min(config_.max_pending, entry->pending.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::string reason = RejectReason(records[i]);
+    if (reason.empty() && capacity == 0) {
+      reason = "ingest: buffer full (backpressure), retry later";
+    }
+    if (!reason.empty()) {
+      results[i].error = std::move(reason);
+      continue;
+    }
+    --capacity;
+    results[i].accepted = true;
+    accepted.push_back(std::move(records[i]));
+  }
+  if (accepted.empty()) {
+    entry->stats.rejected += records.size();
+    return results;
+  }
+  // Pass 2: make the accepted set durable BEFORE acknowledging. A journal
+  // failure (disk full, I/O error) demotes every would-be-accepted record
+  // to rejected — nothing unjournaled is ever folded.
+  if (entry->journal != nullptr) {
+    try {
+      entry->journal->Append(accepted);
+      entry->stats.journal_bytes = entry->journal->bytes();
+    } catch (const std::exception& e) {
+      for (SubmitResult& result : results) {
+        if (!result.accepted) continue;
+        result.accepted = false;
+        result.error = e.what();
+      }
+      entry->stats.rejected += records.size();
+      return results;
+    }
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (rf::SignalRecord& record : accepted) {
+    entry->pending.push_back({std::move(record), now});
+  }
+  entry->stats.accepted += accepted.size();
+  entry->stats.rejected += records.size() - accepted.size();
+  entry->wake.notify_one();
+  return results;
+}
+
+std::vector<serve::IngestModelStats> IngestPipeline::Stats(
+    const std::string& name_filter) const {
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    const std::scoped_lock lock(mutex_);
+    entries.reserve(name_filter.empty() ? entries_.size() : 1);
+    for (const auto& [name, entry] : entries_) {
+      if (!name_filter.empty() && name != name_filter) continue;
+      entries.push_back(entry);
+    }
+  }
+  std::vector<serve::IngestModelStats> stats;
+  stats.reserve(entries.size());
+  for (const std::shared_ptr<Entry>& entry : entries) {
+    const std::scoped_lock lock(entry->mutex);
+    serve::IngestModelStats s = entry->stats;
+    s.pending = entry->pending.size() + entry->in_flight;
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+std::uint64_t IngestPipeline::PendingDepth(const std::string& name) const {
+  const std::shared_ptr<Entry> entry = Find(name);
+  if (entry == nullptr) return 0;
+  const std::scoped_lock lock(entry->mutex);
+  return entry->pending.size() + entry->in_flight;
+}
+
+bool IngestPipeline::WaitUntilDrained(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool drained = true;
+    {
+      std::vector<std::shared_ptr<Entry>> entries;
+      {
+        const std::scoped_lock lock(mutex_);
+        for (const auto& [name, entry] : entries_) entries.push_back(entry);
+      }
+      for (const std::shared_ptr<Entry>& entry : entries) {
+        const std::scoped_lock lock(entry->mutex);
+        if (!entry->pending.empty() || entry->in_flight > 0) {
+          drained = false;
+          break;
+        }
+      }
+    }
+    if (drained) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void IngestPipeline::Stop() {
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    const std::scoped_lock lock(mutex_);
+    stopped_ = true;
+    for (const auto& [name, entry] : entries_) entries.push_back(entry);
+  }
+  for (const std::shared_ptr<Entry>& entry : entries) {
+    {
+      const std::scoped_lock lock(entry->mutex);
+      entry->stopping = true;
+    }
+    entry->wake.notify_all();
+  }
+  for (const std::shared_ptr<Entry>& entry : entries) {
+    if (entry->worker.joinable()) entry->worker.join();
+    // Worker gone: sync and close the journal now, not at destruction —
+    // the shutdown contract is "journal closed before the registry dies".
+    const std::scoped_lock lock(entry->mutex);
+    entry->journal.reset();
+  }
+}
+
+void IngestPipeline::WorkerLoop(Entry& entry) {
+  std::unique_lock lock(entry.mutex);
+  for (;;) {
+    if (entry.pending.empty()) {
+      if (entry.stopping) return;
+      entry.wake.wait(lock, [&entry] {
+        return entry.stopping || !entry.pending.empty();
+      });
+      continue;
+    }
+    // Let the batch fill, but no longer than the oldest record's fold
+    // budget. Stop() folds whatever is pending immediately.
+    const auto deadline = entry.pending.front().enqueued + config_.max_delay;
+    if (entry.pending.size() < config_.fold_batch_size && !entry.stopping) {
+      entry.wake.wait_until(lock, deadline, [this, &entry] {
+        return entry.stopping ||
+               entry.pending.size() >= config_.fold_batch_size;
+      });
+      // Whether full, stopping, or past the deadline: fold what we have.
+    }
+    const std::size_t take =
+        std::min(entry.pending.size(), config_.fold_batch_size);
+    std::vector<rf::SignalRecord> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(entry.pending.front().record));
+      entry.pending.pop_front();
+    }
+    entry.in_flight = take;
+    lock.unlock();
+    const std::uint64_t generation = FoldAndPublish(entry, batch);
+    lock.lock();
+    entry.in_flight = 0;
+    if (generation != 0) {
+      entry.stats.folded += take;
+      ++entry.stats.publishes;
+      entry.stats.last_publish_generation = generation;
+      if (entry.journal != nullptr) {
+        try {
+          entry.journal->CommitFold(take);
+          entry.stats.journal_bytes = entry.journal->bytes();
+        } catch (const std::exception& e) {
+          // The fold itself is published; a missing commit frame only makes
+          // the next replay fold these records as part of a later batch.
+          std::fprintf(stderr, "IngestPipeline: commit frame for %s: %s\n",
+                       entry.name.c_str(), e.what());
+        }
+      }
+    } else {
+      ++entry.fold_failures;
+      if (entry.stopping) {
+        // Shutdown drain: the records stay journaled without a commit
+        // frame, so the next start replays them as unfolded. No later
+        // commit can be written (this worker is exiting), so the journal's
+        // commit-pairing invariant holds.
+        continue;
+      }
+      // Mid-flight failure (model unloaded, transient Update error):
+      // dropping the batch would orphan its journaled records in front of
+      // any LATER commit frame and corrupt replay's oldest-uncommitted
+      // pairing. Re-queue it at the front, in order, and retry after a
+      // pause; backpressure bounds the buildup while the fault persists.
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t i = batch.size(); i > 0; --i) {
+        entry.pending.push_front({std::move(batch[i - 1]), now});
+      }
+      entry.wake.wait_for(lock, kFoldRetryBackoff,
+                          [&entry] { return entry.stopping; });
+    }
+  }
+}
+
+std::uint64_t IngestPipeline::FoldAndPublish(
+    Entry& entry, const std::vector<rf::SignalRecord>& batch) {
+  try {
+    const std::shared_ptr<const core::Grafics> snapshot =
+        registry_->Snapshot(entry.name);
+    Require(snapshot != nullptr && snapshot->is_trained(),
+            "IngestPipeline: no trained snapshot for '" + entry.name + "'");
+    // Copy-on-write fold: Update runs on a private deep copy while the
+    // registry keeps serving the old snapshot; the publish below swaps
+    // atomically (in-flight batches finish on the snapshot they started
+    // with, exactly like a hot reload).
+    core::Grafics updated = snapshot->Clone();
+    updated.Update(batch);
+    registry_->Load(entry.name,
+                    std::make_shared<const core::Grafics>(std::move(updated)),
+                    {}, serve::PublishSource::kIngest);
+    return registry_->generation(entry.name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "IngestPipeline: fold-in for %s failed: %s\n",
+                 entry.name.c_str(), e.what());
+    return 0;
+  }
+}
+
+std::shared_ptr<IngestPipeline::Entry> IngestPipeline::Find(
+    const std::string& name) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+}  // namespace grafics::ingest

@@ -1,0 +1,157 @@
+// Online ingestion pipeline: crowdsourced records submitted at serving time
+// are journaled durably, buffered per model, folded into the model by a
+// background worker, and published atomically — the serving-side realization
+// of the paper's "easily extendable for new RF records" claim.
+//
+// Data path per model:
+//
+//   Submit(records)                       background worker
+//     validate + bound the buffer   -->     drain a batch
+//     journal Append + fdatasync            clone the served snapshot
+//     enqueue, ack "accepted"               Grafics::Update on the clone
+//                                           registry Load (generation + 1)
+//                                           journal CommitFold
+//
+// The fold never mutates the served shared_ptr<const Grafics>: it runs
+// Grafics::Update on a private deep copy (Grafics::Clone) and publishes the
+// copy into the serve::ModelRegistry, so in-flight predictions keep their
+// old snapshot exactly like a hot reload. Submission is bounded
+// (max_pending) — beyond it records are rejected with a backpressure error
+// rather than growing the heap without limit.
+//
+// With a journal directory configured, Attach replays the journal before
+// serving: committed fold batches are re-applied with the same batch
+// boundaries the live daemon used (see record_journal.h on why that makes
+// the replayed model deterministic) and records that were accepted but
+// never folded re-enter the pending queue.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ingest/record_journal.h"
+#include "rf/signal_record.h"
+#include "serve/model_registry.h"
+
+namespace grafics::ingest {
+
+struct IngestConfig {
+  /// Fold as soon as this many records are pending.
+  std::size_t fold_batch_size = 64;
+  /// Fold once the oldest pending record has waited this long.
+  std::chrono::milliseconds max_delay{200};
+  /// Submission buffer bound per model; records beyond it are rejected
+  /// ("backpressure") until the worker catches up.
+  std::size_t max_pending = 4096;
+  /// Directory for the per-model journals; empty disables durability (and
+  /// replay) — records then live only in the pending buffer.
+  std::string journal_dir;
+};
+
+/// One submitted record's fate, the in-process twin of the wire-level
+/// serve::SubmitResult.
+struct SubmitResult {
+  bool accepted = false;
+  std::string error;
+};
+
+class IngestPipeline {
+ public:
+  /// The registry is shared with the serving transport; published snapshots
+  /// go through ModelRegistry::Load with PublishSource::kIngest. The
+  /// pipeline registers itself as the registry's ingest-depth probe (and
+  /// unregisters on destruction).
+  IngestPipeline(std::shared_ptr<serve::ModelRegistry> registry,
+                 IngestConfig config = {});
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Enables ingestion for `name`, which must already be loaded in the
+  /// registry. With a journal_dir, opens the model's journal, folds its
+  /// committed batches and queues its unfolded records (one publish when
+  /// anything was replayed), so the served snapshot reflects every record
+  /// accepted before the restart. Throws grafics::Error for unknown models,
+  /// journal I/O failures, or a journal recorded for a different model.
+  void Attach(const std::string& name);
+
+  /// Validates and journals a batch for the named model (empty = default),
+  /// returning one result per record in request order. Accepted records are
+  /// durable (journaled + synced) when this returns; rejected records
+  /// report why (unknown/unattached model, empty record, too many
+  /// observations, backpressure). Never throws for per-record problems.
+  std::vector<SubmitResult> Submit(const std::string& name,
+                                   std::vector<rf::SignalRecord> records);
+
+  /// Per-model ingest counters, sorted by name. A non-empty `name_filter`
+  /// returns only that model's entry (empty result for unknown names).
+  std::vector<serve::IngestModelStats> Stats(
+      const std::string& name_filter = {}) const;
+
+  /// Accepted-but-not-yet-folded depth for one model (0 for unknown names);
+  /// the registry's Stats probe.
+  std::uint64_t PendingDepth(const std::string& name) const;
+
+  /// Blocks until every record pending at the time of the call has been
+  /// folded and published (test/CI helper). Returns false on timeout.
+  bool WaitUntilDrained(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(30000));
+
+  /// Folds and publishes everything pending, syncs and closes the journals,
+  /// and rejects further Submits. Idempotent; also run by the destructor.
+  /// Call this BEFORE ModelRegistry::Stop — a stopped registry rejects the
+  /// final publishes (the records stay journaled for the next start, but
+  /// the drain is lost).
+  void Stop();
+
+ private:
+  struct PendingRecord {
+    rf::SignalRecord record;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  struct Entry {
+    std::string name;
+    mutable std::mutex mutex;
+    std::condition_variable wake;
+    std::deque<PendingRecord> pending;
+    /// Records drained by the worker but not yet published; Stats and the
+    /// registry probe count them as pending so "pending == 0" means folded.
+    std::size_t in_flight = 0;
+    serve::IngestModelStats stats;
+    std::uint64_t fold_failures = 0;
+    std::unique_ptr<RecordJournal> journal;
+    bool stopping = false;
+    std::thread worker;  // last member: joined before the rest is destroyed
+  };
+
+  void WorkerLoop(Entry& entry);
+  /// Clone + Update + publish one batch; called without entry.mutex held.
+  /// Returns the published generation, or 0 when the publish failed.
+  std::uint64_t FoldAndPublish(Entry& entry,
+                               const std::vector<rf::SignalRecord>& batch);
+  std::shared_ptr<Entry> Find(const std::string& name) const;
+
+  const IngestConfig config_;
+  const std::shared_ptr<serve::ModelRegistry> registry_;
+
+  mutable std::mutex mutex_;  // guards entries_ + stopped_
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  bool stopped_ = false;
+};
+
+/// Journal file name for a model: every byte outside [A-Za-z0-9._-] is
+/// percent-encoded, so registry names (which may contain '/') can never
+/// escape the journal directory.
+std::string JournalFileName(const std::string& model_name);
+
+}  // namespace grafics::ingest

@@ -1,0 +1,257 @@
+#include "ingest/record_journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "common/serialize.h"
+#include "serve/protocol.h"
+
+namespace grafics::ingest {
+
+namespace {
+
+constexpr char kJournalMagic[4] = {'G', 'J', 'N', 'L'};
+constexpr std::uint32_t kJournalVersion = 1;
+
+enum class FrameType : std::uint8_t {
+  kRecord = 0,
+  kFoldCommit = 1,
+};
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+/// One frame (length + crc + payload) appended to `out`.
+void AppendFrame(std::string& out, const std::string& payload) {
+  Require(payload.size() <= kMaxJournalFrameBytes,
+          "RecordJournal: frame payload too large");
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = Crc32(payload.data(), payload.size());
+  out.append(reinterpret_cast<const char*>(&length), sizeof(length));
+  out.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out.append(payload);
+}
+
+std::string EncodeRecordFrame(const rf::SignalRecord& record) {
+  std::ostringstream payload;
+  WriteU8(payload, static_cast<std::uint8_t>(FrameType::kRecord));
+  // Reuse the serving wire codec for the record body so the journal format
+  // cannot drift from the protocol's (both validate on read).
+  serve::WriteSignalRecord(payload, record);
+  return std::move(payload).str();
+}
+
+std::string EncodeCommitFrame(std::uint64_t count) {
+  std::ostringstream payload;
+  WriteU8(payload, static_cast<std::uint8_t>(FrameType::kFoldCommit));
+  WriteU64(payload, count);
+  return std::move(payload).str();
+}
+
+/// read() until `size` bytes or EOF; returns bytes read, throws on errors.
+std::size_t ReadExactly(int fd, char* data, std::size_t size) {
+  std::size_t total = 0;
+  while (total < size) {
+    const ssize_t n = ::read(fd, data + total, size - total);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("RecordJournal: read failed: ") +
+                  std::strerror(errno));
+    }
+    total += static_cast<std::size_t>(n);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+RecordJournal::RecordJournal(std::string path, std::string model_name)
+    : path_(std::move(path)), model_name_(std::move(model_name)) {
+  fd_ = ::open(path_.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  Require(fd_ >= 0, "RecordJournal: cannot open " + path_ + ": " +
+                        std::strerror(errno));
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  Require(size >= 0, "RecordJournal: cannot seek " + path_);
+  ::lseek(fd_, 0, SEEK_SET);
+
+  std::ostringstream header_stream;
+  WriteHeader(header_stream, kJournalMagic, kJournalVersion);
+  WriteString(header_stream, model_name_);
+  const std::string header = std::move(header_stream).str();
+
+  std::string content(static_cast<std::size_t>(size), '\0');
+  Require(ReadExactly(fd_, content.data(), content.size()) == content.size(),
+          "RecordJournal: short read on " + path_);
+  if (content.size() < header.size() &&
+      content == header.substr(0, content.size())) {
+    // Empty file, or a crash tore the very first write mid-header (writes
+    // land as prefixes): no record was ever accepted, so reinitialize.
+    replay_.dropped_bytes = content.size();
+    Require(::ftruncate(fd_, 0) == 0,
+            "RecordJournal: cannot reset torn header of " + path_);
+    ::lseek(fd_, 0, SEEK_SET);
+    AppendDurably(header);
+    return;
+  }
+
+  // Existing journal: validate the header strictly (a mismatched magic,
+  // version, or model name is operator error, not a torn tail), then scan
+  // frames up to the first incomplete or corrupt one.
+  std::istringstream in(content);
+  CheckHeader(in, kJournalMagic, kJournalVersion);
+  {
+    const std::uint64_t name_size = ReadU64(in);
+    Require(name_size <= serve::kMaxModelNameBytes,
+            "RecordJournal: corrupt header in " + path_);
+    std::string name(name_size, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_size));
+    Require(in.good() || name_size == 0,
+            "RecordJournal: corrupt header in " + path_);
+    Require(name == model_name_, "RecordJournal: " + path_ +
+                                     " belongs to model '" + name +
+                                     "', not '" + model_name_ + "'");
+  }
+  std::size_t valid_end = static_cast<std::size_t>(in.tellg());
+
+  while (valid_end + 8 <= content.size()) {
+    std::uint32_t length = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&length, content.data() + valid_end, sizeof(length));
+    std::memcpy(&crc, content.data() + valid_end + 4, sizeof(crc));
+    if (length > kMaxJournalFrameBytes ||
+        valid_end + 8 + length > content.size()) {
+      break;  // torn or nonsense tail
+    }
+    const char* payload = content.data() + valid_end + 8;
+    if (Crc32(payload, length) != crc) break;
+    // CRC-clean payload: parse it. A parse failure here means a frame was
+    // written by a different build; treat it like a torn tail too.
+    try {
+      std::istringstream frame(std::string(payload, length));
+      const auto type = static_cast<FrameType>(ReadU8(frame));
+      if (type == FrameType::kRecord) {
+        replay_.unfolded.push_back(serve::ReadSignalRecord(frame));
+      } else if (type == FrameType::kFoldCommit) {
+        const std::uint64_t count = ReadU64(frame);
+        Require(count >= 1 && count <= replay_.unfolded.size(),
+                "RecordJournal: commit frame count out of range");
+        std::vector<rf::SignalRecord> batch(
+            replay_.unfolded.begin(),
+            replay_.unfolded.begin() + static_cast<long>(count));
+        replay_.unfolded.erase(
+            replay_.unfolded.begin(),
+            replay_.unfolded.begin() + static_cast<long>(count));
+        replay_.folded_batches.push_back(std::move(batch));
+      } else {
+        throw Error("RecordJournal: unknown frame type");
+      }
+      Require(frame.peek() == std::istream::traits_type::eof(),
+              "RecordJournal: trailing bytes in frame");
+    } catch (const std::exception&) {
+      break;
+    }
+    valid_end += 8 + length;
+  }
+
+  replay_.dropped_bytes = content.size() - valid_end;
+  if (replay_.dropped_bytes > 0) {
+    // Drop the torn tail so new frames never land after garbage (replay
+    // would stop at the garbage and lose everything appended behind it).
+    Require(::ftruncate(fd_, static_cast<off_t>(valid_end)) == 0,
+            "RecordJournal: cannot truncate torn tail of " + path_);
+  }
+  ::lseek(fd_, static_cast<off_t>(valid_end), SEEK_SET);
+  bytes_ = valid_end;
+}
+
+RecordJournal::~RecordJournal() {
+  if (fd_ >= 0) {
+    ::fdatasync(fd_);
+    ::close(fd_);
+  }
+}
+
+JournalReplay RecordJournal::TakeReplay() {
+  return std::exchange(replay_, JournalReplay{});
+}
+
+void RecordJournal::RollBack() {
+  // Restore the last durable frame boundary so the failed frames can never
+  // strand later (acknowledged!) appends behind torn bytes. If even that
+  // fails, fail-stop: a journal whose tail cannot be trusted must reject
+  // every further append rather than ack records it may lose.
+  if (::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void RecordJournal::AppendDurably(const std::string& frames) {
+  Require(fd_ >= 0, "RecordJournal: journal " + path_ +
+                        " is broken (a failed write could not be rolled "
+                        "back)");
+  std::size_t written = 0;
+  while (written < frames.size()) {
+    const ssize_t n =
+        ::write(fd_, frames.data() + written, frames.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string reason = std::strerror(errno);
+      RollBack();
+      throw Error("RecordJournal: write to " + path_ + " failed: " + reason);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fdatasync(fd_) != 0) {
+    // Unsynced frames would still replay as accepted even though the
+    // caller is about to report rejection — roll them back too.
+    RollBack();
+    throw Error("RecordJournal: fdatasync of " + path_ + " failed");
+  }
+  bytes_ += frames.size();
+}
+
+void RecordJournal::Append(std::span<const rf::SignalRecord> records) {
+  std::string frames;
+  for (const rf::SignalRecord& record : records) {
+    AppendFrame(frames, EncodeRecordFrame(record));
+  }
+  AppendDurably(frames);
+}
+
+void RecordJournal::CommitFold(std::uint64_t count) {
+  Require(count >= 1, "RecordJournal::CommitFold: count >= 1");
+  std::string frames;
+  AppendFrame(frames, EncodeCommitFrame(count));
+  AppendDurably(frames);
+}
+
+}  // namespace grafics::ingest

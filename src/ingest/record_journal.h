@@ -1,0 +1,112 @@
+// Durable per-model append-only journal of submitted rf::SignalRecords.
+//
+// The journal is the write-ahead log of the online ingestion pipeline: a
+// submitted record is acknowledged "accepted" only after its frame is on
+// disk and fdatasync'd, so accepted records survive a daemon crash and are
+// replayed into the model on the next start. The file is a header followed
+// by CRC-framed entries over common/serialize.h primitives:
+//
+//   header:  "GJNL" magic + u32 version (WriteHeader), string model_name
+//   frame:   u32 payload_length | u32 crc32(payload) | payload
+//   payload: u8 frame type + body
+//            type 0 (record):      WriteSignalRecord bytes
+//            type 1 (fold commit): u64 count — the oldest `count` not-yet-
+//                                  committed records were folded into one
+//                                  published snapshot
+//
+// Fold-commit frames make replay deterministic: Grafics::Update refines new
+// embeddings against the negative sampler rebuilt at the previous batch
+// boundary, so the folded model depends on how records were batched.
+// Recording each publish's batch boundary lets replay reproduce the exact
+// same sequence of Update calls — a restarted daemon converges to the same
+// model bytes the live daemon had.
+//
+// Torn tails are expected (a crash mid-write): opening the journal scans to
+// the last frame that is complete and CRC-clean, truncates everything after
+// it, and appends from there. Corruption never throws the daemon away —
+// only the torn suffix is dropped, and the count of discarded bytes is
+// reported.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rf/signal_record.h"
+
+namespace grafics::ingest {
+
+/// Upper bound on one journal frame's payload; declared lengths beyond this
+/// are treated as a torn tail, before any allocation. A maximal record
+/// (kMaxObservations observations) encodes to ~1 MiB.
+inline constexpr std::size_t kMaxJournalFrameBytes = 2u << 20;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `data`; the frame
+/// checksum. Exposed for tests that forge corrupt frames.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+/// What a journal held when it was opened, reconstructed for replay:
+/// the committed fold batches in publish order, then the records that were
+/// accepted but never folded (they re-enter the pending queue).
+struct JournalReplay {
+  std::vector<std::vector<rf::SignalRecord>> folded_batches;
+  std::vector<rf::SignalRecord> unfolded;
+  /// Torn/corrupt tail bytes discarded by the open scan (0 = clean file).
+  std::uint64_t dropped_bytes = 0;
+
+  std::size_t TotalRecords() const {
+    std::size_t total = unfolded.size();
+    for (const auto& batch : folded_batches) total += batch.size();
+    return total;
+  }
+};
+
+class RecordJournal {
+ public:
+  /// Opens (or creates) the journal at `path` for `model_name`, replaying
+  /// any existing content: scans every complete CRC-clean frame, truncates
+  /// the torn tail, and leaves the file positioned for appending. Throws
+  /// grafics::Error when the file cannot be opened/created or belongs to a
+  /// different model (name recorded in the header).
+  RecordJournal(std::string path, std::string model_name);
+  ~RecordJournal();
+
+  RecordJournal(const RecordJournal&) = delete;
+  RecordJournal& operator=(const RecordJournal&) = delete;
+
+  /// The records reconstructed by the opening scan; call once, the replay
+  /// buffer is moved out.
+  JournalReplay TakeReplay();
+
+  /// Appends one frame per record (buffered into a single write) and
+  /// fdatasyncs, so records are durable when this returns. Throws
+  /// grafics::Error on write failures (e.g. a full disk) — the caller must
+  /// then reject the submission instead of acknowledging it.
+  void Append(std::span<const rf::SignalRecord> records);
+
+  /// Appends a fold-commit frame: the oldest `count` uncommitted records
+  /// were folded into one published snapshot. Synced like Append.
+  void CommitFold(std::uint64_t count);
+
+  /// Current journal size in bytes.
+  std::uint64_t bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  /// write()s `frames` and fdatasyncs; on any failure rolls the file back
+  /// to the last durable frame boundary (bytes_) before throwing, so a
+  /// partial write can never strand later frames behind torn bytes. If the
+  /// rollback itself fails the journal fail-stops: the fd is closed and
+  /// every further append throws.
+  void AppendDurably(const std::string& frames);
+  void RollBack();
+
+  std::string path_;
+  std::string model_name_;
+  int fd_ = -1;
+  std::uint64_t bytes_ = 0;
+  JournalReplay replay_;
+};
+
+}  // namespace grafics::ingest

@@ -80,6 +80,29 @@ namespace {
 /// Headroom for the frame header, type byte, model name, and record count.
 constexpr std::size_t kFrameOverheadBudget = 256;
 
+/// Where the chunk starting at `begin` ends, shared by PredictBatch and
+/// Submit: a chunk closes at `max_records_per_frame` records (clamped to
+/// [1, kMaxBatchRecords]) or as soon as the next record would push the
+/// encoded frame over the daemon's kMaxFrameBytes cap, whichever comes
+/// first — dense scans split by size, not just by count. A single record
+/// beyond the cap still ships alone: the daemon rejects it either way, and
+/// hiding it here would silently drop the query.
+std::size_t ChunkEnd(const std::vector<rf::SignalRecord>& records,
+                     std::size_t begin, std::size_t max_records_per_frame) {
+  const std::size_t max_records =
+      std::clamp<std::size_t>(max_records_per_frame, 1, kMaxBatchRecords);
+  const std::size_t byte_budget = kMaxFrameBytes - kFrameOverheadBudget;
+  std::size_t end = begin;
+  std::size_t bytes = 0;
+  while (end < records.size() && end - begin < max_records) {
+    const std::size_t next = SignalRecordWireBytes(records[end]);
+    if (end > begin && bytes + next > byte_budget) break;
+    bytes += next;
+    ++end;
+  }
+  return end;
+}
+
 }  // namespace
 
 std::optional<rf::FloorId> Client::Predict(const rf::SignalRecord& record,
@@ -91,26 +114,12 @@ std::vector<std::optional<rf::FloorId>> Client::PredictBatch(
     const std::vector<rf::SignalRecord>& records, const std::string& model,
     std::size_t max_records_per_frame) {
   Require(!records.empty(), "Client: empty predict batch");
-  const std::size_t max_records =
-      std::clamp<std::size_t>(max_records_per_frame, 1, kMaxBatchRecords);
-  const std::size_t byte_budget = kMaxFrameBytes - kFrameOverheadBudget;
   std::vector<std::optional<rf::FloorId>> predictions;
   predictions.reserve(records.size());
-  // One frame (one round trip) per chunk. A chunk closes at max_records or
-  // when the next record would overflow the daemon's frame cap — dense
-  // scans (protocol.h budgets ~1e3 APs each) split by size, not count. A
-  // single record beyond the cap still ships alone: the daemon rejects it
-  // either way, and hiding it here would silently drop the query.
+  // One frame (one round trip) per ChunkEnd chunk.
   std::size_t begin = 0;
   while (begin < records.size()) {
-    std::size_t end = begin;
-    std::size_t bytes = 0;
-    while (end < records.size() && end - begin < max_records) {
-      const std::size_t next = SignalRecordWireBytes(records[end]);
-      if (end > begin && bytes + next > byte_budget) break;
-      bytes += next;
-      ++end;
-    }
+    const std::size_t end = ChunkEnd(records, begin, max_records_per_frame);
     PredictRequest request;
     request.model = model;
     request.records.assign(records.begin() + static_cast<long>(begin),
@@ -171,6 +180,46 @@ StatsResponse Client::Stats(const std::string& model) {
   const Message reply = RoundTrip(StatsRequest{model});
   const auto* response = std::get_if<StatsResponse>(&reply);
   Require(response != nullptr, "Client: unexpected reply to stats");
+  return *response;
+}
+
+std::vector<SubmitResult> Client::Submit(
+    const std::vector<rf::SignalRecord>& records, const std::string& model,
+    std::size_t max_records_per_frame) {
+  Require(!records.empty(), "Client: empty submit batch");
+  std::vector<SubmitResult> results;
+  results.reserve(records.size());
+  // Same chunking rule as PredictBatch: one frame per ChunkEnd chunk.
+  std::size_t begin = 0;
+  while (begin < records.size()) {
+    const std::size_t end = ChunkEnd(records, begin, max_records_per_frame);
+    SubmitRecordsRequest request;
+    request.model = model;
+    request.records.assign(records.begin() + static_cast<long>(begin),
+                           records.begin() + static_cast<long>(end));
+    const Message reply = RoundTrip(request);
+    const auto* response = std::get_if<SubmitRecordsResponse>(&reply);
+    Require(response != nullptr, "Client: unexpected reply to submit");
+    // A lone rejection for a multi-record chunk is the daemon's frame-level
+    // failure report; surface its message instead of a count mismatch.
+    if (response->results.size() == 1 && end - begin > 1 &&
+        response->results.front().status == SubmitStatus::kRejected) {
+      throw Error("Client: daemon error: " +
+                  response->results.front().error);
+    }
+    Require(response->results.size() == end - begin,
+            "Client: daemon answered a different number of records");
+    results.insert(results.end(), response->results.begin(),
+                   response->results.end());
+    begin = end;
+  }
+  return results;
+}
+
+IngestStatsResponse Client::IngestStats(const std::string& model) {
+  const Message reply = RoundTrip(IngestStatsRequest{model});
+  const auto* response = std::get_if<IngestStatsResponse>(&reply);
+  Require(response != nullptr, "Client: unexpected reply to ingest-stats");
   return *response;
 }
 

@@ -1,4 +1,4 @@
-// Blocking client for the GRAFICS serving daemon (protocol v2).
+// Blocking client for the GRAFICS serving daemon (protocol v3).
 //
 // One TCP connection, one request/response in flight at a time; concurrency
 // comes from opening more clients (the daemon coalesces across connections).
@@ -78,6 +78,21 @@ class Client {
   /// v2 admin: per-model serving stats; `model` filters to one name
   /// (empty = all models).
   StatsResponse Stats(const std::string& model = {});
+
+  /// v3 ingest: submits records for durable journaling and background
+  /// fold-in to the named model (empty = default), returning one result per
+  /// record in request order. Records are split into frames exactly like
+  /// PredictBatch (by count and by encoded size). Rejected records are a
+  /// per-record status, not an exception; transport failures throw.
+  std::vector<SubmitResult> Submit(
+      const std::vector<rf::SignalRecord>& records,
+      const std::string& model = {},
+      std::size_t max_records_per_frame = kMaxBatchRecords);
+
+  /// v3 ingest admin: per-model ingest counters; `model` filters to one
+  /// name (empty = all attached models). enabled == false means the daemon
+  /// runs without an ingest pipeline.
+  IngestStatsResponse IngestStats(const std::string& model = {});
 
   void Close();
   bool connected() const { return fd_ >= 0; }

@@ -36,7 +36,7 @@ ModelRegistry::~ModelRegistry() { Stop(); }
 
 void ModelRegistry::Load(const std::string& name,
                          std::shared_ptr<const core::Grafics> model,
-                         std::string model_path) {
+                         std::string model_path, PublishSource source) {
   ValidateName(name);
   Require(model != nullptr && model->is_trained(),
           "ModelRegistry::Load: requires a trained model for '" + name + "'");
@@ -50,6 +50,7 @@ void ModelRegistry::Load(const std::string& name,
     const std::scoped_lock entry_lock(entry.mutex);
     entry.model = std::move(model);
     ++entry.generation;
+    entry.last_source = source;
     if (!model_path.empty()) entry.path = std::move(model_path);
     return;
   }
@@ -60,6 +61,7 @@ void ModelRegistry::Load(const std::string& name,
   auto entry = std::make_shared<Entry>();
   entry->model = std::move(model);
   entry->path = std::move(model_path);
+  entry->last_source = source;
   // Raw pointer is safe: the batcher is the entry's last member, so its
   // destructor joins the flusher thread before the rest of the entry dies.
   Entry* raw = entry.get();
@@ -127,6 +129,7 @@ std::uint64_t ModelRegistry::ReloadFromDisk(const std::string& name) {
       core::Grafics::LoadModel(path));
   const std::scoped_lock entry_lock(entry->mutex);
   entry->model = std::move(fresh);
+  entry->last_source = PublishSource::kDisk;
   return ++entry->generation;
 }
 
@@ -180,12 +183,23 @@ std::vector<ModelStats> ModelRegistry::Stats(
     {
       const std::scoped_lock entry_lock(entry->mutex);
       stats.generation = entry->generation;
+      stats.last_publish_source = entry->last_source;
     }
     const BatcherStats batcher = entry->batcher->stats();
     stats.requests = batcher.requests;
     stats.batches = batcher.batches;
     stats.max_batch = batcher.max_batch;
     stats.queue_depth = batcher.queue_depth;
+    {
+      // Invoked under probe_mutex_ (but outside every registry/entry
+      // lock), so SetIngestDepthProbe(nullptr) is a true quiesce point:
+      // once it returns, no in-flight Stats can still be inside the
+      // pipeline's callback. The probe itself only touches pipeline state.
+      const std::scoped_lock probe_lock(probe_mutex_);
+      if (ingest_depth_probe_) {
+        stats.pending_ingest = ingest_depth_probe_(name);
+      }
+    }
     models.push_back(std::move(stats));
   }
   return models;
@@ -224,6 +238,12 @@ void ModelRegistry::SetDefaultModel(const std::string& name) {
   Require(entries_.count(name) != 0,
           "ModelRegistry::SetDefaultModel: unknown model '" + name + "'");
   default_name_ = name;
+}
+
+void ModelRegistry::SetIngestDepthProbe(
+    std::function<std::uint64_t(const std::string&)> probe) {
+  const std::scoped_lock lock(probe_mutex_);
+  ingest_depth_probe_ = std::move(probe);
 }
 
 void ModelRegistry::Stop() {

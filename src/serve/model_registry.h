@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -47,10 +48,14 @@ class ModelRegistry {
   /// load and hot-swapping the snapshot (generation + 1) on later loads.
   /// `model_path`, when non-empty, enables ReloadFromDisk for this name.
   /// The first loaded model becomes the default. Names are non-empty, at
-  /// most kMaxModelNameBytes, and free of whitespace and '='.
+  /// most kMaxModelNameBytes, and free of whitespace and '='. `source`
+  /// records who published the snapshot (Stats reports it): kDisk for
+  /// operator loads and reloads, kIngest for the ingest pipeline's
+  /// background fold-in publishes.
   void Load(const std::string& name,
             std::shared_ptr<const core::Grafics> model,
-            std::string model_path = {});
+            std::string model_path = {},
+            PublishSource source = PublishSource::kDisk);
   /// Grafics::LoadModel(model_path) + Load(name, ..., model_path).
   void LoadFromDisk(const std::string& name, const std::string& model_path);
   /// Drains the model's pending requests (their futures still resolve), then
@@ -89,16 +94,27 @@ class ModelRegistry {
   std::string default_model() const;
   void SetDefaultModel(const std::string& name);
 
+  /// Installs (or clears, with nullptr) the callback Stats uses to fill each
+  /// model's pending_ingest field. The ingest pipeline registers itself here
+  /// and MUST clear the probe before it is destroyed — clearing blocks until
+  /// in-flight probe calls return (they run under the probe's own mutex, not
+  /// the registry's), so after SetIngestDepthProbe(nullptr) the callback is
+  /// guaranteed quiescent. The probe receives the model name and must not
+  /// call back into the registry.
+  void SetIngestDepthProbe(
+      std::function<std::uint64_t(const std::string&)> probe);
+
   /// Drains every model's batcher and rejects further Submits/Loads.
   /// Idempotent; also run by the destructor. Stats stay readable.
   void Stop();
 
  private:
   struct Entry {
-    mutable std::mutex mutex;  // guards model + generation + path
+    mutable std::mutex mutex;  // guards model + generation + path + source
     std::shared_ptr<const core::Grafics> model;
     std::uint64_t generation = 1;
     std::string path;
+    PublishSource last_source = PublishSource::kDisk;
     // Last member: its destructor joins the flusher thread before the rest
     // of the entry goes away, so the snapshot callback's raw Entry* is safe.
     std::unique_ptr<MicroBatcher> batcher;
@@ -115,6 +131,9 @@ class ModelRegistry {
   std::map<std::string, std::shared_ptr<Entry>> entries_;
   std::string default_name_;
   bool stopped_ = false;
+
+  mutable std::mutex probe_mutex_;  // separate: probes run outside mutex_
+  std::function<std::uint64_t(const std::string&)> ingest_depth_probe_;
 };
 
 }  // namespace grafics::serve

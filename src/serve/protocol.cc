@@ -27,6 +27,11 @@ enum class MessageType : std::uint8_t {
   kListModelsResponse = 8,
   kStatsRequest = 9,
   kStatsResponse = 10,
+  // v3-only ingest messages; malformed inside v1 and v2 frames.
+  kSubmitRecordsRequest = 11,
+  kSubmitRecordsResponse = 12,
+  kIngestStatsRequest = 13,
+  kIngestStatsResponse = 14,
 };
 
 MessageType TypeOf(const Message& message) {
@@ -56,6 +61,18 @@ MessageType TypeOf(const Message& message) {
     }
     MessageType operator()(const StatsResponse&) const {
       return MessageType::kStatsResponse;
+    }
+    MessageType operator()(const SubmitRecordsRequest&) const {
+      return MessageType::kSubmitRecordsRequest;
+    }
+    MessageType operator()(const SubmitRecordsResponse&) const {
+      return MessageType::kSubmitRecordsResponse;
+    }
+    MessageType operator()(const IngestStatsRequest&) const {
+      return MessageType::kIngestStatsRequest;
+    }
+    MessageType operator()(const IngestStatsResponse&) const {
+      return MessageType::kIngestStatsResponse;
     }
   };
   return std::visit(Visitor{}, message);
@@ -93,6 +110,11 @@ std::string ReadMessageString(std::istream& in) {
 /// (ListModels/Stats) exist only from protocol v2 on.
 void RequireAdminV2(std::uint32_t version) {
   Require(version >= 2, "protocol: admin messages require protocol v2");
+}
+
+/// The ingest surface (SubmitRecords/IngestStats) exists only from v3 on.
+void RequireIngestV3(std::uint32_t version) {
+  Require(version >= 3, "protocol: ingest messages require protocol v3");
 }
 
 void RequireV1Expressible(const std::string& model, std::size_t records,
@@ -204,6 +226,55 @@ void WriteBody(std::ostream& out, const Message& message,
         WriteU64(out, stats.batches);
         WriteU64(out, stats.max_batch);
         WriteU64(out, stats.queue_depth);
+        // The ingest fields exist on the wire only from v3 on, so a v2 peer
+        // keeps receiving the exact v2 byte layout.
+        if (version >= 3) {
+          WriteU8(out, static_cast<std::uint8_t>(stats.last_publish_source));
+          WriteU64(out, stats.pending_ingest);
+        }
+      }
+    }
+    void operator()(const SubmitRecordsRequest& m) const {
+      RequireIngestV3(version);
+      WriteModelName(out, m.model);
+      Require(!m.records.empty(), "protocol: empty submit batch");
+      Require(m.records.size() <= kMaxBatchRecords,
+              "protocol: oversized submit batch");
+      WriteU32(out, static_cast<std::uint32_t>(m.records.size()));
+      for (const rf::SignalRecord& record : m.records) {
+        WriteSignalRecord(out, record);
+      }
+    }
+    void operator()(const SubmitRecordsResponse& m) const {
+      RequireIngestV3(version);
+      Require(!m.results.empty(), "protocol: empty submit response");
+      Require(m.results.size() <= kMaxBatchRecords,
+              "protocol: oversized submit response");
+      WriteU32(out, static_cast<std::uint32_t>(m.results.size()));
+      for (const SubmitResult& result : m.results) {
+        WriteU8(out, static_cast<std::uint8_t>(result.status));
+        WriteString(out, result.error);
+      }
+    }
+    void operator()(const IngestStatsRequest& m) const {
+      RequireIngestV3(version);
+      WriteModelName(out, m.model);
+    }
+    void operator()(const IngestStatsResponse& m) const {
+      RequireIngestV3(version);
+      WriteU8(out, m.enabled ? 1 : 0);
+      Require(m.models.size() <= kMaxModels, "protocol: too many models");
+      WriteU32(out, static_cast<std::uint32_t>(m.models.size()));
+      for (const IngestModelStats& stats : m.models) {
+        WriteModelName(out, stats.name);
+        WriteU64(out, stats.accepted);
+        WriteU64(out, stats.rejected);
+        WriteU64(out, stats.pending);
+        WriteU64(out, stats.folded);
+        WriteU64(out, stats.replayed);
+        WriteU64(out, stats.journal_bytes);
+        WriteU64(out, stats.publishes);
+        WriteU64(out, stats.last_publish_generation);
       }
     }
   };
@@ -320,6 +391,73 @@ Message ReadBody(std::istream& in, MessageType type, std::uint32_t version) {
         stats.batches = ReadU64(in);
         stats.max_batch = ReadU64(in);
         stats.queue_depth = ReadU64(in);
+        if (version >= 3) {
+          const std::uint8_t source = ReadU8(in);
+          Require(source <= static_cast<std::uint8_t>(PublishSource::kIngest),
+                  "protocol: bad publish source");
+          stats.last_publish_source = static_cast<PublishSource>(source);
+          stats.pending_ingest = ReadU64(in);
+        }
+        m.models.push_back(std::move(stats));
+      }
+      return m;
+    }
+    case MessageType::kSubmitRecordsRequest: {
+      RequireIngestV3(version);
+      SubmitRecordsRequest m;
+      m.model = ReadModelName(in);
+      const std::uint32_t count = ReadU32(in);
+      Require(count >= 1, "protocol: empty submit batch");
+      Require(count <= kMaxBatchRecords, "protocol: oversized submit batch");
+      m.records.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        m.records.push_back(ReadSignalRecord(in));
+      }
+      return m;
+    }
+    case MessageType::kSubmitRecordsResponse: {
+      RequireIngestV3(version);
+      SubmitRecordsResponse m;
+      const std::uint32_t count = ReadU32(in);
+      Require(count >= 1, "protocol: empty submit response");
+      Require(count <= kMaxBatchRecords,
+              "protocol: oversized submit response");
+      m.results.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        SubmitResult result;
+        const std::uint8_t status = ReadU8(in);
+        Require(status <= static_cast<std::uint8_t>(SubmitStatus::kRejected),
+                "protocol: bad submit status");
+        result.status = static_cast<SubmitStatus>(status);
+        result.error = ReadMessageString(in);
+        m.results.push_back(std::move(result));
+      }
+      return m;
+    }
+    case MessageType::kIngestStatsRequest: {
+      RequireIngestV3(version);
+      IngestStatsRequest m;
+      m.model = ReadModelName(in);
+      return m;
+    }
+    case MessageType::kIngestStatsResponse: {
+      RequireIngestV3(version);
+      IngestStatsResponse m;
+      m.enabled = ReadU8(in) != 0;
+      const std::uint32_t count = ReadU32(in);
+      Require(count <= kMaxModels, "protocol: too many models");
+      m.models.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        IngestModelStats stats;
+        stats.name = ReadModelName(in);
+        stats.accepted = ReadU64(in);
+        stats.rejected = ReadU64(in);
+        stats.pending = ReadU64(in);
+        stats.folded = ReadU64(in);
+        stats.replayed = ReadU64(in);
+        stats.journal_bytes = ReadU64(in);
+        stats.publishes = ReadU64(in);
+        stats.last_publish_generation = ReadU64(in);
         m.models.push_back(std::move(stats));
       }
       return m;

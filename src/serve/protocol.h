@@ -1,4 +1,4 @@
-// Wire protocol of the GRAFICS serving daemon (version 2).
+// Wire protocol of the GRAFICS serving daemon (version 3).
 //
 // Every message travels as one length-prefixed frame on a TCP stream:
 //
@@ -12,15 +12,22 @@
 // optional model name (empty = the daemon's default model), PredictRequest
 // carries a whole vector of records answered with per-record statuses in one
 // round trip, and admin messages enumerate models and their serving stats.
-// Version 1 frames remain decodable — a v1 request is a one-record batch
-// routed to the default model — and every reply to a v1 frame is encoded as
-// v1, so deployed clients keep working against a v2 daemon.
+//
+// Version 3 adds the online ingestion surface: SubmitRecords carries a batch
+// of crowdsourced records to be journaled and folded into the named model in
+// the background (per-record accept/reject statuses), IngestStats reports
+// the per-model ingest counters, and ModelStats grows two fields (publish
+// source, pending ingest depth). Versions 1 and 2 remain decodable — a v1
+// request is a one-record batch routed to the default model, a v2 frame is
+// everything except the ingest messages and the two new ModelStats fields —
+// and every reply is encoded in the version its request arrived in, so
+// deployed clients keep working against a v3 daemon.
 //
 // Malformed input — bad magic, unsupported version, unknown type, truncated
 // or oversized frames, out-of-range names or batch sizes, trailing bytes —
 // is rejected by throwing grafics::Error, never by crashing; servers drop
 // the connection, clients surface the error. docs/protocol.md specifies the
-// format field by field, including the v1 → v2 migration notes.
+// format field by field, including the migration notes between versions.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +44,7 @@ namespace grafics::serve {
 
 inline constexpr char kFrameMagic[4] = {'G', 'S', 'R', 'V'};
 /// Highest protocol version this build speaks (and the encoding default).
-inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kProtocolVersion = 3;
 /// Oldest protocol version still decoded; v1 requests route to the default
 /// model and get v1-encoded replies.
 inline constexpr std::uint32_t kMinProtocolVersion = 1;
@@ -148,7 +155,15 @@ struct ListModelsResponse {
   bool operator==(const ListModelsResponse&) const = default;
 };
 
+/// How a model's current snapshot got published (ModelStats, since v3).
+enum class PublishSource : std::uint8_t {
+  kDisk = 0,    // Load/LoadFromDisk/ReloadFromDisk (artifact or in-process)
+  kIngest = 1,  // background fold-in publish by the ingest pipeline
+};
+
 /// v2-only admin: per-model serving counters (empty model = all models).
+/// The last two fields exist on the wire only from v3 on; a v2 encoding
+/// omits them (and a decoded v2 frame reports their defaults).
 struct ModelStats {
   std::string name;
   std::uint64_t generation = 0;
@@ -157,6 +172,10 @@ struct ModelStats {
   std::uint64_t max_batch = 0;
   /// Records enqueued but not yet dispatched at the time of the request.
   std::uint64_t queue_depth = 0;
+  /// What published the snapshot now serving (disk load vs ingest fold-in).
+  PublishSource last_publish_source = PublishSource::kDisk;
+  /// Submitted records accepted but not yet folded into the model.
+  std::uint64_t pending_ingest = 0;
 
   bool operator==(const ModelStats&) const = default;
 };
@@ -174,10 +193,81 @@ struct StatsResponse {
   bool operator==(const StatsResponse&) const = default;
 };
 
+/// v3-only: submit a batch of crowdsourced records for background fold-in to
+/// the named model (empty = default). Records may carry floor labels; the
+/// labels ride along into the journal but Update ignores them (relabeling
+/// requires retraining). Batch size is bounded exactly like PredictRequest.
+struct SubmitRecordsRequest {
+  std::string model;
+  std::vector<rf::SignalRecord> records;
+
+  bool operator==(const SubmitRecordsRequest&) const = default;
+};
+
+enum class SubmitStatus : std::uint8_t {
+  kAccepted = 0,  // journaled durably; will be folded in the background
+  kRejected = 1,  // error says why (empty record, backpressure, bad model)
+};
+
+/// One submitted record's fate; rejection is a per-record status, never a
+/// dropped connection.
+struct SubmitResult {
+  SubmitStatus status = SubmitStatus::kRejected;
+  std::string error;
+
+  bool operator==(const SubmitResult&) const = default;
+};
+
+/// One result per submitted record, in request order.
+struct SubmitRecordsResponse {
+  std::vector<SubmitResult> results;
+
+  bool operator==(const SubmitRecordsResponse&) const = default;
+};
+
+/// v3-only admin: per-model ingest pipeline counters.
+struct IngestModelStats {
+  std::string name;
+  /// Records accepted (journaled + queued) since the daemon started.
+  std::uint64_t accepted = 0;
+  /// Records rejected at submission (validation or backpressure).
+  std::uint64_t rejected = 0;
+  /// Accepted records not yet folded into the served model.
+  std::uint64_t pending = 0;
+  /// Records folded into published snapshots since the daemon started.
+  std::uint64_t folded = 0;
+  /// Records replayed from the journal at startup.
+  std::uint64_t replayed = 0;
+  /// Current journal size in bytes (0 when journaling is disabled).
+  std::uint64_t journal_bytes = 0;
+  /// Snapshot publishes performed by the pipeline (including the replay).
+  std::uint64_t publishes = 0;
+  /// Registry generation of the pipeline's most recent publish (0 = none).
+  std::uint64_t last_publish_generation = 0;
+
+  bool operator==(const IngestModelStats&) const = default;
+};
+
+struct IngestStatsRequest {
+  std::string model;
+
+  bool operator==(const IngestStatsRequest&) const = default;
+};
+
+struct IngestStatsResponse {
+  /// False when the daemon runs without an ingest pipeline; models is empty.
+  bool enabled = false;
+  std::vector<IngestModelStats> models;
+
+  bool operator==(const IngestStatsResponse&) const = default;
+};
+
 using Message =
     std::variant<PredictRequest, PredictResponse, Ping, Pong, ReloadRequest,
                  ReloadResponse, ListModelsRequest, ListModelsResponse,
-                 StatsRequest, StatsResponse>;
+                 StatsRequest, StatsResponse, SubmitRecordsRequest,
+                 SubmitRecordsResponse, IngestStatsRequest,
+                 IngestStatsResponse>;
 
 /// Wire encoding of one record: u64 observation count, then (u64 MAC bits,
 /// f64 RSS dBm) per observation, then the optional floor label. Reading

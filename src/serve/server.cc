@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "ingest/ingest_pipeline.h"
 
 namespace grafics::serve {
 
@@ -37,6 +38,11 @@ Server::Server(std::shared_ptr<ModelRegistry> registry, ServerConfig config)
 }
 
 Server::~Server() { Stop(); }
+
+void Server::AttachIngest(std::shared_ptr<ingest::IngestPipeline> ingest) {
+  Require(!started_, "Server::AttachIngest: attach before Start");
+  ingest_ = std::move(ingest);
+}
 
 void Server::Start() {
   Require(!started_, "Server::Start: already started");
@@ -217,6 +223,44 @@ StatsResponse Server::HandleStats(const StatsRequest& request) const {
   return response;
 }
 
+SubmitRecordsResponse Server::HandleSubmit(SubmitRecordsRequest request) {
+  SubmitRecordsResponse response;
+  if (ingest_ == nullptr) {
+    response.results.resize(request.records.size());
+    for (SubmitResult& result : response.results) {
+      result.error = "ingest disabled on this daemon (no --journal-dir / "
+                     "pipeline attached)";
+    }
+    return response;
+  }
+  std::vector<ingest::SubmitResult> results;
+  try {
+    results = ingest_->Submit(request.model, std::move(request.records));
+  } catch (const std::exception& e) {
+    // Defensive: Submit reports per-record problems in its results; an
+    // exception here is transport-worthy but still answered structurally.
+    response.results.resize(1);
+    response.results.front().error = e.what();
+    return response;
+  }
+  response.results.reserve(results.size());
+  for (ingest::SubmitResult& result : results) {
+    response.results.push_back(
+        {result.accepted ? SubmitStatus::kAccepted : SubmitStatus::kRejected,
+         std::move(result.error)});
+  }
+  return response;
+}
+
+IngestStatsResponse Server::HandleIngestStats(
+    const IngestStatsRequest& request) const {
+  IngestStatsResponse response;
+  if (ingest_ == nullptr) return response;  // enabled = false
+  response.enabled = true;
+  response.models = ingest_->Stats(request.model);
+  return response;
+}
+
 void Server::ServeConnection(Connection& connection) {
   const int fd = connection.fd;
   // The dialect of the last well-formed frame header, used to encode both
@@ -239,6 +283,11 @@ void Server::ServeConnection(Connection& connection) {
         SendFrame(fd, HandleListModels(), version);
       } else if (const auto* stats = std::get_if<StatsRequest>(&request)) {
         SendFrame(fd, HandleStats(*stats), version);
+      } else if (auto* submit = std::get_if<SubmitRecordsRequest>(&request)) {
+        SendFrame(fd, HandleSubmit(std::move(*submit)), version);
+      } else if (const auto* ingest_stats =
+                     std::get_if<IngestStatsRequest>(&request)) {
+        SendFrame(fd, HandleIngestStats(*ingest_stats), version);
       } else {
         throw Error("Server: unexpected message type from client");
       }

@@ -7,10 +7,15 @@
 // connections adds no inference threads, and model ownership (snapshots,
 // generations, hot reload) lives entirely in the registry.
 //
-// Version negotiation is per frame: the server decodes protocol v1 and v2
-// requests and answers each in the dialect it arrived in, so v1 clients
-// keep talking to the registry's default model while v2 clients name
-// models, batch records, and query admin state on the same port.
+// Version negotiation is per frame: the server decodes protocol v1, v2,
+// and v3 requests and answers each in the dialect it arrived in, so v1
+// clients keep talking to the registry's default model while newer clients
+// name models, batch records, query admin state, and submit records for
+// ingestion on the same port.
+//
+// The ingest surface (SubmitRecords/IngestStats) is optional: attach an
+// ingest::IngestPipeline before Start to enable it; without one, submits
+// are answered with per-record "ingest disabled" rejections.
 #pragma once
 
 #include <atomic>
@@ -23,6 +28,10 @@
 
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
+
+namespace grafics::ingest {
+class IngestPipeline;
+}
 
 namespace grafics::serve {
 
@@ -46,6 +55,12 @@ class Server {
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
+
+  /// Enables the v3 ingest surface: SubmitRecords routes to `ingest` and
+  /// IngestStats reports its counters. Call before Start; the pipeline is
+  /// shared with the caller, who owns its shutdown ordering (stop the
+  /// server, then the pipeline, then the registry).
+  void AttachIngest(std::shared_ptr<ingest::IngestPipeline> ingest);
 
   /// Binds, listens, and spawns the accept loop. Throws grafics::Error when
   /// the address is unusable.
@@ -83,9 +98,13 @@ class Server {
   ReloadResponse HandleReload(const ReloadRequest& request);
   ListModelsResponse HandleListModels() const;
   StatsResponse HandleStats(const StatsRequest& request) const;
+  SubmitRecordsResponse HandleSubmit(SubmitRecordsRequest request);
+  IngestStatsResponse HandleIngestStats(
+      const IngestStatsRequest& request) const;
 
   const ServerConfig config_;
   const std::shared_ptr<ModelRegistry> registry_;
+  std::shared_ptr<ingest::IngestPipeline> ingest_;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

@@ -5,21 +5,27 @@
 //   grafics train   <dataset.csv> <model.bin> [--labels-per-floor N]
 //   grafics predict <model.bin> <scans.csv> [--threads N]
 //   grafics remote-predict <host:port> <scans.csv> [--model NAME] [--batch N]
+//   grafics remote-submit  <host:port> <records.csv> [--model NAME]
+//                          [--batch N]
 //   grafics remote-ping    <host:port> [--model NAME]
 //   grafics remote-reload  <host:port> [--model NAME]
 //   grafics remote-models  <host:port>
 //   grafics remote-stats   <host:port> [--model NAME]
+//   grafics remote-ingest-stats <host:port> [--model NAME]
 //   grafics eval    <dataset.csv> [--labels-per-floor N] [--train-ratio R]
 //   grafics synth   <out.csv> [--preset campus|mall|hk-tower] [--seed S]
 //   grafics stats   <dataset.csv>
 //
 // remote-predict queries a running grafics_served daemon — batching records
-// into one protocol-v2 frame per --batch records — and prints the exact
+// into one protocol frame per --batch records — and prints the exact
 // same `index,floor` lines as the in-process predict command, so the two
 // outputs diff clean on the same model (the CI daemon smoke test relies on
-// that, per named model). remote-ping reports the negotiated protocol
-// version; remote-models and remote-stats are the v2 admin surface of the
-// daemon's multi-building model registry.
+// that, per named model). remote-submit feeds crowdsourced records into the
+// daemon's online ingestion pipeline (journaled, folded in the background;
+// watch progress with remote-ingest-stats until `pending` reaches 0).
+// remote-ping reports the negotiated protocol version; remote-models and
+// remote-stats are the admin surface of the daemon's multi-building model
+// registry.
 //
 // Exit status: 0 on success, 1 on usage error, 2 on runtime failure.
 #include <cstdint>
@@ -49,10 +55,13 @@ int Usage() {
                "  grafics predict <model.bin> <scans.csv> [--threads N]\n"
                "  grafics remote-predict <host:port> <scans.csv> "
                "[--model NAME] [--batch N]\n"
+               "  grafics remote-submit  <host:port> <records.csv> "
+               "[--model NAME] [--batch N]\n"
                "  grafics remote-ping    <host:port> [--model NAME]\n"
                "  grafics remote-reload  <host:port> [--model NAME]\n"
                "  grafics remote-models  <host:port>\n"
                "  grafics remote-stats   <host:port> [--model NAME]\n"
+               "  grafics remote-ingest-stats <host:port> [--model NAME]\n"
                "  grafics eval    <dataset.csv> [--labels-per-floor N] "
                "[--train-ratio R] [--seed S]\n"
                "  grafics synth   <out.csv> [--preset campus|mall|hk-tower] "
@@ -138,6 +147,65 @@ int CmdRemotePredict(const std::vector<std::string>& args) {
   return 0;
 }
 
+int CmdRemoteSubmit(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  const auto [host, port] = ParseHostPort(args[0]);
+  const std::string model = FlagValue(args, "--model", "");
+  const std::size_t batch = static_cast<std::size_t>(ParseUnsigned(
+      FlagValue(args, "--batch", "256"), serve::kMaxBatchRecords, "--batch"));
+  Require(batch >= 1, "--batch must be at least 1");
+  serve::Client client(host, port);
+  const rf::Dataset records = rf::Dataset::LoadCsv(args[1], "records");
+  if (records.records().empty()) return 0;
+  const auto results = client.Submit(records.records(), model, batch);
+  std::size_t accepted = 0;
+  for (std::size_t index = 0; index < results.size(); ++index) {
+    if (results[index].status == serve::SubmitStatus::kAccepted) {
+      ++accepted;
+      std::printf("%zu,accepted\n", index);
+    } else {
+      std::printf("%zu,rejected,%s\n", index, results[index].error.c_str());
+    }
+  }
+  std::fprintf(stderr, "submitted %zu record(s): %zu accepted, %zu "
+               "rejected\n",
+               results.size(), accepted, results.size() - accepted);
+  // Like remote-predict's diff contract, scripts branch on the exit code:
+  // any rejection is visible without parsing stdout.
+  return accepted == results.size() ? 0 : 2;
+}
+
+int CmdRemoteIngestStats(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const auto [host, port] = ParseHostPort(args[0]);
+  const std::string model = FlagValue(args, "--model", "");
+  serve::Client client(host, port);
+  const serve::IngestStatsResponse stats = client.IngestStats(model);
+  if (!stats.enabled) {
+    std::fprintf(stderr, "ingest disabled on this daemon\n");
+    return 2;
+  }
+  if (!model.empty() && stats.models.empty()) {
+    std::fprintf(stderr, "no such model '%s'\n", model.c_str());
+    return 2;
+  }
+  for (const serve::IngestModelStats& m : stats.models) {
+    std::printf(
+        "%s,accepted=%llu,rejected=%llu,pending=%llu,folded=%llu,"
+        "replayed=%llu,journal_bytes=%llu,publishes=%llu,"
+        "last_publish_generation=%llu\n",
+        m.name.c_str(), static_cast<unsigned long long>(m.accepted),
+        static_cast<unsigned long long>(m.rejected),
+        static_cast<unsigned long long>(m.pending),
+        static_cast<unsigned long long>(m.folded),
+        static_cast<unsigned long long>(m.replayed),
+        static_cast<unsigned long long>(m.journal_bytes),
+        static_cast<unsigned long long>(m.publishes),
+        static_cast<unsigned long long>(m.last_publish_generation));
+  }
+  return 0;
+}
+
 int CmdRemotePing(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   const auto [host, port] = ParseHostPort(args[0]);
@@ -193,12 +261,15 @@ int CmdRemoteStats(const std::vector<std::string>& args) {
   for (const serve::ModelStats& m : stats.models) {
     std::printf(
         "%s,generation=%llu,requests=%llu,batches=%llu,max_batch=%llu,"
-        "queue_depth=%llu\n",
+        "queue_depth=%llu,last_publish_source=%s,pending_ingest=%llu\n",
         m.name.c_str(), static_cast<unsigned long long>(m.generation),
         static_cast<unsigned long long>(m.requests),
         static_cast<unsigned long long>(m.batches),
         static_cast<unsigned long long>(m.max_batch),
-        static_cast<unsigned long long>(m.queue_depth));
+        static_cast<unsigned long long>(m.queue_depth),
+        m.last_publish_source == serve::PublishSource::kIngest ? "ingest"
+                                                               : "disk",
+        static_cast<unsigned long long>(m.pending_ingest));
   }
   return 0;
 }
@@ -277,6 +348,8 @@ int main(int argc, char** argv) {
     if (command == "train") return CmdTrain(args);
     if (command == "predict") return CmdPredict(args);
     if (command == "remote-predict") return CmdRemotePredict(args);
+    if (command == "remote-submit") return CmdRemoteSubmit(args);
+    if (command == "remote-ingest-stats") return CmdRemoteIngestStats(args);
     if (command == "remote-ping") return CmdRemotePing(args);
     if (command == "remote-reload") return CmdRemoteReload(args);
     if (command == "remote-models") return CmdRemoteModels(args);

@@ -9,7 +9,9 @@
 //
 //   grafics_served [<model.bin>] [--model NAME=PATH]... [--default NAME]
 //                  [--host A] [--port P] [--max-batch N] [--max-delay-ms M]
-//                  [--threads T] [--port-file F]
+//                  [--threads T] [--port-file F] [--journal-dir D]
+//                  [--ingest-batch N] [--ingest-max-delay-ms M]
+//                  [--ingest-max-pending N]
 //
 //   <model.bin>       artifact loaded as model "default" (optional when at
 //                     least one --model is given)
@@ -23,14 +25,27 @@
 //   --threads T       PredictBatch workers shared by all models; 0 = cores
 //   --port-file F     write the bound port to F once listening (for
 //                     scripts/CI that start on an ephemeral port)
+//   --journal-dir D   enable online ingestion: every model gets a durable
+//                     record journal in D (created if missing), replayed
+//                     into the model before serving starts
+//   --ingest-batch N         fold at N pending records (default 64)
+//   --ingest-max-delay-ms M  fold after the oldest accepted record waited
+//                            M ms (default 200)
+//   --ingest-max-pending N   per-model submission buffer bound; beyond it
+//                            submits are rejected with a backpressure
+//                            error (default 4096)
 //
 // SIGHUP hot-reloads every model from its artifact path, one by one: new
 // batches move to each fresh snapshot atomically while in-flight batches
 // finish on the old one, and other models keep serving throughout. Clients
 // can reload one model remotely (`grafics remote-reload --model NAME`).
-// SIGINT/SIGTERM drain and exit.
+// SIGINT/SIGTERM drain and exit: the listener stops first, then the ingest
+// pipeline folds everything accepted and closes the journals, and only
+// then is the registry torn down — accepted records are never lost to a
+// TERM.
 //
 // Exit status: 0 on clean shutdown, 1 on usage error, 2 on runtime failure.
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -46,6 +61,7 @@
 #include "common/cli_flags.h"
 #include "common/error.h"
 #include "core/grafics.h"
+#include "ingest/ingest_pipeline.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
 
@@ -82,7 +98,10 @@ int Usage() {
       "[--default NAME]\n"
       "                      [--host A] [--port P] [--max-batch N]\n"
       "                      [--max-delay-ms M] [--threads T] "
-      "[--port-file F]\n");
+      "[--port-file F]\n"
+      "                      [--journal-dir D] [--ingest-batch N]\n"
+      "                      [--ingest-max-delay-ms M] "
+      "[--ingest-max-pending N]\n");
   return 1;
 }
 
@@ -139,6 +158,16 @@ int main(int argc, char** argv) {
     batcher.predict_threads = static_cast<std::size_t>(ParseUnsigned(
         FlagValue(args, "--threads", "1"), 4096, "--threads"));
     const std::string port_file = FlagValue(args, "--port-file", "");
+    ingest::IngestConfig ingest_config;
+    ingest_config.journal_dir = FlagValue(args, "--journal-dir", "");
+    ingest_config.fold_batch_size = static_cast<std::size_t>(ParseUnsigned(
+        FlagValue(args, "--ingest-batch", "64"), 1 << 20, "--ingest-batch"));
+    ingest_config.max_delay = std::chrono::milliseconds(
+        ParseUnsigned(FlagValue(args, "--ingest-max-delay-ms", "200"), 600000,
+                      "--ingest-max-delay-ms"));
+    ingest_config.max_pending = static_cast<std::size_t>(
+        ParseUnsigned(FlagValue(args, "--ingest-max-pending", "4096"),
+                      1 << 24, "--ingest-max-pending"));
     const std::vector<std::string> model_flags = FlagValues(args, "--model");
     if (positional_model.empty() && model_flags.empty()) return Usage();
 
@@ -166,7 +195,30 @@ int main(int argc, char** argv) {
     const std::string default_name = FlagValue(args, "--default", "");
     if (!default_name.empty()) registry->SetDefaultModel(default_name);
 
+    // Online ingestion: one journal per model under --journal-dir, replayed
+    // into the served snapshot BEFORE the listener opens, so the first
+    // prediction already reflects every record accepted before a restart.
+    std::shared_ptr<ingest::IngestPipeline> pipeline;
+    if (!ingest_config.journal_dir.empty()) {
+      ::mkdir(ingest_config.journal_dir.c_str(), 0755);  // EEXIST is fine
+      pipeline =
+          std::make_shared<ingest::IngestPipeline>(registry, ingest_config);
+      for (const serve::ModelInfo& info : registry->List()) {
+        pipeline->Attach(info.name);
+      }
+      for (const serve::IngestModelStats& stats : pipeline->Stats()) {
+        if (stats.replayed == 0) continue;
+        std::printf(
+            "grafics_served: replayed %llu journaled record(s) into %s "
+            "(generation %llu)\n",
+            static_cast<unsigned long long>(stats.replayed),
+            stats.name.c_str(),
+            static_cast<unsigned long long>(registry->generation(stats.name)));
+      }
+    }
+
     serve::Server server(registry, config);
+    if (pipeline != nullptr) server.AttachIngest(pipeline);
     server.Start();
     std::printf(
         "grafics_served: serving %zu model(s) (default %s) on %s:%u "
@@ -191,7 +243,15 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
 
+    // Shutdown ordering matters: stop the transport first (no new submits
+    // or predicts), then the ingest pipeline — which folds every accepted
+    // record into a final publish and syncs + closes the journals — and
+    // only then the registry the pipeline publishes into. Stopping the
+    // registry first would make the pipeline's final publishes fail and
+    // lose accepted records from the served model (they would survive only
+    // in the journal).
     server.Stop();
+    if (pipeline != nullptr) pipeline->Stop();
     registry->Stop();
     std::printf("grafics_served: shut down after %llu connection(s), "
                 "%llu reload(s)\n",
@@ -205,6 +265,17 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.requests),
                   static_cast<unsigned long long>(stats.batches),
                   static_cast<unsigned long long>(stats.max_batch));
+    }
+    if (pipeline != nullptr) {
+      for (const serve::IngestModelStats& stats : pipeline->Stats()) {
+        std::printf("  ingest %-23s %llu accepted, %llu folded in %llu "
+                    "publish(es), %llu journal byte(s)\n",
+                    stats.name.c_str(),
+                    static_cast<unsigned long long>(stats.accepted),
+                    static_cast<unsigned long long>(stats.folded),
+                    static_cast<unsigned long long>(stats.publishes),
+                    static_cast<unsigned long long>(stats.journal_bytes));
+      }
     }
     return 0;
   } catch (const std::exception& e) {

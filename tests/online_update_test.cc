@@ -1,5 +1,5 @@
-// Tests for batch model updates (Grafics::Update) and the k-NN inference
-// head.
+// Tests for batch model updates (Grafics::Update), the deep-copy primitive
+// of the ingest pipeline (Grafics::Clone), and the k-NN inference head.
 #include <gtest/gtest.h>
 
 #include "core/grafics.h"
@@ -75,6 +75,55 @@ TEST(OnlineUpdateTest, PredictionStillWorksAfterManyUpdates) {
     if (predicted && *predicted == floor) ++correct;
   }
   EXPECT_GE(correct, 12u);
+}
+
+TEST(CloneTest, CloneIsBitIdenticalAndFullyIndependent) {
+  auto config = synth::CampusBuildingConfig(47, 50);
+  auto sim = config.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  Rng rng(11);
+  auto [train, test] = dataset.TrainTestSplit(0.7, rng);
+  train.KeepLabelsPerFloor(4, rng);
+  Grafics system(FastConfig());
+  system.Train(train.records());
+
+  const Grafics clone = system.Clone();
+  const auto original_before = system.PredictBatch(test.records());
+  // Same answers from the copy: nothing about the model state drifted.
+  const auto cloned = clone.PredictBatch(test.records());
+  for (std::size_t i = 0; i < cloned.size(); ++i) {
+    EXPECT_EQ(cloned[i], original_before[i]) << i;
+  }
+
+  // Mutating a clone must never disturb the source — this is what lets the
+  // ingest pipeline fold records on a private copy while the original
+  // keeps serving.
+  Grafics updated = system.Clone();
+  std::vector<rf::SignalRecord> batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.push_back(sim.MeasureAt({12.0 + i, 14.0, 1.2}, 0));
+  }
+  EXPECT_EQ(updated.Update(batch), batch.size());
+  EXPECT_EQ(updated.graph().NumRecords(),
+            system.graph().NumRecords() + batch.size());
+  const auto original_after = system.PredictBatch(test.records());
+  for (std::size_t i = 0; i < original_after.size(); ++i) {
+    EXPECT_EQ(original_after[i], original_before[i]) << i;
+  }
+
+  // And the clone behaves exactly like the same Update on the original.
+  system.Update(batch);
+  const auto updated_predictions = updated.PredictBatch(test.records());
+  const auto system_predictions = system.PredictBatch(test.records());
+  for (std::size_t i = 0; i < updated_predictions.size(); ++i) {
+    EXPECT_EQ(updated_predictions[i], system_predictions[i]) << i;
+  }
+}
+
+TEST(CloneTest, UntrainedSystemsCloneToo) {
+  Grafics system(FastConfig());
+  const Grafics clone = system.Clone();
+  EXPECT_FALSE(clone.is_trained());
 }
 
 TEST(OnlineUpdateTest, KnnHeadMatchesCentroidHeadOnEasyData) {

@@ -88,7 +88,17 @@ std::vector<Message> AllMessageTypes() {
   listing.models = {{"campus", 2, true}, {"mall", 1, false}};
   StatsResponse stats;
   stats.connections_accepted = 17;
-  stats.models = {{"campus", 2, 100, 9, 32, 3}, {"mall", 1, 5, 5, 1, 0}};
+  stats.models = {{"campus", 2, 100, 9, 32, 3, PublishSource::kIngest, 12},
+                  {"mall", 1, 5, 5, 1, 0, PublishSource::kDisk, 0}};
+  SubmitRecordsRequest submit;
+  submit.model = "campus";
+  submit.records = {MakeRecord(3), MakeRecord()};
+  SubmitRecordsResponse submitted;
+  submitted.results.push_back({SubmitStatus::kAccepted, ""});
+  submitted.results.push_back({SubmitStatus::kRejected, "empty record"});
+  IngestStatsResponse ingest_stats;
+  ingest_stats.enabled = true;
+  ingest_stats.models = {{"campus", 90, 2, 5, 80, 40, 12345, 3, 7}};
   std::vector<Message> messages;
   messages.push_back(named_batch);
   messages.push_back(PredictRequest{"", {MakeRecord(7)}});
@@ -105,6 +115,12 @@ std::vector<Message> AllMessageTypes() {
   messages.push_back(StatsRequest{});
   messages.push_back(StatsRequest{"campus"});
   messages.push_back(stats);
+  messages.push_back(submit);
+  messages.push_back(submitted);
+  messages.push_back(IngestStatsRequest{});
+  messages.push_back(IngestStatsRequest{"campus"});
+  messages.push_back(ingest_stats);
+  messages.push_back(IngestStatsResponse{});  // ingest disabled
   return messages;
 }
 
@@ -210,6 +226,89 @@ TEST(ProtocolV1CompatTest, V1FrameWithAdminTypeCodeIsRejected) {
   }
 }
 
+// --- v2 <-> v3 compatibility ----------------------------------------------
+
+/// Messages a v2 peer can express: everything except the ingest surface
+/// and the two v3 ModelStats fields.
+std::vector<Message> V2Messages() {
+  PredictRequest named_batch;
+  named_batch.model = "mall";
+  named_batch.records = {MakeRecord(7), MakeRecord()};
+  StatsResponse stats;
+  stats.connections_accepted = 17;
+  stats.models = {{"campus", 2, 100, 9, 32, 3}};
+  ListModelsResponse listing;
+  listing.default_model = "campus";
+  listing.models = {{"campus", 2, true}};
+  std::vector<Message> messages;
+  messages.push_back(named_batch);
+  messages.push_back(Ping{"mall"});
+  messages.push_back(Pong{2, true, 42, ""});
+  messages.push_back(ListModelsRequest{});
+  messages.push_back(listing);
+  messages.push_back(StatsRequest{"campus"});
+  messages.push_back(stats);
+  return messages;
+}
+
+TEST(ProtocolV2CompatTest, V2FramesRoundTripThroughTheV3Decoder) {
+  for (const Message& message : V2Messages()) {
+    std::uint32_t version = 0;
+    EXPECT_EQ(DecodePayload(EncodePayload(message, 2), &version), message);
+    EXPECT_EQ(version, 2u);
+  }
+}
+
+TEST(ProtocolV2CompatTest, V2StatsEncodingMatchesTheOriginalWireBytes) {
+  // The PR 3 v2 ModelStats layout must survive v3 byte-for-byte: the two
+  // ingest fields exist only in v3 frames.
+  StatsResponse stats;
+  stats.connections_accepted = 17;
+  stats.models = {{"campus", 2, 100, 9, 32, 3, PublishSource::kIngest, 12}};
+  std::ostringstream expected;
+  WriteHeader(expected, kFrameMagic, 2);
+  WriteU8(expected, 10);  // kStatsResponse
+  WriteU64(expected, 17);
+  WriteU32(expected, 1);
+  WriteString(expected, "campus");
+  for (const std::uint64_t value : {2, 100, 9, 32, 3}) {
+    WriteU64(expected, value);
+  }
+  EXPECT_EQ(EncodePayload(stats, 2), std::move(expected).str());
+  // Decoding the v2 bytes reports the defaults for the missing fields.
+  const Message decoded = DecodePayload(EncodePayload(stats, 2));
+  const auto* response = std::get_if<StatsResponse>(&decoded);
+  ASSERT_NE(response, nullptr);
+  EXPECT_EQ(response->models[0].last_publish_source, PublishSource::kDisk);
+  EXPECT_EQ(response->models[0].pending_ingest, 0u);
+}
+
+TEST(ProtocolV2CompatTest, OlderVersionsCannotExpressIngestMessages) {
+  const std::vector<Message> ingest_messages = {
+      SubmitRecordsRequest{"", {MakeRecord()}},
+      SubmitRecordsResponse{{{SubmitStatus::kAccepted, ""}}},
+      IngestStatsRequest{},
+      IngestStatsResponse{},
+  };
+  for (const Message& message : ingest_messages) {
+    EXPECT_THROW(EncodePayload(message, 1), Error);
+    EXPECT_THROW(EncodePayload(message, 2), Error);
+  }
+}
+
+TEST(ProtocolV2CompatTest, OlderFramesWithIngestTypeCodesAreRejected) {
+  for (const std::uint32_t version : {1u, 2u}) {
+    for (const std::uint8_t type : {11, 12, 13, 14}) {
+      std::ostringstream out;
+      WriteHeader(out, kFrameMagic, version);
+      WriteU8(out, type);
+      EXPECT_THROW(DecodePayload(std::move(out).str()), Error)
+          << "version " << version << " type "
+          << static_cast<unsigned>(type);
+    }
+  }
+}
+
 // --- malformed v2 frames --------------------------------------------------
 
 TEST(ProtocolTest, RejectsBadModelNameLength) {
@@ -259,6 +358,55 @@ TEST(ProtocolTest, RejectsOversizedBatch) {
   WriteString(out, "");
   WriteU32(out, static_cast<std::uint32_t>(kMaxBatchRecords + 1));
   EXPECT_THROW(DecodePayload(std::move(out).str()), Error);
+}
+
+TEST(ProtocolTest, RejectsZeroAndOversizedSubmitBatches) {
+  // SubmitRecords is bounded exactly like v2 predict: zero-record and
+  // oversized batches (and hostile name lengths) die before any record
+  // allocation happens.
+  for (const std::uint32_t count :
+       {0u, static_cast<std::uint32_t>(kMaxBatchRecords + 1)}) {
+    std::ostringstream out;
+    WriteHeader(out, kFrameMagic, kProtocolVersion);
+    WriteU8(out, 11);  // kSubmitRecordsRequest
+    WriteString(out, "");
+    WriteU32(out, count);
+    EXPECT_THROW(DecodePayload(std::move(out).str()), Error)
+        << "count " << count;
+  }
+  EXPECT_THROW(EncodePayload(SubmitRecordsRequest{}), Error);
+  std::vector<rf::SignalRecord> oversized(kMaxBatchRecords + 1,
+                                          MakeRecord());
+  EXPECT_THROW(
+      EncodePayload(SubmitRecordsRequest{"", std::move(oversized)}), Error);
+}
+
+TEST(ProtocolTest, RejectsHostileSubmitFieldsBeforeAllocating) {
+  {
+    std::ostringstream out;  // ~4 GiB declared model name
+    WriteHeader(out, kFrameMagic, kProtocolVersion);
+    WriteU8(out, 11);  // kSubmitRecordsRequest
+    WriteU64(out, 0xFFFFFFFFULL);
+    EXPECT_THROW(DecodePayload(std::move(out).str()), Error);
+  }
+  {
+    std::ostringstream out;  // absurd observation count inside a record
+    WriteHeader(out, kFrameMagic, kProtocolVersion);
+    WriteU8(out, 11);
+    WriteString(out, "");
+    WriteU32(out, 1);
+    WriteU64(out, kMaxObservations + 1);
+    EXPECT_THROW(DecodePayload(std::move(out).str()), Error);
+  }
+  {
+    std::ostringstream out;  // bad status byte in a submit response
+    WriteHeader(out, kFrameMagic, kProtocolVersion);
+    WriteU8(out, 12);  // kSubmitRecordsResponse
+    WriteU32(out, 1);
+    WriteU8(out, 9);
+    WriteString(out, "");
+    EXPECT_THROW(DecodePayload(std::move(out).str()), Error);
+  }
 }
 
 TEST(ProtocolTest, EveryTruncationIsRejectedNotCrashing) {

@@ -2,7 +2,9 @@
 // in-process reference, named-model routing through the ModelRegistry,
 // protocol-v1 compatibility over a real socket, per-model hot-reload
 // isolation (a reload racing another model's in-flight batches is what the
-// CI ThreadSanitizer job is there to check), and micro-batch coalescing.
+// CI ThreadSanitizer job is there to check), micro-batch coalescing, and
+// the v3 ingest surface: submitted records folded in the background while
+// concurrent predictions stay bit-identical to a published snapshot.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "core/grafics.h"
+#include "ingest/ingest_pipeline.h"
 #include "serve/batcher.h"
 #include "serve/client.h"
 #include "serve/model_registry.h"
@@ -585,6 +588,146 @@ TEST(ServerTest, StopIsIdempotentAndRestartForbidden) {
   EXPECT_THROW(server.Start(), Error);
   server.Stop();
   server.Stop();
+}
+
+// --- online ingestion over the wire ---------------------------------------
+
+TEST(ServerTest, SubmitWithoutPipelineIsAStructuredRejection) {
+  const Fixture& f = ModelA();
+  Server server(AlphaRegistry());
+  server.Start();
+  Client client("127.0.0.1", server.port());
+  const auto results = client.Submit({f.queries[0], f.queries[1]});
+  ASSERT_EQ(results.size(), 2u);
+  for (const SubmitResult& result : results) {
+    EXPECT_EQ(result.status, SubmitStatus::kRejected);
+    EXPECT_NE(result.error.find("ingest disabled"), std::string::npos);
+  }
+  EXPECT_FALSE(client.IngestStats().enabled);
+  // The rejection poisons neither the connection nor predict traffic.
+  EXPECT_EQ(client.Predict(f.queries[0], "alpha"), f.reference[0]);
+  server.Stop();
+}
+
+TEST(ServerTest, SubmittedRecordsAreFoldedAndChangeServedPredictions) {
+  const Fixture& f = ModelA();
+  auto registry = AlphaRegistry();
+  ingest::IngestConfig ingest_config;
+  // One deterministic fold of the whole stream, so the post-publish model
+  // must equal an in-process Update on the same records.
+  const std::size_t n = std::min<std::size_t>(f.queries.size(), 8);
+  ingest_config.fold_batch_size = n;
+  ingest_config.max_delay = std::chrono::milliseconds(30000);
+  auto pipeline =
+      std::make_shared<ingest::IngestPipeline>(registry, ingest_config);
+  pipeline->Attach("alpha");
+  Server server(registry, {});
+  server.AttachIngest(pipeline);
+  server.Start();
+  Client client("127.0.0.1", server.port());
+
+  const std::vector<rf::SignalRecord> stream(f.queries.begin(),
+                                             f.queries.begin() + n);
+  const auto results = client.Submit(stream, "alpha");
+  ASSERT_EQ(results.size(), n);
+  for (const SubmitResult& result : results) {
+    EXPECT_EQ(result.status, SubmitStatus::kAccepted) << result.error;
+  }
+  ASSERT_TRUE(pipeline->WaitUntilDrained());
+
+  // Generation bump observable over the wire, with ingest provenance.
+  EXPECT_EQ(client.Ping("alpha").model_generation, 2u);
+  const StatsResponse stats = client.Stats("alpha");
+  ASSERT_EQ(stats.models.size(), 1u);
+  EXPECT_EQ(stats.models[0].last_publish_source, PublishSource::kIngest);
+  EXPECT_EQ(stats.models[0].pending_ingest, 0u);
+  const IngestStatsResponse ingest_stats = client.IngestStats();
+  ASSERT_TRUE(ingest_stats.enabled);
+  ASSERT_EQ(ingest_stats.models.size(), 1u);
+  EXPECT_EQ(ingest_stats.models[0].accepted, n);
+  EXPECT_EQ(ingest_stats.models[0].folded, n);
+  EXPECT_EQ(ingest_stats.models[0].pending, 0u);
+
+  // Post-publish answers over the wire == in-process Update on a clone.
+  core::Grafics reference = f.model->Clone();
+  reference.Update(stream);
+  const auto expected = reference.PredictBatch(f.queries, {.num_threads = 1});
+  const auto served = client.PredictBatch(f.queries, "alpha");
+  for (std::size_t i = 0; i < f.queries.size(); ++i) {
+    EXPECT_EQ(served[i], expected[i]) << i;
+  }
+  server.Stop();
+  pipeline->Stop();
+}
+
+TEST(ServerTest, PredictionsInFlightAcrossAFoldInSeeOldOrNewSnapshot) {
+  const Fixture& f = ModelA();
+  auto registry = AlphaRegistry();
+  ingest::IngestConfig ingest_config;
+  ingest_config.fold_batch_size = 2;
+  ingest_config.max_delay = 1ms;
+  auto pipeline =
+      std::make_shared<ingest::IngestPipeline>(registry, ingest_config);
+  pipeline->Attach("alpha");
+  Server server(registry, {});
+  server.AttachIngest(pipeline);
+  server.Start();
+
+  // Every possible published state's reference: the base model, then one
+  // per fold of the next 2-record chunk.
+  const std::size_t folds = 3;
+  std::vector<std::vector<std::optional<rf::FloorId>>> references;
+  references.push_back(f.reference);
+  {
+    core::Grafics reference = f.model->Clone();
+    for (std::size_t fold = 0; fold < folds; ++fold) {
+      const std::vector<rf::SignalRecord> chunk(
+          f.queries.begin() + static_cast<long>(2 * fold),
+          f.queries.begin() + static_cast<long>(2 * fold + 2));
+      reference.Update(chunk);
+      references.push_back(
+          reference.PredictBatch(f.queries, {.num_threads = 1}));
+    }
+  }
+
+  // Hammer predictions while the folds publish underneath: every answer
+  // must be bit-identical to one of the snapshots' references — a batch
+  // caught mid-publish finishes on the snapshot it started with.
+  std::atomic<std::size_t> invalid{0};
+  const std::size_t n = std::min<std::size_t>(f.queries.size(), 20);
+  std::thread querier([&] {
+    Client client("127.0.0.1", server.port());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto prediction = client.Predict(f.queries[i], "alpha");
+      bool matched = false;
+      for (const auto& reference : references) {
+        if (prediction == reference[i]) matched = true;
+      }
+      if (!matched) ++invalid;
+    }
+  });
+  Client submitter("127.0.0.1", server.port());
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    const std::vector<rf::SignalRecord> chunk(
+        f.queries.begin() + static_cast<long>(2 * fold),
+        f.queries.begin() + static_cast<long>(2 * fold + 2));
+    const auto results = submitter.Submit(chunk, "alpha");
+    for (const SubmitResult& result : results) {
+      ASSERT_EQ(result.status, SubmitStatus::kAccepted) << result.error;
+    }
+    ASSERT_TRUE(pipeline->WaitUntilDrained());
+  }
+  querier.join();
+  EXPECT_EQ(invalid.load(), 0u);
+  EXPECT_EQ(registry->generation("alpha"), 1u + folds);
+  // After the last publish, answers equal the final reference exactly.
+  Client client("127.0.0.1", server.port());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(client.Predict(f.queries[i], "alpha"),
+              references.back()[i]) << i;
+  }
+  server.Stop();
+  pipeline->Stop();
 }
 
 }  // namespace
