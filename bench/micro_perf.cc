@@ -4,6 +4,9 @@
 // nearest-centroid prediction.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+
 #include "cluster/centroid_classifier.h"
 #include "cluster/proximity_clusterer.h"
 #include "common/alias_sampler.h"
@@ -131,6 +134,83 @@ void BM_CentroidPrediction(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CentroidPrediction);
+
+// --- copy-on-write snapshot benches ---------------------------------------
+// Run at two model sizes (records per floor): fork cost must stay flat while
+// the deep-materialization baseline and the model itself grow. The CI
+// bench-smoke job exports these as BENCH_snapshot_fork.json (report-only).
+
+core::Grafics& CachedSystem(int records_per_floor) {
+  static std::map<int, core::Grafics> systems;
+  const auto it = systems.find(records_per_floor);
+  if (it != systems.end()) return it->second;
+  auto config = synth::CampusBuildingConfig(/*seed=*/4242, records_per_floor);
+  auto sim = config.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  Rng rng(3);
+  dataset.KeepLabelsPerFloor(4, rng);
+  core::GraficsConfig grafics_config;
+  grafics_config.trainer.samples_per_edge = 20;
+  grafics_config.online_refine_iterations = 100;
+  core::Grafics system(grafics_config);
+  system.Train(dataset.records());
+  return systems.emplace(records_per_floor, std::move(system)).first->second;
+}
+
+void BM_SnapshotFork(benchmark::State& state) {
+  const core::Grafics& system =
+      CachedSystem(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    core::Grafics fork = system.Clone();
+    benchmark::DoNotOptimize(fork.is_trained());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["model_nodes"] =
+      static_cast<double>(system.graph().NumNodes());
+}
+BENCHMARK(BM_SnapshotFork)->Arg(60)->Arg(240);
+
+void BM_DeepMaterialize(benchmark::State& state) {
+  // The pre-refactor Clone cost: materialize every embedding row and every
+  // adjacency list. Fork-vs-deep-copy baseline for BM_SnapshotFork.
+  const core::Grafics& system =
+      CachedSystem(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const Matrix ego = system.embedding_store().ego_matrix();
+    const Matrix context = system.embedding_store().context_matrix();
+    const auto edges = system.graph().Edges();
+    benchmark::DoNotOptimize(ego.rows() + context.rows() + edges.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["model_nodes"] =
+      static_cast<double>(system.graph().NumNodes());
+}
+BENCHMARK(BM_DeepMaterialize)->Arg(60)->Arg(240)->Unit(benchmark::kMillisecond);
+
+void BM_FoldPublish(benchmark::State& state) {
+  // One ingest fold: fork the served snapshot, Update a fixed-size batch,
+  // wrap for publish. With copy-on-write chunks the cost tracks the batch,
+  // not the model — compare across the two Arg sizes.
+  const core::Grafics& system =
+      CachedSystem(static_cast<int>(state.range(0)));
+  auto config = synth::CampusBuildingConfig(/*seed=*/4242, /*rpf=*/1);
+  auto sim = config.MakeSimulator();
+  std::vector<rf::SignalRecord> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.push_back(sim.MeasureAt({10.0 + i, 12.0, 1.2}, 0));
+  }
+  for (auto _ : state) {
+    core::Grafics fork = system.Clone();
+    fork.Update(batch);
+    auto published = std::make_shared<const core::Grafics>(std::move(fork));
+    benchmark::DoNotOptimize(published->graph().NumNodes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+  state.counters["model_nodes"] =
+      static_cast<double>(system.graph().NumNodes());
+}
+BENCHMARK(BM_FoldPublish)->Arg(60)->Arg(240)->Unit(benchmark::kMillisecond);
 
 void BM_HogwildTrainingThreads(benchmark::State& state) {
   const rf::Dataset& dataset = CachedDataset();

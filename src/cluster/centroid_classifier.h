@@ -39,6 +39,12 @@ class CentroidClassifier {
   std::pair<std::size_t, double> Nearest(
       std::span<const double> embedding) const;
 
+  /// Approximate heap bytes (snapshot shared/owned accounting).
+  std::size_t ApproxHeapBytes() const {
+    return centroids_.size() * sizeof(double) +
+           labels_.capacity() * sizeof(rf::FloorId);
+  }
+
   /// Binary (de)serialization.
   void Save(std::ostream& out) const;
   static CentroidClassifier Load(std::istream& in);

@@ -42,6 +42,12 @@ class KnnClassifier {
 
   rf::FloorId Predict(std::span<const double> embedding) const;
 
+  /// Approximate heap bytes (snapshot shared/owned accounting).
+  std::size_t ApproxHeapBytes() const {
+    return references_.size() * sizeof(double) +
+           labels_.capacity() * sizeof(rf::FloorId);
+  }
+
   /// The k nearest reference indices and distances (diagnostics).
   std::vector<std::pair<std::size_t, double>> Neighbors(
       std::span<const double> embedding) const;

@@ -36,17 +36,18 @@ void Grafics::Train(const std::vector<rf::SignalRecord>& records) {
   for (std::size_t i = 0; i < records.size(); ++i) {
     labels[i] = records[i].floor();
   }
-  clustering_ = cluster::ClusterEmbeddings(points, labels, config_.clusterer);
+  clustering_ = std::make_shared<const cluster::ClusteringResult>(
+      cluster::ClusterEmbeddings(points, labels, config_.clusterer));
   classifier_ =
-      std::make_unique<cluster::CentroidClassifier>(points, *clustering_);
-  knn_classifier_ = std::make_unique<cluster::KnnClassifier>(
+      std::make_shared<const cluster::CentroidClassifier>(points, *clustering_);
+  knn_classifier_ = std::make_shared<const cluster::KnnClassifier>(
       points, *clustering_, config_.knn);
   RebuildNegativeSampler();
 }
 
 void Grafics::RebuildNegativeSampler() {
-  negative_sampler_ =
-      embed::BuildNegativeSampler(graph_, &negative_node_of_index_);
+  negative_sampler_ = std::make_shared<const embed::NegativeSamplerSet>(
+      embed::NegativeSamplerSet::Build(graph_));
 }
 
 Matrix Grafics::TrainingEmbeddings() const {
@@ -65,7 +66,8 @@ std::span<const double> Grafics::TrainingEmbedding(
   return store_->Ego(graph_.RecordNode(record_index));
 }
 
-graph::NodeId Grafics::ExtendWith(const rf::SignalRecord& record) {
+graph::NodeId Grafics::ExtendWith(const rf::SignalRecord& record,
+                                  std::vector<graph::NodeId>* touched) {
   const std::size_t nodes_before = graph_.NumNodes();
   const graph::NodeId new_node = graph_.AddRecord(record, weight_fn_);
   const std::size_t new_count = graph_.NumNodes() - nodes_before;
@@ -80,8 +82,16 @@ graph::NodeId Grafics::ExtendWith(const rf::SignalRecord& record) {
     new_nodes.push_back(static_cast<graph::NodeId>(nodes_before + k));
   }
   embed::RefineNewNodes(graph_, new_nodes, *store_, config_.trainer,
-                        config_.online_refine_iterations, negative_sampler_,
-                        negative_node_of_index_);
+                        config_.online_refine_iterations,
+                        *negative_sampler_);
+  if (touched != nullptr) {
+    // Degree changed for every new node and for the record's existing MAC
+    // neighbors — exactly the record node's adjacency plus the new nodes.
+    touched->insert(touched->end(), new_nodes.begin(), new_nodes.end());
+    for (const graph::Neighbor& nb : graph_.NeighborsOf(new_node)) {
+      touched->push_back(nb.node);
+    }
+  }
   return new_node;
 }
 
@@ -99,14 +109,21 @@ InferenceContext Grafics::MakeContext() const {
 std::size_t Grafics::Update(const std::vector<rf::SignalRecord>& records) {
   Require(is_trained(), "Grafics::Update: call Train first");
   std::size_t added = 0;
+  std::vector<graph::NodeId> touched;
   for (const rf::SignalRecord& record : records) {
     if (record.empty()) continue;
-    ExtendWith(record);
+    ExtendWith(record, &touched);
     ++added;
   }
-  // New MAC nodes now exist with learned embeddings; refresh the sampler so
-  // future refinements can draw them as negatives too.
-  RebuildNegativeSampler();
+  if (touched.empty()) return added;
+  // The new nodes (and the MAC nodes that gained edges) must be drawable as
+  // negatives by future refinements. Instead of the historical O(|V|)
+  // sampler rebuild, append an O(delta) correction group covering exactly
+  // the nodes whose degree changed — the distribution stays exact.
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  negative_sampler_ = std::make_shared<const embed::NegativeSamplerSet>(
+      negative_sampler_->Extended(graph_, touched));
   return added;
 }
 
@@ -151,27 +168,49 @@ std::vector<std::optional<rf::FloorId>> Grafics::PredictBatch(
 }
 
 Grafics Grafics::Clone() const {
-  // Every member except the classifiers has value semantics; the two
-  // unique_ptr-held classifiers are themselves copyable value types, so a
-  // memberwise copy is a complete deep copy — nothing in the clone aliases
-  // mutable state of the source.
-  Grafics copy(config_);
-  copy.weight_fn_ = weight_fn_;
-  copy.graph_ = graph_;
-  copy.num_training_records_ = num_training_records_;
-  copy.store_ = store_;
-  copy.clustering_ = clustering_;
+  // Memberwise copy IS the fork: the trained components are immutable and
+  // shared by pointer, and the graph/embedding containers are chunked
+  // copy-on-write, so this is O(#components) pointer copies — independent
+  // of model size — and the first write to any shared chunk copies only
+  // that chunk. Nothing either side can write is visible to the other.
+  return *this;
+}
+
+CowBytes Grafics::MemoryBytes() const {
+  CowBytes bytes = graph_.MemoryBytes();
+  if (store_.has_value()) bytes += store_->MemoryBytes();
+  if (negative_sampler_ != nullptr) {
+    CowBytes sampler = negative_sampler_->MemoryBytes();
+    if (negative_sampler_.use_count() > 1) {
+      // The whole set is shared through the outer pointer, so everything it
+      // holds is reachable from another snapshot even where the internal
+      // group/chunk use counts are 1.
+      sampler.shared_bytes += sampler.owned_bytes;
+      sampler.owned_bytes = 0;
+    }
+    bytes += sampler;
+  }
+  // Pointer-shared immutable components: shared when any other snapshot
+  // still references them.
+  const auto component = [&bytes](const auto& ptr, std::size_t b) {
+    if (ptr == nullptr) return;
+    (ptr.use_count() > 1 ? bytes.shared_bytes : bytes.owned_bytes) += b;
+  };
+  if (clustering_ != nullptr) {
+    component(clustering_,
+              clustering_->cluster_of_point.capacity() * sizeof(std::size_t) +
+                  clustering_->cluster_label.capacity() *
+                      sizeof(std::optional<rf::FloorId>) +
+                  clustering_->merge_history.capacity() *
+                      sizeof(std::pair<std::size_t, std::size_t>));
+  }
   if (classifier_ != nullptr) {
-    copy.classifier_ =
-        std::make_unique<cluster::CentroidClassifier>(*classifier_);
+    component(classifier_, classifier_->ApproxHeapBytes());
   }
   if (knn_classifier_ != nullptr) {
-    copy.knn_classifier_ =
-        std::make_unique<cluster::KnnClassifier>(*knn_classifier_);
+    component(knn_classifier_, knn_classifier_->ApproxHeapBytes());
   }
-  copy.negative_sampler_ = negative_sampler_;
-  copy.negative_node_of_index_ = negative_node_of_index_;
-  return copy;
+  return bytes;
 }
 
 std::vector<std::optional<rf::FloorId>> Grafics::PredictBatch(
@@ -257,7 +296,7 @@ Grafics Grafics::LoadModel(const std::string& path) {
   system.num_training_records_ = ReadU64(in);
   system.graph_ = graph::BipartiteGraph::Load(in);
   system.store_ = embed::EmbeddingStore::Load(in);
-  system.classifier_ = std::make_unique<cluster::CentroidClassifier>(
+  system.classifier_ = std::make_shared<const cluster::CentroidClassifier>(
       cluster::CentroidClassifier::Load(in));
   Require(system.store_->num_nodes() == system.graph_.NumNodes(),
           "Grafics::LoadModel: store/graph size mismatch");
@@ -281,8 +320,9 @@ Grafics Grafics::LoadModel(const std::string& path) {
     clustering.merge_history[i].first = ReadU64(in);
     clustering.merge_history[i].second = ReadU64(in);
   }
-  system.clustering_ = std::move(clustering);
-  system.knn_classifier_ = std::make_unique<cluster::KnnClassifier>(
+  system.clustering_ =
+      std::make_shared<const cluster::ClusteringResult>(std::move(clustering));
+  system.knn_classifier_ = std::make_shared<const cluster::KnnClassifier>(
       system.TrainingEmbeddings(), *system.clustering_, config.knn);
   system.RebuildNegativeSampler();
   return system;
@@ -294,8 +334,13 @@ const embed::EmbeddingStore& Grafics::embedding_store() const {
 }
 
 const cluster::ClusteringResult& Grafics::clustering() const {
-  Require(clustering_.has_value(), "Grafics: not trained");
+  Require(clustering_ != nullptr, "Grafics: not trained");
   return *clustering_;
+}
+
+const embed::NegativeSamplerSet& Grafics::negative_sampler() const {
+  Require(negative_sampler_ != nullptr, "Grafics: not trained");
+  return *negative_sampler_;
 }
 
 const cluster::CentroidClassifier& Grafics::classifier() const {

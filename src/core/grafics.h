@@ -15,6 +15,8 @@
 #include "cluster/knn_classifier.h"
 #include "cluster/proximity_clusterer.h"
 #include "common/alias_sampler.h"
+#include "common/cow.h"
+#include "embed/negative_sampler.h"
 #include "embed/trainer.h"
 #include "graph/bipartite_graph.h"
 #include "graph/weight_function.h"
@@ -115,13 +117,15 @@ class Grafics {
   /// "easily extendable for new RF records" claim at batch granularity.
   std::size_t Update(const std::vector<rf::SignalRecord>& records);
 
-  /// Deep copy of the whole system — graph, embeddings, clustering,
-  /// classifiers, and the cached negative sampler — sharing no mutable state
-  /// with the original, so Update on the clone never disturbs readers of the
-  /// source. Predictions from the clone are bit-identical to the original's.
-  /// This is the copy-on-write primitive of the online ingestion pipeline:
-  /// fold new records into a private clone of the served snapshot, then
-  /// publish the clone atomically. Works on trained and untrained systems.
+  /// O(1) structural fork of the whole system. The trained components —
+  /// clustering, classifiers, negative sampler — are immutable and shared
+  /// by pointer; the graph and embedding tables are chunked copy-on-write
+  /// (common/cow.h), so the fork shares every chunk with the source until
+  /// one of them writes it. Update on the fork therefore never disturbs
+  /// readers of the source, predictions from the fork are bit-identical to
+  /// the source's, and publish cost is proportional to the fold-in delta,
+  /// not the model. This is the copy-on-write primitive of the online
+  /// ingestion pipeline. Works on trained and untrained systems.
   Grafics Clone() const;
 
   /// Ego embedding of training record i (diagnostics, Fig. 6/8 exports).
@@ -134,7 +138,15 @@ class Grafics {
   const embed::EmbeddingStore& embedding_store() const;
   const cluster::ClusteringResult& clustering() const;
   const cluster::CentroidClassifier& classifier() const;
+  /// The frozen-base negative-sampling distribution (tests, diagnostics).
+  const embed::NegativeSamplerSet& negative_sampler() const;
   const GraficsConfig& config() const { return config_; }
+
+  /// Heap bytes of the trained state, split into bytes shared with other
+  /// snapshots (forks, the serving registry) vs owned exclusively. Chunk
+  /// granular; surfaced through serve::ModelStats so the copy-on-write
+  /// sharing is observable over the wire.
+  CowBytes MemoryBytes() const;
 
   /// Persists the trained model (graph, embeddings, clustering, centroids,
   /// config) to `path`. Requires a trained system and a serializable weight
@@ -152,20 +164,27 @@ class Grafics {
   /// (Re)builds the frozen-base negative sampler used by online refinement.
   void RebuildNegativeSampler();
   /// Appends `record` to the graph + store and refines the new nodes.
-  /// Returns the new record node.
-  graph::NodeId ExtendWith(const rf::SignalRecord& record);
+  /// Returns the new record node; appends every node whose degree changed
+  /// (the new nodes plus the record's existing MAC neighbors) to `touched`.
+  graph::NodeId ExtendWith(const rf::SignalRecord& record,
+                           std::vector<graph::NodeId>* touched);
 
   GraficsConfig config_;
   graph::WeightFn weight_fn_;
+  // Chunked copy-on-write containers: copying them shares storage with the
+  // copy (Clone), mutating copies only the touched chunks (Update).
   graph::BipartiteGraph graph_;
   std::size_t num_training_records_ = 0;
   std::optional<embed::EmbeddingStore> store_;
-  std::optional<cluster::ClusteringResult> clustering_;
-  std::unique_ptr<cluster::CentroidClassifier> classifier_;
-  std::unique_ptr<cluster::KnnClassifier> knn_classifier_;
+  // Immutable trained components, shared between forks by pointer. Train
+  // (and LoadModel) replace them wholesale; Update never touches them
+  // except the negative sampler, which it replaces with an O(delta)
+  // extension sharing the previous groups.
+  std::shared_ptr<const cluster::ClusteringResult> clustering_;
+  std::shared_ptr<const cluster::CentroidClassifier> classifier_;
+  std::shared_ptr<const cluster::KnnClassifier> knn_classifier_;
   // Negative sampler over the frozen base model, shared by all predictions.
-  AliasSampler negative_sampler_;
-  std::vector<graph::NodeId> negative_node_of_index_;
+  std::shared_ptr<const embed::NegativeSamplerSet> negative_sampler_;
 };
 
 }  // namespace grafics::core

@@ -52,8 +52,7 @@ std::optional<rf::FloorId> InferenceContext::Predict(
   embed::RefineNewNodes(graph_, scratch_nodes_, embeddings_,
                         model.config_.trainer,
                         model.config_.online_refine_iterations,
-                        model.negative_sampler_,
-                        model.negative_node_of_index_);
+                        *model.negative_sampler_);
   query_node_ = new_node;
 
   const std::span<const double> embedding =

@@ -10,16 +10,22 @@ namespace grafics::embed {
 
 EmbeddingStore::EmbeddingStore(std::size_t num_nodes, std::size_t dim,
                                Rng& rng)
-    : ego_(num_nodes, dim), context_(num_nodes, dim) {
+    : ego_(dim), context_(dim) {
   Require(dim > 0, "EmbeddingStore: dim must be positive");
+  if (num_nodes > 0) {
+    ego_.AppendRows(num_nodes);
+    context_.AppendRows(num_nodes);
+  }
   for (std::size_t row = 0; row < num_nodes; ++row) InitRow(row, rng);
 }
 
 void EmbeddingStore::InitRow(std::size_t row, Rng& rng) {
   const double scale = 0.5 / static_cast<double>(dim());
+  const std::span<double> ego = ego_.MutableRow(row);
+  const std::span<double> context = context_.MutableRow(row);
   for (std::size_t c = 0; c < dim(); ++c) {
-    ego_(row, c) = rng.Uniform(-scale, scale);
-    context_(row, c) = 0.0;
+    ego[c] = rng.Uniform(-scale, scale);
+    context[c] = 0.0;
   }
 }
 
@@ -30,34 +36,33 @@ constexpr std::uint32_t kStoreVersion = 1;
 
 void EmbeddingStore::Save(std::ostream& out) const {
   WriteHeader(out, kStoreMagic, kStoreVersion);
-  WriteMatrix(out, ego_);
-  WriteMatrix(out, context_);
+  WriteMatrix(out, ego_.ToMatrix());
+  WriteMatrix(out, context_.ToMatrix());
 }
 
 EmbeddingStore EmbeddingStore::Load(std::istream& in) {
   CheckHeader(in, kStoreMagic, kStoreVersion);
   EmbeddingStore store;
-  store.ego_ = ReadMatrix(in);
-  store.context_ = ReadMatrix(in);
-  Require(store.ego_.rows() == store.context_.rows() &&
-              store.ego_.cols() == store.context_.cols(),
+  const Matrix ego = ReadMatrix(in);
+  const Matrix context = ReadMatrix(in);
+  Require(ego.rows() == context.rows() && ego.cols() == context.cols(),
           "EmbeddingStore::Load: table shape mismatch");
+  store.ego_ = CowMatrix::FromMatrix(ego);
+  store.context_ = CowMatrix::FromMatrix(context);
   return store;
 }
 
 void EmbeddingStore::Grow(std::size_t count, Rng& rng) {
   const std::size_t old_rows = ego_.rows();
-  Matrix new_ego(old_rows + count, dim());
-  Matrix new_context(old_rows + count, dim());
-  for (std::size_t r = 0; r < old_rows; ++r) {
-    for (std::size_t c = 0; c < dim(); ++c) {
-      new_ego(r, c) = ego_(r, c);
-      new_context(r, c) = context_(r, c);
-    }
-  }
-  ego_ = std::move(new_ego);
-  context_ = std::move(new_context);
+  ego_.AppendRows(count);
+  context_.AppendRows(count);
   for (std::size_t r = old_rows; r < ego_.rows(); ++r) InitRow(r, rng);
+}
+
+CowBytes EmbeddingStore::MemoryBytes() const {
+  CowBytes bytes = ego_.MemoryBytes();
+  bytes += context_.MemoryBytes();
+  return bytes;
 }
 
 }  // namespace grafics::embed

@@ -2,12 +2,20 @@
 //
 // Every node i has an 'ego' embedding u_i (the representation used
 // downstream) and a 'context' embedding u'_i (encoding its neighborhood).
+//
+// Rows live in copy-on-write chunks (common/cow.h): copying a store shares
+// every chunk with the copy, Grow appends rows without touching existing
+// chunks, and writing a row copies only that row's chunk. This is what makes
+// an ingest fold-in O(new rows) instead of O(tables) — the base model's rows
+// are frozen during online refinement (Sec. V-A), so a fork never copies
+// them at all.
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
 #include <span>
 
+#include "common/cow.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "graph/bipartite_graph.h"
@@ -26,35 +34,46 @@ class EmbeddingStore {
   std::size_t num_nodes() const { return ego_.rows(); }
   std::size_t dim() const { return ego_.cols(); }
 
-  std::span<double> Ego(graph::NodeId node) { return ego_.Row(node); }
+  /// Mutable row access copies the row's chunk when it is shared with
+  /// another snapshot (training and refinement own their chunks, so the
+  /// hot path never copies).
+  std::span<double> Ego(graph::NodeId node) { return ego_.MutableRow(node); }
   std::span<const double> Ego(graph::NodeId node) const {
     return ego_.Row(node);
   }
-  std::span<double> Context(graph::NodeId node) { return context_.Row(node); }
+  std::span<double> Context(graph::NodeId node) {
+    return context_.MutableRow(node);
+  }
   std::span<const double> Context(graph::NodeId node) const {
     return context_.Row(node);
   }
 
   /// Appends `count` freshly-initialized nodes (online inference grows the
-  /// graph). Existing rows are preserved.
+  /// graph). Existing rows are preserved — and, since the tables are
+  /// chunked, shared untouched with any fork of this store.
   void Grow(std::size_t count, Rng& rng);
 
-  const Matrix& ego_matrix() const { return ego_; }
-  const Matrix& context_matrix() const { return context_; }
-  Matrix& mutable_ego_matrix() { return ego_; }
-  Matrix& mutable_context_matrix() { return context_; }
+  /// Dense materializations of the tables (diagnostics, tests). O(size).
+  Matrix ego_matrix() const { return ego_.ToMatrix(); }
+  Matrix context_matrix() const { return context_.ToMatrix(); }
+
+  /// Chunk-granular heap accounting, split shared vs owned.
+  CowBytes MemoryBytes() const;
 
   /// Binary (de)serialization of both tables.
   void Save(std::ostream& out) const;
   static EmbeddingStore Load(std::istream& in);
 
-  bool operator==(const EmbeddingStore&) const = default;
+  /// Deep value equality (chunk sharing is invisible to ==).
+  bool operator==(const EmbeddingStore& other) const {
+    return ego_ == other.ego_ && context_ == other.context_;
+  }
 
  private:
   void InitRow(std::size_t row, Rng& rng);
 
-  Matrix ego_;
-  Matrix context_;
+  CowMatrix ego_;
+  CowMatrix context_;
 };
 
 }  // namespace grafics::embed

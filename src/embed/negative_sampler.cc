@@ -1,0 +1,125 @@
+#include "embed/negative_sampler.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace grafics::embed {
+
+double NegativeSamplerSet::NodeWeight(const graph::BipartiteGraph& graph,
+                                      graph::NodeId node) {
+  if (!graph.IsActive(node) || graph.Degree(node) == 0) return 0.0;
+  return std::pow(static_cast<double>(graph.Degree(node)), 0.75);
+}
+
+NegativeSamplerSet NegativeSamplerSet::Build(
+    const graph::BipartiteGraph& graph) {
+  NegativeSamplerSet set;
+  std::vector<double> weights;
+  std::vector<graph::NodeId> nodes;
+  double total = 0.0;
+  for (graph::NodeId node = 0; node < graph.NumNodes(); ++node) {
+    const double weight = NodeWeight(graph, node);
+    set.included_weight_.PushBack(weight);
+    if (weight <= 0.0) continue;
+    nodes.push_back(node);
+    weights.push_back(weight);
+    total += weight;
+  }
+  Require(!weights.empty(), "BuildNegativeSampler: no active nodes");
+  auto group = std::make_shared<const Group>(
+      Group{AliasSampler(weights), std::move(nodes), total});
+  set.groups_.push_back(std::move(group));
+  set.removal_epoch_ = graph.removal_epoch();
+  return set;
+}
+
+NegativeSamplerSet NegativeSamplerSet::Extended(
+    const graph::BipartiteGraph& graph,
+    std::span<const graph::NodeId> touched) const {
+  if (groups_.empty() || removal_epoch_ != graph.removal_epoch() ||
+      groups_.size() >= kMaxGroups) {
+    return Build(graph);
+  }
+  NegativeSamplerSet next = *this;  // shares every group + weight chunks
+  while (next.included_weight_.size() < graph.NumNodes()) {
+    next.included_weight_.PushBack(0.0);
+  }
+  std::vector<double> corrections;
+  std::vector<graph::NodeId> nodes;
+  double total = 0.0;
+  for (const graph::NodeId node : touched) {
+    const double target = NodeWeight(graph, node);
+    const double already = next.included_weight_[node];
+    if (target < already) return Build(graph);  // degree shrank: exact reset
+    const double correction = target - already;
+    if (correction <= 0.0) continue;
+    nodes.push_back(node);
+    corrections.push_back(correction);
+    total += correction;
+    next.included_weight_.MutableAt(node) = target;
+  }
+  if (nodes.empty()) return next;
+  auto group = std::make_shared<const Group>(
+      Group{AliasSampler(corrections), std::move(nodes), total});
+  next.groups_.push_back(std::move(group));
+  next.RebuildGroupPicker();
+  return next;
+}
+
+void NegativeSamplerSet::RebuildGroupPicker() {
+  std::vector<double> totals;
+  totals.reserve(groups_.size());
+  for (const std::shared_ptr<const Group>& group : groups_) {
+    totals.push_back(group->total_weight);
+  }
+  group_picker_ = AliasSampler(totals);
+}
+
+graph::NodeId NegativeSamplerSet::SampleNode(Rng& rng) const {
+  Require(!groups_.empty(), "NegativeSamplerSet::SampleNode: empty set");
+  // Single group: one alias draw, bit-identical to the historical flat
+  // table. Multiple groups: one extra draw picks the group first.
+  const Group& group = groups_.size() == 1
+                           ? *groups_.front()
+                           : *groups_[group_picker_.Sample(rng)];
+  return group.node_of_index[group.alias.Sample(rng)];
+}
+
+std::size_t NegativeSamplerSet::num_entries() const {
+  std::size_t entries = 0;
+  for (const std::shared_ptr<const Group>& group : groups_) {
+    entries += group->node_of_index.size();
+  }
+  return entries;
+}
+
+double NegativeSamplerSet::ProbabilityOf(graph::NodeId node) const {
+  double total = 0.0;
+  for (const std::shared_ptr<const Group>& group : groups_) {
+    total += group->total_weight;
+  }
+  if (total <= 0.0) return 0.0;
+  double mass = 0.0;
+  for (const std::shared_ptr<const Group>& group : groups_) {
+    for (std::size_t i = 0; i < group->node_of_index.size(); ++i) {
+      if (group->node_of_index[i] != node) continue;
+      mass += group->total_weight * group->alias.ProbabilityOf(i);
+    }
+  }
+  return mass / total;
+}
+
+CowBytes NegativeSamplerSet::MemoryBytes() const {
+  CowBytes bytes = included_weight_.MemoryBytes();
+  for (const std::shared_ptr<const Group>& group : groups_) {
+    // Alias table: probability + alias + normalized arrays.
+    const std::size_t b =
+        group->node_of_index.capacity() * sizeof(graph::NodeId) +
+        group->alias.size() * (2 * sizeof(double) + sizeof(std::size_t));
+    (group.use_count() > 1 ? bytes.shared_bytes : bytes.owned_bytes) += b;
+  }
+  return bytes;
+}
+
+}  // namespace grafics::embed

@@ -38,9 +38,6 @@ EmbeddingStore TrainRandomWalkEmbeddings(const graph::BipartiteGraph& graph,
 
   Rng rng(config.seed);
   EmbeddingStore store(graph.NumNodes(), config.dim, rng);
-  Matrix& ego = store.mutable_ego_matrix();
-  Matrix& context = store.mutable_context_matrix();
-  (void)ego;
 
   const std::vector<AliasSampler> transitions = BuildTransitionTables(graph);
   std::vector<graph::NodeId> node_of_index;
@@ -106,7 +103,7 @@ EmbeddingStore TrainRandomWalkEmbeddings(const graph::BipartiteGraph& graph,
             const graph::NodeId z =
                 node_of_index[negative_sampler.Sample(rng)];
             if (z == target) continue;
-            const std::span<double> out = context.Row(z);
+            const std::span<double> out = store.Context(z);
             const double g = -Sigmoid(Dot(out, center_ego)) * lr;
             Axpy(g, out, grad);
             Axpy(g, center_ego, out);

@@ -12,17 +12,20 @@ namespace grafics::embed {
 namespace {
 
 /// One negative-sampling SGD step for a (source, target) pair against a
-/// target table (ego or context). Updates the target-table rows in place,
-/// accumulates the source gradient into `grad_src`.
+/// target table (ego or context), addressed through `target_row` so the
+/// chunked EmbeddingStore needs no dense-matrix view. Updates the
+/// target-table rows in place, accumulates the source gradient into
+/// `grad_src`.
+template <typename MutableRowFn>
 void SampledStep(std::span<const double> src, std::span<double> grad_src,
-                 Matrix& target_table, graph::NodeId target,
+                 MutableRowFn&& target_row, graph::NodeId target,
                  const AliasSampler& negative_sampler,
                  std::span<const graph::NodeId> node_of_index,
                  std::size_t negatives, double lr, bool update_targets,
                  Rng& rng) {
   // Positive sample: label 1.
   {
-    const std::span<double> tgt = target_table.Row(target);
+    const std::span<double> tgt = target_row(target);
     const double g = (1.0 - Sigmoid(Dot(tgt, src))) * lr;
     Axpy(g, tgt, grad_src);
     if (update_targets) Axpy(g, src, tgt);
@@ -31,7 +34,7 @@ void SampledStep(std::span<const double> src, std::span<double> grad_src,
   for (std::size_t k = 0; k < negatives; ++k) {
     const graph::NodeId z = node_of_index[negative_sampler.Sample(rng)];
     if (z == target) continue;
-    const std::span<double> neg = target_table.Row(z);
+    const std::span<double> neg = target_row(z);
     const double g = -Sigmoid(Dot(neg, src)) * lr;
     Axpy(g, neg, grad_src);
     if (update_targets) Axpy(g, src, neg);
@@ -72,8 +75,9 @@ EdgeTables BuildTables(const graph::BipartiteGraph& graph) {
 /// sampled negatives.
 void TrainStep(const EdgeTables& tables, const TrainerConfig& config,
                EmbeddingStore& store, graph::NodeId i, graph::NodeId j,
-               double lr, std::span<double> grad, Matrix& ego,
-               Matrix& context, Rng& rng) {
+               double lr, std::span<double> grad, Rng& rng) {
+  const auto ego = [&store](graph::NodeId n) { return store.Ego(n); };
+  const auto context = [&store](graph::NodeId n) { return store.Context(n); };
   switch (config.objective) {
     case Objective::kLineFirstOrder:
       SampledStep(store.Ego(i), grad, ego, j, tables.negative_sampler,
@@ -139,8 +143,6 @@ EmbeddingStore TrainEmbeddings(const graph::BipartiteGraph& graph,
   EdgeTables tables = BuildTables(graph);
   Rng init_rng(config.seed);
   EmbeddingStore store(graph.NumNodes(), config.dim, init_rng);
-  Matrix& ego = store.mutable_ego_matrix();
-  Matrix& context = store.mutable_context_matrix();
 
   const std::size_t total_samples =
       config.samples_per_edge * graph.NumEdges();
@@ -161,7 +163,7 @@ EmbeddingStore TrainEmbeddings(const graph::BipartiteGraph& graph,
       graph::NodeId i = e.record;
       graph::NodeId j = e.mac;
       if (rng.Bernoulli(0.5)) std::swap(i, j);
-      TrainStep(tables, config, store, i, j, lr, grad, ego, context, rng);
+      TrainStep(tables, config, store, i, j, lr, grad, rng);
     }
   };
 
@@ -184,11 +186,8 @@ void RefineNewNodes(const graph::BipartiteGraph& graph,
                     std::span<const graph::NodeId> new_nodes,
                     EmbeddingStore& store, const TrainerConfig& config,
                     std::size_t iterations) {
-  std::vector<graph::NodeId> node_of_index;
-  const AliasSampler negative_sampler =
-      BuildNegativeSampler(graph, &node_of_index);
-  RefineNewNodes(graph, new_nodes, store, config, iterations,
-                 negative_sampler, node_of_index);
+  const NegativeSamplerSet negatives = NegativeSamplerSet::Build(graph);
+  RefineNewNodes(graph, new_nodes, store, config, iterations, negatives);
 }
 
 namespace {
@@ -201,8 +200,7 @@ namespace {
 template <typename TargetRowFn>
 void FrozenSampledStep(std::span<const double> src, std::span<double> grad,
                        TargetRowFn&& target_row, graph::NodeId target,
-                       const AliasSampler& negative_sampler,
-                       std::span<const graph::NodeId> node_of_index,
+                       const NegativeSamplerSet& negative_sampler,
                        std::size_t negatives, double lr, Rng& rng) {
   // Positive sample: label 1.
   {
@@ -212,7 +210,7 @@ void FrozenSampledStep(std::span<const double> src, std::span<double> grad,
   }
   // K negative samples: label 0.
   for (std::size_t k = 0; k < negatives; ++k) {
-    const graph::NodeId z = node_of_index[negative_sampler.Sample(rng)];
+    const graph::NodeId z = negative_sampler.SampleNode(rng);
     if (z == target) continue;
     const std::span<const double> neg = target_row(z);
     const double g = -Sigmoid(Dot(neg, src)) * lr;
@@ -228,8 +226,7 @@ void RefineNewNodesImpl(const Graph& graph,
                         std::span<const graph::NodeId> new_nodes,
                         Store& store, const TrainerConfig& config,
                         std::size_t iterations,
-                        const AliasSampler& negative_sampler,
-                        std::span<const graph::NodeId> node_of_index) {
+                        const NegativeSamplerSet& negatives) {
   Require(store.num_nodes() == graph.NumNodes(),
           "RefineNewNodes: store/graph size mismatch (call Grow first)");
   const Store& reads = store;  // const reads may touch any (frozen) row
@@ -276,13 +273,11 @@ void RefineNewNodesImpl(const Graph& graph,
       // Only the new node's rows move: the frozen step never writes target
       // rows, matching Sec. V-A's frozen base model.
       FrozenSampledStep(reads.Ego(node), grad, context_row, nb.node,
-                        negative_sampler, node_of_index,
-                        config.negative_samples, lr, rng);
+                        negatives, config.negative_samples, lr, rng);
       ApplyGradient(store.Ego(node), grad, /*dropout=*/0.0, rng);
       if (config.objective == Objective::kELine) {
         FrozenSampledStep(reads.Context(node), grad, ego_row, nb.node,
-                          negative_sampler, node_of_index,
-                          config.negative_samples, lr, rng);
+                          negatives, config.negative_samples, lr, rng);
         ApplyGradient(store.Context(node), grad, /*dropout=*/0.0, rng);
       }
     }
@@ -295,20 +290,16 @@ void RefineNewNodes(const graph::BipartiteGraph& graph,
                     std::span<const graph::NodeId> new_nodes,
                     EmbeddingStore& store, const TrainerConfig& config,
                     std::size_t iterations,
-                    const AliasSampler& negative_sampler,
-                    std::span<const graph::NodeId> node_of_index) {
-  RefineNewNodesImpl(graph, new_nodes, store, config, iterations,
-                     negative_sampler, node_of_index);
+                    const NegativeSamplerSet& negatives) {
+  RefineNewNodesImpl(graph, new_nodes, store, config, iterations, negatives);
 }
 
 void RefineNewNodes(const graph::GraphOverlay& graph,
                     std::span<const graph::NodeId> new_nodes,
                     EmbeddingOverlay& store, const TrainerConfig& config,
                     std::size_t iterations,
-                    const AliasSampler& negative_sampler,
-                    std::span<const graph::NodeId> node_of_index) {
-  RefineNewNodesImpl(graph, new_nodes, store, config, iterations,
-                     negative_sampler, node_of_index);
+                    const NegativeSamplerSet& negatives) {
+  RefineNewNodesImpl(graph, new_nodes, store, config, iterations, negatives);
 }
 
 }  // namespace grafics::embed

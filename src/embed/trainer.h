@@ -20,6 +20,7 @@
 #include "common/alias_sampler.h"
 #include "embed/embedding_overlay.h"
 #include "embed/embedding_store.h"
+#include "embed/negative_sampler.h"
 #include "graph/bipartite_graph.h"
 #include "graph/graph_overlay.h"
 
@@ -67,16 +68,16 @@ void RefineNewNodes(const graph::BipartiteGraph& graph,
                     EmbeddingStore& store, const TrainerConfig& config,
                     std::size_t iterations = 200);
 
-/// As above, but reuses a precomputed negative sampler (and its node index
-/// mapping). The hot path for per-record online inference: building the
-/// degree^{3/4} table is O(|V|+|M|), so callers serving many predictions
-/// build it once over the frozen base model and pass it in.
+/// As above, but reuses a precomputed negative-sampler set. The hot path
+/// for per-record online inference: building the degree^{3/4} table is
+/// O(|V|+|M|), so callers serving many predictions build it once over the
+/// frozen base model and pass it in (and the ingest path extends it in
+/// O(delta) per fold — see embed/negative_sampler.h).
 void RefineNewNodes(const graph::BipartiteGraph& graph,
                     std::span<const graph::NodeId> new_nodes,
                     EmbeddingStore& store, const TrainerConfig& config,
                     std::size_t iterations,
-                    const AliasSampler& negative_sampler,
-                    std::span<const graph::NodeId> node_of_index);
+                    const NegativeSamplerSet& negatives);
 
 /// Snapshot-isolated variant: refines scratch nodes of a GraphOverlay into
 /// an EmbeddingOverlay, leaving the underlying trained graph and store
@@ -88,8 +89,7 @@ void RefineNewNodes(const graph::GraphOverlay& graph,
                     std::span<const graph::NodeId> new_nodes,
                     EmbeddingOverlay& store, const TrainerConfig& config,
                     std::size_t iterations,
-                    const AliasSampler& negative_sampler,
-                    std::span<const graph::NodeId> node_of_index);
+                    const NegativeSamplerSet& negatives);
 
 /// Negative-sampling distribution of the paper: Pr(z) proportional to
 /// deg(z)^{3/4} over active nodes. Exposed for tests and the online path.

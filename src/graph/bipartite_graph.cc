@@ -19,18 +19,16 @@ BipartiteGraph BipartiteGraph::FromRecords(
 }
 
 NodeId BipartiteGraph::NewNode(NodeType type) {
-  const auto id = static_cast<NodeId>(types_.size());
-  types_.push_back(type);
-  active_.push_back(true);
-  adjacency_.emplace_back();
-  weighted_degree_.push_back(0.0);
+  const auto id = static_cast<NodeId>(meta_.size());
+  meta_.PushBack({type, /*active=*/true, /*weighted_degree=*/0.0});
+  adjacency_.PushBack({});
   return id;
 }
 
 NodeId BipartiteGraph::AddRecord(const rf::SignalRecord& record,
                                  const WeightFn& weight_fn) {
   const NodeId record_node = NewNode(NodeType::kRecord);
-  record_nodes_.push_back(record_node);
+  record_nodes_.PushBack(record_node);
   for (const rf::Observation& o : record.observations()) {
     const NodeId mac_node = GetOrAddMacNode(o.mac);
     AddEdge(record_node, mac_node, weight_fn(o.rssi_dbm));
@@ -38,62 +36,91 @@ NodeId BipartiteGraph::AddRecord(const rf::SignalRecord& record,
   return record_node;
 }
 
-NodeId BipartiteGraph::GetOrAddMacNode(rf::MacAddress mac) {
-  if (const auto it = mac_to_node_.find(mac); it != mac_to_node_.end()) {
-    Require(active_[it->second],
-            "BipartiteGraph: MAC " + mac.ToString() + " was removed");
+std::optional<NodeId> BipartiteGraph::LookupMac(rf::MacAddress mac) const {
+  if (const auto it = mac_delta_.find(mac); it != mac_delta_.end()) {
     return it->second;
   }
+  if (mac_base_ != nullptr) {
+    if (const auto it = mac_base_->find(mac); it != mac_base_->end()) {
+      return it->second;
+    }
+  }
+  return std::nullopt;
+}
+
+void BipartiteGraph::CompactMacIndexIfNeeded() {
+  if (mac_delta_.size() < kMacDeltaCompactThreshold) return;
+  auto merged = mac_base_ != nullptr ? std::make_shared<MacMap>(*mac_base_)
+                                     : std::make_shared<MacMap>();
+  merged->insert(mac_delta_.begin(), mac_delta_.end());
+  mac_base_ = std::move(merged);
+  mac_delta_.clear();
+}
+
+NodeId BipartiteGraph::GetOrAddMacNode(rf::MacAddress mac) {
+  if (const std::optional<NodeId> existing = LookupMac(mac)) {
+    Require(meta_[*existing].active,
+            "BipartiteGraph: MAC " + mac.ToString() + " was removed");
+    return *existing;
+  }
   const NodeId id = NewNode(NodeType::kMac);
-  mac_to_node_.emplace(mac, id);
+  mac_delta_.emplace(mac, id);
   ++num_active_macs_;
+  CompactMacIndexIfNeeded();
   return id;
 }
 
 std::optional<NodeId> BipartiteGraph::FindMacNode(rf::MacAddress mac) const {
-  const auto it = mac_to_node_.find(mac);
-  if (it == mac_to_node_.end() || !active_[it->second]) return std::nullopt;
-  return it->second;
+  const std::optional<NodeId> node = LookupMac(mac);
+  if (!node.has_value() || !meta_[*node].active) return std::nullopt;
+  return node;
 }
 
 void BipartiteGraph::AddEdge(NodeId record, NodeId mac, double weight) {
   Require(weight > 0.0, "BipartiteGraph::AddEdge: weight must be positive");
-  adjacency_[record].push_back({mac, weight});
-  adjacency_[mac].push_back({record, weight});
-  weighted_degree_[record] += weight;
-  weighted_degree_[mac] += weight;
+  adjacency_.MutableAt(record).push_back({mac, weight});
+  adjacency_.MutableAt(mac).push_back({record, weight});
+  meta_.MutableAt(record).weighted_degree += weight;
+  meta_.MutableAt(mac).weighted_degree += weight;
   total_edge_weight_ += weight;
   ++num_edges_;
 }
 
 bool BipartiteGraph::RemoveMacNode(rf::MacAddress mac) {
-  const auto it = mac_to_node_.find(mac);
-  if (it == mac_to_node_.end() || !active_[it->second]) return false;
-  const NodeId mac_node = it->second;
-  for (const Neighbor& nb : adjacency_[mac_node]) {
-    auto& rec_adj = adjacency_[nb.node];
+  const std::optional<NodeId> found = LookupMac(mac);
+  if (!found.has_value() || !meta_[*found].active) return false;
+  const NodeId mac_node = *found;
+  // Copy the neighbor list first: clearing the MAC's adjacency below may
+  // copy-on-write the chunk the span points into.
+  const std::span<const Neighbor> neighbors = adjacency_[mac_node];
+  const std::vector<Neighbor> mac_neighbors(neighbors.begin(),
+                                            neighbors.end());
+  for (const Neighbor& nb : mac_neighbors) {
+    std::vector<Neighbor>& rec_adj = adjacency_.MutableAt(nb.node);
     std::erase_if(rec_adj, [mac_node](const Neighbor& r) {
       return r.node == mac_node;
     });
-    weighted_degree_[nb.node] -= nb.weight;
+    meta_.MutableAt(nb.node).weighted_degree -= nb.weight;
     total_edge_weight_ -= nb.weight;
     --num_edges_;
   }
-  adjacency_[mac_node].clear();
-  weighted_degree_[mac_node] = 0.0;
-  active_[mac_node] = false;
+  adjacency_.MutableAt(mac_node).clear();
+  NodeMeta& meta = meta_.MutableAt(mac_node);
+  meta.weighted_degree = 0.0;
+  meta.active = false;
   --num_active_macs_;
+  ++removal_epoch_;
   return true;
 }
 
 NodeType BipartiteGraph::TypeOf(NodeId node) const {
-  Require(node < types_.size(), "BipartiteGraph::TypeOf: bad node id");
-  return types_[node];
+  Require(node < meta_.size(), "BipartiteGraph::TypeOf: bad node id");
+  return meta_[node].type;
 }
 
 bool BipartiteGraph::IsActive(NodeId node) const {
-  Require(node < active_.size(), "BipartiteGraph::IsActive: bad node id");
-  return active_[node];
+  Require(node < meta_.size(), "BipartiteGraph::IsActive: bad node id");
+  return meta_[node].active;
 }
 
 NodeId BipartiteGraph::RecordNode(std::size_t record_index) const {
@@ -103,14 +130,22 @@ NodeId BipartiteGraph::RecordNode(std::size_t record_index) const {
 }
 
 std::size_t BipartiteGraph::RecordIndexOf(NodeId node) const {
-  Require(node < types_.size() && types_[node] == NodeType::kRecord,
+  Require(node < meta_.size() && meta_[node].type == NodeType::kRecord,
           "BipartiteGraph::RecordIndexOf: not a record node");
   // Record nodes are appended in order, so binary search works.
-  const auto it =
-      std::lower_bound(record_nodes_.begin(), record_nodes_.end(), node);
-  Require(it != record_nodes_.end() && *it == node,
+  std::size_t lo = 0;
+  std::size_t hi = record_nodes_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (record_nodes_[mid] < node) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  Require(lo < record_nodes_.size() && record_nodes_[lo] == node,
           "BipartiteGraph::RecordIndexOf: unknown record node");
-  return static_cast<std::size_t>(it - record_nodes_.begin());
+  return lo;
 }
 
 std::span<const Neighbor> BipartiteGraph::NeighborsOf(NodeId node) const {
@@ -119,9 +154,57 @@ std::span<const Neighbor> BipartiteGraph::NeighborsOf(NodeId node) const {
 }
 
 double BipartiteGraph::WeightedDegree(NodeId node) const {
-  Require(node < weighted_degree_.size(),
-          "BipartiteGraph::WeightedDegree: bad id");
-  return weighted_degree_[node];
+  Require(node < meta_.size(), "BipartiteGraph::WeightedDegree: bad id");
+  return meta_[node].weighted_degree;
+}
+
+bool BipartiteGraph::operator==(const BipartiteGraph& other) const {
+  if (meta_.size() != other.meta_.size() ||
+      record_nodes_.size() != other.record_nodes_.size() ||
+      num_edges_ != other.num_edges_ ||
+      num_active_macs_ != other.num_active_macs_ ||
+      total_edge_weight_ != other.total_edge_weight_ ||
+      NumMacEntries() != other.NumMacEntries()) {
+    return false;
+  }
+  if (!(meta_ == other.meta_) || !(adjacency_ == other.adjacency_) ||
+      !(record_nodes_ == other.record_nodes_)) {
+    return false;
+  }
+  // The MAC index is base + delta on both sides with possibly different
+  // splits; compare the logical mapping.
+  const auto covered_by_other = [&other](const MacMap& entries) {
+    for (const auto& [mac, node] : entries) {
+      const std::optional<NodeId> theirs = other.LookupMac(mac);
+      if (!theirs.has_value() || *theirs != node) return false;
+    }
+    return true;
+  };
+  if (!covered_by_other(mac_delta_)) return false;
+  if (mac_base_ != nullptr && mac_base_ != other.mac_base_ &&
+      !covered_by_other(*mac_base_)) {
+    return false;
+  }
+  return true;
+}
+
+CowBytes BipartiteGraph::MemoryBytes() const {
+  CowBytes bytes = meta_.MemoryBytes();
+  bytes += adjacency_.MemoryBytes([](const std::vector<Neighbor>& adj) {
+    return adj.capacity() * sizeof(Neighbor);
+  });
+  bytes += record_nodes_.MemoryBytes();
+  // unordered_map heap usage is implementation-defined; approximate one
+  // bucket pointer + one node per entry.
+  constexpr std::size_t kMapEntryBytes =
+      sizeof(std::pair<rf::MacAddress, NodeId>) + 2 * sizeof(void*);
+  if (mac_base_ != nullptr) {
+    const std::size_t base_bytes = mac_base_->size() * kMapEntryBytes;
+    (mac_base_.use_count() > 1 ? bytes.shared_bytes : bytes.owned_bytes) +=
+        base_bytes;
+  }
+  bytes.owned_bytes += mac_delta_.size() * kMapEntryBytes;
+  return bytes;
 }
 
 namespace {
@@ -131,22 +214,29 @@ constexpr std::uint32_t kGraphVersion = 1;
 
 void BipartiteGraph::Save(std::ostream& out) const {
   WriteHeader(out, kGraphMagic, kGraphVersion);
-  WriteU64(out, types_.size());
-  for (std::size_t i = 0; i < types_.size(); ++i) {
-    WriteU8(out, static_cast<std::uint8_t>(types_[i]));
-    WriteU8(out, active_[i] ? 1 : 0);
+  WriteU64(out, meta_.size());
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    WriteU8(out, static_cast<std::uint8_t>(meta_[i].type));
+    WriteU8(out, meta_[i].active ? 1 : 0);
   }
   WriteU64(out, record_nodes_.size());
-  for (const NodeId node : record_nodes_) WriteU32(out, node);
-  WriteU64(out, mac_to_node_.size());
-  for (const auto& [mac, node] : mac_to_node_) {
-    WriteU64(out, mac.bits());
-    WriteU32(out, node);
+  for (std::size_t i = 0; i < record_nodes_.size(); ++i) {
+    WriteU32(out, record_nodes_[i]);
   }
+  WriteU64(out, NumMacEntries());
+  const auto write_entries = [&out](const MacMap& entries) {
+    for (const auto& [mac, node] : entries) {
+      WriteU64(out, mac.bits());
+      WriteU32(out, node);
+    }
+  };
+  if (mac_base_ != nullptr) write_entries(*mac_base_);
+  write_entries(mac_delta_);
   // Record-side adjacency only; the MAC side is rebuilt on load.
-  for (const NodeId record : record_nodes_) {
-    WriteU64(out, adjacency_[record].size());
-    for (const Neighbor& nb : adjacency_[record]) {
+  for (std::size_t i = 0; i < record_nodes_.size(); ++i) {
+    const std::span<const Neighbor> neighbors = adjacency_[record_nodes_[i]];
+    WriteU64(out, neighbors.size());
+    for (const Neighbor& nb : neighbors) {
       WriteU32(out, nb.node);
       WriteDouble(out, nb.weight);
     }
@@ -157,35 +247,36 @@ BipartiteGraph BipartiteGraph::Load(std::istream& in) {
   CheckHeader(in, kGraphMagic, kGraphVersion);
   BipartiteGraph g;
   const std::uint64_t num_nodes = ReadU64(in);
-  g.types_.resize(num_nodes);
-  g.active_.resize(num_nodes);
-  g.adjacency_.resize(num_nodes);
-  g.weighted_degree_.assign(num_nodes, 0.0);
-  for (std::size_t i = 0; i < num_nodes; ++i) {
-    g.types_[i] = static_cast<NodeType>(ReadU8(in));
-    g.active_[i] = ReadU8(in) != 0;
+  for (std::uint64_t i = 0; i < num_nodes; ++i) {
+    const auto type = static_cast<NodeType>(ReadU8(in));
+    const bool active = ReadU8(in) != 0;
+    g.meta_.PushBack({type, active, 0.0});
+    g.adjacency_.PushBack({});
   }
   const std::uint64_t num_records = ReadU64(in);
-  g.record_nodes_.resize(num_records);
-  for (std::size_t i = 0; i < num_records; ++i) {
-    g.record_nodes_[i] = ReadU32(in);
-    Require(g.record_nodes_[i] < num_nodes, "BipartiteGraph::Load: bad id");
+  for (std::uint64_t i = 0; i < num_records; ++i) {
+    const NodeId node = ReadU32(in);
+    Require(node < num_nodes, "BipartiteGraph::Load: bad id");
+    g.record_nodes_.PushBack(node);
   }
   const std::uint64_t num_macs = ReadU64(in);
+  auto base = std::make_shared<MacMap>();
   g.num_active_macs_ = 0;
-  for (std::size_t i = 0; i < num_macs; ++i) {
+  for (std::uint64_t i = 0; i < num_macs; ++i) {
     const rf::MacAddress mac(ReadU64(in));
     const NodeId node = ReadU32(in);
     Require(node < num_nodes, "BipartiteGraph::Load: bad MAC node id");
-    g.mac_to_node_.emplace(mac, node);
-    if (g.active_[node]) ++g.num_active_macs_;
+    base->emplace(mac, node);
+    if (g.meta_[node].active) ++g.num_active_macs_;
   }
-  for (const NodeId record : g.record_nodes_) {
+  if (!base->empty()) g.mac_base_ = std::move(base);
+  for (std::uint64_t i = 0; i < num_records; ++i) {
+    const NodeId record = g.record_nodes_[i];
     const std::uint64_t degree = ReadU64(in);
     for (std::uint64_t e = 0; e < degree; ++e) {
       const NodeId mac = ReadU32(in);
       const double weight = ReadDouble(in);
-      Require(mac < num_nodes && g.types_[mac] == NodeType::kMac,
+      Require(mac < num_nodes && g.meta_[mac].type == NodeType::kMac,
               "BipartiteGraph::Load: bad edge endpoint");
       g.AddEdge(record, mac, weight);
     }
@@ -196,7 +287,8 @@ BipartiteGraph BipartiteGraph::Load(std::istream& in) {
 std::vector<Edge> BipartiteGraph::Edges() const {
   std::vector<Edge> edges;
   edges.reserve(num_edges_);
-  for (const NodeId record : record_nodes_) {
+  for (std::size_t i = 0; i < record_nodes_.size(); ++i) {
+    const NodeId record = record_nodes_[i];
     for (const Neighbor& nb : adjacency_[record]) {
       edges.push_back({record, nb.node, nb.weight});
     }

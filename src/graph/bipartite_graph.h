@@ -5,15 +5,24 @@
 // f(RSS_mv) connects record v to MAC m. The graph is incremental in both
 // directions — new records and MACs can be appended (online inference) and
 // MACs can be retired (AP removal) without rebuilding.
+//
+// Storage is persistent/copy-on-write (common/cow.h): per-node metadata and
+// adjacency live in chunks shared between copies, and the MAC index is an
+// immutable base map plus a small owned delta. Copying a BipartiteGraph is
+// therefore O(1)-ish regardless of size — the ingest pipeline forks the
+// served model per fold-in — and extending a copy touches only the chunks
+// covering the new record's MAC neighborhoods, never the whole graph.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/cow.h"
 #include "graph/weight_function.h"
 #include "rf/signal_record.h"
 
@@ -61,7 +70,7 @@ class BipartiteGraph {
   /// it inactive. Returns false if the MAC is unknown. Models AP removal.
   bool RemoveMacNode(rf::MacAddress mac);
 
-  std::size_t NumNodes() const { return types_.size(); }
+  std::size_t NumNodes() const { return meta_.size(); }
   std::size_t NumRecords() const { return record_nodes_.size(); }
   std::size_t NumMacs() const { return num_active_macs_; }
   std::size_t NumEdges() const { return num_edges_; }
@@ -82,26 +91,64 @@ class BipartiteGraph {
   std::vector<Edge> Edges() const;
   double TotalEdgeWeight() const { return total_edge_weight_; }
 
+  /// Bumped by every RemoveMacNode. Degrees only ever grow through
+  /// AddRecord, so incremental consumers (the negative-sampler extension)
+  /// can detect the one operation that shrinks them and rebuild.
+  std::uint64_t removal_epoch() const { return removal_epoch_; }
+
+  /// Chunk-granular heap accounting, split into bytes shared with other
+  /// snapshots vs owned exclusively by this one.
+  CowBytes MemoryBytes() const;
+
+  /// Identity of the adjacency chunk backing `node` (aliasing tests: a fork
+  /// shares a node's adjacency storage with its parent iff equal).
+  const void* AdjacencyChunkAddress(NodeId node) const {
+    return adjacency_.ChunkAddress(node);
+  }
+
   /// Binary (de)serialization; round-trips the full graph state including
   /// retired MAC nodes so node ids stay stable.
   void Save(std::ostream& out) const;
   static BipartiteGraph Load(std::istream& in);
 
-  bool operator==(const BipartiteGraph&) const = default;
+  /// Deep structural equality (chunk sharing is invisible to ==).
+  bool operator==(const BipartiteGraph& other) const;
 
  private:
+  struct NodeMeta {
+    NodeType type = NodeType::kRecord;
+    bool active = false;
+    double weighted_degree = 0.0;
+
+    bool operator==(const NodeMeta&) const = default;
+  };
+  using MacMap = std::unordered_map<rf::MacAddress, NodeId>;
+
+  /// Delta entries beyond this are merged into a fresh shared base map, so
+  /// the per-copy cost of the owned delta stays bounded.
+  static constexpr std::size_t kMacDeltaCompactThreshold = 1024;
+
   NodeId NewNode(NodeType type);
   void AddEdge(NodeId record, NodeId mac, double weight);
+  /// Delta-then-base lookup, ignoring the active flag.
+  std::optional<NodeId> LookupMac(rf::MacAddress mac) const;
+  void CompactMacIndexIfNeeded();
+  std::size_t NumMacEntries() const {
+    return (mac_base_ ? mac_base_->size() : 0) + mac_delta_.size();
+  }
 
-  std::vector<NodeType> types_;
-  std::vector<bool> active_;
-  std::vector<std::vector<Neighbor>> adjacency_;
-  std::vector<double> weighted_degree_;
-  std::vector<NodeId> record_nodes_;
-  std::unordered_map<rf::MacAddress, NodeId> mac_to_node_;
+  CowVector<NodeMeta, 512> meta_;
+  CowVector<std::vector<Neighbor>, 64> adjacency_;
+  CowVector<NodeId, 1024> record_nodes_;
+  /// MAC -> node index: immutable shared base + small owned delta. Entries
+  /// are never erased (retirement flips `active`), so base and delta are
+  /// disjoint and ids never change.
+  std::shared_ptr<const MacMap> mac_base_;
+  MacMap mac_delta_;
   std::size_t num_edges_ = 0;
   std::size_t num_active_macs_ = 0;
   double total_edge_weight_ = 0.0;
+  std::uint64_t removal_epoch_ = 0;
 };
 
 }  // namespace grafics::graph

@@ -92,7 +92,10 @@ void IngestPipeline::Attach(const std::string& name) {
       // Re-apply the committed folds with their original batch boundaries
       // (one Update call per recorded publish), then publish once: the
       // served snapshot is bit-equal to the pre-restart one without
-      // replaying N intermediate generations through the registry.
+      // replaying N intermediate generations through the registry. The fork
+      // is O(1); only the replayed deltas are materialized. Not a fold-
+      // latency sample: replay spans many batches and would permanently
+      // skew the per-fold min/mean/max.
       core::Grafics updated = snapshot->Clone();
       std::uint64_t folded = 0;
       for (const std::vector<rf::SignalRecord>& batch :
@@ -298,13 +301,14 @@ void IngestPipeline::WorkerLoop(Entry& entry) {
     }
     entry.in_flight = take;
     lock.unlock();
-    const std::uint64_t generation = FoldAndPublish(entry, batch);
+    const FoldOutcome outcome = FoldAndPublish(entry, batch);
     lock.lock();
     entry.in_flight = 0;
-    if (generation != 0) {
+    if (outcome.generation != 0) {
       entry.stats.folded += take;
       ++entry.stats.publishes;
-      entry.stats.last_publish_generation = generation;
+      entry.stats.last_publish_generation = outcome.generation;
+      RecordFoldLatency(entry, outcome.micros);
       if (entry.journal != nullptr) {
         try {
           entry.journal->CommitFold(take);
@@ -340,28 +344,48 @@ void IngestPipeline::WorkerLoop(Entry& entry) {
   }
 }
 
-std::uint64_t IngestPipeline::FoldAndPublish(
+IngestPipeline::FoldOutcome IngestPipeline::FoldAndPublish(
     Entry& entry, const std::vector<rf::SignalRecord>& batch) {
+  const auto started = std::chrono::steady_clock::now();
   try {
     const std::shared_ptr<const core::Grafics> snapshot =
         registry_->Snapshot(entry.name);
     Require(snapshot != nullptr && snapshot->is_trained(),
             "IngestPipeline: no trained snapshot for '" + entry.name + "'");
-    // Copy-on-write fold: Update runs on a private deep copy while the
-    // registry keeps serving the old snapshot; the publish below swaps
-    // atomically (in-flight batches finish on the snapshot they started
-    // with, exactly like a hot reload).
+    // Copy-on-write fold: Clone is an O(1) structural fork sharing every
+    // chunk with the served snapshot; Update copy-on-writes only the chunks
+    // the batch touches while the registry keeps serving the old snapshot.
+    // The publish below swaps atomically (in-flight batches finish on the
+    // snapshot they started with, exactly like a hot reload) — total cost
+    // O(batch), independent of model size.
     core::Grafics updated = snapshot->Clone();
     updated.Update(batch);
     registry_->Load(entry.name,
                     std::make_shared<const core::Grafics>(std::move(updated)),
                     {}, serve::PublishSource::kIngest);
-    return registry_->generation(entry.name);
+    FoldOutcome outcome;
+    outcome.generation = registry_->generation(entry.name);
+    outcome.micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count());
+    return outcome;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "IngestPipeline: fold-in for %s failed: %s\n",
                  entry.name.c_str(), e.what());
-    return 0;
+    return {};
   }
+}
+
+void IngestPipeline::RecordFoldLatency(Entry& entry, std::uint64_t micros) {
+  ++entry.fold_count;
+  entry.fold_total_us += micros;
+  serve::IngestModelStats& stats = entry.stats;
+  stats.last_fold_us = micros;
+  stats.fold_min_us =
+      entry.fold_count == 1 ? micros : std::min(stats.fold_min_us, micros);
+  stats.fold_max_us = std::max(stats.fold_max_us, micros);
+  stats.fold_mean_us = entry.fold_total_us / entry.fold_count;
 }
 
 std::shared_ptr<IngestPipeline::Entry> IngestPipeline::Find(

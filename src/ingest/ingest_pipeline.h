@@ -7,17 +7,22 @@
 //
 //   Submit(records)                       background worker
 //     validate + bound the buffer   -->     drain a batch
-//     journal Append + fdatasync            clone the served snapshot
-//     enqueue, ack "accepted"               Grafics::Update on the clone
+//     journal Append + fdatasync            fork the served snapshot (O(1))
+//     enqueue, ack "accepted"               Grafics::Update on the fork
 //                                           registry Load (generation + 1)
 //                                           journal CommitFold
 //
 // The fold never mutates the served shared_ptr<const Grafics>: it runs
-// Grafics::Update on a private deep copy (Grafics::Clone) and publishes the
-// copy into the serve::ModelRegistry, so in-flight predictions keep their
-// old snapshot exactly like a hot reload. Submission is bounded
-// (max_pending) — beyond it records are rejected with a backpressure error
-// rather than growing the heap without limit.
+// Grafics::Update on a structurally shared fork (Grafics::Clone — an O(1)
+// pointer copy whose chunked storage is copy-on-write, see
+// docs/architecture.md) and publishes the fork into the serve::ModelRegistry,
+// so in-flight predictions keep their old snapshot exactly like a hot
+// reload. Because the fork shares every untouched chunk with the snapshot it
+// came from, a publish costs O(batch), not O(model), and resident memory
+// never doubles. Submission is bounded (max_pending) — beyond it records are
+// rejected with a backpressure error rather than growing the heap without
+// limit. Per-fold latency (fork + Update + publish) is tracked and surfaced
+// through IngestStats.
 //
 // With a journal directory configured, Attach replays the journal before
 // serving: committed fold batches are re-applied with the same batch
@@ -128,6 +133,9 @@ class IngestPipeline {
     /// registry probe count them as pending so "pending == 0" means folded.
     std::size_t in_flight = 0;
     serve::IngestModelStats stats;
+    /// Accumulators behind stats.fold_*_us (mean needs the running total).
+    std::uint64_t fold_count = 0;
+    std::uint64_t fold_total_us = 0;
     std::uint64_t fold_failures = 0;
     std::unique_ptr<RecordJournal> journal;
     bool stopping = false;
@@ -135,10 +143,17 @@ class IngestPipeline {
   };
 
   void WorkerLoop(Entry& entry);
-  /// Clone + Update + publish one batch; called without entry.mutex held.
-  /// Returns the published generation, or 0 when the publish failed.
-  std::uint64_t FoldAndPublish(Entry& entry,
-                               const std::vector<rf::SignalRecord>& batch);
+  struct FoldOutcome {
+    /// Published generation, or 0 when the publish failed.
+    std::uint64_t generation = 0;
+    /// Wall-clock cost of fork + Update + publish, microseconds.
+    std::uint64_t micros = 0;
+  };
+  /// Fork + Update + publish one batch; called without entry.mutex held.
+  FoldOutcome FoldAndPublish(Entry& entry,
+                             const std::vector<rf::SignalRecord>& batch);
+  /// Folds one latency sample into entry.stats; entry.mutex must be held.
+  static void RecordFoldLatency(Entry& entry, std::uint64_t micros);
   std::shared_ptr<Entry> Find(const std::string& name) const;
 
   const IngestConfig config_;

@@ -67,9 +67,9 @@ void Client::Close() {
   }
 }
 
-Message Client::RoundTrip(const Message& request) {
+Message Client::RoundTrip(const Message& request, std::uint32_t version) {
   Require(connected(), "Client: not connected");
-  SendFrame(fd_, request);
+  SendFrame(fd_, request, version);
   std::optional<Message> reply = ReceiveFrame(fd_, config_.max_frame_bytes);
   Require(reply.has_value(), "Client: daemon closed the connection");
   return std::move(*reply);
@@ -176,8 +176,9 @@ ListModelsResponse Client::ListModels() {
   return *response;
 }
 
-StatsResponse Client::Stats(const std::string& model) {
-  const Message reply = RoundTrip(StatsRequest{model});
+StatsResponse Client::Stats(const std::string& model,
+                            std::uint32_t version) {
+  const Message reply = RoundTrip(StatsRequest{model}, version);
   const auto* response = std::get_if<StatsResponse>(&reply);
   Require(response != nullptr, "Client: unexpected reply to stats");
   return *response;

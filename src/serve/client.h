@@ -76,8 +76,13 @@ class Client {
   ListModelsResponse ListModels();
 
   /// v2 admin: per-model serving stats; `model` filters to one name
-  /// (empty = all models).
-  StatsResponse Stats(const std::string& model = {});
+  /// (empty = all models). `version` selects the request encoding: the
+  /// default speaks the newest dialect; passing an older version (3, 2)
+  /// lets callers degrade gracefully against an older daemon that rejects
+  /// newer frames (fields the chosen dialect lacks decode to their zero
+  /// defaults).
+  StatsResponse Stats(const std::string& model = {},
+                      std::uint32_t version = kProtocolVersion);
 
   /// v3 ingest: submits records for durable journaling and background
   /// fold-in to the named model (empty = default), returning one result per
@@ -98,7 +103,8 @@ class Client {
   bool connected() const { return fd_ >= 0; }
 
  private:
-  Message RoundTrip(const Message& request);
+  Message RoundTrip(const Message& request,
+                    std::uint32_t version = kProtocolVersion);
 
   ClientConfig config_;
   int fd_ = -1;

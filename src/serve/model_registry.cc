@@ -180,11 +180,18 @@ std::vector<ModelStats> ModelRegistry::Stats(
   for (const auto& [name, entry] : entries) {
     ModelStats stats;
     stats.name = name;
+    std::shared_ptr<const core::Grafics> snapshot;
     {
       const std::scoped_lock entry_lock(entry->mutex);
       stats.generation = entry->generation;
       stats.last_publish_source = entry->last_source;
+      snapshot = entry->model;
     }
+    // Chunk-granular sweep outside the entry lock: predict traffic keeps
+    // resolving while the accounting walks the snapshot's chunk tables.
+    const CowBytes memory = snapshot->MemoryBytes();
+    stats.shared_bytes = memory.shared_bytes;
+    stats.owned_bytes = memory.owned_bytes;
     const BatcherStats batcher = entry->batcher->stats();
     stats.requests = batcher.requests;
     stats.batches = batcher.batches;

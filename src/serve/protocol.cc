@@ -226,11 +226,16 @@ void WriteBody(std::ostream& out, const Message& message,
         WriteU64(out, stats.batches);
         WriteU64(out, stats.max_batch);
         WriteU64(out, stats.queue_depth);
-        // The ingest fields exist on the wire only from v3 on, so a v2 peer
-        // keeps receiving the exact v2 byte layout.
+        // The ingest fields exist on the wire only from v3 on and the
+        // snapshot-accounting fields only from v4 on, so older peers keep
+        // receiving their exact historical byte layouts.
         if (version >= 3) {
           WriteU8(out, static_cast<std::uint8_t>(stats.last_publish_source));
           WriteU64(out, stats.pending_ingest);
+        }
+        if (version >= 4) {
+          WriteU64(out, stats.shared_bytes);
+          WriteU64(out, stats.owned_bytes);
         }
       }
     }
@@ -275,6 +280,14 @@ void WriteBody(std::ostream& out, const Message& message,
         WriteU64(out, stats.journal_bytes);
         WriteU64(out, stats.publishes);
         WriteU64(out, stats.last_publish_generation);
+        // Fold latency exists on the wire only from v4 on; a v3 peer keeps
+        // receiving the exact v3 byte layout.
+        if (version >= 4) {
+          WriteU64(out, stats.fold_min_us);
+          WriteU64(out, stats.fold_mean_us);
+          WriteU64(out, stats.fold_max_us);
+          WriteU64(out, stats.last_fold_us);
+        }
       }
     }
   };
@@ -398,6 +411,10 @@ Message ReadBody(std::istream& in, MessageType type, std::uint32_t version) {
           stats.last_publish_source = static_cast<PublishSource>(source);
           stats.pending_ingest = ReadU64(in);
         }
+        if (version >= 4) {
+          stats.shared_bytes = ReadU64(in);
+          stats.owned_bytes = ReadU64(in);
+        }
         m.models.push_back(std::move(stats));
       }
       return m;
@@ -458,6 +475,12 @@ Message ReadBody(std::istream& in, MessageType type, std::uint32_t version) {
         stats.journal_bytes = ReadU64(in);
         stats.publishes = ReadU64(in);
         stats.last_publish_generation = ReadU64(in);
+        if (version >= 4) {
+          stats.fold_min_us = ReadU64(in);
+          stats.fold_mean_us = ReadU64(in);
+          stats.fold_max_us = ReadU64(in);
+          stats.last_fold_us = ReadU64(in);
+        }
         m.models.push_back(std::move(stats));
       }
       return m;

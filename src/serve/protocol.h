@@ -1,4 +1,4 @@
-// Wire protocol of the GRAFICS serving daemon (version 3).
+// Wire protocol of the GRAFICS serving daemon (version 4).
 //
 // Every message travels as one length-prefixed frame on a TCP stream:
 //
@@ -16,12 +16,17 @@
 // Version 3 adds the online ingestion surface: SubmitRecords carries a batch
 // of crowdsourced records to be journaled and folded into the named model in
 // the background (per-record accept/reject statuses), IngestStats reports
-// the per-model ingest counters, and ModelStats grows two fields (publish
-// source, pending ingest depth). Versions 1 and 2 remain decodable — a v1
-// request is a one-record batch routed to the default model, a v2 frame is
-// everything except the ingest messages and the two new ModelStats fields —
-// and every reply is encoded in the version its request arrived in, so
-// deployed clients keep working against a v3 daemon.
+// the per-model ingest counters, and ModelStats grows ingest provenance
+// (publish source, pending ingest depth).
+//
+// Version 4 makes the copy-on-write snapshot model observable: ModelStats
+// grows the bytes shared with other snapshots vs owned exclusively (see
+// docs/architecture.md), and IngestModelStats grows per-fold latency
+// (min/mean/max plus the most recent fold, microseconds). Versions 1-3
+// remain decodable byte-for-byte — a v1 request is a one-record batch
+// routed to the default model, v2/v3 frames simply omit the later versions'
+// fields — and every reply is encoded in the version its request arrived
+// in, so deployed clients keep working against a v4 daemon.
 //
 // Malformed input — bad magic, unsupported version, unknown type, truncated
 // or oversized frames, out-of-range names or batch sizes, trailing bytes —
@@ -44,7 +49,7 @@ namespace grafics::serve {
 
 inline constexpr char kFrameMagic[4] = {'G', 'S', 'R', 'V'};
 /// Highest protocol version this build speaks (and the encoding default).
-inline constexpr std::uint32_t kProtocolVersion = 3;
+inline constexpr std::uint32_t kProtocolVersion = 4;
 /// Oldest protocol version still decoded; v1 requests route to the default
 /// model and get v1-encoded replies.
 inline constexpr std::uint32_t kMinProtocolVersion = 1;
@@ -162,8 +167,9 @@ enum class PublishSource : std::uint8_t {
 };
 
 /// v2-only admin: per-model serving counters (empty model = all models).
-/// The last two fields exist on the wire only from v3 on; a v2 encoding
-/// omits them (and a decoded v2 frame reports their defaults).
+/// Fields after queue_depth exist on the wire only from v3 on, and the
+/// snapshot-accounting fields only from v4 on; older encodings omit them
+/// (and decoded older frames report their defaults).
 struct ModelStats {
   std::string name;
   std::uint64_t generation = 0;
@@ -176,6 +182,14 @@ struct ModelStats {
   PublishSource last_publish_source = PublishSource::kDisk;
   /// Submitted records accepted but not yet folded into the model.
   std::uint64_t pending_ingest = 0;
+  /// v4 only: copy-on-write accounting of the serving snapshot's heap —
+  /// bytes whose chunks are shared with other snapshots (forks being
+  /// folded, in-flight readers of an old generation) vs bytes owned
+  /// exclusively. A publish that doubled resident memory would show up
+  /// here as owned ~= model size on both generations; structural sharing
+  /// shows up as shared.
+  std::uint64_t shared_bytes = 0;
+  std::uint64_t owned_bytes = 0;
 
   bool operator==(const ModelStats&) const = default;
 };
@@ -244,6 +258,14 @@ struct IngestModelStats {
   std::uint64_t publishes = 0;
   /// Registry generation of the pipeline's most recent publish (0 = none).
   std::uint64_t last_publish_generation = 0;
+  /// v4 only: per-fold latency (fork + Update + publish), microseconds,
+  /// over every fold since the daemon started; all zero before the first
+  /// fold.
+  std::uint64_t fold_min_us = 0;
+  std::uint64_t fold_mean_us = 0;
+  std::uint64_t fold_max_us = 0;
+  /// v4 only: latency of the most recent fold.
+  std::uint64_t last_fold_us = 0;
 
   bool operator==(const IngestModelStats&) const = default;
 };

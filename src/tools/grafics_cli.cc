@@ -193,7 +193,8 @@ int CmdRemoteIngestStats(const std::vector<std::string>& args) {
     std::printf(
         "%s,accepted=%llu,rejected=%llu,pending=%llu,folded=%llu,"
         "replayed=%llu,journal_bytes=%llu,publishes=%llu,"
-        "last_publish_generation=%llu\n",
+        "last_publish_generation=%llu,fold_min_us=%llu,fold_mean_us=%llu,"
+        "fold_max_us=%llu,last_fold_us=%llu\n",
         m.name.c_str(), static_cast<unsigned long long>(m.accepted),
         static_cast<unsigned long long>(m.rejected),
         static_cast<unsigned long long>(m.pending),
@@ -201,7 +202,11 @@ int CmdRemoteIngestStats(const std::vector<std::string>& args) {
         static_cast<unsigned long long>(m.replayed),
         static_cast<unsigned long long>(m.journal_bytes),
         static_cast<unsigned long long>(m.publishes),
-        static_cast<unsigned long long>(m.last_publish_generation));
+        static_cast<unsigned long long>(m.last_publish_generation),
+        static_cast<unsigned long long>(m.fold_min_us),
+        static_cast<unsigned long long>(m.fold_mean_us),
+        static_cast<unsigned long long>(m.fold_max_us),
+        static_cast<unsigned long long>(m.last_fold_us));
   }
   return 0;
 }
@@ -250,8 +255,28 @@ int CmdRemoteStats(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   const auto [host, port] = ParseHostPort(args[0]);
   const std::string model = FlagValue(args, "--model", "");
-  serve::Client client(host, port);
-  const serve::StatsResponse stats = client.Stats(model);
+  // Newest dialect first; an older daemon rejects an unknown version by
+  // dropping the connection without a reply, in which case retry on a
+  // fresh connection one protocol version down (4 -> 3 -> 2) and print
+  // only the fields that dialect carries — graceful degradation instead of
+  // a hard error against older deployments. Other failures (daemon down,
+  // transient socket errors) propagate untouched so they are reported as
+  // what they are, not masked as a version mismatch.
+  const auto is_version_rejection = [](const Error& e) {
+    return std::string(e.what()).find("closed the connection") !=
+           std::string::npos;
+  };
+  serve::StatsResponse stats;
+  std::uint32_t spoken = serve::kProtocolVersion;
+  for (;; --spoken) {
+    try {
+      serve::Client client(host, port);
+      stats = client.Stats(model, spoken);
+      break;
+    } catch (const Error& e) {
+      if (spoken <= 2 || !is_version_rejection(e)) throw;
+    }
+  }
   if (!model.empty() && stats.models.empty()) {
     std::fprintf(stderr, "no such model '%s'\n", model.c_str());
     return 2;
@@ -261,15 +286,25 @@ int CmdRemoteStats(const std::vector<std::string>& args) {
   for (const serve::ModelStats& m : stats.models) {
     std::printf(
         "%s,generation=%llu,requests=%llu,batches=%llu,max_batch=%llu,"
-        "queue_depth=%llu,last_publish_source=%s,pending_ingest=%llu\n",
+        "queue_depth=%llu",
         m.name.c_str(), static_cast<unsigned long long>(m.generation),
         static_cast<unsigned long long>(m.requests),
         static_cast<unsigned long long>(m.batches),
         static_cast<unsigned long long>(m.max_batch),
-        static_cast<unsigned long long>(m.queue_depth),
-        m.last_publish_source == serve::PublishSource::kIngest ? "ingest"
-                                                               : "disk",
-        static_cast<unsigned long long>(m.pending_ingest));
+        static_cast<unsigned long long>(m.queue_depth));
+    if (spoken >= 3) {
+      std::printf(
+          ",last_publish_source=%s,pending_ingest=%llu",
+          m.last_publish_source == serve::PublishSource::kIngest ? "ingest"
+                                                                 : "disk",
+          static_cast<unsigned long long>(m.pending_ingest));
+    }
+    if (spoken >= 4) {
+      std::printf(",shared_bytes=%llu,owned_bytes=%llu",
+                  static_cast<unsigned long long>(m.shared_bytes),
+                  static_cast<unsigned long long>(m.owned_bytes));
+    }
+    std::printf("\n");
   }
   return 0;
 }

@@ -88,8 +88,9 @@ std::vector<Message> AllMessageTypes() {
   listing.models = {{"campus", 2, true}, {"mall", 1, false}};
   StatsResponse stats;
   stats.connections_accepted = 17;
-  stats.models = {{"campus", 2, 100, 9, 32, 3, PublishSource::kIngest, 12},
-                  {"mall", 1, 5, 5, 1, 0, PublishSource::kDisk, 0}};
+  stats.models = {{"campus", 2, 100, 9, 32, 3, PublishSource::kIngest, 12,
+                   /*shared_bytes=*/777216, /*owned_bytes=*/4096},
+                  {"mall", 1, 5, 5, 1, 0, PublishSource::kDisk, 0, 0, 99}};
   SubmitRecordsRequest submit;
   submit.model = "campus";
   submit.records = {MakeRecord(3), MakeRecord()};
@@ -98,7 +99,9 @@ std::vector<Message> AllMessageTypes() {
   submitted.results.push_back({SubmitStatus::kRejected, "empty record"});
   IngestStatsResponse ingest_stats;
   ingest_stats.enabled = true;
-  ingest_stats.models = {{"campus", 90, 2, 5, 80, 40, 12345, 3, 7}};
+  ingest_stats.models = {{"campus", 90, 2, 5, 80, 40, 12345, 3, 7,
+                          /*fold_min_us=*/150, /*fold_mean_us=*/420,
+                          /*fold_max_us=*/1800, /*last_fold_us=*/300}};
   std::vector<Message> messages;
   messages.push_back(named_batch);
   messages.push_back(PredictRequest{"", {MakeRecord(7)}});
@@ -229,7 +232,8 @@ TEST(ProtocolV1CompatTest, V1FrameWithAdminTypeCodeIsRejected) {
 // --- v2 <-> v3 compatibility ----------------------------------------------
 
 /// Messages a v2 peer can express: everything except the ingest surface
-/// and the two v3 ModelStats fields.
+/// and the v3/v4 ModelStats fields (publish source, pending ingest,
+/// shared/owned snapshot bytes).
 std::vector<Message> V2Messages() {
   PredictRequest named_batch;
   named_batch.model = "mall";
@@ -260,11 +264,12 @@ TEST(ProtocolV2CompatTest, V2FramesRoundTripThroughTheV3Decoder) {
 }
 
 TEST(ProtocolV2CompatTest, V2StatsEncodingMatchesTheOriginalWireBytes) {
-  // The PR 3 v2 ModelStats layout must survive v3 byte-for-byte: the two
-  // ingest fields exist only in v3 frames.
+  // The PR 3 v2 ModelStats layout must survive byte-for-byte: the ingest
+  // and snapshot-accounting fields exist only in v3 frames.
   StatsResponse stats;
   stats.connections_accepted = 17;
-  stats.models = {{"campus", 2, 100, 9, 32, 3, PublishSource::kIngest, 12}};
+  stats.models = {{"campus", 2, 100, 9, 32, 3, PublishSource::kIngest, 12,
+                   /*shared_bytes=*/555, /*owned_bytes=*/666}};
   std::ostringstream expected;
   WriteHeader(expected, kFrameMagic, 2);
   WriteU8(expected, 10);  // kStatsResponse
@@ -281,6 +286,60 @@ TEST(ProtocolV2CompatTest, V2StatsEncodingMatchesTheOriginalWireBytes) {
   ASSERT_NE(response, nullptr);
   EXPECT_EQ(response->models[0].last_publish_source, PublishSource::kDisk);
   EXPECT_EQ(response->models[0].pending_ingest, 0u);
+  EXPECT_EQ(response->models[0].shared_bytes, 0u);
+  EXPECT_EQ(response->models[0].owned_bytes, 0u);
+}
+
+TEST(ProtocolV3CompatTest, V3StatsEncodingsMatchThePr4WireBytes) {
+  // The v3 layouts must survive the v4 bump byte-for-byte: snapshot
+  // accounting (ModelStats) and fold latency (IngestModelStats) exist only
+  // in v4 frames.
+  StatsResponse stats;
+  stats.connections_accepted = 17;
+  stats.models = {{"campus", 2, 100, 9, 32, 3, PublishSource::kIngest, 12,
+                   /*shared_bytes=*/555, /*owned_bytes=*/666}};
+  std::ostringstream expected;
+  WriteHeader(expected, kFrameMagic, 3);
+  WriteU8(expected, 10);  // kStatsResponse
+  WriteU64(expected, 17);
+  WriteU32(expected, 1);
+  WriteString(expected, "campus");
+  for (const std::uint64_t value : {2, 100, 9, 32, 3}) {
+    WriteU64(expected, value);
+  }
+  WriteU8(expected, 1);  // PublishSource::kIngest
+  WriteU64(expected, 12);
+  EXPECT_EQ(EncodePayload(stats, 3), std::move(expected).str());
+  // Decoding the v3 bytes reports zero for the v4-only fields.
+  const Message decoded = DecodePayload(EncodePayload(stats, 3));
+  const auto* response = std::get_if<StatsResponse>(&decoded);
+  ASSERT_NE(response, nullptr);
+  EXPECT_EQ(response->models[0].pending_ingest, 12u);
+  EXPECT_EQ(response->models[0].shared_bytes, 0u);
+  EXPECT_EQ(response->models[0].owned_bytes, 0u);
+
+  IngestStatsResponse ingest;
+  ingest.enabled = true;
+  ingest.models = {{"campus", 90, 2, 5, 80, 40, 12345, 3, 7,
+                    /*fold_min_us=*/150, /*fold_mean_us=*/420,
+                    /*fold_max_us=*/1800, /*last_fold_us=*/300}};
+  std::ostringstream ingest_expected;
+  WriteHeader(ingest_expected, kFrameMagic, 3);
+  WriteU8(ingest_expected, 14);  // kIngestStatsResponse
+  WriteU8(ingest_expected, 1);
+  WriteU32(ingest_expected, 1);
+  WriteString(ingest_expected, "campus");
+  for (const std::uint64_t value : {90, 2, 5, 80, 40, 12345, 3, 7}) {
+    WriteU64(ingest_expected, value);
+  }
+  EXPECT_EQ(EncodePayload(ingest, 3), std::move(ingest_expected).str());
+  const Message ingest_decoded = DecodePayload(EncodePayload(ingest, 3));
+  const auto* ingest_response =
+      std::get_if<IngestStatsResponse>(&ingest_decoded);
+  ASSERT_NE(ingest_response, nullptr);
+  EXPECT_EQ(ingest_response->models[0].publishes, 3u);
+  EXPECT_EQ(ingest_response->models[0].fold_min_us, 0u);
+  EXPECT_EQ(ingest_response->models[0].last_fold_us, 0u);
 }
 
 TEST(ProtocolV2CompatTest, OlderVersionsCannotExpressIngestMessages) {

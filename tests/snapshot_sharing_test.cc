@@ -1,0 +1,221 @@
+// Tests for the copy-on-write snapshot model: Grafics::Clone is an O(1)
+// structural fork whose graph chunks, embedding rows, and trained components
+// are shared with the parent until written; folding on a fork copies only
+// the touched chunks; and the incremental negative-sampler extension keeps
+// the deg^{3/4} distribution exact. See docs/architecture.md.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/grafics.h"
+#include "embed/negative_sampler.h"
+#include "synth/presets.h"
+
+namespace grafics::core {
+namespace {
+
+GraficsConfig FastConfig() {
+  GraficsConfig config;
+  config.trainer.samples_per_edge = 10;
+  config.online_refine_iterations = 60;
+  return config;
+}
+
+struct Fixture {
+  Fixture(int records_per_floor = 150, std::uint64_t seed = 4711) {
+    auto preset = synth::CampusBuildingConfig(seed, records_per_floor);
+    sim = preset.MakeSimulator();
+    rf::Dataset dataset = sim->GenerateDataset();
+    Rng rng(13);
+    dataset.KeepLabelsPerFloor(4, rng);
+    system.Train(dataset.records());
+  }
+
+  std::vector<rf::SignalRecord> FreshBatch(std::size_t count) {
+    std::vector<rf::SignalRecord> batch;
+    for (std::size_t i = 0; i < count; ++i) {
+      batch.push_back(
+          sim->MeasureAt({5.0 + static_cast<double>(i), 7.0, 1.2}, 0));
+    }
+    return batch;
+  }
+
+  rf::SignalRecord Probe(double x) { return sim->MeasureAt({x, 20.0, 5.2}, 1); }
+
+  std::optional<synth::BuildingSimulator> sim;
+  Grafics system{FastConfig()};
+};
+
+/// Nodes of `a` whose adjacency storage is byte-for-byte the same heap
+/// memory as in `b`.
+std::size_t SharedAdjacencyNodes(const Grafics& a, const Grafics& b) {
+  std::size_t shared = 0;
+  for (graph::NodeId n = 0; n < a.graph().NumNodes(); ++n) {
+    if (n < b.graph().NumNodes() &&
+        a.graph().NeighborsOf(n).data() == b.graph().NeighborsOf(n).data()) {
+      ++shared;
+    }
+  }
+  return shared;
+}
+
+std::size_t SharedEgoRows(const Grafics& a, const Grafics& b) {
+  std::size_t shared = 0;
+  const auto& sa = a.embedding_store();
+  const auto& sb = b.embedding_store();
+  for (graph::NodeId n = 0; n < sa.num_nodes(); ++n) {
+    if (n < sb.num_nodes() && sa.Ego(n).data() == sb.Ego(n).data()) ++shared;
+  }
+  return shared;
+}
+
+TEST(SnapshotSharingTest, ForkSharesEveryChunkUntilWritten) {
+  Fixture f;
+  const Grafics fork = f.system.Clone();
+
+  // Graph adjacency and embedding tables: every node aliases the parent's
+  // storage — the fork copied pointers, not chunks.
+  EXPECT_EQ(SharedAdjacencyNodes(f.system, fork),
+            f.system.graph().NumNodes());
+  EXPECT_EQ(SharedEgoRows(f.system, fork),
+            f.system.embedding_store().num_nodes());
+  // Immutable trained components are shared by pointer: identical objects.
+  EXPECT_EQ(&f.system.clustering(), &fork.clustering());
+  EXPECT_EQ(&f.system.classifier(), &fork.classifier());
+  EXPECT_EQ(&f.system.negative_sampler(), &fork.negative_sampler());
+}
+
+TEST(SnapshotSharingTest, FoldOnForkCopiesOnlyTouchedChunks) {
+  Fixture f;
+  const std::size_t base_nodes = f.system.graph().NumNodes();
+  ASSERT_GT(base_nodes, 512u) << "fixture too small to span several chunks";
+
+  const auto parent_before = f.system.PredictBatch(
+      {f.Probe(22.0), f.Probe(28.0), f.Probe(34.0)});
+
+  Grafics fork = f.system.Clone();
+  const std::vector<rf::SignalRecord> batch = f.FreshBatch(8);
+  ASSERT_EQ(fork.Update(batch), batch.size());
+
+  // The fold extended the fork without disturbing the parent's state...
+  EXPECT_EQ(f.system.graph().NumNodes(), base_nodes);
+  const auto parent_after = f.system.PredictBatch(
+      {f.Probe(22.0), f.Probe(28.0), f.Probe(34.0)});
+  EXPECT_EQ(parent_before, parent_after);
+
+  // ...and copied only the chunks it touched: the batch reaches a handful
+  // of MAC adjacency chunks and the tail rows, so the bulk of both tables
+  // is still the same heap memory in parent and fork.
+  const std::size_t shared_adj = SharedAdjacencyNodes(f.system, fork);
+  EXPECT_LT(shared_adj, base_nodes);  // touched MAC chunks were copied
+  EXPECT_GT(shared_adj, base_nodes / 2);
+  // Base embedding rows are frozen during a fold (Sec. V-A): only the tail
+  // chunk gaining new rows was copied, every earlier chunk is still shared.
+  const std::size_t shared_ego = SharedEgoRows(f.system, fork);
+  EXPECT_GT(shared_ego, base_nodes / 2);
+  EXPECT_EQ(f.system.embedding_store().Ego(0).data(),
+            fork.embedding_store().Ego(0).data());
+  // Clustering and centroids are untouched by Update: still shared.
+  EXPECT_EQ(&f.system.clustering(), &fork.clustering());
+  EXPECT_EQ(&f.system.classifier(), &fork.classifier());
+}
+
+TEST(SnapshotSharingTest, MemoryAccountingObservesSharing) {
+  Fixture f;
+  const CowBytes alone = f.system.MemoryBytes();
+  EXPECT_EQ(alone.shared_bytes, 0u);
+  EXPECT_GT(alone.owned_bytes, 0u);
+  {
+    const Grafics fork = f.system.Clone();
+    const CowBytes shared = f.system.MemoryBytes();
+    // With a live fork, (nearly) everything is shared: publishing a fork
+    // cannot double resident memory.
+    EXPECT_GT(shared.shared_bytes, 9 * shared.owned_bytes);
+    const CowBytes fork_bytes = fork.MemoryBytes();
+    EXPECT_GT(fork_bytes.shared_bytes, 9 * fork_bytes.owned_bytes);
+  }
+  // Fork gone: sole ownership again.
+  const CowBytes after = f.system.MemoryBytes();
+  EXPECT_EQ(after.shared_bytes, 0u);
+  EXPECT_EQ(after.owned_bytes, alone.owned_bytes);
+}
+
+TEST(SnapshotSharingTest, UntrainedSystemsFork) {
+  Grafics system(FastConfig());
+  const Grafics fork = system.Clone();
+  EXPECT_FALSE(fork.is_trained());
+}
+
+TEST(SnapshotSharingTest, KnnHeadForksAndPredictsIdentically) {
+  GraficsConfig config = FastConfig();
+  config.head = InferenceHead::kKnn;
+  auto preset = synth::CampusBuildingConfig(4711, 60);
+  auto sim = preset.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  Rng rng(13);
+  dataset.KeepLabelsPerFloor(4, rng);
+  Grafics system(config);
+  system.Train(dataset.records());
+
+  const Grafics fork = system.Clone();
+  const rf::SignalRecord probe = sim.MeasureAt({18.0, 12.0, 1.2}, 0);
+  EXPECT_EQ(system.Predict(probe), fork.Predict(probe));
+}
+
+TEST(SnapshotSharingTest, ThousandSequentialForksStayBitIdentical) {
+  Fixture f(/*records_per_floor=*/60);
+  const rf::SignalRecord probe_a = f.Probe(24.0);
+  const rf::SignalRecord probe_b = f.Probe(31.0);
+  const auto expected_a = f.system.Predict(probe_a);
+  const auto expected_b = f.system.Predict(probe_b);
+
+  Grafics fork = f.system.Clone();
+  for (int i = 0; i < 999; ++i) fork = fork.Clone();
+  EXPECT_EQ(fork.Predict(probe_a), expected_a);
+  EXPECT_EQ(fork.Predict(probe_b), expected_b);
+  // A 1000-deep fork chain still aliases the root's storage.
+  EXPECT_EQ(SharedAdjacencyNodes(f.system, fork),
+            f.system.graph().NumNodes());
+}
+
+TEST(SnapshotSharingTest, NegativeSamplerExtensionIsExact) {
+  Fixture f(/*records_per_floor=*/60);
+  // Several fold-ins: each appends one correction group instead of
+  // rebuilding the table.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_EQ(f.system.Update(f.FreshBatch(4)), 4u);
+  }
+  const embed::NegativeSamplerSet& incremental = f.system.negative_sampler();
+  EXPECT_EQ(incremental.num_groups(), 4u);
+
+  // The amortized set must induce EXACTLY the deg^{3/4} distribution a
+  // from-scratch rebuild would — corrections account for every degree that
+  // changed.
+  const embed::NegativeSamplerSet rebuilt =
+      embed::NegativeSamplerSet::Build(f.system.graph());
+  for (graph::NodeId n = 0; n < f.system.graph().NumNodes(); ++n) {
+    EXPECT_NEAR(incremental.ProbabilityOf(n), rebuilt.ProbabilityOf(n), 1e-9)
+        << "node " << n;
+  }
+}
+
+TEST(SnapshotSharingTest, NegativeSamplerCompactsAtGroupBudget) {
+  Fixture f(/*records_per_floor=*/60);
+  for (std::size_t round = 0;
+       round < embed::NegativeSamplerSet::kMaxGroups + 4; ++round) {
+    ASSERT_EQ(f.system.Update(f.FreshBatch(1)), 1u);
+    EXPECT_LE(f.system.negative_sampler().num_groups(),
+              embed::NegativeSamplerSet::kMaxGroups);
+  }
+  // Still exact after compaction cycles.
+  const embed::NegativeSamplerSet rebuilt =
+      embed::NegativeSamplerSet::Build(f.system.graph());
+  for (graph::NodeId n = 0; n < f.system.graph().NumNodes(); ++n) {
+    ASSERT_NEAR(f.system.negative_sampler().ProbabilityOf(n),
+                rebuilt.ProbabilityOf(n), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace grafics::core
