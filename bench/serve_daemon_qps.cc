@@ -12,10 +12,19 @@
 // model, and writes a BENCH_serve_daemon_qps_<model>.json sidecar per model
 // for the CI perf-trajectory artifact.
 //
+// Per-request latency is tracked per connection count and reported as
+// p50/p99 alongside QPS. With --report NAME the harness additionally writes
+// one combined BENCH_<NAME>.json (first model's QPS + percentiles per
+// connection count) — CI uses `--connections 1,64,512 --report
+// epoll_transport` to archive the epoll transport's latency trajectory.
+//
 // Run:  ./build/bench/serve_daemon_qps
 //       ./build/bench/serve_daemon_qps --records-per-floor 200 --queries 80 \
 //           --connections 1,4 --max-batch 32 --max-delay-ms 2 \
 //           --model campus --model annex
+//       ./build/bench/serve_daemon_qps --connections 1,64,512 \
+//           --report epoll_transport
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +54,7 @@ struct Args {
   unsigned max_delay_ms = 2;
   std::vector<std::size_t> connections = {1, 2, 4};
   std::vector<std::string> models = {"campus"};
+  std::string report;  // combined BENCH_<report>.json, empty = none
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -70,6 +80,7 @@ Args ParseArgs(int argc, char** argv) {
   }
   const std::vector<std::string> models = FlagValues(raw, "--model");
   if (!models.empty()) args.models = models;
+  args.report = FlagValue(raw, "--report", "");
   for (std::size_t i = 0; i < args.models.size(); ++i) {
     for (std::size_t j = i + 1; j < args.models.size(); ++j) {
       Require(args.models[i] != args.models[j],
@@ -119,6 +130,17 @@ BenchModel TrainModel(const std::string& name, std::uint64_t seed,
               name.c_str(), train.size(), bench.queries.size(),
               bench.train_seconds);
   return bench;
+}
+
+/// Percentile over an unsorted sample (sorts in place); 0 when empty.
+double PercentileMs(std::vector<double>& sample, double fraction) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const std::size_t index = std::min(
+      sample.size() - 1,
+      static_cast<std::size_t>(fraction *
+                               static_cast<double>(sample.size())));
+  return sample[index];
 }
 
 /// One model's cumulative (requests, batches) from the registry stats.
@@ -171,8 +193,10 @@ int main(int argc, char** argv) {
   // run whose answers were wrong.
   std::vector<bench::BenchReport> reports;
   reports.reserve(models.size());
-  std::printf("%12s %12s %12s %12s %10s %12s\n", "model", "connections",
-              "seconds", "queries/s", "batches", "mean batch");
+  bench::BenchReport combined(args.report.empty() ? "unused" : args.report);
+  std::printf("%12s %12s %12s %12s %10s %12s %9s %9s\n", "model",
+              "connections", "seconds", "queries/s", "batches", "mean batch",
+              "p50 ms", "p99 ms");
   for (const BenchModel& model : models) {
     bench::BenchReport report("serve_daemon_qps_" + model.name);
     report.Add("train_seconds", model.train_seconds);
@@ -185,6 +209,7 @@ int main(int argc, char** argv) {
           std::vector<std::optional<rf::FloorId>>(model.queries.size()));
       // char, not bool: each connection thread writes its own slot.
       std::vector<char> failed(connections, 0);
+      std::vector<std::vector<double>> latencies(connections);
       const auto start = Clock::now();
       std::vector<std::thread> workers;
       workers.reserve(connections);
@@ -195,7 +220,12 @@ int main(int argc, char** argv) {
             // Strided split: connection c serves queries c, c+C, c+2C, ...
             for (std::size_t i = c; i < model.queries.size();
                  i += connections) {
+              const auto sent = Clock::now();
               results[c][i] = client.Predict(model.queries[i], model.name);
+              latencies[c].push_back(
+                  std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            sent)
+                      .count());
             }
           } catch (const std::exception& e) {
             std::fprintf(stderr, "connection %zu failed: %s\n", c, e.what());
@@ -204,6 +234,13 @@ int main(int argc, char** argv) {
         });
       }
       for (std::thread& worker : workers) worker.join();
+      std::vector<double> all_latencies;
+      for (const std::vector<double>& per_conn : latencies) {
+        all_latencies.insert(all_latencies.end(), per_conn.begin(),
+                             per_conn.end());
+      }
+      const double p50 = PercentileMs(all_latencies, 0.50);
+      const double p99 = PercentileMs(all_latencies, 0.99);
       const double seconds =
           std::chrono::duration<double>(Clock::now() - start).count();
       for (std::size_t c = 0; c < connections; ++c) {
@@ -224,11 +261,22 @@ int main(int argc, char** argv) {
           batches == 0 ? 0.0
                        : static_cast<double>(requests) /
                              static_cast<double>(batches);
-      std::printf("%12s %12zu %12.3f %12.1f %10llu %12.2f\n",
+      std::printf("%12s %12zu %12.3f %12.1f %10llu %12.2f %9.3f %9.3f\n",
                   model.name.c_str(), connections, seconds, qps,
-                  static_cast<unsigned long long>(batches), mean_batch);
-      report.Add("qps_c" + std::to_string(connections), qps);
-      report.Add("mean_batch_c" + std::to_string(connections), mean_batch);
+                  static_cast<unsigned long long>(batches), mean_batch, p50,
+                  p99);
+      const std::string suffix = "_c" + std::to_string(connections);
+      report.Add("qps" + suffix, qps);
+      report.Add("mean_batch" + suffix, mean_batch);
+      report.Add("p50_ms" + suffix, p50);
+      report.Add("p99_ms" + suffix, p99);
+      // The combined report is meant for single-model runs (CI's epoll
+      // transport trajectory); with several models the first one wins.
+      if (&model == &models.front()) {
+        combined.Add("qps" + suffix, qps);
+        combined.Add("p50_ms" + suffix, p50);
+        combined.Add("p99_ms" + suffix, p99);
+      }
     }
 
     // Protocol v2 batched predict: the whole query set in kMaxBatchRecords
@@ -244,8 +292,9 @@ int main(int argc, char** argv) {
       }
       const double qps =
           static_cast<double>(model.queries.size()) / seconds;
-      std::printf("%12s %12s %12.3f %12.1f %10s %12s\n", model.name.c_str(),
-                  "batched", seconds, qps, "-", "-");
+      std::printf("%12s %12s %12.3f %12.1f %10s %12s %9s %9s\n",
+                  model.name.c_str(), "batched", seconds, qps, "-", "-", "-",
+                  "-");
       report.Add("qps_batched", qps);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "batched predict failed: %s\n", e.what());
@@ -265,5 +314,6 @@ int main(int argc, char** argv) {
   std::printf("\nall networked predictions bit-matched their model's "
               "in-process reference\n");
   for (const bench::BenchReport& report : reports) report.WriteJson();
+  if (!args.report.empty()) combined.WriteJson();
   return 0;
 }

@@ -1,0 +1,489 @@
+// Stress/soak harness for the epoll serving transport.
+//
+// Trains one campus-preset GRAFICS model, starts an in-process serve::Server
+// on an ephemeral loopback port, then drives it with --connections concurrent
+// TCP connections, each keeping up to --pipeline predict requests in flight,
+// until --requests total predictions have been answered. The generator is
+// itself a small epoll loop (a handful of threads multiplexing thousands of
+// nonblocking sockets), so 2000+ connections cost file descriptors, not
+// threads.
+//
+// This is a correctness gate, not a benchmark: every reply must arrive on
+// the connection that asked, in request order, bit-identical to the
+// in-process PredictBatch reference. Any mismatch, per-record error,
+// protocol violation, or connection dying early fails the run (non-zero
+// exit). After the load drains it also asserts a clean shutdown and that
+// admission control never fired (the pipeline depth stays below the
+// server's in-flight cap).
+//
+// Run:  ./build/bench/serve_stress                       # 2000 x 8 pipeline
+//       ./build/bench/serve_stress --connections 128 --requests 4096 \
+//           --pipeline 4                                  # ctest-sized soak
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli_flags.h"
+#include "common/error.h"
+#include "core/grafics.h"
+#include "rf/dataset.h"
+#include "serve/model_registry.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "synth/presets.h"
+
+namespace {
+
+using namespace grafics;
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  std::size_t connections = 2000;
+  std::size_t requests = 40000;
+  std::size_t pipeline = 8;
+  std::size_t generator_threads = 4;
+  std::size_t event_workers = 4;
+  int records_per_floor = 200;
+  std::size_t queries = 64;
+  unsigned deadline_s = 420;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  const std::vector<std::string> raw(argv + 1, argv + argc);
+  Args args;
+  args.connections = ParseUnsigned(FlagValue(raw, "--connections", "2000"),
+                                   100000, "--connections");
+  args.requests = ParseUnsigned(FlagValue(raw, "--requests", "40000"),
+                                100000000, "--requests");
+  args.pipeline =
+      ParseUnsigned(FlagValue(raw, "--pipeline", "8"), 64, "--pipeline");
+  args.generator_threads = ParseUnsigned(
+      FlagValue(raw, "--generator-threads", "4"), 64, "--generator-threads");
+  args.event_workers = ParseUnsigned(FlagValue(raw, "--event-workers", "4"),
+                                     256, "--event-workers");
+  args.records_per_floor = static_cast<int>(ParseUnsigned(
+      FlagValue(raw, "--records-per-floor", "200"), 100000,
+      "--records-per-floor"));
+  args.queries =
+      ParseUnsigned(FlagValue(raw, "--queries", "64"), 100000, "--queries");
+  args.deadline_s = static_cast<unsigned>(ParseUnsigned(
+      FlagValue(raw, "--deadline-s", "420"), 86400, "--deadline-s"));
+  Require(args.connections >= 1, "--connections must be >= 1");
+  Require(args.pipeline >= 1, "--pipeline must be >= 1");
+  Require(args.generator_threads >= 1, "--generator-threads must be >= 1");
+  return args;
+}
+
+/// Global query index for request k on connection c: deterministic, spreads
+/// every connection across the whole query set so verification is a table
+/// lookup on the receive path.
+std::size_t QueryIndex(std::size_t conn, std::size_t k,
+                       std::size_t num_queries) {
+  return (conn * 131 + k * 7) % num_queries;
+}
+
+/// Failure tallies shared by the generator threads. Everything must stay
+/// zero for the run to pass.
+struct Tally {
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> record_errors{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> dropped_connections{0};
+  std::atomic<std::uint64_t> connect_retries{0};
+};
+
+/// One generator-side connection: a nonblocking socket pipelining its share
+/// of the request stream and verifying replies in order.
+struct LoadConn {
+  int fd = -1;
+  std::size_t id = 0;       // global connection index
+  std::size_t target = 0;   // requests this connection must complete
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  bool connecting = true;
+  int retries_left = 8;
+  std::string out;
+  std::size_t out_off = 0;  // consumed prefix of `out`
+  std::string in;
+};
+
+class Generator {
+ public:
+  Generator(const Args& args, std::uint16_t port,
+            const std::vector<std::string>& encoded,
+            const std::vector<std::optional<rf::FloorId>>& reference,
+            Tally& tally)
+      : args_(args), port_(port), encoded_(encoded), reference_(reference),
+        tally_(tally) {}
+
+  /// Drives connections [first, first+count) to completion (or deadline).
+  void Run(std::size_t first, std::size_t count, Clock::time_point deadline) {
+    epoll_fd_ = ::epoll_create1(0);
+    Require(epoll_fd_ >= 0, "serve_stress: epoll_create1 failed");
+    conns_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t id = first + i;
+      conns_[i].id = id;
+      conns_[i].target = args_.requests / args_.connections +
+                         (id < args_.requests % args_.connections ? 1 : 0);
+      if (conns_[i].target == 0) {
+        ++done_;
+        continue;
+      }
+      Connect(conns_[i]);
+    }
+    std::vector<epoll_event> events(256);
+    while (done_ < conns_.size()) {
+      if (Clock::now() > deadline) break;
+      const int n = ::epoll_wait(epoll_fd_, events.data(),
+                                 static_cast<int>(events.size()), 1000);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int e = 0; e < n; ++e) {
+        LoadConn& conn = conns_[events[e].data.u64];
+        if (conn.fd < 0) continue;
+        if (conn.connecting) {
+          FinishConnect(conn, events[e].events);
+          continue;
+        }
+        if ((events[e].events & (EPOLLERR | EPOLLHUP)) != 0) {
+          Fail(conn);
+          continue;
+        }
+        if ((events[e].events & EPOLLIN) != 0 && !ReadReplies(conn)) continue;
+        if ((events[e].events & EPOLLOUT) != 0) FlushOut(conn);
+        if (conn.fd >= 0) UpdateInterest(conn);
+      }
+    }
+    // Anything still open at the deadline is a drop.
+    for (LoadConn& conn : conns_) {
+      if (conn.fd >= 0) Fail(conn);
+    }
+    ::close(epoll_fd_);
+  }
+
+ private:
+  void Connect(LoadConn& conn) {
+    conn.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    Require(conn.fd >= 0, "serve_stress: socket() failed (raise ulimit -n?)");
+    int one = 1;
+    ::setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    conn.connecting = true;
+    conn.sent = conn.received = 0;
+    conn.out.clear();
+    conn.out_off = 0;
+    conn.in.clear();
+    if (::connect(conn.fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      conn.connecting = false;
+      Pump(conn);
+    } else if (errno != EINPROGRESS) {
+      Retry(conn);
+      return;
+    }
+    epoll_event event{};
+    event.events = EPOLLIN | EPOLLOUT;
+    event.data.u64 = &conn - conns_.data();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn.fd, &event);
+  }
+
+  void FinishConnect(LoadConn& conn, std::uint32_t events) {
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    ::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0 || soerr != 0) {
+      Retry(conn);
+      return;
+    }
+    conn.connecting = false;
+    Pump(conn);
+    FlushOut(conn);
+    if (conn.fd >= 0) UpdateInterest(conn);
+  }
+
+  /// A refused/reset connect is load-induced (SYN backlog overflow under a
+  /// few thousand simultaneous connects), not a correctness failure — retry
+  /// a few times before counting it as a drop.
+  void Retry(LoadConn& conn) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    conn.fd = -1;
+    if (conn.retries_left-- <= 0) {
+      ++tally_.dropped_connections;
+      ++done_;
+      return;
+    }
+    ++tally_.connect_retries;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    Connect(conn);
+  }
+
+  /// Queues frames until the pipeline window is full or the stream is done.
+  void Pump(LoadConn& conn) {
+    while (conn.sent < conn.target &&
+           conn.sent - conn.received < args_.pipeline) {
+      conn.out +=
+          encoded_[QueryIndex(conn.id, conn.sent, encoded_.size())];
+      ++conn.sent;
+    }
+  }
+
+  void FlushOut(LoadConn& conn) {
+    while (conn.out_off < conn.out.size()) {
+      const ssize_t n =
+          ::send(conn.fd, conn.out.data() + conn.out_off,
+                 conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EAGAIN) break;
+      if (n < 0 && errno == EINTR) continue;
+      Fail(conn);
+      return;
+    }
+    if (conn.out_off == conn.out.size()) {
+      conn.out.clear();
+      conn.out_off = 0;
+    }
+  }
+
+  /// Reads every complete reply frame, verifying order and bit-identity
+  /// against the in-process reference. Returns false when the connection
+  /// was closed (done or failed).
+  bool ReadReplies(LoadConn& conn) {
+    char chunk[16 * 1024];
+    while (true) {
+      const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n > 0) {
+        conn.in.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EAGAIN) break;
+      if (n < 0 && errno == EINTR) continue;
+      Fail(conn);  // EOF or reset with replies outstanding
+      return false;
+    }
+    while (conn.in.size() >= 4) {
+      std::uint32_t length = 0;
+      std::memcpy(&length, conn.in.data(), sizeof(length));
+      if (conn.in.size() < 4 + static_cast<std::size_t>(length)) break;
+      VerifyReply(conn, conn.in.substr(4, length));
+      conn.in.erase(0, 4 + static_cast<std::size_t>(length));
+      ++conn.received;
+      if (conn.received == conn.target) {
+        Done(conn);
+        return false;
+      }
+    }
+    Pump(conn);
+    FlushOut(conn);
+    return conn.fd >= 0;
+  }
+
+  void VerifyReply(LoadConn& conn, const std::string& payload) {
+    const std::size_t query =
+        QueryIndex(conn.id, conn.received, encoded_.size());
+    try {
+      const serve::Message message = serve::DecodePayload(payload);
+      const auto* response = std::get_if<serve::PredictResponse>(&message);
+      if (response == nullptr || response->results.size() != 1) {
+        ++tally_.protocol_errors;
+        return;
+      }
+      const serve::PredictResult& result = response->results[0];
+      const std::optional<rf::FloorId> expected = reference_[query];
+      if (result.status == serve::PredictStatus::kError) {
+        ++tally_.record_errors;
+      } else if (result.status == serve::PredictStatus::kOk
+                     ? (expected != result.floor)
+                     : expected.has_value()) {
+        ++tally_.mismatches;
+      }
+      ++tally_.answered;
+    } catch (const std::exception&) {
+      ++tally_.protocol_errors;
+    }
+  }
+
+  void UpdateInterest(LoadConn& conn) {
+    epoll_event event{};
+    event.events = EPOLLIN | (conn.out_off < conn.out.size() ? EPOLLOUT : 0);
+    event.data.u64 = &conn - conns_.data();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &event);
+  }
+
+  void Done(LoadConn& conn) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    conn.fd = -1;
+    ++done_;
+  }
+
+  void Fail(LoadConn& conn) {
+    ++tally_.dropped_connections;
+    Done(conn);
+  }
+
+  const Args& args_;
+  const std::uint16_t port_;
+  const std::vector<std::string>& encoded_;
+  const std::vector<std::optional<rf::FloorId>>& reference_;
+  Tally& tally_;
+  int epoll_fd_ = -1;
+  std::vector<LoadConn> conns_;
+  std::size_t done_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  try {
+    args = ParseArgs(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_stress: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("== serve_stress: %zu connections x pipeline %zu, %zu total "
+              "predicts, %zu event workers ==\n",
+              args.connections, args.pipeline, args.requests,
+              args.event_workers);
+
+  // Train one model and freeze the in-process reference answers.
+  auto building = synth::CampusBuildingConfig(/*seed=*/29,
+                                              args.records_per_floor);
+  auto sim = building.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  Rng rng(5);
+  auto [train, test] = dataset.TrainTestSplit(0.7, rng);
+  train.KeepLabelsPerFloor(6, rng);
+  core::GraficsConfig model_config;
+  model_config.trainer.samples_per_edge = 60;
+  core::Grafics system(model_config);
+  system.Train(train.records());
+  const std::size_t num_queries =
+      std::min<std::size_t>(test.size(), args.queries);
+  Require(num_queries >= 1, "serve_stress: no test queries");
+  const std::vector<rf::SignalRecord> queries(
+      test.records().begin(), test.records().begin() + num_queries);
+  const std::vector<std::optional<rf::FloorId>> reference =
+      system.PredictBatch(queries, {.num_threads = 1});
+  std::printf("   trained campus model: %zu train records, %zu distinct "
+              "queries\n", train.size(), num_queries);
+
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  registry->Load("campus",
+                 std::make_shared<const core::Grafics>(std::move(system)));
+
+  serve::ServerConfig server_config;
+  server_config.port = 0;  // ephemeral
+  server_config.event_workers = args.event_workers;
+  serve::Server server(registry, server_config);
+  server.Start();
+
+  // Every request for query i sends identical bytes; encode each once.
+  std::vector<std::string> encoded;
+  encoded.reserve(num_queries);
+  for (const rf::SignalRecord& query : queries) {
+    encoded.push_back(
+        serve::EncodeFrame(serve::PredictRequest{"campus", {query}}));
+  }
+
+  Tally tally;
+  const auto deadline =
+      Clock::now() + std::chrono::seconds(args.deadline_s);
+  const auto start = Clock::now();
+  const std::size_t num_threads =
+      std::min(args.generator_threads, args.connections);
+  // Fully built before any thread starts: spawning while still growing the
+  // vector would race its internals.
+  std::vector<std::unique_ptr<Generator>> generators;
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    generators.push_back(std::make_unique<Generator>(
+        args, server.port(), encoded, reference, tally));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    const std::size_t first = args.connections * t / num_threads;
+    const std::size_t last = args.connections * (t + 1) / num_threads;
+    threads.emplace_back([&generators, t, first, last, deadline] {
+      generators[t]->Run(first, last - first, deadline);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  const serve::TransportStats transport = server.transport_stats();
+  server.Stop();
+  registry->Stop();
+
+  const std::uint64_t answered = tally.answered.load();
+  std::printf("\n   %llu/%zu answered in %.2fs (%.0f predicts/s), "
+              "%llu connect retries\n",
+              static_cast<unsigned long long>(answered), args.requests,
+              seconds, static_cast<double>(answered) / seconds,
+              static_cast<unsigned long long>(tally.connect_retries.load()));
+  std::printf("   transport: frames_in=%llu frames_out=%llu bytes_in=%llu "
+              "bytes_out=%llu harvested_idle=%llu rejected_busy=%llu\n",
+              static_cast<unsigned long long>(transport.frames_in),
+              static_cast<unsigned long long>(transport.frames_out),
+              static_cast<unsigned long long>(transport.bytes_in),
+              static_cast<unsigned long long>(transport.bytes_out),
+              static_cast<unsigned long long>(
+                  transport.connections_harvested_idle),
+              static_cast<unsigned long long>(
+                  transport.requests_rejected_busy));
+
+  bool ok = true;
+  const auto check = [&ok](bool condition, const char* what,
+                           std::uint64_t count) {
+    if (condition) return;
+    std::fprintf(stderr, "FAIL: %s (%llu)\n", what,
+                 static_cast<unsigned long long>(count));
+    ok = false;
+  };
+  check(answered == args.requests, "answered != requested", answered);
+  check(tally.mismatches.load() == 0,
+        "replies differing from the in-process reference",
+        tally.mismatches.load());
+  check(tally.record_errors.load() == 0, "per-record error replies",
+        tally.record_errors.load());
+  check(tally.protocol_errors.load() == 0, "undecodable reply frames",
+        tally.protocol_errors.load());
+  check(tally.dropped_connections.load() == 0,
+        "connections dropped before finishing",
+        tally.dropped_connections.load());
+  check(transport.requests_rejected_busy == 0,
+        "unexpected admission-control rejections",
+        transport.requests_rejected_busy);
+  if (!ok) return 1;
+  std::printf("\nall %llu pipelined replies arrived in order, bit-identical "
+              "to the in-process reference; clean shutdown\n",
+              static_cast<unsigned long long>(answered));
+  return 0;
+}

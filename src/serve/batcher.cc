@@ -26,17 +26,63 @@ MicroBatcher::~MicroBatcher() { Stop(); }
 
 std::future<std::optional<rf::FloorId>> MicroBatcher::Submit(
     rf::SignalRecord record) {
-  std::promise<std::optional<rf::FloorId>> promise;
-  std::future<std::optional<rf::FloorId>> future = promise.get_future();
+  // The blocking-future surface is a thin wrapper over the callback core,
+  // so both paths share the same queue, flush triggers, and drain behavior.
+  auto promise =
+      std::make_shared<std::promise<std::optional<rf::FloorId>>>();
+  std::future<std::optional<rf::FloorId>> future = promise->get_future();
+  SubmitAsync(std::move(record), [promise](PredictOutcome outcome) {
+    if (outcome.error.empty()) {
+      promise->set_value(outcome.floor);
+    } else {
+      promise->set_exception(std::make_exception_ptr(Error(outcome.error)));
+    }
+  });
+  return future;
+}
+
+void MicroBatcher::SubmitAsync(rf::SignalRecord record, Callback done) {
+  Require(done != nullptr, "MicroBatcher::SubmitAsync: callback required");
   {
     const std::scoped_lock lock(mutex_);
     Require(!stopping_, "MicroBatcher::Submit after Stop");
-    pending_.push_back({std::move(record), std::move(promise),
+    pending_.push_back({std::move(record), std::move(done),
                         std::chrono::steady_clock::now()});
     ++stats_.requests;
   }
   wake_.notify_one();
-  return future;
+}
+
+bool MicroBatcher::TrySubmitBatchAsync(std::vector<rf::SignalRecord> records,
+                                       BatchCallback done,
+                                       std::size_t max_queue_depth) {
+  Require(done != nullptr,
+          "MicroBatcher::TrySubmitBatchAsync: callback required");
+  Require(!records.empty(),
+          "MicroBatcher::TrySubmitBatchAsync: empty batch");
+  // One shared_ptr per request, not one std::function copy per record.
+  auto shared = std::make_shared<BatchCallback>(std::move(done));
+  {
+    const std::scoped_lock lock(mutex_);
+    Require(!stopping_, "MicroBatcher::Submit after Stop");
+    // All-or-nothing: partially admitting a pipelined request would answer
+    // some of its records and busy-reject the rest mid-response.
+    if (max_queue_depth > 0 &&
+        pending_.size() + records.size() > max_queue_depth) {
+      return false;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      pending_.push_back({std::move(records[i]),
+                          [shared, i](PredictOutcome outcome) {
+                            (*shared)(i, std::move(outcome));
+                          },
+                          now});
+    }
+    stats_.requests += records.size();
+  }
+  wake_.notify_one();
+  return true;
 }
 
 void MicroBatcher::Stop() {
@@ -105,11 +151,10 @@ void MicroBatcher::Dispatch(std::vector<Pending> batch) {
     const std::vector<std::optional<rf::FloorId>> predictions =
         model->PredictBatch(records, options);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].promise.set_value(predictions[i]);
+      batch[i].done({predictions[i], {}});
     }
-  } catch (...) {
-    const std::exception_ptr error = std::current_exception();
-    for (Pending& p : batch) p.promise.set_exception(error);
+  } catch (const std::exception& e) {
+    for (Pending& p : batch) p.done({std::nullopt, e.what()});
   }
 }
 

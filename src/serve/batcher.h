@@ -52,6 +52,14 @@ struct BatcherStats {
   std::uint64_t queue_depth = 0;
 };
 
+/// One record's completion, delivered to a SubmitAsync callback from the
+/// flusher (or pool) thread. `error` empty means the record was served:
+/// floor carries the prediction, nullopt = discarded (no MAC overlap).
+struct PredictOutcome {
+  std::optional<rf::FloorId> floor;
+  std::string error;
+};
+
 class MicroBatcher {
  public:
   using Snapshot = std::shared_ptr<const core::Grafics>;
@@ -70,10 +78,28 @@ class MicroBatcher {
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
+  using Callback = std::function<void(PredictOutcome)>;
+  using BatchCallback = std::function<void(std::size_t, PredictOutcome)>;
+
   /// Enqueues one record; the future resolves with the prediction (nullopt
   /// for discarded records) once the containing batch is dispatched. Throws
   /// grafics::Error after Stop().
   std::future<std::optional<rf::FloorId>> Submit(rf::SignalRecord record);
+
+  /// Completion-callback twin of Submit for the event-driven transport: no
+  /// thread blocks on a future; `done` runs on the flusher thread once the
+  /// record's batch is dispatched (including during the Stop() drain), so it
+  /// must be cheap and must not call back into the batcher. Throws
+  /// grafics::Error after Stop() without invoking `done`.
+  void SubmitAsync(rf::SignalRecord record, Callback done);
+
+  /// Admission-controlled batch SubmitAsync: enqueues either every record or
+  /// none. Returns false — enqueuing nothing, invoking nothing — when
+  /// `max_queue_depth` > 0 and the queue would exceed it; the caller turns
+  /// that into a structured busy error. On success `done(i, outcome)` runs
+  /// once per record. Throws grafics::Error after Stop().
+  bool TrySubmitBatchAsync(std::vector<rf::SignalRecord> records,
+                           BatchCallback done, std::size_t max_queue_depth);
 
   /// Drains everything pending (their futures still resolve), then rejects
   /// further Submits. Idempotent; also run by the destructor.
@@ -84,7 +110,7 @@ class MicroBatcher {
  private:
   struct Pending {
     rf::SignalRecord record;
-    std::promise<std::optional<rf::FloorId>> promise;
+    Callback done;
     std::chrono::steady_clock::time_point enqueued;
   };
 

@@ -150,6 +150,14 @@ ModelRegistry::SubmitBatch(const std::string& name,
   return futures;
 }
 
+bool ModelRegistry::TrySubmitBatchAsync(const std::string& name,
+                                        std::vector<rf::SignalRecord> records,
+                                        MicroBatcher::BatchCallback done,
+                                        std::size_t max_queue_depth) {
+  return Find(name)->batcher->TrySubmitBatchAsync(
+      std::move(records), std::move(done), max_queue_depth);
+}
+
 std::vector<ModelInfo> ModelRegistry::List() const {
   const std::scoped_lock lock(mutex_);
   std::vector<ModelInfo> models;

@@ -76,6 +76,16 @@ class ModelRegistry {
   /// batcher — the hot path for v2 batched predicts.
   std::vector<std::future<std::optional<rf::FloorId>>> SubmitBatch(
       const std::string& name, std::vector<rf::SignalRecord> records);
+  /// Admission-controlled completion-callback SubmitBatch for the event
+  /// loop: enqueues every record or none. Returns false without invoking
+  /// anything when `max_queue_depth` > 0 and the model's queue would exceed
+  /// it; the transport turns that into a structured busy error. On success
+  /// `done(i, outcome)` runs once per record from the model's flusher
+  /// thread. Throws for unknown names and after Stop(), like Submit.
+  bool TrySubmitBatchAsync(const std::string& name,
+                           std::vector<rf::SignalRecord> records,
+                           MicroBatcher::BatchCallback done,
+                           std::size_t max_queue_depth);
 
   /// Name/generation/reloadable for every model, sorted by name.
   std::vector<ModelInfo> List() const;

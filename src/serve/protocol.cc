@@ -238,6 +238,18 @@ void WriteBody(std::ostream& out, const Message& message,
           WriteU64(out, stats.owned_bytes);
         }
       }
+      // The transport block exists on the wire only from v5 on, after the
+      // per-model array, so the v2/v3/v4 byte layouts stay frozen.
+      if (version >= 5) {
+        WriteU64(out, m.transport.connections_live);
+        WriteU64(out, m.transport.connections_harvested_idle);
+        WriteU64(out, m.transport.frames_in);
+        WriteU64(out, m.transport.frames_out);
+        WriteU64(out, m.transport.bytes_in);
+        WriteU64(out, m.transport.bytes_out);
+        WriteU64(out, m.transport.requests_rejected_busy);
+        WriteU64(out, m.transport.event_workers);
+      }
     }
     void operator()(const SubmitRecordsRequest& m) const {
       RequireIngestV3(version);
@@ -416,6 +428,16 @@ Message ReadBody(std::istream& in, MessageType type, std::uint32_t version) {
           stats.owned_bytes = ReadU64(in);
         }
         m.models.push_back(std::move(stats));
+      }
+      if (version >= 5) {
+        m.transport.connections_live = ReadU64(in);
+        m.transport.connections_harvested_idle = ReadU64(in);
+        m.transport.frames_in = ReadU64(in);
+        m.transport.frames_out = ReadU64(in);
+        m.transport.bytes_in = ReadU64(in);
+        m.transport.bytes_out = ReadU64(in);
+        m.transport.requests_rejected_busy = ReadU64(in);
+        m.transport.event_workers = ReadU64(in);
       }
       return m;
     }

@@ -1,4 +1,4 @@
-// Wire protocol of the GRAFICS serving daemon (version 4).
+// Wire protocol of the GRAFICS serving daemon (version 5).
 //
 // Every message travels as one length-prefixed frame on a TCP stream:
 //
@@ -22,11 +22,21 @@
 // Version 4 makes the copy-on-write snapshot model observable: ModelStats
 // grows the bytes shared with other snapshots vs owned exclusively (see
 // docs/architecture.md), and IngestModelStats grows per-fold latency
-// (min/mean/max plus the most recent fold, microseconds). Versions 1-3
-// remain decodable byte-for-byte — a v1 request is a one-record batch
-// routed to the default model, v2/v3 frames simply omit the later versions'
-// fields — and every reply is encoded in the version its request arrived
-// in, so deployed clients keep working against a v4 daemon.
+// (min/mean/max plus the most recent fold, microseconds).
+//
+// Version 5 makes the event-driven transport observable: StatsResponse
+// grows a server-level TransportStats block (live connections, idle
+// harvests, frames and bytes in/out, busy rejections, event workers) fed by
+// the epoll event loop that replaced the thread-per-connection transport.
+// The request/response bytes themselves are unchanged — pipelining many
+// requests on one connection was always legal framing; the v5 server just
+// answers them without blocking a thread per socket.
+//
+// Versions 1-4 remain decodable byte-for-byte — a v1 request is a
+// one-record batch routed to the default model, v2/v3/v4 frames simply omit
+// the later versions' fields — and every reply is encoded in the version
+// its request arrived in, so deployed clients keep working against a v5
+// daemon.
 //
 // Malformed input — bad magic, unsupported version, unknown type, truncated
 // or oversized frames, out-of-range names or batch sizes, trailing bytes —
@@ -49,7 +59,7 @@ namespace grafics::serve {
 
 inline constexpr char kFrameMagic[4] = {'G', 'S', 'R', 'V'};
 /// Highest protocol version this build speaks (and the encoding default).
-inline constexpr std::uint32_t kProtocolVersion = 4;
+inline constexpr std::uint32_t kProtocolVersion = 5;
 /// Oldest protocol version still decoded; v1 requests route to the default
 /// model and get v1-encoded replies.
 inline constexpr std::uint32_t kMinProtocolVersion = 1;
@@ -200,9 +210,37 @@ struct StatsRequest {
   bool operator==(const StatsRequest&) const = default;
 };
 
+/// v5-only: server-level counters of the event-driven transport, one block
+/// per StatsResponse (they are per-daemon, not per-model). All counters are
+/// cumulative since the daemon started except connections_live and
+/// event_workers, which are instantaneous.
+struct TransportStats {
+  /// Connections currently registered with the event loop.
+  std::uint64_t connections_live = 0;
+  /// Idle connections closed by the harvester (no in-flight requests, no
+  /// unflushed output, quiet past the idle timeout — including slow-loris
+  /// partial frames).
+  std::uint64_t connections_harvested_idle = 0;
+  /// Well-formed frames decoded from / encoded to the wire.
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  /// Raw TCP payload bytes moved, including frame length prefixes.
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  /// Requests refused by admission control (per-connection in-flight cap or
+  /// per-model queue-depth bound) with a structured busy error.
+  std::uint64_t requests_rejected_busy = 0;
+  /// Epoll worker threads serving connections.
+  std::uint64_t event_workers = 0;
+
+  bool operator==(const TransportStats&) const = default;
+};
+
 struct StatsResponse {
   std::uint64_t connections_accepted = 0;
   std::vector<ModelStats> models;
+  /// v5 only; decoded older frames report all-zero defaults.
+  TransportStats transport;
 
   bool operator==(const StatsResponse&) const = default;
 };

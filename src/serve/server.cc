@@ -6,10 +6,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <future>
 #include <optional>
 #include <utility>
 #include <variant>
@@ -29,12 +29,26 @@ void SetNoDelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+/// Structured per-record failure: every result carries the same error, so
+/// a v1 peer (exactly one record) and a v2+ batch both decode it.
+PredictResponse ErrorResponse(std::size_t records, const std::string& what) {
+  PredictResponse response;
+  response.results.resize(std::max<std::size_t>(records, 1));
+  for (PredictResult& result : response.results) {
+    result.status = PredictStatus::kError;
+    result.error = what;
+  }
+  return response;
+}
+
 }  // namespace
 
 Server::Server(std::shared_ptr<ModelRegistry> registry, ServerConfig config)
     : config_(std::move(config)), registry_(std::move(registry)) {
   Require(registry_ != nullptr && registry_->size() > 0,
           "Server: requires a registry with at least one model");
+  Require(config_.event_workers >= 1, "Server: event_workers >= 1");
+  Require(config_.ops_threads >= 1, "Server: ops_threads >= 1");
 }
 
 Server::~Server() { Stop(); }
@@ -58,7 +72,7 @@ void Server::Start() {
           "Server: bad host address " + config_.host);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
              sizeof(address)) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
+      ::listen(listen_fd_, 1024) != 0) {
     const std::string reason = std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -69,35 +83,40 @@ void Server::Start() {
   socklen_t bound_size = sizeof(bound);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_size);
   port_ = ntohs(bound.sin_port);
+
+  EventLoopConfig loop_config;
+  loop_config.workers = config_.event_workers;
+  loop_config.idle_timeout = config_.idle_timeout;
+  loop_config.max_frame_bytes = config_.max_frame_bytes;
+  loop_ = std::make_unique<EventLoop>(
+      loop_config,
+      [this](std::string payload, std::size_t inflight,
+             EventLoop::Completion done) {
+        HandleFrame(std::move(payload), inflight, std::move(done));
+      },
+      [](const std::string& what) {
+        // Hostile declared length: no payload exists, so no version was
+        // negotiated — answer in the oldest dialect every peer decodes.
+        return EncodeFrame(ErrorResponse(1, what), kMinProtocolVersion);
+      });
+  loop_->Start();
+  ops_pool_ = std::make_unique<ThreadPool>(config_.ops_threads);
   started_ = true;
   accept_thread_ = std::thread([this] { AcceptLoop(); });
 }
 
 void Server::Stop() {
   if (!started_ || stopping_.exchange(true)) return;
-  // Wake the accept loop, then disconnect clients. Handler threads blocked
-  // on registry futures finish normally — the registry keeps running; it is
-  // stopped by its owner, not the transport.
+  // Wake the accept loop first so no new connections reach the event loop,
+  // then stop the loop (disconnecting clients; late batcher completions
+  // become no-ops), then drain the ops pool. The registry keeps running; it
+  // is stopped by its owner, not the transport.
   ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  // Splice the list out under the lock but join outside it: handlers call
-  // ReapFinished (which takes connections_mutex_) on their way out, so
-  // joining them while holding the mutex would deadlock. Splicing keeps the
-  // nodes alive for handlers still touching their own Connection.
-  std::list<Connection> remaining;
-  {
-    const std::scoped_lock lock(connections_mutex_);
-    for (Connection& connection : connections_) {
-      ::shutdown(connection.fd, SHUT_RDWR);
-    }
-    remaining.splice(remaining.begin(), connections_);
-  }
-  for (Connection& connection : remaining) {
-    if (connection.thread.joinable()) connection.thread.join();
-    ::close(connection.fd);
-  }
+  loop_->Stop();
+  ops_pool_.reset();
 }
 
 void Server::AcceptLoop() {
@@ -106,11 +125,10 @@ void Server::AcceptLoop() {
     if (fd < 0) {
       if (stopping_) return;  // listen socket shut down by Stop
       // A daemon must outlive transient accept failures: aborted backlog
-      // entries and fd exhaustion are recoverable, so reap (frees fds of
-      // finished connections), back off briefly, and keep accepting.
+      // entries and fd exhaustion are recoverable, so back off briefly and
+      // keep accepting (the idle harvester frees fds in the background).
       if (errno == EINTR || errno == ECONNABORTED || errno == EMFILE ||
           errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
-        ReapFinished();
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
         continue;
       }
@@ -122,61 +140,127 @@ void Server::AcceptLoop() {
     }
     SetNoDelay(fd);
     ++connections_accepted_;
-    ReapFinished();
-    const std::scoped_lock lock(connections_mutex_);
-    connections_.emplace_back();
-    Connection& connection = connections_.back();
-    connection.fd = fd;
-    connection.thread =
-        std::thread([this, &connection] { ServeConnection(connection); });
+    loop_->Adopt(fd);
   }
 }
 
-void Server::ReapFinished() {
-  const std::scoped_lock lock(connections_mutex_);
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if (it->done.load()) {
-      if (it->thread.joinable()) it->thread.join();
-      ::close(it->fd);
-      it = connections_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-PredictResponse Server::HandlePredict(PredictRequest request) {
-  PredictResponse response;
-  response.results.resize(request.records.size());
-  std::vector<std::future<std::optional<rf::FloorId>>> futures;
+void Server::HandleFrame(std::string payload, std::size_t inflight,
+                         EventLoop::Completion done) {
+  // The dialect of this frame's header, used to encode both the reply and
+  // the best-effort error frame below: a peer speaking v1 gets v1 back.
+  std::uint32_t version = kMinProtocolVersion;
   try {
-    // Submit the whole client batch before waiting on anything, so it lands
-    // in as few micro-batch flushes as the batcher config allows — the one
-    // round trip per batch the v2 protocol is for.
-    futures = registry_->SubmitBatch(request.model,
-                                     std::move(request.records));
+    Message request = DecodePayload(payload, &version);
+    if (auto* predict = std::get_if<PredictRequest>(&request)) {
+      HandlePredictAsync(std::move(*predict), version, inflight,
+                         std::move(done));
+    } else if (const auto* ping = std::get_if<Ping>(&request)) {
+      done.Send(EncodeFrame(HandlePing(*ping, version), version));
+    } else if (const auto* reload = std::get_if<ReloadRequest>(&request)) {
+      // Reload deserializes a model artifact from disk — seconds, not
+      // microseconds. Off the event worker; the slot keeps its place in
+      // the connection's reply order while the load runs.
+      ops_pool_->Submit([this, request = *reload, version, done] {
+        done.Send(EncodeFrame(HandleReload(request), version));
+      });
+    } else if (std::holds_alternative<ListModelsRequest>(request)) {
+      done.Send(EncodeFrame(HandleListModels(), version));
+    } else if (const auto* stats = std::get_if<StatsRequest>(&request)) {
+      done.Send(EncodeFrame(HandleStats(*stats), version));
+    } else if (auto* submit = std::get_if<SubmitRecordsRequest>(&request)) {
+      // Journal appends fdatasync; same treatment as reload.
+      ops_pool_->Submit(
+          [this, request = std::move(*submit), version, done]() mutable {
+            done.Send(EncodeFrame(HandleSubmit(std::move(request)), version));
+          });
+    } else if (const auto* ingest_stats =
+                   std::get_if<IngestStatsRequest>(&request)) {
+      done.Send(EncodeFrame(HandleIngestStats(*ingest_stats), version));
+    } else {
+      throw Error("Server: unexpected message type from client");
+    }
+  } catch (const std::exception& e) {
+    // Malformed frame: best-effort error reply, then hang up. The daemon
+    // itself stays up — protocol errors are per-connection.
+    std::string frame;
+    try {
+      frame = EncodeFrame(ErrorResponse(1, e.what()), version);
+    } catch (...) {
+    }
+    done.Send(std::move(frame), /*close_after=*/true);
+  }
+}
+
+void Server::HandlePredictAsync(PredictRequest request, std::uint32_t version,
+                                std::size_t inflight,
+                                EventLoop::Completion done) {
+  const std::size_t count = request.records.size();
+  if (count == 0) {
+    done.Send(EncodeFrame(PredictResponse{}, version));
+    return;
+  }
+  if (config_.max_inflight_per_connection > 0 &&
+      inflight > config_.max_inflight_per_connection) {
+    ++busy_rejections_;
+    done.Send(EncodeFrame(
+        ErrorResponse(count,
+                      "busy: connection has " + std::to_string(inflight) +
+                          " requests in flight (max " +
+                          std::to_string(config_.max_inflight_per_connection) +
+                          ")"),
+        version));
+    return;
+  }
+  // Shared across the per-record completions; the last one to finish
+  // encodes and sends the response. The callbacks run on the model's
+  // flusher thread, so they only fill slots — no blocking, no encoding
+  // until the batch is complete.
+  struct PendingPredict {
+    PredictResponse response;
+    std::atomic<std::size_t> remaining{0};
+    std::uint32_t version = kProtocolVersion;
+    EventLoop::Completion done;
+  };
+  auto pending = std::make_shared<PendingPredict>();
+  pending->response.results.resize(count);
+  pending->remaining.store(count, std::memory_order_relaxed);
+  pending->version = version;
+  pending->done = done;
+  try {
+    const bool admitted = registry_->TrySubmitBatchAsync(
+        request.model, std::move(request.records),
+        [pending](std::size_t index, PredictOutcome outcome) {
+          PredictResult& result = pending->response.results[index];
+          if (!outcome.error.empty()) {
+            result.status = PredictStatus::kError;
+            result.error = std::move(outcome.error);
+          } else if (outcome.floor.has_value()) {
+            result.status = PredictStatus::kOk;
+            result.floor = *outcome.floor;
+          } else {
+            result.status = PredictStatus::kDiscarded;
+          }
+          if (pending->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+              1) {
+            pending->done.Send(
+                EncodeFrame(pending->response, pending->version));
+          }
+        },
+        config_.max_queue_depth);
+    if (!admitted) {
+      ++busy_rejections_;
+      done.Send(EncodeFrame(
+          ErrorResponse(count,
+                        "busy: model queue depth would exceed " +
+                            std::to_string(config_.max_queue_depth) +
+                            " pending records"),
+          version));
+    }
   } catch (const std::exception& e) {
     // Unknown model name (or a stopped registry): a structured per-record
     // error status, never a dropped connection.
-    for (PredictResult& result : response.results) {
-      result.status = PredictStatus::kError;
-      result.error = e.what();
-    }
-    return response;
+    done.Send(EncodeFrame(ErrorResponse(count, e.what()), version));
   }
-  for (std::size_t i = 0; i < futures.size(); ++i) {
-    PredictResult& result = response.results[i];
-    try {
-      const std::optional<rf::FloorId> floor = futures[i].get();
-      result.status =
-          floor.has_value() ? PredictStatus::kOk : PredictStatus::kDiscarded;
-      result.floor = floor.value_or(0);
-    } catch (const std::exception& e) {
-      result.status = PredictStatus::kError;
-      result.error = e.what();
-    }
-  }
-  return response;
 }
 
 Pong Server::HandlePing(const Ping& ping, std::uint32_t version) {
@@ -220,7 +304,24 @@ StatsResponse Server::HandleStats(const StatsRequest& request) const {
   StatsResponse response;
   response.connections_accepted = connections_accepted_.load();
   response.models = registry_->Stats(request.model);
+  response.transport = transport_stats();
   return response;
+}
+
+TransportStats Server::transport_stats() const {
+  TransportStats transport;
+  transport.event_workers = config_.event_workers;
+  transport.requests_rejected_busy = busy_rejections_.load();
+  if (loop_ != nullptr) {
+    const EventLoopStats loop = loop_->stats();
+    transport.connections_live = loop.connections_live;
+    transport.connections_harvested_idle = loop.connections_harvested_idle;
+    transport.frames_in = loop.frames_in;
+    transport.frames_out = loop.frames_out;
+    transport.bytes_in = loop.bytes_in;
+    transport.bytes_out = loop.bytes_out;
+  }
+  return transport;
 }
 
 SubmitRecordsResponse Server::HandleSubmit(SubmitRecordsRequest request) {
@@ -259,60 +360,6 @@ IngestStatsResponse Server::HandleIngestStats(
   response.enabled = true;
   response.models = ingest_->Stats(request.model);
   return response;
-}
-
-void Server::ServeConnection(Connection& connection) {
-  const int fd = connection.fd;
-  // The dialect of the last well-formed frame header, used to encode both
-  // replies and the best-effort error frame below: a peer that has only
-  // ever sent v1 gets its error as v1.
-  std::uint32_t version = kMinProtocolVersion;
-  try {
-    for (;;) {
-      const std::optional<std::string> payload =
-          ReceiveFramePayload(fd, config_.max_frame_bytes);
-      if (!payload.has_value()) break;  // peer closed cleanly
-      Message request = DecodePayload(*payload, &version);
-      if (auto* predict = std::get_if<PredictRequest>(&request)) {
-        SendFrame(fd, HandlePredict(std::move(*predict)), version);
-      } else if (const auto* ping = std::get_if<Ping>(&request)) {
-        SendFrame(fd, HandlePing(*ping, version), version);
-      } else if (const auto* reload = std::get_if<ReloadRequest>(&request)) {
-        SendFrame(fd, HandleReload(*reload), version);
-      } else if (std::holds_alternative<ListModelsRequest>(request)) {
-        SendFrame(fd, HandleListModels(), version);
-      } else if (const auto* stats = std::get_if<StatsRequest>(&request)) {
-        SendFrame(fd, HandleStats(*stats), version);
-      } else if (auto* submit = std::get_if<SubmitRecordsRequest>(&request)) {
-        SendFrame(fd, HandleSubmit(std::move(*submit)), version);
-      } else if (const auto* ingest_stats =
-                     std::get_if<IngestStatsRequest>(&request)) {
-        SendFrame(fd, HandleIngestStats(*ingest_stats), version);
-      } else {
-        throw Error("Server: unexpected message type from client");
-      }
-    }
-  } catch (const std::exception& e) {
-    // Malformed frame or dead peer: best-effort error reply, then hang up.
-    // The daemon itself stays up — protocol errors are per-connection.
-    try {
-      PredictResponse response;
-      response.results.resize(1);
-      response.results.front().status = PredictStatus::kError;
-      response.results.front().error = e.what();
-      SendFrame(fd, response, version);
-    } catch (...) {
-    }
-  }
-  // Release the TCP side now; the fd itself is closed after join (by
-  // ReapFinished or Stop) so the descriptor number cannot be recycled while
-  // Stop still holds a reference to it.
-  ::shutdown(fd, SHUT_RDWR);
-  // Reap earlier finishers before announcing our own exit (never
-  // self-joining), so an idle daemon holds at most one finished handler
-  // instead of a whole burst's worth of fds and threads.
-  ReapFinished();
-  connection.done.store(true);
 }
 
 }  // namespace grafics::serve

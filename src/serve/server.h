@@ -1,16 +1,24 @@
 // TCP front-end of the GRAFICS serving engine: a thin transport that parses
 // frames and routes them to a ModelRegistry by model name.
 //
-// One accept-loop thread hands each connection to a lightweight handler
-// thread that only decodes frames and blocks on batcher futures — all
-// inference happens in the registry's per-model MicroBatchers, so adding
-// connections adds no inference threads, and model ownership (snapshots,
-// generations, hot reload) lives entirely in the registry.
+// One accept-loop thread hands each connection to the nonblocking epoll
+// EventLoop (a fixed pool of worker threads; see event_loop.h). Workers
+// never block: predicts are submitted to the registry's per-model
+// MicroBatchers through completion callbacks, blocking admin work (reload
+// disk loads, ingest journal fsyncs) runs on a small ops pool, and the
+// cheap admin queries are answered inline. A client may pipeline many
+// requests on one connection; replies always come back in request order.
 //
-// Version negotiation is per frame: the server decodes protocol v1, v2,
-// and v3 requests and answers each in the dialect it arrived in, so v1
-// clients keep talking to the registry's default model while newer clients
-// name models, batch records, query admin state, and submit records for
+// Admission control keeps an overloaded daemon answering instead of
+// queueing without bound: predicts beyond max_inflight_per_connection
+// unanswered requests on one socket, or beyond max_queue_depth pending
+// records on one model, are refused with a structured per-record
+// "busy: ..." error — never a dropped connection.
+//
+// Version negotiation is per frame: the server decodes protocol v1 through
+// v5 requests and answers each in the dialect it arrived in, so v1 clients
+// keep talking to the registry's default model while newer clients name
+// models, batch records, query admin state, and submit records for
 // ingestion on the same port.
 //
 // The ingest surface (SubmitRecords/IngestStats) is optional: attach an
@@ -19,13 +27,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/thread_pool.h"
+#include "serve/event_loop.h"
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
 
@@ -42,6 +51,22 @@ struct ServerConfig {
   /// port() after Start, e.g. for tests and CI).
   std::uint16_t port = 0;
   std::size_t max_frame_bytes = kMaxFrameBytes;
+  /// Epoll worker threads of the event loop; each owns a share of the
+  /// connections.
+  std::size_t event_workers = 2;
+  /// Harvest connections with no unanswered requests after this long
+  /// without socket activity (slow-loris partial frames included); zero
+  /// disables harvesting.
+  std::chrono::milliseconds idle_timeout{0};
+  /// Busy-reject a predict once its connection has this many unanswered
+  /// requests (including itself); zero = unlimited pipelining.
+  std::size_t max_inflight_per_connection = 64;
+  /// Busy-reject a predict when its model's batcher queue would exceed
+  /// this many pending records; zero = unbounded.
+  std::size_t max_queue_depth = 0;
+  /// Threads for blocking admin work (reload disk loads, ingest journal
+  /// fsyncs) so event workers never stall on them.
+  std::size_t ops_threads = 2;
 };
 
 class Server {
@@ -62,11 +87,12 @@ class Server {
   /// server, then the pipeline, then the registry).
   void AttachIngest(std::shared_ptr<ingest::IngestPipeline> ingest);
 
-  /// Binds, listens, and spawns the accept loop. Throws grafics::Error when
-  /// the address is unusable.
+  /// Binds, listens, and spawns the accept loop + event workers. Throws
+  /// grafics::Error when the address is unusable.
   void Start();
-  /// Stops accepting and disconnects clients. The registry (and its
-  /// batchers) is the caller's to stop. Idempotent.
+  /// Stops accepting and disconnects clients; in-flight batcher
+  /// completions become no-ops. The registry (and its batchers) is the
+  /// caller's to stop. Idempotent.
   void Stop();
 
   /// Bound port (resolves port 0 after Start).
@@ -79,21 +105,20 @@ class Server {
     return connections_accepted_.load();
   }
 
+  /// The transport counters the v5 Stats reply carries; readable while the
+  /// server runs and after Stop (final values).
+  TransportStats transport_stats() const;
+
  private:
-  struct Connection {
-    int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
-
   void AcceptLoop();
-  void ServeConnection(Connection& connection);
-  /// Joins, closes, and erases finished connection handlers. Called on
-  /// every accept and by each handler as it finishes (handlers never join
-  /// themselves), so at most one finished handler lingers while idle.
-  void ReapFinished();
 
-  PredictResponse HandlePredict(PredictRequest request);
+  /// EventLoop frame handler: decode, dispatch, arrange for exactly one
+  /// Completion. Runs on an event worker; must not block.
+  void HandleFrame(std::string payload, std::size_t inflight,
+                   EventLoop::Completion done);
+  void HandlePredictAsync(PredictRequest request, std::uint32_t version,
+                          std::size_t inflight, EventLoop::Completion done);
+
   Pong HandlePing(const Ping& ping, std::uint32_t version);
   ReloadResponse HandleReload(const ReloadRequest& request);
   ListModelsResponse HandleListModels() const;
@@ -111,9 +136,10 @@ class Server {
   std::atomic<bool> stopping_{false};
   bool started_ = false;
   std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> busy_rejections_{0};
 
-  std::mutex connections_mutex_;
-  std::list<Connection> connections_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<ThreadPool> ops_pool_;
   std::thread accept_thread_;
 };
 

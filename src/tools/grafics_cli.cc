@@ -257,7 +257,7 @@ int CmdRemoteStats(const std::vector<std::string>& args) {
   const std::string model = FlagValue(args, "--model", "");
   // Newest dialect first; an older daemon rejects an unknown version by
   // dropping the connection without a reply, in which case retry on a
-  // fresh connection one protocol version down (4 -> 3 -> 2) and print
+  // fresh connection one protocol version down (5 -> 4 -> 3 -> 2) and print
   // only the fields that dialect carries — graceful degradation instead of
   // a hard error against older deployments. Other failures (daemon down,
   // transient socket errors) propagate untouched so they are reported as
@@ -283,6 +283,21 @@ int CmdRemoteStats(const std::vector<std::string>& args) {
   }
   std::printf("connections_accepted=%llu\n",
               static_cast<unsigned long long>(stats.connections_accepted));
+  if (spoken >= 5) {
+    const serve::TransportStats& t = stats.transport;
+    std::printf(
+        "transport,connections_live=%llu,harvested_idle=%llu,frames_in=%llu,"
+        "frames_out=%llu,bytes_in=%llu,bytes_out=%llu,rejected_busy=%llu,"
+        "event_workers=%llu\n",
+        static_cast<unsigned long long>(t.connections_live),
+        static_cast<unsigned long long>(t.connections_harvested_idle),
+        static_cast<unsigned long long>(t.frames_in),
+        static_cast<unsigned long long>(t.frames_out),
+        static_cast<unsigned long long>(t.bytes_in),
+        static_cast<unsigned long long>(t.bytes_out),
+        static_cast<unsigned long long>(t.requests_rejected_busy),
+        static_cast<unsigned long long>(t.event_workers));
+  }
   for (const serve::ModelStats& m : stats.models) {
     std::printf(
         "%s,generation=%llu,requests=%llu,batches=%llu,max_batch=%llu,"

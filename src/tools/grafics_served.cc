@@ -9,9 +9,10 @@
 //
 //   grafics_served [<model.bin>] [--model NAME=PATH]... [--default NAME]
 //                  [--host A] [--port P] [--max-batch N] [--max-delay-ms M]
-//                  [--threads T] [--port-file F] [--journal-dir D]
-//                  [--ingest-batch N] [--ingest-max-delay-ms M]
-//                  [--ingest-max-pending N]
+//                  [--threads T] [--event-workers W] [--idle-timeout-ms I]
+//                  [--max-inflight N] [--max-queue-depth N] [--port-file F]
+//                  [--journal-dir D] [--ingest-batch N]
+//                  [--ingest-max-delay-ms M] [--ingest-max-pending N]
 //
 //   <model.bin>       artifact loaded as model "default" (optional when at
 //                     least one --model is given)
@@ -23,6 +24,18 @@
 //   --max-batch N     flush a batch at N pending requests (default 64)
 //   --max-delay-ms M  flush after the oldest request waited M ms (default 2)
 //   --threads T       PredictBatch workers shared by all models; 0 = cores
+//   --event-workers W epoll worker threads of the event-driven transport;
+//                     each owns a share of the connections (default 2)
+//   --idle-timeout-ms I  close connections with no unanswered requests
+//                     after I ms without socket activity — reclaims fds
+//                     from abandoned peers and slow-loris partial frames;
+//                     0 disables (default 60000)
+//   --max-inflight N  busy-reject predicts once a connection has N
+//                     unanswered pipelined requests; 0 = unlimited
+//                     (default 64)
+//   --max-queue-depth N  busy-reject predicts when a model's batcher queue
+//                     would exceed N pending records; 0 = unbounded
+//                     (default 0)
 //   --port-file F     write the bound port to F once listening (for
 //                     scripts/CI that start on an ephemeral port)
 //   --journal-dir D   enable online ingestion: every model gets a durable
@@ -89,6 +102,13 @@ void InstallSignalHandlers() {
   sigaction(SIGHUP, &action, nullptr);
   sigaction(SIGINT, &action, nullptr);
   sigaction(SIGTERM, &action, nullptr);
+  // Every socket write already passes MSG_NOSIGNAL, but belt and braces:
+  // with thousands of clients some will vanish mid-response, and a stray
+  // SIGPIPE from any future write path must never kill the daemon.
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = SIG_IGN;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGPIPE, &action, nullptr);
 }
 
 int Usage() {
@@ -98,7 +118,9 @@ int Usage() {
       "[--default NAME]\n"
       "                      [--host A] [--port P] [--max-batch N]\n"
       "                      [--max-delay-ms M] [--threads T] "
-      "[--port-file F]\n"
+      "[--event-workers W]\n"
+      "                      [--idle-timeout-ms I] [--max-inflight N]\n"
+      "                      [--max-queue-depth N] [--port-file F]\n"
       "                      [--journal-dir D] [--ingest-batch N]\n"
       "                      [--ingest-max-delay-ms M] "
       "[--ingest-max-pending N]\n");
@@ -150,6 +172,18 @@ int main(int argc, char** argv) {
     config.port = static_cast<std::uint16_t>(ParseUnsigned(
         FlagValue(args, "--port", std::to_string(serve::kDefaultPort)), 65535,
         "--port"));
+    config.event_workers = static_cast<std::size_t>(ParseUnsigned(
+        FlagValue(args, "--event-workers", "2"), 256, "--event-workers"));
+    Require(config.event_workers >= 1, "--event-workers must be >= 1");
+    config.idle_timeout = std::chrono::milliseconds(
+        ParseUnsigned(FlagValue(args, "--idle-timeout-ms", "60000"), 86400000,
+                      "--idle-timeout-ms"));
+    config.max_inflight_per_connection = static_cast<std::size_t>(
+        ParseUnsigned(FlagValue(args, "--max-inflight", "64"), 1 << 20,
+                      "--max-inflight"));
+    config.max_queue_depth = static_cast<std::size_t>(ParseUnsigned(
+        FlagValue(args, "--max-queue-depth", "0"), 1 << 24,
+        "--max-queue-depth"));
     serve::BatcherConfig batcher;
     batcher.max_batch_size = static_cast<std::size_t>(ParseUnsigned(
         FlagValue(args, "--max-batch", "64"), 1 << 20, "--max-batch"));
@@ -257,6 +291,17 @@ int main(int argc, char** argv) {
                 "%llu reload(s)\n",
                 static_cast<unsigned long long>(server.connections_accepted()),
                 static_cast<unsigned long long>(reloads));
+    const serve::TransportStats transport = server.transport_stats();
+    std::printf("  transport: %llu frame(s) in, %llu out; %llu byte(s) in, "
+                "%llu out; %llu idle harvest(s); %llu busy rejection(s)\n",
+                static_cast<unsigned long long>(transport.frames_in),
+                static_cast<unsigned long long>(transport.frames_out),
+                static_cast<unsigned long long>(transport.bytes_in),
+                static_cast<unsigned long long>(transport.bytes_out),
+                static_cast<unsigned long long>(
+                    transport.connections_harvested_idle),
+                static_cast<unsigned long long>(
+                    transport.requests_rejected_busy));
     for (const serve::ModelStats& stats : registry->Stats()) {
       std::printf("  model %-24s gen %llu: %llu request(s) in %llu "
                   "batch(es), largest %llu\n",

@@ -91,6 +91,10 @@ std::vector<Message> AllMessageTypes() {
   stats.models = {{"campus", 2, 100, 9, 32, 3, PublishSource::kIngest, 12,
                    /*shared_bytes=*/777216, /*owned_bytes=*/4096},
                   {"mall", 1, 5, 5, 1, 0, PublishSource::kDisk, 0, 0, 99}};
+  stats.transport = {/*connections_live=*/7, /*connections_harvested_idle=*/1,
+                     /*frames_in=*/400,      /*frames_out=*/398,
+                     /*bytes_in=*/65536,     /*bytes_out=*/32768,
+                     /*requests_rejected_busy=*/2, /*event_workers=*/2};
   SubmitRecordsRequest submit;
   submit.model = "campus";
   submit.records = {MakeRecord(3), MakeRecord()};
@@ -340,6 +344,61 @@ TEST(ProtocolV3CompatTest, V3StatsEncodingsMatchThePr4WireBytes) {
   EXPECT_EQ(ingest_response->models[0].publishes, 3u);
   EXPECT_EQ(ingest_response->models[0].fold_min_us, 0u);
   EXPECT_EQ(ingest_response->models[0].last_fold_us, 0u);
+}
+
+TEST(ProtocolV4CompatTest, V4StatsEncodingMatchesThePr5WireBytes) {
+  // The v4 StatsResponse layout must survive the v5 bump byte-for-byte:
+  // the transport block exists only in v5 frames, after the models array.
+  StatsResponse stats;
+  stats.connections_accepted = 17;
+  stats.models = {{"campus", 2, 100, 9, 32, 3, PublishSource::kIngest, 12,
+                   /*shared_bytes=*/555, /*owned_bytes=*/666}};
+  stats.transport.connections_live = 3;
+  stats.transport.frames_in = 1000;  // must NOT leak into v4 bytes
+  std::ostringstream expected;
+  WriteHeader(expected, kFrameMagic, 4);
+  WriteU8(expected, 10);  // kStatsResponse
+  WriteU64(expected, 17);
+  WriteU32(expected, 1);
+  WriteString(expected, "campus");
+  for (const std::uint64_t value : {2, 100, 9, 32, 3}) {
+    WriteU64(expected, value);
+  }
+  WriteU8(expected, 1);  // PublishSource::kIngest
+  WriteU64(expected, 12);
+  WriteU64(expected, 555);
+  WriteU64(expected, 666);
+  EXPECT_EQ(EncodePayload(stats, 4), std::move(expected).str());
+  // Decoding the v4 bytes reports the all-zero transport defaults.
+  const Message decoded = DecodePayload(EncodePayload(stats, 4));
+  const auto* response = std::get_if<StatsResponse>(&decoded);
+  ASSERT_NE(response, nullptr);
+  EXPECT_EQ(response->models[0].shared_bytes, 555u);
+  EXPECT_EQ(response->transport, TransportStats{});
+}
+
+TEST(ProtocolV5Test, TransportStatsRoundTripWithNonZeroCounters) {
+  StatsResponse stats;
+  stats.connections_accepted = 17;
+  stats.models = {{"campus", 2, 100, 9, 32, 3, PublishSource::kIngest, 12,
+                   /*shared_bytes=*/555, /*owned_bytes=*/666}};
+  stats.transport = {/*connections_live=*/2048,
+                     /*connections_harvested_idle=*/9,
+                     /*frames_in=*/123456,
+                     /*frames_out=*/123400,
+                     /*bytes_in=*/99887766,
+                     /*bytes_out=*/55443322,
+                     /*requests_rejected_busy=*/31,
+                     /*event_workers=*/4};
+  std::uint32_t version = 0;
+  const Message decoded = DecodePayload(EncodePayload(stats), &version);
+  EXPECT_EQ(version, 5u);
+  const auto* response = std::get_if<StatsResponse>(&decoded);
+  ASSERT_NE(response, nullptr);
+  EXPECT_EQ(*response, stats);
+  // The transport block sits after the models array, so the v5 payload is
+  // exactly the v4 payload plus the eight u64 counters.
+  EXPECT_EQ(EncodePayload(stats).size(), EncodePayload(stats, 4).size() + 64);
 }
 
 TEST(ProtocolV2CompatTest, OlderVersionsCannotExpressIngestMessages) {

@@ -730,5 +730,247 @@ TEST(ServerTest, PredictionsInFlightAcrossAFoldInSeeOldOrNewSnapshot) {
   pipeline->Stop();
 }
 
+// --- event-driven transport ------------------------------------------------
+
+void SendAllRaw(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+TEST(ServerTest, PipelinedBurstOnOneSocketIsAnsweredInOrder) {
+  const Fixture& f = ModelA();
+  Server server(AlphaRegistry());
+  server.Start();
+  const int fd = ConnectRaw(server.port());
+  // Fire a burst of frames without reading a single reply — always legal
+  // framing, which the old transport just happened to serve one at a time.
+  // A ping rides in the middle: ordering is per frame, not per type.
+  const std::size_t n = std::min<std::size_t>(f.queries.size(), 24);
+  const std::size_t ping_at = n / 2;
+  std::string burst;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == ping_at) burst += EncodeFrame(Ping{});
+    burst += EncodeFrame(PredictRequest{"", {f.queries[i]}});
+  }
+  SendAllRaw(fd, burst);
+  std::size_t predict_index = 0;
+  for (std::size_t i = 0; i < n + 1; ++i) {
+    const std::optional<std::string> payload = ReceiveFramePayload(fd);
+    ASSERT_TRUE(payload.has_value()) << "reply " << i;
+    const Message reply = DecodePayload(*payload);
+    if (i == ping_at) {
+      const auto* pong = std::get_if<Pong>(&reply);
+      ASSERT_NE(pong, nullptr) << "pong must hold its place in the pipeline";
+      EXPECT_TRUE(pong->ok);
+      continue;
+    }
+    const auto* response = std::get_if<PredictResponse>(&reply);
+    ASSERT_NE(response, nullptr) << "reply " << i;
+    ASSERT_EQ(response->results.size(), 1u);
+    const PredictResult& result = response->results.front();
+    const std::optional<rf::FloorId>& expected = f.reference[predict_index];
+    if (expected.has_value()) {
+      EXPECT_EQ(result.status, PredictStatus::kOk) << predict_index;
+      EXPECT_EQ(result.floor, *expected) << predict_index;
+    } else {
+      EXPECT_EQ(result.status, PredictStatus::kDiscarded) << predict_index;
+    }
+    ++predict_index;
+  }
+  ::close(fd);
+  const TransportStats transport = server.transport_stats();
+  EXPECT_GE(transport.frames_in, n + 1);
+  EXPECT_GE(transport.frames_out, n + 1);
+  EXPECT_GT(transport.bytes_in, 0u);
+  EXPECT_GT(transport.bytes_out, 0u);
+  server.Stop();
+}
+
+TEST(ServerTest, StatsCarriesTransportCountersOverTheWire) {
+  const Fixture& f = ModelA();
+  Server server(AlphaRegistry());
+  server.Start();
+  Client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.Predict(f.queries[0], "alpha"), f.reference[0]);
+  const StatsResponse stats = client.Stats();
+  EXPECT_EQ(stats.transport.event_workers, 2u);  // ServerConfig default
+  EXPECT_GE(stats.transport.connections_live, 1u);  // this very connection
+  EXPECT_GT(stats.transport.frames_in, 0u);
+  EXPECT_GT(stats.transport.frames_out, 0u);
+  EXPECT_GT(stats.transport.bytes_in, 0u);
+  EXPECT_GT(stats.transport.bytes_out, 0u);
+  EXPECT_EQ(stats.transport.connections_harvested_idle, 0u);
+  EXPECT_EQ(stats.transport.requests_rejected_busy, 0u);
+  server.Stop();
+}
+
+TEST(ServerTest, SlowLorisPartialFrameIsHarvestedByIdleTimeout) {
+  const Fixture& f = ModelA();
+  ServerConfig config;
+  config.idle_timeout = std::chrono::milliseconds(100);
+  Server server(AlphaRegistry(), config);
+  server.Start();
+  const int fd = ConnectRaw(server.port());
+  // A length prefix declaring 64 bytes, then silence. The old transport
+  // parked a handler thread on this socket forever.
+  const std::uint32_t declared = 64;
+  ASSERT_EQ(::send(fd, &declared, sizeof(declared), 0),
+            static_cast<ssize_t>(sizeof(declared)));
+  // Poll the counter rather than blocking in recv: sanitizer runtimes can
+  // interrupt a bare blocking recv before the sweep fires.
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (server.transport_stats().connections_harvested_idle == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server.transport_stats().connections_harvested_idle, 1u);
+  // The harvester closed the connection: recv resolves with EOF (or a
+  // reset) instead of hanging.
+  char byte = 0;
+  EXPECT_LE(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+  // An active client is not collateral damage.
+  Client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.Predict(f.queries[0], "alpha"), f.reference[0]);
+  server.Stop();
+}
+
+TEST(ServerTest, QueueDepthRejectionIsAStructuredBusyError) {
+  const Fixture& f = ModelA();
+  BatcherConfig batcher;
+  batcher.max_batch_size = 2;
+  batcher.max_delay = 60s;  // flushes only on the size trigger
+  auto registry = std::make_shared<ModelRegistry>(batcher);
+  registry->Load("alpha", f.model);
+  ServerConfig config;
+  config.max_queue_depth = 2;
+  Server server(registry, config);
+  server.Start();
+  Client client("127.0.0.1", server.port());
+  // Five records cannot fit a 2-deep queue: refused whole (admission is
+  // all-or-nothing) with a structured busy error the client decodes.
+  const std::vector<rf::SignalRecord> five(f.queries.begin(),
+                                           f.queries.begin() + 5);
+  try {
+    client.PredictBatch(five, "alpha");
+    FAIL() << "expected a busy rejection";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("busy"), std::string::npos)
+        << e.what();
+  }
+  // Neither the connection nor the model is poisoned: a fitting batch is
+  // admitted and served bit-identically (the size trigger flushes it).
+  const std::vector<rf::SignalRecord> two(f.queries.begin(),
+                                          f.queries.begin() + 2);
+  const auto served = client.PredictBatch(two, "alpha");
+  ASSERT_EQ(served.size(), 2u);
+  EXPECT_EQ(served[0], f.reference[0]);
+  EXPECT_EQ(served[1], f.reference[1]);
+  EXPECT_EQ(server.transport_stats().requests_rejected_busy, 1u);
+  server.Stop();
+}
+
+TEST(ServerTest, MaxInflightBusyRejectsTheExcessButKeepsReplyOrder) {
+  const Fixture& f = ModelA();
+  BatcherConfig batcher;
+  batcher.max_batch_size = 100;
+  batcher.max_delay = 60s;  // nothing flushes until the registry drains
+  auto registry = std::make_shared<ModelRegistry>(batcher);
+  registry->Load("alpha", f.model);
+  ServerConfig config;
+  config.max_inflight_per_connection = 1;
+  Server server(registry, config);
+  server.Start();
+  const int fd = ConnectRaw(server.port());
+  std::string burst = EncodeFrame(PredictRequest{"", {f.queries[0]}});
+  burst += EncodeFrame(PredictRequest{"", {f.queries[1]}});
+  SendAllRaw(fd, burst);
+  // Wait until the first predict sits in the batcher queue and the second
+  // was busy-rejected; the rejection's reply must still wait in line
+  // behind the first one's.
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while ((registry->Stats("alpha")[0].queue_depth < 1 ||
+          server.transport_stats().requests_rejected_busy < 1) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(registry->Stats("alpha")[0].queue_depth, 1u);
+  ASSERT_EQ(server.transport_stats().requests_rejected_busy, 1u);
+  registry->Stop();  // drains the batcher: the first predict resolves
+  const std::optional<std::string> first = ReceiveFramePayload(fd);
+  ASSERT_TRUE(first.has_value());
+  const Message first_reply = DecodePayload(*first);
+  const auto* first_response = std::get_if<PredictResponse>(&first_reply);
+  ASSERT_NE(first_response, nullptr);
+  ASSERT_EQ(first_response->results.size(), 1u);
+  if (f.reference[0].has_value()) {
+    EXPECT_EQ(first_response->results[0].status, PredictStatus::kOk);
+    EXPECT_EQ(first_response->results[0].floor, *f.reference[0]);
+  } else {
+    EXPECT_EQ(first_response->results[0].status, PredictStatus::kDiscarded);
+  }
+  const std::optional<std::string> second = ReceiveFramePayload(fd);
+  ASSERT_TRUE(second.has_value());
+  const Message second_reply = DecodePayload(*second);
+  const auto* second_response = std::get_if<PredictResponse>(&second_reply);
+  ASSERT_NE(second_response, nullptr);
+  ASSERT_EQ(second_response->results.size(), 1u);
+  EXPECT_EQ(second_response->results[0].status, PredictStatus::kError);
+  EXPECT_NE(second_response->results[0].error.find("busy"),
+            std::string::npos);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ServerTest, HotSwapUnderPipelinedTrafficStaysBitIdentical) {
+  const Fixture& a = ModelA();
+  const Fixture& b = ModelB();  // same building + queries, different seed
+  auto registry = std::make_shared<ModelRegistry>(QuickBatcherConfig());
+  registry->Load("alpha", a.model);
+  Server server(registry);
+  server.Start();
+  const int fd = ConnectRaw(server.port());
+  const std::size_t n = std::min<std::size_t>(a.queries.size(), 20);
+  std::string burst;
+  for (std::size_t i = 0; i < n; ++i) {
+    burst += EncodeFrame(PredictRequest{"", {a.queries[i]}});
+  }
+  SendAllRaw(fd, burst);
+  // Swap the model while the burst is in flight: every reply must be
+  // bit-identical to one of the two snapshots' references — a batch caught
+  // mid-swap finishes on the snapshot it started with, never on a blend.
+  registry->Load("alpha", b.model);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::optional<std::string> payload = ReceiveFramePayload(fd);
+    ASSERT_TRUE(payload.has_value()) << "reply " << i;
+    const Message reply = DecodePayload(*payload);
+    const auto* response = std::get_if<PredictResponse>(&reply);
+    ASSERT_NE(response, nullptr) << "reply " << i;
+    ASSERT_EQ(response->results.size(), 1u);
+    const PredictResult& result = response->results.front();
+    ASSERT_NE(result.status, PredictStatus::kError) << result.error;
+    const std::optional<rf::FloorId> prediction =
+        result.status == PredictStatus::kOk
+            ? std::optional<rf::FloorId>(result.floor)
+            : std::nullopt;
+    EXPECT_TRUE(prediction == a.reference[i] || prediction == b.reference[i])
+        << i;
+  }
+  ::close(fd);
+  // Batches submitted after the swap see exactly the new snapshot.
+  Client client("127.0.0.1", server.port());
+  const std::vector<rf::SignalRecord> queries(b.queries.begin(),
+                                              b.queries.begin() + n);
+  const auto after = client.PredictBatch(queries, "alpha");
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(after[i], b.reference[i]) << i;
+  }
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace grafics::serve
