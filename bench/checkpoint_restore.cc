@@ -1,0 +1,270 @@
+// Restart cost: full-journal replay vs base + delta checkpoint restore.
+//
+// Trains a campus-preset GRAFICS model, then lives the same ingest history
+// twice. Life A journals every accepted record and restarts by replaying
+// the whole journal (refolding every batch through Update). Life B runs
+// the same stream against an ingest pipeline wired to a store::ModelStore,
+// compacts the journal into a delta checkpoint, and restarts by loading
+// base + delta from the store with an empty journal suffix. Both restarts
+// must answer a held-out query set bit-identically to an in-process
+// reference that folded the same chunks — only then are timings reported.
+//
+// Writes BENCH_checkpoint_restore.json for the CI perf-trajectory
+// artifact.
+//
+// Run:  ./build/bench/checkpoint_restore
+//       ./build/bench/checkpoint_restore --records-per-floor 200 \
+//           --submit 120 --chunk 20 --queries 60
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/cli_flags.h"
+#include "core/grafics.h"
+#include "ingest/ingest_pipeline.h"
+#include "rf/dataset.h"
+#include "serve/model_registry.h"
+#include "store/model_store.h"
+#include "synth/presets.h"
+
+namespace {
+
+using namespace grafics;
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  int records_per_floor = 400;
+  std::size_t submit = 160;
+  std::size_t chunk = 20;
+  std::size_t queries = 80;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  const std::vector<std::string> raw(argv + 1, argv + argc);
+  Args args;
+  args.records_per_floor = static_cast<int>(ParseUnsigned(
+      FlagValue(raw, "--records-per-floor", "400"), 100000,
+      "--records-per-floor"));
+  args.submit =
+      ParseUnsigned(FlagValue(raw, "--submit", "160"), 1000000, "--submit");
+  args.chunk = ParseUnsigned(FlagValue(raw, "--chunk", "20"), 4096, "--chunk");
+  Require(args.chunk >= 1, "--chunk must be at least 1");
+  args.queries =
+      ParseUnsigned(FlagValue(raw, "--queries", "80"), 1000000, "--queries");
+  return args;
+}
+
+double Seconds(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+std::string TempDir(const char* tag) {
+  std::string tmpl = std::string("/tmp/grafics_restore_") + tag + "_XXXXXX";
+  Require(::mkdtemp(tmpl.data()) != nullptr, "cannot create temp directory");
+  return tmpl;
+}
+
+/// Streams `records` into the pipeline in `chunk`-sized submissions,
+/// waiting for each fold to publish so the batch boundaries (and thus the
+/// folded model) are deterministic across both lives and the reference.
+void StreamInto(ingest::IngestPipeline& pipeline,
+                const std::vector<rf::SignalRecord>& records,
+                std::size_t chunk) {
+  for (std::size_t begin = 0; begin < records.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, records.size());
+    const std::vector<rf::SignalRecord> slice(
+        records.begin() + static_cast<long>(begin),
+        records.begin() + static_cast<long>(end));
+    for (const ingest::SubmitResult& result :
+         pipeline.Submit("campus", slice)) {
+      Require(result.accepted, "record rejected: " + result.error);
+    }
+    Require(pipeline.WaitUntilDrained(), "fold-in did not drain");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  try {
+    args = ParseArgs(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "checkpoint_restore: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("== checkpoint_restore: journal replay vs base+delta restore "
+              "==\n");
+
+  auto building = synth::CampusBuildingConfig(/*seed=*/17,
+                                              args.records_per_floor);
+  auto sim = building.MakeSimulator();
+  rf::Dataset dataset = sim.GenerateDataset();
+  Rng rng(23);
+  auto [train, rest] = dataset.TrainTestSplit(0.6, rng);
+  train.KeepLabelsPerFloor(6, rng);
+  const std::size_t stream_size = std::min(args.submit, rest.size() / 2);
+  const std::size_t query_size =
+      std::min(args.queries, rest.size() - stream_size);
+  const std::vector<rf::SignalRecord> stream(
+      rest.records().begin(), rest.records().begin() + stream_size);
+  const std::vector<rf::SignalRecord> queries(
+      rest.records().begin() + stream_size,
+      rest.records().begin() + stream_size + query_size);
+
+  core::GraficsConfig model_config;
+  model_config.trainer.samples_per_edge = 60;
+  core::Grafics base(model_config);
+  const auto train_start = Clock::now();
+  base.Train(train.records());
+  std::printf("   trained on %zu record(s) in %.2fs; streaming %zu in "
+              "chunks of %zu\n",
+              train.size(), Seconds(train_start), stream.size(), args.chunk);
+
+  // In-process reference: the same chunked Update sequence on a clone.
+  core::Grafics reference = base.Clone();
+  for (std::size_t begin = 0; begin < stream.size(); begin += args.chunk) {
+    const std::size_t end = std::min(begin + args.chunk, stream.size());
+    reference.Update(std::vector<rf::SignalRecord>(
+        stream.begin() + static_cast<long>(begin),
+        stream.begin() + static_cast<long>(end)));
+  }
+  const std::vector<std::optional<rf::FloorId>> expected =
+      reference.PredictBatch(queries, {.num_threads = 1});
+
+  ingest::IngestConfig ingest_config;
+  ingest_config.fold_batch_size = args.chunk;
+  ingest_config.max_delay = std::chrono::milliseconds(20);
+
+  // --- Life A: journal only; restart refolds the entire stream. ----------
+  const std::string journal_a = TempDir("journal");
+  std::uint64_t journal_bytes_full = 0;
+  {
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->Load("campus",
+                   std::make_shared<const core::Grafics>(base.Clone()));
+    ingest::IngestConfig config = ingest_config;
+    config.journal_dir = journal_a;
+    ingest::IngestPipeline pipeline(registry, config);
+    pipeline.Attach("campus");
+    StreamInto(pipeline, stream, args.chunk);
+    journal_bytes_full = pipeline.Stats().front().journal_bytes;
+    pipeline.Stop();
+    registry->Stop();
+  }
+  double replay_seconds = 0;
+  std::uint64_t replayed_records = 0;
+  {
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    ingest::IngestConfig config = ingest_config;
+    config.journal_dir = journal_a;
+    const auto restart = Clock::now();
+    registry->Load("campus",
+                   std::make_shared<const core::Grafics>(base.Clone()));
+    ingest::IngestPipeline pipeline(registry, config);
+    pipeline.Attach("campus");
+    replay_seconds = Seconds(restart);
+    replayed_records = pipeline.Stats().front().replayed;
+    const auto served = registry->Snapshot("campus")->PredictBatch(
+        queries, {.num_threads = 1});
+    Require(served == expected,
+            "journal replay diverged from the Update reference");
+    pipeline.Stop();
+    registry->Stop();
+  }
+
+  // --- Life B: journal + store; compaction folds the journal into a delta
+  // checkpoint, so the restart loads base + delta and replays nothing. ----
+  const std::string journal_b = TempDir("journal");
+  const std::string store_dir = TempDir("store");
+  std::uint64_t journal_bytes_reclaimed = 0;
+  std::uint64_t base_bytes = 0;
+  std::uint64_t delta_bytes = 0;
+  bool checkpoint_is_delta = false;
+  {
+    auto store = std::make_shared<store::ModelStore>(store_dir);
+    store->WriteBase("campus",
+                     std::make_shared<const core::Grafics>(base.Clone()));
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->AttachStore(store);
+    registry->LoadFromStore("campus");
+    ingest::IngestConfig config = ingest_config;
+    config.journal_dir = journal_b;
+    config.model_store = store;
+    ingest::IngestPipeline pipeline(registry, config);
+    pipeline.Attach("campus");
+    StreamInto(pipeline, stream, args.chunk);
+    const auto outcome = pipeline.CompactNow("campus");
+    journal_bytes_reclaimed = outcome.journal_bytes_reclaimed;
+    for (const store::ArtifactInfo& artifact : store->List("campus")) {
+      if (artifact.is_delta) {
+        delta_bytes += artifact.bytes;
+        checkpoint_is_delta = true;
+      } else {
+        base_bytes += artifact.bytes;
+      }
+    }
+    pipeline.Stop();
+    registry->Stop();
+  }
+  double restore_seconds = 0;
+  {
+    auto store = std::make_shared<store::ModelStore>(store_dir);
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->AttachStore(store);
+    ingest::IngestConfig config = ingest_config;
+    config.journal_dir = journal_b;
+    config.model_store = store;
+    const auto restart = Clock::now();
+    registry->LoadFromStore("campus");
+    ingest::IngestPipeline pipeline(registry, config);
+    pipeline.Attach("campus");
+    restore_seconds = Seconds(restart);
+    const serve::IngestModelStats stats = pipeline.Stats().front();
+    Require(stats.replayed == 0,
+            "store restart still replayed journal records");
+    const auto served = registry->Snapshot("campus")->PredictBatch(
+        queries, {.num_threads = 1});
+    Require(served == expected,
+            "base+delta restore diverged from the Update reference");
+    pipeline.Stop();
+    registry->Stop();
+  }
+  Require(checkpoint_is_delta,
+          "compaction wrote a full base where a delta was expected");
+
+  const double speedup =
+      restore_seconds > 0 ? replay_seconds / restore_seconds : 0;
+  std::printf("\n%24s %16s %10s\n", "restart path", "seconds", "replayed");
+  std::printf("%24s %16.4f %10llu\n", "full journal replay", replay_seconds,
+              static_cast<unsigned long long>(replayed_records));
+  std::printf("%24s %16.4f %10u\n", "base+delta restore", restore_seconds,
+              0u);
+  std::printf("\nspeedup %.1fx; journal %llu B -> reclaimed %llu B; "
+              "artifacts: base %llu B + delta %llu B\n", speedup,
+              static_cast<unsigned long long>(journal_bytes_full),
+              static_cast<unsigned long long>(journal_bytes_reclaimed),
+              static_cast<unsigned long long>(base_bytes),
+              static_cast<unsigned long long>(delta_bytes));
+  std::printf("both restarts answered %zu queries bit-identically to the "
+              "in-process reference\n", queries.size());
+
+  bench::BenchReport report("checkpoint_restore");
+  report.Add("replay_restore_seconds", replay_seconds);
+  report.Add("store_restore_seconds", restore_seconds);
+  report.Add("restore_speedup", speedup);
+  report.Add("replayed_records", static_cast<double>(replayed_records));
+  report.Add("journal_bytes_full", static_cast<double>(journal_bytes_full));
+  report.Add("journal_bytes_reclaimed",
+             static_cast<double>(journal_bytes_reclaimed));
+  report.Add("base_artifact_bytes", static_cast<double>(base_bytes));
+  report.Add("delta_artifact_bytes", static_cast<double>(delta_bytes));
+  report.WriteJson();
+  return 0;
+}

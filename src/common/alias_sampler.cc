@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "common/serialize.h"
 
 namespace grafics {
 
@@ -57,6 +58,28 @@ std::size_t AliasSampler::Sample(Rng& rng) const {
 double AliasSampler::ProbabilityOf(std::size_t i) const {
   Require(i < normalized_.size(), "AliasSampler::ProbabilityOf out of range");
   return normalized_[i];
+}
+
+void AliasSampler::Save(std::ostream& out) const {
+  WriteU64(out, probability_.size());
+  for (const double p : probability_) WriteDouble(out, p);
+  for (const std::size_t a : alias_) WriteU64(out, a);
+  for (const double n : normalized_) WriteDouble(out, n);
+}
+
+AliasSampler AliasSampler::Load(std::istream& in) {
+  AliasSampler sampler;
+  const std::uint64_t n = ReadU64(in);
+  sampler.probability_.resize(n);
+  for (double& p : sampler.probability_) p = ReadDouble(in);
+  sampler.alias_.resize(n);
+  for (std::size_t& a : sampler.alias_) {
+    a = ReadU64(in);
+    Require(a < n, "AliasSampler::Load: alias index out of range");
+  }
+  sampler.normalized_.resize(n);
+  for (double& v : sampler.normalized_) v = ReadDouble(in);
+  return sampler;
 }
 
 }  // namespace grafics

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "common/rng.h"
@@ -27,6 +28,12 @@ class AliasSampler {
 
   /// Normalized probability of index i (for tests).
   double ProbabilityOf(std::size_t i) const;
+
+  /// Serializes the table state verbatim (buckets, aliases, normalized
+  /// weights), so Load reproduces the exact draw sequence of this sampler —
+  /// rebuilding from weights is not guaranteed FP-identical.
+  void Save(std::ostream& out) const;
+  static AliasSampler Load(std::istream& in);
 
  private:
   std::vector<double> probability_;   // acceptance threshold per bucket

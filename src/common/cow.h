@@ -82,6 +82,53 @@ class CowVector {
     return (*table_)[i / kChunkSize].get();
   }
 
+  std::size_t num_chunks() const { return table_->size(); }
+
+  /// Identity of chunk `c`; two snapshots share chunk `c` iff equal.
+  const void* ChunkIdentity(std::size_t c) const { return (*table_)[c].get(); }
+
+  /// Read-only view of chunk `c`'s elements (delta serialization).
+  std::span<const T> ChunkSpan(std::size_t c) const {
+    const Chunk& chunk = *(*table_)[c];
+    return {chunk.data(), chunk.size()};
+  }
+
+  /// Indices of chunks whose backing storage differs from `base` — exactly
+  /// the chunks a delta checkpoint against `base` must carry. A chunk is
+  /// skipped only when both tables hold the very same heap block at the
+  /// same index, so the result is O(owned chunks), never a content scan.
+  std::vector<std::size_t> DiffChunksAgainst(const CowVector& base) const {
+    std::vector<std::size_t> diff;
+    for (std::size_t c = 0; c < table_->size(); ++c) {
+      if (c >= base.table_->size() || (*table_)[c] != (*base.table_)[c]) {
+        diff.push_back(c);
+      }
+    }
+    return diff;
+  }
+
+  /// Grows the logical size, leaving new chunk slots empty: every chunk
+  /// whose contents differ from the loaded base must then arrive through
+  /// ApplyChunk before the container is read (delta checkpoint load).
+  void ResizeForDelta(std::size_t new_size) {
+    Require(new_size >= size_, "CowVector::ResizeForDelta: cannot shrink");
+    EnsureOwnedTable();
+    size_ = new_size;
+    table_->resize(new_size == 0 ? 0
+                                 : (new_size + kChunkSize - 1) / kChunkSize);
+  }
+
+  /// Replaces chunk `c` wholesale (delta checkpoint load). `values` must be
+  /// exactly the chunk's element count at the current size.
+  void ApplyChunk(std::size_t c, std::vector<T> values) {
+    Require(c < table_->size(), "CowVector::ApplyChunk: chunk out of range");
+    const std::size_t expected = std::min(kChunkSize, size_ - c * kChunkSize);
+    Require(values.size() == expected,
+            "CowVector::ApplyChunk: element count mismatch");
+    EnsureOwnedTable();
+    (*table_)[c] = std::make_shared<Chunk>(std::move(values));
+  }
+
   bool operator==(const CowVector& other) const {
     if (size_ != other.size_) return false;
     for (std::size_t i = 0; i < size_; ++i) {
@@ -200,6 +247,53 @@ class CowMatrix {
       std::copy(row.begin(), row.end(), m.MutableRow(r).begin());
     }
     return m;
+  }
+
+  std::size_t num_chunks() const { return table_->size(); }
+
+  /// Identity of chunk `c`; two snapshots share chunk `c` iff equal.
+  const void* ChunkIdentity(std::size_t c) const { return (*table_)[c].get(); }
+
+  /// Read-only view of chunk `c`'s flattened rows (delta serialization).
+  std::span<const double> ChunkSpan(std::size_t c) const {
+    const Chunk& chunk = *(*table_)[c];
+    return {chunk.data(), chunk.size()};
+  }
+
+  /// Chunks whose backing storage differs from `base` — the chunks a delta
+  /// checkpoint must carry. Pointer comparison only, O(chunks).
+  std::vector<std::size_t> DiffChunksAgainst(const CowMatrix& base) const {
+    std::vector<std::size_t> diff;
+    for (std::size_t c = 0; c < table_->size(); ++c) {
+      if (c >= base.table_->size() || (*table_)[c] != (*base.table_)[c]) {
+        diff.push_back(c);
+      }
+    }
+    return diff;
+  }
+
+  /// Grows the logical row count, leaving new chunk slots empty until
+  /// ApplyChunk fills them (delta checkpoint load).
+  void ResizeForDelta(std::size_t new_rows) {
+    Require(new_rows >= rows_, "CowMatrix::ResizeForDelta: cannot shrink");
+    Require(cols_ > 0 || new_rows == 0,
+            "CowMatrix::ResizeForDelta: matrix has no columns");
+    EnsureOwnedTable();
+    rows_ = new_rows;
+    table_->resize(
+        new_rows == 0 ? 0 : (new_rows + kRowsPerChunk - 1) / kRowsPerChunk);
+  }
+
+  /// Replaces chunk `c` wholesale (delta checkpoint load). `values` must
+  /// hold exactly the chunk's rows * cols doubles at the current size.
+  void ApplyChunk(std::size_t c, std::vector<double> values) {
+    Require(c < table_->size(), "CowMatrix::ApplyChunk: chunk out of range");
+    const std::size_t chunk_rows =
+        std::min(kRowsPerChunk, rows_ - c * kRowsPerChunk);
+    Require(values.size() == chunk_rows * cols_,
+            "CowMatrix::ApplyChunk: element count mismatch");
+    EnsureOwnedTable();
+    (*table_)[c] = std::make_shared<Chunk>(std::move(values));
   }
 
   bool operator==(const CowMatrix& other) const {

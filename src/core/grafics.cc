@@ -236,15 +236,25 @@ std::vector<std::optional<rf::FloorId>> Grafics::PredictBatch(
 
 namespace {
 constexpr char kModelMagic[4] = {'G', 'R', 'F', 'X'};
-constexpr std::uint32_t kModelVersion = 1;
+// v1: sampler rebuilt from degrees on load (exact distribution, different
+//     draw sequence). v2: exact negative-sampler tables appended, so a
+//     loaded model is bit-identical to the live one, folds included.
+constexpr std::uint32_t kModelVersion = 2;
+constexpr char kDeltaMagic[4] = {'G', 'R', 'F', 'D'};
+constexpr std::uint32_t kDeltaVersion = 1;
 }  // namespace
 
 void Grafics::SaveModel(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  Require(out.good(), "Grafics::SaveModel: cannot open " + path);
+  SaveModel(out);
+  Require(out.good(), "Grafics::SaveModel: write failed");
+}
+
+void Grafics::SaveModel(std::ostream& out) const {
   Require(is_trained(), "Grafics::SaveModel: model not trained");
   Require(!config_.custom_weight,
           "Grafics::SaveModel: custom weight functions are not serializable");
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  Require(out.good(), "Grafics::SaveModel: cannot open " + path);
 
   WriteHeader(out, kModelMagic, kModelVersion);
   // Config (the fields that matter at inference time).
@@ -274,13 +284,24 @@ void Grafics::SaveModel(const std::string& path) const {
     WriteU64(out, a);
     WriteU64(out, b);
   }
+  // v2: the exact sampler state. A v1-style rebuild from degrees produces
+  // the same distribution but a different draw sequence, so models folded
+  // after load would diverge bit-wise from the live daemon.
+  negative_sampler_->Save(out);
   Require(out.good(), "Grafics::SaveModel: write failed");
 }
 
 Grafics Grafics::LoadModel(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   Require(in.good(), "Grafics::LoadModel: cannot open " + path);
-  CheckHeader(in, kModelMagic, kModelVersion);
+  return LoadModel(in);
+}
+
+Grafics Grafics::LoadModel(std::istream& in) {
+  const std::uint32_t version = ReadHeader(in, kModelMagic);
+  Require(version >= 1 && version <= kModelVersion,
+          "Grafics::LoadModel: unsupported artifact version " +
+              std::to_string(version));
 
   GraficsConfig config;
   config.weight_offset = ReadDouble(in);
@@ -324,8 +345,58 @@ Grafics Grafics::LoadModel(const std::string& path) {
       std::make_shared<const cluster::ClusteringResult>(std::move(clustering));
   system.knn_classifier_ = std::make_shared<const cluster::KnnClassifier>(
       system.TrainingEmbeddings(), *system.clustering_, config.knn);
-  system.RebuildNegativeSampler();
+  if (version >= 2) {
+    system.negative_sampler_ =
+        std::make_shared<const embed::NegativeSamplerSet>(
+            embed::NegativeSamplerSet::Load(in));
+  } else {
+    system.RebuildNegativeSampler();
+  }
   return system;
+}
+
+bool Grafics::DeltaCompatible(const Grafics& base) const {
+  return is_trained() && base.is_trained() && !config_.custom_weight &&
+         clustering_ == base.clustering_ && classifier_ == base.classifier_ &&
+         knn_classifier_ == base.knn_classifier_ &&
+         graph_.NumNodes() >= base.graph_.NumNodes() &&
+         num_training_records_ == base.num_training_records_;
+}
+
+void Grafics::SaveDelta(std::ostream& out, const Grafics& base) const {
+  Require(DeltaCompatible(base),
+          "Grafics::SaveDelta: model is not a fold-descendant of the base");
+  WriteHeader(out, kDeltaMagic, kDeltaVersion);
+  WriteU64(out, num_training_records_);
+  graph_.SaveDelta(out, base.graph_);
+  store_->SaveDelta(out, *base.store_);
+  // The sampler pointer survives a fold only when Update touched nothing;
+  // otherwise write its group-prefix delta.
+  if (negative_sampler_ == base.negative_sampler_) {
+    WriteU8(out, 0);
+  } else {
+    WriteU8(out, 1);
+    negative_sampler_->SaveDelta(out, *base.negative_sampler_);
+  }
+  Require(out.good(), "Grafics::SaveDelta: write failed");
+}
+
+void Grafics::ApplyDelta(std::istream& in) {
+  Require(is_trained(), "Grafics::ApplyDelta: load the base artifact first");
+  CheckHeader(in, kDeltaMagic, kDeltaVersion);
+  const std::uint64_t training_records = ReadU64(in);
+  Require(training_records == num_training_records_,
+          "Grafics::ApplyDelta: delta belongs to a different base");
+  graph_.ApplyDelta(in);
+  store_->ApplyDelta(in);
+  if (ReadU8(in) != 0) {
+    embed::NegativeSamplerSet next = *negative_sampler_;
+    next.ApplyDelta(in);
+    negative_sampler_ =
+        std::make_shared<const embed::NegativeSamplerSet>(std::move(next));
+  }
+  Require(store_->num_nodes() == graph_.NumNodes(),
+          "Grafics::ApplyDelta: store/graph size mismatch");
 }
 
 const embed::EmbeddingStore& Grafics::embedding_store() const {

@@ -151,10 +151,34 @@ class Grafics {
   /// Persists the trained model (graph, embeddings, clustering, centroids,
   /// config) to `path`. Requires a trained system and a serializable weight
   /// function (custom_weight lambdas cannot be saved — throws if one is
-  /// set).
+  /// set). Writes artifact format v2, whose exact graph state and exact
+  /// negative-sampler tables make the load bit-identical to the live model
+  /// — including future Update draw sequences.
   void SaveModel(const std::string& path) const;
   /// Restores a model saved by SaveModel; ready for Predict immediately.
+  /// Accepts v1 artifacts (sampler rebuilt from degrees) and v2 (exact).
   static Grafics LoadModel(const std::string& path);
+
+  /// Stream variants of SaveModel/LoadModel (store::ModelStore writes
+  /// artifacts through temp files and composes them with delta sections).
+  void SaveModel(std::ostream& out) const;
+  static Grafics LoadModel(std::istream& in);
+
+  /// True when `base` is a snapshot this model was forked from with only
+  /// Update folds in between — the precondition for SaveDelta. Train (or a
+  /// different model entirely) replaces the immutable components and makes
+  /// a delta impossible; callers fall back to a full base artifact.
+  bool DeltaCompatible(const Grafics& base) const;
+
+  /// Writes a delta checkpoint against `base`: only the copy-on-write
+  /// chunks this model owns relative to the base (plus appended sampler
+  /// groups) are serialized — O(folded delta), not O(model). Requires
+  /// DeltaCompatible(base).
+  void SaveDelta(std::ostream& out, const Grafics& base) const;
+  /// Mutates a model loaded from the base's artifact into the exact state
+  /// SaveDelta captured. Chunks absent from the delta remain the loaded
+  /// base's storage — the on-disk mirror of Clone's structural sharing.
+  void ApplyDelta(std::istream& in);
 
  private:
   // InferenceContext is the serving-path view over the trained members; it

@@ -3,6 +3,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/cow_serialize.h"
 #include "common/error.h"
 #include "common/serialize.h"
 
@@ -50,6 +51,19 @@ EmbeddingStore EmbeddingStore::Load(std::istream& in) {
   store.ego_ = CowMatrix::FromMatrix(ego);
   store.context_ = CowMatrix::FromMatrix(context);
   return store;
+}
+
+void EmbeddingStore::SaveDelta(std::ostream& out,
+                               const EmbeddingStore& base) const {
+  WriteCowMatrixDelta(out, ego_, base.ego_);
+  WriteCowMatrixDelta(out, context_, base.context_);
+}
+
+void EmbeddingStore::ApplyDelta(std::istream& in) {
+  ApplyCowMatrixDelta(in, ego_);
+  ApplyCowMatrixDelta(in, context_);
+  Require(ego_.rows() == context_.rows(),
+          "EmbeddingStore::ApplyDelta: table shape mismatch");
 }
 
 void EmbeddingStore::Grow(std::size_t count, Rng& rng) {

@@ -64,6 +64,13 @@ class EmbeddingStore {
   void Save(std::ostream& out) const;
   static EmbeddingStore Load(std::istream& in);
 
+  /// Delta against `base` (a store this one was forked from): only the row
+  /// chunks this store owns relative to the base are written — O(owned
+  /// chunks), not O(tables). ApplyDelta mutates a store loaded from the
+  /// base's artifact into this store's exact state.
+  void SaveDelta(std::ostream& out, const EmbeddingStore& base) const;
+  void ApplyDelta(std::istream& in);
+
   /// Deep value equality (chunk sharing is invisible to ==).
   bool operator==(const EmbeddingStore& other) const {
     return ego_ == other.ego_ && context_ == other.context_;

@@ -1,8 +1,12 @@
 #include "embed/negative_sampler.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 
+#include "common/cow_serialize.h"
 #include "common/error.h"
+#include "common/serialize.h"
 
 namespace grafics::embed {
 
@@ -108,6 +112,106 @@ double NegativeSamplerSet::ProbabilityOf(graph::NodeId node) const {
     }
   }
   return mass / total;
+}
+
+namespace {
+
+constexpr char kSamplerMagic[4] = {'G', 'N', 'S', 'S'};
+constexpr std::uint32_t kSamplerVersion = 1;
+
+}  // namespace
+
+void NegativeSamplerSet::Save(std::ostream& out) const {
+  WriteHeader(out, kSamplerMagic, kSamplerVersion);
+  WriteU64(out, removal_epoch_);
+  WriteU32(out, static_cast<std::uint32_t>(groups_.size()));
+  for (const std::shared_ptr<const Group>& group : groups_) {
+    group->alias.Save(out);
+    WriteU64(out, group->node_of_index.size());
+    for (const graph::NodeId node : group->node_of_index) WriteU32(out, node);
+    WriteDouble(out, group->total_weight);
+  }
+  WriteU64(out, included_weight_.size());
+  for (std::size_t i = 0; i < included_weight_.size(); ++i) {
+    WriteDouble(out, included_weight_[i]);
+  }
+}
+
+NegativeSamplerSet NegativeSamplerSet::Load(std::istream& in) {
+  CheckHeader(in, kSamplerMagic, kSamplerVersion);
+  NegativeSamplerSet set;
+  set.removal_epoch_ = ReadU64(in);
+  const std::uint32_t num_groups = ReadU32(in);
+  Require(num_groups <= kMaxGroups,
+          "NegativeSamplerSet::Load: too many groups");
+  for (std::uint32_t g = 0; g < num_groups; ++g) {
+    Group group;
+    group.alias = AliasSampler::Load(in);
+    const std::uint64_t nodes = ReadU64(in);
+    Require(nodes == group.alias.size(),
+            "NegativeSamplerSet::Load: group size mismatch");
+    group.node_of_index.resize(nodes);
+    for (graph::NodeId& node : group.node_of_index) node = ReadU32(in);
+    group.total_weight = ReadDouble(in);
+    set.groups_.push_back(std::make_shared<const Group>(std::move(group)));
+  }
+  const std::uint64_t weights = ReadU64(in);
+  for (std::uint64_t i = 0; i < weights; ++i) {
+    set.included_weight_.PushBack(ReadDouble(in));
+  }
+  if (set.groups_.size() > 1) set.RebuildGroupPicker();
+  return set;
+}
+
+void NegativeSamplerSet::SaveDelta(std::ostream& out,
+                                   const NegativeSamplerSet& base) const {
+  WriteU64(out, removal_epoch_);
+  // Extended() only ever appends groups, so the groups shared with the base
+  // form a prefix; a compaction rebuild shares none (prefix 0, full write).
+  std::size_t prefix = 0;
+  while (prefix < groups_.size() && prefix < base.groups_.size() &&
+         groups_[prefix] == base.groups_[prefix]) {
+    ++prefix;
+  }
+  WriteU32(out, static_cast<std::uint32_t>(groups_.size()));
+  WriteU32(out, static_cast<std::uint32_t>(prefix));
+  for (std::size_t g = prefix; g < groups_.size(); ++g) {
+    const Group& group = *groups_[g];
+    group.alias.Save(out);
+    WriteU64(out, group.node_of_index.size());
+    for (const graph::NodeId node : group.node_of_index) WriteU32(out, node);
+    WriteDouble(out, group.total_weight);
+  }
+  WriteCowVectorDelta(out, included_weight_, base.included_weight_,
+                      [](std::ostream& o, double w) { WriteDouble(o, w); });
+}
+
+void NegativeSamplerSet::ApplyDelta(std::istream& in) {
+  removal_epoch_ = ReadU64(in);
+  const std::uint32_t total_groups = ReadU32(in);
+  const std::uint32_t prefix = ReadU32(in);
+  Require(total_groups <= kMaxGroups && prefix <= total_groups &&
+              prefix <= groups_.size(),
+          "NegativeSamplerSet::ApplyDelta: group prefix mismatch");
+  groups_.resize(prefix);
+  for (std::uint32_t g = prefix; g < total_groups; ++g) {
+    Group group;
+    group.alias = AliasSampler::Load(in);
+    const std::uint64_t nodes = ReadU64(in);
+    Require(nodes == group.alias.size(),
+            "NegativeSamplerSet::ApplyDelta: group size mismatch");
+    group.node_of_index.resize(nodes);
+    for (graph::NodeId& node : group.node_of_index) node = ReadU32(in);
+    group.total_weight = ReadDouble(in);
+    groups_.push_back(std::make_shared<const Group>(std::move(group)));
+  }
+  ApplyCowVectorDelta(in, included_weight_,
+                      [](std::istream& i) { return ReadDouble(i); });
+  if (groups_.size() > 1) {
+    RebuildGroupPicker();
+  } else {
+    group_picker_ = AliasSampler();
+  }
 }
 
 CowBytes NegativeSamplerSet::MemoryBytes() const {

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <vector>
@@ -72,6 +73,19 @@ class NegativeSamplerSet {
 
   /// Chunk/group-granular heap accounting, split shared vs owned.
   CowBytes MemoryBytes() const;
+
+  /// Exact serialization: every group's alias internals round-trip verbatim,
+  /// so a loaded set consumes the same RNG stream as the live one — a
+  /// rebuild from degrees would share the distribution but not the draws.
+  void Save(std::ostream& out) const;
+  static NegativeSamplerSet Load(std::istream& in);
+
+  /// Delta against `base`: groups shared by pointer are written as a prefix
+  /// count, only appended groups and owned included-weight chunks serialize
+  /// — O(delta), not O(nodes). ApplyDelta mutates a set loaded from the
+  /// base's artifact into this set's exact state.
+  void SaveDelta(std::ostream& out, const NegativeSamplerSet& base) const;
+  void ApplyDelta(std::istream& in);
 
  private:
   struct Group {

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/cow_serialize.h"
 #include "common/error.h"
 #include "common/serialize.h"
 
@@ -209,7 +210,11 @@ CowBytes BipartiteGraph::MemoryBytes() const {
 
 namespace {
 constexpr char kGraphMagic[4] = {'G', 'B', 'P', 'G'};
-constexpr std::uint32_t kGraphVersion = 1;
+// v1: structure only (degrees/totals rebuilt through AddEdge replay).
+// v2: v1 + trailing exact-state block, so a load is bit-identical to the
+//     saved graph even when MAC removals made the replayed floating-point
+//     accumulations diverge in the last ulp.
+constexpr std::uint32_t kGraphVersion = 2;
 }  // namespace
 
 void BipartiteGraph::Save(std::ostream& out) const {
@@ -241,10 +246,22 @@ void BipartiteGraph::Save(std::ostream& out) const {
       WriteDouble(out, nb.weight);
     }
   }
+  // v2 exact-state block: the replay above reconstructs these by summation,
+  // which matches only when no removal ever subtracted from the sums.
+  WriteU64(out, removal_epoch_);
+  WriteU64(out, num_edges_);
+  WriteU64(out, num_active_macs_);
+  WriteDouble(out, total_edge_weight_);
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    WriteDouble(out, meta_[i].weighted_degree);
+  }
 }
 
 BipartiteGraph BipartiteGraph::Load(std::istream& in) {
-  CheckHeader(in, kGraphMagic, kGraphVersion);
+  const std::uint32_t version = ReadHeader(in, kGraphMagic);
+  Require(version >= 1 && version <= kGraphVersion,
+          "BipartiteGraph::Load: unsupported format version " +
+              std::to_string(version));
   BipartiteGraph g;
   const std::uint64_t num_nodes = ReadU64(in);
   for (std::uint64_t i = 0; i < num_nodes; ++i) {
@@ -281,7 +298,123 @@ BipartiteGraph BipartiteGraph::Load(std::istream& in) {
       g.AddEdge(record, mac, weight);
     }
   }
+  if (version >= 2) {
+    g.removal_epoch_ = ReadU64(in);
+    g.num_edges_ = ReadU64(in);
+    g.num_active_macs_ = ReadU64(in);
+    g.total_edge_weight_ = ReadDouble(in);
+    for (std::uint64_t i = 0; i < num_nodes; ++i) {
+      g.meta_.MutableAt(i).weighted_degree = ReadDouble(in);
+    }
+  }
   return g;
+}
+
+void BipartiteGraph::SaveDelta(std::ostream& out,
+                               const BipartiteGraph& base) const {
+  WriteU64(out, removal_epoch_);
+  WriteU64(out, num_edges_);
+  WriteU64(out, num_active_macs_);
+  WriteDouble(out, total_edge_weight_);
+  WriteCowVectorSparseDelta(
+      out, meta_, base.meta_,
+      [](std::ostream& o, const NodeMeta& meta, const NodeMeta*) {
+        WriteU8(o, static_cast<std::uint8_t>(meta.type));
+        WriteU8(o, meta.active ? 1 : 0);
+        WriteDouble(o, meta.weighted_degree);
+      });
+  // Folds mostly append to neighbor lists (AddEdge), so each changed list
+  // is encoded as the longest prefix it shares with the base plus the
+  // rewritten suffix: a K-record fold costs O(new edges), not O(history of
+  // every MAC the batch happened to observe). Evictions rewrite from the
+  // first divergent entry, which stays correct — just less compact.
+  WriteCowVectorSparseDelta(
+      out, adjacency_, base.adjacency_,
+      [](std::ostream& o, const std::vector<Neighbor>& current,
+         const std::vector<Neighbor>* base_list) {
+        std::size_t prefix = 0;
+        if (base_list != nullptr) {
+          const std::size_t limit =
+              std::min(current.size(), base_list->size());
+          while (prefix < limit && current[prefix] == (*base_list)[prefix]) {
+            ++prefix;
+          }
+        }
+        WriteU32(o, static_cast<std::uint32_t>(prefix));
+        WriteU32(o, static_cast<std::uint32_t>(current.size() - prefix));
+        for (std::size_t i = prefix; i < current.size(); ++i) {
+          WriteU32(o, current[i].node);
+          WriteDouble(o, current[i].weight);
+        }
+      });
+  WriteCowVectorDelta(out, record_nodes_, base.record_nodes_,
+                      [](std::ostream& o, NodeId node) { WriteU32(o, node); });
+  const auto write_entries = [&out](const MacMap& entries) {
+    for (const auto& [mac, node] : entries) {
+      WriteU64(out, mac.bits());
+      WriteU32(out, node);
+    }
+  };
+  if (mac_base_ != nullptr && mac_base_ == base.mac_base_) {
+    // Shared base map: only the owned delta entries travel. The base's own
+    // delta entries are a subset of ours (entries are never erased and this
+    // graph forked from `base`), so applying ours over the loaded merged
+    // map reproduces the full mapping.
+    WriteU8(out, 1);
+    WriteU64(out, mac_delta_.size());
+    write_entries(mac_delta_);
+  } else {
+    // The index compacted since the base (or the base had no map): write
+    // the merged mapping wholesale.
+    WriteU8(out, 0);
+    WriteU64(out, NumMacEntries());
+    if (mac_base_ != nullptr) write_entries(*mac_base_);
+    write_entries(mac_delta_);
+  }
+}
+
+void BipartiteGraph::ApplyDelta(std::istream& in) {
+  removal_epoch_ = ReadU64(in);
+  num_edges_ = ReadU64(in);
+  num_active_macs_ = ReadU64(in);
+  total_edge_weight_ = ReadDouble(in);
+  ApplyCowVectorSparseDelta(in, meta_, [](std::istream& i, NodeMeta& meta) {
+    meta.type = static_cast<NodeType>(ReadU8(i));
+    meta.active = ReadU8(i) != 0;
+    meta.weighted_degree = ReadDouble(i);
+  });
+  ApplyCowVectorSparseDelta(
+      in, adjacency_, [](std::istream& i, std::vector<Neighbor>& list) {
+        const std::uint32_t prefix = ReadU32(i);
+        Require(prefix <= list.size(),
+                "BipartiteGraph::ApplyDelta: neighbor prefix exceeds base");
+        list.resize(prefix);
+        const std::uint32_t appended = ReadU32(i);
+        list.reserve(prefix + appended);
+        for (std::uint32_t e = 0; e < appended; ++e) {
+          const NodeId node = ReadU32(i);
+          const double weight = ReadDouble(i);
+          list.push_back({node, weight});
+        }
+      });
+  ApplyCowVectorDelta(in, record_nodes_,
+                      [](std::istream& i) -> NodeId { return ReadU32(i); });
+  Require(meta_.size() == adjacency_.size(),
+          "BipartiteGraph::ApplyDelta: meta/adjacency size mismatch");
+  const std::uint8_t shared_base = ReadU8(in);
+  const std::uint64_t entries = ReadU64(in);
+  auto merged = shared_base != 0 && mac_base_ != nullptr
+                    ? std::make_shared<MacMap>(*mac_base_)
+                    : std::make_shared<MacMap>();
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    const rf::MacAddress mac(ReadU64(in));
+    const NodeId node = ReadU32(in);
+    Require(node < meta_.size(),
+            "BipartiteGraph::ApplyDelta: bad MAC node id");
+    (*merged)[mac] = node;
+  }
+  mac_base_ = std::move(merged);
+  mac_delta_.clear();
 }
 
 std::vector<Edge> BipartiteGraph::Edges() const {

@@ -107,9 +107,19 @@ class BipartiteGraph {
   }
 
   /// Binary (de)serialization; round-trips the full graph state including
-  /// retired MAC nodes so node ids stay stable.
+  /// retired MAC nodes so node ids stay stable. Save writes format v2,
+  /// whose trailing exact-state block (weighted degrees, edge totals,
+  /// removal epoch) makes the load bit-identical even after MAC removals;
+  /// Load also accepts the v1 files older model artifacts embed.
   void Save(std::ostream& out) const;
   static BipartiteGraph Load(std::istream& in);
+
+  /// Delta against `base` (a snapshot this graph was forked from): only the
+  /// chunks this graph owns relative to the base are written — O(owned
+  /// chunks), not O(graph). ApplyDelta mutates a graph loaded from the
+  /// base's artifact into this graph's exact state.
+  void SaveDelta(std::ostream& out, const BipartiteGraph& base) const;
+  void ApplyDelta(std::istream& in);
 
   /// Deep structural equality (chunk sharing is invisible to ==).
   bool operator==(const BipartiteGraph& other) const;

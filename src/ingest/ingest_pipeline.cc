@@ -1,12 +1,18 @@
 #include "ingest/ingest_pipeline.h"
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <utility>
 
 #include "common/error.h"
 #include "core/grafics.h"
 #include "serve/protocol.h"
+#include "store/model_store.h"
 
 namespace grafics::ingest {
 
@@ -15,6 +21,68 @@ namespace {
 /// Pause before retrying a failed fold-in, so a persistent fault (e.g. the
 /// model was unloaded) does not spin the worker; Stop() interrupts it.
 constexpr std::chrono::milliseconds kFoldRetryBackoff{250};
+
+/// Journal file for (model, epoch): epoch 0 is the bare legacy name, later
+/// epochs append ".<epoch>". Each compaction replaces the journal file with
+/// the next epoch's; the manifest records which epoch is the replay source.
+std::string JournalPathFor(const std::string& dir, const std::string& name,
+                           std::uint64_t epoch) {
+  std::string path = dir;
+  path += '/';
+  path += JournalFileName(name);
+  if (epoch > 0) {
+    path += '.';
+    path += std::to_string(epoch);
+  }
+  return path;
+}
+
+/// fsyncs `path` and its directory: the new epoch journal (header + pending
+/// frames + its directory entry) must be durable BEFORE the manifest commit
+/// makes it the replay source, or a crash right after the commit could lose
+/// acknowledged records.
+void SyncFileAndDir(const std::string& path, const std::string& dir) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+  fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+/// Unlinks every epoch file of `name` except the manifest's active one:
+/// a crash between writing epoch E+1 and committing the manifest (stray
+/// E+1), or between committing and unlinking (stray E), leaves files that
+/// RecordJournal would happily open and misread as live journals.
+void RemoveStaleJournals(const std::string& dir, const std::string& name,
+                         std::uint64_t active_epoch) {
+  const std::string base = JournalFileName(name);
+  const std::string active =
+      active_epoch == 0 ? base : base + "." + std::to_string(active_epoch);
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return;
+  while (const dirent* entry = ::readdir(handle)) {
+    const std::string file = entry->d_name;
+    bool is_epoch_file = file == base;
+    if (!is_epoch_file && file.size() > base.size() + 1 &&
+        file.compare(0, base.size(), base) == 0 &&
+        file[base.size()] == '.') {
+      const std::string suffix = file.substr(base.size() + 1);
+      is_epoch_file =
+          std::all_of(suffix.begin(), suffix.end(), [](unsigned char c) {
+            return std::isdigit(c) != 0;
+          });
+    }
+    if (is_epoch_file && file != active) {
+      ::unlink((dir + "/" + file).c_str());
+    }
+  }
+  ::closedir(handle);
+}
 
 /// Validation shared by Submit and (implicitly) replay: the reasons a single
 /// record can never be folded. Returns an empty string for foldable records.
@@ -78,8 +146,16 @@ void IngestPipeline::Attach(const std::string& name) {
   entry->name = name;
   entry->stats.name = name;
   if (!config_.journal_dir.empty()) {
+    if (config_.model_store != nullptr) {
+      // The manifest names the journal epoch that pairs with the store's
+      // latest generation; any other epoch file is a crashed compaction's
+      // leftover and must not survive to be opened later.
+      entry->journal_epoch = config_.model_store->JournalEpoch(name);
+      RemoveStaleJournals(config_.journal_dir, name, entry->journal_epoch);
+    }
     entry->journal = std::make_unique<RecordJournal>(
-        config_.journal_dir + "/" + JournalFileName(name), name);
+        JournalPathFor(config_.journal_dir, name, entry->journal_epoch),
+        name);
     JournalReplay replay = entry->journal->TakeReplay();
     if (replay.dropped_bytes > 0) {
       std::fprintf(stderr,
@@ -87,6 +163,8 @@ void IngestPipeline::Attach(const std::string& name) {
                    static_cast<unsigned long long>(replay.dropped_bytes),
                    entry->journal->path().c_str());
     }
+    entry->stats.journal_dropped_bytes = replay.dropped_bytes;
+    entry->stats.replayed_batches = replay.folded_batches.size();
     entry->stats.replayed = replay.TotalRecords();
     if (!replay.folded_batches.empty()) {
       // Re-apply the committed folds with their original batch boundaries
@@ -261,6 +339,7 @@ void IngestPipeline::Stop() {
       entry->stopping = true;
     }
     entry->wake.notify_all();
+    entry->compaction_done.notify_all();  // release CompactNow waiters
   }
   for (const std::shared_ptr<Entry>& entry : entries) {
     if (entry->worker.joinable()) entry->worker.join();
@@ -274,10 +353,14 @@ void IngestPipeline::Stop() {
 void IngestPipeline::WorkerLoop(Entry& entry) {
   std::unique_lock lock(entry.mutex);
   for (;;) {
+    // Compaction runs here, between folds, so nothing is ever in flight
+    // while the journal is swapped.
+    if (WantsCompaction(entry)) Compact(entry, lock);
     if (entry.pending.empty()) {
       if (entry.stopping) return;
       entry.wake.wait(lock, [&entry] {
-        return entry.stopping || !entry.pending.empty();
+        return entry.stopping || entry.compact_requested ||
+               !entry.pending.empty();
       });
       continue;
     }
@@ -286,10 +369,11 @@ void IngestPipeline::WorkerLoop(Entry& entry) {
     const auto deadline = entry.pending.front().enqueued + config_.max_delay;
     if (entry.pending.size() < config_.fold_batch_size && !entry.stopping) {
       entry.wake.wait_until(lock, deadline, [this, &entry] {
-        return entry.stopping ||
+        return entry.stopping || entry.compact_requested ||
                entry.pending.size() >= config_.fold_batch_size;
       });
-      // Whether full, stopping, or past the deadline: fold what we have.
+      // Whether full, stopping, compacting, or past the deadline: fold what
+      // we have (an explicit compaction request checkpoints after the fold).
     }
     const std::size_t take =
         std::min(entry.pending.size(), config_.fold_batch_size);
@@ -320,6 +404,7 @@ void IngestPipeline::WorkerLoop(Entry& entry) {
                        entry.name.c_str(), e.what());
         }
       }
+      ++entry.folds_since_compaction;
     } else {
       ++entry.fold_failures;
       if (entry.stopping) {
@@ -342,6 +427,163 @@ void IngestPipeline::WorkerLoop(Entry& entry) {
                           [&entry] { return entry.stopping; });
     }
   }
+}
+
+bool IngestPipeline::WantsCompaction(const Entry& entry) const {
+  if (entry.stopping || entry.journal == nullptr ||
+      config_.model_store == nullptr) {
+    return false;
+  }
+  if (entry.compact_requested) return true;
+  // Both automatic policies arm only after at least one fold: a journal
+  // holding nothing but pending records would be rewritten byte-for-byte,
+  // and the byte bound would then retrigger forever.
+  if (entry.folds_since_compaction == 0) return false;
+  if (config_.compact_every_n_folds > 0 &&
+      entry.folds_since_compaction >= config_.compact_every_n_folds) {
+    return true;
+  }
+  return config_.max_journal_bytes > 0 &&
+         entry.journal->bytes() > config_.max_journal_bytes;
+}
+
+void IngestPipeline::Compact(Entry& entry,
+                             std::unique_lock<std::mutex>& lock) {
+  const auto finish = [&entry](std::string error) {
+    if (!error.empty()) {
+      std::fprintf(stderr, "IngestPipeline: compaction for %s failed: %s\n",
+                   entry.name.c_str(), error.c_str());
+    }
+    entry.last_compaction_error = std::move(error);
+    entry.compact_requested = false;
+    // Re-arm the fold-count policy from zero on failure too, so a
+    // persistent fault (full disk) retries every N folds, not every fold.
+    entry.folds_since_compaction = 0;
+    ++entry.compaction_attempts;
+    entry.compaction_done.notify_all();
+  };
+
+  // The served snapshot, read under entry.mutex: with in_flight == 0 it is
+  // exactly the fold of the journal's committed prefix (publishes only
+  // happen from this worker), and the pending deque is exactly the
+  // journal's uncommitted suffix — the state split the checkpoint + new
+  // epoch below must capture.
+  std::shared_ptr<const core::Grafics> snapshot;
+  try {
+    snapshot = registry_->Snapshot(entry.name);
+  } catch (const std::exception& e) {
+    finish(e.what());
+    return;
+  }
+  if (snapshot == nullptr || !snapshot->is_trained()) {
+    finish("no trained snapshot for '" + entry.name + "'");
+    return;
+  }
+  const std::uint64_t old_bytes = entry.journal->bytes();
+
+  // Stage the artifact outside the lock — serializing a base can take a
+  // while and Submit must not block on it. The artifact file is durable but
+  // invisible (no manifest reference) after this; on failure or crash it is
+  // a stray that the next attempt overwrites.
+  lock.unlock();
+  store::StagedArtifact staged;
+  std::string stage_error;
+  try {
+    staged = config_.model_store->StageCheckpoint(entry.name, snapshot);
+  } catch (const std::exception& e) {
+    stage_error = e.what();
+  }
+  lock.lock();
+  if (!stage_error.empty()) {
+    finish(std::move(stage_error));
+    return;
+  }
+
+  // Under the lock again (Submit cannot interleave): write journal epoch
+  // E+1 holding exactly the pending suffix, make it durable, then commit
+  // the manifest — the single atomic point where artifact + truncated
+  // journal replace full-journal replay. A crash before the commit leaves
+  // the manifest (and thus restart behavior) untouched; a crash after it
+  // restores base + deltas + pending suffix. Either side is bit-identical.
+  const std::uint64_t new_epoch = entry.journal_epoch + 1;
+  const std::string new_path =
+      JournalPathFor(config_.journal_dir, entry.name, new_epoch);
+  const std::string old_path = entry.journal->path();
+  std::unique_ptr<RecordJournal> fresh;
+  try {
+    ::unlink(new_path.c_str());  // stray from a crashed earlier attempt
+    fresh = std::make_unique<RecordJournal>(new_path, entry.name);
+    if (!entry.pending.empty()) {
+      std::vector<rf::SignalRecord> pending;
+      pending.reserve(entry.pending.size());
+      for (const PendingRecord& p : entry.pending) {
+        pending.push_back(p.record);
+      }
+      fresh->Append(pending);
+    }
+    SyncFileAndDir(new_path, config_.journal_dir);
+    config_.model_store->CommitStaged(entry.name, staged, new_epoch,
+                                      snapshot);
+  } catch (const std::exception& e) {
+    fresh.reset();
+    ::unlink(new_path.c_str());
+    finish(e.what());
+    return;
+  }
+  entry.journal = std::move(fresh);  // closes the old epoch's fd
+  entry.journal_epoch = new_epoch;
+  entry.stats.journal_bytes = entry.journal->bytes();
+  const std::uint64_t reclaimed =
+      old_bytes > entry.stats.journal_bytes
+          ? old_bytes - entry.stats.journal_bytes
+          : 0;
+  entry.journal_bytes_reclaimed += reclaimed;
+  entry.last_compaction_generation = staged.generation;
+  entry.last_compaction_reclaimed = reclaimed;
+  ::unlink(old_path.c_str());
+  finish({});
+}
+
+IngestPipeline::CompactOutcome IngestPipeline::CompactNow(
+    const std::string& name) {
+  const std::string resolved =
+      name.empty() ? registry_->default_model() : name;
+  const std::shared_ptr<Entry> entry = Find(resolved);
+  Require(entry != nullptr,
+          "ingest: model '" + resolved + "' is not attached for ingestion");
+  std::unique_lock lock(entry->mutex);
+  Require(entry->journal != nullptr,
+          "ingest: compaction requires journaling (--journal-dir)");
+  Require(config_.model_store != nullptr,
+          "ingest: compaction requires a model store (--store-dir)");
+  Require(!entry->stopping, "ingest: pipeline stopped");
+  const std::uint64_t target = entry->compaction_attempts + 1;
+  entry->compact_requested = true;
+  entry->wake.notify_all();
+  entry->compaction_done.wait(lock, [&] {
+    return entry->compaction_attempts >= target || entry->stopping;
+  });
+  Require(entry->compaction_attempts >= target,
+          "ingest: pipeline stopped before the compaction ran");
+  Require(entry->last_compaction_error.empty(),
+          "ingest: compaction failed: " + entry->last_compaction_error);
+  return {entry->last_compaction_generation,
+          entry->last_compaction_reclaimed};
+}
+
+std::uint64_t IngestPipeline::JournalBytesReclaimed() const {
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    const std::scoped_lock lock(mutex_);
+    entries.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) entries.push_back(entry);
+  }
+  std::uint64_t total = 0;
+  for (const std::shared_ptr<Entry>& entry : entries) {
+    const std::scoped_lock lock(entry->mutex);
+    total += entry->journal_bytes_reclaimed;
+  }
+  return total;
 }
 
 IngestPipeline::FoldOutcome IngestPipeline::FoldAndPublish(

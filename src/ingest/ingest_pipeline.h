@@ -46,6 +46,10 @@
 #include "rf/signal_record.h"
 #include "serve/model_registry.h"
 
+namespace grafics::store {
+class ModelStore;
+}
+
 namespace grafics::ingest {
 
 struct IngestConfig {
@@ -59,6 +63,17 @@ struct IngestConfig {
   /// Directory for the per-model journals; empty disables durability (and
   /// replay) — records then live only in the pending buffer.
   std::string journal_dir;
+  /// Persistence store for journal compaction: the worker periodically
+  /// folds the journal's committed prefix into a store checkpoint and
+  /// truncates the journal to the pending suffix, so restart cost is
+  /// O(base + deltas + suffix) instead of O(whole journal). Null disables
+  /// compaction (and CompactNow throws).
+  std::shared_ptr<store::ModelStore> model_store;
+  /// Compact after this many folds since the last compaction (0 = only on
+  /// explicit CompactNow / the byte bound below).
+  std::size_t compact_every_n_folds = 0;
+  /// Compact when the journal exceeds this many bytes (0 = no byte bound).
+  std::uint64_t max_journal_bytes = 0;
 };
 
 /// One submitted record's fate, the in-process twin of the wire-level
@@ -111,6 +126,25 @@ class IngestPipeline {
   bool WaitUntilDrained(
       std::chrono::milliseconds timeout = std::chrono::milliseconds(30000));
 
+  /// What one compaction committed; the wire-level CompactResponse's twin.
+  struct CompactOutcome {
+    /// Store generation the compaction committed.
+    std::uint64_t generation = 0;
+    /// Journal bytes reclaimed by truncating to the pending suffix.
+    std::uint64_t journal_bytes_reclaimed = 0;
+  };
+
+  /// Requests a compaction of `name`'s journal and blocks until the worker
+  /// has performed it (it runs between folds, on the worker thread, so
+  /// nothing is ever in flight during the stage/commit sequence). Throws
+  /// when the model is not attached, the pipeline runs without a journal or
+  /// store, the attempt fails, or the pipeline stops first.
+  CompactOutcome CompactNow(const std::string& name);
+
+  /// Journal bytes reclaimed by compaction across every model since the
+  /// pipeline started; feeds the v6 store-stats block.
+  std::uint64_t JournalBytesReclaimed() const;
+
   /// Folds and publishes everything pending, syncs and closes the journals,
   /// and rejects further Submits. Idempotent; also run by the destructor.
   /// Call this BEFORE ModelRegistry::Stop — a stopped registry rejects the
@@ -138,11 +172,33 @@ class IngestPipeline {
     std::uint64_t fold_total_us = 0;
     std::uint64_t fold_failures = 0;
     std::unique_ptr<RecordJournal> journal;
+    /// Journal epoch the journal member is writing (file name suffix; 0 is
+    /// the bare legacy name). Bumped by each committed compaction.
+    std::uint64_t journal_epoch = 0;
+    /// Folds committed since the last compaction; drives the
+    /// compact_every_n_folds policy.
+    std::uint64_t folds_since_compaction = 0;
+    /// CompactNow sets this; the worker compacts at the next loop turn.
+    bool compact_requested = false;
+    /// Compaction attempt/result channel for CompactNow waiters.
+    std::condition_variable compaction_done;
+    std::uint64_t compaction_attempts = 0;
+    std::string last_compaction_error;
+    std::uint64_t last_compaction_generation = 0;
+    std::uint64_t last_compaction_reclaimed = 0;
+    std::uint64_t journal_bytes_reclaimed = 0;
     bool stopping = false;
     std::thread worker;  // last member: joined before the rest is destroyed
   };
 
   void WorkerLoop(Entry& entry);
+  /// Stage + journal-swap + commit for one compaction; called by the worker
+  /// with `lock` held on entry.mutex (in_flight == 0). Records the outcome
+  /// in the entry and notifies CompactNow waiters; never throws.
+  void Compact(Entry& entry, std::unique_lock<std::mutex>& lock);
+  /// True when the compaction policy (explicit request, fold count, journal
+  /// bytes) asks for a compaction; entry.mutex must be held.
+  bool WantsCompaction(const Entry& entry) const;
   struct FoldOutcome {
     /// Published generation, or 0 when the publish failed.
     std::uint64_t generation = 0;

@@ -161,8 +161,12 @@ Pong Client::Ping(const std::string& model) {
   return *pong;
 }
 
-std::uint64_t Client::Reload(const std::string& model) {
-  const Message reply = RoundTrip(ReloadRequest{model});
+std::uint64_t Client::Reload(const std::string& model,
+                             std::uint64_t generation) {
+  ReloadRequest request;
+  request.model = model;
+  request.generation = generation;
+  const Message reply = RoundTrip(request);
   const auto* response = std::get_if<ReloadResponse>(&reply);
   Require(response != nullptr, "Client: unexpected reply to reload");
   Require(response->ok, "Client: reload failed: " + response->message);
@@ -217,11 +221,80 @@ std::vector<SubmitResult> Client::Submit(
   return results;
 }
 
-IngestStatsResponse Client::IngestStats(const std::string& model) {
-  const Message reply = RoundTrip(IngestStatsRequest{model});
+IngestStatsResponse Client::IngestStats(const std::string& model,
+                                        std::uint32_t version) {
+  const Message reply = RoundTrip(IngestStatsRequest{model}, version);
   const auto* response = std::get_if<IngestStatsResponse>(&reply);
   Require(response != nullptr, "Client: unexpected reply to ingest-stats");
   return *response;
+}
+
+CheckpointResponse Client::Checkpoint(const std::string& model) {
+  const Message reply = RoundTrip(CheckpointRequest{model});
+  const auto* response = std::get_if<CheckpointResponse>(&reply);
+  Require(response != nullptr, "Client: unexpected reply to checkpoint");
+  return *response;
+}
+
+CompactResponse Client::Compact(const std::string& model) {
+  const Message reply = RoundTrip(CompactRequest{model});
+  const auto* response = std::get_if<CompactResponse>(&reply);
+  Require(response != nullptr, "Client: unexpected reply to compact");
+  return *response;
+}
+
+ListArtifactsResponse Client::ListArtifacts(const std::string& model) {
+  const Message reply = RoundTrip(ListArtifactsRequest{model});
+  const auto* response = std::get_if<ListArtifactsResponse>(&reply);
+  Require(response != nullptr, "Client: unexpected reply to list-artifacts");
+  return *response;
+}
+
+namespace {
+
+/// The one version-ladder walk every negotiated admin query shares: speak
+/// the newest dialect on a fresh connection and retry one version down each
+/// time the daemon rejects the frame. An older daemon rejects an unknown
+/// version by dropping the connection without a reply, which surfaces as
+/// the "closed the connection" transport error; anything else (daemon down,
+/// socket errors, structured failures) propagates untouched so it is
+/// reported as what it is, not masked as a version mismatch.
+template <typename Attempt>
+auto WalkVersionLadder(std::uint32_t floor_version, Attempt attempt)
+    -> decltype(attempt(kProtocolVersion)) {
+  for (std::uint32_t spoken = kProtocolVersion;; --spoken) {
+    try {
+      return attempt(spoken);
+    } catch (const Error& e) {
+      const bool version_rejection =
+          std::string(e.what()).find("closed the connection") !=
+          std::string::npos;
+      if (spoken <= floor_version || !version_rejection) throw;
+    }
+  }
+}
+
+}  // namespace
+
+Client::NegotiatedStatsResult Client::NegotiatedStats(const std::string& host,
+                                                      std::uint16_t port,
+                                                      const std::string& model,
+                                                      ClientConfig config) {
+  return WalkVersionLadder(2, [&](std::uint32_t spoken) {
+    Client client(host, port, config);
+    return NegotiatedStatsResult{client.Stats(model, spoken), spoken};
+  });
+}
+
+Client::NegotiatedIngestStatsResult Client::NegotiatedIngestStats(
+    const std::string& host, std::uint16_t port, const std::string& model,
+    ClientConfig config) {
+  // The ingest surface exists from v3 on, so the ladder stops there.
+  return WalkVersionLadder(3, [&](std::uint32_t spoken) {
+    Client client(host, port, config);
+    return NegotiatedIngestStatsResult{client.IngestStats(model, spoken),
+                                       spoken};
+  });
 }
 
 }  // namespace grafics::serve

@@ -1,4 +1,4 @@
-// Blocking client for the GRAFICS serving daemon (protocol v3).
+// Blocking client for the GRAFICS serving daemon (protocol v6).
 //
 // One TCP connection, one request/response in flight at a time; concurrency
 // comes from opening more clients (the daemon coalesces across connections).
@@ -67,10 +67,14 @@ class Client {
   /// with a v1 Pong.
   Pong Ping(const std::string& model = {});
 
-  /// Asks the daemon to hot-reload the named model (empty = default) from
-  /// disk; returns the new model generation. Throws grafics::Error when the
-  /// daemon refuses (no model path, unknown name) or the reload failed.
-  std::uint64_t Reload(const std::string& model = {});
+  /// Asks the daemon to hot-reload the named model (empty = default);
+  /// returns the new model generation. A non-zero `generation` pins a
+  /// persistence-store generation instead of re-reading the artifact path —
+  /// the rollback flow, requiring a v6 daemon running with --store-dir.
+  /// Throws grafics::Error when the daemon refuses (no model path, unknown
+  /// name, unknown generation) or the reload failed.
+  std::uint64_t Reload(const std::string& model = {},
+                       std::uint64_t generation = 0);
 
   /// v2 admin: the registry's contents and its default model name.
   ListModelsResponse ListModels();
@@ -96,8 +100,44 @@ class Client {
 
   /// v3 ingest admin: per-model ingest counters; `model` filters to one
   /// name (empty = all attached models). enabled == false means the daemon
-  /// runs without an ingest pipeline.
-  IngestStatsResponse IngestStats(const std::string& model = {});
+  /// runs without an ingest pipeline. `version` degrades the dialect like
+  /// Stats (the ingest surface exists from v3 on).
+  IngestStatsResponse IngestStats(const std::string& model = {},
+                                  std::uint32_t version = kProtocolVersion);
+
+  /// v6 persistence admin against the named model (empty = default):
+  /// Checkpoint writes the serving snapshot into the daemon's store (a
+  /// delta when the snapshot fold-descends from the previous generation),
+  /// Compact folds the journal's committed prefix into a checkpoint and
+  /// truncates the journal, ListArtifacts reports the model's base + delta
+  /// chain. Failures are structured (ok == false / enabled == false), not
+  /// exceptions; transport problems still throw.
+  CheckpointResponse Checkpoint(const std::string& model = {});
+  CompactResponse Compact(const std::string& model = {});
+  ListArtifactsResponse ListArtifacts(const std::string& model = {});
+
+  /// Stats / IngestStats with automatic downgrade against older daemons:
+  /// speaks the newest dialect on a fresh connection and retries one
+  /// protocol version down (to v2, ingest to v3) each time the daemon
+  /// rejects the frame by closing the connection. Returns the response
+  /// plus the dialect that succeeded, so callers print only the fields
+  /// that dialect actually carried (the rest decode to zero defaults).
+  /// Non-version failures (daemon down, socket errors) propagate untouched.
+  struct NegotiatedStatsResult {
+    StatsResponse stats;
+    std::uint32_t version = 0;
+  };
+  struct NegotiatedIngestStatsResult {
+    IngestStatsResponse stats;
+    std::uint32_t version = 0;
+  };
+  static NegotiatedStatsResult NegotiatedStats(const std::string& host,
+                                               std::uint16_t port,
+                                               const std::string& model = {},
+                                               ClientConfig config = {});
+  static NegotiatedIngestStatsResult NegotiatedIngestStats(
+      const std::string& host, std::uint16_t port,
+      const std::string& model = {}, ClientConfig config = {});
 
   void Close();
   bool connected() const { return fd_ >= 0; }

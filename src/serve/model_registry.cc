@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "store/model_store.h"
 
 namespace grafics::serve {
 
@@ -83,6 +84,13 @@ void ModelRegistry::LoadFromDisk(const std::string& name,
   ValidateName(name);
   Require(!model_path.empty(),
           "ModelRegistry::LoadFromDisk: empty path for '" + name + "'");
+  if (const std::shared_ptr<store::ModelStore> attached = store()) {
+    // Through the store: the file becomes a (by-reference) base generation
+    // and the opened snapshot anchors the model's delta-checkpoint chain.
+    attached->ImportBase(name, model_path);
+    Load(name, attached->Open(name), model_path);
+    return;
+  }
   auto model = std::make_shared<const core::Grafics>(
       core::Grafics::LoadModel(model_path));
   Load(name, std::move(model), model_path);
@@ -120,6 +128,17 @@ std::uint64_t ModelRegistry::ReloadFromDisk(const std::string& name) {
     const std::scoped_lock entry_lock(entry->mutex);
     path = entry->path;
   }
+  if (const std::shared_ptr<store::ModelStore> attached = store()) {
+    const std::string resolved = name.empty() ? default_model() : name;
+    if (!path.empty()) {
+      // Operator file reload: re-import the recorded artifact. When fold
+      // checkpoints were committed after the previous import this appends a
+      // fresh import generation — an explicit decision to serve the file's
+      // content again (the superseded generations stay openable).
+      attached->ImportBase(resolved, path);
+    }
+    return ReloadFromStore(name);
+  }
   Require(!path.empty(),
           "ModelRegistry::ReloadFromDisk: no model path configured for '" +
               (name.empty() ? default_model() : name) + "'");
@@ -127,6 +146,45 @@ std::uint64_t ModelRegistry::ReloadFromDisk(const std::string& name) {
   // snapshot for the whole (expensive) load, on this model and all others.
   auto fresh = std::make_shared<const core::Grafics>(
       core::Grafics::LoadModel(path));
+  const std::scoped_lock entry_lock(entry->mutex);
+  entry->model = std::move(fresh);
+  entry->last_source = PublishSource::kDisk;
+  return ++entry->generation;
+}
+
+void ModelRegistry::AttachStore(std::shared_ptr<store::ModelStore> store) {
+  const std::scoped_lock lock(store_mutex_);
+  store_ = std::move(store);
+}
+
+std::shared_ptr<store::ModelStore> ModelRegistry::store() const {
+  const std::scoped_lock lock(store_mutex_);
+  return store_;
+}
+
+void ModelRegistry::LoadFromStore(const std::string& name,
+                                  std::uint64_t generation) {
+  ValidateName(name);
+  const std::shared_ptr<store::ModelStore> attached = store();
+  Require(attached != nullptr, "ModelRegistry::LoadFromStore: no store "
+                               "attached (daemon runs without --store-dir)");
+  Load(name, attached->Open(name, generation));
+}
+
+std::uint64_t ModelRegistry::ReloadFromStore(const std::string& name,
+                                             std::uint64_t generation) {
+  {
+    const std::scoped_lock lock(mutex_);
+    Require(!stopped_, "ModelRegistry::ReloadFromStore after Stop");
+  }
+  const std::shared_ptr<store::ModelStore> attached = store();
+  Require(attached != nullptr, "ModelRegistry::ReloadFromStore: no store "
+                               "attached (daemon runs without --store-dir)");
+  const std::shared_ptr<Entry> entry = Find(name);
+  const std::string resolved = name.empty() ? default_model() : name;
+  // Open outside every lock, like the file path above.
+  std::shared_ptr<const core::Grafics> fresh =
+      attached->Open(resolved, generation);
   const std::scoped_lock entry_lock(entry->mutex);
   entry->model = std::move(fresh);
   entry->last_source = PublishSource::kDisk;

@@ -31,6 +31,10 @@
 #include "serve/batcher.h"
 #include "serve/protocol.h"
 
+namespace grafics::store {
+class ModelStore;
+}
+
 namespace grafics::serve {
 
 class ModelRegistry {
@@ -56,15 +60,39 @@ class ModelRegistry {
             std::shared_ptr<const core::Grafics> model,
             std::string model_path = {},
             PublishSource source = PublishSource::kDisk);
-  /// Grafics::LoadModel(model_path) + Load(name, ..., model_path).
+  /// Loads `name` from an artifact file. Without an attached store this is
+  /// Grafics::LoadModel(model_path) + Load(name, ..., model_path); with one
+  /// (AttachStore) the artifact is imported into the store by reference and
+  /// opened through it, so the import becomes a store generation and later
+  /// delta checkpoints chain onto it. Kept as the single file-path entry
+  /// point for the daemon and tests.
   void LoadFromDisk(const std::string& name, const std::string& model_path);
   /// Drains the model's pending requests (their futures still resolve), then
   /// removes it. The default model cannot be unloaded.
   void Unload(const std::string& name);
-  /// Re-loads `name` (empty = default) from its recorded artifact path and
-  /// swaps it in, returning the new generation. The old snapshot keeps
-  /// serving if the load throws; other models are untouched either way.
+  /// Re-loads `name` (empty = default) and swaps it in, returning the new
+  /// generation. Without an attached store this reads the recorded artifact
+  /// path. With one: a model with a recorded path re-imports that file (the
+  /// operator-retrain flow — deliberately superseding any fold generations
+  /// committed after the previous import); a model without one re-opens the
+  /// store's latest generation. The old snapshot keeps serving if the load
+  /// throws; other models are untouched either way.
   std::uint64_t ReloadFromDisk(const std::string& name);
+
+  /// Attaches the unified persistence store; LoadFromDisk/ReloadFromDisk
+  /// route through it from then on, and LoadFromStore/ReloadFromStore
+  /// address its generations directly.
+  void AttachStore(std::shared_ptr<store::ModelStore> store);
+  std::shared_ptr<store::ModelStore> store() const;
+
+  /// Load(name, store->Open(name, generation)): installs a store generation
+  /// (0 = latest). Requires an attached store holding `name`.
+  void LoadFromStore(const std::string& name, std::uint64_t generation = 0);
+  /// Re-opens `name` (empty = default) from the attached store at
+  /// `generation` (0 = latest, non-zero = rollback pin) and swaps it in,
+  /// returning the new registry generation.
+  std::uint64_t ReloadFromStore(const std::string& name,
+                                std::uint64_t generation = 0);
 
   /// Enqueues one record on the named model's batcher (empty = default).
   /// Throws grafics::Error for unknown names and after Stop(); the caller
@@ -136,6 +164,9 @@ class ModelRegistry {
 
   const BatcherConfig batcher_config_;
   std::unique_ptr<ThreadPool> pool_;  // null when predict_threads == 1
+
+  mutable std::mutex store_mutex_;  // guards store_ (probes never touch it)
+  std::shared_ptr<store::ModelStore> store_;
 
   mutable std::mutex mutex_;  // guards entries_ + default_name_ + stopped_
   std::map<std::string, std::shared_ptr<Entry>> entries_;

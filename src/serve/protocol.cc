@@ -32,6 +32,13 @@ enum class MessageType : std::uint8_t {
   kSubmitRecordsResponse = 12,
   kIngestStatsRequest = 13,
   kIngestStatsResponse = 14,
+  // v6-only persistence messages; malformed inside v1..v5 frames.
+  kCheckpointRequest = 15,
+  kCheckpointResponse = 16,
+  kCompactRequest = 17,
+  kCompactResponse = 18,
+  kListArtifactsRequest = 19,
+  kListArtifactsResponse = 20,
 };
 
 MessageType TypeOf(const Message& message) {
@@ -74,6 +81,24 @@ MessageType TypeOf(const Message& message) {
     MessageType operator()(const IngestStatsResponse&) const {
       return MessageType::kIngestStatsResponse;
     }
+    MessageType operator()(const CheckpointRequest&) const {
+      return MessageType::kCheckpointRequest;
+    }
+    MessageType operator()(const CheckpointResponse&) const {
+      return MessageType::kCheckpointResponse;
+    }
+    MessageType operator()(const CompactRequest&) const {
+      return MessageType::kCompactRequest;
+    }
+    MessageType operator()(const CompactResponse&) const {
+      return MessageType::kCompactResponse;
+    }
+    MessageType operator()(const ListArtifactsRequest&) const {
+      return MessageType::kListArtifactsRequest;
+    }
+    MessageType operator()(const ListArtifactsResponse&) const {
+      return MessageType::kListArtifactsResponse;
+    }
   };
   return std::visit(Visitor{}, message);
 }
@@ -115,6 +140,12 @@ void RequireAdminV2(std::uint32_t version) {
 /// The ingest surface (SubmitRecords/IngestStats) exists only from v3 on.
 void RequireIngestV3(std::uint32_t version) {
   Require(version >= 3, "protocol: ingest messages require protocol v3");
+}
+
+/// The persistence surface (Checkpoint/Compact/ListArtifacts) exists only
+/// from v6 on.
+void RequireStoreV6(std::uint32_t version) {
+  Require(version >= 6, "protocol: store messages require protocol v6");
 }
 
 void RequireV1Expressible(const std::string& model, std::size_t records,
@@ -184,12 +215,19 @@ void WriteBody(std::ostream& out, const Message& message,
       WriteString(out, m.error);
     }
     void operator()(const ReloadRequest& m) const {
+      if (version < 6) {
+        // Older dialects cannot ask for a generation pin; failing loudly
+        // beats silently reloading the latest artifact instead.
+        Require(m.generation == 0,
+                "protocol: generation-pinned reload requires protocol v6");
+      }
       if (version == 1) {
         Require(m.model.empty(),
                 "protocol: v1 cannot carry a model name in ReloadRequest");
         return;
       }
       WriteModelName(out, m.model);
+      if (version >= 6) WriteU64(out, m.generation);
     }
     void operator()(const ReloadResponse& m) const {
       WriteU8(out, m.ok ? 1 : 0);
@@ -250,6 +288,14 @@ void WriteBody(std::ostream& out, const Message& message,
         WriteU64(out, m.transport.requests_rejected_busy);
         WriteU64(out, m.transport.event_workers);
       }
+      // The store block exists on the wire only from v6 on, after the
+      // transport block, so the v5 byte layout stays frozen.
+      if (version >= 6) {
+        WriteU8(out, m.store.enabled ? 1 : 0);
+        WriteU64(out, m.store.base_count);
+        WriteU64(out, m.store.delta_count);
+        WriteU64(out, m.store.journal_bytes_reclaimed);
+      }
     }
     void operator()(const SubmitRecordsRequest& m) const {
       RequireIngestV3(version);
@@ -300,6 +346,53 @@ void WriteBody(std::ostream& out, const Message& message,
           WriteU64(out, stats.fold_max_us);
           WriteU64(out, stats.last_fold_us);
         }
+        // Journal replay observability exists only from v6 on.
+        if (version >= 6) {
+          WriteU64(out, stats.journal_dropped_bytes);
+          WriteU64(out, stats.replayed_batches);
+        }
+      }
+    }
+    void operator()(const CheckpointRequest& m) const {
+      RequireStoreV6(version);
+      WriteModelName(out, m.model);
+    }
+    void operator()(const CheckpointResponse& m) const {
+      RequireStoreV6(version);
+      WriteU8(out, m.ok ? 1 : 0);
+      WriteU64(out, m.generation);
+      WriteU8(out, m.delta ? 1 : 0);
+      WriteU64(out, m.bytes_written);
+      WriteString(out, m.message);
+    }
+    void operator()(const CompactRequest& m) const {
+      RequireStoreV6(version);
+      WriteModelName(out, m.model);
+    }
+    void operator()(const CompactResponse& m) const {
+      RequireStoreV6(version);
+      WriteU8(out, m.ok ? 1 : 0);
+      WriteU64(out, m.generation);
+      WriteU64(out, m.journal_bytes_reclaimed);
+      WriteString(out, m.message);
+    }
+    void operator()(const ListArtifactsRequest& m) const {
+      RequireStoreV6(version);
+      WriteModelName(out, m.model);
+    }
+    void operator()(const ListArtifactsResponse& m) const {
+      RequireStoreV6(version);
+      WriteU8(out, m.enabled ? 1 : 0);
+      Require(m.artifacts.size() <= kMaxArtifacts,
+              "protocol: too many artifacts");
+      WriteU32(out, static_cast<std::uint32_t>(m.artifacts.size()));
+      for (const ArtifactEntry& entry : m.artifacts) {
+        WriteU64(out, entry.generation);
+        WriteU8(out, entry.delta ? 1 : 0);
+        Require(entry.file.size() <= kMaxArtifactFileBytes,
+                "protocol: artifact file name too long");
+        WriteString(out, entry.file);
+        WriteU64(out, entry.bytes);
       }
     }
   };
@@ -367,6 +460,7 @@ Message ReadBody(std::istream& in, MessageType type, std::uint32_t version) {
     case MessageType::kReloadRequest: {
       ReloadRequest m;
       if (version >= 2) m.model = ReadModelName(in);
+      if (version >= 6) m.generation = ReadU64(in);
       return m;
     }
     case MessageType::kReloadResponse: {
@@ -439,6 +533,12 @@ Message ReadBody(std::istream& in, MessageType type, std::uint32_t version) {
         m.transport.requests_rejected_busy = ReadU64(in);
         m.transport.event_workers = ReadU64(in);
       }
+      if (version >= 6) {
+        m.store.enabled = ReadU8(in) != 0;
+        m.store.base_count = ReadU64(in);
+        m.store.delta_count = ReadU64(in);
+        m.store.journal_bytes_reclaimed = ReadU64(in);
+      }
       return m;
     }
     case MessageType::kSubmitRecordsRequest: {
@@ -503,7 +603,66 @@ Message ReadBody(std::istream& in, MessageType type, std::uint32_t version) {
           stats.fold_max_us = ReadU64(in);
           stats.last_fold_us = ReadU64(in);
         }
+        if (version >= 6) {
+          stats.journal_dropped_bytes = ReadU64(in);
+          stats.replayed_batches = ReadU64(in);
+        }
         m.models.push_back(std::move(stats));
+      }
+      return m;
+    }
+    case MessageType::kCheckpointRequest: {
+      RequireStoreV6(version);
+      CheckpointRequest m;
+      m.model = ReadModelName(in);
+      return m;
+    }
+    case MessageType::kCheckpointResponse: {
+      RequireStoreV6(version);
+      CheckpointResponse m;
+      m.ok = ReadU8(in) != 0;
+      m.generation = ReadU64(in);
+      m.delta = ReadU8(in) != 0;
+      m.bytes_written = ReadU64(in);
+      m.message = ReadMessageString(in);
+      return m;
+    }
+    case MessageType::kCompactRequest: {
+      RequireStoreV6(version);
+      CompactRequest m;
+      m.model = ReadModelName(in);
+      return m;
+    }
+    case MessageType::kCompactResponse: {
+      RequireStoreV6(version);
+      CompactResponse m;
+      m.ok = ReadU8(in) != 0;
+      m.generation = ReadU64(in);
+      m.journal_bytes_reclaimed = ReadU64(in);
+      m.message = ReadMessageString(in);
+      return m;
+    }
+    case MessageType::kListArtifactsRequest: {
+      RequireStoreV6(version);
+      ListArtifactsRequest m;
+      m.model = ReadModelName(in);
+      return m;
+    }
+    case MessageType::kListArtifactsResponse: {
+      RequireStoreV6(version);
+      ListArtifactsResponse m;
+      m.enabled = ReadU8(in) != 0;
+      const std::uint32_t count = ReadU32(in);
+      Require(count <= kMaxArtifacts, "protocol: too many artifacts");
+      m.artifacts.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ArtifactEntry entry;
+        entry.generation = ReadU64(in);
+        entry.delta = ReadU8(in) != 0;
+        entry.file =
+            ReadBoundedString(in, kMaxArtifactFileBytes, "artifact file");
+        entry.bytes = ReadU64(in);
+        m.artifacts.push_back(std::move(entry));
       }
       return m;
     }

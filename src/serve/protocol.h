@@ -1,4 +1,4 @@
-// Wire protocol of the GRAFICS serving daemon (version 5).
+// Wire protocol of the GRAFICS serving daemon (version 6).
 //
 // Every message travels as one length-prefixed frame on a TCP stream:
 //
@@ -32,10 +32,20 @@
 // requests on one connection was always legal framing; the v5 server just
 // answers them without blocking a thread per socket.
 //
-// Versions 1-4 remain decodable byte-for-byte — a v1 request is a
-// one-record batch routed to the default model, v2/v3/v4 frames simply omit
+// Version 6 adds the persistence surface of store::ModelStore: Checkpoint
+// writes the served snapshot as a store generation (a delta of the owned
+// copy-on-write chunks when possible), Compact folds the journal prefix
+// into a fresh generation and truncates the journal, ListArtifacts
+// enumerates a model's base/delta chain, ReloadRequest grows a generation
+// pin (0 = current behavior, N = rollback to store generation N),
+// StatsResponse grows a store block (base/delta counts, journal bytes
+// reclaimed by compaction), and IngestModelStats grows journal replay
+// observability (torn-tail bytes dropped at open, batches replayed).
+//
+// Versions 1-5 remain decodable byte-for-byte — a v1 request is a
+// one-record batch routed to the default model, v2..v5 frames simply omit
 // the later versions' fields — and every reply is encoded in the version
-// its request arrived in, so deployed clients keep working against a v5
+// its request arrived in, so deployed clients keep working against a v6
 // daemon.
 //
 // Malformed input — bad magic, unsupported version, unknown type, truncated
@@ -59,7 +69,7 @@ namespace grafics::serve {
 
 inline constexpr char kFrameMagic[4] = {'G', 'S', 'R', 'V'};
 /// Highest protocol version this build speaks (and the encoding default).
-inline constexpr std::uint32_t kProtocolVersion = 5;
+inline constexpr std::uint32_t kProtocolVersion = 6;
 /// Oldest protocol version still decoded; v1 requests route to the default
 /// model and get v1-encoded replies.
 inline constexpr std::uint32_t kMinProtocolVersion = 1;
@@ -75,6 +85,10 @@ inline constexpr std::size_t kMaxModelNameBytes = 128;
 inline constexpr std::size_t kMaxBatchRecords = 1024;
 /// Upper bound on models per ListModels/Stats response.
 inline constexpr std::size_t kMaxModels = 4096;
+/// Upper bound on artifacts per ListArtifacts response (v6).
+inline constexpr std::size_t kMaxArtifacts = 65536;
+/// Upper bound on an artifact file name/path on the wire (v6).
+inline constexpr std::size_t kMaxArtifactFileBytes = 4096;
 /// Default daemon port when none is given on the command line.
 inline constexpr std::uint16_t kDefaultPort = 4817;
 
@@ -137,6 +151,12 @@ struct Pong {
 /// finish on the old snapshot; other models are untouched.
 struct ReloadRequest {
   std::string model;
+  /// v6 only: 0 reloads from the recorded artifact (or the store's latest
+  /// generation when the daemon runs with --store-dir); a non-zero value
+  /// pins the reload to that store generation — the rollback primitive.
+  /// Encoding a non-zero pin at v1..v5 throws (those dialects cannot ask
+  /// for it).
+  std::uint64_t generation = 0;
 
   bool operator==(const ReloadRequest&) const = default;
 };
@@ -236,11 +256,26 @@ struct TransportStats {
   bool operator==(const TransportStats&) const = default;
 };
 
+/// v6-only: daemon-level persistence counters, one block per StatsResponse.
+struct StoreStats {
+  /// False when the daemon runs without --store-dir; the counts are then 0.
+  bool enabled = false;
+  /// Full-snapshot and delta-checkpoint artifacts across every model chain.
+  std::uint64_t base_count = 0;
+  std::uint64_t delta_count = 0;
+  /// Journal bytes reclaimed by compaction since the daemon started.
+  std::uint64_t journal_bytes_reclaimed = 0;
+
+  bool operator==(const StoreStats&) const = default;
+};
+
 struct StatsResponse {
   std::uint64_t connections_accepted = 0;
   std::vector<ModelStats> models;
   /// v5 only; decoded older frames report all-zero defaults.
   TransportStats transport;
+  /// v6 only; decoded older frames report a disabled store.
+  StoreStats store;
 
   bool operator==(const StatsResponse&) const = default;
 };
@@ -304,6 +339,13 @@ struct IngestModelStats {
   std::uint64_t fold_max_us = 0;
   /// v4 only: latency of the most recent fold.
   std::uint64_t last_fold_us = 0;
+  /// v6 only: torn-tail bytes the journal open scan discarded at startup
+  /// (0 = the journal was clean).
+  std::uint64_t journal_dropped_bytes = 0;
+  /// v6 only: committed fold batches re-applied from the journal at startup
+  /// (after a compaction, the replay is the pending suffix only — this is
+  /// what "restart without full-journal replay" looks like in numbers).
+  std::uint64_t replayed_batches = 0;
 
   bool operator==(const IngestModelStats&) const = default;
 };
@@ -322,12 +364,82 @@ struct IngestStatsResponse {
   bool operator==(const IngestStatsResponse&) const = default;
 };
 
+/// v6-only admin: persist the named model's served snapshot (empty =
+/// default) as the next store generation — a delta checkpoint of the owned
+/// copy-on-write chunks when the snapshot descends from the previous
+/// generation, a full base otherwise.
+struct CheckpointRequest {
+  std::string model;
+
+  bool operator==(const CheckpointRequest&) const = default;
+};
+
+struct CheckpointResponse {
+  bool ok = false;
+  /// Store generation written (0 on failure).
+  std::uint64_t generation = 0;
+  /// True when the artifact is a delta checkpoint, false for a full base.
+  bool delta = false;
+  std::uint64_t bytes_written = 0;
+  std::string message;
+
+  bool operator==(const CheckpointResponse&) const = default;
+};
+
+/// v6-only admin: fold the named model's journal prefix into a fresh store
+/// generation, publish it, and truncate the journal to the still-pending
+/// suffix. Requires a daemon running with both --store-dir and journaling.
+struct CompactRequest {
+  std::string model;
+
+  bool operator==(const CompactRequest&) const = default;
+};
+
+struct CompactResponse {
+  bool ok = false;
+  /// Store generation the compaction committed (0 on failure).
+  std::uint64_t generation = 0;
+  /// Journal bytes the truncation reclaimed.
+  std::uint64_t journal_bytes_reclaimed = 0;
+  std::string message;
+
+  bool operator==(const CompactResponse&) const = default;
+};
+
+/// One artifact of a model's store chain (ListArtifactsResponse).
+struct ArtifactEntry {
+  std::uint64_t generation = 0;
+  bool delta = false;
+  std::string file;
+  std::uint64_t bytes = 0;
+
+  bool operator==(const ArtifactEntry&) const = default;
+};
+
+/// v6-only admin: enumerate the named model's artifact chain (empty =
+/// default), oldest generation first.
+struct ListArtifactsRequest {
+  std::string model;
+
+  bool operator==(const ListArtifactsRequest&) const = default;
+};
+
+struct ListArtifactsResponse {
+  /// False when the daemon runs without --store-dir; artifacts is empty.
+  bool enabled = false;
+  std::vector<ArtifactEntry> artifacts;
+
+  bool operator==(const ListArtifactsResponse&) const = default;
+};
+
 using Message =
     std::variant<PredictRequest, PredictResponse, Ping, Pong, ReloadRequest,
                  ReloadResponse, ListModelsRequest, ListModelsResponse,
                  StatsRequest, StatsResponse, SubmitRecordsRequest,
                  SubmitRecordsResponse, IngestStatsRequest,
-                 IngestStatsResponse>;
+                 IngestStatsResponse, CheckpointRequest, CheckpointResponse,
+                 CompactRequest, CompactResponse, ListArtifactsRequest,
+                 ListArtifactsResponse>;
 
 /// Wire encoding of one record: u64 observation count, then (u64 MAC bits,
 /// f64 RSS dBm) per observation, then the optional floor label. Reading

@@ -17,6 +17,7 @@
 
 #include "common/error.h"
 #include "ingest/ingest_pipeline.h"
+#include "store/model_store.h"
 
 namespace grafics::serve {
 
@@ -56,6 +57,11 @@ Server::~Server() { Stop(); }
 void Server::AttachIngest(std::shared_ptr<ingest::IngestPipeline> ingest) {
   Require(!started_, "Server::AttachIngest: attach before Start");
   ingest_ = std::move(ingest);
+}
+
+void Server::AttachStore(std::shared_ptr<store::ModelStore> store) {
+  Require(!started_, "Server::AttachStore: attach before Start");
+  store_ = std::move(store);
 }
 
 void Server::Start() {
@@ -176,6 +182,21 @@ void Server::HandleFrame(std::string payload, std::size_t inflight,
     } else if (const auto* ingest_stats =
                    std::get_if<IngestStatsRequest>(&request)) {
       done.Send(EncodeFrame(HandleIngestStats(*ingest_stats), version));
+    } else if (const auto* checkpoint =
+                   std::get_if<CheckpointRequest>(&request)) {
+      // Checkpoints serialize a model snapshot and fsync it — same blocking
+      // profile as a reload, so same treatment.
+      ops_pool_->Submit([this, request = *checkpoint, version, done] {
+        done.Send(EncodeFrame(HandleCheckpoint(request), version));
+      });
+    } else if (const auto* compact = std::get_if<CompactRequest>(&request)) {
+      // Compaction blocks until the ingest worker has staged + committed.
+      ops_pool_->Submit([this, request = *compact, version, done] {
+        done.Send(EncodeFrame(HandleCompact(request), version));
+      });
+    } else if (const auto* artifacts =
+                   std::get_if<ListArtifactsRequest>(&request)) {
+      done.Send(EncodeFrame(HandleListArtifacts(*artifacts), version));
     } else {
       throw Error("Server: unexpected message type from client");
     }
@@ -278,9 +299,21 @@ Pong Server::HandlePing(const Ping& ping, std::uint32_t version) {
 ReloadResponse Server::HandleReload(const ReloadRequest& request) {
   ReloadResponse response;
   try {
-    response.model_generation = registry_->ReloadFromDisk(request.model);
+    if (request.generation != 0) {
+      // Generation-pinned rollback goes straight to the store; re-reading
+      // the recorded artifact path would load the wrong bytes.
+      Require(store_ != nullptr,
+              "Server: generation-pinned reload requires a persistence "
+              "store (--store-dir)");
+      response.model_generation =
+          registry_->ReloadFromStore(request.model, request.generation);
+      response.message = "model rolled back to store generation " +
+                         std::to_string(request.generation);
+    } else {
+      response.model_generation = registry_->ReloadFromDisk(request.model);
+      response.message = "model reloaded";
+    }
     response.ok = true;
-    response.message = "model reloaded";
   } catch (const std::exception& e) {
     response.ok = false;
     response.message = e.what();
@@ -305,6 +338,16 @@ StatsResponse Server::HandleStats(const StatsRequest& request) const {
   response.connections_accepted = connections_accepted_.load();
   response.models = registry_->Stats(request.model);
   response.transport = transport_stats();
+  if (store_ != nullptr) {
+    response.store.enabled = true;
+    const store::ArtifactCounts counts = store_->Counts();
+    response.store.base_count = counts.base_count;
+    response.store.delta_count = counts.delta_count;
+    if (ingest_ != nullptr) {
+      response.store.journal_bytes_reclaimed =
+          ingest_->JournalBytesReclaimed();
+    }
+  }
   return response;
 }
 
@@ -359,6 +402,61 @@ IngestStatsResponse Server::HandleIngestStats(
   if (ingest_ == nullptr) return response;  // enabled = false
   response.enabled = true;
   response.models = ingest_->Stats(request.model);
+  return response;
+}
+
+CheckpointResponse Server::HandleCheckpoint(const CheckpointRequest& request) {
+  CheckpointResponse response;
+  try {
+    Require(store_ != nullptr,
+            "Server: checkpoint requires a persistence store (--store-dir)");
+    const std::string name =
+        request.model.empty() ? registry_->default_model() : request.model;
+    store::StagedArtifact written;
+    response.generation =
+        store_->WriteCheckpoint(name, registry_->Snapshot(name), &written);
+    response.delta = written.is_delta;
+    response.bytes_written = written.bytes;
+    response.ok = true;
+    response.message = written.is_delta ? "delta checkpoint written"
+                                        : "base checkpoint written";
+  } catch (const std::exception& e) {
+    response.ok = false;
+    response.message = e.what();
+  }
+  return response;
+}
+
+CompactResponse Server::HandleCompact(const CompactRequest& request) {
+  CompactResponse response;
+  try {
+    Require(ingest_ != nullptr,
+            "Server: compaction requires the ingest pipeline "
+            "(--journal-dir)");
+    const ingest::IngestPipeline::CompactOutcome outcome =
+        ingest_->CompactNow(request.model);
+    response.generation = outcome.generation;
+    response.journal_bytes_reclaimed = outcome.journal_bytes_reclaimed;
+    response.ok = true;
+    response.message = "journal compacted";
+  } catch (const std::exception& e) {
+    response.ok = false;
+    response.message = e.what();
+  }
+  return response;
+}
+
+ListArtifactsResponse Server::HandleListArtifacts(
+    const ListArtifactsRequest& request) const {
+  ListArtifactsResponse response;
+  if (store_ == nullptr) return response;  // enabled = false
+  response.enabled = true;
+  const std::string name =
+      request.model.empty() ? registry_->default_model() : request.model;
+  for (const store::ArtifactInfo& info : store_->List(name)) {
+    response.artifacts.push_back(
+        {info.generation, info.is_delta, info.file, info.bytes});
+  }
   return response;
 }
 

@@ -16,10 +16,10 @@
 // "busy: ..." error — never a dropped connection.
 //
 // Version negotiation is per frame: the server decodes protocol v1 through
-// v5 requests and answers each in the dialect it arrived in, so v1 clients
+// v6 requests and answers each in the dialect it arrived in, so v1 clients
 // keep talking to the registry's default model while newer clients name
-// models, batch records, query admin state, and submit records for
-// ingestion on the same port.
+// models, batch records, query admin state, submit records for ingestion,
+// and drive the persistence store on the same port.
 //
 // The ingest surface (SubmitRecords/IngestStats) is optional: attach an
 // ingest::IngestPipeline before Start to enable it; without one, submits
@@ -40,6 +40,10 @@
 
 namespace grafics::ingest {
 class IngestPipeline;
+}
+
+namespace grafics::store {
+class ModelStore;
 }
 
 namespace grafics::serve {
@@ -87,6 +91,12 @@ class Server {
   /// server, then the pipeline, then the registry).
   void AttachIngest(std::shared_ptr<ingest::IngestPipeline> ingest);
 
+  /// Enables the v6 persistence surface: Checkpoint/ListArtifacts route to
+  /// `store`, Compact additionally needs an attached ingest pipeline, Stats
+  /// reports store counters, and Reload honors generation pins. Call before
+  /// Start; the store is shared with the registry and the caller.
+  void AttachStore(std::shared_ptr<store::ModelStore> store);
+
   /// Binds, listens, and spawns the accept loop + event workers. Throws
   /// grafics::Error when the address is unusable.
   void Start();
@@ -126,10 +136,15 @@ class Server {
   SubmitRecordsResponse HandleSubmit(SubmitRecordsRequest request);
   IngestStatsResponse HandleIngestStats(
       const IngestStatsRequest& request) const;
+  CheckpointResponse HandleCheckpoint(const CheckpointRequest& request);
+  CompactResponse HandleCompact(const CompactRequest& request);
+  ListArtifactsResponse HandleListArtifacts(
+      const ListArtifactsRequest& request) const;
 
   const ServerConfig config_;
   const std::shared_ptr<ModelRegistry> registry_;
   std::shared_ptr<ingest::IngestPipeline> ingest_;
+  std::shared_ptr<store::ModelStore> store_;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

@@ -8,7 +8,10 @@
 //   grafics remote-submit  <host:port> <records.csv> [--model NAME]
 //                          [--batch N]
 //   grafics remote-ping    <host:port> [--model NAME]
-//   grafics remote-reload  <host:port> [--model NAME]
+//   grafics remote-reload  <host:port> [--model NAME] [--generation N]
+//   grafics remote-checkpoint <host:port> [--model NAME]
+//   grafics remote-compact    <host:port> [--model NAME]
+//   grafics remote-artifacts  <host:port> [--model NAME]
 //   grafics remote-models  <host:port>
 //   grafics remote-stats   <host:port> [--model NAME]
 //   grafics remote-ingest-stats <host:port> [--model NAME]
@@ -25,7 +28,11 @@
 // watch progress with remote-ingest-stats until `pending` reaches 0).
 // remote-ping reports the negotiated protocol version; remote-models and
 // remote-stats are the admin surface of the daemon's multi-building model
-// registry.
+// registry. remote-checkpoint, remote-compact and remote-artifacts drive a
+// v6 daemon's persistence store (--store-dir): write a base/delta
+// checkpoint, fold the journal into one, and inspect the artifact chain;
+// remote-reload --generation N rolls the served model back to a pinned
+// store generation.
 //
 // Exit status: 0 on success, 1 on usage error, 2 on runtime failure.
 #include <cstdint>
@@ -58,7 +65,11 @@ int Usage() {
                "  grafics remote-submit  <host:port> <records.csv> "
                "[--model NAME] [--batch N]\n"
                "  grafics remote-ping    <host:port> [--model NAME]\n"
-               "  grafics remote-reload  <host:port> [--model NAME]\n"
+               "  grafics remote-reload  <host:port> [--model NAME] "
+               "[--generation N]\n"
+               "  grafics remote-checkpoint <host:port> [--model NAME]\n"
+               "  grafics remote-compact    <host:port> [--model NAME]\n"
+               "  grafics remote-artifacts  <host:port> [--model NAME]\n"
                "  grafics remote-models  <host:port>\n"
                "  grafics remote-stats   <host:port> [--model NAME]\n"
                "  grafics remote-ingest-stats <host:port> [--model NAME]\n"
@@ -179,8 +190,9 @@ int CmdRemoteIngestStats(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   const auto [host, port] = ParseHostPort(args[0]);
   const std::string model = FlagValue(args, "--model", "");
-  serve::Client client(host, port);
-  const serve::IngestStatsResponse stats = client.IngestStats(model);
+  // Same downgrade ladder as remote-stats, shared through the client.
+  const auto [stats, spoken] =
+      serve::Client::NegotiatedIngestStats(host, port, model);
   if (!stats.enabled) {
     std::fprintf(stderr, "ingest disabled on this daemon\n");
     return 2;
@@ -194,7 +206,7 @@ int CmdRemoteIngestStats(const std::vector<std::string>& args) {
         "%s,accepted=%llu,rejected=%llu,pending=%llu,folded=%llu,"
         "replayed=%llu,journal_bytes=%llu,publishes=%llu,"
         "last_publish_generation=%llu,fold_min_us=%llu,fold_mean_us=%llu,"
-        "fold_max_us=%llu,last_fold_us=%llu\n",
+        "fold_max_us=%llu,last_fold_us=%llu",
         m.name.c_str(), static_cast<unsigned long long>(m.accepted),
         static_cast<unsigned long long>(m.rejected),
         static_cast<unsigned long long>(m.pending),
@@ -207,6 +219,12 @@ int CmdRemoteIngestStats(const std::vector<std::string>& args) {
         static_cast<unsigned long long>(m.fold_mean_us),
         static_cast<unsigned long long>(m.fold_max_us),
         static_cast<unsigned long long>(m.last_fold_us));
+    if (spoken >= 6) {
+      std::printf(",replayed_batches=%llu,journal_dropped_bytes=%llu",
+                  static_cast<unsigned long long>(m.replayed_batches),
+                  static_cast<unsigned long long>(m.journal_dropped_bytes));
+    }
+    std::printf("\n");
   }
   return 0;
 }
@@ -229,11 +247,78 @@ int CmdRemoteReload(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   const auto [host, port] = ParseHostPort(args[0]);
   const std::string model = FlagValue(args, "--model", "");
+  // --generation N pins a store generation: the rollback flow against a
+  // daemon running with --store-dir (0 = plain reload from disk).
+  const std::uint64_t pinned = ParseUnsigned(
+      FlagValue(args, "--generation", "0"), UINT64_MAX, "--generation");
   serve::Client client(host, port);
-  const std::uint64_t generation = client.Reload(model);
-  std::printf("daemon reloaded model %s (generation %llu)\n",
-              model.empty() ? "<default>" : model.c_str(),
-              static_cast<unsigned long long>(generation));
+  const std::uint64_t generation = client.Reload(model, pinned);
+  if (pinned != 0) {
+    std::printf(
+        "daemon rolled back model %s to store generation %llu "
+        "(registry generation %llu)\n",
+        model.empty() ? "<default>" : model.c_str(),
+        static_cast<unsigned long long>(pinned),
+        static_cast<unsigned long long>(generation));
+  } else {
+    std::printf("daemon reloaded model %s (generation %llu)\n",
+                model.empty() ? "<default>" : model.c_str(),
+                static_cast<unsigned long long>(generation));
+  }
+  return 0;
+}
+
+int CmdRemoteCheckpoint(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const auto [host, port] = ParseHostPort(args[0]);
+  serve::Client client(host, port);
+  const serve::CheckpointResponse response =
+      client.Checkpoint(FlagValue(args, "--model", ""));
+  if (!response.ok) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", response.message.c_str());
+    return 2;
+  }
+  std::printf("generation=%llu,kind=%s,bytes=%llu\n",
+              static_cast<unsigned long long>(response.generation),
+              response.delta ? "delta" : "base",
+              static_cast<unsigned long long>(response.bytes_written));
+  return 0;
+}
+
+int CmdRemoteCompact(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const auto [host, port] = ParseHostPort(args[0]);
+  serve::Client client(host, port);
+  const serve::CompactResponse response =
+      client.Compact(FlagValue(args, "--model", ""));
+  if (!response.ok) {
+    std::fprintf(stderr, "compact failed: %s\n", response.message.c_str());
+    return 2;
+  }
+  std::printf("generation=%llu,journal_bytes_reclaimed=%llu\n",
+              static_cast<unsigned long long>(response.generation),
+              static_cast<unsigned long long>(
+                  response.journal_bytes_reclaimed));
+  return 0;
+}
+
+int CmdRemoteArtifacts(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const auto [host, port] = ParseHostPort(args[0]);
+  serve::Client client(host, port);
+  const serve::ListArtifactsResponse response =
+      client.ListArtifacts(FlagValue(args, "--model", ""));
+  if (!response.enabled) {
+    std::fprintf(stderr, "persistence store disabled on this daemon\n");
+    return 2;
+  }
+  for (const serve::ArtifactEntry& artifact : response.artifacts) {
+    std::printf("generation=%llu,kind=%s,bytes=%llu,file=%s\n",
+                static_cast<unsigned long long>(artifact.generation),
+                artifact.delta ? "delta" : "base",
+                static_cast<unsigned long long>(artifact.bytes),
+                artifact.file.c_str());
+  }
   return 0;
 }
 
@@ -255,28 +340,11 @@ int CmdRemoteStats(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   const auto [host, port] = ParseHostPort(args[0]);
   const std::string model = FlagValue(args, "--model", "");
-  // Newest dialect first; an older daemon rejects an unknown version by
-  // dropping the connection without a reply, in which case retry on a
-  // fresh connection one protocol version down (5 -> 4 -> 3 -> 2) and print
-  // only the fields that dialect carries — graceful degradation instead of
-  // a hard error against older deployments. Other failures (daemon down,
-  // transient socket errors) propagate untouched so they are reported as
-  // what they are, not masked as a version mismatch.
-  const auto is_version_rejection = [](const Error& e) {
-    return std::string(e.what()).find("closed the connection") !=
-           std::string::npos;
-  };
-  serve::StatsResponse stats;
-  std::uint32_t spoken = serve::kProtocolVersion;
-  for (;; --spoken) {
-    try {
-      serve::Client client(host, port);
-      stats = client.Stats(model, spoken);
-      break;
-    } catch (const Error& e) {
-      if (spoken <= 2 || !is_version_rejection(e)) throw;
-    }
-  }
+  // Client::NegotiatedStats walks the version ladder against older daemons;
+  // `spoken` tells us which fields the reply actually carried, so the
+  // output degrades gracefully instead of printing zero defaults.
+  const auto [stats, spoken] = serve::Client::NegotiatedStats(host, port,
+                                                              model);
   if (!model.empty() && stats.models.empty()) {
     std::fprintf(stderr, "no such model '%s'\n", model.c_str());
     return 2;
@@ -297,6 +365,18 @@ int CmdRemoteStats(const std::vector<std::string>& args) {
         static_cast<unsigned long long>(t.bytes_out),
         static_cast<unsigned long long>(t.requests_rejected_busy),
         static_cast<unsigned long long>(t.event_workers));
+  }
+  if (spoken >= 6) {
+    const serve::StoreStats& s = stats.store;
+    if (s.enabled) {
+      std::printf(
+          "store,bases=%llu,deltas=%llu,journal_bytes_reclaimed=%llu\n",
+          static_cast<unsigned long long>(s.base_count),
+          static_cast<unsigned long long>(s.delta_count),
+          static_cast<unsigned long long>(s.journal_bytes_reclaimed));
+    } else {
+      std::printf("store,disabled\n");
+    }
   }
   for (const serve::ModelStats& m : stats.models) {
     std::printf(
@@ -402,6 +482,9 @@ int main(int argc, char** argv) {
     if (command == "remote-ingest-stats") return CmdRemoteIngestStats(args);
     if (command == "remote-ping") return CmdRemotePing(args);
     if (command == "remote-reload") return CmdRemoteReload(args);
+    if (command == "remote-checkpoint") return CmdRemoteCheckpoint(args);
+    if (command == "remote-compact") return CmdRemoteCompact(args);
+    if (command == "remote-artifacts") return CmdRemoteArtifacts(args);
     if (command == "remote-models") return CmdRemoteModels(args);
     if (command == "remote-stats") return CmdRemoteStats(args);
     if (command == "eval") return CmdEval(args);

@@ -13,6 +13,8 @@
 //                  [--max-inflight N] [--max-queue-depth N] [--port-file F]
 //                  [--journal-dir D] [--ingest-batch N]
 //                  [--ingest-max-delay-ms M] [--ingest-max-pending N]
+//                  [--store-dir D] [--compact-every-n-folds N]
+//                  [--max-journal-bytes B]
 //
 //   <model.bin>       artifact loaded as model "default" (optional when at
 //                     least one --model is given)
@@ -47,6 +49,18 @@
 //   --ingest-max-pending N   per-model submission buffer bound; beyond it
 //                            submits are rejected with a backpressure
 //                            error (default 4096)
+//   --store-dir D     enable the unified persistence store: model loads are
+//                     imported as store generations, checkpoints and journal
+//                     compaction become available (protocol v6), and on
+//                     restart a model whose store chain has advanced past
+//                     its --model artifact is loaded from the store — a
+//                     restart never silently discards folded records
+//   --compact-every-n-folds N  compact a model's journal into a store
+//                     checkpoint after N background folds (0 = only on
+//                     explicit remote-compact; requires --store-dir and
+//                     --journal-dir)
+//   --max-journal-bytes B      compact as soon as a model's journal exceeds
+//                     B bytes (0 = no byte bound)
 //
 // SIGHUP hot-reloads every model from its artifact path, one by one: new
 // batches move to each fresh snapshot atomically while in-flight batches
@@ -63,6 +77,7 @@
 
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -77,6 +92,7 @@
 #include "ingest/ingest_pipeline.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
+#include "store/model_store.h"
 
 namespace {
 
@@ -123,7 +139,9 @@ int Usage() {
       "                      [--max-queue-depth N] [--port-file F]\n"
       "                      [--journal-dir D] [--ingest-batch N]\n"
       "                      [--ingest-max-delay-ms M] "
-      "[--ingest-max-pending N]\n");
+      "[--ingest-max-pending N]\n"
+      "                      [--store-dir D] [--compact-every-n-folds N]\n"
+      "                      [--max-journal-bytes B]\n");
   return 1;
 }
 
@@ -133,6 +151,33 @@ std::pair<std::string, std::string> ParseModelFlag(const std::string& text) {
   Require(equals != std::string::npos && equals > 0 && equals + 1 < text.size(),
           "--model expects NAME=PATH, got '" + text + "'");
   return {text.substr(0, equals), text.substr(equals + 1)};
+}
+
+/// Startup load with a persistence store attached. A model whose store
+/// chain has advanced past its --model artifact — delta checkpoints or
+/// compactions were committed after the import — is loaded from the store's
+/// latest generation: re-importing PATH would silently discard every record
+/// folded since. The artifact path wins only while it is still the chain's
+/// tip (first start, restart without intervening checkpoints, or an
+/// operator pointing --model at a freshly retrained file).
+void LoadStartupModel(serve::ModelRegistry& registry, const std::string& name,
+                      const std::string& path) {
+  const std::shared_ptr<store::ModelStore> attached = registry.store();
+  if (attached != nullptr && attached->LatestGeneration(name) > 0) {
+    const std::vector<store::ArtifactInfo> chain = attached->List(name);
+    const store::ArtifactInfo& latest = chain.back();
+    if (!latest.external) {
+      std::printf(
+          "grafics_served: loading %s from store generation %llu "
+          "(checkpoints supersede artifact %s)\n",
+          name.c_str(), static_cast<unsigned long long>(latest.generation),
+          path.c_str());
+      std::fflush(stdout);
+      registry.LoadFromStore(name);
+      return;
+    }
+  }
+  registry.LoadFromDisk(name, path);
 }
 
 /// SIGHUP: reload every reloadable model from its artifact path. A broken
@@ -202,6 +247,18 @@ int main(int argc, char** argv) {
     ingest_config.max_pending = static_cast<std::size_t>(
         ParseUnsigned(FlagValue(args, "--ingest-max-pending", "4096"),
                       1 << 24, "--ingest-max-pending"));
+    const std::string store_dir = FlagValue(args, "--store-dir", "");
+    ingest_config.compact_every_n_folds = static_cast<std::size_t>(
+        ParseUnsigned(FlagValue(args, "--compact-every-n-folds", "0"),
+                      1 << 24, "--compact-every-n-folds"));
+    ingest_config.max_journal_bytes = ParseUnsigned(
+        FlagValue(args, "--max-journal-bytes", "0"), UINT64_MAX,
+        "--max-journal-bytes");
+    Require((ingest_config.compact_every_n_folds == 0 &&
+             ingest_config.max_journal_bytes == 0) ||
+                (!store_dir.empty() && !ingest_config.journal_dir.empty()),
+            "--compact-every-n-folds / --max-journal-bytes require both "
+            "--store-dir and --journal-dir");
     const std::vector<std::string> model_flags = FlagValues(args, "--model");
     if (positional_model.empty() && model_flags.empty()) return Usage();
 
@@ -209,11 +266,17 @@ int main(int argc, char** argv) {
     // not kill the process with the default action.
     InstallSignalHandlers();
     auto registry = std::make_shared<serve::ModelRegistry>(batcher);
+    std::shared_ptr<store::ModelStore> model_store;
+    if (!store_dir.empty()) {
+      model_store = std::make_shared<store::ModelStore>(store_dir);
+      registry->AttachStore(model_store);
+      ingest_config.model_store = model_store;
+    }
     if (!positional_model.empty()) {
       std::printf("grafics_served: loading default = %s...\n",
                   positional_model.c_str());
       std::fflush(stdout);
-      registry->LoadFromDisk("default", positional_model);
+      LoadStartupModel(*registry, "default", positional_model);
     }
     for (const std::string& flag : model_flags) {
       const auto [name, path] = ParseModelFlag(flag);
@@ -224,7 +287,7 @@ int main(int argc, char** argv) {
       std::printf("grafics_served: loading %s = %s...\n", name.c_str(),
                   path.c_str());
       std::fflush(stdout);
-      registry->LoadFromDisk(name, path);
+      LoadStartupModel(*registry, name, path);
     }
     const std::string default_name = FlagValue(args, "--default", "");
     if (!default_name.empty()) registry->SetDefaultModel(default_name);
@@ -253,6 +316,7 @@ int main(int argc, char** argv) {
 
     serve::Server server(registry, config);
     if (pipeline != nullptr) server.AttachIngest(pipeline);
+    if (model_store != nullptr) server.AttachStore(model_store);
     server.Start();
     std::printf(
         "grafics_served: serving %zu model(s) (default %s) on %s:%u "

@@ -6,6 +6,7 @@
 // and journal replay into a fresh registry — the daemon-restart story.
 #include <gtest/gtest.h>
 
+#include <dirent.h>
 #include <sys/stat.h>
 
 #include <algorithm>
@@ -24,6 +25,7 @@
 #include "ingest/record_journal.h"
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
+#include "store/model_store.h"
 #include "synth/presets.h"
 
 namespace grafics::ingest {
@@ -425,6 +427,8 @@ TEST(IngestPipelineTest, JournalReplayRebuildsTheSameModelAfterRestart) {
     EXPECT_EQ(stats[0].replayed, f.stream.size());
     EXPECT_EQ(stats[0].folded, f.stream.size());
     EXPECT_EQ(stats[0].publishes, 1u);  // folded batches collapse into one
+    EXPECT_EQ(stats[0].replayed_batches, f.stream.size() / 4);
+    EXPECT_EQ(stats[0].journal_dropped_bytes, 0u);
     EXPECT_EQ(registry->generation("campus"), 2u);
     const auto after = registry->Snapshot("campus")->PredictBatch(
         f.queries, {.num_threads = 1});
@@ -465,6 +469,9 @@ TEST(IngestPipelineTest, ReplayQueuesRecordsAcceptedButNeverFolded) {
   ASSERT_EQ(stats.size(), 1u);
   EXPECT_EQ(stats[0].replayed, 3u);
   EXPECT_EQ(stats[0].folded, 3u);
+  // The torn half-frame the crash left behind is observable, not silent.
+  EXPECT_EQ(stats[0].journal_dropped_bytes, 3u);
+  EXPECT_EQ(stats[0].replayed_batches, 0u);  // nothing was ever committed
   EXPECT_EQ(registry->generation("campus"), 2u);
 
   // Their fold-commit frame is on disk now: the next life replays them as
@@ -475,6 +482,225 @@ TEST(IngestPipelineTest, ReplayQueuesRecordsAcceptedButNeverFolded) {
   ASSERT_EQ(replay.folded_batches.size(), 1u);
   EXPECT_EQ(replay.folded_batches[0].size(), 3u);
   EXPECT_TRUE(replay.unfolded.empty());
+}
+
+// --- journal compaction + the crash matrix --------------------------------
+
+/// Fresh (emptied) directory under the test temp root.
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + name;
+  ::mkdir(dir.c_str(), 0755);
+  if (DIR* handle = ::opendir(dir.c_str())) {
+    while (const dirent* entry = ::readdir(handle)) {
+      const std::string file = entry->d_name;
+      if (file == "." || file == "..") continue;
+      std::remove((dir + "/" + file).c_str());
+    }
+    ::closedir(handle);
+  }
+  return dir;
+}
+
+bool FileExists(const std::string& path) {
+  struct ::stat info;
+  return ::stat(path.c_str(), &info) == 0;
+}
+
+std::vector<std::optional<rf::FloorId>> Served(
+    const serve::ModelRegistry& registry,
+    const std::vector<rf::SignalRecord>& queries) {
+  return registry.Snapshot("campus")->PredictBatch(queries,
+                                                   {.num_threads = 1});
+}
+
+TEST(IngestCompactionTest, CompactNowWritesABaseAndRestartSkipsTheReplay) {
+  const Fixture& f = SharedFixture();
+  const std::string journal_dir = FreshDir("compact_journal_dir");
+  const std::string store_dir = FreshDir("compact_store_dir");
+
+  IngestConfig config;
+  config.fold_batch_size = 4;
+  config.max_delay = 5ms;
+  config.journal_dir = journal_dir;
+
+  // First life: fold the stream, then compact. The journal's committed
+  // prefix becomes store generation 1 and the journal is truncated to the
+  // (empty) pending suffix under a bumped epoch file name.
+  std::vector<std::optional<rf::FloorId>> before;
+  std::uint64_t journal_bytes_before = 0;
+  {
+    config.model_store = std::make_shared<store::ModelStore>(store_dir);
+    auto registry = MakeRegistry(f);
+    IngestPipeline pipeline(registry, config);
+    pipeline.Attach("campus");
+    for (const auto& result : pipeline.Submit("campus", f.stream)) {
+      ASSERT_TRUE(result.accepted) << result.error;
+    }
+    ASSERT_TRUE(pipeline.WaitUntilDrained());
+    journal_bytes_before = pipeline.Stats("campus")[0].journal_bytes;
+
+    const IngestPipeline::CompactOutcome outcome =
+        pipeline.CompactNow("campus");
+    EXPECT_EQ(outcome.generation, 1u);
+    EXPECT_GT(outcome.journal_bytes_reclaimed, 0u);
+    EXPECT_EQ(pipeline.JournalBytesReclaimed(),
+              outcome.journal_bytes_reclaimed);
+    EXPECT_LT(pipeline.Stats("campus")[0].journal_bytes,
+              journal_bytes_before);
+    before = Served(*registry, f.queries);
+    pipeline.Stop();
+    registry->Stop();
+  }
+  // The epoch-0 journal was retired; the active journal is epoch 1.
+  EXPECT_FALSE(FileExists(journal_dir + "/" + JournalFileName("campus")));
+  EXPECT_TRUE(
+      FileExists(journal_dir + "/" + JournalFileName("campus") + ".1"));
+
+  // Simulate a crash that died after the manifest commit but before the
+  // old epoch was unlinked: resurrect a stale epoch-0 file. Restart must
+  // remove it unread — its committed prefix is already inside the store.
+  {
+    std::ofstream stale(journal_dir + "/" + JournalFileName("campus"),
+                        std::ios::binary);
+    stale.write("stale", 5);
+  }
+
+  // Second life: the daemon restart rule — open the store's latest
+  // generation (base, no journal replay) and attach the epoch-1 journal.
+  {
+    auto store = std::make_shared<store::ModelStore>(store_dir);
+    serve::BatcherConfig batcher;
+    batcher.max_batch_size = 8;
+    batcher.max_delay = 2ms;
+    auto registry = std::make_shared<serve::ModelRegistry>(batcher);
+    registry->AttachStore(store);
+    registry->LoadFromStore("campus");
+    config.model_store = store;
+    IngestPipeline pipeline(registry, config);
+    pipeline.Attach("campus");
+
+    // No full-journal replay happened: the model came from the store.
+    const auto stats = pipeline.Stats("campus");
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].replayed, 0u);
+    EXPECT_EQ(stats[0].replayed_batches, 0u);
+    EXPECT_EQ(Served(*registry, f.queries), before);
+    EXPECT_FALSE(FileExists(journal_dir + "/" + JournalFileName("campus")));
+
+    // The chain keeps extending: more folds, and the next compaction is a
+    // delta checkpoint against the retained generation, not a second base.
+    const std::vector<rf::SignalRecord> more(f.stream.begin(),
+                                             f.stream.begin() + 4);
+    for (const auto& result : pipeline.Submit("campus", more)) {
+      ASSERT_TRUE(result.accepted) << result.error;
+    }
+    ASSERT_TRUE(pipeline.WaitUntilDrained());
+    EXPECT_EQ(pipeline.CompactNow("campus").generation, 2u);
+    const std::vector<store::ArtifactInfo> chain = store->List("campus");
+    ASSERT_EQ(chain.size(), 2u);
+    EXPECT_FALSE(chain[0].is_delta);
+    EXPECT_TRUE(chain[1].is_delta);
+    EXPECT_LT(chain[1].bytes, chain[0].bytes);
+    pipeline.Stop();
+    registry->Stop();
+  }
+}
+
+TEST(IngestCompactionTest, CrashBeforeTheManifestCommitReplaysTheOldState) {
+  const Fixture& f = SharedFixture();
+  const std::string journal_dir = FreshDir("compact_crash_journal_dir");
+  const std::string store_dir = FreshDir("compact_crash_store_dir");
+
+  IngestConfig config;
+  config.fold_batch_size = 4;
+  config.max_delay = 5ms;
+  config.journal_dir = journal_dir;
+
+  // First life: folds land in the epoch-0 journal, then the "crash" hits
+  // mid-compaction — after the artifact was staged and the replacement
+  // epoch file appeared, but before the manifest rename committed either.
+  std::vector<std::optional<rf::FloorId>> before;
+  {
+    config.model_store = std::make_shared<store::ModelStore>(store_dir);
+    auto registry = MakeRegistry(f);
+    IngestPipeline pipeline(registry, config);
+    pipeline.Attach("campus");
+    for (const auto& result : pipeline.Submit("campus", f.stream)) {
+      ASSERT_TRUE(result.accepted) << result.error;
+    }
+    ASSERT_TRUE(pipeline.WaitUntilDrained());
+    before = Served(*registry, f.queries);
+    pipeline.Stop();
+    registry->Stop();
+    // The stage half of the compaction: artifact durable, manifest
+    // untouched...
+    config.model_store->StageCheckpoint("campus",
+                                        registry->Snapshot("campus"));
+    // ...and the stray replacement epoch the crash also left behind.
+    std::ofstream stray(
+        journal_dir + "/" + JournalFileName("campus") + ".1",
+        std::ios::binary);
+    stray.write("stray", 5);
+  }
+
+  // Second life: the manifest never committed, so the store is empty —
+  // the restart takes the full-replay path against the epoch-0 journal and
+  // rebuilds the exact pre-crash model; the stray epoch file is removed.
+  {
+    config.model_store = std::make_shared<store::ModelStore>(store_dir);
+    EXPECT_EQ(config.model_store->LatestGeneration("campus"), 0u);
+    auto registry = MakeRegistry(f);
+    IngestPipeline pipeline(registry, config);
+    pipeline.Attach("campus");
+    const auto stats = pipeline.Stats("campus");
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].replayed, f.stream.size());
+    EXPECT_EQ(Served(*registry, f.queries), before);
+    EXPECT_FALSE(FileExists(journal_dir + "/" + JournalFileName("campus") +
+                            ".1"));
+    pipeline.Stop();
+    registry->Stop();
+  }
+}
+
+TEST(IngestCompactionTest, FoldCountPolicyCompactsWithoutAnExplicitRequest) {
+  const Fixture& f = SharedFixture();
+  const std::string journal_dir = FreshDir("compact_policy_journal_dir");
+  const std::string store_dir = FreshDir("compact_policy_store_dir");
+
+  IngestConfig config;
+  config.fold_batch_size = 4;
+  config.max_delay = 5ms;
+  config.journal_dir = journal_dir;
+  config.model_store = std::make_shared<store::ModelStore>(store_dir);
+  config.compact_every_n_folds = 2;
+
+  auto registry = MakeRegistry(f);
+  IngestPipeline pipeline(registry, config);
+  pipeline.Attach("campus");
+  for (const auto& result : pipeline.Submit("campus", f.stream)) {
+    ASSERT_TRUE(result.accepted) << result.error;
+  }
+  ASSERT_TRUE(pipeline.WaitUntilDrained());
+  // The worker compacts between folds; give the policy a moment to fire.
+  for (int i = 0; i < 100 && pipeline.JournalBytesReclaimed() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(pipeline.JournalBytesReclaimed(), 0u);
+  EXPECT_GE(config.model_store->LatestGeneration("campus"), 1u);
+  pipeline.Stop();
+  registry->Stop();
+}
+
+TEST(IngestCompactionTest, CompactNowThrowsWithoutAJournalOrStore) {
+  const Fixture& f = SharedFixture();
+  auto registry = MakeRegistry(f);
+  IngestConfig config;  // no journal_dir, no model_store
+  IngestPipeline pipeline(registry, config);
+  pipeline.Attach("campus");
+  EXPECT_THROW(pipeline.CompactNow("campus"), Error);
+  EXPECT_THROW(pipeline.CompactNow("no-such-building"), Error);
+  EXPECT_EQ(pipeline.JournalBytesReclaimed(), 0u);
 }
 
 }  // namespace

@@ -105,7 +105,27 @@ std::vector<Message> AllMessageTypes() {
   ingest_stats.enabled = true;
   ingest_stats.models = {{"campus", 90, 2, 5, 80, 40, 12345, 3, 7,
                           /*fold_min_us=*/150, /*fold_mean_us=*/420,
-                          /*fold_max_us=*/1800, /*last_fold_us=*/300}};
+                          /*fold_max_us=*/1800, /*last_fold_us=*/300,
+                          /*journal_dropped_bytes=*/17,
+                          /*replayed_batches=*/4}};
+  ReloadRequest pinned_reload;
+  pinned_reload.model = "mall";
+  pinned_reload.generation = 6;
+  CheckpointResponse checkpointed;
+  checkpointed.ok = true;
+  checkpointed.generation = 4;
+  checkpointed.delta = true;
+  checkpointed.bytes_written = 12345;
+  checkpointed.message = "delta checkpoint written";
+  CompactResponse compacted;
+  compacted.ok = true;
+  compacted.generation = 5;
+  compacted.journal_bytes_reclaimed = 7777;
+  compacted.message = "journal compacted";
+  ListArtifactsResponse artifacts;
+  artifacts.enabled = true;
+  artifacts.artifacts = {{1, false, "campus.g1.base", 100000},
+                         {2, true, "campus.g2.delta", 2048}};
   std::vector<Message> messages;
   messages.push_back(named_batch);
   messages.push_back(PredictRequest{"", {MakeRecord(7)}});
@@ -128,6 +148,16 @@ std::vector<Message> AllMessageTypes() {
   messages.push_back(IngestStatsRequest{"campus"});
   messages.push_back(ingest_stats);
   messages.push_back(IngestStatsResponse{});  // ingest disabled
+  messages.push_back(pinned_reload);
+  messages.push_back(CheckpointRequest{});
+  messages.push_back(CheckpointRequest{"mall"});
+  messages.push_back(checkpointed);
+  messages.push_back(CheckpointResponse{});  // failed checkpoint
+  messages.push_back(CompactRequest{"campus"});
+  messages.push_back(compacted);
+  messages.push_back(ListArtifactsRequest{});
+  messages.push_back(artifacts);
+  messages.push_back(ListArtifactsResponse{});  // store disabled
   return messages;
 }
 
@@ -391,14 +421,98 @@ TEST(ProtocolV5Test, TransportStatsRoundTripWithNonZeroCounters) {
                      /*requests_rejected_busy=*/31,
                      /*event_workers=*/4};
   std::uint32_t version = 0;
-  const Message decoded = DecodePayload(EncodePayload(stats), &version);
+  const Message decoded = DecodePayload(EncodePayload(stats, 5), &version);
   EXPECT_EQ(version, 5u);
   const auto* response = std::get_if<StatsResponse>(&decoded);
   ASSERT_NE(response, nullptr);
   EXPECT_EQ(*response, stats);
   // The transport block sits after the models array, so the v5 payload is
   // exactly the v4 payload plus the eight u64 counters.
-  EXPECT_EQ(EncodePayload(stats).size(), EncodePayload(stats, 4).size() + 64);
+  EXPECT_EQ(EncodePayload(stats, 5).size(),
+            EncodePayload(stats, 4).size() + 64);
+}
+
+// --- v5 <-> v6 compatibility ----------------------------------------------
+
+TEST(ProtocolV5CompatTest, V5EncodingsAreFrozenByTheV6Bump) {
+  // StatsResponse: the store block exists only in v6 frames, after the
+  // transport block — u8 enabled + three u64 counters = 25 bytes.
+  StatsResponse stats;
+  stats.connections_accepted = 17;
+  stats.models = {{"campus", 2, 100, 9, 32, 3, PublishSource::kIngest, 12,
+                   /*shared_bytes=*/555, /*owned_bytes=*/666}};
+  stats.store = {/*enabled=*/true, /*base_count=*/3, /*delta_count=*/9,
+                 /*journal_bytes_reclaimed=*/4096};  // must NOT leak into v5
+  EXPECT_EQ(EncodePayload(stats).size(), EncodePayload(stats, 5).size() + 25);
+  {
+    const Message decoded = DecodePayload(EncodePayload(stats, 5));
+    const auto* response = std::get_if<StatsResponse>(&decoded);
+    ASSERT_NE(response, nullptr);
+    EXPECT_EQ(response->store, StoreStats{});
+  }
+
+  // IngestModelStats: the journal_dropped_bytes + replayed_batches pair is
+  // a v6-only suffix of each model entry — two u64s.
+  IngestStatsResponse ingest;
+  ingest.enabled = true;
+  ingest.models = {{"campus", 90, 2, 5, 80, 40, 12345, 3, 7, 150, 420, 1800,
+                    300, /*journal_dropped_bytes=*/17,
+                    /*replayed_batches=*/4}};
+  EXPECT_EQ(EncodePayload(ingest).size(),
+            EncodePayload(ingest, 5).size() + 16);
+  {
+    const Message decoded = DecodePayload(EncodePayload(ingest, 5));
+    const auto* response = std::get_if<IngestStatsResponse>(&decoded);
+    ASSERT_NE(response, nullptr);
+    EXPECT_EQ(response->models[0].journal_dropped_bytes, 0u);
+    EXPECT_EQ(response->models[0].replayed_batches, 0u);
+  }
+
+  // ReloadRequest: the generation pin is a v6-only u64; an unpinned reload
+  // still encodes at v5 byte-for-byte, a pinned one cannot be expressed.
+  EXPECT_EQ(EncodePayload(ReloadRequest{"mall"}).size(),
+            EncodePayload(ReloadRequest{"mall"}, 5).size() + 8);
+  ReloadRequest pinned;
+  pinned.generation = 3;
+  EXPECT_THROW(EncodePayload(pinned, 5), Error);
+  EXPECT_THROW(EncodePayload(pinned, 2), Error);
+}
+
+TEST(ProtocolV5CompatTest, OlderVersionsCannotExpressStoreMessages) {
+  const std::vector<Message> store_messages = {
+      CheckpointRequest{},      CheckpointResponse{},
+      CompactRequest{},         CompactResponse{},
+      ListArtifactsRequest{},   ListArtifactsResponse{},
+  };
+  for (const Message& message : store_messages) {
+    for (const std::uint32_t version : {1u, 2u, 3u, 4u, 5u}) {
+      EXPECT_THROW(EncodePayload(message, version), Error)
+          << "version " << version;
+    }
+  }
+}
+
+TEST(ProtocolV5CompatTest, OlderFramesWithStoreTypeCodesAreRejected) {
+  for (const std::uint32_t version : {1u, 2u, 3u, 4u, 5u}) {
+    for (const std::uint8_t type : {15, 16, 17, 18, 19, 20}) {
+      std::ostringstream out;
+      WriteHeader(out, kFrameMagic, version);
+      WriteU8(out, type);
+      EXPECT_THROW(DecodePayload(std::move(out).str()), Error)
+          << "version " << version << " type "
+          << static_cast<unsigned>(type);
+    }
+  }
+}
+
+TEST(ProtocolV6Test, ArtifactListingsAreBoundedAgainstHostileLengths) {
+  // A hostile artifact count must be rejected before allocating.
+  std::ostringstream out;
+  WriteHeader(out, kFrameMagic, kProtocolVersion);
+  WriteU8(out, 20);  // kListArtifactsResponse
+  WriteU8(out, 1);   // enabled
+  WriteU32(out, 0xFFFFFFFFu);
+  EXPECT_THROW(DecodePayload(std::move(out).str()), Error);
 }
 
 TEST(ProtocolV2CompatTest, OlderVersionsCannotExpressIngestMessages) {
