@@ -1,0 +1,192 @@
+// Synchronization primitives carrying Clang thread-safety annotations.
+//
+// Every mutex in this codebase is a grafics::Mutex, every scoped lock a
+// grafics::MutexLock, and every condition variable a grafics::CondVar from
+// this header — tools/check_invariants.py rejects naked std::mutex /
+// std::lock_guard / std::condition_variable anywhere else under src/. The
+// wrappers cost nothing (they compile to the std primitives) but carry the
+// Clang capability attributes, so under `clang++ -Wthread-safety` (turned
+// into -Werror=thread-safety by CMake for Clang builds, and run by the
+// static-analysis CI job) the locking contracts become compile-time
+// properties:
+//
+//   * a field declared GRAFICS_GUARDED_BY(mutex_) cannot be read or written
+//     without holding mutex_ — a forgotten lock is a build error, not a
+//     probabilistic TSan finding;
+//   * a private helper declared GRAFICS_REQUIRES(mutex_) cannot be called
+//     without the lock, and cannot double-lock it;
+//   * a blocking entry point declared GRAFICS_EXCLUDES(mutex_) cannot be
+//     called with the lock held (self-deadlock becomes a build error).
+//
+// On non-Clang compilers (and pre-analysis Clang) the attribute macros
+// expand to nothing; GCC builds see plain std::mutex semantics.
+//
+// Usage is the canonical pattern from the Clang thread-safety docs:
+//
+//   class Account {
+//     grafics::Mutex mutex_;
+//     int balance_ GRAFICS_GUARDED_BY(mutex_) = 0;
+//     void DepositLocked(int n) GRAFICS_REQUIRES(mutex_) { balance_ += n; }
+//    public:
+//     void Deposit(int n) GRAFICS_EXCLUDES(mutex_) {
+//       const grafics::MutexLock lock(&mutex_);
+//       DepositLocked(n);
+//     }
+//   };
+//
+// Condition waits: CondVar::Wait(mutex) REQUIRES the mutex (a condvar wait
+// atomically releases and reacquires, so "held" is the correct contract on
+// both sides). Predicate waits are written as explicit while-loops in the
+// annotated caller rather than predicate lambdas, so every guarded access
+// stays inside a function the analysis can see:
+//
+//   while (!stopping_ && queue_.empty()) cond_.Wait(mutex_);
+//
+// See docs/development.md for how to annotate new code and how to reproduce
+// the CI gate locally.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---- attribute macros -----------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define GRAFICS_TS_ATTRIBUTE(x) __attribute__((x))
+#endif
+#endif
+#ifndef GRAFICS_TS_ATTRIBUTE
+#define GRAFICS_TS_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability ("mutex" names it in diagnostics).
+#define GRAFICS_CAPABILITY(x) GRAFICS_TS_ATTRIBUTE(capability(x))
+/// Declares an RAII type that acquires in its ctor and releases in its dtor.
+#define GRAFICS_SCOPED_CAPABILITY GRAFICS_TS_ATTRIBUTE(scoped_lockable)
+/// Field may only be touched while holding the named capability.
+#define GRAFICS_GUARDED_BY(x) GRAFICS_TS_ATTRIBUTE(guarded_by(x))
+/// Pointee may only be touched while holding the named capability.
+#define GRAFICS_PT_GUARDED_BY(x) GRAFICS_TS_ATTRIBUTE(pt_guarded_by(x))
+/// Function requires the capability held on entry (and leaves it held).
+#define GRAFICS_REQUIRES(...) \
+  GRAFICS_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+/// Function acquires the capability (must not be held on entry).
+#define GRAFICS_ACQUIRE(...) \
+  GRAFICS_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (must be held on entry).
+#define GRAFICS_RELEASE(...) \
+  GRAFICS_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define GRAFICS_TRY_ACQUIRE(...) \
+  GRAFICS_TS_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard).
+#define GRAFICS_EXCLUDES(...) GRAFICS_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+/// Runtime assertion that the capability is held (informs the analysis).
+#define GRAFICS_ASSERT_CAPABILITY(x) \
+  GRAFICS_TS_ATTRIBUTE(assert_capability(x))
+/// Function returns a reference to the named capability.
+#define GRAFICS_RETURN_CAPABILITY(x) GRAFICS_TS_ATTRIBUTE(lock_returned(x))
+/// Documents lock-acquisition order between capabilities.
+#define GRAFICS_ACQUIRED_BEFORE(...) \
+  GRAFICS_TS_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define GRAFICS_ACQUIRED_AFTER(...) \
+  GRAFICS_TS_ATTRIBUTE(acquired_after(__VA_ARGS__))
+/// Escape hatch: disables the analysis for one function. Every use needs a
+/// comment explaining why the contract cannot be expressed.
+#define GRAFICS_NO_THREAD_SAFETY_ANALYSIS \
+  GRAFICS_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace grafics {
+
+class CondVar;
+
+// ---- Mutex ----------------------------------------------------------------
+
+/// std::mutex carrying the `capability` attribute. Prefer MutexLock for
+/// whole-scope critical sections; explicit Lock/Unlock is for loops that
+/// release around blocking work (the analysis checks both styles).
+class GRAFICS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GRAFICS_ACQUIRE() { mutex_.lock(); }
+  void Unlock() GRAFICS_RELEASE() { mutex_.unlock(); }
+  bool TryLock() GRAFICS_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  /// No-op at runtime; tells the analysis the lock is held on paths it
+  /// cannot see (e.g. a callback documented to run under the lock).
+  void AssertHeld() const GRAFICS_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;  // CondVar::Wait adopts the underlying std::mutex
+  std::mutex mutex_;
+};
+
+// ---- MutexLock ------------------------------------------------------------
+
+/// RAII lock for a whole scope; the SCOPED_CAPABILITY attribute lets the
+/// analysis treat construction as acquire and destruction as release.
+class GRAFICS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mutex) GRAFICS_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_->Lock();
+  }
+  ~MutexLock() GRAFICS_RELEASE() { mutex_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mutex_;
+};
+
+// ---- CondVar --------------------------------------------------------------
+
+/// std::condition_variable over grafics::Mutex. Wait atomically releases and
+/// reacquires, so the REQUIRES(mutex) contract holds on entry and exit;
+/// spurious wakeups are possible exactly as with the std primitive — always
+/// wait in a predicate loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mutex) GRAFICS_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still owns the re-acquired mutex
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status WaitUntil(Mutex& mutex,
+                           const std::chrono::time_point<Clock, Duration>&
+                               deadline) GRAFICS_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status WaitFor(Mutex& mutex,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      GRAFICS_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace grafics

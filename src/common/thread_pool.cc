@@ -18,10 +18,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(&mutex_);
     stopping_ = true;
   }
-  condition_.notify_all();
+  condition_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
@@ -29,11 +29,11 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(&mutex_);
     Require(!stopping_, "ThreadPool::Submit after shutdown");
     tasks_.push(std::move(packaged));
   }
-  condition_.notify_one();
+  condition_.NotifyOne();
   return future;
 }
 
@@ -60,8 +60,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      condition_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      const MutexLock lock(&mutex_);
+      while (!stopping_ && tasks_.empty()) condition_.Wait(mutex_);
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

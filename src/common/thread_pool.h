@@ -4,14 +4,14 @@
 // embarrassingly parallel experiment sweeps in the bench harness.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotated_sync.h"
 
 namespace grafics {
 
@@ -27,7 +27,8 @@ class ThreadPool {
   std::size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues a task; the returned future resolves when it finishes.
-  std::future<void> Submit(std::function<void()> task);
+  std::future<void> Submit(std::function<void()> task)
+      GRAFICS_EXCLUDES(mutex_);
 
   /// Runs fn(begin..end) split into one contiguous chunk per worker and
   /// blocks until all chunks complete. fn receives (chunk_begin, chunk_end).
@@ -35,13 +36,13 @@ class ThreadPool {
                    const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() GRAFICS_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable condition_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar condition_;
+  std::queue<std::packaged_task<void()>> tasks_ GRAFICS_GUARDED_BY(mutex_);
+  bool stopping_ GRAFICS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace grafics

@@ -119,7 +119,7 @@ std::string JournalFileName(const std::string& model_name) {
 
 IngestPipeline::IngestPipeline(std::shared_ptr<serve::ModelRegistry> registry,
                                IngestConfig config)
-    : config_(config), registry_(std::move(registry)) {
+    : config_(std::move(config)), registry_(std::move(registry)) {
   Require(registry_ != nullptr, "IngestPipeline: registry required");
   Require(config_.fold_batch_size >= 1,
           "IngestPipeline: fold_batch_size >= 1");
@@ -134,7 +134,7 @@ IngestPipeline::~IngestPipeline() {
 }
 
 void IngestPipeline::Attach(const std::string& name) {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(&mutex_);
   Require(!stopped_, "IngestPipeline::Attach after Stop");
   Require(entries_.count(name) == 0,
           "IngestPipeline::Attach: '" + name + "' already attached");
@@ -144,6 +144,10 @@ void IngestPipeline::Attach(const std::string& name) {
 
   auto entry = std::make_shared<Entry>();
   entry->name = name;
+  // Entry not yet published, but the worker thread spawned below reads all
+  // of this under entry->mutex — initialize under it too so the
+  // happens-before edge is the lock, not the std::thread constructor.
+  const MutexLock entry_lock(&entry->mutex);
   entry->stats.name = name;
   if (!config_.journal_dir.empty()) {
     if (config_.model_store != nullptr) {
@@ -216,7 +220,7 @@ std::vector<SubmitResult> IngestPipeline::Submit(
     return results;
   }
 
-  const std::scoped_lock lock(entry->mutex);
+  const MutexLock lock(&entry->mutex);
   if (entry->stopping) {
     for (SubmitResult& result : results) {
       result.error = "ingest: pipeline stopped";
@@ -269,7 +273,7 @@ std::vector<SubmitResult> IngestPipeline::Submit(
   }
   entry->stats.accepted += accepted.size();
   entry->stats.rejected += records.size() - accepted.size();
-  entry->wake.notify_one();
+  entry->wake.NotifyOne();
   return results;
 }
 
@@ -277,7 +281,7 @@ std::vector<serve::IngestModelStats> IngestPipeline::Stats(
     const std::string& name_filter) const {
   std::vector<std::shared_ptr<Entry>> entries;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(&mutex_);
     entries.reserve(name_filter.empty() ? entries_.size() : 1);
     for (const auto& [name, entry] : entries_) {
       if (!name_filter.empty() && name != name_filter) continue;
@@ -287,7 +291,7 @@ std::vector<serve::IngestModelStats> IngestPipeline::Stats(
   std::vector<serve::IngestModelStats> stats;
   stats.reserve(entries.size());
   for (const std::shared_ptr<Entry>& entry : entries) {
-    const std::scoped_lock lock(entry->mutex);
+    const MutexLock lock(&entry->mutex);
     serve::IngestModelStats s = entry->stats;
     s.pending = entry->pending.size() + entry->in_flight;
     stats.push_back(std::move(s));
@@ -298,7 +302,7 @@ std::vector<serve::IngestModelStats> IngestPipeline::Stats(
 std::uint64_t IngestPipeline::PendingDepth(const std::string& name) const {
   const std::shared_ptr<Entry> entry = Find(name);
   if (entry == nullptr) return 0;
-  const std::scoped_lock lock(entry->mutex);
+  const MutexLock lock(&entry->mutex);
   return entry->pending.size() + entry->in_flight;
 }
 
@@ -309,11 +313,11 @@ bool IngestPipeline::WaitUntilDrained(std::chrono::milliseconds timeout) {
     {
       std::vector<std::shared_ptr<Entry>> entries;
       {
-        const std::scoped_lock lock(mutex_);
+        const MutexLock lock(&mutex_);
         for (const auto& [name, entry] : entries_) entries.push_back(entry);
       }
       for (const std::shared_ptr<Entry>& entry : entries) {
-        const std::scoped_lock lock(entry->mutex);
+        const MutexLock lock(&entry->mutex);
         if (!entry->pending.empty() || entry->in_flight > 0) {
           drained = false;
           break;
@@ -329,49 +333,57 @@ bool IngestPipeline::WaitUntilDrained(std::chrono::milliseconds timeout) {
 void IngestPipeline::Stop() {
   std::vector<std::shared_ptr<Entry>> entries;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(&mutex_);
     stopped_ = true;
     for (const auto& [name, entry] : entries_) entries.push_back(entry);
   }
   for (const std::shared_ptr<Entry>& entry : entries) {
     {
-      const std::scoped_lock lock(entry->mutex);
+      const MutexLock lock(&entry->mutex);
       entry->stopping = true;
     }
-    entry->wake.notify_all();
-    entry->compaction_done.notify_all();  // release CompactNow waiters
+    entry->wake.NotifyAll();
+    entry->compaction_done.NotifyAll();  // release CompactNow waiters
   }
   for (const std::shared_ptr<Entry>& entry : entries) {
     if (entry->worker.joinable()) entry->worker.join();
     // Worker gone: sync and close the journal now, not at destruction —
     // the shutdown contract is "journal closed before the registry dies".
-    const std::scoped_lock lock(entry->mutex);
+    const MutexLock lock(&entry->mutex);
     entry->journal.reset();
   }
 }
 
 void IngestPipeline::WorkerLoop(Entry& entry) {
-  std::unique_lock lock(entry.mutex);
+  // Explicit Lock/Unlock instead of RAII: the loop releases the mutex
+  // around FoldAndPublish and the analysis checks the pairing on every
+  // path. Nothing inside the locked regions throws (CommitFold is caught
+  // below, Compact never throws).
+  entry.mutex.Lock();
   for (;;) {
     // Compaction runs here, between folds, so nothing is ever in flight
     // while the journal is swapped.
-    if (WantsCompaction(entry)) Compact(entry, lock);
+    if (WantsCompaction(entry)) Compact(entry);
     if (entry.pending.empty()) {
-      if (entry.stopping) return;
-      entry.wake.wait(lock, [&entry] {
-        return entry.stopping || entry.compact_requested ||
-               !entry.pending.empty();
-      });
+      if (entry.stopping) {
+        entry.mutex.Unlock();
+        return;
+      }
+      while (!entry.stopping && !entry.compact_requested &&
+             entry.pending.empty()) {
+        entry.wake.Wait(entry.mutex);
+      }
       continue;
     }
     // Let the batch fill, but no longer than the oldest record's fold
     // budget. Stop() folds whatever is pending immediately.
     const auto deadline = entry.pending.front().enqueued + config_.max_delay;
-    if (entry.pending.size() < config_.fold_batch_size && !entry.stopping) {
-      entry.wake.wait_until(lock, deadline, [this, &entry] {
-        return entry.stopping || entry.compact_requested ||
-               entry.pending.size() >= config_.fold_batch_size;
-      });
+    while (entry.pending.size() < config_.fold_batch_size &&
+           !entry.stopping && !entry.compact_requested) {
+      if (entry.wake.WaitUntil(entry.mutex, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
       // Whether full, stopping, compacting, or past the deadline: fold what
       // we have (an explicit compaction request checkpoints after the fold).
     }
@@ -384,9 +396,9 @@ void IngestPipeline::WorkerLoop(Entry& entry) {
       entry.pending.pop_front();
     }
     entry.in_flight = take;
-    lock.unlock();
+    entry.mutex.Unlock();
     const FoldOutcome outcome = FoldAndPublish(entry, batch);
-    lock.lock();
+    entry.mutex.Lock();
     entry.in_flight = 0;
     if (outcome.generation != 0) {
       entry.stats.folded += take;
@@ -423,8 +435,13 @@ void IngestPipeline::WorkerLoop(Entry& entry) {
       for (std::size_t i = batch.size(); i > 0; --i) {
         entry.pending.push_front({std::move(batch[i - 1]), now});
       }
-      entry.wake.wait_for(lock, kFoldRetryBackoff,
-                          [&entry] { return entry.stopping; });
+      const auto retry_at = now + kFoldRetryBackoff;
+      while (!entry.stopping) {
+        if (entry.wake.WaitUntil(entry.mutex, retry_at) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
     }
   }
 }
@@ -447,22 +464,21 @@ bool IngestPipeline::WantsCompaction(const Entry& entry) const {
          entry.journal->bytes() > config_.max_journal_bytes;
 }
 
-void IngestPipeline::Compact(Entry& entry,
-                             std::unique_lock<std::mutex>& lock) {
-  const auto finish = [&entry](std::string error) {
-    if (!error.empty()) {
-      std::fprintf(stderr, "IngestPipeline: compaction for %s failed: %s\n",
-                   entry.name.c_str(), error.c_str());
-    }
-    entry.last_compaction_error = std::move(error);
-    entry.compact_requested = false;
-    // Re-arm the fold-count policy from zero on failure too, so a
-    // persistent fault (full disk) retries every N folds, not every fold.
-    entry.folds_since_compaction = 0;
-    ++entry.compaction_attempts;
-    entry.compaction_done.notify_all();
-  };
+void IngestPipeline::FinishCompaction(Entry& entry, std::string error) {
+  if (!error.empty()) {
+    std::fprintf(stderr, "IngestPipeline: compaction for %s failed: %s\n",
+                 entry.name.c_str(), error.c_str());
+  }
+  entry.last_compaction_error = std::move(error);
+  entry.compact_requested = false;
+  // Re-arm the fold-count policy from zero on failure too, so a persistent
+  // fault (full disk) retries every N folds, not every fold.
+  entry.folds_since_compaction = 0;
+  ++entry.compaction_attempts;
+  entry.compaction_done.NotifyAll();
+}
 
+void IngestPipeline::Compact(Entry& entry) {
   // The served snapshot, read under entry.mutex: with in_flight == 0 it is
   // exactly the fold of the journal's committed prefix (publishes only
   // happen from this worker), and the pending deque is exactly the
@@ -472,11 +488,11 @@ void IngestPipeline::Compact(Entry& entry,
   try {
     snapshot = registry_->Snapshot(entry.name);
   } catch (const std::exception& e) {
-    finish(e.what());
+    FinishCompaction(entry, e.what());
     return;
   }
   if (snapshot == nullptr || !snapshot->is_trained()) {
-    finish("no trained snapshot for '" + entry.name + "'");
+    FinishCompaction(entry, "no trained snapshot for '" + entry.name + "'");
     return;
   }
   const std::uint64_t old_bytes = entry.journal->bytes();
@@ -485,7 +501,7 @@ void IngestPipeline::Compact(Entry& entry,
   // while and Submit must not block on it. The artifact file is durable but
   // invisible (no manifest reference) after this; on failure or crash it is
   // a stray that the next attempt overwrites.
-  lock.unlock();
+  entry.mutex.Unlock();
   store::StagedArtifact staged;
   std::string stage_error;
   try {
@@ -493,9 +509,9 @@ void IngestPipeline::Compact(Entry& entry,
   } catch (const std::exception& e) {
     stage_error = e.what();
   }
-  lock.lock();
+  entry.mutex.Lock();
   if (!stage_error.empty()) {
-    finish(std::move(stage_error));
+    FinishCompaction(entry, std::move(stage_error));
     return;
   }
 
@@ -527,7 +543,7 @@ void IngestPipeline::Compact(Entry& entry,
   } catch (const std::exception& e) {
     fresh.reset();
     ::unlink(new_path.c_str());
-    finish(e.what());
+    FinishCompaction(entry, e.what());
     return;
   }
   entry.journal = std::move(fresh);  // closes the old epoch's fd
@@ -541,7 +557,7 @@ void IngestPipeline::Compact(Entry& entry,
   entry.last_compaction_generation = staged.generation;
   entry.last_compaction_reclaimed = reclaimed;
   ::unlink(old_path.c_str());
-  finish({});
+  FinishCompaction(entry, {});
 }
 
 IngestPipeline::CompactOutcome IngestPipeline::CompactNow(
@@ -551,7 +567,7 @@ IngestPipeline::CompactOutcome IngestPipeline::CompactNow(
   const std::shared_ptr<Entry> entry = Find(resolved);
   Require(entry != nullptr,
           "ingest: model '" + resolved + "' is not attached for ingestion");
-  std::unique_lock lock(entry->mutex);
+  const MutexLock lock(&entry->mutex);
   Require(entry->journal != nullptr,
           "ingest: compaction requires journaling (--journal-dir)");
   Require(config_.model_store != nullptr,
@@ -559,10 +575,10 @@ IngestPipeline::CompactOutcome IngestPipeline::CompactNow(
   Require(!entry->stopping, "ingest: pipeline stopped");
   const std::uint64_t target = entry->compaction_attempts + 1;
   entry->compact_requested = true;
-  entry->wake.notify_all();
-  entry->compaction_done.wait(lock, [&] {
-    return entry->compaction_attempts >= target || entry->stopping;
-  });
+  entry->wake.NotifyAll();
+  while (entry->compaction_attempts < target && !entry->stopping) {
+    entry->compaction_done.Wait(entry->mutex);
+  }
   Require(entry->compaction_attempts >= target,
           "ingest: pipeline stopped before the compaction ran");
   Require(entry->last_compaction_error.empty(),
@@ -574,13 +590,13 @@ IngestPipeline::CompactOutcome IngestPipeline::CompactNow(
 std::uint64_t IngestPipeline::JournalBytesReclaimed() const {
   std::vector<std::shared_ptr<Entry>> entries;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(&mutex_);
     entries.reserve(entries_.size());
     for (const auto& [name, entry] : entries_) entries.push_back(entry);
   }
   std::uint64_t total = 0;
   for (const std::shared_ptr<Entry>& entry : entries) {
-    const std::scoped_lock lock(entry->mutex);
+    const MutexLock lock(&entry->mutex);
     total += entry->journal_bytes_reclaimed;
   }
   return total;
@@ -632,7 +648,7 @@ void IngestPipeline::RecordFoldLatency(Entry& entry, std::uint64_t micros) {
 
 std::shared_ptr<IngestPipeline::Entry> IngestPipeline::Find(
     const std::string& name) const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(&mutex_);
   const auto it = entries_.find(name);
   return it == entries_.end() ? nullptr : it->second;
 }

@@ -32,16 +32,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_sync.h"
 #include "ingest/record_journal.h"
 #include "rf/signal_record.h"
 #include "serve/model_registry.h"
@@ -159,46 +158,51 @@ class IngestPipeline {
   };
 
   struct Entry {
-    std::string name;
-    mutable std::mutex mutex;
-    std::condition_variable wake;
-    std::deque<PendingRecord> pending;
+    std::string name;  // immutable after Attach
+    mutable Mutex mutex;
+    CondVar wake;
+    std::deque<PendingRecord> pending GRAFICS_GUARDED_BY(mutex);
     /// Records drained by the worker but not yet published; Stats and the
     /// registry probe count them as pending so "pending == 0" means folded.
-    std::size_t in_flight = 0;
-    serve::IngestModelStats stats;
+    std::size_t in_flight GRAFICS_GUARDED_BY(mutex) = 0;
+    serve::IngestModelStats stats GRAFICS_GUARDED_BY(mutex);
     /// Accumulators behind stats.fold_*_us (mean needs the running total).
-    std::uint64_t fold_count = 0;
-    std::uint64_t fold_total_us = 0;
-    std::uint64_t fold_failures = 0;
-    std::unique_ptr<RecordJournal> journal;
+    std::uint64_t fold_count GRAFICS_GUARDED_BY(mutex) = 0;
+    std::uint64_t fold_total_us GRAFICS_GUARDED_BY(mutex) = 0;
+    std::uint64_t fold_failures GRAFICS_GUARDED_BY(mutex) = 0;
+    std::unique_ptr<RecordJournal> journal GRAFICS_GUARDED_BY(mutex);
     /// Journal epoch the journal member is writing (file name suffix; 0 is
     /// the bare legacy name). Bumped by each committed compaction.
-    std::uint64_t journal_epoch = 0;
+    std::uint64_t journal_epoch GRAFICS_GUARDED_BY(mutex) = 0;
     /// Folds committed since the last compaction; drives the
     /// compact_every_n_folds policy.
-    std::uint64_t folds_since_compaction = 0;
+    std::uint64_t folds_since_compaction GRAFICS_GUARDED_BY(mutex) = 0;
     /// CompactNow sets this; the worker compacts at the next loop turn.
-    bool compact_requested = false;
+    bool compact_requested GRAFICS_GUARDED_BY(mutex) = false;
     /// Compaction attempt/result channel for CompactNow waiters.
-    std::condition_variable compaction_done;
-    std::uint64_t compaction_attempts = 0;
-    std::string last_compaction_error;
-    std::uint64_t last_compaction_generation = 0;
-    std::uint64_t last_compaction_reclaimed = 0;
-    std::uint64_t journal_bytes_reclaimed = 0;
-    bool stopping = false;
+    CondVar compaction_done;
+    std::uint64_t compaction_attempts GRAFICS_GUARDED_BY(mutex) = 0;
+    std::string last_compaction_error GRAFICS_GUARDED_BY(mutex);
+    std::uint64_t last_compaction_generation GRAFICS_GUARDED_BY(mutex) = 0;
+    std::uint64_t last_compaction_reclaimed GRAFICS_GUARDED_BY(mutex) = 0;
+    std::uint64_t journal_bytes_reclaimed GRAFICS_GUARDED_BY(mutex) = 0;
+    bool stopping GRAFICS_GUARDED_BY(mutex) = false;
     std::thread worker;  // last member: joined before the rest is destroyed
   };
 
-  void WorkerLoop(Entry& entry);
+  void WorkerLoop(Entry& entry) GRAFICS_EXCLUDES(entry.mutex);
   /// Stage + journal-swap + commit for one compaction; called by the worker
-  /// with `lock` held on entry.mutex (in_flight == 0). Records the outcome
-  /// in the entry and notifies CompactNow waiters; never throws.
-  void Compact(Entry& entry, std::unique_lock<std::mutex>& lock);
+  /// with entry.mutex held and in_flight == 0 (it drops the lock around the
+  /// artifact staging, like the fold path). Records the outcome in the entry
+  /// and notifies CompactNow waiters; never throws.
+  void Compact(Entry& entry) GRAFICS_REQUIRES(entry.mutex);
+  /// Records a compaction attempt's outcome and wakes CompactNow waiters.
+  static void FinishCompaction(Entry& entry, std::string error)
+      GRAFICS_REQUIRES(entry.mutex);
   /// True when the compaction policy (explicit request, fold count, journal
-  /// bytes) asks for a compaction; entry.mutex must be held.
-  bool WantsCompaction(const Entry& entry) const;
+  /// bytes) asks for a compaction.
+  bool WantsCompaction(const Entry& entry) const
+      GRAFICS_REQUIRES(entry.mutex);
   struct FoldOutcome {
     /// Published generation, or 0 when the publish failed.
     std::uint64_t generation = 0;
@@ -207,17 +211,21 @@ class IngestPipeline {
   };
   /// Fork + Update + publish one batch; called without entry.mutex held.
   FoldOutcome FoldAndPublish(Entry& entry,
-                             const std::vector<rf::SignalRecord>& batch);
-  /// Folds one latency sample into entry.stats; entry.mutex must be held.
-  static void RecordFoldLatency(Entry& entry, std::uint64_t micros);
-  std::shared_ptr<Entry> Find(const std::string& name) const;
+                             const std::vector<rf::SignalRecord>& batch)
+      GRAFICS_EXCLUDES(entry.mutex);
+  /// Folds one latency sample into entry.stats.
+  static void RecordFoldLatency(Entry& entry, std::uint64_t micros)
+      GRAFICS_REQUIRES(entry.mutex);
+  std::shared_ptr<Entry> Find(const std::string& name) const
+      GRAFICS_EXCLUDES(mutex_);
 
   const IngestConfig config_;
   const std::shared_ptr<serve::ModelRegistry> registry_;
 
-  mutable std::mutex mutex_;  // guards entries_ + stopped_
-  std::map<std::string, std::shared_ptr<Entry>> entries_;
-  bool stopped_ = false;
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_
+      GRAFICS_GUARDED_BY(mutex_);
+  bool stopped_ GRAFICS_GUARDED_BY(mutex_) = false;
 };
 
 /// Journal file name for a model: every byte outside [A-Za-z0-9._-] is

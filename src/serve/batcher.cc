@@ -44,13 +44,13 @@ std::future<std::optional<rf::FloorId>> MicroBatcher::Submit(
 void MicroBatcher::SubmitAsync(rf::SignalRecord record, Callback done) {
   Require(done != nullptr, "MicroBatcher::SubmitAsync: callback required");
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(&mutex_);
     Require(!stopping_, "MicroBatcher::Submit after Stop");
     pending_.push_back({std::move(record), std::move(done),
                         std::chrono::steady_clock::now()});
     ++stats_.requests;
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 bool MicroBatcher::TrySubmitBatchAsync(std::vector<rf::SignalRecord> records,
@@ -63,7 +63,7 @@ bool MicroBatcher::TrySubmitBatchAsync(std::vector<rf::SignalRecord> records,
   // One shared_ptr per request, not one std::function copy per record.
   auto shared = std::make_shared<BatchCallback>(std::move(done));
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(&mutex_);
     Require(!stopping_, "MicroBatcher::Submit after Stop");
     // All-or-nothing: partially admitting a pipelined request would answer
     // some of its records and busy-reject the rest mid-response.
@@ -81,7 +81,7 @@ bool MicroBatcher::TrySubmitBatchAsync(std::vector<rf::SignalRecord> records,
     }
     stats_.requests += records.size();
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
   return true;
 }
 
@@ -89,52 +89,51 @@ void MicroBatcher::Stop() {
   // Serialized: concurrent Stops (e.g. the registry's Unload racing its
   // Stop/destructor) must not both reach flusher_.join(), and the loser
   // must still block until the drain is complete.
-  const std::scoped_lock stop_lock(stop_mutex_);
+  const MutexLock stop_lock(&stop_mutex_);
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(&mutex_);
     stopping_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
 }
 
 BatcherStats MicroBatcher::stats() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(&mutex_);
   BatcherStats stats = stats_;
   stats.queue_depth = pending_.size();
   return stats;
 }
 
 void MicroBatcher::FlushLoop() {
-  std::unique_lock lock(mutex_);
   for (;;) {
-    if (pending_.empty()) {
-      if (stopping_) return;
-      wake_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
-      continue;
-    }
-    // Wait for the batch to fill, but no longer than the oldest request's
-    // latency budget. Stop() flushes whatever is pending immediately.
-    const auto deadline = pending_.front().enqueued + config_.max_delay;
-    if (pending_.size() < config_.max_batch_size && !stopping_) {
-      wake_.wait_until(lock, deadline, [this] {
-        return stopping_ || pending_.size() >= config_.max_batch_size;
-      });
-      // Whether full, stopping, or past the deadline: flush what we have.
-    }
-    const std::size_t take =
-        std::min(pending_.size(), config_.max_batch_size);
     std::vector<Pending> batch;
-    batch.reserve(take);
-    std::move(pending_.begin(), pending_.begin() + static_cast<long>(take),
-              std::back_inserter(batch));
-    pending_.erase(pending_.begin(),
-                   pending_.begin() + static_cast<long>(take));
-    ++stats_.batches;
-    stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, take);
-    lock.unlock();
+    {
+      const MutexLock lock(&mutex_);
+      while (pending_.empty()) {
+        if (stopping_) return;
+        wake_.Wait(mutex_);
+      }
+      // Wait for the batch to fill, but no longer than the oldest request's
+      // latency budget. Stop() flushes whatever is pending immediately.
+      const auto deadline = pending_.front().enqueued + config_.max_delay;
+      while (pending_.size() < config_.max_batch_size && !stopping_) {
+        if (wake_.WaitUntil(mutex_, deadline) == std::cv_status::timeout) {
+          break;
+        }
+        // Whether full, stopping, or past the deadline: flush what we have.
+      }
+      const std::size_t take =
+          std::min(pending_.size(), config_.max_batch_size);
+      batch.reserve(take);
+      std::move(pending_.begin(), pending_.begin() + static_cast<long>(take),
+                std::back_inserter(batch));
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<long>(take));
+      ++stats_.batches;
+      stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, take);
+    }
     Dispatch(std::move(batch));
-    lock.lock();
   }
 }
 

@@ -15,17 +15,16 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_sync.h"
 #include "common/thread_pool.h"
 #include "core/grafics.h"
 #include "rf/signal_record.h"
@@ -84,14 +83,16 @@ class MicroBatcher {
   /// Enqueues one record; the future resolves with the prediction (nullopt
   /// for discarded records) once the containing batch is dispatched. Throws
   /// grafics::Error after Stop().
-  std::future<std::optional<rf::FloorId>> Submit(rf::SignalRecord record);
+  std::future<std::optional<rf::FloorId>> Submit(rf::SignalRecord record)
+      GRAFICS_EXCLUDES(mutex_);
 
   /// Completion-callback twin of Submit for the event-driven transport: no
   /// thread blocks on a future; `done` runs on the flusher thread once the
   /// record's batch is dispatched (including during the Stop() drain), so it
   /// must be cheap and must not call back into the batcher. Throws
   /// grafics::Error after Stop() without invoking `done`.
-  void SubmitAsync(rf::SignalRecord record, Callback done);
+  void SubmitAsync(rf::SignalRecord record, Callback done)
+      GRAFICS_EXCLUDES(mutex_);
 
   /// Admission-controlled batch SubmitAsync: enqueues either every record or
   /// none. Returns false — enqueuing nothing, invoking nothing — when
@@ -99,13 +100,14 @@ class MicroBatcher {
   /// that into a structured busy error. On success `done(i, outcome)` runs
   /// once per record. Throws grafics::Error after Stop().
   bool TrySubmitBatchAsync(std::vector<rf::SignalRecord> records,
-                           BatchCallback done, std::size_t max_queue_depth);
+                           BatchCallback done, std::size_t max_queue_depth)
+      GRAFICS_EXCLUDES(mutex_);
 
   /// Drains everything pending (their futures still resolve), then rejects
   /// further Submits. Idempotent; also run by the destructor.
-  void Stop();
+  void Stop() GRAFICS_EXCLUDES(stop_mutex_, mutex_);
 
-  BatcherStats stats() const;
+  BatcherStats stats() const GRAFICS_EXCLUDES(mutex_);
 
  private:
   struct Pending {
@@ -114,22 +116,22 @@ class MicroBatcher {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void FlushLoop();
+  void FlushLoop() GRAFICS_EXCLUDES(mutex_);
   /// Runs one batch through PredictBatch; called without the lock held.
-  void Dispatch(std::vector<Pending> batch);
+  void Dispatch(std::vector<Pending> batch) GRAFICS_EXCLUDES(mutex_);
 
   const BatcherConfig config_;
   const SnapshotFn snapshot_;
   std::unique_ptr<ThreadPool> owned_pool_;  // null when shared or serial
   ThreadPool* pool_ = nullptr;  // shared or owned; null → serial dispatch
 
-  std::mutex stop_mutex_;  // serializes Stop (join-once, drain-complete)
+  Mutex stop_mutex_;  // serializes Stop (join-once, drain-complete)
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<Pending> pending_;
-  bool stopping_ = false;
-  BatcherStats stats_;
+  mutable Mutex mutex_;
+  CondVar wake_;
+  std::deque<Pending> pending_ GRAFICS_GUARDED_BY(mutex_);
+  bool stopping_ GRAFICS_GUARDED_BY(mutex_) = false;
+  BatcherStats stats_ GRAFICS_GUARDED_BY(mutex_);
 
   std::thread flusher_;  // last member: joined before the rest is destroyed
 };

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <utility>
 
+#include "common/annotated_sync.h"
 #include "common/error.h"
 
 namespace grafics::serve {
@@ -36,16 +37,22 @@ std::uint32_t ReadLengthPrefix(const std::string& in) {
 /// shared_ptr held by the worker and by every outstanding Completion, so a
 /// completion firing after Stop() finds `closed` instead of freed memory.
 struct EventLoop::Completion::Mailbox {
-  std::mutex mutex;
-  bool closed = false;
+  Mutex mutex;
+  bool closed GRAFICS_GUARDED_BY(mutex) = false;
+  // Deliberately unguarded: set once in Start() before the worker thread
+  // exists, read lock-free by the worker's drain loop, and closed in Stop()
+  // only after the join — the thread lifecycle is the happens-before edge.
+  // Senders do take the mutex around their write() so the fd stays valid
+  // (Stop closes it under the same mutex after flipping `closed`).
   int event_fd = -1;
-  std::deque<Parcel> parcels;
-  std::vector<int> adopted;  // freshly accepted fds for this worker
+  std::deque<Parcel> parcels GRAFICS_GUARDED_BY(mutex);
+  // Freshly accepted fds for this worker.
+  std::vector<int> adopted GRAFICS_GUARDED_BY(mutex);
 };
 
 void EventLoop::Completion::Send(std::string frame, bool close_after) const {
   if (mailbox_ == nullptr) return;
-  const std::scoped_lock lock(mailbox_->mutex);
+  const MutexLock lock(&mailbox_->mutex);
   if (mailbox_->closed) return;
   mailbox_->parcels.push_back({conn_, slot_, std::move(frame), close_after});
   // Writing the eventfd under the mutex keeps the fd valid: Stop() closes
@@ -96,7 +103,7 @@ void EventLoop::Stop() {
   for (auto& worker : workers_) {
     // Not Completion::Send — that path refuses once `closed` flips, and
     // here we must wake even a worker whose mailbox is already empty.
-    const std::scoped_lock lock(worker->mailbox->mutex);
+    const MutexLock lock(&worker->mailbox->mutex);
     const std::uint64_t one = 1;
     [[maybe_unused]] const ssize_t n =
         ::write(worker->mailbox->event_fd, &one, sizeof(one));
@@ -107,7 +114,7 @@ void EventLoop::Stop() {
       // After the join nothing reads the mailbox again; close it under its
       // mutex so a straggler Completion (batcher drain, ops pool) sees
       // `closed` before the eventfd number can be recycled.
-      const std::scoped_lock lock(worker->mailbox->mutex);
+      const MutexLock lock(&worker->mailbox->mutex);
       worker->mailbox->closed = true;
       ::close(worker->mailbox->event_fd);
       worker->mailbox->event_fd = -1;
@@ -126,7 +133,7 @@ void EventLoop::Adopt(int fd) {
       next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   const auto& mailbox = workers_[index]->mailbox;
   {
-    const std::scoped_lock lock(mailbox->mutex);
+    const MutexLock lock(&mailbox->mutex);
     if (!mailbox->closed) {
       mailbox->adopted.push_back(fd);
       const std::uint64_t one = 1;
@@ -358,7 +365,7 @@ void EventLoop::DrainMailbox(Worker& worker) {
   std::vector<int> adopted;
   std::deque<Parcel> parcels;
   {
-    const std::scoped_lock lock(worker.mailbox->mutex);
+    const MutexLock lock(&worker.mailbox->mutex);
     adopted.swap(worker.mailbox->adopted);
     parcels.swap(worker.mailbox->parcels);
   }

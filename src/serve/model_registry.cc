@@ -41,14 +41,14 @@ void ModelRegistry::Load(const std::string& name,
   ValidateName(name);
   Require(model != nullptr && model->is_trained(),
           "ModelRegistry::Load: requires a trained model for '" + name + "'");
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(&mutex_);
   Require(!stopped_, "ModelRegistry::Load after Stop");
   const auto it = entries_.find(name);
   if (it != entries_.end()) {
     // Hot swap: keep the batcher (and its queue) running across the switch;
     // in-flight batches finish on the snapshot they started with.
     Entry& entry = *it->second;
-    const std::scoped_lock entry_lock(entry.mutex);
+    const MutexLock entry_lock(&entry.mutex);
     entry.model = std::move(model);
     ++entry.generation;
     entry.last_source = source;
@@ -60,16 +60,23 @@ void ModelRegistry::Load(const std::string& name,
   Require(entries_.size() < kMaxModels,
           "ModelRegistry::Load: registry full (kMaxModels)");
   auto entry = std::make_shared<Entry>();
-  entry->model = std::move(model);
-  entry->path = std::move(model_path);
-  entry->last_source = source;
+  {
+    // Entry not yet published, but the batcher's flusher thread starts below
+    // and its snapshot callback reads these fields under the entry mutex —
+    // initialize under it too so the happens-before edge is the lock, not
+    // the entries_ insertion.
+    const MutexLock entry_lock(&entry->mutex);
+    entry->model = std::move(model);
+    entry->path = std::move(model_path);
+    entry->last_source = source;
+  }
   // Raw pointer is safe: the batcher is the entry's last member, so its
   // destructor joins the flusher thread before the rest of the entry dies.
   Entry* raw = entry.get();
   entry->batcher = std::make_unique<MicroBatcher>(
       batcher_config_,
       [raw] {
-        const std::scoped_lock snapshot_lock(raw->mutex);
+        const MutexLock snapshot_lock(&raw->mutex);
         return raw->model;
       },
       pool_.get());
@@ -99,7 +106,7 @@ void ModelRegistry::LoadFromDisk(const std::string& name,
 void ModelRegistry::Unload(const std::string& name) {
   std::shared_ptr<Entry> victim;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(&mutex_);
     // Empty resolves to the default like everywhere else — which then hits
     // the protection below with the accurate diagnostic.
     const std::string& resolved = name.empty() ? default_name_ : name;
@@ -119,13 +126,13 @@ void ModelRegistry::Unload(const std::string& name) {
 
 std::uint64_t ModelRegistry::ReloadFromDisk(const std::string& name) {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(&mutex_);
     Require(!stopped_, "ModelRegistry::ReloadFromDisk after Stop");
   }
   const std::shared_ptr<Entry> entry = Find(name);
   std::string path;
   {
-    const std::scoped_lock entry_lock(entry->mutex);
+    const MutexLock entry_lock(&entry->mutex);
     path = entry->path;
   }
   if (const std::shared_ptr<store::ModelStore> attached = store()) {
@@ -146,19 +153,19 @@ std::uint64_t ModelRegistry::ReloadFromDisk(const std::string& name) {
   // snapshot for the whole (expensive) load, on this model and all others.
   auto fresh = std::make_shared<const core::Grafics>(
       core::Grafics::LoadModel(path));
-  const std::scoped_lock entry_lock(entry->mutex);
+  const MutexLock entry_lock(&entry->mutex);
   entry->model = std::move(fresh);
   entry->last_source = PublishSource::kDisk;
   return ++entry->generation;
 }
 
 void ModelRegistry::AttachStore(std::shared_ptr<store::ModelStore> store) {
-  const std::scoped_lock lock(store_mutex_);
+  const MutexLock lock(&store_mutex_);
   store_ = std::move(store);
 }
 
 std::shared_ptr<store::ModelStore> ModelRegistry::store() const {
-  const std::scoped_lock lock(store_mutex_);
+  const MutexLock lock(&store_mutex_);
   return store_;
 }
 
@@ -174,7 +181,7 @@ void ModelRegistry::LoadFromStore(const std::string& name,
 std::uint64_t ModelRegistry::ReloadFromStore(const std::string& name,
                                              std::uint64_t generation) {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(&mutex_);
     Require(!stopped_, "ModelRegistry::ReloadFromStore after Stop");
   }
   const std::shared_ptr<store::ModelStore> attached = store();
@@ -185,7 +192,7 @@ std::uint64_t ModelRegistry::ReloadFromStore(const std::string& name,
   // Open outside every lock, like the file path above.
   std::shared_ptr<const core::Grafics> fresh =
       attached->Open(resolved, generation);
-  const std::scoped_lock entry_lock(entry->mutex);
+  const MutexLock entry_lock(&entry->mutex);
   entry->model = std::move(fresh);
   entry->last_source = PublishSource::kDisk;
   return ++entry->generation;
@@ -217,11 +224,11 @@ bool ModelRegistry::TrySubmitBatchAsync(const std::string& name,
 }
 
 std::vector<ModelInfo> ModelRegistry::List() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(&mutex_);
   std::vector<ModelInfo> models;
   models.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
-    const std::scoped_lock entry_lock(entry->mutex);
+    const MutexLock entry_lock(&entry->mutex);
     models.push_back({name, entry->generation, !entry->path.empty()});
   }
   return models;
@@ -234,7 +241,7 @@ std::vector<ModelStats> ModelRegistry::Stats(
   // name resolution for predict traffic while it visits every batcher.
   std::vector<std::pair<std::string, std::shared_ptr<Entry>>> entries;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(&mutex_);
     entries.reserve(name_filter.empty() ? entries_.size() : 1);
     for (const auto& [name, entry] : entries_) {
       if (!name_filter.empty() && name != name_filter) continue;
@@ -248,7 +255,7 @@ std::vector<ModelStats> ModelRegistry::Stats(
     stats.name = name;
     std::shared_ptr<const core::Grafics> snapshot;
     {
-      const std::scoped_lock entry_lock(entry->mutex);
+      const MutexLock entry_lock(&entry->mutex);
       stats.generation = entry->generation;
       stats.last_publish_source = entry->last_source;
       snapshot = entry->model;
@@ -268,7 +275,7 @@ std::vector<ModelStats> ModelRegistry::Stats(
       // lock), so SetIngestDepthProbe(nullptr) is a true quiesce point:
       // once it returns, no in-flight Stats can still be inside the
       // pipeline's callback. The probe itself only touches pipeline state.
-      const std::scoped_lock probe_lock(probe_mutex_);
+      const MutexLock probe_lock(&probe_mutex_);
       if (ingest_depth_probe_) {
         stats.pending_ingest = ingest_depth_probe_(name);
       }
@@ -279,35 +286,35 @@ std::vector<ModelStats> ModelRegistry::Stats(
 }
 
 std::size_t ModelRegistry::size() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(&mutex_);
   return entries_.size();
 }
 
 bool ModelRegistry::Has(const std::string& name) const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(&mutex_);
   return entries_.count(name) != 0;
 }
 
 std::shared_ptr<const core::Grafics> ModelRegistry::Snapshot(
     const std::string& name) const {
   const std::shared_ptr<Entry> entry = Find(name);
-  const std::scoped_lock entry_lock(entry->mutex);
+  const MutexLock entry_lock(&entry->mutex);
   return entry->model;
 }
 
 std::uint64_t ModelRegistry::generation(const std::string& name) const {
   const std::shared_ptr<Entry> entry = Find(name);
-  const std::scoped_lock entry_lock(entry->mutex);
+  const MutexLock entry_lock(&entry->mutex);
   return entry->generation;
 }
 
 std::string ModelRegistry::default_model() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(&mutex_);
   return default_name_;
 }
 
 void ModelRegistry::SetDefaultModel(const std::string& name) {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(&mutex_);
   Require(entries_.count(name) != 0,
           "ModelRegistry::SetDefaultModel: unknown model '" + name + "'");
   default_name_ = name;
@@ -315,14 +322,14 @@ void ModelRegistry::SetDefaultModel(const std::string& name) {
 
 void ModelRegistry::SetIngestDepthProbe(
     std::function<std::uint64_t(const std::string&)> probe) {
-  const std::scoped_lock lock(probe_mutex_);
+  const MutexLock lock(&probe_mutex_);
   ingest_depth_probe_ = std::move(probe);
 }
 
 void ModelRegistry::Stop() {
   std::vector<std::shared_ptr<Entry>> entries;
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(&mutex_);
     stopped_ = true;
     entries.reserve(entries_.size());
     for (const auto& [name, entry] : entries_) entries.push_back(entry);
@@ -334,7 +341,7 @@ void ModelRegistry::Stop() {
 
 std::shared_ptr<ModelRegistry::Entry> ModelRegistry::Find(
     const std::string& name) const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(&mutex_);
   const std::string& resolved = name.empty() ? default_name_ : name;
   const auto it = entries_.find(resolved);
   Require(it != entries_.end(), "unknown model '" + resolved + "'");

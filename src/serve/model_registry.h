@@ -20,11 +20,11 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/annotated_sync.h"
 #include "common/thread_pool.h"
 #include "core/grafics.h"
 #include "rf/signal_record.h"
@@ -148,33 +148,39 @@ class ModelRegistry {
 
  private:
   struct Entry {
-    mutable std::mutex mutex;  // guards model + generation + path + source
-    std::shared_ptr<const core::Grafics> model;
-    std::uint64_t generation = 1;
-    std::string path;
-    PublishSource last_source = PublishSource::kDisk;
-    // Last member: its destructor joins the flusher thread before the rest
-    // of the entry goes away, so the snapshot callback's raw Entry* is safe.
+    mutable Mutex mutex;
+    std::shared_ptr<const core::Grafics> model GRAFICS_GUARDED_BY(mutex);
+    std::uint64_t generation GRAFICS_GUARDED_BY(mutex) = 1;
+    std::string path GRAFICS_GUARDED_BY(mutex);
+    PublishSource last_source GRAFICS_GUARDED_BY(mutex) =
+        PublishSource::kDisk;
+    // Unguarded by design: set once before the entry is published into
+    // entries_ and immutable from then on. Last member: its destructor joins
+    // the flusher thread before the rest of the entry goes away, so the
+    // snapshot callback's raw Entry* is safe.
     std::unique_ptr<MicroBatcher> batcher;
   };
 
   /// Resolves empty → default and looks the entry up. Callers hold the
   /// returned shared_ptr, so a concurrent Unload cannot free it mid-use.
-  std::shared_ptr<Entry> Find(const std::string& name) const;
+  std::shared_ptr<Entry> Find(const std::string& name) const
+      GRAFICS_EXCLUDES(mutex_);
 
   const BatcherConfig batcher_config_;
   std::unique_ptr<ThreadPool> pool_;  // null when predict_threads == 1
 
-  mutable std::mutex store_mutex_;  // guards store_ (probes never touch it)
-  std::shared_ptr<store::ModelStore> store_;
+  mutable Mutex store_mutex_;  // probes never touch it
+  std::shared_ptr<store::ModelStore> store_ GRAFICS_GUARDED_BY(store_mutex_);
 
-  mutable std::mutex mutex_;  // guards entries_ + default_name_ + stopped_
-  std::map<std::string, std::shared_ptr<Entry>> entries_;
-  std::string default_name_;
-  bool stopped_ = false;
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_
+      GRAFICS_GUARDED_BY(mutex_);
+  std::string default_name_ GRAFICS_GUARDED_BY(mutex_);
+  bool stopped_ GRAFICS_GUARDED_BY(mutex_) = false;
 
-  mutable std::mutex probe_mutex_;  // separate: probes run outside mutex_
-  std::function<std::uint64_t(const std::string&)> ingest_depth_probe_;
+  mutable Mutex probe_mutex_;  // separate: probes run outside mutex_
+  std::function<std::uint64_t(const std::string&)> ingest_depth_probe_
+      GRAFICS_GUARDED_BY(probe_mutex_);
 };
 
 }  // namespace grafics::serve

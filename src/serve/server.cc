@@ -207,6 +207,8 @@ void Server::HandleFrame(std::string payload, std::size_t inflight,
     try {
       frame = EncodeFrame(ErrorResponse(1, e.what()), version);
     } catch (...) {
+      // Even the error reply failed to encode (e.g. a v1 peer and a
+      // message with no v1 shape): send nothing, just close.
     }
     done.Send(std::move(frame), /*close_after=*/true);
   }
@@ -321,6 +323,8 @@ ReloadResponse Server::HandleReload(const ReloadRequest& request) {
     try {
       response.model_generation = registry_->generation(request.model);
     } catch (...) {
+      // Unknown model: the reload error above already says so; leave the
+      // generation at its zero default.
     }
   }
   return response;

@@ -205,7 +205,7 @@ void ModelStore::WriteManifest(const std::string& name,
 
 std::shared_ptr<const core::Grafics> ModelStore::Open(
     const std::string& name, std::uint64_t generation) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   const Manifest manifest = ReadManifest(name);
   Require(!manifest.artifacts.empty(),
           "ModelStore: unknown model '" + name + "'");
@@ -244,19 +244,19 @@ std::shared_ptr<const core::Grafics> ModelStore::Open(
 }
 
 std::uint64_t ModelStore::LatestGeneration(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   const Manifest manifest = ReadManifest(name);
   return manifest.artifacts.empty() ? 0
                                     : manifest.artifacts.back().generation;
 }
 
 std::vector<ArtifactInfo> ModelStore::List(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return ReadManifest(name).artifacts;
 }
 
 std::vector<std::string> ModelStore::ListModels() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   std::vector<std::string> names;
   DIR* dir = ::opendir(dir_.c_str());
   if (dir == nullptr) return names;
@@ -340,7 +340,7 @@ void ModelStore::CommitLocked(const std::string& name,
 
 std::uint64_t ModelStore::WriteBase(
     const std::string& name, std::shared_ptr<const core::Grafics> model) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   // Forgetting the retained base forces StageLocked onto the full-snapshot
   // path; CommitLocked re-retains `model`.
   retained_.erase(name);
@@ -352,7 +352,7 @@ std::uint64_t ModelStore::WriteBase(
 std::uint64_t ModelStore::WriteCheckpoint(
     const std::string& name, std::shared_ptr<const core::Grafics> model,
     StagedArtifact* info) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   const StagedArtifact staged = StageLocked(name, model);
   CommitLocked(name, staged, ReadManifest(name).journal_epoch, model);
   if (info != nullptr) *info = staged;
@@ -361,7 +361,7 @@ std::uint64_t ModelStore::WriteCheckpoint(
 
 std::uint64_t ModelStore::ImportBase(const std::string& name,
                                      const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   Manifest manifest = ReadManifest(name);
   if (!manifest.artifacts.empty() && manifest.artifacts.back().external &&
       manifest.artifacts.back().file == path) {
@@ -381,7 +381,7 @@ std::uint64_t ModelStore::ImportBase(const std::string& name,
 
 StagedArtifact ModelStore::StageCheckpoint(
     const std::string& name, std::shared_ptr<const core::Grafics> model) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return StageLocked(name, model);
 }
 
@@ -389,12 +389,12 @@ void ModelStore::CommitStaged(const std::string& name,
                               const StagedArtifact& staged,
                               std::uint64_t journal_epoch,
                               std::shared_ptr<const core::Grafics> model) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   CommitLocked(name, staged, journal_epoch, model);
 }
 
 std::uint64_t ModelStore::JournalEpoch(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return ReadManifest(name).journal_epoch;
 }
 

@@ -22,10 +22,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotated_sync.h"
 #include "core/grafics.h"
 
 namespace grafics::store {
@@ -130,16 +130,19 @@ class ModelStore {
   Manifest ReadManifest(const std::string& name) const;
   void WriteManifest(const std::string& name, const Manifest& manifest) const;
   StagedArtifact StageLocked(const std::string& name,
-                             const std::shared_ptr<const core::Grafics>& model);
+                             const std::shared_ptr<const core::Grafics>& model)
+      GRAFICS_REQUIRES(mutex_);
   void CommitLocked(const std::string& name, const StagedArtifact& staged,
                     std::uint64_t journal_epoch,
-                    const std::shared_ptr<const core::Grafics>& model);
+                    const std::shared_ptr<const core::Grafics>& model)
+      GRAFICS_REQUIRES(mutex_);
 
   std::string dir_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Last committed generation's in-memory snapshot per model: the base the
   /// next delta checkpoint diffs against (chunk identity, not content).
-  std::map<std::string, std::shared_ptr<const core::Grafics>> retained_;
+  std::map<std::string, std::shared_ptr<const core::Grafics>> retained_
+      GRAFICS_GUARDED_BY(mutex_);
 };
 
 }  // namespace grafics::store

@@ -10,6 +10,7 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -701,6 +702,94 @@ TEST(IngestCompactionTest, CompactNowThrowsWithoutAJournalOrStore) {
   EXPECT_THROW(pipeline.CompactNow("campus"), Error);
   EXPECT_THROW(pipeline.CompactNow("no-such-building"), Error);
   EXPECT_EQ(pipeline.JournalBytesReclaimed(), 0u);
+}
+
+// The compaction path under real contention: submitters, a compaction
+// driver, and stats readers against one live pipeline + journal + store.
+// This is the interleaving the per-entry mutex and the staged-commit
+// protocol exist for (journal epoch swap racing folds racing stats); the
+// test runs in the TSan CI job via `ctest -L store`, so any unguarded
+// access in that machinery is a hard failure there, not a flake here.
+TEST(IngestCompactionTest, ConcurrentSubmitCompactAndStatsStayCoherent) {
+  const Fixture& f = SharedFixture();
+  const std::string journal_dir = FreshDir("compact_race_journal_dir");
+  const std::string store_dir = FreshDir("compact_race_store_dir");
+
+  IngestConfig config;
+  config.fold_batch_size = 4;
+  config.max_delay = 2ms;
+  config.journal_dir = journal_dir;
+  config.model_store = std::make_shared<store::ModelStore>(store_dir);
+  auto registry = MakeRegistry(f);
+  IngestPipeline pipeline(registry, config);
+  pipeline.Attach("campus");
+
+  constexpr int kSubmitRounds = 8;
+  std::atomic<std::size_t> accepted{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  // Two submitters: chunks race each other into the journal and the fold
+  // batches underneath the compactions.
+  for (int submitter = 0; submitter < 2; ++submitter) {
+    threads.emplace_back([&] {
+      const std::vector<rf::SignalRecord> chunk(f.stream.begin(),
+                                                f.stream.begin() + 4);
+      for (int round = 0; round < kSubmitRounds; ++round) {
+        for (const SubmitResult& result : pipeline.Submit("campus", chunk)) {
+          if (result.accepted) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  // Compaction driver: epoch swaps + staged store commits while the
+  // submitters keep the journal hot.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 3; ++i) {
+      const IngestPipeline::CompactOutcome outcome =
+          pipeline.CompactNow("campus");
+      ASSERT_GE(outcome.generation, 1u);
+    }
+  });
+  // Stats reader: every snapshot must be internally coherent even while
+  // the counters move underneath it.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto stats = pipeline.Stats("campus");
+      ASSERT_EQ(stats.size(), 1u);
+      ASSERT_GE(stats[0].accepted, stats[0].folded);
+      ASSERT_EQ(stats[0].pending, stats[0].accepted - stats[0].folded);
+    }
+  });
+  for (std::size_t i = 0; i + 1 < threads.size(); ++i) {
+    threads[i].join();
+  }
+  stop.store(true, std::memory_order_release);
+  threads.back().join();
+
+  // Quiesce and reconcile: nothing accepted was lost to the races.
+  ASSERT_TRUE(pipeline.WaitUntilDrained());
+  const auto stats = pipeline.Stats("campus");
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].accepted, accepted.load());
+  EXPECT_EQ(stats[0].folded, accepted.load());
+  EXPECT_EQ(stats[0].pending, 0u);
+  EXPECT_GE(config.model_store->LatestGeneration("campus"), 1u);
+
+  // A final compaction on the quiesced pipeline captures the fully folded
+  // state; reopening the store's latest generation must answer exactly
+  // like the live registry snapshot — the races above never published a
+  // torn model.
+  pipeline.CompactNow("campus");
+  const auto live = Served(*registry, f.queries);
+  const auto restored =
+      config.model_store->Open("campus")->PredictBatch(f.queries,
+                                                       {.num_threads = 1});
+  EXPECT_EQ(restored, live);
+  pipeline.Stop();
+  registry->Stop();
 }
 
 }  // namespace

@@ -211,6 +211,9 @@ TEST(ProtocolV1CompatTest, V1FramesRoundTripThroughTheV2Decoder) {
   }
 }
 
+// layout-frozen: v1 — check_invariants.py requires this marker next to
+// the byte-exact assertion for every dialect older than the current
+// kProtocolVersion.
 TEST(ProtocolV1CompatTest, V1EncodingMatchesTheOriginalWireBytes) {
   // A v1 PredictRequest body is the bare record — reconstruct the original
   // encoder by hand and compare byte-for-byte, so "keeps decoding v1" means
@@ -297,6 +300,7 @@ TEST(ProtocolV2CompatTest, V2FramesRoundTripThroughTheV3Decoder) {
   }
 }
 
+// layout-frozen: v2
 TEST(ProtocolV2CompatTest, V2StatsEncodingMatchesTheOriginalWireBytes) {
   // The PR 3 v2 ModelStats layout must survive byte-for-byte: the ingest
   // and snapshot-accounting fields exist only in v3 frames.
@@ -324,6 +328,7 @@ TEST(ProtocolV2CompatTest, V2StatsEncodingMatchesTheOriginalWireBytes) {
   EXPECT_EQ(response->models[0].owned_bytes, 0u);
 }
 
+// layout-frozen: v3
 TEST(ProtocolV3CompatTest, V3StatsEncodingsMatchThePr4WireBytes) {
   // The v3 layouts must survive the v4 bump byte-for-byte: snapshot
   // accounting (ModelStats) and fold latency (IngestModelStats) exist only
@@ -376,6 +381,7 @@ TEST(ProtocolV3CompatTest, V3StatsEncodingsMatchThePr4WireBytes) {
   EXPECT_EQ(ingest_response->models[0].last_fold_us, 0u);
 }
 
+// layout-frozen: v4
 TEST(ProtocolV4CompatTest, V4StatsEncodingMatchesThePr5WireBytes) {
   // The v4 StatsResponse layout must survive the v5 bump byte-for-byte:
   // the transport block exists only in v5 frames, after the models array.
@@ -434,6 +440,7 @@ TEST(ProtocolV5Test, TransportStatsRoundTripWithNonZeroCounters) {
 
 // --- v5 <-> v6 compatibility ----------------------------------------------
 
+// layout-frozen: v5
 TEST(ProtocolV5CompatTest, V5EncodingsAreFrozenByTheV6Bump) {
   // StatsResponse: the store block exists only in v6 frames, after the
   // transport block — u8 enabled + three u64 counters = 25 bytes.

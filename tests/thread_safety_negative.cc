@@ -1,0 +1,40 @@
+// Negative-compile probe for the thread-safety gate (acceptance check for
+// the annotation layer): this file deliberately reads a GRAFICS_GUARDED_BY
+// field without its mutex and MUST fail to compile under
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+// CMake registers it as a ctest with WILL_FAIL (Clang only): the test goes
+// red if the gate ever stops catching unguarded accesses — e.g. the
+// attribute macros were broken or the warning flags were dropped.
+//
+// This file is never part of any target's sources; it exists only for that
+// inverted test.
+
+#include <cstdint>
+
+#include "common/annotated_sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    const grafics::MutexLock lock(&mutex_);
+    ++value_;
+  }
+
+  // BUG (intentional): reads value_ without mutex_. The thread-safety
+  // analysis must reject this translation unit.
+  std::uint64_t UnguardedRead() const { return value_; }
+
+ private:
+  mutable grafics::Mutex mutex_;
+  std::uint64_t value_ GRAFICS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return static_cast<int>(counter.UnguardedRead() & 1U);
+}
