@@ -126,9 +126,14 @@ IngestPipeline::IngestPipeline(std::shared_ptr<serve::ModelRegistry> registry,
   Require(config_.max_pending >= 1, "IngestPipeline: max_pending >= 1");
   registry_->SetIngestDepthProbe(
       [this](const std::string& name) { return PendingDepth(name); });
+  if (config_.obs != nullptr) {
+    obs_hook_.Attach(config_.obs, [this] { SyncObs(); });
+  }
 }
 
 IngestPipeline::~IngestPipeline() {
+  // Quiesce the scrape hook before the entries it walks start dying.
+  obs_hook_.Detach();
   Stop();
   registry_->SetIngestDepthProbe(nullptr);
 }
@@ -144,6 +149,21 @@ void IngestPipeline::Attach(const std::string& name) {
 
   auto entry = std::make_shared<Entry>();
   entry->name = name;
+  if (config_.obs != nullptr) {
+    const obs::Labels labels = {{"model", name}};
+    entry->obs.journal_fsync_us = config_.obs->GetHistogram(
+        "grafics_ingest_journal_fsync_us",
+        "Microseconds one journal Append (write + fdatasync) took.",
+        obs::DefaultLatencyBucketsUs(), labels);
+    entry->obs.fold_us = config_.obs->GetHistogram(
+        "grafics_ingest_fold_us",
+        "Microseconds one fold (fork + Update + publish) took.",
+        obs::DefaultLatencyBucketsUs(), labels);
+    entry->obs.compaction_us = config_.obs->GetHistogram(
+        "grafics_ingest_compaction_us",
+        "Microseconds one committed journal compaction took.",
+        obs::DefaultLatencyBucketsUs(), labels);
+  }
   // Entry not yet published, but the worker thread spawned below reads all
   // of this under entry->mutex — initialize under it too so the
   // happens-before edge is the lock, not the std::thread constructor.
@@ -255,7 +275,14 @@ std::vector<SubmitResult> IngestPipeline::Submit(
   // to rejected — nothing unjournaled is ever folded.
   if (entry->journal != nullptr) {
     try {
+      const auto append_start = std::chrono::steady_clock::now();
       entry->journal->Append(accepted);
+      if (entry->obs.journal_fsync_us != nullptr) {
+        entry->obs.journal_fsync_us->Observe(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - append_start)
+                .count()));
+      }
       entry->stats.journal_bytes = entry->journal->bytes();
     } catch (const std::exception& e) {
       for (SubmitResult& result : results) {
@@ -405,6 +432,9 @@ void IngestPipeline::WorkerLoop(Entry& entry) {
       ++entry.stats.publishes;
       entry.stats.last_publish_generation = outcome.generation;
       RecordFoldLatency(entry, outcome.micros);
+      if (entry.obs.fold_us != nullptr) {
+        entry.obs.fold_us->Observe(outcome.micros);
+      }
       if (entry.journal != nullptr) {
         try {
           entry.journal->CommitFold(take);
@@ -479,6 +509,9 @@ void IngestPipeline::FinishCompaction(Entry& entry, std::string error) {
 }
 
 void IngestPipeline::Compact(Entry& entry) {
+  // Only committed compactions are observed below; failed attempts abort at
+  // wildly different points and would pollute the distribution.
+  const auto compaction_start = std::chrono::steady_clock::now();
   // The served snapshot, read under entry.mutex: with in_flight == 0 it is
   // exactly the fold of the journal's committed prefix (publishes only
   // happen from this worker), and the pending deque is exactly the
@@ -557,6 +590,12 @@ void IngestPipeline::Compact(Entry& entry) {
   entry.last_compaction_generation = staged.generation;
   entry.last_compaction_reclaimed = reclaimed;
   ::unlink(old_path.c_str());
+  if (entry.obs.compaction_us != nullptr) {
+    entry.obs.compaction_us->Observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - compaction_start)
+            .count()));
+  }
   FinishCompaction(entry, {});
 }
 
@@ -651,6 +690,35 @@ std::shared_ptr<IngestPipeline::Entry> IngestPipeline::Find(
   const MutexLock lock(&mutex_);
   const auto it = entries_.find(name);
   return it == entries_.end() ? nullptr : it->second;
+}
+
+void IngestPipeline::SyncObs() const {
+  obs::Registry& obs = *config_.obs;
+  for (const serve::IngestModelStats& stats : Stats()) {
+    const obs::Labels labels = {{"model", stats.name}};
+    obs.GetCounter("grafics_ingest_accepted_total",
+                   "Records validated, journaled, and acknowledged.", labels)
+        ->SyncTo(stats.accepted);
+    obs.GetCounter("grafics_ingest_rejected_total",
+                   "Records refused (validation, backpressure, journal "
+                   "failure).",
+                   labels)
+        ->SyncTo(stats.rejected);
+    obs.GetCounter("grafics_ingest_folded_total",
+                   "Records folded into a published snapshot.", labels)
+        ->SyncTo(stats.folded);
+    obs.GetCounter("grafics_ingest_publishes_total",
+                   "Fold-in publishes through the model registry.", labels)
+        ->SyncTo(stats.publishes);
+    obs.GetGauge("grafics_ingest_backlog",
+                 "Records accepted but not yet folded (pending + in "
+                 "flight).",
+                 labels)
+        ->Set(static_cast<std::int64_t>(stats.pending));
+    obs.GetGauge("grafics_ingest_journal_bytes",
+                 "Current size of the model's journal epoch file.", labels)
+        ->Set(static_cast<std::int64_t>(stats.journal_bytes));
+  }
 }
 
 }  // namespace grafics::ingest

@@ -42,6 +42,7 @@
 
 #include "common/annotated_sync.h"
 #include "ingest/record_journal.h"
+#include "obs/metrics.h"
 #include "rf/signal_record.h"
 #include "serve/model_registry.h"
 
@@ -73,6 +74,11 @@ struct IngestConfig {
   std::size_t compact_every_n_folds = 0;
   /// Compact when the journal exceeds this many bytes (0 = no byte bound).
   std::uint64_t max_journal_bytes = 0;
+  /// Telemetry registry; null records nothing. Per-model latency histograms
+  /// (journal fsync, fold, compaction) are resolved at Attach time, and the
+  /// ingest counters/gauges are synced by a collection hook at every
+  /// scrape.
+  std::shared_ptr<obs::Registry> obs;
 };
 
 /// One submitted record's fate, the in-process twin of the wire-level
@@ -159,6 +165,13 @@ class IngestPipeline {
 
   struct Entry {
     std::string name;  // immutable after Attach
+    /// Telemetry handles (any may be null), resolved in Attach before the
+    /// worker spawns and immutable after — read lock-free like `name`.
+    struct {
+      obs::Histogram* journal_fsync_us = nullptr;
+      obs::Histogram* fold_us = nullptr;
+      obs::Histogram* compaction_us = nullptr;
+    } obs;
     mutable Mutex mutex;
     CondVar wake;
     std::deque<PendingRecord> pending GRAFICS_GUARDED_BY(mutex);
@@ -218,6 +231,9 @@ class IngestPipeline {
       GRAFICS_REQUIRES(entry.mutex);
   std::shared_ptr<Entry> Find(const std::string& name) const
       GRAFICS_EXCLUDES(mutex_);
+  /// Collection-hook body: syncs per-model ingest counters/gauges into
+  /// config_.obs.
+  void SyncObs() const GRAFICS_EXCLUDES(mutex_);
 
   const IngestConfig config_;
   const std::shared_ptr<serve::ModelRegistry> registry_;
@@ -226,6 +242,8 @@ class IngestPipeline {
   std::map<std::string, std::shared_ptr<Entry>> entries_
       GRAFICS_GUARDED_BY(mutex_);
   bool stopped_ GRAFICS_GUARDED_BY(mutex_) = false;
+
+  obs::ScopedHook obs_hook_;  // detached in the destructor, before entries_
 };
 
 /// Journal file name for a model: every byte outside [A-Za-z0-9._-] is

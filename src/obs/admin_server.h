@@ -1,0 +1,87 @@
+// Minimal HTTP/1.0 admin listener for scrapers and orchestrators.
+//
+// Serves exactly three read-only endpoints on its own port:
+//
+//   GET /metrics  — Prometheus text exposition (obs::Registry render)
+//   GET /healthz  — liveness: 200 while the process serves at all
+//   GET /readyz   — readiness: 200 when the ready probe passes (for the
+//                   daemon: default model loaded), 503 otherwise
+//
+// Rather than growing a second network stack, this reuses serve::EventLoop
+// with a substituted FrameExtractor that cuts the byte stream at HTTP
+// header boundaries instead of length prefixes — one "frame" is one request
+// head, and the reply slot carries a complete HTTP response with
+// Connection: close semantics (close_after). Everything the transport
+// already solved — nonblocking reads, buffered writes, idle harvesting of
+// half-open scrapers — applies to the admin surface for free.
+//
+// The surface is intentionally not general HTTP: requests with bodies are
+// not supported, headers beyond the request line are ignored, and every
+// response closes the connection (curl, Prometheus, and kubelet probes are
+// all happy with HTTP/1.0 close semantics).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "serve/event_loop.h"
+
+namespace grafics::obs {
+
+struct AdminServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back via port().
+  std::uint16_t port = 0;
+  /// Harvest half-open scraper connections after this long.
+  std::chrono::milliseconds idle_timeout{10000};
+};
+
+class AdminServer {
+ public:
+  /// Renders the /metrics body (typically Registry::RenderPrometheus).
+  using MetricsRenderer = std::function<std::string()>;
+  /// Readiness probe for /readyz; may be null (then readyz mirrors
+  /// healthz). Must not block and must not throw — a throwing probe is
+  /// reported as not ready.
+  using ReadyProbe = std::function<bool()>;
+
+  AdminServer(AdminServerConfig config, MetricsRenderer metrics,
+              ReadyProbe ready);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread plus one event-loop
+  /// worker. Throws grafics::Error when the port cannot be bound.
+  void Start();
+  /// Stops accepting, closes every admin connection, joins. Idempotent.
+  void Stop();
+
+  /// Bound port, valid after Start() (resolves port 0).
+  std::uint16_t port() const { return bound_port_; }
+
+ private:
+  void AcceptLoop();
+  /// One complete HTTP response (status line + headers + body) for one
+  /// request head.
+  std::string Handle(const std::string& request_head) const;
+
+  const AdminServerConfig config_;
+  const MetricsRenderer metrics_;
+  const ReadyProbe ready_;
+
+  std::unique_ptr<serve::EventLoop> loop_;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+};
+
+}  // namespace grafics::obs

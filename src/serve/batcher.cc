@@ -123,6 +123,16 @@ void MicroBatcher::FlushLoop() {
         }
         // Whether full, stopping, or past the deadline: flush what we have.
       }
+      // Why this flush fired, checked in precedence order: a full queue is
+      // a max-batch flush even if the deadline also expired, and only a
+      // flush that is neither full nor stopping was the delay timer.
+      if (pending_.size() >= config_.max_batch_size) {
+        ++stats_.flushes_max_batch;
+      } else if (stopping_) {
+        ++stats_.flushes_shutdown;
+      } else {
+        ++stats_.flushes_max_delay;
+      }
       const std::size_t take =
           std::min(pending_.size(), config_.max_batch_size);
       batch.reserve(take);
@@ -138,9 +148,13 @@ void MicroBatcher::FlushLoop() {
 }
 
 void MicroBatcher::Dispatch(std::vector<Pending> batch) {
+  if (config_.obs.batch_size != nullptr) {
+    config_.obs.batch_size->Observe(batch.size());
+  }
   std::vector<rf::SignalRecord> records;
   records.reserve(batch.size());
   for (Pending& p : batch) records.push_back(std::move(p.record));
+  const auto dispatched = std::chrono::steady_clock::now();
   try {
     const Snapshot model = snapshot_();
     Require(model != nullptr && model->is_trained(),
@@ -149,11 +163,25 @@ void MicroBatcher::Dispatch(std::vector<Pending> batch) {
     options.pool = pool_;  // null → serial dispatch on this thread
     const std::vector<std::optional<rf::FloorId>> predictions =
         model->PredictBatch(records, options);
+    const auto predict_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - dispatched)
+            .count());
+    if (config_.obs.predict_us != nullptr) {
+      config_.obs.predict_us->Observe(predict_us);
+    }
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].done({predictions[i], {}});
+      const auto waited = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              dispatched - batch[i].enqueued)
+              .count());
+      if (config_.obs.queue_wait_us != nullptr) {
+        config_.obs.queue_wait_us->Observe(waited);
+      }
+      batch[i].done({predictions[i], {}, waited, predict_us});
     }
   } catch (const std::exception& e) {
-    for (Pending& p : batch) p.done({std::nullopt, e.what()});
+    for (Pending& p : batch) p.done({std::nullopt, e.what(), 0, 0});
   }
 }
 

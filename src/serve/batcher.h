@@ -27,9 +27,21 @@
 #include "common/annotated_sync.h"
 #include "common/thread_pool.h"
 #include "core/grafics.h"
+#include "obs/metrics.h"
 #include "rf/signal_record.h"
 
 namespace grafics::serve {
+
+/// Pre-resolved telemetry handles observed from the flusher thread; any
+/// pointer may be null (that instrument is simply not recorded). Counters
+/// and gauges derivable from BatcherStats are synced by the owner's
+/// collection hook instead — only the distributions, which must be observed
+/// at dispatch time, live here.
+struct BatcherObsHandles {
+  obs::Histogram* batch_size = nullptr;
+  obs::Histogram* queue_wait_us = nullptr;
+  obs::Histogram* predict_us = nullptr;
+};
 
 struct BatcherConfig {
   /// Flush as soon as this many requests are pending.
@@ -40,6 +52,9 @@ struct BatcherConfig {
   /// hardware_concurrency, 1 keeps dispatch on the flusher thread). Ignored
   /// when the owner passes a shared ThreadPool to the constructor.
   std::size_t predict_threads = 1;
+  /// Per-model telemetry handles, resolved by the owner before
+  /// construction (const thereafter, so the flusher reads them race-free).
+  BatcherObsHandles obs;
 };
 
 struct BatcherStats {
@@ -49,6 +64,14 @@ struct BatcherStats {
   /// Requests enqueued but not yet dispatched at the time stats() was
   /// called; the registry surfaces it as the per-model queue depth.
   std::uint64_t queue_depth = 0;
+  /// Why batches flushed, by trigger: the queue reached max_batch_size, the
+  /// oldest request's max_delay budget expired, or Stop() drained the
+  /// queue. batches == the sum of the three; a max_delay-dominated mix with
+  /// small max_batch values is the signal that max_delay is set too low
+  /// (or traffic is too thin) for batching to pay off.
+  std::uint64_t flushes_max_batch = 0;
+  std::uint64_t flushes_max_delay = 0;
+  std::uint64_t flushes_shutdown = 0;
 };
 
 /// One record's completion, delivered to a SubmitAsync callback from the
@@ -57,6 +80,11 @@ struct BatcherStats {
 struct PredictOutcome {
   std::optional<rf::FloorId> floor;
   std::string error;
+  /// Time the record spent queued before its batch dispatched, and how long
+  /// the batch's PredictBatch call took — carried back so the server's
+  /// slow-request trace can attribute latency without re-measuring.
+  std::uint64_t queue_wait_us = 0;
+  std::uint64_t predict_us = 0;
 };
 
 class MicroBatcher {

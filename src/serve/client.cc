@@ -250,6 +250,13 @@ ListArtifactsResponse Client::ListArtifacts(const std::string& model) {
   return *response;
 }
 
+std::string Client::Metrics() {
+  const Message reply = RoundTrip(MetricsRequest{});
+  const auto* response = std::get_if<MetricsResponse>(&reply);
+  Require(response != nullptr, "Client: unexpected reply to metrics");
+  return response->text;
+}
+
 namespace {
 
 /// The one version-ladder walk every negotiated admin query shares: speak

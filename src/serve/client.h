@@ -1,4 +1,4 @@
-// Blocking client for the GRAFICS serving daemon (protocol v6).
+// Blocking client for the GRAFICS serving daemon (protocol v7).
 //
 // One TCP connection, one request/response in flight at a time; concurrency
 // comes from opening more clients (the daemon coalesces across connections).
@@ -115,6 +115,12 @@ class Client {
   CheckpointResponse Checkpoint(const std::string& model = {});
   CompactResponse Compact(const std::string& model = {});
   ListArtifactsResponse ListArtifacts(const std::string& model = {});
+
+  /// v7 telemetry: the daemon's metrics dump in Prometheus text exposition
+  /// format — the same bytes GET /metrics on the admin port serves. Empty
+  /// when the daemon runs without telemetry attached. Requires a v7 daemon;
+  /// older daemons reject the frame by closing the connection.
+  std::string Metrics();
 
   /// Stats / IngestStats with automatic downgrade against older daemons:
   /// speaks the newest dialect on a fresh connection and retries one

@@ -31,6 +31,27 @@ std::uint32_t ReadLengthPrefix(const std::string& in) {
          static_cast<std::uint32_t>(static_cast<unsigned char>(in[3])) << 24;
 }
 
+/// The built-in GRAFICS framing: 4-byte little-endian length prefix, with
+/// the oversized-length rejection happening before any payload allocation.
+ExtractResult LengthPrefixExtract(const std::string& in,
+                                  std::size_t max_frame_bytes) {
+  ExtractResult result;
+  if (in.size() < 4) return result;
+  const std::uint32_t declared = ReadLengthPrefix(in);
+  if (declared > max_frame_bytes) {
+    result.status = ExtractResult::Status::kError;
+    result.error = "Server: frame declares " + std::to_string(declared) +
+                   " bytes, above the " + std::to_string(max_frame_bytes) +
+                   " byte limit";
+    return result;
+  }
+  if (in.size() < 4u + declared) return result;
+  result.status = ExtractResult::Status::kFrame;
+  result.consumed = 4u + declared;
+  result.payload = in.substr(4, declared);
+  return result;
+}
+
 }  // namespace
 
 /// Cross-thread completion channel into one worker. Lives behind a
@@ -66,7 +87,13 @@ EventLoop::EventLoop(EventLoopConfig config, FrameHandler on_frame,
                      FramingErrorEncoder on_framing_error)
     : config_(config),
       on_frame_(std::move(on_frame)),
-      on_framing_error_(std::move(on_framing_error)) {
+      on_framing_error_(std::move(on_framing_error)),
+      extractor_(config_.extractor != nullptr
+                     ? config_.extractor
+                     : FrameExtractor([max = config_.max_frame_bytes](
+                                          const std::string& in) {
+                         return LengthPrefixExtract(in, max);
+                       })) {
   Require(config_.workers >= 1, "EventLoop: workers >= 1");
   Require(on_frame_ != nullptr, "EventLoop: frame handler required");
 }
@@ -154,6 +181,13 @@ EventLoopStats EventLoop::stats() const {
   stats.frames_out = frames_out_.load(std::memory_order_relaxed);
   stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  stats.write_buffer_bytes =
+      write_buffer_bytes_.load(std::memory_order_relaxed);
+  stats.harvest_sweeps = harvest_sweeps_.load(std::memory_order_relaxed);
+  stats.harvest_last_sweep_us =
+      harvest_last_sweep_us_.load(std::memory_order_relaxed);
+  stats.harvest_last_sweep_closed =
+      harvest_last_sweep_closed_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -200,6 +234,7 @@ void EventLoop::RunWorker(Worker& worker) {
   for (auto& [id, conn] : worker.conns) {
     ::close(conn.fd);
     connections_live_.fetch_sub(1, std::memory_order_relaxed);
+    write_buffer_bytes_.fetch_sub(conn.out.size(), std::memory_order_relaxed);
   }
   worker.conns.clear();
 }
@@ -232,6 +267,8 @@ void EventLoop::CloseConn(Worker& worker, std::uint64_t id) {
   const auto it = worker.conns.find(id);
   if (it == worker.conns.end()) return;
   ::close(it->second.fd);  // also removes the fd from the epoll set
+  write_buffer_bytes_.fetch_sub(it->second.out.size(),
+                                std::memory_order_relaxed);
   worker.conns.erase(it);
   connections_live_.fetch_sub(1, std::memory_order_relaxed);
 }
@@ -264,34 +301,32 @@ bool EventLoop::ReadConn(Worker& worker, Conn& conn, std::string& scratch) {
 }
 
 void EventLoop::ParseFrames(Worker& worker, Conn& conn) {
-  while (!conn.stop_reading && conn.in.size() >= 4) {
-    const std::uint32_t declared = ReadLengthPrefix(conn.in);
-    if (declared > config_.max_frame_bytes) {
-      // Hostile length: reject before allocating. The error reply takes a
-      // slot like any other response so it still flushes after every
-      // earlier pipelined reply; later input is discarded.
+  while (!conn.stop_reading && !conn.in.empty()) {
+    ExtractResult extracted = extractor_(conn.in);
+    if (extracted.status == ExtractResult::Status::kNeedMore) return;
+    if (extracted.status == ExtractResult::Status::kError) {
+      // Framing violation (hostile length, oversized HTTP header): reject
+      // before allocating. The error reply takes a slot like any other
+      // response so it still flushes after every earlier pipelined reply;
+      // later input is discarded.
       Slot slot;
       slot.ready = true;
       slot.close_after = true;
       if (on_framing_error_ != nullptr) {
-        slot.bytes = on_framing_error_(
-            "Server: frame declares " + std::to_string(declared) +
-            " bytes, above the " + std::to_string(config_.max_frame_bytes) +
-            " byte limit");
+        slot.bytes = on_framing_error_(extracted.error);
       }
       conn.slots.push_back(std::move(slot));
       conn.stop_reading = true;
       conn.in.clear();
       return;
     }
-    if (conn.in.size() < 4u + declared) return;  // partial frame; wait
-    std::string payload = conn.in.substr(4, declared);
-    conn.in.erase(0, 4u + declared);
+    if (extracted.consumed == 0) return;  // defective extractor; don't spin
+    conn.in.erase(0, extracted.consumed);
     frames_in_.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t slot_index = conn.base_slot + conn.slots.size();
     conn.slots.emplace_back();
     ++conn.open_slots;
-    on_frame_(std::move(payload), conn.open_slots,
+    on_frame_(std::move(extracted.payload), conn.open_slots,
               Completion(worker.mailbox, conn.id, slot_index));
   }
 }
@@ -304,6 +339,8 @@ bool EventLoop::FlushConn(Worker& worker, Conn& conn) {
     if (!slot.bytes.empty()) {
       conn.out.append(slot.bytes);
       frames_out_.fetch_add(1, std::memory_order_relaxed);
+      write_buffer_bytes_.fetch_add(slot.bytes.size(),
+                                    std::memory_order_relaxed);
     }
     const bool close_after = slot.close_after;
     conn.slots.pop_front();
@@ -338,6 +375,7 @@ bool EventLoop::FlushConn(Worker& worker, Conn& conn) {
     return false;
   }
   conn.out.erase(0, written);
+  write_buffer_bytes_.fetch_sub(written, std::memory_order_relaxed);
   if (conn.out.empty() &&
       (conn.closing || (conn.peer_eof && conn.slots.empty()))) {
     CloseConn(worker, conn.id);
@@ -402,6 +440,7 @@ void EventLoop::HarvestIdle(Worker& worker) {
   const auto now = std::chrono::steady_clock::now();
   if (now - worker.last_sweep < config_.idle_timeout / 4) return;
   worker.last_sweep = now;
+  std::uint64_t closed = 0;
   for (auto it = worker.conns.begin(); it != worker.conns.end();) {
     Conn& conn = it->second;
     // Never harvest a connection with unanswered requests — a slow model
@@ -410,13 +449,26 @@ void EventLoop::HarvestIdle(Worker& worker) {
     if (conn.open_slots == 0 &&
         now - conn.last_activity > config_.idle_timeout) {
       ::close(conn.fd);
+      write_buffer_bytes_.fetch_sub(conn.out.size(),
+                                    std::memory_order_relaxed);
       it = worker.conns.erase(it);
       connections_live_.fetch_sub(1, std::memory_order_relaxed);
       harvested_idle_.fetch_add(1, std::memory_order_relaxed);
+      ++closed;
     } else {
       ++it;
     }
   }
+  // Last-sweep visibility (the lifetime harvested count hides storms):
+  // sweep duration plus how many connections this particular sweep closed.
+  // Workers overwrite each other's "last" values; any recent sweep is an
+  // equally good storm signal.
+  const auto swept_us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - now);
+  harvest_sweeps_.fetch_add(1, std::memory_order_relaxed);
+  harvest_last_sweep_us_.store(static_cast<std::uint64_t>(swept_us.count()),
+                               std::memory_order_relaxed);
+  harvest_last_sweep_closed_.store(closed, std::memory_order_relaxed);
 }
 
 }  // namespace grafics::serve

@@ -47,6 +47,26 @@
 
 namespace grafics::serve {
 
+/// One step of cutting a connection's unparsed input into frames.
+struct ExtractResult {
+  enum class Status {
+    kNeedMore,  ///< no complete frame yet; wait for more bytes
+    kFrame,     ///< `payload` is one frame; drop `consumed` input bytes
+    kError,     ///< framing violation; reply with `error` and hang up
+  };
+  Status status = Status::kNeedMore;
+  std::size_t consumed = 0;
+  std::string payload;
+  std::string error;
+};
+
+/// How raw socket bytes become handler-visible frames. Called on the
+/// worker thread with the connection's unparsed input; invoked repeatedly
+/// until it reports kNeedMore (or kError). The default is the GRAFICS
+/// 4-byte length-prefix framing; the obs admin listener substitutes an
+/// HTTP/1.0 request extractor to reuse this loop unchanged.
+using FrameExtractor = std::function<ExtractResult(const std::string& in)>;
+
 struct EventLoopConfig {
   /// Epoll worker threads; each owns a share of the connections.
   std::size_t workers = 2;
@@ -54,8 +74,11 @@ struct EventLoopConfig {
   /// without socket activity; zero disables harvesting.
   std::chrono::milliseconds idle_timeout{0};
   /// Frames declaring a payload longer than this get the framing-error
-  /// reply and a hang-up before any allocation happens.
+  /// reply and a hang-up before any allocation happens (length-prefix
+  /// framing only; a custom extractor enforces its own bounds).
   std::size_t max_frame_bytes = kMaxFrameBytes;
+  /// Framing override; nullptr selects the length-prefix default.
+  FrameExtractor extractor;
 };
 
 /// Aggregate transport counters across all workers (see TransportStats for
@@ -67,6 +90,16 @@ struct EventLoopStats {
   std::uint64_t frames_out = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  /// Reply bytes buffered across all connections, waiting for sockets to
+  /// accept them — the backpressure signal for slow readers.
+  std::uint64_t write_buffer_bytes = 0;
+  /// Idle-harvest sweep visibility (process-local, not on the wire): total
+  /// sweeps run, how long the most recent sweep took, and how many
+  /// connections it closed — a harvest storm shows up as a closed-count
+  /// spike with a rising sweep duration.
+  std::uint64_t harvest_sweeps = 0;
+  std::uint64_t harvest_last_sweep_us = 0;
+  std::uint64_t harvest_last_sweep_closed = 0;
 };
 
 class EventLoop {
@@ -189,6 +222,7 @@ class EventLoop {
   const EventLoopConfig config_;
   const FrameHandler on_frame_;
   const FramingErrorEncoder on_framing_error_;
+  const FrameExtractor extractor_;  // config override or built-in default
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<std::uint64_t> next_worker_{0};
@@ -202,6 +236,10 @@ class EventLoop {
   std::atomic<std::uint64_t> frames_out_{0};
   std::atomic<std::uint64_t> bytes_in_{0};
   std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> write_buffer_bytes_{0};
+  std::atomic<std::uint64_t> harvest_sweeps_{0};
+  std::atomic<std::uint64_t> harvest_last_sweep_us_{0};
+  std::atomic<std::uint64_t> harvest_last_sweep_closed_{0};
 };
 
 }  // namespace grafics::serve

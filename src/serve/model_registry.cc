@@ -1,5 +1,6 @@
 #include "serve/model_registry.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.h"
@@ -33,7 +34,12 @@ ModelRegistry::ModelRegistry(BatcherConfig batcher)
   }
 }
 
-ModelRegistry::~ModelRegistry() { Stop(); }
+ModelRegistry::~ModelRegistry() {
+  // Quiesce the scrape hook before anything it walks (entries_, batchers)
+  // starts dying; member destruction order alone does not guarantee that.
+  obs_hook_.Detach();
+  Stop();
+}
 
 void ModelRegistry::Load(const std::string& name,
                          std::shared_ptr<const core::Grafics> model,
@@ -70,11 +76,32 @@ void ModelRegistry::Load(const std::string& name,
     entry->path = std::move(model_path);
     entry->last_source = source;
   }
+  // First load of this name: resolve the per-model telemetry handles into
+  // the batcher's config before construction, so the flusher thread reads
+  // them const and race-free for the batcher's whole life.
+  BatcherConfig batcher_config = batcher_config_;
+  if (const std::shared_ptr<obs::Registry> obs = observed()) {
+    const obs::Labels labels = {{"model", name}};
+    batcher_config.obs.batch_size = obs->GetHistogram(
+        "grafics_batcher_batch_size",
+        "Records per dispatched micro-batch.",
+        obs::PowerOfTwoBuckets(
+            std::max<std::uint64_t>(batcher_config_.max_batch_size, 1)),
+        labels);
+    batcher_config.obs.queue_wait_us = obs->GetHistogram(
+        "grafics_batcher_queue_wait_us",
+        "Microseconds a record waited queued before its batch dispatched.",
+        obs::DefaultLatencyBucketsUs(), labels);
+    batcher_config.obs.predict_us = obs->GetHistogram(
+        "grafics_batcher_predict_us",
+        "Microseconds the batch's PredictBatch call took.",
+        obs::DefaultLatencyBucketsUs(), labels);
+  }
   // Raw pointer is safe: the batcher is the entry's last member, so its
   // destructor joins the flusher thread before the rest of the entry dies.
   Entry* raw = entry.get();
   entry->batcher = std::make_unique<MicroBatcher>(
-      batcher_config_,
+      batcher_config,
       [raw] {
         const MutexLock snapshot_lock(&raw->mutex);
         return raw->model;
@@ -167,6 +194,84 @@ void ModelRegistry::AttachStore(std::shared_ptr<store::ModelStore> store) {
 std::shared_ptr<store::ModelStore> ModelRegistry::store() const {
   const MutexLock lock(&store_mutex_);
   return store_;
+}
+
+void ModelRegistry::AttachObs(std::shared_ptr<obs::Registry> obs) {
+  Require(obs != nullptr, "ModelRegistry::AttachObs: null obs registry");
+  {
+    const MutexLock lock(&obs_mutex_);
+    Require(obs_ == nullptr, "ModelRegistry::AttachObs: already attached");
+    obs_ = obs;
+  }
+  obs_hook_.Attach(std::move(obs), [this] { SyncObs(); });
+}
+
+std::shared_ptr<obs::Registry> ModelRegistry::observed() const {
+  const MutexLock lock(&obs_mutex_);
+  return obs_;
+}
+
+void ModelRegistry::SyncObs() const {
+  const std::shared_ptr<obs::Registry> obs = observed();
+  if (obs == nullptr) return;
+  // Same locking shape as Stats(): snapshot the entries under the registry
+  // lock, gather per-model values unlocked — a scrape must not stall name
+  // resolution for predict traffic.
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> entries;
+  {
+    const MutexLock lock(&mutex_);
+    entries.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      entries.emplace_back(name, entry);
+    }
+  }
+  for (const auto& [name, entry] : entries) {
+    const obs::Labels labels = {{"model", name}};
+    std::uint64_t generation = 0;
+    std::shared_ptr<const core::Grafics> snapshot;
+    {
+      const MutexLock entry_lock(&entry->mutex);
+      generation = entry->generation;
+      snapshot = entry->model;
+    }
+    const CowBytes memory = snapshot->MemoryBytes();
+    const BatcherStats batcher = entry->batcher->stats();
+    obs->GetGauge("grafics_model_generation",
+                  "Monotonic per-model publish generation.", labels)
+        ->Set(static_cast<std::int64_t>(generation));
+    obs->GetGauge("grafics_model_snapshot_shared_bytes",
+                  "Bytes of the serving snapshot shared with older "
+                  "generations (copy-on-write).",
+                  labels)
+        ->Set(static_cast<std::int64_t>(memory.shared_bytes));
+    obs->GetGauge("grafics_model_snapshot_owned_bytes",
+                  "Bytes of the serving snapshot owned by this generation "
+                  "alone.",
+                  labels)
+        ->Set(static_cast<std::int64_t>(memory.owned_bytes));
+    obs->GetCounter("grafics_batcher_requests_total",
+                    "Records enqueued on the model's micro-batcher.", labels)
+        ->SyncTo(batcher.requests);
+    obs->GetCounter("grafics_batcher_batches_total",
+                    "Micro-batches dispatched through PredictBatch.", labels)
+        ->SyncTo(batcher.batches);
+    obs->GetGauge("grafics_batcher_queue_depth",
+                  "Records enqueued but not yet dispatched.", labels)
+        ->Set(static_cast<std::int64_t>(batcher.queue_depth));
+    const char* const kFlushHelp =
+        "Batch flushes by trigger: queue reached max_batch_size, the "
+        "oldest record's max_delay expired, or Stop() drained the queue.";
+    obs::Labels reason = labels;
+    reason.emplace_back("reason", "max_batch");
+    obs->GetCounter("grafics_batcher_flushes_total", kFlushHelp, reason)
+        ->SyncTo(batcher.flushes_max_batch);
+    reason.back().second = "max_delay";
+    obs->GetCounter("grafics_batcher_flushes_total", kFlushHelp, reason)
+        ->SyncTo(batcher.flushes_max_delay);
+    reason.back().second = "shutdown";
+    obs->GetCounter("grafics_batcher_flushes_total", kFlushHelp, reason)
+        ->SyncTo(batcher.flushes_shutdown);
+  }
 }
 
 void ModelRegistry::LoadFromStore(const std::string& name,

@@ -27,6 +27,7 @@
 #include "common/annotated_sync.h"
 #include "common/thread_pool.h"
 #include "core/grafics.h"
+#include "obs/metrics.h"
 #include "rf/signal_record.h"
 #include "serve/batcher.h"
 #include "serve/protocol.h"
@@ -84,6 +85,14 @@ class ModelRegistry {
   /// address its generations directly.
   void AttachStore(std::shared_ptr<store::ModelStore> store);
   std::shared_ptr<store::ModelStore> store() const;
+
+  /// Attaches the telemetry registry. Per-model gauges and counters
+  /// (generation, snapshot bytes, batcher totals, queue depth, flush
+  /// reasons) are synced by a collection hook at every scrape; the batcher
+  /// latency/size histograms are resolved per model at Load time, so attach
+  /// before loading models — models loaded earlier keep serving but record
+  /// no distributions. Detached automatically (quiescently) on destruction.
+  void AttachObs(std::shared_ptr<obs::Registry> obs);
 
   /// Load(name, store->Open(name, generation)): installs a store generation
   /// (0 = latest). Requires an attached store holding `name`.
@@ -166,11 +175,21 @@ class ModelRegistry {
   std::shared_ptr<Entry> Find(const std::string& name) const
       GRAFICS_EXCLUDES(mutex_);
 
+  /// Collection-hook body: walks every entry and syncs the per-model
+  /// gauges/counters into the attached obs registry.
+  void SyncObs() const GRAFICS_EXCLUDES(mutex_);
+  std::shared_ptr<obs::Registry> observed() const
+      GRAFICS_EXCLUDES(obs_mutex_);
+
   const BatcherConfig batcher_config_;
   std::unique_ptr<ThreadPool> pool_;  // null when predict_threads == 1
 
   mutable Mutex store_mutex_;  // probes never touch it
   std::shared_ptr<store::ModelStore> store_ GRAFICS_GUARDED_BY(store_mutex_);
+
+  mutable Mutex obs_mutex_;  // guards attachment, not instrument updates
+  std::shared_ptr<obs::Registry> obs_ GRAFICS_GUARDED_BY(obs_mutex_);
+  obs::ScopedHook obs_hook_;  // detach-before-death safety for SyncObs
 
   mutable Mutex mutex_;
   std::map<std::string, std::shared_ptr<Entry>> entries_

@@ -39,6 +39,9 @@ enum class MessageType : std::uint8_t {
   kCompactResponse = 18,
   kListArtifactsRequest = 19,
   kListArtifactsResponse = 20,
+  // v7-only telemetry messages; malformed inside v1..v6 frames.
+  kMetricsRequest = 21,
+  kMetricsResponse = 22,
 };
 
 MessageType TypeOf(const Message& message) {
@@ -99,6 +102,12 @@ MessageType TypeOf(const Message& message) {
     MessageType operator()(const ListArtifactsResponse&) const {
       return MessageType::kListArtifactsResponse;
     }
+    MessageType operator()(const MetricsRequest&) const {
+      return MessageType::kMetricsRequest;
+    }
+    MessageType operator()(const MetricsResponse&) const {
+      return MessageType::kMetricsResponse;
+    }
   };
   return std::visit(Visitor{}, message);
 }
@@ -146,6 +155,11 @@ void RequireIngestV3(std::uint32_t version) {
 /// from v6 on.
 void RequireStoreV6(std::uint32_t version) {
   Require(version >= 6, "protocol: store messages require protocol v6");
+}
+
+/// The telemetry surface (metrics dump) exists only from v7 on.
+void RequireMetricsV7(std::uint32_t version) {
+  Require(version >= 7, "protocol: metrics messages require protocol v7");
 }
 
 void RequireV1Expressible(const std::string& model, std::size_t records,
@@ -394,6 +408,17 @@ void WriteBody(std::ostream& out, const Message& message,
         WriteString(out, entry.file);
         WriteU64(out, entry.bytes);
       }
+    }
+    void operator()(const MetricsRequest&) const {
+      RequireMetricsV7(version);
+    }
+    void operator()(const MetricsResponse& m) const {
+      RequireMetricsV7(version);
+      // Leave headroom for the frame header + type byte so the whole
+      // encoded payload stays under kMaxFrameBytes.
+      Require(m.text.size() <= kMaxFrameBytes - 64,
+              "protocol: oversized metrics dump");
+      WriteString(out, m.text);
     }
   };
   std::visit(Visitor{out, version}, message);
@@ -664,6 +689,15 @@ Message ReadBody(std::istream& in, MessageType type, std::uint32_t version) {
         entry.bytes = ReadU64(in);
         m.artifacts.push_back(std::move(entry));
       }
+      return m;
+    }
+    case MessageType::kMetricsRequest:
+      RequireMetricsV7(version);
+      return MetricsRequest{};
+    case MessageType::kMetricsResponse: {
+      RequireMetricsV7(version);
+      MetricsResponse m;
+      m.text = ReadMessageString(in);
       return m;
     }
   }

@@ -1,4 +1,4 @@
-// Wire protocol of the GRAFICS serving daemon (version 6).
+// Wire protocol of the GRAFICS serving daemon (version 7).
 //
 // Every message travels as one length-prefixed frame on a TCP stream:
 //
@@ -42,10 +42,17 @@
 // reclaimed by compaction), and IngestModelStats grows journal replay
 // observability (torn-tail bytes dropped at open, batches replayed).
 //
-// Versions 1-5 remain decodable byte-for-byte — a v1 request is a
-// one-record batch routed to the default model, v2..v5 frames simply omit
+// Version 7 adds the telemetry surface: MetricsRequest asks the daemon for
+// a full metrics dump and MetricsResponse carries the obs::Registry render
+// in Prometheus text exposition format — the same bytes `GET /metrics` on
+// the admin port serves, for clients that already speak the binary
+// protocol and do not want a second connection. No existing message
+// changes shape.
+//
+// Versions 1-6 remain decodable byte-for-byte — a v1 request is a
+// one-record batch routed to the default model, v2..v6 frames simply omit
 // the later versions' fields — and every reply is encoded in the version
-// its request arrived in, so deployed clients keep working against a v6
+// its request arrived in, so deployed clients keep working against a v7
 // daemon.
 //
 // Malformed input — bad magic, unsupported version, unknown type, truncated
@@ -69,7 +76,7 @@ namespace grafics::serve {
 
 inline constexpr char kFrameMagic[4] = {'G', 'S', 'R', 'V'};
 /// Highest protocol version this build speaks (and the encoding default).
-inline constexpr std::uint32_t kProtocolVersion = 6;
+inline constexpr std::uint32_t kProtocolVersion = 7;
 /// Oldest protocol version still decoded; v1 requests route to the default
 /// model and get v1-encoded replies.
 inline constexpr std::uint32_t kMinProtocolVersion = 1;
@@ -432,6 +439,22 @@ struct ListArtifactsResponse {
   bool operator==(const ListArtifactsResponse&) const = default;
 };
 
+/// v7-only admin: dump the daemon's whole telemetry registry. The response
+/// body is the Prometheus text exposition render — identical to what the
+/// HTTP admin port's GET /metrics serves — so binary-protocol clients
+/// (grafics remote-metrics) need no second connection or HTTP stack.
+struct MetricsRequest {
+  bool operator==(const MetricsRequest&) const = default;
+};
+
+struct MetricsResponse {
+  /// Prometheus text exposition format, bounded by kMaxFrameBytes like any
+  /// other frame.
+  std::string text;
+
+  bool operator==(const MetricsResponse&) const = default;
+};
+
 using Message =
     std::variant<PredictRequest, PredictResponse, Ping, Pong, ReloadRequest,
                  ReloadResponse, ListModelsRequest, ListModelsResponse,
@@ -439,7 +462,7 @@ using Message =
                  SubmitRecordsResponse, IngestStatsRequest,
                  IngestStatsResponse, CheckpointRequest, CheckpointResponse,
                  CompactRequest, CompactResponse, ListArtifactsRequest,
-                 ListArtifactsResponse>;
+                 ListArtifactsResponse, MetricsRequest, MetricsResponse>;
 
 /// Wire encoding of one record: u64 observation count, then (u64 MAC bits,
 /// f64 RSS dBm) per observation, then the optional floor label. Reading

@@ -15,8 +15,11 @@
 #include <variant>
 #include <vector>
 
+#include <cstdio>
+
 #include "common/error.h"
 #include "ingest/ingest_pipeline.h"
+#include "obs/trace.h"
 #include "store/model_store.h"
 
 namespace grafics::serve {
@@ -52,7 +55,11 @@ Server::Server(std::shared_ptr<ModelRegistry> registry, ServerConfig config)
   Require(config_.ops_threads >= 1, "Server: ops_threads >= 1");
 }
 
-Server::~Server() { Stop(); }
+Server::~Server() {
+  // Quiesce the scrape hook before the transport it reads starts dying.
+  obs_hook_.Detach();
+  Stop();
+}
 
 void Server::AttachIngest(std::shared_ptr<ingest::IngestPipeline> ingest) {
   Require(!started_, "Server::AttachIngest: attach before Start");
@@ -62,6 +69,66 @@ void Server::AttachIngest(std::shared_ptr<ingest::IngestPipeline> ingest) {
 void Server::AttachStore(std::shared_ptr<store::ModelStore> store) {
   Require(!started_, "Server::AttachStore: attach before Start");
   store_ = std::move(store);
+}
+
+void Server::AttachObs(std::shared_ptr<obs::Registry> obs) {
+  Require(!started_, "Server::AttachObs: attach before Start");
+  Require(obs != nullptr, "Server::AttachObs: null obs registry");
+  Require(obs_ == nullptr, "Server::AttachObs: already attached");
+  obs_ = std::move(obs);
+  frame_decode_us_ = obs_->GetHistogram(
+      "grafics_transport_frame_decode_us",
+      "Microseconds spent decoding one request frame.",
+      obs::DefaultLatencyBucketsUs());
+  slow_requests_ = obs_->GetCounter(
+      "grafics_server_slow_requests_total",
+      "Predicts whose end-to-end time exceeded slow_request_us.");
+  obs_hook_.Attach(obs_, [this] { SyncObs(); });
+}
+
+void Server::SyncObs() {
+  const TransportStats transport = transport_stats();
+  obs_->GetCounter("grafics_transport_accepts_total",
+                   "Connections accepted since start.")
+      ->SyncTo(connections_accepted_.load());
+  obs_->GetCounter("grafics_transport_busy_rejections_total",
+                   "Predicts refused by admission control "
+                   "(per-connection in-flight or model queue-depth caps).")
+      ->SyncTo(transport.requests_rejected_busy);
+  obs_->GetGauge("grafics_transport_connections_live",
+                 "Connections currently owned by the event loop.")
+      ->Set(static_cast<std::int64_t>(transport.connections_live));
+  obs_->GetCounter("grafics_transport_connections_harvested_total",
+                   "Idle connections closed by the harvest sweep.")
+      ->SyncTo(transport.connections_harvested_idle);
+  obs_->GetCounter("grafics_transport_frames_in_total",
+                   "Complete request frames parsed.")
+      ->SyncTo(transport.frames_in);
+  obs_->GetCounter("grafics_transport_frames_out_total",
+                   "Reply frames fully written.")
+      ->SyncTo(transport.frames_out);
+  obs_->GetCounter("grafics_transport_bytes_in_total",
+                   "Bytes read off client sockets.")
+      ->SyncTo(transport.bytes_in);
+  obs_->GetCounter("grafics_transport_bytes_out_total",
+                   "Bytes written to client sockets.")
+      ->SyncTo(transport.bytes_out);
+  if (loop_ != nullptr) {
+    // Process-local loop counters that are not on the wire.
+    const EventLoopStats loop = loop_->stats();
+    obs_->GetGauge("grafics_transport_write_buffer_bytes",
+                   "Reply bytes buffered waiting for socket writability.")
+        ->Set(static_cast<std::int64_t>(loop.write_buffer_bytes));
+    obs_->GetCounter("grafics_transport_harvest_sweeps_total",
+                     "Idle-harvest sweeps run across all workers.")
+        ->SyncTo(loop.harvest_sweeps);
+    obs_->GetGauge("grafics_transport_harvest_last_sweep_us",
+                   "Duration of the most recent idle-harvest sweep.")
+        ->Set(static_cast<std::int64_t>(loop.harvest_last_sweep_us));
+    obs_->GetGauge("grafics_transport_harvest_last_sweep_closed",
+                   "Connections closed by the most recent harvest sweep.")
+        ->Set(static_cast<std::int64_t>(loop.harvest_last_sweep_closed));
+  }
 }
 
 void Server::Start() {
@@ -156,7 +223,14 @@ void Server::HandleFrame(std::string payload, std::size_t inflight,
   // the best-effort error frame below: a peer speaking v1 gets v1 back.
   std::uint32_t version = kMinProtocolVersion;
   try {
+    const auto decode_start = std::chrono::steady_clock::now();
     Message request = DecodePayload(payload, &version);
+    if (frame_decode_us_ != nullptr) {
+      frame_decode_us_->Observe(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - decode_start)
+              .count()));
+    }
     if (auto* predict = std::get_if<PredictRequest>(&request)) {
       HandlePredictAsync(std::move(*predict), version, inflight,
                          std::move(done));
@@ -197,6 +271,12 @@ void Server::HandleFrame(std::string payload, std::size_t inflight,
     } else if (const auto* artifacts =
                    std::get_if<ListArtifactsRequest>(&request)) {
       done.Send(EncodeFrame(HandleListArtifacts(*artifacts), version));
+    } else if (std::holds_alternative<MetricsRequest>(request)) {
+      // Inline like Stats: the render walks per-model counters and chunk
+      // tables, the same cost profile as HandleStats — no fsyncs, no disk.
+      MetricsResponse metrics;
+      if (obs_ != nullptr) metrics.text = obs_->RenderPrometheus();
+      done.Send(EncodeFrame(metrics, version));
     } else {
       throw Error("Server: unexpected message type from client");
     }
@@ -243,17 +323,39 @@ void Server::HandlePredictAsync(PredictRequest request, std::uint32_t version,
     std::atomic<std::size_t> remaining{0};
     std::uint32_t version = kProtocolVersion;
     EventLoop::Completion done;
+    // Slow-request tracing, null/zero when disabled. Completions may
+    // outlive the Server (the registry's flusher threads are stopped by
+    // its owner, later), so everything the logging path touches is held
+    // here — the obs shared_ptr pins the counter — not read off `this`.
+    std::shared_ptr<obs::Trace> trace;
+    std::string model;
+    std::uint64_t slow_threshold_us = 0;
+    obs::Counter* slow_counter = nullptr;
+    std::shared_ptr<obs::Registry> obs;
   };
   auto pending = std::make_shared<PendingPredict>();
   pending->response.results.resize(count);
   pending->remaining.store(count, std::memory_order_relaxed);
   pending->version = version;
   pending->done = done;
+  if (config_.slow_request_us > 0) {
+    pending->trace = std::make_shared<obs::Trace>();
+    pending->trace->Stamp("frame_decoded");
+    pending->model = request.model;
+    pending->slow_threshold_us = config_.slow_request_us;
+    pending->slow_counter = slow_requests_;
+    pending->obs = obs_;
+  }
   try {
+    // The flusher's completions happen-after this stamp via the batcher
+    // mutex, so the trace is never touched from two threads at once.
+    if (pending->trace != nullptr) pending->trace->Stamp("enqueued");
     const bool admitted = registry_->TrySubmitBatchAsync(
         request.model, std::move(request.records),
-        [pending](std::size_t index, PredictOutcome outcome) {
+        [pending, count](std::size_t index, PredictOutcome outcome) {
           PredictResult& result = pending->response.results[index];
+          const std::uint64_t queue_wait_us = outcome.queue_wait_us;
+          const std::uint64_t predict_us = outcome.predict_us;
           if (!outcome.error.empty()) {
             result.status = PredictStatus::kError;
             result.error = std::move(outcome.error);
@@ -265,8 +367,33 @@ void Server::HandlePredictAsync(PredictRequest request, std::uint32_t version,
           }
           if (pending->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
               1) {
+            if (pending->trace != nullptr) {
+              // The last record's attribution stands in for the request:
+              // with one batch per request (the common case) every record
+              // shares the same predict time anyway.
+              pending->trace->Note("queue_wait", queue_wait_us);
+              pending->trace->Note("predict", predict_us);
+            }
             pending->done.Send(
                 EncodeFrame(pending->response, pending->version));
+            if (pending->trace != nullptr) {
+              pending->trace->Stamp("reply_flushed");
+              const std::uint64_t total_us = pending->trace->ElapsedUs();
+              if (total_us > pending->slow_threshold_us) {
+                if (pending->slow_counter != nullptr) {
+                  pending->slow_counter->Add();
+                }
+                std::fprintf(
+                    stderr,
+                    "grafics_served: slow-request model=%s records=%zu "
+                    "total_us=%llu trace: %s\n",
+                    pending->model.empty() ? "(default)"
+                                           : pending->model.c_str(),
+                    count,
+                    static_cast<unsigned long long>(total_us),
+                    pending->trace->Breakdown().c_str());
+              }
+            }
           }
         },
         config_.max_queue_depth);

@@ -34,6 +34,7 @@
 #include <thread>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "serve/event_loop.h"
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
@@ -71,6 +72,10 @@ struct ServerConfig {
   /// Threads for blocking admin work (reload disk loads, ingest journal
   /// fsyncs) so event workers never stall on them.
   std::size_t ops_threads = 2;
+  /// When non-zero, predicts whose end-to-end time exceeds this many
+  /// microseconds log a per-stage trace breakdown to stderr (see
+  /// docs/observability.md for the line format). Zero disables tracing.
+  std::uint64_t slow_request_us = 0;
 };
 
 class Server {
@@ -96,6 +101,13 @@ class Server {
   /// reports store counters, and Reload honors generation pins. Call before
   /// Start; the store is shared with the registry and the caller.
   void AttachStore(std::shared_ptr<store::ModelStore> store);
+
+  /// Enables the telemetry surface: the v7 Metrics request answers with the
+  /// registry's Prometheus render, transport counters are synced into it by
+  /// a collection hook at every scrape, and frame decode times feed a
+  /// histogram. Call before Start; without one, Metrics replies carry an
+  /// empty dump and nothing is recorded.
+  void AttachObs(std::shared_ptr<obs::Registry> obs);
 
   /// Binds, listens, and spawns the accept loop + event workers. Throws
   /// grafics::Error when the address is unusable.
@@ -141,10 +153,20 @@ class Server {
   ListArtifactsResponse HandleListArtifacts(
       const ListArtifactsRequest& request) const;
 
+  /// Collection-hook body: syncs transport counters into the obs registry.
+  void SyncObs();
+
   const ServerConfig config_;
   const std::shared_ptr<ModelRegistry> registry_;
   std::shared_ptr<ingest::IngestPipeline> ingest_;
   std::shared_ptr<store::ModelStore> store_;
+  // Set before Start (AttachObs), const afterwards: handlers read them
+  // race-free without a lock. The hook is detached in the destructor,
+  // before loop_ dies.
+  std::shared_ptr<obs::Registry> obs_;
+  obs::Histogram* frame_decode_us_ = nullptr;
+  obs::Counter* slow_requests_ = nullptr;
+  obs::ScopedHook obs_hook_;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

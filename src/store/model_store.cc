@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -341,11 +342,18 @@ void ModelStore::CommitLocked(const std::string& name,
 std::uint64_t ModelStore::WriteBase(
     const std::string& name, std::shared_ptr<const core::Grafics> model) {
   const MutexLock lock(&mutex_);
+  const auto started = std::chrono::steady_clock::now();
   // Forgetting the retained base forces StageLocked onto the full-snapshot
   // path; CommitLocked re-retains `model`.
   retained_.erase(name);
   const StagedArtifact staged = StageLocked(name, model);
   CommitLocked(name, staged, ReadManifest(name).journal_epoch, model);
+  if (checkpoint_us_ != nullptr) {
+    checkpoint_us_->Observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count()));
+  }
   return staged.generation;
 }
 
@@ -353,8 +361,15 @@ std::uint64_t ModelStore::WriteCheckpoint(
     const std::string& name, std::shared_ptr<const core::Grafics> model,
     StagedArtifact* info) {
   const MutexLock lock(&mutex_);
+  const auto started = std::chrono::steady_clock::now();
   const StagedArtifact staged = StageLocked(name, model);
   CommitLocked(name, staged, ReadManifest(name).journal_epoch, model);
+  if (checkpoint_us_ != nullptr) {
+    checkpoint_us_->Observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count()));
+  }
   if (info != nullptr) *info = staged;
   return staged.generation;
 }
@@ -396,6 +411,47 @@ void ModelStore::CommitStaged(const std::string& name,
 std::uint64_t ModelStore::JournalEpoch(const std::string& name) const {
   const MutexLock lock(&mutex_);
   return ReadManifest(name).journal_epoch;
+}
+
+void ModelStore::AttachObs(std::shared_ptr<obs::Registry> obs) {
+  Require(obs != nullptr, "ModelStore::AttachObs: null obs registry");
+  {
+    const MutexLock lock(&mutex_);
+    Require(checkpoint_us_ == nullptr,
+            "ModelStore::AttachObs: already attached");
+    checkpoint_us_ = obs->GetHistogram(
+        "grafics_store_checkpoint_us",
+        "Microseconds one committed checkpoint (stage + manifest commit) "
+        "took.",
+        obs::DefaultLatencyBucketsUs());
+  }
+  obs::Registry* raw = obs.get();  // kept alive by the hook's shared_ptr
+  obs_hook_.Attach(std::move(obs), [this, raw] { SyncObs(*raw); });
+}
+
+void ModelStore::SyncObs(obs::Registry& obs) const {
+  ArtifactCounts totals;
+  for (const std::string& name : ListModels()) {
+    std::uint64_t chain = 0;
+    for (const ArtifactInfo& info : List(name)) {
+      ++chain;
+      if (info.is_delta) {
+        ++totals.delta_count;
+      } else {
+        ++totals.base_count;
+      }
+    }
+    obs.GetGauge("grafics_store_chain_length",
+                 "Artifacts (bases + deltas) in the model's chain.",
+                 {{"model", name}})
+        ->Set(static_cast<std::int64_t>(chain));
+  }
+  obs.GetGauge("grafics_store_base_artifacts",
+               "Base artifacts across every model.")
+      ->Set(static_cast<std::int64_t>(totals.base_count));
+  obs.GetGauge("grafics_store_delta_artifacts",
+               "Delta checkpoints across every model.")
+      ->Set(static_cast<std::int64_t>(totals.delta_count));
 }
 
 }  // namespace grafics::store

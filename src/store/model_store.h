@@ -27,6 +27,7 @@
 
 #include "common/annotated_sync.h"
 #include "core/grafics.h"
+#include "obs/metrics.h"
 
 namespace grafics::store {
 
@@ -114,6 +115,12 @@ class ModelStore {
   /// The epoch names the journal file the ingest pipeline must replay.
   std::uint64_t JournalEpoch(const std::string& name) const;
 
+  /// Attaches the telemetry registry: WriteBase/WriteCheckpoint durations
+  /// feed a histogram, and a collection hook syncs artifact counts and
+  /// per-model chain lengths at every scrape. Attach once, before
+  /// checkpoints start flowing; null is rejected.
+  void AttachObs(std::shared_ptr<obs::Registry> obs);
+
   /// Percent-encodes `name` into a filesystem-safe file stem; the same
   /// scheme the ingest journal uses, so store and journal files for one
   /// model sort together.
@@ -137,12 +144,19 @@ class ModelStore {
                     const std::shared_ptr<const core::Grafics>& model)
       GRAFICS_REQUIRES(mutex_);
 
+  /// Collection-hook body: syncs artifact counts/chain lengths into `obs`.
+  void SyncObs(obs::Registry& obs) const GRAFICS_EXCLUDES(mutex_);
+
   std::string dir_;
   mutable Mutex mutex_;
   /// Last committed generation's in-memory snapshot per model: the base the
   /// next delta checkpoint diffs against (chunk identity, not content).
   std::map<std::string, std::shared_ptr<const core::Grafics>> retained_
       GRAFICS_GUARDED_BY(mutex_);
+  obs::Histogram* checkpoint_us_ GRAFICS_GUARDED_BY(mutex_) = nullptr;
+  /// Last member: destroyed (and thus quiesced) before everything SyncObs
+  /// reads.
+  obs::ScopedHook obs_hook_;
 };
 
 }  // namespace grafics::store

@@ -13,7 +13,8 @@
 //   grafics remote-compact    <host:port> [--model NAME]
 //   grafics remote-artifacts  <host:port> [--model NAME]
 //   grafics remote-models  <host:port>
-//   grafics remote-stats   <host:port> [--model NAME]
+//   grafics remote-stats   <host:port> [--model NAME] [--watch N]
+//   grafics remote-metrics <host:port>
 //   grafics remote-ingest-stats <host:port> [--model NAME]
 //   grafics eval    <dataset.csv> [--labels-per-floor N] [--train-ratio R]
 //   grafics synth   <out.csv> [--preset campus|mall|hk-tower] [--seed S]
@@ -32,13 +33,19 @@
 // v6 daemon's persistence store (--store-dir): write a base/delta
 // checkpoint, fold the journal into one, and inspect the artifact chain;
 // remote-reload --generation N rolls the served model back to a pinned
-// store generation.
+// store generation. remote-stats --watch N re-queries and re-prints every
+// N seconds (snapshots separated by a blank line) until interrupted;
+// remote-metrics dumps a v7 daemon's full Prometheus text exposition —
+// the same bytes GET /metrics on its --admin-port serves — for hosts the
+// scraper cannot reach.
 //
 // Exit status: 0 on success, 1 on usage error, 2 on runtime failure.
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -71,7 +78,9 @@ int Usage() {
                "  grafics remote-compact    <host:port> [--model NAME]\n"
                "  grafics remote-artifacts  <host:port> [--model NAME]\n"
                "  grafics remote-models  <host:port>\n"
-               "  grafics remote-stats   <host:port> [--model NAME]\n"
+               "  grafics remote-stats   <host:port> [--model NAME] "
+               "[--watch N]\n"
+               "  grafics remote-metrics <host:port>\n"
                "  grafics remote-ingest-stats <host:port> [--model NAME]\n"
                "  grafics eval    <dataset.csv> [--labels-per-floor N] "
                "[--train-ratio R] [--seed S]\n"
@@ -336,10 +345,12 @@ int CmdRemoteModels(const std::vector<std::string>& args) {
   return 0;
 }
 
-int CmdRemoteStats(const std::vector<std::string>& args) {
-  if (args.empty()) return Usage();
-  const auto [host, port] = ParseHostPort(args[0]);
-  const std::string model = FlagValue(args, "--model", "");
+/// One remote-stats snapshot: fetch (with version-ladder downgrade) and
+/// print. Factored out so --watch re-runs it on a fresh connection each
+/// interval — a daemon restart mid-watch reconnects instead of erroring on
+/// a dead socket.
+int FetchAndPrintRemoteStats(const std::string& host, std::uint16_t port,
+                             const std::string& model) {
   // Client::NegotiatedStats walks the version ladder against older daemons;
   // `spoken` tells us which fields the reply actually carried, so the
   // output degrades gracefully instead of printing zero defaults.
@@ -401,6 +412,35 @@ int CmdRemoteStats(const std::vector<std::string>& args) {
     }
     std::printf("\n");
   }
+  return 0;
+}
+
+int CmdRemoteStats(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const auto [host, port] = ParseHostPort(args[0]);
+  const std::string model = FlagValue(args, "--model", "");
+  // --watch N re-queries every N seconds until interrupted, each snapshot
+  // on a fresh connection, separated by one blank line (0 = print once).
+  const std::uint64_t watch_seconds = ParseUnsigned(
+      FlagValue(args, "--watch", "0"), 86400, "--watch");
+  for (;;) {
+    const int status = FetchAndPrintRemoteStats(host, port, model);
+    if (status != 0 || watch_seconds == 0) return status;
+    std::printf("\n");
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(watch_seconds));
+  }
+}
+
+int CmdRemoteMetrics(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const auto [host, port] = ParseHostPort(args[0]);
+  serve::Client client(host, port);
+  // The exposition already ends in a newline (or is empty when the daemon
+  // runs without telemetry); print it verbatim so the output pipes
+  // straight into promtool and friends.
+  const std::string text = client.Metrics();
+  std::fwrite(text.data(), 1, text.size(), stdout);
   return 0;
 }
 
@@ -487,6 +527,7 @@ int main(int argc, char** argv) {
     if (command == "remote-artifacts") return CmdRemoteArtifacts(args);
     if (command == "remote-models") return CmdRemoteModels(args);
     if (command == "remote-stats") return CmdRemoteStats(args);
+    if (command == "remote-metrics") return CmdRemoteMetrics(args);
     if (command == "eval") return CmdEval(args);
     if (command == "synth") return CmdSynth(args);
     if (command == "stats") return CmdStats(args);

@@ -15,6 +15,8 @@
 //                  [--ingest-max-delay-ms M] [--ingest-max-pending N]
 //                  [--store-dir D] [--compact-every-n-folds N]
 //                  [--max-journal-bytes B]
+//                  [--admin-port P] [--admin-port-file F]
+//                  [--slow-request-us N]
 //
 //   <model.bin>       artifact loaded as model "default" (optional when at
 //                     least one --model is given)
@@ -61,6 +63,14 @@
 //                     --journal-dir)
 //   --max-journal-bytes B      compact as soon as a model's journal exceeds
 //                     B bytes (0 = no byte bound)
+//   --admin-port P    open the HTTP admin listener on P (0 = ephemeral):
+//                     GET /metrics serves the Prometheus text exposition,
+//                     GET /healthz liveness, GET /readyz readiness (200
+//                     once the default model is loaded)
+//   --admin-port-file F  write the bound admin port to F once listening
+//   --slow-request-us N  log any predict whose total latency exceeds N
+//                     microseconds to stderr with a per-stage trace
+//                     breakdown (0 disables; independent of --admin-port)
 //
 // SIGHUP hot-reloads every model from its artifact path, one by one: new
 // batches move to each fresh snapshot atomically while in-flight batches
@@ -90,6 +100,8 @@
 #include "common/error.h"
 #include "core/grafics.h"
 #include "ingest/ingest_pipeline.h"
+#include "obs/admin_server.h"
+#include "obs/metrics.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
 #include "store/model_store.h"
@@ -141,7 +153,8 @@ int Usage() {
       "                      [--ingest-max-delay-ms M] "
       "[--ingest-max-pending N]\n"
       "                      [--store-dir D] [--compact-every-n-folds N]\n"
-      "                      [--max-journal-bytes B]\n");
+      "                      [--max-journal-bytes B] [--admin-port P]\n"
+      "                      [--admin-port-file F] [--slow-request-us N]\n");
   return 1;
 }
 
@@ -259,16 +272,35 @@ int main(int argc, char** argv) {
                 (!store_dir.empty() && !ingest_config.journal_dir.empty()),
             "--compact-every-n-folds / --max-journal-bytes require both "
             "--store-dir and --journal-dir");
+    config.slow_request_us = ParseUnsigned(
+        FlagValue(args, "--slow-request-us", "0"), UINT64_MAX,
+        "--slow-request-us");
+    const std::string admin_port_flag = FlagValue(args, "--admin-port", "");
+    const std::string admin_port_file =
+        FlagValue(args, "--admin-port-file", "");
+    obs::AdminServerConfig admin_config;
+    admin_config.host = config.host;
+    if (!admin_port_flag.empty()) {
+      admin_config.port = static_cast<std::uint16_t>(
+          ParseUnsigned(admin_port_flag, 65535, "--admin-port"));
+    }
     const std::vector<std::string> model_flags = FlagValues(args, "--model");
     if (positional_model.empty() && model_flags.empty()) return Usage();
 
     // Before the (slow) model loads: an early SIGHUP must queue a reload,
     // not kill the process with the default action.
     InstallSignalHandlers();
+    // Telemetry is always collected (the wire-level metrics dump needs it
+    // even without --admin-port); the registry must attach before models
+    // load so per-model latency histograms resolve at Load time.
+    auto obs_registry = std::make_shared<obs::Registry>();
     auto registry = std::make_shared<serve::ModelRegistry>(batcher);
+    registry->AttachObs(obs_registry);
+    ingest_config.obs = obs_registry;
     std::shared_ptr<store::ModelStore> model_store;
     if (!store_dir.empty()) {
       model_store = std::make_shared<store::ModelStore>(store_dir);
+      model_store->AttachObs(obs_registry);
       registry->AttachStore(model_store);
       ingest_config.model_store = model_store;
     }
@@ -317,6 +349,7 @@ int main(int argc, char** argv) {
     serve::Server server(registry, config);
     if (pipeline != nullptr) server.AttachIngest(pipeline);
     if (model_store != nullptr) server.AttachStore(model_store);
+    server.AttachObs(obs_registry);
     server.Start();
     std::printf(
         "grafics_served: serving %zu model(s) (default %s) on %s:%u "
@@ -330,6 +363,33 @@ int main(int argc, char** argv) {
       Require(f != nullptr, "cannot write port file " + port_file);
       std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
       std::fclose(f);
+    }
+
+    // The admin surface opens after the serving listener: a scraper that
+    // can reach /readyz can also already reach the predict port.
+    std::unique_ptr<obs::AdminServer> admin;
+    if (!admin_port_flag.empty()) {
+      admin = std::make_unique<obs::AdminServer>(
+          admin_config,
+          [obs_registry] { return obs_registry->RenderPrometheus(); },
+          [registry] {
+            // Ready once the default model is loaded (generation advances
+            // from 0 at first load); AdminServer maps a throw to 503.
+            return registry->generation(registry->default_model()) > 0;
+          });
+      admin->Start();
+      std::printf("grafics_served: admin endpoints on %s:%u "
+                  "(/metrics /healthz /readyz)\n",
+                  admin_config.host.c_str(),
+                  static_cast<unsigned>(admin->port()));
+      std::fflush(stdout);
+      if (!admin_port_file.empty()) {
+        std::FILE* f = std::fopen(admin_port_file.c_str(), "w");
+        Require(f != nullptr,
+                "cannot write admin port file " + admin_port_file);
+        std::fprintf(f, "%u\n", static_cast<unsigned>(admin->port()));
+        std::fclose(f);
+      }
     }
 
     std::uint64_t reloads = 0;
@@ -347,7 +407,10 @@ int main(int argc, char** argv) {
     // only then the registry the pipeline publishes into. Stopping the
     // registry first would make the pipeline's final publishes fail and
     // lose accepted records from the served model (they would survive only
-    // in the journal).
+    // in the journal). The admin listener goes down first of all: its
+    // scrape hooks read every other layer, so nothing may still be
+    // rendering /metrics while those layers tear down.
+    if (admin != nullptr) admin->Stop();
     server.Stop();
     if (pipeline != nullptr) pipeline->Stop();
     registry->Stop();

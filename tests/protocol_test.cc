@@ -158,6 +158,14 @@ std::vector<Message> AllMessageTypes() {
   messages.push_back(ListArtifactsRequest{});
   messages.push_back(artifacts);
   messages.push_back(ListArtifactsResponse{});  // store disabled
+  messages.push_back(MetricsRequest{});
+  MetricsResponse metrics;
+  metrics.text =
+      "# HELP grafics_transport_frames_in_total Frames decoded.\n"
+      "# TYPE grafics_transport_frames_in_total counter\n"
+      "grafics_transport_frames_in_total 400\n";
+  messages.push_back(metrics);
+  messages.push_back(MetricsResponse{});  // telemetry not attached
   return messages;
 }
 
@@ -520,6 +528,71 @@ TEST(ProtocolV6Test, ArtifactListingsAreBoundedAgainstHostileLengths) {
   WriteU8(out, 1);   // enabled
   WriteU32(out, 0xFFFFFFFFu);
   EXPECT_THROW(DecodePayload(std::move(out).str()), Error);
+}
+
+// --- v6 <-> v7 compatibility ----------------------------------------------
+
+// layout-frozen: v6
+TEST(ProtocolV6CompatTest, V6EncodingsAreFrozenByTheV7Bump) {
+  // v7 adds only the two metrics message types; no existing message grew a
+  // field. Every v6-expressible message must therefore encode at v6 into
+  // exactly its v7 bytes with only the header's version word differing —
+  // and keep decoding.
+  std::ostringstream v6_header_stream;
+  WriteHeader(v6_header_stream, kFrameMagic, 6);
+  const std::string v6_header = std::move(v6_header_stream).str();
+  for (const Message& message : AllMessageTypes()) {
+    if (std::holds_alternative<MetricsRequest>(message) ||
+        std::holds_alternative<MetricsResponse>(message)) {
+      continue;
+    }
+    const std::string v6 = EncodePayload(message, 6);
+    const std::string v7 = EncodePayload(message, kProtocolVersion);
+    ASSERT_EQ(v6.substr(0, v6_header.size()), v6_header);
+    EXPECT_EQ(v6.substr(v6_header.size()), v7.substr(v6_header.size()));
+    std::uint32_t version = 0;
+    EXPECT_EQ(DecodePayload(v6, &version), message);
+    EXPECT_EQ(version, 6u);
+  }
+}
+
+TEST(ProtocolV6CompatTest, OlderVersionsCannotExpressMetricsMessages) {
+  for (const Message& message :
+       {Message(MetricsRequest{}), Message(MetricsResponse{"x 1\n"})}) {
+    for (const std::uint32_t version : {1u, 2u, 3u, 4u, 5u, 6u}) {
+      EXPECT_THROW(EncodePayload(message, version), Error)
+          << "version " << version;
+    }
+  }
+}
+
+TEST(ProtocolV6CompatTest, OlderFramesWithMetricsTypeCodesAreRejected) {
+  for (const std::uint32_t version : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    for (const std::uint8_t type : {21, 22}) {
+      std::ostringstream out;
+      WriteHeader(out, kFrameMagic, version);
+      WriteU8(out, type);
+      EXPECT_THROW(DecodePayload(std::move(out).str()), Error)
+          << "version " << version << " type "
+          << static_cast<unsigned>(type);
+    }
+  }
+}
+
+TEST(ProtocolV7Test, MetricsResponseEncodingIsTypeByteThenString) {
+  MetricsResponse metrics;
+  metrics.text = "grafics_up 1\n";
+  std::ostringstream expected;
+  WriteHeader(expected, kFrameMagic, kProtocolVersion);
+  WriteU8(expected, 22);  // kMetricsResponse
+  WriteString(expected, metrics.text);
+  EXPECT_EQ(EncodePayload(metrics), std::move(expected).str());
+}
+
+TEST(ProtocolV7Test, OversizedMetricsDumpIsRejectedAtEncode) {
+  MetricsResponse metrics;
+  metrics.text.assign(kMaxFrameBytes, 'x');
+  EXPECT_THROW(EncodePayload(metrics), Error);
 }
 
 TEST(ProtocolV2CompatTest, OlderVersionsCannotExpressIngestMessages) {

@@ -4,7 +4,9 @@
 // isolation (a reload racing another model's in-flight batches is what the
 // CI ThreadSanitizer job is there to check), micro-batch coalescing, and
 // the v3 ingest surface: submitted records folded in the background while
-// concurrent predictions stay bit-identical to a published snapshot.
+// concurrent predictions stay bit-identical to a published snapshot. The
+// telemetry section at the bottom scrapes GET /metrics over a real socket
+// and cross-checks the exposition against the StatsResponse wire surface.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -22,11 +24,14 @@
 
 #include "core/grafics.h"
 #include "ingest/ingest_pipeline.h"
+#include "obs/admin_server.h"
+#include "obs/metrics.h"
 #include "serve/batcher.h"
 #include "serve/client.h"
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "store/model_store.h"
 #include "synth/presets.h"
 
 namespace grafics::serve {
@@ -970,6 +975,300 @@ TEST(ServerTest, HotSwapUnderPipelinedTrafficStaysBitIdentical) {
     EXPECT_EQ(after[i], b.reference[i]) << i;
   }
   server.Stop();
+}
+
+// --- end-to-end telemetry -------------------------------------------------
+
+TEST(MicroBatcherTest, FlushReasonsAreAccountedAndHistogramsObserve) {
+  const Fixture& f = ModelA();
+  obs::Registry obs_registry;
+  {
+    BatcherConfig config;
+    config.max_batch_size = 2;
+    config.max_delay = 60s;
+    config.obs.batch_size = obs_registry.GetHistogram(
+        "grafics_batcher_batch_size", "h", obs::PowerOfTwoBuckets(2));
+    config.obs.queue_wait_us = obs_registry.GetHistogram(
+        "grafics_batcher_queue_wait_us", "h", obs::DefaultLatencyBucketsUs());
+    config.obs.predict_us = obs_registry.GetHistogram(
+        "grafics_batcher_predict_us", "h", obs::DefaultLatencyBucketsUs());
+    MicroBatcher batcher(config, SnapshotOf(f));
+    auto first = batcher.Submit(f.queries[0]);
+    auto second = batcher.Submit(f.queries[1]);
+    GetWithin(first);
+    GetWithin(second);
+    const BatcherStats stats = batcher.stats();
+    EXPECT_EQ(stats.flushes_max_batch, 1u);
+    EXPECT_EQ(stats.flushes_max_delay, 0u);
+    EXPECT_EQ(stats.flushes_shutdown, 0u);
+    // One dispatched batch = one batch-size and one predict observation,
+    // one queue-wait observation per record.
+    EXPECT_EQ(config.obs.batch_size->count(), 1u);
+    EXPECT_EQ(config.obs.batch_size->sum(), 2u);
+    EXPECT_EQ(config.obs.queue_wait_us->count(), 2u);
+    EXPECT_EQ(config.obs.predict_us->count(), 1u);
+  }
+  {
+    BatcherConfig config;
+    config.max_batch_size = 8;
+    config.max_delay = 1ms;
+    MicroBatcher batcher(config, SnapshotOf(f));
+    auto only = batcher.Submit(f.queries[0]);
+    GetWithin(only);
+    const BatcherStats stats = batcher.stats();
+    EXPECT_EQ(stats.flushes_max_delay, 1u);
+    EXPECT_EQ(stats.flushes_max_batch, 0u);
+  }
+  {
+    BatcherConfig config;
+    config.max_batch_size = 8;
+    config.max_delay = 60s;
+    MicroBatcher batcher(config, SnapshotOf(f));
+    auto pending = batcher.Submit(f.queries[0]);
+    batcher.Stop();  // drains the pending request as a shutdown flush
+    GetWithin(pending);
+    const BatcherStats stats = batcher.stats();
+    EXPECT_EQ(stats.flushes_shutdown, 1u);
+    EXPECT_EQ(stats.flushes_max_batch + stats.flushes_max_delay +
+                  stats.flushes_shutdown,
+              stats.batches);
+  }
+}
+
+/// One HTTP/1.0 request against the admin listener, read to EOF (the admin
+/// surface speaks Connection: close).
+std::string HttpRequest(std::uint16_t port, const std::string& head) {
+  const int fd = ConnectRaw(port);
+  SendAllRaw(fd, head);
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(std::uint16_t port, const std::string& path) {
+  return HttpRequest(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+/// Value of the exposition series whose name+labels match `series` exactly.
+std::optional<std::uint64_t> MetricValue(const std::string& text,
+                                         const std::string& series) {
+  const std::string needle = series + " ";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::stoull(text.substr(pos + needle.size()));
+    }
+    pos += needle.size();
+  }
+  return std::nullopt;
+}
+
+TEST(AdminServerTest, ServesMetricsHealthAndReadiness) {
+  std::atomic<bool> ready{false};
+  obs::AdminServer admin(
+      {}, [] { return std::string("grafics_up 1\n"); },
+      [&ready]() -> bool {
+        if (!ready.load()) throw Error("probe not ready");  // throw == 503
+        return true;
+      });
+  admin.Start();
+  ASSERT_NE(admin.port(), 0);
+
+  const std::string metrics = HttpGet(admin.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("grafics_up 1\n"), std::string::npos);
+
+  const std::string health = HttpGet(admin.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  // The probe throws until flipped: /readyz degrades to 503, never a crash.
+  EXPECT_NE(HttpGet(admin.port(), "/readyz").find("HTTP/1.0 503"),
+            std::string::npos);
+  ready.store(true);
+  EXPECT_NE(HttpGet(admin.port(), "/readyz").find("HTTP/1.0 200"),
+            std::string::npos);
+
+  EXPECT_NE(HttpGet(admin.port(), "/nope").find("HTTP/1.0 404"),
+            std::string::npos);
+  EXPECT_NE(
+      HttpRequest(admin.port(), "POST /metrics HTTP/1.0\r\n\r\n")
+          .find("HTTP/1.0 405"),
+      std::string::npos);
+  admin.Stop();
+}
+
+TEST(ServerTest, MetricsScrapeMatchesStatsResponseEndToEnd) {
+  const Fixture& f = ModelA();
+  auto obs_registry = std::make_shared<obs::Registry>();
+  auto registry = std::make_shared<ModelRegistry>(QuickBatcherConfig());
+  // Attach BEFORE Load so the per-model latency histograms resolve.
+  registry->AttachObs(obs_registry);
+  registry->Load("alpha", f.model);
+  ServerConfig config;
+  config.slow_request_us = 1;  // every request counts (and logs) as slow
+  config.idle_timeout = std::chrono::milliseconds(100);
+  Server server(registry, config);
+  server.AttachObs(obs_registry);
+  server.Start();
+  obs::AdminServer admin(
+      {}, [obs_registry] { return obs_registry->RenderPrometheus(); },
+      [registry] { return registry->generation("alpha") > 0; });
+  admin.Start();
+  EXPECT_NE(HttpGet(admin.port(), "/readyz").find("HTTP/1.0 200"),
+            std::string::npos);
+
+  Client client("127.0.0.1", server.port());
+  const std::size_t n = std::min<std::size_t>(f.queries.size(), 12);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(client.Predict(f.queries[i]), f.reference[i]) << i;
+  }
+  // A harvested slow-loris connection feeds the sweep instruments.
+  const int loris = ConnectRaw(server.port());
+  const std::uint32_t declared = 64;
+  ASSERT_EQ(::send(loris, &declared, sizeof(declared), 0),
+            static_cast<ssize_t>(sizeof(declared)));
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (server.transport_stats().connections_harvested_idle == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::close(loris);
+  // The first client sat idle through the harvest wait and may have been
+  // swept with the loris — query stats over a fresh connection.
+  Client stats_client("127.0.0.1", server.port());
+  const StatsResponse stats = stats_client.Stats();
+  ASSERT_EQ(stats.models.size(), 1u);
+
+  // The scrape happens after the Stats round trip, so scraped transport
+  // counters are >= the wire-reported ones; batcher counters are quiescent
+  // (no predict between the two) and must match exactly.
+  const std::string response = HttpGet(admin.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos);
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+  EXPECT_EQ(MetricValue(body,
+                        "grafics_batcher_requests_total{model=\"alpha\"}"),
+            stats.models[0].requests);
+  EXPECT_EQ(
+      MetricValue(body, "grafics_batcher_batches_total{model=\"alpha\"}"),
+      stats.models[0].batches);
+  EXPECT_EQ(MetricValue(body, "grafics_model_generation{model=\"alpha\"}"),
+            stats.models[0].generation);
+  EXPECT_EQ(
+      MetricValue(body,
+                  "grafics_model_snapshot_shared_bytes{model=\"alpha\"}"),
+      stats.models[0].shared_bytes);
+  EXPECT_GE(*MetricValue(body, "grafics_transport_frames_in_total"),
+            stats.transport.frames_in);
+  EXPECT_GE(*MetricValue(body, "grafics_transport_accepts_total"),
+            stats.connections_accepted);
+  EXPECT_GE(
+      *MetricValue(body, "grafics_transport_connections_harvested_total"),
+      1u);
+  EXPECT_GE(*MetricValue(body, "grafics_transport_harvest_sweeps_total"), 1u);
+  // Flush-reason counters sum to the batch count.
+  const std::uint64_t flush_sum =
+      *MetricValue(
+          body,
+          "grafics_batcher_flushes_total{model=\"alpha\",reason=\"max_batch"
+          "\"}") +
+      *MetricValue(
+          body,
+          "grafics_batcher_flushes_total{model=\"alpha\",reason=\"max_delay"
+          "\"}") +
+      *MetricValue(
+          body,
+          "grafics_batcher_flushes_total{model=\"alpha\",reason=\"shutdown"
+          "\"}");
+  EXPECT_EQ(flush_sum, stats.models[0].batches);
+  // Latency distributions observed on the request path.
+  EXPECT_EQ(*MetricValue(
+                body, "grafics_batcher_queue_wait_us_count{model=\"alpha\"}"),
+            stats.models[0].requests);
+  EXPECT_EQ(
+      *MetricValue(body, "grafics_batcher_predict_us_count{model=\"alpha\"}"),
+      stats.models[0].batches);
+  EXPECT_GE(*MetricValue(body, "grafics_transport_frame_decode_us_count"),
+            static_cast<std::uint64_t>(n));
+  // Threshold of 1us makes every predict a slow request.
+  EXPECT_EQ(*MetricValue(body, "grafics_server_slow_requests_total"),
+            static_cast<std::uint64_t>(n));
+
+  // The v7 wire dump is the same registry render as the admin scrape.
+  const std::string wire = stats_client.Metrics();
+  EXPECT_NE(wire.find("# TYPE grafics_batcher_queue_wait_us histogram"),
+            std::string::npos);
+  EXPECT_EQ(MetricValue(wire,
+                        "grafics_batcher_requests_total{model=\"alpha\"}"),
+            stats.models[0].requests);
+
+  admin.Stop();
+  server.Stop();
+}
+
+TEST(ServerTest, TelemetryCoversIngestAndStoreFamilies) {
+  const Fixture& f = ModelA();
+  auto obs_registry = std::make_shared<obs::Registry>();
+  auto registry = std::make_shared<ModelRegistry>(QuickBatcherConfig());
+  registry->AttachObs(obs_registry);
+  registry->Load("alpha", f.model);
+  // A fresh store directory every run: artifact counts below are absolute.
+  std::string dir_template = testing::TempDir() + "/grafics_obs_store_XXXXXX";
+  std::vector<char> dir(dir_template.begin(), dir_template.end());
+  dir.push_back('\0');
+  ASSERT_NE(::mkdtemp(dir.data()), nullptr);
+  auto store = std::make_shared<store::ModelStore>(dir.data());
+  store->AttachObs(obs_registry);
+  store->WriteBase("alpha", f.model);
+  ingest::IngestConfig ingest_config;
+  const std::size_t n = std::min<std::size_t>(f.queries.size(), 4);
+  ingest_config.fold_batch_size = n;
+  ingest_config.max_delay = std::chrono::milliseconds(30000);
+  ingest_config.obs = obs_registry;
+  auto pipeline =
+      std::make_shared<ingest::IngestPipeline>(registry, ingest_config);
+  pipeline->Attach("alpha");
+  Server server(registry, {});
+  server.AttachIngest(pipeline);
+  server.AttachObs(obs_registry);
+  server.Start();
+  Client client("127.0.0.1", server.port());
+  const std::vector<rf::SignalRecord> stream(f.queries.begin(),
+                                             f.queries.begin() + n);
+  for (const SubmitResult& result : client.Submit(stream, "alpha")) {
+    EXPECT_EQ(result.status, SubmitStatus::kAccepted) << result.error;
+  }
+  ASSERT_TRUE(pipeline->WaitUntilDrained());
+
+  const std::string text = obs_registry->RenderPrometheus();
+  EXPECT_EQ(MetricValue(text,
+                        "grafics_ingest_accepted_total{model=\"alpha\"}"),
+            static_cast<std::uint64_t>(n));
+  EXPECT_EQ(MetricValue(text, "grafics_ingest_folded_total{model=\"alpha\"}"),
+            static_cast<std::uint64_t>(n));
+  EXPECT_EQ(MetricValue(text, "grafics_ingest_backlog{model=\"alpha\"}"), 0u);
+  EXPECT_GE(*MetricValue(text,
+                         "grafics_ingest_publishes_total{model=\"alpha\"}"),
+            1u);
+  EXPECT_GE(*MetricValue(text,
+                         "grafics_ingest_fold_us_count{model=\"alpha\"}"),
+            1u);
+  EXPECT_GE(*MetricValue(text, "grafics_store_checkpoint_us_count"), 1u);
+  EXPECT_EQ(MetricValue(text, "grafics_store_base_artifacts"), 1u);
+  EXPECT_EQ(MetricValue(text, "grafics_store_delta_artifacts"), 0u);
+  EXPECT_EQ(MetricValue(text, "grafics_store_chain_length{model=\"alpha\"}"),
+            1u);
+  server.Stop();
+  pipeline->Stop();
 }
 
 }  // namespace

@@ -2,7 +2,7 @@
 """Repo-invariant lint, run as a ctest (see CMakeLists.txt) and by the
 static-analysis CI job.
 
-Checks three invariants that neither the compiler nor the unit tests can
+Checks four invariants that neither the compiler nor the unit tests can
 express on their own:
 
 1. sync-wrappers: no naked std::mutex / std::lock_guard / std::scoped_lock /
@@ -20,6 +20,12 @@ express on their own:
    same file, a few dozen lines above) by an fsync/fdatasync call — the
    crash-safe commit pattern (write temp, fsync, rename). A rename without a
    sync can surface as a zero-length manifest after power loss.
+
+4. obs-instruments: every telemetry instrument resolved under src/
+   (obs::Registry::GetCounter/GetGauge/GetHistogram with a literal name)
+   matches grafics_[a-z0-9_]+ AND is cataloged in docs/observability.md.
+   Dashboards and alerts are written against the doc; an undocumented
+   instrument silently drifts out of both.
 
 Exit status 0 = all invariants hold; 1 = violations (printed one per line
 as path:line: message). Run `tools/check_invariants.py --self-test` to
@@ -51,6 +57,11 @@ FROZEN_MARKER = re.compile(r"layout-frozen:\s*v(\d+)\b")
 
 RENAME_CALL = re.compile(r"::rename\s*\(")
 FSYNC_CALL = re.compile(r"\bf(?:data)?sync\s*\(")
+
+# An instrument resolution with a literal name; \s* spans newlines so a
+# name wrapped to the next line by clang-format still matches.
+OBS_RESOLVE = re.compile(r"Get(?:Counter|Gauge|Histogram)\s*\(\s*\"([^\"]*)\"")
+OBS_NAME = re.compile(r"grafics_[a-z0-9_]+")
 
 # How many lines above a ::rename the justifying fsync may sit. The store's
 # WriteFileDurably pattern keeps them adjacent; the window only needs to
@@ -155,11 +166,45 @@ def check_durable_rename(root: str) -> list[str]:
     return problems
 
 
+def check_obs_instruments(root: str) -> list[str]:
+    problems = []
+    doc_path = os.path.join(root, "docs", "observability.md")
+    doc = None
+    if os.path.exists(doc_path):
+        with open(doc_path, encoding="utf-8") as f:
+            doc = f.read()
+    for path in iter_source_files(root):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            text = strip_comments(f.read())
+        for match in OBS_RESOLVE.finditer(text):
+            name = match.group(1)
+            lineno = text.count("\n", 0, match.start()) + 1
+            if not OBS_NAME.fullmatch(name):
+                problems.append(
+                    f"{rel}:{lineno}: obs instrument name \"{name}\" does "
+                    "not match grafics_[a-z0-9_]+"
+                )
+                continue
+            if doc is None:
+                problems.append(
+                    f"{rel}:{lineno}: obs instrument \"{name}\" registered "
+                    "but docs/observability.md does not exist"
+                )
+            elif not re.search(rf"\b{re.escape(name)}\b", doc):
+                problems.append(
+                    f"{rel}:{lineno}: obs instrument \"{name}\" is not "
+                    "cataloged in docs/observability.md"
+                )
+    return problems
+
+
 def run_checks(root: str) -> list[str]:
     problems = []
     problems += check_sync_wrappers(root)
     problems += check_protocol_freeze(root)
     problems += check_durable_rename(root)
+    problems += check_obs_instruments(root)
     return problems
 
 
@@ -188,12 +233,25 @@ def self_test() -> int:
             f.write("void Commit() {\n"
                     "  ::rename(\"tmp\", \"final\");  // no fsync before\n"
                     "}\n")
+        os.makedirs(os.path.join(root, "docs"))
+        with open(os.path.join(root, "docs", "observability.md"),
+                  "w", encoding="utf-8") as f:
+            f.write("# Telemetry\n\n`grafics_documented_total` is listed.\n")
+        with open(os.path.join(root, "src", "serve", "bad_obs.cc"),
+                  "w", encoding="utf-8") as f:
+            f.write("void Wire(obs::Registry* r) {\n"
+                    "  r->GetCounter(\"grafics_documented_total\", \"ok\");\n"
+                    "  r->GetCounter(\"grafics_BadName_total\", \"bad\");\n"
+                    "  r->GetGauge(\"grafics_undocumented_depth\", \"bad\");\n"
+                    "}\n")
         problems = run_checks(root)
         expected = [
             ("bad_sync.cc:3", "std::mutex"),
             ("bad_sync.cc:4", "std::lock_guard"),
             ("protocol_test.cc", "layout-frozen: v2"),
             ("bad_store.cc:2", "::rename without"),
+            ("bad_obs.cc:3", "does not match grafics_[a-z0-9_]+"),
+            ("bad_obs.cc:4", "not cataloged in docs/observability.md"),
         ]
         failures = []
         for needle_path, needle_msg in expected:
@@ -205,6 +263,11 @@ def self_test() -> int:
         comment_hits = [p for p in problems if "bad_sync.cc:2" in p]
         if comment_hits:
             failures.append("self-test: commented-out token tripped the lint")
+        documented_hits = [p for p in problems if "bad_obs.cc:2" in p]
+        if documented_hits:
+            failures.append(
+                "self-test: documented, well-named instrument tripped "
+                "the obs lint")
         if failures:
             print("\n".join(failures))
             print("\nlint output was:")
