@@ -1,15 +1,20 @@
 // Throughput micro-benchmarks (google-benchmark) for the performance-
 // critical GRAFICS components: graph construction, alias sampling, E-LINE
-// training, online embedding refinement, constrained clustering, and
-// nearest-centroid prediction.
+// training, online embedding refinement, constrained clustering,
+// nearest-centroid prediction, and the simd vector-kernel layer (with
+// p50/p99 latency, exported by CI as BENCH_simd_kernels.json).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
+#include <numeric>
 
 #include "cluster/centroid_classifier.h"
 #include "cluster/proximity_clusterer.h"
 #include "common/alias_sampler.h"
+#include "common/simd.h"
 #include "core/grafics.h"
 #include "embed/trainer.h"
 #include "graph/bipartite_graph.h"
@@ -234,5 +239,146 @@ BENCHMARK(BM_HogwildTrainingThreads)
     ->Arg(8)
     ->UseRealTime()  // worker threads run outside the harness's CPU clock
     ->Unit(benchmark::kMillisecond);
+
+// --- simd vector-kernel latency benches ------------------------------------
+// Tail latency matters more than the mean on the serving hot path, so these
+// collect a per-op sample every iteration and report p50/p99 alongside the
+// harness mean. The bench-smoke CI job exports them as
+// BENCH_simd_kernels.json (report-only); every bench labels itself with the
+// active kernel backend so runs on different fleets stay comparable.
+
+/// Sorted-percentile (linear interpolation) + mean over per-op samples, in
+/// nanoseconds, attached as counters so they land in the JSON export.
+void ReportLatencyPercentiles(benchmark::State& state,
+                              std::vector<double> samples_ns) {
+  if (samples_ns.empty()) return;
+  std::sort(samples_ns.begin(), samples_ns.end());
+  const auto percentile = [&samples_ns](double q) {
+    const double pos = q * static_cast<double>(samples_ns.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_ns.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_ns[lo] + frac * (samples_ns[hi] - samples_ns[lo]);
+  };
+  state.counters["p50_ns"] = percentile(0.5);
+  state.counters["p99_ns"] = percentile(0.99);
+  state.counters["mean_ns"] =
+      std::accumulate(samples_ns.begin(), samples_ns.end(), 0.0) /
+      static_cast<double>(samples_ns.size());
+}
+
+void BM_DotKernel(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<double> a(dim), b(dim);
+  for (double& v : a) v = rng.Uniform(-1.0, 1.0);
+  for (double& v : b) v = rng.Uniform(-1.0, 1.0);
+  // A single dot is below clock resolution: time blocks of 256, divide.
+  constexpr std::size_t kBlock = 256;
+  std::vector<double> samples_ns;
+  double sink = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      sink += simd::Dot(a.data(), b.data(), dim);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    samples_ns.push_back(
+        std::chrono::duration<double, std::nano>(stop - start).count() /
+        static_cast<double>(kBlock));
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBlock));
+  state.SetLabel(simd::BackendName(simd::ActiveBackend()));
+  ReportLatencyPercentiles(state, std::move(samples_ns));
+}
+BENCHMARK(BM_DotKernel)->Arg(8)->Arg(64);
+
+void BM_DistanceScan(benchmark::State& state) {
+  // The centroid/kNN classifier shape: one embedding against a packed
+  // row-major block, via the one-to-many kernel.
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const std::size_t cols = 8;
+  Rng rng(13);
+  std::vector<double> block(rows * cols);
+  std::vector<double> query(cols);
+  for (double& v : block) v = rng.Normal(0.0, 1.0);
+  for (double& v : query) v = rng.Normal(0.0, 1.0);
+  std::vector<double> out(rows);
+  constexpr std::size_t kBlockScans = 16;
+  std::vector<double> samples_ns;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kBlockScans; ++i) {
+      simd::SquaredL2DistanceMany(query.data(), block.data(), rows, cols,
+                                  out.data());
+      benchmark::DoNotOptimize(out.data());
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    samples_ns.push_back(
+        std::chrono::duration<double, std::nano>(stop - start).count() /
+        static_cast<double>(kBlockScans));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBlockScans * rows));
+  state.SetLabel(simd::BackendName(simd::ActiveBackend()));
+  ReportLatencyPercentiles(state, std::move(samples_ns));
+}
+BENCHMARK(BM_DistanceScan)->Arg(48)->Arg(1024);
+
+struct RefineFixture {
+  graph::BipartiteGraph graph;
+  embed::EmbeddingStore store;
+  embed::TrainerConfig config;
+  embed::NegativeSamplerSet negatives;
+  graph::NodeId new_node = 0;
+};
+
+RefineFixture& CachedRefineFixture() {
+  static RefineFixture* fixture = [] {
+    const rf::Dataset& dataset = CachedDataset();
+    auto graph = graph::BipartiteGraph::FromRecords(
+        dataset.records(), graph::OffsetWeight(120.0));
+    embed::TrainerConfig config;
+    config.samples_per_edge = 20;
+    config.seed = 4242;
+    embed::EmbeddingStore store = embed::TrainEmbeddings(graph, config);
+    auto sim_config = synth::CampusBuildingConfig(/*seed=*/4242, /*rpf=*/1);
+    auto sim = sim_config.MakeSimulator();
+    const std::size_t nodes_before = graph.NumNodes();
+    const graph::NodeId new_node = graph.AddRecord(
+        sim.MeasureAt({20.0, 20.0, 1.2}, 0), graph::OffsetWeight(120.0));
+    Rng rng(17);
+    store.Grow(graph.NumNodes() - nodes_before, rng);
+    auto negatives = embed::NegativeSamplerSet::Build(graph);
+    return new RefineFixture{std::move(graph), std::move(store),
+                             config, std::move(negatives), new_node};
+  }();
+  return *fixture;
+}
+
+void BM_RefineNewNodes(benchmark::State& state) {
+  // One online fold's SGD refinement of a single new node. Repeat calls are
+  // deterministic: RefineNewNodes re-derives the node's warm start from its
+  // neighbors before refining, so the fixture needs no reset.
+  RefineFixture& fixture = CachedRefineFixture();
+  const auto iterations = static_cast<std::size_t>(state.range(0));
+  const std::vector<graph::NodeId> new_nodes = {fixture.new_node};
+  std::vector<double> samples_ns;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    embed::RefineNewNodes(fixture.graph, new_nodes, fixture.store,
+                          fixture.config, iterations, fixture.negatives);
+    const auto stop = std::chrono::steady_clock::now();
+    samples_ns.push_back(
+        std::chrono::duration<double, std::nano>(stop - start).count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(iterations));
+  state.SetLabel(simd::BackendName(simd::ActiveBackend()));
+  ReportLatencyPercentiles(state, std::move(samples_ns));
+}
+BENCHMARK(BM_RefineNewNodes)->Arg(200)->Arg(600)->Unit(benchmark::kMicrosecond);
 
 }  // namespace

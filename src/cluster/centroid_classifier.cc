@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/serialize.h"
+#include "common/simd.h"
 
 namespace grafics::cluster {
 
@@ -88,12 +89,18 @@ std::pair<std::size_t, double> CentroidClassifier::Nearest(
     std::span<const double> embedding) const {
   Require(embedding.size() == centroids_.cols(),
           "CentroidClassifier::Nearest: dimension mismatch");
+  // One batched scan over the packed centroid matrix, then an in-order
+  // strict-< argmin — same winner on ties (lowest index) as the old
+  // per-row loop.
+  std::vector<double> dists(centroids_.rows());
+  simd::SquaredL2DistanceMany(embedding.data(), centroids_.data(),
+                              centroids_.rows(), centroids_.cols(),
+                              dists.data());
   std::size_t best = 0;
   double best_dist = std::numeric_limits<double>::infinity();
-  for (std::size_t k = 0; k < centroids_.rows(); ++k) {
-    const double d = SquaredL2Distance(embedding, centroids_.Row(k));
-    if (d < best_dist) {
-      best_dist = d;
+  for (std::size_t k = 0; k < dists.size(); ++k) {
+    if (dists[k] < best_dist) {
+      best_dist = dists[k];
       best = k;
     }
   }

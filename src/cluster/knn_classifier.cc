@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/error.h"
+#include "common/simd.h"
 
 namespace grafics::cluster {
 
@@ -48,10 +49,14 @@ std::vector<std::pair<std::size_t, double>> KnnClassifier::Neighbors(
     std::span<const double> embedding) const {
   Require(embedding.size() == references_.cols(),
           "KnnClassifier: dimension mismatch");
+  // Batched scan over the packed reference matrix, then sqrt per row.
+  std::vector<double> sq_dists(references_.rows());
+  simd::SquaredL2DistanceMany(embedding.data(), references_.data(),
+                              references_.rows(), references_.cols(),
+                              sq_dists.data());
   std::vector<std::pair<std::size_t, double>> all(references_.rows());
   for (std::size_t i = 0; i < references_.rows(); ++i) {
-    all[i] = {i,
-              std::sqrt(SquaredL2Distance(embedding, references_.Row(i)))};
+    all[i] = {i, std::sqrt(sq_dists[i])};
   }
   const std::size_t k = std::min(config_.k, all.size());
   std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),

@@ -5,8 +5,10 @@
 #include <limits>
 #include <numeric>
 #include <unordered_map>
+#include <vector>
 
 #include "common/error.h"
+#include "common/simd.h"
 
 namespace grafics::cluster {
 
@@ -81,11 +83,17 @@ ClusteringResult ClusterEmbeddings(
           "raise ClustererConfig::max_points deliberately if intended");
 
   // --- initialize singleton clusters and the distance table --------------
+  // Dominant cost of clustering: n^2/2 distance evaluations. Each row i is
+  // one batched kernel scan against the contiguous block of rows i+1..n-1.
   DistanceTable dist(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      dist.Set(i, j, std::sqrt(SquaredL2Distance(points.Row(i),
-                                                 points.Row(j))));
+  std::vector<double> row_dists(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::size_t tail = n - i - 1;
+    simd::SquaredL2DistanceMany(points.data() + i * points.cols(),
+                                points.data() + (i + 1) * points.cols(), tail,
+                                points.cols(), row_dists.data());
+    for (std::size_t j = 0; j < tail; ++j) {
+      dist.Set(i, i + 1 + j, std::sqrt(row_dists[j]));
     }
   }
   std::vector<Cluster> clusters(n);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace grafics {
 
 Matrix Matrix::Identity(std::size_t n) {
@@ -68,14 +70,17 @@ Matrix& Matrix::operator*=(double scalar) {
 Matrix Matrix::MatMul(const Matrix& other) const {
   Require(cols_ == other.rows_, "Matrix::MatMul: inner dimension mismatch");
   Matrix out(rows_, other.cols_);
-  // ikj loop order for cache-friendly access to `other` and `out`.
+  // ikj loop order for cache-friendly access to `other` and `out`. The zero
+  // skip stays ahead of the kernel call: sparse inputs (one-hot batches) skip
+  // whole rows, and `0.0 * b` would still have to run to honour NaN/inf
+  // propagation if it went through axpy.
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = (*this)(i, k);
       if (a == 0.0) continue;
       const double* brow = other.data() + k * other.cols_;
       double* orow = out.data() + i * other.cols_;
-      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+      simd::Axpy(a, brow, orow, other.cols_);
     }
   }
   return out;
@@ -84,39 +89,32 @@ Matrix Matrix::MatMul(const Matrix& other) const {
 std::vector<double> Matrix::MatVec(std::span<const double> x) const {
   Require(x.size() == cols_, "Matrix::MatVec: dimension mismatch");
   std::vector<double> y(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) y[r] = Dot(Row(r), x);
+  simd::DotMany(x.data(), data(), rows_, cols_, y.data());
   return y;
 }
 
 std::vector<double> Matrix::TransposedMatVec(std::span<const double> x) const {
   Require(x.size() == rows_, "Matrix::TransposedMatVec: dimension mismatch");
   std::vector<double> y(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) Axpy(x[r], Row(r), y);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    simd::Axpy(x[r], data() + r * cols_, y.data(), cols_);
+  }
   return y;
 }
 
 double Matrix::FrobeniusNorm() const {
-  double sum = 0.0;
-  for (double v : data_) sum += v * v;
-  return std::sqrt(sum);
+  return std::sqrt(simd::Dot(data(), data(), data_.size()));
 }
 
 double Dot(std::span<const double> a, std::span<const double> b) {
   Require(a.size() == b.size(), "Dot: dimension mismatch");
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return simd::Dot(a.data(), b.data(), a.size());
 }
 
 double SquaredL2Distance(std::span<const double> a,
                          std::span<const double> b) {
   Require(a.size() == b.size(), "SquaredL2Distance: dimension mismatch");
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return simd::SquaredL2Distance(a.data(), b.data(), a.size());
 }
 
 double L2Norm(std::span<const double> a) { return std::sqrt(Dot(a, a)); }
@@ -130,7 +128,7 @@ double CosineDistance(std::span<const double> a, std::span<const double> b) {
 
 void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
   Require(x.size() == y.size(), "Axpy: dimension mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  simd::Axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void Scale(std::span<double> x, double alpha) {

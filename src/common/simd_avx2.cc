@@ -1,0 +1,112 @@
+// AVX2 kernels (x86-64), compiled via the per-function target attribute so
+// the rest of the build needs no -mavx2 flag, and dispatched only after a
+// runtime __builtin_cpu_supports("avx2") check.
+//
+// Rounding notes: reductions (dot, squared distance) keep four lane-wise
+// partial sums and collapse them in a fixed (l0+l1)+(l2+l3) order, so their
+// results can differ from scalar in the last bits (parity-tested to 1e-12
+// relative). Axpy is pure element-wise multiply-then-add — the exact same
+// two roundings as the scalar loop — so it is bit-identical to scalar; no
+// FMA is used anywhere (AVX2 does not imply FMA, and this TU is compiled
+// with -ffp-contract=off like the scalar anchor).
+#include "common/simd.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define GRAFICS_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace grafics::simd::internal {
+
+#if defined(GRAFICS_SIMD_HAVE_AVX2)
+
+namespace {
+
+__attribute__((target("avx2"))) double Avx2Dot(const double* a,
+                                               const double* b,
+                                               std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("avx2"))) double Avx2SquaredL2Distance(const double* a,
+                                                             const double* b,
+                                                             std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+__attribute__((target("avx2"))) void Avx2Axpy(double alpha, const double* x,
+                                              double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(va, _mm256_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2"))) void Avx2DotMany(const double* query,
+                                                 const double* rows,
+                                                 std::size_t num_rows,
+                                                 std::size_t cols,
+                                                 double* out) {
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    out[r] = Avx2Dot(query, rows + r * cols, cols);
+  }
+}
+
+__attribute__((target("avx2"))) void Avx2SquaredL2DistanceMany(
+    const double* query, const double* rows, std::size_t num_rows,
+    std::size_t cols, double* out) {
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    out[r] = Avx2SquaredL2Distance(query, rows + r * cols, cols);
+  }
+}
+
+constexpr Kernels kAvx2Kernels = {
+    Avx2Dot,
+    Avx2SquaredL2Distance,
+    Avx2Axpy,
+    Avx2DotMany,
+    Avx2SquaredL2DistanceMany,
+};
+
+}  // namespace
+
+const Kernels* Avx2Kernels() {
+  return __builtin_cpu_supports("avx2") ? &kAvx2Kernels : nullptr;
+}
+
+#else  // !GRAFICS_SIMD_HAVE_AVX2
+
+const Kernels* Avx2Kernels() { return nullptr; }
+
+#endif
+
+}  // namespace grafics::simd::internal

@@ -1,0 +1,93 @@
+// NEON kernels (aarch64). Advanced SIMD is architecturally guaranteed on
+// AArch64, so availability is a compile-time question only — no runtime CPU
+// probe needed.
+//
+// Rounding notes mirror simd_avx2.cc: reductions keep two lane-wise partial
+// sums collapsed low-lane-first (parity-tested to 1e-12 relative against
+// scalar), axpy is element-wise multiply-then-add and therefore bit-identical
+// to scalar. vmulq/vaddq are used instead of vfmaq so no fused rounding
+// sneaks in, and the TU is compiled with -ffp-contract=off.
+#include "common/simd.h"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#define GRAFICS_SIMD_HAVE_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace grafics::simd::internal {
+
+#if defined(GRAFICS_SIMD_HAVE_NEON)
+
+namespace {
+
+double NeonDot(const double* a, const double* b, std::size_t n) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc = vaddq_f64(acc, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+  }
+  double sum = vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double NeonSquaredL2Distance(const double* a, const double* b,
+                             std::size_t n) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t d = vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i));
+    acc = vaddq_f64(acc, vmulq_f64(d, d));
+  }
+  double sum = vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+void NeonAxpy(double alpha, const double* x, double* y, std::size_t n) {
+  const float64x2_t va = vdupq_n_f64(alpha);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(y + i,
+              vaddq_f64(vld1q_f64(y + i), vmulq_f64(va, vld1q_f64(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void NeonDotMany(const double* query, const double* rows,
+                 std::size_t num_rows, std::size_t cols, double* out) {
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    out[r] = NeonDot(query, rows + r * cols, cols);
+  }
+}
+
+void NeonSquaredL2DistanceMany(const double* query, const double* rows,
+                               std::size_t num_rows, std::size_t cols,
+                               double* out) {
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    out[r] = NeonSquaredL2Distance(query, rows + r * cols, cols);
+  }
+}
+
+constexpr Kernels kNeonKernels = {
+    NeonDot,
+    NeonSquaredL2Distance,
+    NeonAxpy,
+    NeonDotMany,
+    NeonSquaredL2DistanceMany,
+};
+
+}  // namespace
+
+const Kernels* NeonKernels() { return &kNeonKernels; }
+
+#else  // !GRAFICS_SIMD_HAVE_NEON
+
+const Kernels* NeonKernels() { return nullptr; }
+
+#endif
+
+}  // namespace grafics::simd::internal

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/matrix.h"
+#include "common/simd.h"
 
 namespace grafics::embed {
 
@@ -23,30 +24,43 @@ void SampledStep(std::span<const double> src, std::span<double> grad_src,
                  std::span<const graph::NodeId> node_of_index,
                  std::size_t negatives, double lr, bool update_targets,
                  Rng& rng) {
+  // Hottest loop in the trainer: go straight to the simd kernels — every row
+  // here is `dim` long by EmbeddingStore construction, so the span-level
+  // dimension re-checks in the matrix.cc wrappers would be pure overhead.
+  const std::size_t dim = src.size();
   // Positive sample: label 1.
   {
     const std::span<double> tgt = target_row(target);
-    const double g = (1.0 - Sigmoid(Dot(tgt, src))) * lr;
-    Axpy(g, tgt, grad_src);
-    if (update_targets) Axpy(g, src, tgt);
+    const double g =
+        (1.0 - Sigmoid(simd::Dot(tgt.data(), src.data(), dim))) * lr;
+    simd::Axpy(g, tgt.data(), grad_src.data(), dim);
+    if (update_targets) simd::Axpy(g, src.data(), tgt.data(), dim);
   }
   // K negative samples: label 0.
   for (std::size_t k = 0; k < negatives; ++k) {
     const graph::NodeId z = node_of_index[negative_sampler.Sample(rng)];
     if (z == target) continue;
     const std::span<double> neg = target_row(z);
-    const double g = -Sigmoid(Dot(neg, src)) * lr;
-    Axpy(g, neg, grad_src);
-    if (update_targets) Axpy(g, src, neg);
+    const double g = -Sigmoid(simd::Dot(neg.data(), src.data(), dim)) * lr;
+    simd::Axpy(g, neg.data(), grad_src.data(), dim);
+    if (update_targets) simd::Axpy(g, src.data(), neg.data(), dim);
   }
 }
 
 /// Applies `grad` to `dst` with per-coordinate dropout.
 void ApplyGradient(std::span<double> dst, std::span<double> grad,
                    double dropout, Rng& rng) {
-  for (std::size_t c = 0; c < dst.size(); ++c) {
-    if (dropout > 0.0 && rng.NextDouble() < dropout) continue;
-    dst[c] += grad[c];
+  if (dropout <= 0.0) {
+    // Fast path (the whole online-refinement loop runs with dropout=0):
+    // `1.0 * g == g` exactly, so one axpy is bit-identical to the per-
+    // coordinate loop below, and the short-circuit above means the RNG
+    // stream is untouched either way.
+    simd::Axpy(1.0, grad.data(), dst.data(), dst.size());
+  } else {
+    for (std::size_t c = 0; c < dst.size(); ++c) {
+      if (rng.NextDouble() < dropout) continue;
+      dst[c] += grad[c];
+    }
   }
   std::fill(grad.begin(), grad.end(), 0.0);
 }
@@ -202,19 +216,21 @@ void FrozenSampledStep(std::span<const double> src, std::span<double> grad,
                        TargetRowFn&& target_row, graph::NodeId target,
                        const NegativeSamplerSet& negative_sampler,
                        std::size_t negatives, double lr, Rng& rng) {
+  const std::size_t dim = src.size();
   // Positive sample: label 1.
   {
     const std::span<const double> tgt = target_row(target);
-    const double g = (1.0 - Sigmoid(Dot(tgt, src))) * lr;
-    Axpy(g, tgt, grad);
+    const double g =
+        (1.0 - Sigmoid(simd::Dot(tgt.data(), src.data(), dim))) * lr;
+    simd::Axpy(g, tgt.data(), grad.data(), dim);
   }
   // K negative samples: label 0.
   for (std::size_t k = 0; k < negatives; ++k) {
     const graph::NodeId z = negative_sampler.SampleNode(rng);
     if (z == target) continue;
     const std::span<const double> neg = target_row(z);
-    const double g = -Sigmoid(Dot(neg, src)) * lr;
-    Axpy(g, neg, grad);
+    const double g = -Sigmoid(simd::Dot(neg.data(), src.data(), dim)) * lr;
+    simd::Axpy(g, neg.data(), grad.data(), dim);
   }
 }
 

@@ -115,6 +115,26 @@ TEST(MatrixTest, MatVecAndTransposedMatVec) {
   EXPECT_DOUBLE_EQ(w[2], 9.0);
 }
 
+TEST(MatrixTest, MatVecDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  EXPECT_THROW(a.MatVec(std::vector<double>{1.0, 2.0}), Error);
+  EXPECT_THROW(a.MatVec(std::vector<double>(4, 0.0)), Error);
+  EXPECT_THROW(a.TransposedMatVec(std::vector<double>{1.0, 2.0, 3.0}), Error);
+  EXPECT_THROW(a.TransposedMatVec(std::vector<double>{}), Error);
+}
+
+TEST(MatrixTest, MatVecMatchesPerRowDot) {
+  Rng rng(7);
+  const Matrix a = Matrix::Random(5, 9, rng);
+  std::vector<double> x(9);
+  for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+  const std::vector<double> y = a.MatVec(x);
+  ASSERT_EQ(y.size(), 5u);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(y[r], Dot(a.Row(r), x));
+  }
+}
+
 TEST(MatrixTest, FrobeniusNorm) {
   Matrix m(2, 2);
   m(0, 0) = 3.0;

@@ -1,0 +1,304 @@
+// Vector-kernel layer tests: scalar-vs-SIMD parity across awkward sizes and
+// alignments, NaN/inf propagation, backend selection (GRAFICS_SIMD /
+// PinBackend), and the scalar bit-identity anchor — a seeded RefineNewNodes
+// run whose golden values were captured from the pre-SIMD kernels.
+//
+// Suite order matters and is encoded in declaration order: SimdEnvTest runs
+// first (it observes the process-wide dispatch before anything pins it),
+// the parity suites use KernelsFor() tables directly (dispatch-independent),
+// and SimdPinTest/SimdGoldenTest pin backends last.
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "embed/embedding_store.h"
+#include "embed/trainer.h"
+#include "graph/bipartite_graph.h"
+#include "graph/weight_function.h"
+#include "rf/signal_record.h"
+
+namespace grafics {
+namespace {
+
+std::vector<simd::Backend> AvailableSimdBackends() {
+  std::vector<simd::Backend> backends;
+  for (const simd::Backend b : {simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (simd::KernelsFor(b) != nullptr) backends.push_back(b);
+  }
+  return backends;
+}
+
+std::vector<double> RandomVector(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Uniform(-2.0, 2.0);
+  return v;
+}
+
+// The ctest registration simd_test_env_scalar re-runs this suite with
+// GRAFICS_SIMD=scalar in the environment; under that registration the very
+// first dispatch resolution must honor the variable. Without the variable
+// the test only asserts the auto-detected backend is actually runnable.
+TEST(SimdEnvTest, EnvironmentSelectsBackend) {
+  const char* env = std::getenv("GRAFICS_SIMD");
+  const simd::Backend active = simd::ActiveBackend();
+  if (env != nullptr && env[0] != '\0') {
+    const simd::Backend requested = simd::ParseBackendName(env);
+    if (simd::KernelsFor(requested) != nullptr) {
+      EXPECT_EQ(active, requested);
+    } else {
+      EXPECT_EQ(active, simd::Backend::kScalar);
+    }
+  } else {
+    EXPECT_NE(simd::KernelsFor(active), nullptr);
+  }
+}
+
+TEST(SimdBackendTest, NamesRoundTrip) {
+  EXPECT_STREQ(simd::BackendName(simd::Backend::kScalar), "scalar");
+  EXPECT_STREQ(simd::BackendName(simd::Backend::kAvx2), "avx2");
+  EXPECT_STREQ(simd::BackendName(simd::Backend::kNeon), "neon");
+  EXPECT_EQ(simd::ParseBackendName("scalar"), simd::Backend::kScalar);
+  EXPECT_EQ(simd::ParseBackendName("avx2"), simd::Backend::kAvx2);
+  EXPECT_EQ(simd::ParseBackendName("neon"), simd::Backend::kNeon);
+  EXPECT_THROW(simd::ParseBackendName("sse9"), Error);
+  EXPECT_THROW(simd::ParseBackendName(""), Error);
+  EXPECT_THROW(simd::ParseBackendName("SCALAR"), Error);
+}
+
+TEST(SimdBackendTest, ScalarAlwaysAvailable) {
+  ASSERT_NE(simd::KernelsFor(simd::Backend::kScalar), nullptr);
+}
+
+// Dims 1..67 cover every vector-width remainder (0..3 for AVX2's 4-wide,
+// 0..1 for NEON's 2-wide) plus empty-tail and tail-only shapes.
+TEST(SimdParityTest, DotAndDistanceWithinRelativeTolerance) {
+  const simd::Kernels* scalar = simd::KernelsFor(simd::Backend::kScalar);
+  Rng rng(42);
+  for (const simd::Backend backend : AvailableSimdBackends()) {
+    const simd::Kernels* kernels = simd::KernelsFor(backend);
+    for (std::size_t n = 1; n <= 67; ++n) {
+      const std::vector<double> a = RandomVector(n, rng);
+      const std::vector<double> b = RandomVector(n, rng);
+      const double want_dot = scalar->dot(a.data(), b.data(), n);
+      const double got_dot = kernels->dot(a.data(), b.data(), n);
+      EXPECT_NEAR(got_dot, want_dot, 1e-12 * std::abs(want_dot) + 1e-15)
+          << simd::BackendName(backend) << " dot n=" << n;
+      const double want_d =
+          scalar->squared_l2_distance(a.data(), b.data(), n);
+      const double got_d = kernels->squared_l2_distance(a.data(), b.data(), n);
+      EXPECT_NEAR(got_d, want_d, 1e-12 * want_d + 1e-15)
+          << simd::BackendName(backend) << " sqdist n=" << n;
+    }
+  }
+}
+
+// Axpy has no reduction: every backend performs the same two roundings per
+// element, so the guarantee is exact equality, not a tolerance.
+TEST(SimdParityTest, AxpyBitIdenticalAcrossBackends) {
+  Rng rng(43);
+  const simd::Kernels* scalar = simd::KernelsFor(simd::Backend::kScalar);
+  for (const simd::Backend backend : AvailableSimdBackends()) {
+    const simd::Kernels* kernels = simd::KernelsFor(backend);
+    for (std::size_t n = 1; n <= 67; ++n) {
+      const std::vector<double> x = RandomVector(n, rng);
+      std::vector<double> y_scalar = RandomVector(n, rng);
+      std::vector<double> y_simd = y_scalar;
+      const double alpha = rng.Uniform(-3.0, 3.0);
+      scalar->axpy(alpha, x.data(), y_scalar.data(), n);
+      kernels->axpy(alpha, x.data(), y_simd.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(y_simd[i], y_scalar[i])
+            << simd::BackendName(backend) << " axpy n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, ManyKernelsMatchPerRowScalar) {
+  Rng rng(44);
+  const simd::Kernels* scalar = simd::KernelsFor(simd::Backend::kScalar);
+  const std::size_t rows = 9;
+  for (const simd::Backend backend : AvailableSimdBackends()) {
+    const simd::Kernels* kernels = simd::KernelsFor(backend);
+    for (const std::size_t cols : {1ul, 2ul, 7ul, 16ul, 33ul}) {
+      const std::vector<double> query = RandomVector(cols, rng);
+      const std::vector<double> block = RandomVector(rows * cols, rng);
+      std::vector<double> got(rows), want(rows);
+      kernels->dot_many(query.data(), block.data(), rows, cols, got.data());
+      for (std::size_t r = 0; r < rows; ++r) {
+        want[r] = scalar->dot(query.data(), block.data() + r * cols, cols);
+        EXPECT_NEAR(got[r], want[r], 1e-12 * std::abs(want[r]) + 1e-15)
+            << simd::BackendName(backend) << " dot_many cols=" << cols;
+      }
+      kernels->squared_l2_distance_many(query.data(), block.data(), rows,
+                                        cols, got.data());
+      for (std::size_t r = 0; r < rows; ++r) {
+        want[r] = scalar->squared_l2_distance(
+            query.data(), block.data() + r * cols, cols);
+        EXPECT_NEAR(got[r], want[r], 1e-12 * want[r] + 1e-15)
+            << simd::BackendName(backend) << " sqdist_many cols=" << cols;
+      }
+    }
+  }
+}
+
+// The kernels take raw pointers at arbitrary offsets (Matrix rows with odd
+// cols, sub-spans): exercise deliberately unaligned starts — every SIMD
+// load must be an unaligned load.
+TEST(SimdParityTest, UnalignedRowOffsets) {
+  Rng rng(45);
+  const simd::Kernels* scalar = simd::KernelsFor(simd::Backend::kScalar);
+  const std::vector<double> pool = RandomVector(256, rng);
+  for (const simd::Backend backend : AvailableSimdBackends()) {
+    const simd::Kernels* kernels = simd::KernelsFor(backend);
+    for (const std::size_t offset : {1ul, 2ul, 3ul, 5ul, 7ul}) {
+      const std::size_t n = 64;
+      const double* a = pool.data() + offset;
+      const double* b = pool.data() + 128 + offset;
+      const double want = scalar->dot(a, b, n);
+      EXPECT_NEAR(kernels->dot(a, b, n), want, 1e-12 * std::abs(want) + 1e-15)
+          << simd::BackendName(backend) << " offset=" << offset;
+    }
+  }
+}
+
+TEST(SimdParityTest, ZeroLengthIsSafe) {
+  const std::vector<double> empty;
+  double out = 1.0;
+  for (const simd::Backend backend :
+       {simd::Backend::kScalar, simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    const simd::Kernels* kernels = simd::KernelsFor(backend);
+    if (kernels == nullptr) continue;
+    EXPECT_EQ(kernels->dot(empty.data(), empty.data(), 0), 0.0);
+    EXPECT_EQ(kernels->squared_l2_distance(empty.data(), empty.data(), 0),
+              0.0);
+    kernels->axpy(2.0, empty.data(), nullptr, 0);
+    kernels->dot_many(empty.data(), empty.data(), 0, 0, &out);
+    EXPECT_EQ(out, 1.0);  // num_rows == 0 writes nothing
+  }
+}
+
+TEST(SimdParityTest, NanAndInfPropagate) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (const simd::Backend backend :
+       {simd::Backend::kScalar, simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    const simd::Kernels* kernels = simd::KernelsFor(backend);
+    if (kernels == nullptr) continue;
+    // NaN anywhere poisons the reduction, in or out of the vector body.
+    for (const std::size_t n : {3ul, 11ul}) {
+      std::vector<double> a(n, 1.0);
+      std::vector<double> b(n, 2.0);
+      a[n - 1] = kNan;
+      EXPECT_TRUE(std::isnan(kernels->dot(a.data(), b.data(), n)))
+          << simd::BackendName(backend) << " n=" << n;
+      EXPECT_TRUE(
+          std::isnan(kernels->squared_l2_distance(a.data(), b.data(), n)))
+          << simd::BackendName(backend) << " n=" << n;
+      a[n - 1] = kInf;
+      EXPECT_EQ(kernels->dot(a.data(), b.data(), n), kInf);
+      // (inf - 2)^2 = inf.
+      EXPECT_EQ(kernels->squared_l2_distance(a.data(), b.data(), n), kInf);
+      // inf - inf inside the distance is NaN.
+      b[n - 1] = kInf;
+      EXPECT_TRUE(
+          std::isnan(kernels->squared_l2_distance(a.data(), b.data(), n)));
+      std::vector<double> y(n, 0.0);
+      kernels->axpy(1.0, a.data(), y.data(), n);
+      EXPECT_EQ(y[n - 1], kInf);
+      kernels->axpy(-1.0, a.data(), y.data(), n);  // inf + (-inf) = NaN
+      EXPECT_TRUE(std::isnan(y[n - 1]));
+    }
+  }
+}
+
+TEST(SimdPinTest, PinBackendOverridesDispatch) {
+  ASSERT_TRUE(simd::PinBackend(simd::Backend::kScalar));
+  EXPECT_EQ(simd::ActiveBackend(), simd::Backend::kScalar);
+  for (const simd::Backend backend : AvailableSimdBackends()) {
+    EXPECT_TRUE(simd::PinBackend(backend));
+    EXPECT_EQ(simd::ActiveBackend(), backend);
+  }
+  // An unavailable backend leaves the pin untouched.
+  for (const simd::Backend backend :
+       {simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (simd::KernelsFor(backend) != nullptr) continue;
+    const simd::Backend before = simd::ActiveBackend();
+    EXPECT_FALSE(simd::PinBackend(backend));
+    EXPECT_EQ(simd::ActiveBackend(), before);
+  }
+  ASSERT_TRUE(simd::PinBackend(simd::Backend::kScalar));
+}
+
+// --- scalar bit-identity anchor -------------------------------------------
+// Golden values captured from the pre-SIMD build (commit 4af2caf) with the
+// identical seeded pipeline: offline training on a two-community graph, one
+// grown node, RefineNewNodes for 100 iterations. GRAFICS_SIMD=scalar (or
+// PinBackend(kScalar), as here) must reproduce them to the last bit — this
+// is the replay/replication guarantee, not a numeric-tolerance test.
+
+rf::SignalRecord MakeRecord(
+    std::initializer_list<std::pair<int, double>> observations) {
+  rf::SignalRecord record;
+  for (const auto& [mac, rssi] : observations) {
+    record.Add(rf::MacAddress(static_cast<std::uint64_t>(mac)), rssi);
+  }
+  return record;
+}
+
+TEST(SimdGoldenTest, ScalarBackendReproducesPreSimdRefineRun) {
+  ASSERT_TRUE(simd::PinBackend(simd::Backend::kScalar));
+
+  std::vector<rf::SignalRecord> records;
+  for (int base : {100, 200}) {
+    for (int r = 0; r < 4; ++r) {
+      rf::SignalRecord rec;
+      for (int m = 0; m < 4; ++m) {
+        rec.Add(rf::MacAddress(static_cast<std::uint64_t>(base + m)), -55.0);
+      }
+      records.push_back(std::move(rec));
+    }
+  }
+  auto graph = graph::BipartiteGraph::FromRecords(records,
+                                                  graph::OffsetWeight(120.0));
+  embed::TrainerConfig config;
+  config.samples_per_edge = 50;
+  config.dropout = 0.0;
+  config.seed = 1234;
+  embed::EmbeddingStore store = embed::TrainEmbeddings(graph, config);
+  const std::size_t nodes_before = graph.NumNodes();
+  const graph::NodeId new_node = graph.AddRecord(
+      MakeRecord({{100, -50.0}, {101, -55.0}, {102, -60.0}}),
+      graph::OffsetWeight(120.0));
+  Rng rng(5);
+  store.Grow(graph.NumNodes() - nodes_before, rng);
+  const std::vector<graph::NodeId> new_nodes = {new_node};
+  embed::RefineNewNodes(graph, new_nodes, store, config, 100);
+
+  const double kGoldenEgo[8] = {
+      -0.034028237245881714, 0.013271457364177671, 0.033890079274176844,
+      0.045236679827145493,  -0.027931263889281969, -0.032403083282112104,
+      -0.0013361076425529351, -0.09004115025224993};
+  const double kGoldenContext[8] = {
+      0.037897748725178017,  0.036564981516817689, -0.018372312502568804,
+      -0.02642353027513553,  0.0048045964950852145, 0.040115729542545178,
+      -0.037778109816078681, 0.087218899627806504};
+  const std::span<const double> ego = store.Ego(new_node);
+  const std::span<const double> context = store.Context(new_node);
+  ASSERT_EQ(ego.size(), 8u);
+  ASSERT_EQ(context.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(ego[i], kGoldenEgo[i]) << "ego[" << i << "]";
+    EXPECT_EQ(context[i], kGoldenContext[i]) << "context[" << i << "]";
+  }
+}
+
+}  // namespace
+}  // namespace grafics

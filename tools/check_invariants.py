@@ -2,7 +2,7 @@
 """Repo-invariant lint, run as a ctest (see CMakeLists.txt) and by the
 static-analysis CI job.
 
-Checks four invariants that neither the compiler nor the unit tests can
+Checks five invariants that neither the compiler nor the unit tests can
 express on their own:
 
 1. sync-wrappers: no naked std::mutex / std::lock_guard / std::scoped_lock /
@@ -26,6 +26,12 @@ express on their own:
    matches grafics_[a-z0-9_]+ AND is cataloged in docs/observability.md.
    Dashboards and alerts are written against the doc; an undocumented
    instrument silently drifts out of both.
+
+5. kernel-loops: no hand-rolled dot/axpy/squared-distance inner loops
+   (subscripted multiply-accumulate) under src/ outside
+   src/common/matrix.{h,cc} and src/common/simd*. Those loops belong in the
+   vector-kernel layer (common/simd.h): a stray copy silently forks the
+   bit-identity anchor and dodges the SIMD backends.
 
 Exit status 0 = all invariants hold; 1 = violations (printed one per line
 as path:line: message). Run `tools/check_invariants.py --self-test` to
@@ -67,6 +73,29 @@ OBS_NAME = re.compile(r"grafics_[a-z0-9_]+")
 # WriteFileDurably pattern keeps them adjacent; the window only needs to
 # cover one helper function body.
 RENAME_FSYNC_WINDOW = 40
+
+# Hand-rolled kernel loop shapes (rule 5). Subscripted operands only:
+# Matrix's paren accessors (m(r, c)) are element-wise code, not a packed
+# inner loop, and stay out of scope.
+#   dot:  sum += a[i] * b[i]
+KERNEL_DOT = re.compile(
+    r"\+=\s*[A-Za-z_][\w.\->]*\[[^\]]+\]\s*\*\s*[A-Za-z_][\w.\->]*\[[^\]]+\]")
+#   axpy: y[i] += alpha * x[i]
+KERNEL_AXPY = re.compile(
+    r"\[[^\]]+\]\s*\+=\s*[A-Za-z_][\w.\->]*\s*\*\s*"
+    r"[A-Za-z_][\w.\->]*\[[^\]]+\]")
+#   distance: d = a[i] - b[i]; ... sum += d * d;
+KERNEL_SQUARE_ACC = re.compile(r"\+=\s*([A-Za-z_]\w*)\s*\*\s*\1\s*;")
+KERNEL_SUBSCRIPT_DIFF = re.compile(
+    r"=\s*[A-Za-z_][\w.\->]*\[[^\]]+\]\s*-\s*[A-Za-z_][\w.\->]*\[[^\]]+\]")
+# Lines above a squared accumulation where its subscripted difference may sit.
+KERNEL_DIFF_WINDOW = 3
+
+KERNEL_EXEMPT = (
+    "src/common/matrix.h",
+    "src/common/matrix.cc",
+    "src/common/simd",  # simd.h, simd.cc, simd_avx2.cc, simd_neon.cc
+)
 
 
 def strip_comments(text: str) -> str:
@@ -199,12 +228,41 @@ def check_obs_instruments(root: str) -> list[str]:
     return problems
 
 
+def check_kernel_loops(root: str) -> list[str]:
+    problems = []
+    for path in iter_source_files(root):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if rel.startswith(KERNEL_EXEMPT):
+            continue
+        with open(path, encoding="utf-8") as f:
+            lines = strip_comments(f.read()).splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            kind = None
+            if KERNEL_DOT.search(line):
+                kind = "dot/multiply-accumulate"
+            elif KERNEL_AXPY.search(line):
+                kind = "axpy"
+            elif KERNEL_SQUARE_ACC.search(line):
+                window = lines[max(0, lineno - 1 - KERNEL_DIFF_WINDOW):
+                               lineno - 1]
+                if any(KERNEL_SUBSCRIPT_DIFF.search(w) for w in window):
+                    kind = "squared-distance"
+            if kind:
+                problems.append(
+                    f"{rel}:{lineno}: hand-rolled {kind} loop — route it "
+                    "through the vector-kernel layer (common/simd.h or the "
+                    "common/matrix.h wrappers)"
+                )
+    return problems
+
+
 def run_checks(root: str) -> list[str]:
     problems = []
     problems += check_sync_wrappers(root)
     problems += check_protocol_freeze(root)
     problems += check_durable_rename(root)
     problems += check_obs_instruments(root)
+    problems += check_kernel_loops(root)
     return problems
 
 
@@ -244,6 +302,30 @@ def self_test() -> int:
                     "  r->GetCounter(\"grafics_BadName_total\", \"bad\");\n"
                     "  r->GetGauge(\"grafics_undocumented_depth\", \"bad\");\n"
                     "}\n")
+        os.makedirs(os.path.join(root, "src", "common"))
+        with open(os.path.join(root, "src", "common", "matrix.cc"),
+                  "w", encoding="utf-8") as f:
+            # Exempt home of the reference loops: must NOT trip rule 5.
+            f.write("double Dot(const double* a, const double* b, int n) {\n"
+                    "  double sum = 0.0;\n"
+                    "  for (int i = 0; i < n; ++i) sum += a[i] * b[i];\n"
+                    "  return sum;\n"
+                    "}\n")
+        with open(os.path.join(root, "src", "serve", "bad_kernels.cc"),
+                  "w", encoding="utf-8") as f:
+            f.write("void F(const double* x, double* y, double a, int n) {\n"
+                    "  double sum = 0.0;\n"
+                    "  for (int i = 0; i < n; ++i) sum += x[i] * y[i];\n"
+                    "  for (int i = 0; i < n; ++i) y[i] += a * x[i];\n"
+                    "  for (int i = 0; i < n; ++i) {\n"
+                    "    const double d = x[i] - y[i];\n"
+                    "    sum += d * d;\n"
+                    "  }\n"
+                    "  // loss += diff * diff * scale below must NOT trip\n"
+                    "  double diff = a - sum, scale = 0.5, loss = 0.0;\n"
+                    "  loss += diff * diff * scale;\n"
+                    "  (void)loss;\n"
+                    "}\n")
         problems = run_checks(root)
         expected = [
             ("bad_sync.cc:3", "std::mutex"),
@@ -252,6 +334,9 @@ def self_test() -> int:
             ("bad_store.cc:2", "::rename without"),
             ("bad_obs.cc:3", "does not match grafics_[a-z0-9_]+"),
             ("bad_obs.cc:4", "not cataloged in docs/observability.md"),
+            ("bad_kernels.cc:3", "dot/multiply-accumulate"),
+            ("bad_kernels.cc:4", "axpy"),
+            ("bad_kernels.cc:7", "squared-distance"),
         ]
         failures = []
         for needle_path, needle_msg in expected:
@@ -268,6 +353,16 @@ def self_test() -> int:
             failures.append(
                 "self-test: documented, well-named instrument tripped "
                 "the obs lint")
+        exempt_hits = [p for p in problems if "common/matrix.cc" in p]
+        if exempt_hits:
+            failures.append(
+                "self-test: exempt common/matrix.cc tripped the "
+                "kernel-loop lint")
+        scaled_hits = [p for p in problems if "bad_kernels.cc:11" in p]
+        if scaled_hits:
+            failures.append(
+                "self-test: scaled square accumulation (not a distance "
+                "loop) tripped the kernel-loop lint")
         if failures:
             print("\n".join(failures))
             print("\nlint output was:")
